@@ -1,0 +1,81 @@
+"""E20 — concurrency sweep: how contention shapes the costs.
+
+Concurrency (operations in flight simultaneously) is the quantity that
+drives everything interesting in OT: transformation counts, state-space
+growth, and the divergence opportunities of incorrect protocols.  We
+sweep it two ways — network slowness (more overlap per operation) and
+delete-heaviness (shorter documents, more position collisions) — and
+report OT counts and state-space size for CSS.
+"""
+
+import pytest
+
+from repro.analysis import collect_metrics
+from repro.sim import FixedLatency, SimulationRunner, WorkloadConfig
+
+from benchmarks.conftest import print_banner
+
+
+def _run(latency_seconds, insert_ratio=0.7):
+    config = WorkloadConfig(
+        clients=3,
+        operations=45,
+        insert_ratio=insert_ratio,
+        rate_per_client=4.0,
+        seed=64,
+    )
+    return SimulationRunner(
+        "css", config, FixedLatency(latency_seconds)
+    ).run()
+
+
+def test_concurrency_sweep_artifact(benchmark):
+    latencies = [0.001, 0.05, 0.5, 2.0]
+
+    def regenerate():
+        rows = []
+        for latency in latencies:
+            result = _run(latency)
+            metrics = collect_metrics(result.cluster, "css")
+            rows.append(
+                (
+                    latency,
+                    metrics.ot_counts.get("s", 0),
+                    metrics.space_nodes.get("s", 0),
+                    result.converged,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Concurrency sweep: latency vs OT effort (CSS server)")
+    print(f"{'latency':>9} {'server OTs':>11} {'server nodes':>13} {'conv':>6}")
+    for latency, ots, nodes, converged in rows:
+        print(f"{latency:>9} {ots:>11} {nodes:>13} {str(converged):>6}")
+        assert converged
+    # Shape: slower networks create more overlap, hence more OTs and a
+    # larger state-space (quiescent LAN ≈ no concurrent transforms).
+    ots = [row[1] for row in rows]
+    assert ots[0] <= ots[-1]
+    assert rows[0][2] <= rows[-1][2]
+
+
+@pytest.mark.parametrize("insert_ratio", [1.0, 0.7, 0.4])
+def test_delete_heaviness(benchmark, insert_ratio):
+    """Delete-heavy workloads keep documents short; runs must still
+    converge and the runner cost is measured per mix."""
+
+    def run():
+        return _run(0.2, insert_ratio=insert_ratio)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.converged
+
+
+@pytest.mark.parametrize("latency", [0.001, 0.5])
+def test_run_cost_by_latency(benchmark, latency):
+    def run():
+        return _run(latency)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.converged

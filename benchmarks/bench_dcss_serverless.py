@@ -1,0 +1,87 @@
+"""E15 — dCSS: the decentralised CSS extension (§10 future work).
+
+Compares the client/server CSS protocol against the serverless dCSS on
+the same workloads: message volume (broadcasts + stability acks vs
+star-routed operations), time to quiescence, and the correctness
+properties — convergence, compactness, and the weak list specification
+all carry over, while the strong list specification can still fail
+(Jupiter's OT semantics are unchanged by the ordering scheme).
+"""
+
+import pytest
+
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+from repro.sim.p2p import P2PSimulationRunner
+from repro.sim.trace import check_all_specs
+
+from benchmarks.conftest import print_banner
+
+
+def _config(clients=3, operations=24, seed=3):
+    return WorkloadConfig(
+        clients=clients, operations=operations, insert_ratio=0.6, seed=seed
+    )
+
+
+def test_dcss_artifact(benchmark):
+    def regenerate():
+        rows = []
+        for clients in (2, 3, 5):
+            config = _config(clients=clients)
+            css = SimulationRunner(
+                "css", config, UniformLatency(0.01, 0.3, seed=1)
+            ).run()
+            dcss = P2PSimulationRunner(
+                config, UniformLatency(0.01, 0.3, seed=1)
+            ).run()
+            rows.append((clients, css, dcss))
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("dCSS vs CSS: the cost of removing the server")
+    print(
+        f"{'clients':>8} {'css msgs':>9} {'dcss msgs':>10} "
+        f"{'css dur':>8} {'dcss dur':>9} {'both converged':>15}"
+    )
+    for clients, css, dcss in rows:
+        print(
+            f"{clients:>8} {css.messages_delivered:>9} "
+            f"{dcss.messages_delivered:>10} {css.duration:>8.2f} "
+            f"{dcss.duration:>9.2f} "
+            f"{str(css.converged and dcss.converged):>15}"
+        )
+        assert css.converged and dcss.converged
+        assert dcss.cluster.state_spaces_identical()
+        # The serverless scheme pays in traffic: broadcasts plus acks
+        # always exceed the star's per-operation n messages once n > 2.
+        if clients > 2:
+            assert dcss.messages_delivered > css.messages_delivered
+
+    report = check_all_specs(rows[-1][2].execution)
+    print("\ndCSS specification verdicts (5 peers):")
+    print(report.summary())
+    assert report.convergence.ok and report.weak_list.ok
+
+
+@pytest.mark.parametrize("peers", [2, 3, 5])
+def test_dcss_end_to_end(benchmark, peers):
+    config = _config(clients=peers)
+    latency = UniformLatency(0.01, 0.3, seed=1)
+
+    def run():
+        return P2PSimulationRunner(config, latency).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.converged
+
+
+def test_dcss_weak_list_check(benchmark):
+    result = P2PSimulationRunner(
+        _config(clients=3, operations=30), UniformLatency(0.01, 0.3, seed=2)
+    ).run()
+    from repro.model.abstract import abstract_from_execution
+    from repro.specs import check_weak_list
+
+    abstract = abstract_from_execution(result.execution)
+    verdict = benchmark(check_weak_list, abstract)
+    assert verdict.ok

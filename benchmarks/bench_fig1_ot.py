@@ -1,0 +1,69 @@
+"""E1 / E14 — Figure 1: operational transformation on "efecte".
+
+Regenerates the paper's motivating example (divergence without OT,
+convergence with OT, the CP1 square) and measures the cost of the
+primitive everything else is built from: one pairwise transformation.
+
+Run with ``-s`` to see the regenerated artifacts.
+"""
+
+from repro.common import OpId
+from repro.document import ListDocument
+from repro.ot import check_cp1, delete, insert, transform_pair
+from repro.scenarios import figure1, run_scenario
+
+from benchmarks.conftest import print_banner
+
+
+def _figure1_operations():
+    base = ListDocument.from_string("efecte")
+    o1 = insert(OpId("c1", 1), "f", 1)
+    o2 = delete(OpId("c2", 1), base.element_at(5), 5)
+    return base, o1, o2
+
+
+def test_fig1_artifact(benchmark):
+    """Regenerate and print the full figure (single round)."""
+
+    def regenerate():
+        base, o1, o2 = _figure1_operations()
+        o1p, o2p = transform_pair(o1, o2)
+        cluster, _ = run_scenario(figure1())
+        verdict = check_cp1(base, o1, o2)
+        return o2p, cluster.documents(), verdict
+
+    o2p, documents, verdict = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+    print_banner("Figure 1: OT on 'efecte' — Ins(f,1) || Del(e,5)")
+    print(f"OT(o2, o1): Del(e,5) becomes Del(e,{o2p.position})")
+    print("Converged documents:", documents)
+    print(f"CP1 square (Figure 1c) commutes: {verdict.holds}")
+    assert o2p.position == 6
+    assert set(documents.values()) == {"effect"}
+    assert verdict.holds
+
+
+def test_single_transform(benchmark):
+    """Latency of one pairwise OT (the protocol's innermost primitive)."""
+    _, o1, o2 = _figure1_operations()
+    benchmark(transform_pair, o1, o2)
+
+
+def test_cp1_square(benchmark):
+    """Full CP1 verification: two transforms + two document replays."""
+    base, o1, o2 = _figure1_operations()
+    result = benchmark(check_cp1, base, o1, o2)
+    assert result.holds
+
+
+def test_fig1_end_to_end(benchmark):
+    """Regenerating the whole figure: two clients, OT, convergence."""
+    scenario = figure1()
+
+    def regenerate():
+        cluster, _ = run_scenario(scenario)
+        return cluster.documents()
+
+    documents = benchmark(regenerate)
+    assert set(documents.values()) == {"effect"}

@@ -1,0 +1,51 @@
+"""E2 — Figures 2 and 4: the CSS protocol on three concurrent operations.
+
+Regenerates Figure 4's shared n-ary ordered state-space and measures the
+cost of running the schedule plus verifying Proposition 6.6 on it.
+"""
+
+from repro.analysis.equivalence import check_css_compactness
+from repro.analysis.render import render_nary_space
+from repro.scenarios import figure2, run_scenario
+
+from benchmarks.conftest import print_banner
+
+
+def test_fig2_fig4_artifact(benchmark):
+    def regenerate():
+        cluster, _ = run_scenario(figure2())
+        return cluster
+
+    cluster = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Figures 2+4: three concurrent ops, one shared state-space")
+    print(render_nary_space(cluster.server.space, title="CSS_s (= CSS_ci ∀i)"))
+    failures = check_css_compactness(cluster)
+    print(f"\nProposition 6.6 (all replicas identical): {not failures}")
+    assert not failures
+    assert cluster.server.space.node_count() == 7
+
+
+def test_fig2_schedule(benchmark):
+    """Running the Figure 2 schedule on a fresh CSS cluster."""
+    scenario = figure2()
+
+    def regenerate():
+        cluster, _ = run_scenario(scenario)
+        return cluster
+
+    cluster = benchmark(regenerate)
+    assert len(set(cluster.documents().values())) == 1
+
+
+def test_fig4_compactness_check(benchmark):
+    """Structural comparison of four state-spaces (Proposition 6.6)."""
+    cluster, _ = run_scenario(figure2())
+    failures = benchmark(check_css_compactness, cluster)
+    assert failures == []
+
+
+def test_fig4_rendering(benchmark):
+    """ASCII-rendering the state-space (the figure itself)."""
+    cluster, _ = run_scenario(figure2())
+    art = benchmark(render_nary_space, cluster.server.space)
+    assert art.count("children=") == 7

@@ -1,0 +1,55 @@
+"""E3 — Figure 3 / Algorithm 1: OTs along the leftmost transitions.
+
+Measures one Algorithm-1 integration against state-spaces with growing
+leftmost paths: the cost is linear in the number of operations the new
+operation is concurrent with.
+"""
+
+import pytest
+
+from repro.common import OpId
+from repro.jupiter.nary import NaryStateSpace
+from repro.jupiter.ordering import ServerOrderOracle
+from repro.ot import insert
+
+from benchmarks.conftest import print_banner
+
+
+def _space_with_path(length: int):
+    """A server space whose leftmost path from σ0 has ``length`` ops."""
+    oracle = ServerOrderOracle()
+    space = NaryStateSpace(oracle)
+    for i in range(length):
+        op = insert(OpId(f"c{i % 3 + 1}", i + 1), "x", 0)
+        oracle.assign(op.opid)
+        # Chain the contexts so each op extends the path.
+        op = op.with_context(frozenset(space.final_key))
+        space.integrate(op)
+    straggler = insert(OpId("c9", 1), "z", 0)  # context σ0: max-length path
+    oracle.assign(straggler.opid)
+    return space, straggler
+
+
+def test_fig3_artifact(benchmark):
+    def regenerate():
+        space, straggler = _space_with_path(3)
+        executed = space.integrate(straggler)
+        return space, executed
+
+    space, executed = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Figure 3 / Algorithm 1: iterative OT along leftmost path")
+    print(f"Executed form after 3 transformations: {executed.pretty()}")
+    print(f"OT count: {space.ot_count} (3 for the straggler)")
+    assert len(executed.context) == 3
+
+
+@pytest.mark.parametrize("path_length", [1, 4, 16, 64])
+def test_algorithm1_integration(benchmark, path_length):
+    """Integration cost grows linearly with the leftmost-path length."""
+
+    def run():
+        space, straggler = _space_with_path(path_length)
+        return space.integrate(straggler)
+
+    executed = benchmark(run)
+    assert len(executed.context) == path_length

@@ -1,0 +1,54 @@
+"""E5 — Figure 7 / Theorem 8.1: Jupiter violates the strong list spec.
+
+Regenerates the counterexample (w13="ax", w14="xb", w1234="ba", cyclic
+list order) and measures both the protocol run and the checker that
+finds the cycle.
+"""
+
+from repro.common import OpId
+from repro.scenarios import figure7, run_scenario
+from repro.sim.trace import check_all_specs
+from repro.specs import check_strong_list
+from repro.model.abstract import abstract_from_execution
+
+from benchmarks.conftest import print_banner
+
+
+def test_fig7_artifact(benchmark):
+    def regenerate():
+        cluster, execution = run_scenario(figure7())
+        report = check_all_specs(execution)
+        return cluster, report
+
+    cluster, report = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Figure 7: the strong-list counterexample")
+    space = cluster.clients["c2"].space
+    w13 = space.document_at(frozenset({OpId("c1", 1), OpId("c2", 1)}))
+    w14 = space.document_at(frozenset({OpId("c1", 1), OpId("c3", 1)}))
+    print(f"w13 = {w13.as_string()!r}   (paper: 'ax')")
+    print(f"w14 = {w14.as_string()!r}   (paper: 'xb')")
+    print(f"w1234 = {cluster.documents()['s']!r} (paper: 'ba')")
+    print()
+    print(report.summary())
+    assert w13.as_string() == "ax" and w14.as_string() == "xb"
+    assert cluster.documents()["s"] == "ba"
+    assert report.weak_list.ok and not report.strong_list.ok
+
+
+def test_fig7_protocol_run(benchmark):
+    scenario = figure7()
+
+    def regenerate():
+        cluster, execution = run_scenario(scenario)
+        return execution
+
+    execution = benchmark(regenerate)
+    assert len(execution) > 0
+
+
+def test_fig7_strong_list_checker(benchmark):
+    """Finding the cycle in the returned lists."""
+    _, execution = run_scenario(figure7())
+    abstract = abstract_from_execution(execution)
+    result = benchmark(check_strong_list, abstract)
+    assert not result.ok

@@ -1,0 +1,72 @@
+"""E17 — ablation: state-space garbage collection.
+
+The paper's §10 asks about the metadata overhead of convergence
+protocols.  CSS's n-ary ordered state-space grows with every operation;
+with acknowledgement-floor pruning (``css-gc``), active systems keep only
+the recent frontier, while a silent client pins the floor and memory
+grows as without GC.  This bench quantifies both regimes.
+"""
+
+import pytest
+
+from repro.analysis import collect_metrics
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+from repro.sim.runner import replay
+
+from benchmarks.conftest import print_banner
+
+
+def _run_pair(operations, seed=5):
+    config = WorkloadConfig(
+        clients=3, operations=operations, insert_ratio=0.6, seed=seed
+    )
+    latency = UniformLatency(0.01, 0.3, seed=seed)
+    plain = SimulationRunner("css", config, latency).run()
+    gc = replay("css-gc", plain.schedule, config.client_names())
+    return plain, gc
+
+
+def test_gc_ablation_artifact(benchmark):
+    sizes = [20, 40, 80, 160]
+
+    def regenerate():
+        rows = []
+        for operations in sizes:
+            plain, gc = _run_pair(operations)
+            plain_nodes = collect_metrics(plain.cluster).total_space_nodes
+            gc_nodes = collect_metrics(gc).total_space_nodes
+            pruned = gc.server.pruned_states + sum(
+                client.pruned_states for client in gc.clients.values()
+            )
+            assert gc.documents() == plain.documents()
+            rows.append((operations, plain_nodes, gc_nodes, pruned))
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("GC ablation: total state-space nodes across all replicas")
+    print(f"{'ops':>6} {'no GC':>8} {'with GC':>8} {'pruned':>8} {'savings':>8}")
+    for operations, plain_nodes, gc_nodes, pruned in rows:
+        savings = 1 - gc_nodes / plain_nodes
+        print(
+            f"{operations:>6} {plain_nodes:>8} {gc_nodes:>8} {pruned:>8} "
+            f"{savings:>7.0%}"
+        )
+    # Shape: without GC the footprint grows with the run; with GC it is
+    # dominated by in-flight concurrency and stays far smaller.
+    no_gc = [row[1] for row in rows]
+    with_gc = [row[2] for row in rows]
+    assert all(b > a for a, b in zip(no_gc, no_gc[1:]))
+    assert with_gc[-1] < no_gc[-1] / 2
+
+
+@pytest.mark.parametrize("variant", ["css", "css-gc"])
+def test_run_cost_with_and_without_gc(benchmark, variant):
+    config = WorkloadConfig(clients=3, operations=60, insert_ratio=0.6, seed=5)
+    latency = UniformLatency(0.01, 0.3, seed=5)
+    reference = SimulationRunner("css", config, latency).run()
+
+    def run():
+        return replay(variant, reference.schedule, config.client_names())
+
+    cluster = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert cluster.documents() == reference.documents()

@@ -1,0 +1,87 @@
+"""E18 — late join: admitting a client to a running session.
+
+Measures the join-payload size (the serialised state-space grows with
+retained history) and the end-to-end cost of admitting and catching up a
+newcomer, across session lengths.  The comparison anchor: without the
+Proposition 6.6 snapshot, a newcomer would have to replay the entire
+operation history through Algorithm 1.
+"""
+
+import json
+
+import pytest
+
+from repro.jupiter.membership import client_from_join, server_admit
+from repro.model import OpSpec
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+
+from benchmarks.conftest import print_banner
+
+
+def session(operations, seed=23):
+    config = WorkloadConfig(
+        clients=3, operations=operations, insert_ratio=0.6, seed=seed
+    )
+    latency = UniformLatency(0.01, 0.3, seed=seed)
+    return SimulationRunner("css", config, latency).run()
+
+
+def test_late_join_artifact(benchmark):
+    sizes = [10, 40, 160]
+
+    def regenerate():
+        rows = []
+        for operations in sizes:
+            result = session(operations)
+            cluster = result.cluster
+            payload = server_admit(cluster.server, "late")
+            encoded = json.dumps(payload)
+            joiner = client_from_join(payload)
+            rows.append(
+                (
+                    operations,
+                    len(encoded),
+                    cluster.server.space.node_count(),
+                    joiner.document.as_string()
+                    == cluster.server.document.as_string(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Late join: snapshot size vs session length")
+    print(f"{'ops':>6} {'payload bytes':>14} {'space nodes':>12} {'caught up':>10}")
+    for operations, payload_bytes, nodes, caught_up in rows:
+        print(f"{operations:>6} {payload_bytes:>14} {nodes:>12} {str(caught_up):>10}")
+        assert caught_up
+    # Shape: payload grows with retained history (motivating E17's GC).
+    assert rows[-1][1] > rows[0][1]
+
+
+@pytest.mark.parametrize("operations", [10, 40, 160])
+def test_join_cost(benchmark, operations):
+    result = session(operations)
+
+    def join():
+        cluster = result.cluster
+        if "late" in cluster.server.clients:
+            cluster.server.clients.remove("late")
+        payload = server_admit(cluster.server, "late")
+        return client_from_join(payload)
+
+    joiner = benchmark(join)
+    assert joiner.document.as_string() == result.documents()["s"]
+
+
+def test_joiner_participates(benchmark):
+    def run():
+        result = session(20)
+        cluster = result.cluster
+        cluster.add_client("late")
+        cluster.generate("late", OpSpec("ins", 0, "Z"))
+        cluster.drain()
+        return cluster.documents()
+
+    documents = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(set(documents.values())) == 1
+    assert documents["late"].startswith("Z")

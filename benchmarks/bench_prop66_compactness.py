@@ -1,0 +1,54 @@
+"""E7 — Proposition 6.6 / Theorem 6.7 on random workloads.
+
+All CSS replicas that processed the same operations hold identical n-ary
+ordered state-spaces, and every execution satisfies the convergence
+property.  Measures the cost of the structural comparison as the run
+grows.
+"""
+
+import pytest
+
+from repro.analysis.equivalence import check_css_compactness
+from repro.sim.trace import check_all_specs
+
+from benchmarks.conftest import print_banner, simulate
+
+
+def test_prop66_artifact(benchmark):
+    def regenerate():
+        result = simulate("css", clients=3, operations=30, seed=4)
+        failures = check_css_compactness(result.cluster)
+        report = check_all_specs(result.execution)
+        return result, failures, report
+
+    result, failures, report = benchmark.pedantic(
+        regenerate, rounds=1, iterations=1
+    )
+    print_banner("Proposition 6.6 + Theorem 6.7 on a random workload")
+    space = result.cluster.server.space
+    print(f"operations: 30, states: {space.node_count()}, "
+          f"transitions: {space.transition_count()}")
+    print(f"all {len(result.cluster.clients) + 1} replicas identical: "
+          f"{not failures}")
+    print(report.convergence.summary())
+    assert not failures and report.convergence.ok
+
+
+@pytest.mark.parametrize("operations", [10, 30, 60])
+def test_compactness_check_scaling(benchmark, operations):
+    """Structural comparison cost vs run size."""
+    result = simulate("css", clients=3, operations=operations, seed=4)
+    failures = benchmark(check_css_compactness, result.cluster)
+    assert failures == []
+
+
+@pytest.mark.parametrize("clients", [2, 4, 8])
+def test_convergence_across_client_counts(benchmark, clients):
+    """End-to-end: simulate and verify Acp for growing client counts."""
+
+    def run():
+        result = simulate("css", clients=clients, operations=24, seed=9)
+        return check_all_specs(result.execution).convergence
+
+    verdict = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert verdict.ok

@@ -1,0 +1,64 @@
+"""E16 — propagation latency under different network conditions.
+
+Sweeps the latency model (fast LAN, WAN, offline window) and reports the
+distribution of operation propagation delays — the user-experienced
+staleness that optimistic replication trades for local responsiveness
+(the motivation of the paper's introduction).
+"""
+
+import pytest
+
+from repro.analysis.latency import propagation_stats, staleness_per_operation
+from repro.sim import (
+    FixedLatency,
+    OfflinePeriods,
+    SimulationRunner,
+    UniformLatency,
+    WorkloadConfig,
+)
+
+from benchmarks.conftest import print_banner
+
+NETWORKS = {
+    "lan": FixedLatency(0.002),
+    "wan": UniformLatency(0.05, 0.25, seed=1),
+    "flaky": UniformLatency(0.05, 2.0, seed=1),
+    "offline-5s": OfflinePeriods(
+        UniformLatency(0.05, 0.25, seed=1), windows={"c2": [(0.5, 5.5)]}
+    ),
+}
+
+
+def _run(network_name):
+    config = WorkloadConfig(clients=3, operations=36, insert_ratio=0.7, seed=13)
+    return SimulationRunner("css", config, NETWORKS[network_name]).run()
+
+
+def test_latency_artifact(benchmark):
+    def regenerate():
+        return {name: _run(name) for name in NETWORKS}
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Propagation latency by network model (CSS, 3 clients)")
+    print(f"{'network':<12} {'stats'}")
+    for name, result in results.items():
+        stats = propagation_stats(result)
+        print(f"{name:<12} {stats}")
+        assert result.converged
+
+    # Shape: the offline window dominates everything else's tail.
+    offline = propagation_stats(results["offline-5s"])
+    lan = propagation_stats(results["lan"])
+    assert offline.maximum > lan.maximum * 10
+    # Worst-case staleness per op is bounded by the window length + slack.
+    worst = max(staleness_per_operation(results["offline-5s"]))
+    assert worst >= 1.0  # some operation waited out (part of) the window
+
+
+@pytest.mark.parametrize("network", sorted(NETWORKS))
+def test_latency_by_network(benchmark, network):
+    def run():
+        return propagation_stats(_run(network))
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert stats.count > 0

@@ -1,0 +1,52 @@
+"""E10 — the RGA baseline satisfies the strong list specification.
+
+The qualitative contrast of the paper's related-work section: on the same
+random workloads where Jupiter only guarantees the weak specification,
+the Attiya-et-al. RGA variant satisfies the strong one — including on the
+Figure 7 schedule that breaks Jupiter.
+"""
+
+import pytest
+
+from repro.jupiter import make_cluster
+from repro.model.abstract import abstract_from_execution
+from repro.scenarios import figure7
+from repro.sim.trace import check_all_specs
+from repro.specs import check_strong_list
+
+from benchmarks.conftest import print_banner, simulate
+
+
+def test_rga_artifact(benchmark):
+    def regenerate():
+        result = simulate("rga", clients=3, operations=30, seed=12)
+        return result, check_all_specs(result.execution)
+
+    result, report = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("RGA on a random workload: strong list specification")
+    print(report.summary())
+
+    # The very schedule that breaks Jupiter (Figure 7), run on RGA:
+    cluster = make_cluster("rga", ["c1", "c2", "c3"])
+    execution = cluster.run(figure7().schedule)
+    verdict = check_strong_list(abstract_from_execution(execution))
+    print(f"\nFigure 7 schedule on RGA — strong list: {verdict.ok}")
+    assert report.strong_list.ok and verdict.ok
+
+
+@pytest.mark.parametrize("protocol", ["rga", "logoot", "woot", "treedoc"])
+def test_crdt_run_cost(benchmark, protocol):
+    """End-to-end cost of 30 operations for each CRDT baseline."""
+
+    def run():
+        return simulate(protocol, clients=3, operations=30, seed=12)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.converged
+
+
+def test_strong_list_checker_on_rga(benchmark):
+    result = simulate("rga", clients=3, operations=40, seed=12)
+    abstract = abstract_from_execution(result.execution)
+    verdict = benchmark(check_strong_list, abstract)
+    assert verdict.ok

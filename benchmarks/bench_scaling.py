@@ -1,0 +1,56 @@
+"""E12a — scaling with clients and operations.
+
+End-to-end simulated-run cost for the CSS protocol (and the classic
+buffer implementation as the no-state-space baseline) as the system
+grows.  The interesting shape: classic Jupiter's per-operation cost is
+flat, while the state-space protocols pay for concurrency bookkeeping.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_banner, simulate
+
+
+@pytest.mark.parametrize("clients", [2, 4, 8])
+@pytest.mark.parametrize("protocol", ["css", "classic"])
+def test_scaling_clients(benchmark, protocol, clients):
+    """48 operations spread over a growing client count."""
+
+    def run():
+        return simulate(protocol, clients=clients, operations=48, seed=77)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.converged
+
+
+@pytest.mark.parametrize("operations", [20, 60, 120])
+def test_scaling_operations_css(benchmark, operations):
+    def run():
+        return simulate("css", clients=3, operations=operations, seed=77)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.converged
+
+
+def test_scaling_artifact(benchmark):
+    """Throughput table: simulated ops/sec of wall-clock runtime."""
+    import time
+
+    def regenerate():
+        rows = []
+        for protocol in ("css", "cscw", "classic", "rga", "logoot", "woot", "treedoc"):
+            start = time.perf_counter()
+            result = simulate(protocol, clients=4, operations=60, seed=77)
+            elapsed = time.perf_counter() - start
+            rows.append((protocol, elapsed, 60 / elapsed, result.converged))
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Throughput: 60 operations, 4 clients")
+    print(f"{'protocol':<9} {'wall (s)':>9} {'ops/s':>9} {'converged':>10}")
+    for protocol, elapsed, throughput, converged in rows:
+        print(
+            f"{protocol:<9} {elapsed:>9.3f} {throughput:>9.0f} "
+            f"{str(converged):>10}"
+        )
+    assert all(converged for *_, converged in rows)

@@ -1,0 +1,74 @@
+"""E13 — specification-checker cost on growing executions.
+
+The checkers are the reproduction's measurement instruments; this module
+keeps their own cost in view (compatibility checking is quadratic in the
+number of observed states, cycle detection linear in ordered pairs).
+"""
+
+import pytest
+
+from repro.model.abstract import abstract_from_execution
+from repro.specs import check_convergence, check_strong_list, check_weak_list
+
+from benchmarks.conftest import print_banner, simulate
+
+SIZES = [15, 30, 60]
+
+
+@pytest.fixture(scope="module")
+def abstract_executions():
+    return {
+        operations: abstract_from_execution(
+            simulate("css", clients=3, operations=operations, seed=55).execution
+        )
+        for operations in SIZES
+    }
+
+
+def test_checker_cost_artifact(benchmark, abstract_executions):
+    import time
+
+    def regenerate():
+        rows = []
+        for operations, abstract in abstract_executions.items():
+            timings = {}
+            for name, checker in (
+                ("convergence", check_convergence),
+                ("weak", check_weak_list),
+                ("strong", check_strong_list),
+            ):
+                start = time.perf_counter()
+                checker(abstract)
+                timings[name] = time.perf_counter() - start
+            rows.append((operations, len(abstract), timings))
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Spec-checker cost vs execution size")
+    print(f"{'ops':>5} {'events':>7} {'convergence':>12} {'weak':>9} {'strong':>9}")
+    for operations, events, timings in rows:
+        print(
+            f"{operations:>5} {events:>7} {timings['convergence']:>11.4f}s "
+            f"{timings['weak']:>8.4f}s {timings['strong']:>8.4f}s"
+        )
+    assert rows[-1][1] > rows[0][1]
+
+
+@pytest.mark.parametrize("operations", SIZES)
+def test_convergence_checker(benchmark, abstract_executions, operations):
+    verdict = benchmark(check_convergence, abstract_executions[operations])
+    assert verdict.ok
+
+
+@pytest.mark.parametrize("operations", SIZES)
+def test_weak_list_checker(benchmark, abstract_executions, operations):
+    verdict = benchmark(check_weak_list, abstract_executions[operations])
+    assert verdict.ok
+
+
+@pytest.mark.parametrize("operations", SIZES)
+def test_strong_list_checker(benchmark, abstract_executions, operations):
+    # Strong-list satisfaction is workload-dependent for Jupiter
+    # (Theorem 8.1); assert only that the check ran over all events.
+    verdict = benchmark(check_strong_list, abstract_executions[operations])
+    assert verdict.events_checked > 0

@@ -1,0 +1,65 @@
+"""E8 — Theorem 7.1 (+ Propositions 7.2, 7.4): protocol equivalence.
+
+Records a CSS schedule, replays it on CSCW and classic Jupiter, and
+verifies that behaviours coincide and the state-space containment/union
+relations hold.  Measures replay cost per protocol — the practical
+difference between maintaining one n-ary space, 2n 2D spaces, or no
+spaces at all.
+"""
+
+import pytest
+
+from repro.analysis.equivalence import (
+    check_css_equals_union_of_dss,
+    check_dss_subset_of_css,
+    compare_protocols,
+)
+from repro.sim.runner import replay
+
+from benchmarks.conftest import print_banner, simulate
+
+
+@pytest.fixture(scope="module")
+def recorded_run():
+    return simulate("css", clients=3, operations=36, seed=21)
+
+
+def test_thm71_artifact(benchmark, recorded_run):
+    clients = ["c1", "c2", "c3"]
+
+    def regenerate():
+        cscw = replay("cscw", recorded_run.schedule, clients)
+        classic = replay("classic", recorded_run.schedule, clients)
+        report = compare_protocols(
+            recorded_run.schedule,
+            {"css": recorded_run.cluster, "cscw": cscw, "classic": classic},
+        )
+        return cscw, report
+
+    cscw, report = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Theorem 7.1: same schedule, same behaviours")
+    print(report.summary())
+    subset = check_dss_subset_of_css(cscw, recorded_run.cluster)
+    union = check_css_equals_union_of_dss(cscw, recorded_run.cluster)
+    print(f"Proposition 7.4 (DSS ⊆ CSS): {not subset}")
+    print(f"Proposition 7.2 (CSS_s = ⋃ DSS_si): {not union}")
+    assert report.ok and not subset and not union
+
+
+@pytest.mark.parametrize("protocol", ["css", "cscw", "classic"])
+def test_replay_cost_per_protocol(benchmark, recorded_run, protocol):
+    """Replaying the identical 36-op schedule on each protocol."""
+    clients = ["c1", "c2", "c3"]
+    cluster = benchmark(replay, protocol, recorded_run.schedule, clients)
+    assert cluster.documents() == recorded_run.documents()
+
+
+def test_behaviour_comparison_cost(benchmark, recorded_run):
+    clients = ["c1", "c2", "c3"]
+    cscw = replay("cscw", recorded_run.schedule, clients)
+    report = benchmark(
+        compare_protocols,
+        recorded_run.schedule,
+        {"css": recorded_run.cluster, "cscw": cscw},
+    )
+    assert report.ok

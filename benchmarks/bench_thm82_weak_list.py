@@ -1,0 +1,65 @@
+"""E9 — Theorem 8.2: Jupiter satisfies the weak list specification.
+
+Measures the weak-list checker (element conditions + pairwise state
+compatibility) on executions of growing size, plus the state-space lemma
+checks (unique LCA, pairwise compatibility of all states) that carry the
+paper's proof.
+"""
+
+import itertools
+
+import pytest
+
+from repro.model.abstract import abstract_from_execution
+from repro.specs import check_weak_list
+from repro.specs.list_order import compatible
+
+from benchmarks.conftest import print_banner, simulate
+
+
+def test_thm82_artifact(benchmark):
+    def regenerate():
+        result = simulate("css", clients=3, operations=30, seed=31)
+        abstract = abstract_from_execution(result.execution)
+        return result, check_weak_list(abstract)
+
+    result, verdict = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Theorem 8.2: weak list specification on a random run")
+    print(verdict.summary())
+    space = result.cluster.server.space
+    documents = [
+        tuple(space.node(key).document.read()) for key in space.states()
+    ]
+    incompatible = sum(
+        1
+        for first, second in itertools.combinations(documents, 2)
+        if compatible(list(first), list(second)) is not None
+    )
+    print(
+        f"Theorem 8.7: {len(documents)} states, "
+        f"{incompatible} incompatible pairs (must be 0)"
+    )
+    assert verdict.ok and incompatible == 0
+
+
+@pytest.mark.parametrize("operations", [10, 30, 60])
+def test_weak_list_checker_scaling(benchmark, operations):
+    result = simulate("css", clients=3, operations=operations, seed=31)
+    abstract = abstract_from_execution(result.execution)
+    verdict = benchmark(check_weak_list, abstract)
+    assert verdict.ok
+
+
+def test_lemma84_unique_lca(benchmark):
+    """LCA uniqueness verification over all state pairs of a run."""
+    result = simulate("css", clients=3, operations=16, seed=8)
+    space = result.cluster.server.space
+    states = space.states()
+
+    def verify():
+        return all(
+            len(space.lowest_common_ancestors(a, b)) == 1
+            for a, b in itertools.combinations(states, 2)
+        )
+
+    assert benchmark.pedantic(verify, rounds=2, iterations=1)

@@ -1,0 +1,78 @@
+"""E21 — wire metadata: what each Jupiter variant actually transmits.
+
+The CSS protocol ships *original* operations, whose contexts grow with
+history; CSCW/classic ship transformed operations (same context growth
+in our faithful encoding); the state-vector protocol ships two integers.
+This bench counts the context identifiers crossing the wire per
+operation — the bandwidth face of the §10 metadata-overhead question,
+and the practical reason deployed Jupiters use state vectors.
+"""
+
+import pytest
+
+from repro.jupiter.messages import ClientOperation, ServerOperation
+from repro.jupiter.vector import VectorMessage
+from repro.model.events import SendEvent
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+
+from benchmarks.conftest import print_banner
+
+
+def _wire_context_ids(execution) -> int:
+    """Total context identifiers shipped across all messages."""
+    total = 0
+    for event in execution:
+        if not isinstance(event, SendEvent):
+            continue
+        payload = event.message.payload
+        if isinstance(payload, (ClientOperation, ServerOperation)):
+            total += len(payload.operation.context)
+        elif isinstance(payload, VectorMessage):
+            total += len(payload.operation.context)  # always 0 (stripped)
+    return total
+
+
+def _run(protocol, operations):
+    config = WorkloadConfig(
+        clients=3, operations=operations, insert_ratio=0.7, seed=33
+    )
+    return SimulationRunner(
+        protocol, config, UniformLatency(0.01, 0.3, seed=33)
+    ).run()
+
+
+def test_wire_metadata_artifact(benchmark):
+    sizes = [10, 40, 80]
+    protocols = ["css", "cscw", "classic", "vector"]
+
+    def regenerate():
+        table = {}
+        for protocol in protocols:
+            table[protocol] = [
+                _wire_context_ids(_run(protocol, operations).execution)
+                for operations in sizes
+            ]
+        return table
+
+    table = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Context identifiers on the wire vs operation count")
+    header = f"{'protocol':<9}" + "".join(f"{n:>8}" for n in sizes)
+    print(header)
+    for protocol, row in table.items():
+        print(f"{protocol:<9}" + "".join(f"{v:>8}" for v in row))
+
+    # Shapes: context-shipping protocols grow superlinearly with history;
+    # the state-vector wire format ships zero context identifiers.
+    assert table["vector"] == [0, 0, 0]
+    css = table["css"]
+    assert css[0] < css[1] < css[2]
+    per_op_early = css[0] / sizes[0]
+    per_op_late = css[2] / sizes[2]
+    assert per_op_late > per_op_early  # contexts grow as history grows
+
+
+@pytest.mark.parametrize("protocol", ["css", "vector"])
+def test_wire_accounting_cost(benchmark, protocol):
+    result = _run(protocol, 40)
+    total = benchmark(_wire_context_ids, result.execution)
+    assert total >= 0

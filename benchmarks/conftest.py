@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a figure, a
+theorem check, or a systems measurement) and times the regeneration.
+Each module prints the artifact it reproduces once per session — run with
+``pytest benchmarks/ --benchmark-only -s`` to see the tables alongside
+the timing output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+
+
+def simulate(protocol: str, *, clients=3, operations=30, seed=0, **kwargs):
+    """One deterministic simulated run, used across benchmark modules."""
+    config = WorkloadConfig(
+        clients=clients, operations=operations, seed=seed, **kwargs
+    )
+    latency = UniformLatency(0.01, 0.4, seed=seed)
+    return SimulationRunner(protocol, config, latency).run()
+
+
+@pytest.fixture(scope="session")
+def medium_css_run():
+    """A mid-size CSS run shared by several benchmark modules."""
+    return simulate("css", clients=3, operations=40, seed=17)
+
+
+def print_banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Compare all six correct protocols on one workload.
+
+Runs CSS, CSCW, classic Jupiter, RGA, Logoot and WOOT on the same random
+editing workload and prints a comparison table: convergence, the
+specifications satisfied, OT effort, state-space/metadata footprint.
+
+This is the qualitative landscape the paper's related-work section paints:
+OT protocols (Jupiter family) satisfy the weak list specification; the
+RGA-style CRDTs satisfy the strong one; their costs differ in kind
+(transformations + state-spaces vs tombstones + identifiers).
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro.analysis import collect_metrics
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+from repro.sim.trace import check_all_specs
+
+PROTOCOLS = ["css", "cscw", "classic", "vector", "rga", "logoot", "woot", "treedoc"]
+
+
+def main() -> None:
+    workload = WorkloadConfig(
+        clients=3,
+        operations=45,
+        insert_ratio=0.6,
+        positions="uniform",
+        seed=99,
+    )
+
+    header = (
+        f"{'protocol':<9} {'converged':<10} {'weak':<6} {'strong':<7} "
+        f"{'OTs':>5} {'spaces':>7} {'nodes':>7} {'metadata':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for protocol in PROTOCOLS:
+        latency = UniformLatency(0.01, 0.4, seed=5)
+        result = SimulationRunner(protocol, workload, latency).run()
+        report = check_all_specs(result.execution)
+        metrics = collect_metrics(result.cluster, protocol)
+        print(
+            f"{protocol:<9} {str(result.converged):<10} "
+            f"{str(report.weak_list.ok):<6} {str(report.strong_list.ok):<7} "
+            f"{metrics.total_ot_count:>5} {metrics.total_spaces:>7} "
+            f"{metrics.total_space_nodes:>7} {metrics.total_crdt_metadata:>9}"
+        )
+
+    print(
+        "\nReading guide: the Jupiter family transforms operations "
+        "(OTs > 0)\nand maintains state-spaces (CSS: 1+n of them, CSCW: 2n); "
+        "the CRDTs\ntransform nothing but retain metadata (tombstones / "
+        "identifiers).\nAll correct protocols satisfy the weak list "
+        "specification; the\nstrong one holds for the CRDTs by design and "
+        "for Jupiter only by luck\n(Theorem 8.1 — see "
+        "examples/specification_anatomy.py)."
+    )
+
+
+if __name__ == "__main__":
+    main()

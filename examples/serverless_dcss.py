@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The decentralised CSS protocol (the paper's §10 future work), live.
+
+Runs the same random editing workload twice:
+
+* on classic client/server CSS, and
+* on dCSS — a full mesh of peers, no server, with the total order coming
+  from Lamport timestamps and a TIBOT-style stability rule instead of a
+  central serialiser.
+
+Shows that the correctness story carries over unchanged (convergence,
+identical n-ary state-spaces at every peer, the weak list specification)
+and what it costs: acknowledgement traffic and stability latency.
+
+Run:  python examples/serverless_dcss.py
+"""
+
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+from repro.sim.p2p import P2PSimulationRunner
+from repro.sim.trace import check_all_specs
+
+
+def main() -> None:
+    workload = WorkloadConfig(
+        clients=4,
+        operations=40,
+        insert_ratio=0.7,
+        positions="hotspot",
+        seed=321,
+    )
+    latency = UniformLatency(0.02, 0.3, seed=11)
+
+    print("Running 40 operations / 4 replicas on client-server CSS...")
+    css = SimulationRunner("css", workload, latency).run()
+    print(
+        f"  converged={css.converged}  messages={css.messages_delivered}  "
+        f"duration={css.duration:.2f}s"
+    )
+
+    print("Running the identical workload on serverless dCSS...")
+    dcss = P2PSimulationRunner(
+        workload, UniformLatency(0.02, 0.3, seed=11)
+    ).run()
+    print(
+        f"  converged={dcss.converged}  messages={dcss.messages_delivered}  "
+        f"duration={dcss.duration:.2f}s"
+    )
+    print(
+        "  all peers share one n-ary ordered state-space:",
+        dcss.cluster.state_spaces_identical(),
+    )
+
+    print("\nSpecification verdicts for the dCSS run:")
+    report = check_all_specs(dcss.execution)
+    print(report.summary())
+
+    print(
+        "\nThe price of removing the server: "
+        f"{dcss.messages_delivered} messages vs {css.messages_delivered} "
+        "(operation broadcasts plus stability acknowledgements), in "
+        "exchange for no central point of failure — and Theorem 8.2's "
+        "weak-list guarantee survives the move unchanged."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim so `python setup.py develop` works offline.
+
+The environment has no `wheel` package, so PEP 660 editable installs fail;
+`setup.py develop` provides the equivalent editable install without wheels.
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,26 @@
+"""repro — a reproduction of "The Jupiter Protocol Revisited" (PODC 2018).
+
+The package implements, from scratch:
+
+* the formal framework for specifying replicated data types (abstract
+  executions, visibility, happens-before / totally-before relations);
+* the three replicated-list specifications (convergence, strong list,
+  weak list) as executable checkers;
+* the CSCW Jupiter protocol (2D state-spaces), the paper's new CSS Jupiter
+  protocol (a single n-ary ordered state-space), a classic buffer-based
+  Jupiter, and a deliberately broken OT protocol used as a counterexample;
+* CRDT baselines (RGA, Logoot, WOOT);
+* a deterministic discrete-event simulator with FIFO channels, workload
+  generators, and trace collection, used to drive every experiment.
+
+Typical entry points::
+
+    from repro.sim import SimulationRunner
+    from repro.specs import check_convergence, check_weak_list
+
+See ``examples/quickstart.py`` for an end-to-end tour.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

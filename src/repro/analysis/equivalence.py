@@ -1,0 +1,162 @@
+"""Executable versions of the paper's structural theorems.
+
+* Proposition 6.6 (compactness): all CSS replicas that processed the same
+  operations hold the *same* n-ary ordered state-space;
+* Proposition 7.2: the server's CSS space equals the union of the
+  server-side 2D spaces of the CSCW protocol;
+* Proposition 7.4: each CSCW client's DSS is contained in the
+  corresponding CSS client's space;
+* Theorem 7.1: replica behaviours coincide across protocols under the
+  same schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.jupiter.cluster import Cluster
+from repro.model.schedule import Schedule
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of one cross-protocol comparison."""
+
+    schedule_steps: int
+    failures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        if self.ok:
+            return f"equivalent over {self.schedule_steps} schedule steps"
+        return "NOT equivalent:\n" + "\n".join(
+            f"  - {failure}" for failure in self.failures
+        )
+
+
+def compare_protocols(
+    schedule: Schedule,
+    clusters: Dict[str, Cluster],
+) -> EquivalenceReport:
+    """Theorem 7.1: same schedule, same per-replica behaviours.
+
+    ``clusters`` maps protocol names to clusters that already ran
+    ``schedule``.  Behaviours are compared as (action, document) sequences
+    per replica — Definition 2.5's alternation of events and states, with
+    states shown through the documents they induce.
+    """
+    report = EquivalenceReport(schedule_steps=len(schedule))
+    names = sorted(clusters)
+    reference_name = names[0]
+    reference = clusters[reference_name]
+
+    def behaviour(cluster: Cluster):
+        return {
+            replica: [(entry.action, entry.document) for entry in entries]
+            for replica, entries in cluster.behaviors.items()
+        }
+
+    expected = behaviour(reference)
+    for name in names[1:]:
+        actual = behaviour(clusters[name])
+        if set(actual) != set(expected):
+            report.failures.append(
+                f"{name}: replica sets differ from {reference_name}"
+            )
+            continue
+        for replica in expected:
+            if actual[replica] != expected[replica]:
+                report.failures.append(
+                    f"{name}: behaviour of {replica} differs from "
+                    f"{reference_name} "
+                    f"({actual[replica][-1:]} vs {expected[replica][-1:]})"
+                )
+    return report
+
+
+def check_css_compactness(cluster: Cluster) -> List[str]:
+    """Proposition 6.6 on a quiescent CSS cluster.
+
+    Returns human-readable failures (empty list = the proposition holds).
+    """
+    failures: List[str] = []
+    server_space = getattr(cluster.server, "space", None)
+    if server_space is None:
+        return ["cluster is not running the CSS protocol"]
+    for name, client in cluster.clients.items():
+        if not client.space.same_structure(server_space):
+            failures.append(
+                f"client {name}'s state-space differs from the server's"
+            )
+    return failures
+
+
+def check_dss_subset_of_css(
+    cscw_cluster: Cluster, css_cluster: Cluster
+) -> List[str]:
+    """Proposition 7.4: ``DSS_ci ⊆ CSS_ci`` under the same schedule."""
+    failures: List[str] = []
+    for name, cscw_client in cscw_cluster.clients.items():
+        css_client = css_cluster.clients.get(name)
+        if css_client is None:
+            failures.append(f"CSS cluster lacks client {name}")
+            continue
+        if not css_client.space.contains_structure(cscw_client.space):
+            failures.append(f"DSS of {name} is not contained in its CSS space")
+    return failures
+
+
+def check_css_equals_union_of_dss(
+    cscw_cluster: Cluster, css_cluster: Cluster
+) -> List[str]:
+    """Proposition 7.2: ``CSS_s = ⋃_i DSS_si`` under the same schedule.
+
+    Union is taken over states and (unordered) transitions of the
+    server-side 2D spaces; the CSS server space must have exactly those
+    states and transitions.
+    """
+    failures: List[str] = []
+    css_space = getattr(css_cluster.server, "space", None)
+    dss_spaces = getattr(cscw_cluster.server, "spaces", None)
+    if css_space is None or dss_spaces is None:
+        return ["clusters are not CSS / CSCW respectively"]
+
+    union_states = set()
+    union_edges = set()
+    for space in dss_spaces.values():
+        signature = space.signature()
+        union_states.update(signature)
+        for key, edges in signature.items():
+            for edge in edges:
+                union_edges.add((key, edge))
+
+    css_signature = css_space.signature()
+    css_states = set(css_signature)
+    css_edges = {
+        (key, edge) for key, edges in css_signature.items() for edge in edges
+    }
+    if css_states != union_states:
+        missing = union_states - css_states
+        extra = css_states - union_states
+        failures.append(
+            f"state sets differ: union-only={len(missing)}, "
+            f"css-only={len(extra)}"
+        )
+    if css_edges != union_edges:
+        missing = union_edges - css_edges
+        extra = css_edges - union_edges
+        failures.append(
+            f"transition sets differ: union-only={len(missing)}, "
+            f"css-only={len(extra)}"
+        )
+    return failures
+
+
+def final_documents_agree(clusters: Sequence[Cluster]) -> bool:
+    """All clusters ended with identical per-replica documents."""
+    documents = [cluster.documents() for cluster in clusters]
+    return all(docs == documents[0] for docs in documents[1:])

@@ -1,0 +1,77 @@
+"""Per-run metrics: OT counts, state-space sizes, metadata overheads.
+
+These quantify the paper's qualitative claims: the CSS protocol's single
+n-ary state-space versus CSCW's ``2n`` 2D state-spaces (Proposition 6.6),
+and the §10 future-work question about metadata overhead, which we extend
+to the CRDT baselines (tombstones, identifier growth).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.ids import ReplicaId
+from repro.jupiter.cluster import Cluster
+
+
+@dataclass
+class ClusterMetrics:
+    """Everything measurable about one finished cluster run."""
+
+    protocol: str
+    replicas: int = 0
+    #: pairwise OTs performed, per replica (state-space protocols only).
+    ot_counts: Dict[ReplicaId, int] = field(default_factory=dict)
+    #: state-space nodes, per replica (CSS: one space; CSCW server: sum).
+    space_nodes: Dict[ReplicaId, int] = field(default_factory=dict)
+    #: state-space transitions, per replica.
+    space_transitions: Dict[ReplicaId, int] = field(default_factory=dict)
+    #: number of distinct state-space objects maintained, per replica.
+    spaces_maintained: Dict[ReplicaId, int] = field(default_factory=dict)
+    #: CRDT metadata units (tombstones / identifier components).
+    crdt_metadata: Dict[ReplicaId, int] = field(default_factory=dict)
+    document_length: int = 0
+
+    @property
+    def total_ot_count(self) -> int:
+        return sum(self.ot_counts.values())
+
+    @property
+    def total_space_nodes(self) -> int:
+        return sum(self.space_nodes.values())
+
+    @property
+    def total_spaces(self) -> int:
+        return sum(self.spaces_maintained.values())
+
+    @property
+    def total_crdt_metadata(self) -> int:
+        return sum(self.crdt_metadata.values())
+
+
+def _space_stats(metrics: ClusterMetrics, replica: ReplicaId, spaces) -> None:
+    metrics.spaces_maintained[replica] = len(spaces)
+    metrics.ot_counts[replica] = sum(s.ot_count for s in spaces)
+    metrics.space_nodes[replica] = sum(s.node_count() for s in spaces)
+    metrics.space_transitions[replica] = sum(
+        s.transition_count() for s in spaces
+    )
+
+
+def collect_metrics(cluster: Cluster, protocol: Optional[str] = None) -> ClusterMetrics:
+    """Harvest metrics from a cluster after a run."""
+    metrics = ClusterMetrics(protocol=protocol or type(cluster.server).__name__)
+    replicas = [cluster.server, *cluster.clients.values()]
+    metrics.replicas = len(replicas)
+    metrics.document_length = len(cluster.server.document)
+
+    for replica in replicas:
+        name = replica.replica_id
+        if hasattr(replica, "space"):
+            _space_stats(metrics, name, [replica.space])
+        elif hasattr(replica, "spaces"):
+            _space_stats(metrics, name, list(replica.spaces.values()))
+        if hasattr(replica, "crdt"):
+            metrics.crdt_metadata[name] = replica.crdt.metadata_size()
+    return metrics

@@ -1,0 +1,87 @@
+"""ASCII rendering of state-spaces and replica behaviours.
+
+The paper communicates the CSS protocol through pictures of n-ary ordered
+state-spaces (Figures 3, 4, 6, 7); these helpers print the same artifacts
+so the scenario benchmarks can regenerate the figures textually.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.ids import format_opid_set
+from repro.jupiter.cluster import Cluster
+from repro.jupiter.state_space import BaseStateSpace
+
+
+def render_nary_space(space: BaseStateSpace, title: str = "") -> str:
+    """One line per state: key, document, and ordered child transitions.
+
+    States are sorted by depth (key size) then key, mirroring how the
+    paper's figures grow downward from ``σ0 = {0}``.
+    """
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for key in sorted(space.states(), key=lambda k: (len(k), sorted(k))):
+        node = space.node(key)
+        children = ", ".join(
+            f"{t.operation}" for t in node.children
+        )
+        lines.append(
+            f"  {format_opid_set(key):<30} "
+            f"w={node.document.as_string()!r:<12} "
+            f"children=[{children}]"
+        )
+    return "\n".join(lines)
+
+
+def render_behavior(cluster: Cluster, replica: str) -> str:
+    """A replica's behaviour as ``action(document)`` steps — the paths
+    through the shared state-space shown by Figure 4's thick lines."""
+    entries = cluster.behaviors.get(replica, [])
+    steps = [f"{entry.action}->{entry.document!r}" for entry in entries]
+    return f"{replica}: " + " ; ".join(steps)
+
+
+def render_documents(cluster: Cluster) -> str:
+    """Final documents at every replica, one per line."""
+    return "\n".join(
+        f"  {name}: {doc!r}" for name, doc in sorted(cluster.documents().items())
+    )
+
+
+def to_dot(space: BaseStateSpace, name: str = "state_space") -> str:
+    """Graphviz DOT rendering of a state-space.
+
+    Nodes are states (labelled with their key and document); edges are
+    transitions labelled with operations, numbered by sibling order so
+    the n-ary ordering is visible in the drawing.  Paste the output into
+    any Graphviz viewer; no external dependency is needed to produce it.
+    """
+
+    def node_id(key) -> str:
+        if not key:
+            return "s0"
+        return "s_" + "_".join(
+            f"{opid.replica}{opid.seq}" for opid in sorted(key)
+        )
+
+    lines = [f"digraph {name} {{", "  rankdir=TB;", "  node [shape=box];"]
+    for key in sorted(space.states(), key=lambda k: (len(k), sorted(k))):
+        node = space.node(key)
+        label = (
+            f"{format_opid_set(key)}\\n"
+            f"w={node.document.as_string()!r}"
+        ).replace('"', '\\"')
+        lines.append(f'  {node_id(key)} [label="{label}"];')
+    for key in space.states():
+        node = space.node(key)
+        for order, transition in enumerate(node.children, start=1):
+            label = str(transition.operation).replace('"', '\\"')
+            lines.append(
+                f"  {node_id(transition.source)} -> "
+                f'{node_id(transition.target)} [label="{order}: {label}"];'
+            )
+    lines.append("}")
+    return "\n".join(lines)

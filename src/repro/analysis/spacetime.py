@@ -1,0 +1,91 @@
+"""ASCII space-time diagrams of executions (the paper's Figure 2).
+
+A schedule is depicted as a "space-time diagram" (Definition 4.7): one
+column per replica, time flowing downward, with generation, send, receive
+and read events marked per replica.  This module renders a recorded
+:class:`~repro.model.execution.Execution` in that style, so the harness
+can print the *schedule* figures of the paper next to the state-space
+figures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.ids import ReplicaId
+from repro.model.events import DoEvent, ReceiveEvent, SendEvent
+from repro.model.execution import Execution
+
+_COLUMN_WIDTH = 14
+
+
+def _cell(text: str) -> str:
+    if len(text) > _COLUMN_WIDTH - 1:
+        text = text[: _COLUMN_WIDTH - 2] + "…"
+    return text.ljust(_COLUMN_WIDTH)
+
+
+def _label(event) -> Optional[str]:
+    if isinstance(event, DoEvent):
+        if event.is_read:
+            return f"read {event.returned_string()!r}"
+        return f"do {event.operation}"
+    if isinstance(event, SendEvent):
+        return f"send>{event.message.recipient}"
+    if isinstance(event, ReceiveEvent):
+        return f"recv<{event.message.sender}"
+    return None
+
+
+def render_spacetime(
+    execution: Execution,
+    replicas: Optional[Sequence[ReplicaId]] = None,
+    include_sends: bool = False,
+    include_reads: bool = False,
+) -> str:
+    """One row per rendered event, columns per replica, time downward.
+
+    By default only the *interesting* rows are shown — operation
+    generations and message receipts — which matches what the paper's
+    Figure 2 depicts; sends and reads can be included for debugging.
+    """
+    columns: List[ReplicaId] = list(replicas or execution.replicas())
+    index: Dict[ReplicaId, int] = {name: i for i, name in enumerate(columns)}
+
+    header = "".join(_cell(name) for name in columns)
+    ruler = "".join(_cell("|") for _ in columns)
+    rows = [header, ruler]
+    for event in execution:
+        if event.replica not in index:
+            continue
+        if isinstance(event, SendEvent) and not include_sends:
+            continue
+        if (
+            isinstance(event, DoEvent)
+            and event.is_read
+            and not include_reads
+        ):
+            continue
+        label = _label(event)
+        if label is None:
+            continue
+        cells = ["|"] * len(columns)
+        cells[index[event.replica]] = label
+        rows.append("".join(_cell(cell) for cell in cells))
+    return "\n".join(rows)
+
+
+def spacetime_summary(execution: Execution) -> Dict[ReplicaId, Dict[str, int]]:
+    """Event counts per replica, for quick schedule characterisation."""
+    summary: Dict[ReplicaId, Dict[str, int]] = {}
+    for event in execution:
+        bucket = summary.setdefault(
+            event.replica, {"do": 0, "send": 0, "receive": 0}
+        )
+        if isinstance(event, DoEvent):
+            bucket["do"] += 1
+        elif isinstance(event, SendEvent):
+            bucket["send"] += 1
+        elif isinstance(event, ReceiveEvent):
+            bucket["receive"] += 1
+    return summary

@@ -1,0 +1,426 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures [name ...]`` — regenerate the paper's figures (1, 2, 6, 7, 8)
+  and print their artifacts;
+* ``simulate`` — run one protocol under a random workload and report
+  convergence, specification verdicts, metrics and propagation latency;
+* ``compare`` — run every correct protocol on an identical workload and
+  print the comparison table;
+* ``equivalence`` — record a CSS schedule, replay it on CSCW and classic
+  Jupiter, and check Theorem 7.1 plus Propositions 7.2/7.4;
+* ``verify`` — exhaustive CP1 plus every schedule of a small script,
+  per protocol;
+* ``report`` — run the experiment suite and emit a Markdown report;
+* ``record`` / ``replay`` — persist a schedule as JSON and replay it
+  against any protocol;
+* ``fuzz`` — random configurations checked against each protocol's
+  guarantees;
+* ``dcss`` — run the decentralised CSS extension on a peer-to-peer mesh.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+LATENCY_PRESETS = ("lan", "wan", "flaky")
+
+
+def _latency(preset: str, seed: int):
+    from repro.sim import FixedLatency, UniformLatency
+
+    if preset == "lan":
+        return FixedLatency(0.002)
+    if preset == "wan":
+        return UniformLatency(0.05, 0.25, seed=seed)
+    return UniformLatency(0.05, 2.0, seed=seed)
+
+
+def _workload(args) -> "object":
+    from repro.sim import WorkloadConfig
+
+    return WorkloadConfig(
+        clients=args.clients,
+        operations=args.operations,
+        insert_ratio=args.insert_ratio,
+        positions=args.positions,
+        seed=args.seed,
+    )
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_figures(args) -> int:
+    from repro.analysis.render import render_documents, render_nary_space
+    from repro.scenarios import figure1, figure2, figure6, figure7, figure8, run_scenario
+    from repro.sim.trace import check_all_specs
+
+    available = {
+        "figure1": figure1,
+        "figure2": figure2,
+        "figure6": figure6,
+        "figure7": figure7,
+        "figure8": figure8,
+    }
+    names = args.names or sorted(available)
+    for name in names:
+        factory = available.get(name)
+        if factory is None:
+            print(f"unknown figure {name!r}; available: {sorted(available)}")
+            return 2
+        scenario = factory()
+        cluster, execution = run_scenario(scenario)
+        print("=" * 70)
+        print(f"{scenario.paper_figure}  [{scenario.name}]")
+        print("=" * 70)
+        if scenario.notes:
+            print(scenario.notes)
+        print("\nFinal documents:")
+        print(render_documents(cluster))
+        if hasattr(cluster.server, "space"):
+            print("\nState-space:")
+            print(render_nary_space(cluster.server.space))
+        report = check_all_specs(execution, initial_text=scenario.initial_text)
+        print("\nSpecification verdicts:")
+        print(report.summary())
+        print()
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.analysis import collect_metrics
+    from repro.analysis.latency import propagation_stats
+    from repro.sim import SimulationRunner
+    from repro.sim.trace import check_all_specs
+
+    runner = SimulationRunner(
+        args.protocol,
+        _workload(args),
+        _latency(args.latency, args.seed),
+        initial_text=args.initial,
+    )
+    result = runner.run()
+    print(f"protocol:  {args.protocol}")
+    print(f"converged: {result.converged}")
+    print(f"document:  {result.documents()['s']!r}")
+    print(f"duration:  {result.duration:.3f}s simulated, "
+          f"{result.messages_delivered} messages")
+    print(f"latency:   {propagation_stats(result)}")
+    metrics = collect_metrics(result.cluster, args.protocol)
+    print(
+        f"metrics:   OTs={metrics.total_ot_count} "
+        f"spaces={metrics.total_spaces} "
+        f"space-nodes={metrics.total_space_nodes} "
+        f"crdt-metadata={metrics.total_crdt_metadata}"
+    )
+    report = check_all_specs(result.execution, initial_text=args.initial)
+    print(report.summary())
+    return 0 if result.converged else 1
+
+
+def cmd_compare(args) -> int:
+    from repro.analysis import collect_metrics
+    from repro.sim import SimulationRunner
+    from repro.sim.trace import check_all_specs
+
+    protocols = args.protocols or [
+        "css", "cscw", "classic", "vector",
+        "rga", "logoot", "woot", "treedoc",
+    ]
+    print(
+        f"{'protocol':<9} {'converged':<10} {'weak':<6} {'strong':<7} "
+        f"{'OTs':>6} {'spaces':>7} {'nodes':>7} {'metadata':>9}"
+    )
+    failures = 0
+    for protocol in protocols:
+        runner = SimulationRunner(
+            protocol, _workload(args), _latency(args.latency, args.seed)
+        )
+        result = runner.run()
+        report = check_all_specs(result.execution)
+        metrics = collect_metrics(result.cluster, protocol)
+        print(
+            f"{protocol:<9} {str(result.converged):<10} "
+            f"{str(report.weak_list.ok):<6} {str(report.strong_list.ok):<7} "
+            f"{metrics.total_ot_count:>6} {metrics.total_spaces:>7} "
+            f"{metrics.total_space_nodes:>7} {metrics.total_crdt_metadata:>9}"
+        )
+        if not (result.converged and report.weak_list.ok):
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def cmd_equivalence(args) -> int:
+    from repro.analysis.equivalence import (
+        check_css_compactness,
+        check_css_equals_union_of_dss,
+        check_dss_subset_of_css,
+        compare_protocols,
+    )
+    from repro.sim import SimulationRunner
+    from repro.sim.runner import replay
+
+    config = _workload(args)
+    result = SimulationRunner(
+        "css", config, _latency(args.latency, args.seed)
+    ).run()
+    clusters = {"css": result.cluster}
+    for protocol in ("cscw", "classic"):
+        clusters[protocol] = replay(
+            protocol, result.schedule, config.client_names()
+        )
+    report = compare_protocols(result.schedule, clusters)
+    print("Theorem 7.1:", report.summary())
+    compact = check_css_compactness(result.cluster)
+    subset = check_dss_subset_of_css(clusters["cscw"], result.cluster)
+    union = check_css_equals_union_of_dss(clusters["cscw"], result.cluster)
+    print(f"Proposition 6.6 (compactness):      {'OK' if not compact else compact}")
+    print(f"Proposition 7.4 (DSS ⊆ CSS):        {'OK' if not subset else subset}")
+    print(f"Proposition 7.2 (CSS = ⋃ DSS):      {'OK' if not union else union}")
+    ok = report.ok and not compact and not subset and not union
+    return 0 if ok else 1
+
+
+def cmd_verify(args) -> int:
+    from repro.model.schedule import OpSpec
+    from repro.verify import exhaustive_cp1, explore_all_schedules
+
+    cp1 = exhaustive_cp1(max_length=args.max_length)
+    print(cp1.summary())
+    script = {
+        "c1": [OpSpec("ins", 0, "a")],
+        "c2": [OpSpec("ins", 0, "b")],
+    }
+    failures = 0 if cp1.ok else 1
+    for protocol in ("css", "cscw", "classic", "vector", "broken"):
+        census = explore_all_schedules(
+            script, protocol, max_runs=args.max_runs
+        )
+        print(census.summary())
+        if not census.ok:
+            failures += 1
+    return 0 if failures == 0 else 1
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import build_report, report_is_clean
+
+    markdown = build_report(operations=args.operations, seed=args.seed)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(markdown)
+    return 0 if report_is_clean(markdown) else 1
+
+
+def cmd_record(args) -> int:
+    from repro.model.schedule_io import save_schedule
+    from repro.sim import SimulationRunner
+
+    config = _workload(args)
+    result = SimulationRunner(
+        "css", config, _latency(args.latency, args.seed)
+    ).run()
+    save_schedule(
+        result.schedule,
+        args.out,
+        metadata={
+            "clients": config.client_names(),
+            "operations": config.operations,
+            "seed": config.seed,
+            "latency": args.latency,
+            "document": result.documents()["s"],
+        },
+    )
+    print(
+        f"recorded {len(result.schedule)} steps "
+        f"({config.operations} operations) to {args.out}"
+    )
+    print(f"final document: {result.documents()['s']!r}")
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.model.schedule_io import load_metadata, load_schedule
+    from repro.sim.runner import replay as replay_schedule
+    from repro.sim.trace import check_all_specs
+
+    schedule = load_schedule(args.path)
+    metadata = load_metadata(args.path)
+    clients = metadata.get("clients") or schedule.clients()
+    cluster = replay_schedule(args.protocol, schedule, clients)
+    documents = cluster.documents()
+    print(f"replayed {len(schedule)} steps on {args.protocol}")
+    print(f"final document: {documents['s']!r}")
+    expected = metadata.get("document")
+    if expected is not None:
+        match = documents["s"] == expected
+        print(f"matches recorded document: {match}")
+    report = check_all_specs(cluster.recorder.finish())
+    print(report.summary())
+    return 0 if len(set(documents.values())) == 1 else 1
+
+
+def cmd_fuzz(args) -> int:
+    from repro.sim.fuzz import fuzz
+
+    report = fuzz(cases=args.cases, seed=args.seed, protocols=args.protocols)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_dcss(args) -> int:
+    from repro.sim.p2p import P2PSimulationRunner
+    from repro.sim.trace import check_all_specs
+
+    runner = P2PSimulationRunner(
+        _workload(args), _latency(args.latency, args.seed)
+    )
+    result = runner.run()
+    print(f"peers:     {args.clients}")
+    print(f"converged: {result.converged}")
+    print(f"document:  {result.documents()[sorted(result.documents())[0]]!r}")
+    print(
+        f"duration:  {result.duration:.3f}s simulated, "
+        f"{result.messages_delivered} messages (operations + stability acks)"
+    )
+    print(
+        "state-spaces identical: "
+        f"{result.cluster.state_spaces_identical()}"
+    )
+    report = check_all_specs(result.execution)
+    print(report.summary())
+    return 0 if result.converged else 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--clients", type=int, default=3)
+    parser.add_argument("--operations", type=int, default=30)
+    parser.add_argument("--insert-ratio", type=float, default=0.7)
+    parser.add_argument(
+        "--positions",
+        choices=("uniform", "append", "hotspot"),
+        default="uniform",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--latency", choices=LATENCY_PRESETS, default="wan"
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Replicated-list / Jupiter protocol reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figures = commands.add_parser(
+        "figures", help="regenerate the paper's figures"
+    )
+    figures.add_argument("names", nargs="*", help="figure1 figure2 ...")
+    figures.set_defaults(handler=cmd_figures)
+
+    simulate = commands.add_parser(
+        "simulate", help="run one protocol under a random workload"
+    )
+    simulate.add_argument(
+        "--protocol",
+        default="css",
+        choices=(
+            "css", "css-gc", "cscw", "classic", "vector", "broken",
+            "rga", "logoot", "woot", "treedoc",
+        ),
+    )
+    simulate.add_argument("--initial", default="", help="initial document")
+    _add_workload_arguments(simulate)
+    simulate.set_defaults(handler=cmd_simulate)
+
+    compare = commands.add_parser(
+        "compare", help="run all protocols on one identical workload"
+    )
+    compare.add_argument("--protocols", nargs="*", default=None)
+    _add_workload_arguments(compare)
+    compare.set_defaults(handler=cmd_compare)
+
+    equivalence = commands.add_parser(
+        "equivalence", help="Theorem 7.1 / Propositions 6.6, 7.2, 7.4"
+    )
+    _add_workload_arguments(equivalence)
+    equivalence.set_defaults(handler=cmd_equivalence)
+
+    dcss = commands.add_parser(
+        "dcss", help="run the decentralised CSS extension"
+    )
+    _add_workload_arguments(dcss)
+    dcss.set_defaults(handler=cmd_dcss)
+
+    verify = commands.add_parser(
+        "verify",
+        help="exhaustive CP1 + all schedules of a small script, per protocol",
+    )
+    verify.add_argument("--max-length", type=int, default=4)
+    verify.add_argument("--max-runs", type=int, default=50_000)
+    verify.set_defaults(handler=cmd_verify)
+
+    report = commands.add_parser(
+        "report", help="run the experiment suite and emit a Markdown report"
+    )
+    report.add_argument("--out", default=None, help="output path (stdout if omitted)")
+    report.add_argument("--operations", type=int, default=30)
+    report.add_argument("--seed", type=int, default=0)
+    report.set_defaults(handler=cmd_report)
+
+    record = commands.add_parser(
+        "record", help="record a schedule to a JSON file"
+    )
+    record.add_argument("--out", required=True, help="output path")
+    _add_workload_arguments(record)
+    record.set_defaults(handler=cmd_record)
+
+    replay = commands.add_parser(
+        "replay", help="replay a recorded schedule on a protocol"
+    )
+    replay.add_argument("path", help="schedule JSON produced by 'record'")
+    replay.add_argument(
+        "--protocol",
+        default="css",
+        choices=(
+            "css", "css-gc", "cscw", "classic", "broken",
+            "rga", "logoot", "woot", "treedoc",
+        ),
+    )
+    replay.set_defaults(handler=cmd_replay)
+
+    fuzz = commands.add_parser(
+        "fuzz", help="random configurations checked against the specs"
+    )
+    fuzz.add_argument("--cases", type=int, default=25)
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--protocols", nargs="*", default=None)
+    fuzz.set_defaults(handler=cmd_fuzz)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Shared low-level building blocks: identifiers, priorities, utilities."""
+
+from repro.common.ids import (
+    EMPTY_STATE,
+    SERVER_ID,
+    OpId,
+    ReplicaId,
+    SeqGenerator,
+    SerialCounter,
+    SerialNumber,
+    StateKey,
+    format_opid_set,
+)
+from repro.common.priority import Priority, priority_of
+
+__all__ = [
+    "EMPTY_STATE",
+    "SERVER_ID",
+    "OpId",
+    "ReplicaId",
+    "SeqGenerator",
+    "SerialCounter",
+    "SerialNumber",
+    "StateKey",
+    "format_opid_set",
+    "Priority",
+    "priority_of",
+]

@@ -1,0 +1,43 @@
+"""Replica priorities used to break ties between concurrent inserts.
+
+Two concurrent insertions at the same position must be ordered
+deterministically for the transformation functions to satisfy CP1
+(Definition 4.4).  Following the convention in the paper's Figure 7
+("we assume that client with a larger id has a higher priority"), the
+priority of a replica is derived from its identifier; an insert by a
+higher-priority replica ends up *to the left of* (before) a concurrent
+equal-position insert by a lower-priority replica.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Tuple
+
+from repro.common.ids import ReplicaId
+
+#: A priority is an arbitrary-but-total comparable key.  Bigger = higher.
+Priority = Tuple[int, str]
+
+_TRAILING_INT = re.compile(r"^(.*?)(\d+)$")
+
+
+def priority_of(replica: ReplicaId) -> Priority:
+    """Derive the tie-breaking priority of a replica from its name.
+
+    Names of the form ``<prefix><number>`` (e.g. ``"c3"``) compare first by
+    the numeric suffix so that ``c10`` outranks ``c2``, matching the
+    paper's "larger id has a higher priority" convention.  Names without a
+    numeric suffix compare lexicographically after all numbered names with
+    the same numeric component (0).
+
+    >>> priority_of("c3") > priority_of("c2")
+    True
+    >>> priority_of("c10") > priority_of("c9")
+    True
+    """
+    match = _TRAILING_INT.match(replica)
+    if match:
+        prefix, digits = match.groups()
+        return (int(digits), prefix)
+    return (0, replica)

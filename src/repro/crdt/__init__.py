@@ -1,0 +1,49 @@
+"""CRDT baselines for the replicated list (Section 9, related work).
+
+The paper contrasts OT-based Jupiter with CRDT protocols; the key baseline
+is the RGA variant of Attiya et al. (PODC'16), which satisfies the
+*strong* list specification that Jupiter violates.  We implement three:
+
+* :mod:`repro.crdt.rga` — Replicated Growable Array (timestamped
+  insertion tree with tombstones);
+* :mod:`repro.crdt.logoot` — dense position identifiers, tombstone-free;
+* :mod:`repro.crdt.woot` — WithOut Operational Transformation (character
+  graph with visibility flags).
+
+All three run in the same client/server star as the Jupiter protocols:
+the server is a pure serialising relay (CRDT operations commute, so the
+relay exists only to provide the FIFO causal broadcast the CRDTs assume
+and to keep the simulation harness uniform).
+"""
+
+from repro.crdt.base import (
+    CrdtClient,
+    CrdtClientMessage,
+    CrdtRelayServer,
+    CrdtServerMessage,
+    ReplicatedListCrdt,
+)
+from repro.crdt.logoot import LogootClient, LogootList, LogootServer
+from repro.crdt.rga import RgaClient, RgaList, RgaServer
+from repro.crdt.treedoc import TreedocClient, TreedocList, TreedocServer
+from repro.crdt.woot import WootClient, WootList, WootServer
+
+__all__ = [
+    "CrdtClient",
+    "CrdtClientMessage",
+    "CrdtRelayServer",
+    "CrdtServerMessage",
+    "ReplicatedListCrdt",
+    "LogootClient",
+    "LogootList",
+    "LogootServer",
+    "RgaClient",
+    "RgaList",
+    "RgaServer",
+    "TreedocClient",
+    "TreedocList",
+    "TreedocServer",
+    "WootClient",
+    "WootList",
+    "WootServer",
+]

@@ -1,0 +1,174 @@
+"""Plumbing that lets CRDT replicas run inside the Jupiter harness.
+
+A :class:`ReplicatedListCrdt` provides the list semantics; the
+:class:`CrdtClient` adapts it to the cluster's
+:class:`~repro.jupiter.base.BaseClient` interface, producing both the
+CRDT-internal operation (for peers) and the abstract ``Ins``/``Del``
+:class:`~repro.ot.operations.Operation` that the execution model and the
+specification checkers consume.  The :class:`CrdtRelayServer` plays the
+Jupiter server's structural role — FIFO serialising broadcast — but never
+transforms anything: CRDT operations commute by design.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.common.ids import ReplicaId
+from repro.document.elements import Element
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.jupiter.base import BaseClient, BaseServer, GenerateResult, ReceiveResult
+from repro.jupiter.ordering import ServerOrderOracle
+from repro.model.schedule import OpSpec
+from repro.ot.operations import Operation, delete as make_delete, insert as make_insert
+
+
+class ReplicatedListCrdt(abc.ABC):
+    """A list CRDT replica: local updates return ops, remote ops apply."""
+
+    @abc.abstractmethod
+    def local_insert(self, opid, value, position: int) -> Any:
+        """Insert locally at visible ``position``; return the remote op."""
+
+    @abc.abstractmethod
+    def local_delete(self, opid, position: int) -> Any:
+        """Delete the visible element at ``position``; return the op."""
+
+    @abc.abstractmethod
+    def apply_remote(self, remote_op: Any) -> None:
+        """Apply an operation generated elsewhere (causally ready)."""
+
+    @abc.abstractmethod
+    def read(self) -> Tuple[Element, ...]:
+        """The visible list contents."""
+
+    @abc.abstractmethod
+    def seed(self, elements: Tuple[Element, ...]) -> None:
+        """Install a shared initial document (deterministic across
+        replicas: every replica seeds identically before the run)."""
+
+    @abc.abstractmethod
+    def metadata_size(self) -> int:
+        """Number of metadata units retained (tombstones, identifier
+        components, ...) — used by the overhead benchmarks."""
+
+
+@dataclass(frozen=True)
+class CrdtClientMessage:
+    """Client-to-server: the CRDT op plus its abstract description."""
+
+    remote_op: Any
+    abstract_op: Operation
+
+
+@dataclass(frozen=True)
+class CrdtServerMessage:
+    """Server broadcast of one serialised CRDT operation."""
+
+    remote_op: Any
+    abstract_op: Operation
+    origin: ReplicaId
+    serial: int
+
+
+class CrdtClient(BaseClient):
+    """Adapter between the cluster harness and a list CRDT."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        crdt: ReplicatedListCrdt,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id)
+        self.crdt = crdt
+        self._document = ListDocument()
+        self._context: frozenset = frozenset()
+        if initial_document is not None:
+            self.crdt.seed(tuple(initial_document.read()))
+            self._document = initial_document.copy()
+
+    @property
+    def document(self) -> ListDocument:
+        self._refresh()
+        return self._document
+
+    def _refresh(self) -> None:
+        self._document = ListDocument(self.crdt.read())
+
+    def generate(self, spec: OpSpec) -> GenerateResult:
+        opid = self._fresh_opid()
+        if spec.kind == "ins":
+            if spec.position > len(self.document):
+                raise ProtocolError(
+                    f"{self.replica_id}: insert position {spec.position} "
+                    "out of range"
+                )
+            remote_op = self.crdt.local_insert(opid, spec.value, spec.position)
+            abstract = make_insert(
+                opid, spec.value, spec.position, self._context
+            )
+        else:
+            victim = self.document.element_at(spec.position)
+            remote_op = self.crdt.local_delete(opid, spec.position)
+            abstract = make_delete(opid, victim, spec.position, self._context)
+        self._context = self._context | {opid}
+        self._refresh()
+        return GenerateResult(
+            operation=abstract,
+            returned=self.read(),
+            outgoing=CrdtClientMessage(remote_op, abstract),
+        )
+
+    def receive(self, payload: Any) -> ReceiveResult:
+        if not isinstance(payload, CrdtServerMessage):
+            raise ProtocolError(
+                f"{self.replica_id}: unexpected payload {payload!r}"
+            )
+        if payload.origin == self.replica_id:
+            return ReceiveResult(executed=None, returned=self.read())
+        self.crdt.apply_remote(payload.remote_op)
+        self._context = self._context | {payload.abstract_op.opid}
+        self._refresh()
+        return ReceiveResult(
+            executed=payload.abstract_op, returned=self.read()
+        )
+
+
+class CrdtRelayServer(BaseServer):
+    """Serialising relay; holds its own CRDT replica for the record."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: List[ReplicaId],
+        crdt: ReplicatedListCrdt,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id, clients)
+        self.oracle = ServerOrderOracle()
+        self.crdt = crdt
+        if initial_document is not None:
+            self.crdt.seed(tuple(initial_document.read()))
+
+    @property
+    def document(self) -> ListDocument:
+        return ListDocument(self.crdt.read())
+
+    def receive(
+        self, sender: ReplicaId, payload: Any
+    ) -> List[Tuple[ReplicaId, Any]]:
+        if not isinstance(payload, CrdtClientMessage):
+            raise ProtocolError(f"server: unexpected payload {payload!r}")
+        serial = self.oracle.assign(payload.abstract_op.opid)
+        self.crdt.apply_remote(payload.remote_op)
+        broadcast = CrdtServerMessage(
+            remote_op=payload.remote_op,
+            abstract_op=payload.abstract_op,
+            origin=sender,
+            serial=serial,
+        )
+        return [(client, broadcast) for client in self.clients]

@@ -1,0 +1,220 @@
+"""Logoot (Weiss, Urso & Molli, ICDCS'09): dense position identifiers.
+
+Every element carries an immutable identifier — a sequence of
+``(digit, site, counter)`` triples compared lexicographically — drawn
+strictly between its neighbours' identifiers at insertion time.  The list
+is simply the identifier-sorted set of elements: inserts and deletes
+commute trivially and, unlike RGA and WOOT, nothing survives deletion
+(no tombstones), at the price of identifiers that can grow under
+adversarial insertion patterns — the trade-off the metadata-overhead
+benchmark measures.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple
+
+from repro.common.ids import OpId, ReplicaId
+from repro.crdt.base import CrdtClient, CrdtRelayServer, ReplicatedListCrdt
+from repro.document.elements import Element
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+
+#: One identifier component: (digit, site, counter).
+Triple = Tuple[int, str, int]
+#: A full position identifier.
+Identifier = Tuple[Triple, ...]
+
+BASE = 1 << 15
+
+#: Virtual bounds: BEGIN sorts below and END above every legal identifier.
+BEGIN: Identifier = ((0, "", 0),)
+END: Identifier = ((BASE, "", 0),)
+
+_MIN_TRIPLE: Triple = (0, "", 0)
+_MAX_TRIPLE: Triple = (BASE, "", 0)
+
+
+def generate_between(
+    lower: Identifier,
+    upper: Identifier,
+    site: str,
+    counter: int,
+    rng: random.Random,
+) -> Identifier:
+    """A fresh identifier strictly between ``lower`` and ``upper``.
+
+    Walks down levels copying the lower bound until a digit gap opens;
+    once the new prefix falls strictly below the upper bound's triple the
+    upper constraint disappears (lexicographic comparison is decided at
+    that level).  Terminates because the final disambiguating triple
+    ``(digit, site, counter)`` is unique to this call.
+    """
+    if not lower < upper:
+        raise ProtocolError(
+            f"logoot: bounds out of order: {lower!r} !< {upper!r}"
+        )
+    prefix: List[Triple] = []
+    level = 0
+    upper_active = True
+    while True:
+        low = lower[level] if level < len(lower) else _MIN_TRIPLE
+        high = (
+            upper[level]
+            if upper_active and level < len(upper)
+            else _MAX_TRIPLE
+        )
+        gap = high[0] - low[0]
+        if gap > 1:
+            digit = rng.randint(low[0] + 1, high[0] - 1)
+            return tuple(prefix) + ((digit, site, counter),)
+        prefix.append(low)
+        if upper_active and low != high:
+            # The copied triple is strictly below the upper bound's triple
+            # at this level, so any extension stays below ``upper``.
+            upper_active = False
+        level += 1
+
+
+class LogootList(ReplicatedListCrdt):
+    """One Logoot replica: an identifier-sorted list of elements."""
+
+    def __init__(self, replica: ReplicaId, seed: int = 0) -> None:
+        self._replica = replica
+        self._counter = 0
+        self._rng = random.Random(f"logoot:{replica}:{seed}")
+        self._identifiers: List[Identifier] = []
+        self._elements: List[Element] = []
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read(self) -> Tuple[Element, ...]:
+        return tuple(self._elements)
+
+    def identifier_of(self, position: int) -> Identifier:
+        return self._identifiers[position]
+
+    # ------------------------------------------------------------------
+    # Local updates
+    # ------------------------------------------------------------------
+    def local_insert(self, opid: OpId, value: Any, position: int):
+        if not 0 <= position <= len(self._elements):
+            raise ProtocolError(
+                f"logoot: insert position {position} out of range"
+            )
+        lower = self._identifiers[position - 1] if position > 0 else BEGIN
+        upper = (
+            self._identifiers[position]
+            if position < len(self._identifiers)
+            else END
+        )
+        self._counter += 1
+        identifier = generate_between(
+            lower, upper, self._replica, self._counter, self._rng
+        )
+        operation = LogootInsert(identifier, Element(value, opid))
+        self._apply_insert(operation)
+        return operation
+
+    def local_delete(self, opid: OpId, position: int):
+        del opid
+        if not 0 <= position < len(self._elements):
+            raise ProtocolError(
+                f"logoot: delete position {position} out of range"
+            )
+        operation = LogootDelete(self._identifiers[position])
+        self._apply_delete(operation)
+        return operation
+
+    # ------------------------------------------------------------------
+    # Remote application
+    # ------------------------------------------------------------------
+    def apply_remote(self, remote_op: Any) -> None:
+        if isinstance(remote_op, LogootInsert):
+            self._apply_insert(remote_op)
+        elif isinstance(remote_op, LogootDelete):
+            self._apply_delete(remote_op)
+        else:
+            raise ProtocolError(f"logoot: unknown operation {remote_op!r}")
+
+    def _apply_insert(self, operation: "LogootInsert") -> None:
+        index = bisect.bisect_left(self._identifiers, operation.identifier)
+        if (
+            index < len(self._identifiers)
+            and self._identifiers[index] == operation.identifier
+        ):
+            if self._elements[index].opid == operation.element.opid:
+                return  # duplicate delivery safety net
+            raise ProtocolError(
+                f"logoot: identifier collision at {operation.identifier!r}"
+            )
+        self._identifiers.insert(index, operation.identifier)
+        self._elements.insert(index, operation.element)
+
+    def _apply_delete(self, operation: "LogootDelete") -> None:
+        index = bisect.bisect_left(self._identifiers, operation.identifier)
+        if (
+            index < len(self._identifiers)
+            and self._identifiers[index] == operation.identifier
+        ):
+            del self._identifiers[index]
+            del self._elements[index]
+        # else: concurrently deleted already — deletes are idempotent.
+
+    # ------------------------------------------------------------------
+    # Seeding and metadata
+    # ------------------------------------------------------------------
+    def seed(self, elements: Tuple[Element, ...]) -> None:
+        seeder = random.Random("logoot-seed")
+        lower = BEGIN
+        for element in elements:
+            identifier = generate_between(lower, END, "", 0, seeder)
+            self._identifiers.append(identifier)
+            self._elements.append(element)
+            lower = identifier
+        if self._identifiers != sorted(self._identifiers):
+            raise ProtocolError("logoot: seeding produced unsorted ids")
+
+    def metadata_size(self) -> int:
+        """Total identifier components retained for live elements."""
+        return sum(len(identifier) for identifier in self._identifiers)
+
+
+@dataclass(frozen=True)
+class LogootInsert:
+    identifier: Identifier
+    element: Element
+
+
+@dataclass(frozen=True)
+class LogootDelete:
+    identifier: Identifier
+
+
+class LogootClient(CrdtClient):
+    """A Logoot replica behind the standard cluster client interface."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id, LogootList(replica_id), initial_document)
+
+
+class LogootServer(CrdtRelayServer):
+    """Serialising relay holding its own Logoot replica."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: List[ReplicaId],
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(
+            replica_id, clients, LogootList(replica_id), initial_document
+        )

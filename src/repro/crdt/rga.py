@@ -1,0 +1,226 @@
+"""RGA — Replicated Growable Array (Roh et al. 2011).
+
+The variant of Attiya et al. (PODC'16, Section 9 of the paper), which they
+prove satisfies the **strong** list specification: a replica state is a
+tree of timestamped insertions; the list order is a deterministic
+pre-order traversal with each node's children visited newest-first;
+deletions leave tombstones so orderings relative to deleted elements are
+preserved — exactly the guarantee the weak specification (and Jupiter)
+gives up.
+
+Timestamps are Lamport clocks ``(counter, replica)``: unique, totally
+ordered, and dominating every timestamp causally before them, which is
+what makes "newest-first among siblings" well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.ids import OpId, ReplicaId
+from repro.crdt.base import CrdtClient, CrdtRelayServer, ReplicatedListCrdt
+from repro.document.elements import Element
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+
+Timestamp = Tuple[int, str]
+
+#: Identity of the virtual root node ("insert at the head" anchor).
+ROOT: Optional[OpId] = None
+
+
+@dataclass(frozen=True)
+class RgaInsert:
+    """Insert ``element`` as a child of ``parent`` with ``timestamp``."""
+
+    element: Element
+    timestamp: Timestamp
+    parent: Optional[OpId]  # None = ROOT
+
+
+@dataclass(frozen=True)
+class RgaDelete:
+    """Tombstone the element identified by ``target``."""
+
+    target: OpId
+
+
+class _Node:
+    __slots__ = ("element", "timestamp", "children", "tombstone")
+
+    def __init__(self, element: Optional[Element], timestamp: Timestamp) -> None:
+        self.element = element
+        self.timestamp = timestamp
+        self.children: List[OpId] = []  # sorted newest-first
+        self.tombstone = False
+
+
+class RgaList(ReplicatedListCrdt):
+    """One RGA replica."""
+
+    def __init__(self, replica: ReplicaId) -> None:
+        self._replica = replica
+        self._clock = 0
+        self._nodes: Dict[Optional[OpId], _Node] = {
+            ROOT: _Node(None, (0, ""))
+        }
+
+    # ------------------------------------------------------------------
+    # Lamport clock
+    # ------------------------------------------------------------------
+    def _tick(self) -> Timestamp:
+        self._clock += 1
+        return (self._clock, self._replica)
+
+    def _witness(self, timestamp: Timestamp) -> None:
+        self._clock = max(self._clock, timestamp[0])
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    def _walk(self, include_tombstones: bool = False) -> List[Element]:
+        result: List[Element] = []
+        # Depth-first, children newest-first: classic RGA linearisation.
+        order: List[OpId] = []
+        stack = [(ROOT, iter(self._nodes[ROOT].children))]
+        while stack:
+            _, children = stack[-1]
+            advanced = False
+            for child in children:
+                order.append(child)
+                stack.append((child, iter(self._nodes[child].children)))
+                advanced = True
+                break
+            if not advanced:
+                stack.pop()
+        for opid in order:
+            node = self._nodes[opid]
+            if include_tombstones or not node.tombstone:
+                assert node.element is not None
+                result.append(node.element)
+        return result
+
+    def read(self) -> Tuple[Element, ...]:
+        return tuple(self._walk())
+
+    def elements_with_tombstones(self) -> List[Element]:
+        return self._walk(include_tombstones=True)
+
+    # ------------------------------------------------------------------
+    # Local updates
+    # ------------------------------------------------------------------
+    def _visible_opid_at(self, position: int) -> OpId:
+        visible = [e.opid for e in self._walk()]
+        if not 0 <= position < len(visible):
+            raise ProtocolError(
+                f"RGA: no visible element at position {position}"
+            )
+        return visible[position]
+
+    def local_insert(self, opid: OpId, value: Any, position: int) -> RgaInsert:
+        parent = ROOT if position == 0 else self._visible_opid_at(position - 1)
+        operation = RgaInsert(
+            element=Element(value, opid),
+            timestamp=self._tick(),
+            parent=parent,
+        )
+        self._integrate_insert(operation)
+        return operation
+
+    def local_delete(self, opid: OpId, position: int) -> RgaDelete:
+        del opid  # deletions carry no identity of their own in RGA
+        operation = RgaDelete(self._visible_opid_at(position))
+        self._integrate_delete(operation)
+        return operation
+
+    # ------------------------------------------------------------------
+    # Remote application
+    # ------------------------------------------------------------------
+    def apply_remote(self, remote_op: Any) -> None:
+        if isinstance(remote_op, RgaInsert):
+            self._integrate_insert(remote_op)
+        elif isinstance(remote_op, RgaDelete):
+            self._integrate_delete(remote_op)
+        else:
+            raise ProtocolError(f"RGA: unknown operation {remote_op!r}")
+
+    def _integrate_insert(self, operation: RgaInsert) -> None:
+        if operation.element.opid in self._nodes:
+            return  # exactly-once channels make this a pure safety net
+        parent = self._nodes.get(operation.parent)
+        if parent is None:
+            raise ProtocolError(
+                f"RGA: insert under unknown parent {operation.parent} — "
+                "causal delivery violated"
+            )
+        self._witness(operation.timestamp)
+        node = _Node(operation.element, operation.timestamp)
+        self._nodes[operation.element.opid] = node
+        siblings = parent.children
+        index = 0
+        while (
+            index < len(siblings)
+            and self._nodes[siblings[index]].timestamp > operation.timestamp
+        ):
+            index += 1
+        siblings.insert(index, operation.element.opid)
+
+    def _integrate_delete(self, operation: RgaDelete) -> None:
+        node = self._nodes.get(operation.target)
+        if node is None:
+            raise ProtocolError(
+                f"RGA: delete of unknown element {operation.target}"
+            )
+        node.tombstone = True  # idempotent
+
+    # ------------------------------------------------------------------
+    # Seeding and metadata
+    # ------------------------------------------------------------------
+    def seed(self, elements: Tuple[Element, ...]) -> None:
+        previous = ROOT
+        for element in elements:
+            operation = RgaInsert(
+                element=element, timestamp=(0, ""), parent=previous
+            )
+            # Seed timestamps are all (0, ""): they sort below every real
+            # timestamp, and the chain shape fixes their relative order.
+            if element.opid in self._nodes:
+                raise ProtocolError("RGA: seeding twice")
+            node = _Node(element, operation.timestamp)
+            self._nodes[element.opid] = node
+            self._nodes[previous].children.append(element.opid)
+            previous = element.opid
+
+    def metadata_size(self) -> int:
+        """Tombstoned nodes retained beyond the visible list."""
+        return sum(
+            1
+            for opid, node in self._nodes.items()
+            if opid is not None and node.tombstone
+        )
+
+
+class RgaClient(CrdtClient):
+    """An RGA replica behind the standard cluster client interface."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id, RgaList(replica_id), initial_document)
+
+
+class RgaServer(CrdtRelayServer):
+    """Serialising relay holding its own RGA replica."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: List[ReplicaId],
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(
+            replica_id, clients, RgaList(replica_id), initial_document
+        )

@@ -1,0 +1,252 @@
+"""Treedoc (Preguiça, Marquès, Shapiro & Letia, ICDCS'09).
+
+Elements live at the nodes of a binary tree; the list order is the
+in-order traversal.  A position identifier is the path from the root
+(sequence of 0/1 bits), disambiguated by the inserting site when two
+sites grow the same spot concurrently; deletions keep tombstones so that
+paths referenced by concurrent operations stay resolvable.
+
+This implementation uses the "major nodes" formulation: each tree node
+holds a list of (site-tagged) mini-nodes ordered by site identifier, so
+concurrent insertions at the same path commute deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.ids import OpId, ReplicaId
+from repro.crdt.base import CrdtClient, CrdtRelayServer, ReplicatedListCrdt
+from repro.document.elements import Element
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+
+#: A path entry: (bit, site) — bit 0 = left subtree, 1 = right subtree.
+#: The site disambiguates concurrent growth of the same logical position.
+PathEntry = Tuple[int, str]
+Path = Tuple[PathEntry, ...]
+
+
+@dataclass(frozen=True)
+class TreedocInsert:
+    path: Path
+    element: Element
+
+
+@dataclass(frozen=True)
+class TreedocDelete:
+    path: Path
+
+
+class _TreeNode:
+    __slots__ = ("element", "visible", "left", "right")
+
+    def __init__(self, element: Optional[Element]) -> None:
+        self.element = element
+        self.visible = element is not None
+        # Children keyed by (bit, site), kept sorted for traversal.
+        self.left: Dict[str, "_TreeNode"] = {}
+        self.right: Dict[str, "_TreeNode"] = {}
+
+
+class TreedocList(ReplicatedListCrdt):
+    """One Treedoc replica."""
+
+    def __init__(self, replica: ReplicaId) -> None:
+        self._replica = replica
+        self._root = _TreeNode(None)
+        self._root.visible = False
+
+    # ------------------------------------------------------------------
+    # Traversal: in-order over (left children by site, node, right ...)
+    # ------------------------------------------------------------------
+    def _walk(self, node: _TreeNode, out: List[Tuple[Path, _TreeNode]],
+              prefix: Path) -> None:
+        for site in sorted(node.left):
+            self._walk(node.left[site], out, prefix + ((0, site),))
+        if node is not self._root:
+            out.append((prefix, node))
+        for site in sorted(node.right):
+            self._walk(node.right[site], out, prefix + ((1, site),))
+
+    def _ordered_nodes(self) -> List[Tuple[Path, _TreeNode]]:
+        out: List[Tuple[Path, _TreeNode]] = []
+        self._walk(self._root, out, ())
+        return out
+
+    def read(self) -> Tuple[Element, ...]:
+        return tuple(
+            node.element
+            for _, node in self._ordered_nodes()
+            if node.visible
+        )
+
+    # ------------------------------------------------------------------
+    # Path arithmetic
+    # ------------------------------------------------------------------
+    def _node_at(self, path: Path, create: bool = False) -> _TreeNode:
+        node = self._root
+        for bit, site in path:
+            bucket = node.left if bit == 0 else node.right
+            child = bucket.get(site)
+            if child is None:
+                if not create:
+                    raise ProtocolError(
+                        f"treedoc: no node at path {path!r}"
+                    )
+                child = _TreeNode(None)
+                child.visible = False
+                bucket[site] = child
+            node = child
+        return node
+
+    def _visible_paths(self) -> List[Path]:
+        return [
+            path for path, node in self._ordered_nodes() if node.visible
+        ]
+
+    def _leftmost_descendant(self, path: Path, node: _TreeNode) -> Path:
+        """Follow smallest-site left children to the in-order first node."""
+        while node.left:
+            site = sorted(node.left)[0]
+            path = path + ((0, site),)
+            node = node.left[site]
+        return path
+
+    def _fresh_path(self, position: int) -> Path:
+        """A path landing in the in-order gap before ``position``.
+
+        Standard Treedoc placement: extend the right spine of the left
+        neighbour when it is free; otherwise descend to the in-order
+        successor inside its right subtree and extend that node's (free)
+        left spine.  Either way the new node falls strictly between the
+        neighbouring *visible* elements — anything in between is a
+        tombstone and does not perturb visible positions.  Concurrent
+        extensions of the same spot are disambiguated by the site
+        component of the path entry.
+        """
+        visible = self._visible_paths()
+        if not 0 <= position <= len(visible):
+            raise ProtocolError(
+                f"treedoc: insert position {position} out of range"
+            )
+        mine = self._replica
+        if position > 0:
+            anchor_path = visible[position - 1]
+            anchor = self._node_at(anchor_path)
+            if not anchor.right:
+                return anchor_path + ((1, mine),)
+            site = sorted(anchor.right)[0]
+            successor = self._leftmost_descendant(
+                anchor_path + ((1, site),), anchor.right[site]
+            )
+            return successor + ((0, mine),)
+        # position == 0: before the in-order first node of the whole tree.
+        if self._root.left:
+            first = self._leftmost_descendant((), self._root)
+        elif self._root.right:
+            site = sorted(self._root.right)[0]
+            first = self._leftmost_descendant(
+                ((1, site),), self._root.right[site]
+            )
+        else:
+            return ((1, mine),)  # empty tree
+        return first + ((0, mine),)
+
+    # ------------------------------------------------------------------
+    # Local updates
+    # ------------------------------------------------------------------
+    def local_insert(self, opid: OpId, value: Any, position: int) -> TreedocInsert:
+        path = self._fresh_path(position)
+        node = self._node_at(path, create=True)
+        while node.element is not None:
+            # The spine slot is taken (e.g. repeated inserts at the same
+            # position): keep extending in the same direction.
+            path = path + (path[-1],)
+            node = self._node_at(path, create=True)
+        operation = TreedocInsert(path, Element(value, opid))
+        self._apply_insert(operation)
+        return operation
+
+    def local_delete(self, opid: OpId, position: int) -> TreedocDelete:
+        del opid
+        visible = self._visible_paths()
+        if not 0 <= position < len(visible):
+            raise ProtocolError(
+                f"treedoc: delete position {position} out of range"
+            )
+        operation = TreedocDelete(visible[position])
+        self._apply_delete(operation)
+        return operation
+
+    # ------------------------------------------------------------------
+    # Remote application
+    # ------------------------------------------------------------------
+    def apply_remote(self, remote_op: Any) -> None:
+        if isinstance(remote_op, TreedocInsert):
+            self._apply_insert(remote_op)
+        elif isinstance(remote_op, TreedocDelete):
+            self._apply_delete(remote_op)
+        else:
+            raise ProtocolError(f"treedoc: unknown operation {remote_op!r}")
+
+    def _apply_insert(self, operation: TreedocInsert) -> None:
+        node = self._node_at(operation.path, create=True)
+        if node.element is not None:
+            if node.element.opid == operation.element.opid:
+                return  # duplicate delivery safety net
+            raise ProtocolError(
+                f"treedoc: path collision at {operation.path!r} between "
+                f"{node.element.pretty()} and {operation.element.pretty()}"
+            )
+        node.element = operation.element
+        node.visible = True
+
+    def _apply_delete(self, operation: TreedocDelete) -> None:
+        node = self._node_at(operation.path)
+        node.visible = False  # tombstone; idempotent
+
+    # ------------------------------------------------------------------
+    # Seeding and metadata
+    # ------------------------------------------------------------------
+    def seed(self, elements: Tuple[Element, ...]) -> None:
+        path: Path = ()
+        for element in elements:
+            path = path + ((1, ""),)
+            node = self._node_at(path, create=True)
+            node.element = element
+            node.visible = True
+
+    def metadata_size(self) -> int:
+        """Tombstoned (invisible but materialised) element nodes."""
+        return sum(
+            1
+            for _, node in self._ordered_nodes()
+            if node.element is not None and not node.visible
+        )
+
+
+class TreedocClient(CrdtClient):
+    """A Treedoc replica behind the standard cluster client interface."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id, TreedocList(replica_id), initial_document)
+
+
+class TreedocServer(CrdtRelayServer):
+    """Serialising relay holding its own Treedoc replica."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: List[ReplicaId],
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(
+            replica_id, clients, TreedocList(replica_id), initial_document
+        )

@@ -1,0 +1,224 @@
+"""WOOT — WithOut Operational Transformation (Oster et al., CSCW'06).
+
+Every character records the identifiers of its left and right neighbours
+*at insertion time*; integration places a new character inside that
+interval, ordering concurrent insertions by character identifier via the
+recursive narrowing of the original ``IntegrateIns`` algorithm.  Deleted
+characters stay in the sequence with their visibility flag cleared
+(tombstones), preserving the anchors other sites may still reference.
+
+Preconditions (neighbours present before a character integrates; targets
+present before a delete) are guaranteed here by the serialising relay:
+the server forwards operations in an order consistent with causality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.ids import OpId, ReplicaId
+from repro.crdt.base import CrdtClient, CrdtRelayServer, ReplicatedListCrdt
+from repro.document.elements import Element
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+
+#: Sentinel identifiers for the virtual beginning and end characters.
+CB = OpId("", 0)
+CE = OpId("￿", 0)
+
+
+@dataclass(frozen=True)
+class WootInsert:
+    """Insert ``element`` between ``prev`` and ``next`` (ids at origin)."""
+
+    element: Element
+    prev: OpId
+    next: OpId
+
+
+@dataclass(frozen=True)
+class WootDelete:
+    """Hide the character identified by ``target``."""
+
+    target: OpId
+
+
+class _WChar:
+    __slots__ = ("element", "visible")
+
+    def __init__(self, element: Optional[Element], visible: bool) -> None:
+        self.element = element
+        self.visible = visible
+
+
+class WootList(ReplicatedListCrdt):
+    """One WOOT replica: the full character sequence with sentinels."""
+
+    def __init__(self, replica: ReplicaId) -> None:
+        self._replica = replica
+        self._order: List[OpId] = [CB, CE]
+        self._chars: Dict[OpId, _WChar] = {
+            CB: _WChar(None, False),
+            CE: _WChar(None, False),
+        }
+        #: each real character's (prev, next) anchors as sent on the wire.
+        self._anchors: Dict[OpId, Tuple[OpId, OpId]] = {}
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def read(self) -> Tuple[Element, ...]:
+        return tuple(
+            self._chars[opid].element
+            for opid in self._order
+            if self._chars[opid].visible
+        )
+
+    def sequence_length(self) -> int:
+        """Total characters held, sentinels excluded (tombstones count)."""
+        return len(self._order) - 2
+
+    # ------------------------------------------------------------------
+    # Local updates
+    # ------------------------------------------------------------------
+    def _visible_ids(self) -> List[OpId]:
+        return [o for o in self._order if self._chars[o].visible]
+
+    def local_insert(self, opid: OpId, value: Any, position: int) -> WootInsert:
+        visible = self._visible_ids()
+        if not 0 <= position <= len(visible):
+            raise ProtocolError(f"woot: insert position {position} invalid")
+        prev = visible[position - 1] if position > 0 else CB
+        nxt = visible[position] if position < len(visible) else CE
+        operation = WootInsert(Element(value, opid), prev, nxt)
+        self._integrate_insert(operation)
+        return operation
+
+    def local_delete(self, opid: OpId, position: int) -> WootDelete:
+        del opid
+        visible = self._visible_ids()
+        if not 0 <= position < len(visible):
+            raise ProtocolError(f"woot: delete position {position} invalid")
+        operation = WootDelete(visible[position])
+        self._integrate_delete(operation)
+        return operation
+
+    # ------------------------------------------------------------------
+    # Remote application
+    # ------------------------------------------------------------------
+    def apply_remote(self, remote_op: Any) -> None:
+        if isinstance(remote_op, WootInsert):
+            self._integrate_insert(remote_op)
+        elif isinstance(remote_op, WootDelete):
+            self._integrate_delete(remote_op)
+        else:
+            raise ProtocolError(f"woot: unknown operation {remote_op!r}")
+
+    def _integrate_delete(self, operation: WootDelete) -> None:
+        char = self._chars.get(operation.target)
+        if char is None:
+            raise ProtocolError(
+                f"woot: delete of unknown character {operation.target}"
+            )
+        char.visible = False  # idempotent
+
+    def _integrate_insert(self, operation: WootInsert) -> None:
+        if operation.element.opid in self._chars:
+            return  # duplicate delivery safety net
+        for anchor in (operation.prev, operation.next):
+            if anchor not in self._chars:
+                raise ProtocolError(
+                    f"woot: missing anchor {anchor}; causal delivery violated"
+                )
+        self._chars[operation.element.opid] = _WChar(operation.element, True)
+        self._anchors[operation.element.opid] = (operation.prev, operation.next)
+        self._integrate_between(
+            operation.element.opid, operation.prev, operation.next, operation
+        )
+
+    def _integrate_between(
+        self, new: OpId, prev: OpId, nxt: OpId, operation: WootInsert
+    ) -> None:
+        """The recursive ``IntegrateIns`` of the WOOT paper (iterative)."""
+        while True:
+            index = {opid: i for i, opid in enumerate(self._order)}
+            start, end = index[prev], index[nxt]
+            if start >= end:
+                raise ProtocolError(
+                    f"woot: inverted anchors for {operation.element.pretty()}"
+                )
+            between = self._order[start + 1 : end]
+            if not between:
+                self._order.insert(end, new)
+                return
+            # Keep only the characters whose own anchors lie outside the
+            # (prev, next) interval — the "top level" of this subsequence.
+            anchors_of = self._anchor_index
+            level = [
+                candidate
+                for candidate in between
+                if anchors_of[candidate][0] <= start
+                and anchors_of[candidate][1] >= end
+            ]
+            rail = [prev, *level, nxt]
+            slot = 1
+            while slot < len(rail) - 1 and rail[slot] < new:
+                slot += 1
+            prev, nxt = rail[slot - 1], rail[slot]
+
+    # ------------------------------------------------------------------
+    # Anchor bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def _anchor_index(self) -> Dict[OpId, Tuple[int, int]]:
+        """Positions (in the full order) of each character's anchors."""
+        index = {opid: i for i, opid in enumerate(self._order)}
+        return {
+            opid: (index[prev], index[nxt])
+            for opid, (prev, nxt) in self._anchors.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Seeding and metadata
+    # ------------------------------------------------------------------
+    def seed(self, elements: Tuple[Element, ...]) -> None:
+        previous = CB
+        for element in elements:
+            self._chars[element.opid] = _WChar(element, True)
+            self._anchors[element.opid] = (previous, CE)
+            self._order.insert(len(self._order) - 1, element.opid)
+            previous = element.opid
+
+    def metadata_size(self) -> int:
+        """Invisible characters retained (tombstones)."""
+        return sum(
+            1
+            for opid, char in self._chars.items()
+            if opid not in (CB, CE) and not char.visible
+        )
+
+
+class WootClient(CrdtClient):
+    """A WOOT replica behind the standard cluster client interface."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id, WootList(replica_id), initial_document)
+
+
+class WootServer(CrdtRelayServer):
+    """Serialising relay holding its own WOOT replica."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: List[ReplicaId],
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(
+            replica_id, clients, WootList(replica_id), initial_document
+        )

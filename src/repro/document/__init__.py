@@ -1,0 +1,6 @@
+"""The replicated list document and its uniquely identified elements."""
+
+from repro.document.elements import Element
+from repro.document.list_document import ListDocument
+
+__all__ = ["Element", "ListDocument"]

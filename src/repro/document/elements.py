@@ -1,0 +1,36 @@
+"""Uniquely identified list elements.
+
+The paper assumes "all inserted elements to be unique, which can be done by
+attaching replica identifiers and sequence numbers" (Section 3.1).  An
+:class:`Element` pairs the user-visible value (typically a character) with
+the :class:`~repro.common.ids.OpId` of the insert operation that created it,
+making distinct insertions of equal values distinguishable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.ids import OpId
+
+
+@dataclass(frozen=True)
+class Element:
+    """A list element: a value tagged with the id of its insert operation.
+
+    Equality and hashing include the ``opid``, so two elements holding the
+    same character inserted by different operations are different elements.
+    This is what gives the one-to-one correspondence between inserted
+    elements and insert operations that the list specifications rely on.
+    """
+
+    value: Any
+    opid: OpId
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return str(self.value)
+
+    def pretty(self) -> str:
+        """Verbose rendering including the element identity."""
+        return f"{self.value}@{self.opid}"

@@ -1,0 +1,91 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to discriminate finer-grained failure modes.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DocumentError",
+    "PositionError",
+    "ElementNotFoundError",
+    "DuplicateElementError",
+    "TransformError",
+    "ContextMismatchError",
+    "StateSpaceError",
+    "UnknownStateError",
+    "OrderingError",
+    "ProtocolError",
+    "ScheduleError",
+    "SimulationError",
+    "SpecificationError",
+    "MalformedExecutionError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class DocumentError(ReproError):
+    """Base class for errors raised by list-document manipulation."""
+
+
+class PositionError(DocumentError, IndexError):
+    """An operation referred to a position outside the document bounds."""
+
+
+class ElementNotFoundError(DocumentError, KeyError):
+    """A deletion referred to an element that is not in the document."""
+
+
+class DuplicateElementError(DocumentError):
+    """An insertion would introduce an element id already present."""
+
+
+class TransformError(ReproError):
+    """Base class for errors raised during operational transformation."""
+
+
+class ContextMismatchError(TransformError):
+    """Two operations handed to ``transform`` are not context-equivalent.
+
+    CP1 (Definition 4.4 of the paper) is only meaningful for operations
+    defined on the same state; transforming operations with different
+    contexts is a protocol bug, so we fail loudly instead of guessing.
+    """
+
+
+class StateSpaceError(ReproError):
+    """Base class for errors raised by state-space data structures."""
+
+
+class UnknownStateError(StateSpaceError, KeyError):
+    """No state in the state-space matches the requested operation set."""
+
+
+class OrderingError(StateSpaceError):
+    """The total order between two sibling transitions cannot be decided."""
+
+
+class ProtocolError(ReproError):
+    """A replica received a message it cannot process."""
+
+
+class ScheduleError(ReproError):
+    """A schedule is malformed (e.g. delivers a message never sent)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator reached an inconsistent configuration."""
+
+
+class SpecificationError(ReproError):
+    """Base class for errors raised while checking specifications."""
+
+
+class MalformedExecutionError(SpecificationError):
+    """An (abstract) execution violates the well-formedness conditions."""

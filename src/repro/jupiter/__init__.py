@@ -1,0 +1,52 @@
+"""Jupiter protocols: CSS, CSCW, classic buffer-based, broken, and dCSS.
+
+* :mod:`repro.jupiter.nary` — the n-ary ordered state-space and
+  Algorithm 1 (Section 6.1–6.2);
+* :mod:`repro.jupiter.two_dim` — the 2D state-spaces (DSS) of the CSCW
+  protocol (Section 5.1);
+* :mod:`repro.jupiter.css` — the CSS protocol (Section 6);
+* :mod:`repro.jupiter.cscw` — the CSCW protocol (Section 5);
+* :mod:`repro.jupiter.classic` — the optimised buffer implementation in
+  the style of the original Jupiter system (no explicit state-spaces);
+* :mod:`repro.jupiter.broken` — a deliberately incorrect OT protocol
+  used as the running counterexample (Example 8.1 / Figure 8);
+* :mod:`repro.jupiter.dcss` + :mod:`repro.jupiter.peer_cluster` — the
+  decentralised CSS extension sketched in the paper's §10 future work
+  (Lamport-order serialisation, no server);
+* :mod:`repro.jupiter.cluster` — schedule-driven execution of a
+  client/server system with FIFO channels, recording executions.
+"""
+
+from repro.jupiter.broken import BrokenClient, BrokenServer
+from repro.jupiter.classic import ClassicClient, ClassicServer
+from repro.jupiter.cluster import Cluster, make_cluster
+from repro.jupiter.cscw import CscwClient, CscwServer
+from repro.jupiter.css import CssClient, CssServer
+from repro.jupiter.dcss import DcssPeer, LamportOrderOracle, PeerAck, PeerOperation
+from repro.jupiter.nary import NaryStateSpace
+from repro.jupiter.ordering import ClientOrderOracle, ServerOrderOracle
+from repro.jupiter.peer_cluster import PeerCluster
+from repro.jupiter.two_dim import Dimension, TwoDimStateSpace
+
+__all__ = [
+    "BrokenClient",
+    "BrokenServer",
+    "ClassicClient",
+    "ClassicServer",
+    "Cluster",
+    "make_cluster",
+    "CscwClient",
+    "CscwServer",
+    "CssClient",
+    "CssServer",
+    "DcssPeer",
+    "LamportOrderOracle",
+    "PeerAck",
+    "PeerOperation",
+    "PeerCluster",
+    "NaryStateSpace",
+    "ClientOrderOracle",
+    "ServerOrderOracle",
+    "Dimension",
+    "TwoDimStateSpace",
+]

@@ -1,0 +1,112 @@
+"""Replica interfaces shared by every protocol implementation.
+
+A *client* turns user :class:`~repro.model.schedule.OpSpec` requests into
+operations (executing them locally at once — optimistic replication) and
+processes server messages; a *server* serialises client operations and
+broadcasts them.  The :class:`~repro.jupiter.cluster.Cluster` drives these
+interfaces from a :class:`~repro.model.schedule.Schedule` and records the
+resulting execution, so protocols never touch the network or the recorder
+directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.common.ids import OpId, ReplicaId, SeqGenerator
+from repro.document.elements import Element
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.model.schedule import OpSpec
+from repro.ot.operations import Operation, delete, insert
+
+
+@dataclass(frozen=True)
+class GenerateResult:
+    """Outcome of a client generating one user operation."""
+
+    operation: Operation  # the original operation (org form)
+    returned: Tuple[Element, ...]  # the list after local execution
+    outgoing: Any  # payload to send to the server
+
+
+@dataclass(frozen=True)
+class ReceiveResult:
+    """Outcome of a client processing one server message."""
+
+    executed: Optional[Operation]  # transformed op applied, None for acks
+    returned: Tuple[Element, ...]  # the list after processing
+
+
+class BaseClient(abc.ABC):
+    """Common client behaviour: spec-to-operation and local execution."""
+
+    def __init__(self, replica_id: ReplicaId) -> None:
+        self.replica_id = replica_id
+        self._seq = SeqGenerator(replica_id)
+
+    # ------------------------------------------------------------------
+    # Document access (implementations expose their current document)
+    # ------------------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def document(self) -> ListDocument:
+        """The client's current list document."""
+
+    def read(self) -> Tuple[Element, ...]:
+        """The paper's ``Read``: the current list contents."""
+        return tuple(self.document.read())
+
+    # ------------------------------------------------------------------
+    # Operation construction
+    # ------------------------------------------------------------------
+    def _fresh_opid(self) -> OpId:
+        return self._seq.next_opid()
+
+    def _operation_from_spec(self, spec: OpSpec, context) -> Operation:
+        """Materialise an :class:`OpSpec` against the current document."""
+        document = self.document
+        if spec.kind == "ins":
+            if spec.position > len(document):
+                raise ProtocolError(
+                    f"{self.replica_id}: insert position {spec.position} "
+                    f"beyond document of length {len(document)}"
+                )
+            return insert(self._fresh_opid(), spec.value, spec.position, context)
+        victim = document.element_at(spec.position)
+        return delete(self._fresh_opid(), victim, spec.position, context)
+
+    # ------------------------------------------------------------------
+    # Protocol hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def generate(self, spec: OpSpec) -> GenerateResult:
+        """Generate, locally execute, and package one user operation."""
+
+    @abc.abstractmethod
+    def receive(self, payload: Any) -> ReceiveResult:
+        """Process one message from the server."""
+
+
+class BaseServer(abc.ABC):
+    """Common server behaviour."""
+
+    def __init__(self, replica_id: ReplicaId, clients: Sequence[ReplicaId]) -> None:
+        self.replica_id = replica_id
+        self.clients = list(clients)
+
+    @property
+    @abc.abstractmethod
+    def document(self) -> ListDocument:
+        """The server's current list document (footnote 6 of the paper)."""
+
+    def read(self) -> Tuple[Element, ...]:
+        return tuple(self.document.read())
+
+    @abc.abstractmethod
+    def receive(
+        self, sender: ReplicaId, payload: Any
+    ) -> List[Tuple[ReplicaId, Any]]:
+        """Process one client message; return (recipient, payload) pairs."""

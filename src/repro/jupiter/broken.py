@@ -1,0 +1,158 @@
+"""A deliberately incorrect OT protocol (Example 8.1 / Figure 8).
+
+The server relays *original* operations in arrival order, and each client
+naively transforms an incoming operation against the operations it has
+executed that the incoming one has not seen — **in local execution order**
+rather than along the ordered state-space.  Different clients therefore
+transform along different paths of what would be the state-space, and
+because position-shifting OT does not satisfy CP2, their documents can
+diverge — exactly the failure the paper's running counterexample
+illustrates and the CSS protocol's "leftmost transitions" rule prevents.
+
+Used as failure injection: the convergence and weak-list checkers must
+*catch* executions of this protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, List, Optional, Tuple
+
+from repro.common.ids import ReplicaId
+from repro.common.priority import priority_of
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.jupiter.base import BaseClient, BaseServer, GenerateResult, ReceiveResult
+from repro.jupiter.messages import ClientOperation, ServerOperation
+from repro.jupiter.ordering import ServerOrderOracle
+from repro.model.schedule import OpSpec
+from repro.ot.operations import OpKind, Operation
+
+
+def naive_transform(first: Operation, second: Operation) -> Operation:
+    """Position-shifting transform that ignores operation contexts.
+
+    Same shifting rules as :func:`repro.ot.transform.transform`, minus the
+    context discipline — which is precisely what makes the protocol
+    incorrect: it happily transforms operations that are not defined on
+    the same state.
+    """
+    if first.kind is OpKind.NOP or second.kind is OpKind.NOP:
+        return first
+    assert first.position is not None and second.position is not None
+    p1, p2 = first.position, second.position
+    if first.is_insert and second.is_insert:
+        if p1 < p2 or (
+            p1 == p2
+            and priority_of(first.opid.replica) > priority_of(second.opid.replica)
+        ):
+            return first
+        return replace(first, position=p1 + 1)
+    if first.is_insert and second.is_delete:
+        return first if p1 <= p2 else replace(first, position=p1 - 1)
+    if first.is_delete and second.is_insert:
+        return first if p1 < p2 else replace(first, position=p1 + 1)
+    # delete / delete
+    if p1 < p2:
+        return first
+    if p1 > p2:
+        return replace(first, position=p1 - 1)
+    return replace(first, kind=OpKind.NOP, position=None)
+
+
+def naive_apply(operation: Operation, document: ListDocument) -> None:
+    """Apply without safety checks — the broken protocol's coordinates can
+    be stale, and we want divergence to show up in the document, not as a
+    crash."""
+    if operation.is_nop:
+        return
+    assert operation.element is not None and operation.position is not None
+    if operation.is_insert:
+        document.insert(operation.element, min(operation.position, len(document)))
+    else:
+        position = min(operation.position, len(document) - 1)
+        if position >= 0:
+            document.delete(position)
+
+
+class BrokenClient(BaseClient):
+    """Transforms incoming operations in local execution order."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id)
+        self._document = (initial_document or ListDocument()).copy()
+        self._executed: List[Operation] = []  # executed forms, local order
+        self._context: frozenset = frozenset()
+
+    @property
+    def document(self) -> ListDocument:
+        return self._document
+
+    def generate(self, spec: OpSpec) -> GenerateResult:
+        operation = self._operation_from_spec(spec, self._context)
+        naive_apply(operation, self._document)
+        self._executed.append(operation)
+        self._context = self._context | {operation.opid}
+        return GenerateResult(
+            operation=operation,
+            returned=self.read(),
+            outgoing=ClientOperation(operation),
+        )
+
+    def receive(self, payload: Any) -> ReceiveResult:
+        if not isinstance(payload, ServerOperation):
+            raise ProtocolError(
+                f"{self.replica_id}: unexpected payload {payload!r}"
+            )
+        if payload.origin == self.replica_id:
+            return ReceiveResult(executed=None, returned=self.read())
+        incoming = payload.operation
+        for done in self._executed:
+            if done.opid not in incoming.context:
+                incoming = naive_transform(incoming, done)
+        naive_apply(incoming, self._document)
+        self._executed.append(incoming)
+        self._context = self._context | {incoming.opid}
+        return ReceiveResult(executed=incoming, returned=self.read())
+
+
+class BrokenServer(BaseServer):
+    """Relays originals; keeps a naive document of its own."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: List[ReplicaId],
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id, clients)
+        self.oracle = ServerOrderOracle()
+        self._document = (initial_document or ListDocument()).copy()
+        self._executed: List[Operation] = []
+
+    @property
+    def document(self) -> ListDocument:
+        return self._document
+
+    def receive(
+        self, sender: ReplicaId, payload: Any
+    ) -> List[Tuple[ReplicaId, Any]]:
+        if not isinstance(payload, ClientOperation):
+            raise ProtocolError(f"server: unexpected payload {payload!r}")
+        operation = payload.operation
+        serial = self.oracle.assign(operation.opid)
+        prefix = self.oracle.serialized_before(serial)
+        incoming = operation
+        for done in self._executed:
+            if done.opid not in incoming.context:
+                incoming = naive_transform(incoming, done)
+        naive_apply(incoming, self._document)
+        self._executed.append(incoming)
+        broadcast = ServerOperation(
+            operation=operation, origin=sender, serial=serial, prefix=prefix
+        )
+        return [(client, broadcast) for client in self.clients]

@@ -1,0 +1,154 @@
+"""Classic buffer-based Jupiter (Nichols et al., UIST'95 style).
+
+The optimised implementation real systems deploy: no explicit state-spaces
+at all.  Each client keeps only its document plus the buffer of *pending*
+own operations (sent, echo not yet received), maintained in the
+transformed form matching the current document; the server keeps, per
+client, the *frontier* of transformed operations that client has not yet
+acknowledged.  Incoming operations transform against the buffer/frontier
+with the standard sequence transformation.
+
+Behaviourally this is the CSCW protocol with the state-space bookkeeping
+erased, so the equivalence tests run it side-by-side with CSS and CSCW
+under identical schedules.  Operation contexts are still tracked exactly,
+which means every buffered transformation is *checked*: a mis-aligned
+buffer raises :class:`~repro.errors.ContextMismatchError` instead of
+corrupting documents.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.ids import ReplicaId
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.jupiter.base import BaseClient, BaseServer, GenerateResult, ReceiveResult
+from repro.jupiter.messages import ClientOperation, ServerOperation
+from repro.jupiter.ordering import ServerOrderOracle
+from repro.model.schedule import OpSpec
+from repro.ot.operations import Operation
+from repro.ot.sequences import transform_against_sequence
+
+
+class ClassicClient(BaseClient):
+    """Document + pending buffer; the minimal Jupiter client."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id)
+        self._document = (initial_document or ListDocument()).copy()
+        self._context: frozenset = frozenset()  # ids of processed ops
+        self._pending: List[Operation] = []
+
+    @property
+    def document(self) -> ListDocument:
+        return self._document
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def generate(self, spec: OpSpec) -> GenerateResult:
+        operation = self._operation_from_spec(spec, self._context)
+        operation.apply(self._document)
+        self._context = self._context | {operation.opid}
+        self._pending.append(operation)
+        return GenerateResult(
+            operation=operation,
+            returned=self.read(),
+            outgoing=ClientOperation(operation),
+        )
+
+    def receive(self, payload: Any) -> ReceiveResult:
+        if not isinstance(payload, ServerOperation):
+            raise ProtocolError(
+                f"{self.replica_id}: unexpected payload {payload!r}"
+            )
+        if payload.origin == self.replica_id:
+            # Echo/acknowledgement: the head of the pending buffer is now
+            # stable at the server; it was executed locally long ago.
+            if not self._pending or self._pending[0].opid != payload.operation.opid:
+                raise ProtocolError(
+                    f"{self.replica_id}: unexpected ack for "
+                    f"{payload.operation.opid}"
+                )
+            self._pending.pop(0)
+            return ReceiveResult(executed=None, returned=self.read())
+        # Transform the incoming operation against the pending buffer and
+        # the buffer against it (one sweep of CP1 squares).
+        executed, shifted = transform_against_sequence(
+            payload.operation, self._pending
+        )
+        self._pending = shifted
+        executed.apply(self._document)
+        self._context = self._context | {executed.opid}
+        return ReceiveResult(executed=executed, returned=self.read())
+
+
+class ClassicServer(BaseServer):
+    """Document + per-client frontier; the minimal Jupiter server."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: List[ReplicaId],
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id, clients)
+        self.oracle = ServerOrderOracle()
+        self._document = (initial_document or ListDocument()).copy()
+        self._frontiers: Dict[ReplicaId, List[Operation]] = {
+            client: [] for client in clients
+        }
+
+    @property
+    def document(self) -> ListDocument:
+        return self._document
+
+    def frontier_size(self, client: ReplicaId) -> int:
+        return len(self._frontiers[client])
+
+    def receive(
+        self, sender: ReplicaId, payload: Any
+    ) -> List[Tuple[ReplicaId, Any]]:
+        if not isinstance(payload, ClientOperation):
+            raise ProtocolError(f"server: unexpected payload {payload!r}")
+        if sender not in self._frontiers:
+            raise ProtocolError(f"server: unknown client {sender}")
+        operation = payload.operation
+        serial = self.oracle.assign(operation.opid)
+        prefix = self.oracle.serialized_before(serial)
+
+        # Drop the frontier prefix the client had already seen when it
+        # generated this operation (those ids are in its context); FIFO
+        # guarantees the seen part is exactly a prefix.
+        frontier = self._frontiers[sender]
+        unseen_from = 0
+        while (
+            unseen_from < len(frontier)
+            and frontier[unseen_from].opid in operation.context
+        ):
+            unseen_from += 1
+        for stale in frontier[unseen_from:]:
+            if stale.opid in operation.context:
+                raise ProtocolError(
+                    f"server: frontier for {sender} acknowledged out of "
+                    f"order around {stale.opid}"
+                )
+        unseen = frontier[unseen_from:]
+
+        transformed, shifted = transform_against_sequence(operation, unseen)
+        self._frontiers[sender] = shifted
+        transformed.apply(self._document)
+        for client in self.clients:
+            if client != sender:
+                self._frontiers[client].append(transformed)
+
+        broadcast = ServerOperation(
+            operation=transformed, origin=sender, serial=serial, prefix=prefix
+        )
+        return [(client, broadcast) for client in self.clients]

@@ -1,0 +1,188 @@
+"""The CSS (Compact State-Space) Jupiter protocol (Section 6).
+
+Every replica — the server and each client — maintains a single n-ary
+ordered state-space and processes *all* operations through the same
+uniform rule (Section 6.2): find the matching state, save the operation
+along the transition of the right order, transform it along the leftmost
+transitions to the final state (Algorithm 1), execute the result.
+
+The server serialises operations and redirects the **original** forms to
+the other clients (footnote 7), plus an echo to the generator that carries
+only ordering metadata (the serial number); the generator performs no OT
+on its echo.  Proposition 6.6 — all replicas that processed the same
+operations have the *same* state-space — is checked in the test-suite by
+comparing the structures these objects build.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.common.ids import ReplicaId
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.jupiter.base import BaseClient, BaseServer, GenerateResult, ReceiveResult
+from repro.jupiter.messages import ClientOperation, ServerOperation
+from repro.jupiter.nary import NaryStateSpace
+from repro.jupiter.ordering import ClientOrderOracle, ServerOrderOracle
+from repro.model.schedule import OpSpec
+
+
+class CssClient(BaseClient):
+    """A CSS client: one n-ary ordered state-space, uniform processing.
+
+    With ``gc=True`` the client prunes state-space states that can no
+    longer be matching states: the context of any future remote operation
+    from origin ``cj`` contains everything ``cj`` had processed when it
+    last spoke (learned from the contexts of its broadcast operations),
+    so the meet of those known states over all other clients is a safe
+    pruning floor.  This bounds the §10 metadata overhead for active
+    systems; a silent client pins the floor, which the GC ablation
+    benchmark demonstrates.
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        initial_document: Optional[ListDocument] = None,
+        gc: bool = False,
+        peers: Optional[List[ReplicaId]] = None,
+    ) -> None:
+        super().__init__(replica_id)
+        self.oracle = ClientOrderOracle(replica_id)
+        self.space = NaryStateSpace(self.oracle, initial_document)
+        self._pending: List = []  # own operations awaiting their echo
+        self._gc = gc
+        if gc and peers is None:
+            raise ProtocolError(
+                "gc=True requires the peer roster: a client never heard "
+                "from can still send an operation with the empty context"
+            )
+        self._peers = [p for p in (peers or []) if p != replica_id]
+        self._known: dict = {}  # origin -> its last known state
+        self.pruned_states = 0
+
+    @property
+    def document(self) -> ListDocument:
+        return self.space.document
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Local processing (Section 5.2.1 — identical in CSS, see the Remark
+    # after the uniform processing rule)
+    # ------------------------------------------------------------------
+    def generate(self, spec: OpSpec) -> GenerateResult:
+        operation = self._operation_from_spec(spec, self.space.final_key)
+        executed = self.space.integrate(operation)
+        assert executed == operation, "local operations need no transforming"
+        self._pending.append(operation.opid)
+        return GenerateResult(
+            operation=operation,
+            returned=self.read(),
+            outgoing=ClientOperation(operation),
+        )
+
+    # ------------------------------------------------------------------
+    # Remote processing (uniform rule, Section 6.2)
+    # ------------------------------------------------------------------
+    def receive(self, payload: Any) -> ReceiveResult:
+        if not isinstance(payload, ServerOperation):
+            raise ProtocolError(
+                f"{self.replica_id}: unexpected payload {payload!r}"
+            )
+        self.oracle.record(payload.operation.opid, payload.serial)
+        if payload.origin == self.replica_id:
+            # Echo of our own operation: ordering metadata only.
+            if not self._pending or self._pending[0] != payload.operation.opid:
+                raise ProtocolError(
+                    f"{self.replica_id}: echo for {payload.operation.opid} "
+                    f"does not match pending queue {self._pending}"
+                )
+            self._pending.pop(0)
+            return ReceiveResult(executed=None, returned=self.read())
+        # FIFO cross-check (Section 6.2): none of our pending operations
+        # can have been serialised before this one.
+        for pending in self._pending:
+            if pending in payload.prefix:
+                raise ProtocolError(
+                    f"{self.replica_id}: pending {pending} appears in the "
+                    f"prefix of {payload.operation.opid}; FIFO violated"
+                )
+        executed = self.space.integrate(payload.operation)
+        if self._gc:
+            self._known[payload.origin] = payload.operation.resulting_state
+            self._collect_garbage()
+        return ReceiveResult(executed=executed, returned=self.read())
+
+    def _collect_garbage(self) -> None:
+        """Prune states below the meet of everyone's known progress.
+
+        Only meaningful once every other client has been heard from —
+        until then an unheard client could still send an operation with
+        the empty context, so nothing can be discarded.
+        """
+        if any(peer not in self._known for peer in self._peers):
+            return
+        floor = None
+        for peer in self._peers:
+            state = self._known[peer]
+            floor = state if floor is None else floor & state
+        if floor:
+            self.pruned_states += self.space.prune_below(floor)
+
+
+class CssServer(BaseServer):
+    """The CSS server: serialise, integrate, redirect originals.
+
+    With ``gc=True`` the server prunes its state-space below the meet of
+    every client's last-known state (taken from the contexts of the
+    operations they send) — see :class:`CssClient` for the reasoning.
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: List[ReplicaId],
+        initial_document: Optional[ListDocument] = None,
+        gc: bool = False,
+    ) -> None:
+        super().__init__(replica_id, clients)
+        self.oracle = ServerOrderOracle()
+        self.space = NaryStateSpace(self.oracle, initial_document)
+        self._gc = gc
+        self._known: dict = {}
+        self.pruned_states = 0
+
+    @property
+    def document(self) -> ListDocument:
+        return self.space.document
+
+    def receive(
+        self, sender: ReplicaId, payload: Any
+    ) -> List[Tuple[ReplicaId, Any]]:
+        if not isinstance(payload, ClientOperation):
+            raise ProtocolError(f"server: unexpected payload {payload!r}")
+        operation = payload.operation
+        serial = self.oracle.assign(operation.opid)
+        prefix = self.oracle.serialized_before(serial)
+        self.space.integrate(operation)
+        if self._gc:
+            self._known[sender] = operation.resulting_state
+            self._collect_garbage()
+        broadcast = ServerOperation(
+            operation=operation, origin=sender, serial=serial, prefix=prefix
+        )
+        return [(client, broadcast) for client in self.clients]
+
+    def _collect_garbage(self) -> None:
+        if any(client not in self._known for client in self.clients):
+            return
+        floor = None
+        for client in self.clients:
+            state = self._known[client]
+            floor = state if floor is None else floor & state
+        if floor:
+            self.pruned_states += self.space.prune_below(floor)

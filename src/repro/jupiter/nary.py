@@ -1,0 +1,205 @@
+"""The n-ary ordered state-space and Algorithm 1 (Sections 6.1–6.2).
+
+A state may have up to ``n`` child transitions (one per client, Lemma 6.1),
+kept ordered left-to-right by the server total order on their original
+operations.  Integrating an operation ``o`` whose context matches state
+``σ``:
+
+1. saves ``o`` at ``σ`` along the transition of the right order among all
+   transitions from ``σ``;
+2. transforms ``o`` with the sequence ``L`` of operations along the
+   *leftmost* transitions from ``σ`` to the final state, adding the new
+   transitions of each CP1 square in their appropriate order (Algorithm 1);
+3. returns ``o{L}`` for the replica to execute — the document of the new
+   final state already reflects it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol
+
+from repro.common.ids import OpId, StateKey, format_opid_set
+from repro.document.list_document import ListDocument
+from repro.errors import StateSpaceError
+from repro.jupiter.state_space import BaseStateSpace, StateNode, Transition
+from repro.ot.operations import Operation
+from repro.ot.transform import transform_pair
+
+
+class TotalOrderOracle(Protocol):
+    """Anything that can decide ``first ⇒ second`` on original ids."""
+
+    def before(self, first: OpId, second: OpId) -> bool:  # pragma: no cover
+        ...
+
+
+class NaryStateSpace(BaseStateSpace):
+    """The CSS protocol's single compact state-space."""
+
+    def __init__(
+        self,
+        oracle: TotalOrderOracle,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(initial_document)
+        self._oracle = oracle
+
+    # ------------------------------------------------------------------
+    # Ordered transition insertion
+    # ------------------------------------------------------------------
+    def _insert_ordered(self, source: StateNode, operation: Operation) -> None:
+        """Add a transition from ``source`` at its total-order position."""
+        target = self._attach(source, operation)
+        transition = Transition(source.key, target.key, operation)
+        index = 0
+        for index, sibling in enumerate(source.children):
+            if sibling.org_id == operation.opid:
+                raise StateSpaceError(
+                    f"duplicate transition for {operation.opid} at "
+                    f"{format_opid_set(source.key)}"
+                )
+            if not self._oracle.before(sibling.org_id, operation.opid):
+                source.children.insert(index, transition)
+                return
+        source.children.append(transition)
+
+    # ------------------------------------------------------------------
+    # The leftmost path (Lemma 6.4)
+    # ------------------------------------------------------------------
+    def leftmost_path(self, key: StateKey) -> List[Transition]:
+        """Transitions along leftmost children from ``key`` to the final
+        state.  By Lemma 6.4 these are exactly the processed operations not
+        in ``key``, in total order."""
+        path: List[Transition] = []
+        cursor = self.node(key)
+        while cursor.key != self.final_key:
+            if not cursor.children:
+                raise StateSpaceError(
+                    f"leftmost path from {format_opid_set(key)} got stuck "
+                    f"at {format_opid_set(cursor.key)} before reaching the "
+                    "final state"
+                )
+            step = cursor.children[0]
+            path.append(step)
+            cursor = self.node(step.target)
+        return path
+
+    # ------------------------------------------------------------------
+    # Algorithm 1
+    # ------------------------------------------------------------------
+    def integrate(self, operation: Operation) -> Operation:
+        """Integrate ``operation`` and return its executed form ``o{L}``."""
+        source = self.node(operation.context)  # the matching state
+        path = self.leftmost_path(source.key)
+
+        self._insert_ordered(source, operation)
+        new_corner = self.node(source.key | {operation.opid})
+
+        current = operation
+        for step in path:
+            transformed, step_shifted = transform_pair(current, step.operation)
+            self.ot_count += 1
+            # Close the CP1 square: the shifted path operation continues
+            # from the corner we just created...
+            self._insert_ordered(new_corner, step_shifted)
+            # ...and the transformed operation re-attaches at the path's
+            # next state, ordered among that state's existing transitions.
+            self._insert_ordered(self.node(step.target), transformed)
+            new_corner = self.node(step.target | {operation.opid})
+            current = transformed
+
+        self.final_key = new_corner.key
+        return current
+
+    # ------------------------------------------------------------------
+    # Invariant checks used by the property tests (Lemmas 6.1–6.3, 8.4)
+    # ------------------------------------------------------------------
+    def max_out_degree(self) -> int:
+        """For Lemma 6.1: must never exceed the number of clients."""
+        return max(
+            (len(node.children) for node in self._nodes.values()), default=0
+        )
+
+    def children_are_ordered(self) -> bool:
+        """Sibling transitions must be strictly increasing in total order."""
+        for node in self._nodes.values():
+            ids = node.child_org_ids()
+            for first, second in zip(ids, ids[1:]):
+                if not self._oracle.before(first, second):
+                    return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Garbage collection (the §10 metadata-overhead concern)
+    # ------------------------------------------------------------------
+    def prune_below(self, floor: StateKey) -> int:
+        """Discard states that can never be matched again; return count.
+
+        ``floor`` must be a lower bound on the context of every operation
+        this replica may still have to integrate (for the server: the
+        meet of all clients' known states; for a client: the meet of the
+        other replicas' known states and its own).  Any future matching
+        state, and every state on a transform path from it, is a superset
+        of ``floor``, so states whose key does not contain ``floor`` are
+        unreachable and safe to drop.
+
+        An over-eager ``floor`` is *detected*, not silently absorbed: a
+        later context lookup for a pruned state raises
+        :class:`~repro.errors.UnknownStateError`.
+        """
+        floor = frozenset(floor)
+        if not floor <= self.final_key:
+            raise StateSpaceError(
+                "prune floor mentions operations this replica has not "
+                "processed"
+            )
+        doomed = [key for key in self._nodes if not floor <= key]
+        for key in doomed:
+            del self._nodes[key]
+        return len(doomed)
+
+    def _ancestors(self, key: StateKey) -> set:
+        """All states with a path to ``key`` (including ``key`` itself)."""
+        parents: dict = {state: [] for state in self._nodes}
+        for transition in self.transitions():
+            parents[transition.target].append(transition.source)
+        seen = {key}
+        frontier = [key]
+        while frontier:
+            state = frontier.pop()
+            for parent in parents[state]:
+                if parent not in seen:
+                    seen.add(parent)
+                    frontier.append(parent)
+        return seen
+
+    def lowest_common_ancestors(
+        self, first: StateKey, second: StateKey
+    ) -> List[StateKey]:
+        """All LCAs of two states; Lemma 8.4 says there is exactly one."""
+        common = self._ancestors(first) & self._ancestors(second)
+        lowest = [
+            candidate
+            for candidate in common
+            if not any(
+                other != candidate and candidate in self._ancestors(other)
+                for other in common
+            )
+        ]
+        return lowest
+
+    def lca(self, first: StateKey, second: StateKey) -> StateKey:
+        """The unique lowest common ancestor of two states (Lemma 8.4).
+
+        Raises :class:`StateSpaceError` if uniqueness fails — which the
+        paper proves cannot happen for spaces built by the CSS protocol
+        (Example 8.2 shows it *can* for naive unions of client spaces).
+        """
+        lowest = self.lowest_common_ancestors(first, second)
+        if len(lowest) != 1:
+            raise StateSpaceError(
+                f"states {format_opid_set(first)} and "
+                f"{format_opid_set(second)} have {len(lowest)} lowest "
+                "common ancestors"
+            )
+        return lowest[0]

@@ -1,0 +1,188 @@
+"""Shared machinery for Jupiter state-spaces.
+
+Both the 2D state-spaces of the CSCW protocol and the n-ary ordered
+state-space of the CSS protocol are DAGs whose nodes are replica states —
+identified by the :class:`frozenset` of original operation ids processed
+(Definition 4.5) — and whose transitions are labelled with (original or
+transformed) operations.  Every node also carries the list document at
+that state, so the paper's per-state lists (``w13 = "ax"`` etc.) can be
+read straight off the structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.common.ids import OpId, StateKey, format_opid_set
+from repro.document.list_document import ListDocument
+from repro.errors import StateSpaceError, UnknownStateError
+from repro.ot.operations import Operation
+
+
+@dataclass(frozen=True)
+class Transition:
+    """A labelled edge ``source --operation--> target``."""
+
+    source: StateKey
+    target: StateKey
+    operation: Operation
+
+    @property
+    def org_id(self) -> OpId:
+        """The original-operation identity of the label."""
+        return self.operation.opid
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{format_opid_set(self.source)} --{self.operation}--> "
+            f"{format_opid_set(self.target)}"
+        )
+
+
+class StateNode:
+    """A state: its key, its document, and its outgoing transitions."""
+
+    __slots__ = ("key", "document", "children")
+
+    def __init__(self, key: StateKey, document: ListDocument) -> None:
+        self.key = key
+        self.document = document
+        self.children: List[Transition] = []
+
+    def child_org_ids(self) -> List[OpId]:
+        return [t.org_id for t in self.children]
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"State{format_opid_set(self.key)}={self.document.as_string()!r}"
+
+
+#: A canonical, comparable rendering of a state-space: for every state
+#: key, the ordered list of (org id, kind, position, target key).
+Signature = Dict[
+    StateKey, Tuple[Tuple[OpId, str, Optional[int], StateKey], ...]
+]
+
+
+class BaseStateSpace:
+    """Node bookkeeping shared by the 2D and n-ary state-spaces."""
+
+    def __init__(self, initial_document: Optional[ListDocument] = None) -> None:
+        document = (initial_document or ListDocument()).copy()
+        root = StateNode(frozenset(), document)
+        self._nodes: Dict[StateKey, StateNode] = {root.key: root}
+        self.final_key: StateKey = root.key
+        #: number of pairwise OTs performed while building this space.
+        self.ot_count: int = 0
+
+    # ------------------------------------------------------------------
+    # Node access
+    # ------------------------------------------------------------------
+    def node(self, key: StateKey) -> StateNode:
+        try:
+            return self._nodes[key]
+        except KeyError:
+            raise UnknownStateError(
+                f"no state {format_opid_set(key)} in this state-space"
+            ) from None
+
+    def has_state(self, key: StateKey) -> bool:
+        return key in self._nodes
+
+    def states(self) -> List[StateKey]:
+        return list(self._nodes)
+
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    def transition_count(self) -> int:
+        return sum(len(node.children) for node in self._nodes.values())
+
+    def transitions(self) -> Iterable[Transition]:
+        for node in self._nodes.values():
+            yield from node.children
+
+    @property
+    def final_node(self) -> StateNode:
+        return self._nodes[self.final_key]
+
+    @property
+    def document(self) -> ListDocument:
+        """The document at the final state — the replica's current list."""
+        return self.final_node.document
+
+    # ------------------------------------------------------------------
+    # Growth
+    # ------------------------------------------------------------------
+    def _attach(self, source: StateNode, operation: Operation) -> StateNode:
+        """Create or reuse the target node of ``operation`` from ``source``.
+
+        The target document is computed by applying ``operation`` to a copy
+        of the source document.  When the target node already exists (the
+        closing corner of a CP1 square), the recomputed document must match
+        the stored one — a cheap, always-on check of CP1 along every square
+        this space ever builds.
+        """
+        if operation.context != source.key:
+            raise StateSpaceError(
+                f"operation {operation.pretty()} attached at state "
+                f"{format_opid_set(source.key)} with a different context"
+            )
+        target_key = source.key | {operation.opid}
+        existing = self._nodes.get(target_key)
+        if existing is not None:
+            recomputed = source.document.copy()
+            operation.apply(recomputed)
+            if recomputed != existing.document:
+                raise StateSpaceError(
+                    f"CP1 square broken at {format_opid_set(target_key)}: "
+                    f"{recomputed.as_string()!r} != "
+                    f"{existing.document.as_string()!r}"
+                )
+            return existing
+        document = source.document.copy()
+        operation.apply(document)
+        node = StateNode(target_key, document)
+        self._nodes[target_key] = node
+        return node
+
+    # ------------------------------------------------------------------
+    # Comparison / inspection
+    # ------------------------------------------------------------------
+    def signature(self) -> Signature:
+        """Canonical structure for equality comparisons across replicas."""
+        return {
+            key: tuple(
+                (
+                    t.org_id,
+                    t.operation.kind.value,
+                    t.operation.position,
+                    t.target,
+                )
+                for t in node.children
+            )
+            for key, node in self._nodes.items()
+        }
+
+    def same_structure(self, other: "BaseStateSpace") -> bool:
+        """Structural equality (Proposition 6.6's notion of sameness)."""
+        return self.signature() == other.signature()
+
+    def contains_structure(self, other: "BaseStateSpace") -> bool:
+        """Whether every state and transition of ``other`` is in ``self``.
+
+        Transition order is ignored (a 2D state-space does not order
+        siblings the way the n-ary one does); this is the containment of
+        Proposition 7.4, ``DSS ⊆ CSS``.
+        """
+        mine = self.signature()
+        for key, edges in other.signature().items():
+            if key not in mine:
+                return False
+            if not set(edges) <= set(mine[key]):
+                return False
+        return True
+
+    def document_at(self, key: StateKey) -> ListDocument:
+        """The list document at a given state (e.g. ``w13``)."""
+        return self.node(key).document

@@ -1,0 +1,243 @@
+"""State-vector Jupiter — the original UIST'95 wire format.
+
+Nichols et al.'s two-way synchronisation protocol does not ship operation
+*contexts*; each endpoint of a connection keeps a state vector
+``(my_sent, other_received)`` and every message carries the sender's
+vector.  The receiver discards acknowledged entries from its outgoing
+queue (those the sender had already seen) and transforms the incoming
+operation against the rest.
+
+The multi-client system is, as in the Jupiter paper, a star of
+independent two-way links: the server runs one :class:`SyncEndpoint` per
+client plus the serialisation order.  Functionally this coincides with
+:mod:`repro.jupiter.classic` (Theorem 7.1 extends to it, and the tests
+replay identical schedules across all of them); the value of this module
+is wire-format fidelity — counters on the wire, no contexts — which is
+how every deployed Jupiter descendant actually works.
+
+Internally operations still carry contexts (our ``transform`` refuses to
+work blind), but they are *derived locally* from the counters, never
+transmitted: each endpoint reconstructs the context an incoming
+operation must have from its own log, asserting the original algorithm's
+correctness rather than assuming it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.ids import OpId, ReplicaId
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.jupiter.base import BaseClient, BaseServer, GenerateResult, ReceiveResult
+from repro.jupiter.ordering import ServerOrderOracle
+from repro.model.schedule import OpSpec
+from repro.ot.operations import Operation
+from repro.ot.sequences import transform_against_sequence
+
+
+@dataclass(frozen=True)
+class VectorMessage:
+    """One operation plus the sender's state vector.
+
+    ``sent`` counts operations the sender has sent on this connection
+    *before* this one; ``received`` counts operations of the receiver
+    the sender had processed when it sent it.  This is the entire wire
+    metadata of the original protocol.
+    """
+
+    operation: Operation  # context stripped before sending (see below)
+    sent: int
+    received: int
+    origin: ReplicaId
+    serial: Optional[int] = None  # server-assigned, for the record
+
+
+def _strip(operation: Operation) -> Operation:
+    """Remove the context before the operation goes on the wire."""
+    return operation.with_context(frozenset())
+
+
+class SyncEndpoint:
+    """One side of a two-way Jupiter link (the UIST'95 algorithm)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._sent = 0  # ops we sent on this link
+        self._received = 0  # ops of the peer we processed
+        # Outgoing queue: (index of the op among ours, operation in the
+        # form matching the state after everything we had processed).
+        self._outgoing: List[Tuple[int, Operation]] = []
+        # Everything this endpoint has processed, as original op ids, to
+        # reconstruct contexts locally.
+        self._processed: frozenset = frozenset()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(self, operation: Operation) -> VectorMessage:
+        """Register a locally generated operation and build its message."""
+        message = VectorMessage(
+            operation=_strip(operation),
+            sent=self._sent,
+            received=self._received,
+            origin=self.name,
+        )
+        self._outgoing.append((self._sent, operation))
+        self._sent += 1
+        self._processed = self._processed | {operation.opid}
+        return message
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def receive(self, message: VectorMessage) -> Operation:
+        """Process an incoming message; return the executable operation.
+
+        Implements the classic three steps: discard acknowledged outgoing
+        entries, reconstruct the incoming operation's context from our
+        own log, transform it against the unacknowledged rest (updating
+        the queue with the shifted forms).
+        """
+        if message.received > self._sent:
+            raise ProtocolError(
+                f"{self.name}: peer claims to have seen {message.received} "
+                f"of our operations but we only sent {self._sent}"
+            )
+        # 1. Everything the peer had seen is stable: drop it.
+        self._outgoing = [
+            (index, op)
+            for index, op in self._outgoing
+            if index >= message.received
+        ]
+        # 2. The incoming operation was generated after everything the
+        #    peer had processed: all of our history except the pending
+        #    queue, plus the peer operations we have processed.
+        pending_ids = frozenset(op.opid for _, op in self._outgoing)
+        context = self._processed - pending_ids
+        incoming = message.operation.with_context(context)
+        # 3. Transform against the pending queue.
+        executable, shifted = transform_against_sequence(
+            incoming, [op for _, op in self._outgoing]
+        )
+        self._outgoing = [
+            (index, op)
+            for (index, _), op in zip(self._outgoing, shifted)
+        ]
+        self._received += 1
+        self._processed = self._processed | {incoming.opid}
+        return executable
+
+    @property
+    def pending(self) -> int:
+        return len(self._outgoing)
+
+    @property
+    def state_vector(self) -> Tuple[int, int]:
+        return (self._sent, self._received)
+
+
+class VectorClient(BaseClient):
+    """A Jupiter client speaking the state-vector wire format."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id)
+        self._document = (initial_document or ListDocument()).copy()
+        self._endpoint = SyncEndpoint(replica_id)
+        self._context: frozenset = frozenset()
+
+    @property
+    def document(self) -> ListDocument:
+        return self._document
+
+    @property
+    def pending_count(self) -> int:
+        return self._endpoint.pending
+
+    @property
+    def state_vector(self) -> Tuple[int, int]:
+        return self._endpoint.state_vector
+
+    def generate(self, spec: OpSpec) -> GenerateResult:
+        operation = self._operation_from_spec(spec, self._context)
+        operation.apply(self._document)
+        self._context = self._context | {operation.opid}
+        message = self._endpoint.send(operation)
+        return GenerateResult(
+            operation=operation, returned=self.read(), outgoing=message
+        )
+
+    def receive(self, payload: Any) -> ReceiveResult:
+        if not isinstance(payload, VectorMessage):
+            raise ProtocolError(
+                f"{self.replica_id}: unexpected payload {payload!r}"
+            )
+        if payload.origin == self.replica_id:
+            raise ProtocolError(
+                f"{self.replica_id}: the state-vector server never echoes"
+            )
+        executable = self._endpoint.receive(payload)
+        executable.apply(self._document)
+        self._context = self._context | {executable.opid}
+        return ReceiveResult(executed=executable, returned=self.read())
+
+
+class VectorServer(BaseServer):
+    """The star of two-way links plus the serialisation order."""
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: List[ReplicaId],
+        initial_document: Optional[ListDocument] = None,
+    ) -> None:
+        super().__init__(replica_id, clients)
+        self.oracle = ServerOrderOracle()
+        self._document = (initial_document or ListDocument()).copy()
+        self._endpoints: Dict[ReplicaId, SyncEndpoint] = {
+            client: SyncEndpoint(f"s/{client}") for client in clients
+        }
+        self._context: frozenset = frozenset()
+
+    @property
+    def document(self) -> ListDocument:
+        return self._document
+
+    def endpoint_for(self, client: ReplicaId) -> SyncEndpoint:
+        return self._endpoints[client]
+
+    def receive(
+        self, sender: ReplicaId, payload: Any
+    ) -> List[Tuple[ReplicaId, Any]]:
+        if not isinstance(payload, VectorMessage):
+            raise ProtocolError(f"server: unexpected payload {payload!r}")
+        endpoint = self._endpoints.get(sender)
+        if endpoint is None:
+            raise ProtocolError(f"server: unknown client {sender}")
+        serial = self.oracle.assign(payload.operation.opid)
+        executable = endpoint.receive(payload)
+        executable.apply(self._document)
+        self._context = self._context | {executable.opid}
+        outgoing: List[Tuple[ReplicaId, Any]] = []
+        for client in self.clients:
+            if client == sender:
+                continue
+            message = self._endpoints[client].send(executable)
+            outgoing.append(
+                (
+                    client,
+                    VectorMessage(
+                        operation=message.operation,
+                        sent=message.sent,
+                        received=message.received,
+                        origin=sender,
+                        serial=serial,
+                    ),
+                )
+            )
+        return outgoing

@@ -1,0 +1,55 @@
+"""The formal framework of Section 2: events, executions, relations.
+
+This package is a direct transcription of the paper's definitions:
+
+* :mod:`repro.model.events` — ``do`` / ``send`` / ``receive`` events
+  (Definition 2.1's event alphabet);
+* :mod:`repro.model.execution` — concrete executions and well-formedness
+  (Definitions 2.3–2.6);
+* :mod:`repro.model.relations` — happens-before and totally-before
+  (Definitions 2.7, 2.8) and the derived causal / concurrent / total
+  orders on user operations (Definitions 4.1–4.3);
+* :mod:`repro.model.abstract` — abstract executions with visibility and
+  the compliance relation (Definitions 2.9–2.12);
+* :mod:`repro.model.schedule` — schedules (Definition 4.7), the shared
+  input replayed against different protocols for equivalence experiments.
+"""
+
+from repro.model.abstract import AbstractExecution, abstract_from_execution
+from repro.model.events import DoEvent, Event, Message, ReceiveEvent, SendEvent
+from repro.model.execution import Execution, ExecutionRecorder
+from repro.model.relations import CausalOrder, HappensBefore
+from repro.model.schedule import (
+    ClientReceive,
+    Drain,
+    Generate,
+    OpSpec,
+    Read,
+    Schedule,
+    ScheduleBuilder,
+    ServerReceive,
+    Step,
+)
+
+__all__ = [
+    "AbstractExecution",
+    "abstract_from_execution",
+    "DoEvent",
+    "Event",
+    "Message",
+    "ReceiveEvent",
+    "SendEvent",
+    "Execution",
+    "ExecutionRecorder",
+    "CausalOrder",
+    "HappensBefore",
+    "ClientReceive",
+    "Drain",
+    "Generate",
+    "OpSpec",
+    "Read",
+    "Schedule",
+    "ScheduleBuilder",
+    "ServerReceive",
+    "Step",
+]

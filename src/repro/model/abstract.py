@@ -1,0 +1,182 @@
+"""Abstract executions and visibility (Definitions 2.9–2.12).
+
+An :class:`AbstractExecution` is a pair ``(H, vis)``: the history of ``do``
+events and an acyclic visibility relation.  It is the object the three
+list specifications range over; concrete executions are checked by first
+deriving a complying abstract execution (``vis := causal order``, as in the
+paper's proof of Theorem 8.2) and then asking whether it belongs to the
+specification.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.common.ids import OpId
+from repro.document.elements import Element
+from repro.errors import MalformedExecutionError
+from repro.model.events import DoEvent
+from repro.model.execution import Execution
+from repro.model.relations import visibility_from_causality
+
+
+class AbstractExecution:
+    """``A = (H, vis)`` with validation and the queries the specs need."""
+
+    def __init__(
+        self,
+        history: Iterable[DoEvent],
+        visibility: Dict[int, FrozenSet[int]],
+        validate: bool = True,
+    ) -> None:
+        self._history: List[DoEvent] = list(history)
+        self._position: Dict[int, int] = {
+            event.eid: index for index, event in enumerate(self._history)
+        }
+        self._visibility: Dict[int, FrozenSet[int]] = {
+            eid: frozenset(seen) for eid, seen in visibility.items()
+        }
+        for event in self._history:
+            self._visibility.setdefault(event.eid, frozenset())
+        if validate:
+            self.check_valid()
+
+    # ------------------------------------------------------------------
+    # Validation (conditions of Definition 2.9)
+    # ------------------------------------------------------------------
+    def check_valid(self) -> None:
+        known = set(self._position)
+        for eid, seen in self._visibility.items():
+            if eid not in known:
+                raise MalformedExecutionError(f"vis mentions unknown event {eid}")
+            for other in seen:
+                if other not in known:
+                    raise MalformedExecutionError(
+                        f"vis({eid}) mentions unknown event {other}"
+                    )
+                # Condition 2: vis implies precedence in H.
+                if self._position[other] >= self._position[eid]:
+                    raise MalformedExecutionError(
+                        f"event {other} visible to {eid} but not before it in H"
+                    )
+                # Condition 3: transitivity.
+                if not self._visibility.get(other, frozenset()) <= seen:
+                    raise MalformedExecutionError(
+                        f"visibility is not transitive at event {eid}"
+                    )
+        # Condition 1: same-replica precedence implies visibility.
+        last_by_replica: Dict[str, DoEvent] = {}
+        for event in self._history:
+            previous = last_by_replica.get(event.replica)
+            if previous is not None:
+                if previous.eid not in self._visibility[event.eid]:
+                    raise MalformedExecutionError(
+                        f"replica order not in vis: {previous.eid} before "
+                        f"{event.eid} at {event.replica}"
+                    )
+            last_by_replica[event.replica] = event
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def history(self) -> List[DoEvent]:
+        return list(self._history)
+
+    def __len__(self) -> int:
+        return len(self._history)
+
+    def visible_to(self, event: DoEvent) -> FrozenSet[int]:
+        """Event ids of the do events visible to ``event``."""
+        return self._visibility[event.eid]
+
+    def event_by_eid(self, eid: int) -> DoEvent:
+        return self._history[self._position[eid]]
+
+    def updates_visible_to(self, event: DoEvent) -> FrozenSet[int]:
+        """``vis⁻¹_{INS,DEL}(e)``: the list updates visible to ``event``."""
+        return frozenset(
+            eid
+            for eid in self._visibility[event.eid]
+            if self.event_by_eid(eid).is_update
+        )
+
+    # ------------------------------------------------------------------
+    # Element bookkeeping (Section 3.1)
+    # ------------------------------------------------------------------
+    def elems(self) -> Set[Element]:
+        """``elems(A)``: every element ever inserted."""
+        result: Set[Element] = set()
+        for event in self._history:
+            if event.is_update and event.operation.is_insert:
+                assert event.operation.element is not None
+                result.add(event.operation.element)
+        return result
+
+    def insert_event_of(self, opid: OpId) -> Optional[DoEvent]:
+        """The do event that inserted the element identified by ``opid``."""
+        for event in self._history:
+            if (
+                event.is_update
+                and event.operation.is_insert
+                and event.operation.element.opid == opid
+            ):
+                return event
+        return None
+
+    def delete_events_of(self, opid: OpId) -> List[DoEvent]:
+        """All do events deleting the element identified by ``opid``.
+
+        (Several replicas may concurrently delete the same element.)
+        """
+        return [
+            event
+            for event in self._history
+            if event.is_update
+            and event.operation.is_delete
+            and event.operation.element.opid == opid
+        ]
+
+    # ------------------------------------------------------------------
+    # Prefixes (Definition 2.9, closing paragraph)
+    # ------------------------------------------------------------------
+    def prefix(self, length: int) -> "AbstractExecution":
+        """The prefix of the first ``length`` history events."""
+        head = self._history[:length]
+        keep = {event.eid for event in head}
+        visibility = {
+            event.eid: frozenset(self._visibility[event.eid] & keep)
+            for event in head
+        }
+        return AbstractExecution(head, visibility, validate=False)
+
+    # ------------------------------------------------------------------
+    # Compliance (Definition 2.11)
+    # ------------------------------------------------------------------
+    def complies_with(self, execution: Execution) -> bool:
+        """``H|R == α|do_R`` for every replica ``R``."""
+        replicas = set(execution.replicas()) | {
+            event.replica for event in self._history
+        }
+        for replica in replicas:
+            history_projection = [
+                event.eid for event in self._history if event.replica == replica
+            ]
+            execution_projection = [
+                event.eid for event in execution.do_events(replica)
+            ]
+            if history_projection != execution_projection:
+                return False
+        return True
+
+
+def abstract_from_execution(execution: Execution) -> AbstractExecution:
+    """Derive the abstract execution with ``vis := causal order``.
+
+    This is exactly the construction in the paper's proof of Theorem 8.2:
+    ``H`` is the subsequence of do events of ``α`` and an update is visible
+    to an event iff it happens-before it.
+    """
+    execution.check_well_formed()
+    visibility = visibility_from_causality(execution)
+    return AbstractExecution(execution.do_events(), visibility)

@@ -1,0 +1,108 @@
+"""Events of the replica state machines (Definition 2.1).
+
+A replica interacts with its environment through three event kinds:
+
+* ``do(op, v)`` — a user invokes ``op`` and immediately receives ``v``;
+* ``send(m)`` — the replica sends message ``m``;
+* ``receive(m)`` — the replica receives message ``m``.
+
+Events carry an ``eid`` (their index in the recording execution) so that
+relations over events can be represented as relations over integers, and a
+``Message`` carries a unique ``mid`` so that ``send``/``receive`` pairs can
+be matched when deriving happens-before.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional, Tuple
+
+from repro.common.ids import OpId, ReplicaId
+from repro.document.elements import Element
+from repro.ot.operations import Operation
+
+_message_counter = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Message:
+    """An opaque protocol message with a unique identity.
+
+    ``payload`` is whatever the protocol puts on the wire (see
+    :mod:`repro.jupiter.messages`); the model layer only needs ``mid`` for
+    send/receive pairing and ``sender``/``recipient`` for routing.
+    """
+
+    sender: ReplicaId
+    recipient: ReplicaId
+    payload: Any
+    mid: int = field(default_factory=lambda: next(_message_counter))
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"m{self.mid}:{self.sender}->{self.recipient}"
+
+
+@dataclass(frozen=True)
+class DoEvent:
+    """``do(op, v)``: a user operation and the list it returned.
+
+    ``operation`` is the *original* user operation (``org(o)``) for inserts
+    and deletes, and ``None`` for reads.  ``returned`` is the full list
+    contents after the operation — the paper's Ins/Del/Read all return the
+    updated list (Section 3.1).
+    """
+
+    eid: int
+    replica: ReplicaId
+    operation: Optional[Operation]
+    returned: Tuple[Element, ...]
+
+    @property
+    def is_read(self) -> bool:
+        return self.operation is None
+
+    @property
+    def is_update(self) -> bool:
+        """Whether this is a list update (INS or DEL) rather than a read."""
+        return self.operation is not None
+
+    @property
+    def opid(self) -> Optional[OpId]:
+        return self.operation.opid if self.operation is not None else None
+
+    def returned_string(self) -> str:
+        """The returned list as a plain string (for character documents)."""
+        return "".join(str(e.value) for e in self.returned)
+
+    def __str__(self) -> str:
+        op = "Read" if self.is_read else str(self.operation)
+        return f"do[{self.eid}]@{self.replica}({op} -> {self.returned_string()!r})"
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """``send(m)`` at ``replica``."""
+
+    eid: int
+    replica: ReplicaId
+    message: Message
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"send[{self.eid}]@{self.replica}({self.message})"
+
+
+@dataclass(frozen=True)
+class ReceiveEvent:
+    """``receive(m)`` at ``replica``."""
+
+    eid: int
+    replica: ReplicaId
+    message: Message
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"recv[{self.eid}]@{self.replica}({self.message})"
+
+
+#: Any of the three event kinds.
+Event = Any  # Union[DoEvent, SendEvent, ReceiveEvent]; kept loose for speed.

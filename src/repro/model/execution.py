@@ -1,0 +1,149 @@
+"""Concrete executions of a protocol (Definitions 2.3–2.6).
+
+An :class:`Execution` is the recorded interleaving of events across all
+replicas.  The :class:`ExecutionRecorder` is handed to protocol clusters so
+that every ``do``/``send``/``receive`` transition is appended as it happens;
+event ids are assigned densely in execution order, which makes ``e ≺α e'``
+a plain integer comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.common.ids import ReplicaId
+from repro.document.elements import Element
+from repro.errors import MalformedExecutionError
+from repro.model.events import DoEvent, Event, Message, ReceiveEvent, SendEvent
+from repro.ot.operations import Operation
+
+
+class Execution:
+    """A finite, well-formed-checkable sequence of events."""
+
+    def __init__(self, events: Optional[Sequence[Event]] = None) -> None:
+        self._events: List[Event] = list(events or [])
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    # ------------------------------------------------------------------
+    # Projections
+    # ------------------------------------------------------------------
+    def replicas(self) -> List[ReplicaId]:
+        """All replicas appearing in the execution, in first-seen order."""
+        seen: Dict[ReplicaId, None] = {}
+        for event in self._events:
+            seen.setdefault(event.replica, None)
+        return list(seen)
+
+    def at_replica(self, replica: ReplicaId) -> List[Event]:
+        """The subsequence ``α|R`` of events at ``replica``."""
+        return [e for e in self._events if e.replica == replica]
+
+    def do_events(self, replica: Optional[ReplicaId] = None) -> List[DoEvent]:
+        """All ``do`` events, optionally restricted to one replica.
+
+        This is the paper's ``α|do_R`` projection used in the compliance
+        condition (Definition 2.11).
+        """
+        return [
+            e
+            for e in self._events
+            if isinstance(e, DoEvent)
+            and (replica is None or e.replica == replica)
+        ]
+
+    def update_events(self) -> List[DoEvent]:
+        """``do`` events that are list updates (INS or DEL)."""
+        return [e for e in self.do_events() if e.is_update]
+
+    # ------------------------------------------------------------------
+    # Well-formedness (Definition 2.4)
+    # ------------------------------------------------------------------
+    def check_well_formed(self) -> None:
+        """Raise :class:`MalformedExecutionError` on violations.
+
+        We check the message-delivery condition (every ``receive(m)`` is
+        preceded by the matching ``send(m)``) plus basic sanity: event ids
+        are dense and in order, and no message is received twice by the
+        same replica.  The state-transition condition of Definition 2.4 is
+        discharged by construction — events are recorded as replicas take
+        their transitions.
+        """
+        sent_at: Dict[int, int] = {}
+        received: set = set()
+        for position, event in enumerate(self._events):
+            if event.eid != position:
+                raise MalformedExecutionError(
+                    f"event at position {position} has eid {event.eid}"
+                )
+            if isinstance(event, SendEvent):
+                if event.message.mid in sent_at:
+                    raise MalformedExecutionError(
+                        f"message {event.message} sent twice"
+                    )
+                sent_at[event.message.mid] = position
+            elif isinstance(event, ReceiveEvent):
+                key = (event.message.mid, event.replica)
+                if key in received:
+                    raise MalformedExecutionError(
+                        f"message {event.message} received twice at "
+                        f"{event.replica}"
+                    )
+                received.add(key)
+                if sent_at.get(event.message.mid) is None:
+                    raise MalformedExecutionError(
+                        f"receive of {event.message} not preceded by a send"
+                    )
+
+    def is_well_formed(self) -> bool:
+        try:
+            self.check_well_formed()
+        except MalformedExecutionError:
+            return False
+        return True
+
+
+class ExecutionRecorder:
+    """Builds an :class:`Execution` incrementally during a protocol run."""
+
+    def __init__(self) -> None:
+        self._events: List[Event] = []
+
+    @property
+    def next_eid(self) -> int:
+        return len(self._events)
+
+    def record_do(
+        self,
+        replica: ReplicaId,
+        operation: Optional[Operation],
+        returned: Iterable[Element],
+    ) -> DoEvent:
+        event = DoEvent(self.next_eid, replica, operation, tuple(returned))
+        self._events.append(event)
+        return event
+
+    def record_send(self, replica: ReplicaId, message: Message) -> SendEvent:
+        event = SendEvent(self.next_eid, replica, message)
+        self._events.append(event)
+        return event
+
+    def record_receive(self, replica: ReplicaId, message: Message) -> ReceiveEvent:
+        event = ReceiveEvent(self.next_eid, replica, message)
+        self._events.append(event)
+        return event
+
+    def finish(self) -> Execution:
+        """Snapshot the recorded events as an immutable-ish Execution."""
+        return Execution(list(self._events))

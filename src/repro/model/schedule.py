@@ -1,0 +1,176 @@
+"""Schedules: the temporal skeleton of an execution (Definition 4.7).
+
+A schedule fixes *when* each user operation is generated and *when* each
+message is processed, without fixing replica behaviour.  Replaying the same
+schedule against two protocols is how the equivalence experiments compare
+them (Theorem 7.1: "the behaviors of corresponding replicas in the CSS
+protocol and the CSCW protocol are the same under the same schedule").
+
+Steps:
+
+* :class:`Generate` — a client generates a user operation from an
+  :class:`OpSpec` (positions are interpreted against the client's current
+  local document, so the same spec is meaningful for every protocol);
+* :class:`ServerReceive` — the server processes the next queued message
+  from a given client;
+* :class:`ClientReceive` — a client processes the next queued message from
+  the server;
+* :class:`Read` — a client performs a read (a ``do(Read, w)`` event);
+* :class:`Drain` — deliver every in-flight message to quiescence, in a
+  deterministic round-robin order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List, Optional, Sequence, Union
+
+from repro.common.ids import ReplicaId
+from repro.errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """A protocol-independent description of a user operation.
+
+    ``kind`` is ``"ins"`` or ``"del"``; ``position`` is interpreted against
+    the generating client's current document (and must be valid for it);
+    ``value`` is the inserted value for ``"ins"`` and ignored for ``"del"``.
+    """
+
+    kind: str
+    position: int
+    value: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ins", "del"):
+            raise ScheduleError(f"unknown operation kind {self.kind!r}")
+        if self.position < 0:
+            raise ScheduleError(f"negative position {self.position}")
+        if self.kind == "ins" and self.value is None:
+            raise ScheduleError("insert specs need a value")
+
+    def __str__(self) -> str:
+        if self.kind == "ins":
+            return f"Ins({self.value}, {self.position})"
+        return f"Del(_, {self.position})"
+
+
+@dataclass(frozen=True)
+class Generate:
+    """Client ``client`` generates the operation described by ``spec``."""
+
+    client: ReplicaId
+    spec: OpSpec
+
+
+@dataclass(frozen=True)
+class Read:
+    """Client (or server) ``replica`` performs a read."""
+
+    replica: ReplicaId
+
+
+@dataclass(frozen=True)
+class ServerReceive:
+    """Server processes the next queued message from ``client``."""
+
+    client: ReplicaId
+
+
+@dataclass(frozen=True)
+class ClientReceive:
+    """Client ``client`` processes the next queued server message."""
+
+    client: ReplicaId
+
+
+@dataclass(frozen=True)
+class Drain:
+    """Deliver all in-flight messages to quiescence (round-robin)."""
+
+
+Step = Union[Generate, Read, ServerReceive, ClientReceive, Drain]
+
+
+class Schedule:
+    """An immutable sequence of schedule steps."""
+
+    def __init__(self, steps: Sequence[Step]) -> None:
+        self._steps: List[Step] = list(steps)
+
+    def __len__(self) -> int:
+        return len(self._steps)
+
+    def __iter__(self) -> Iterator[Step]:
+        return iter(self._steps)
+
+    def __getitem__(self, index: int) -> Step:
+        return self._steps[index]
+
+    def clients(self) -> List[ReplicaId]:
+        """Clients mentioned by the schedule, in first-seen order."""
+        seen: dict = {}
+        for step in self._steps:
+            name: Optional[ReplicaId] = None
+            if isinstance(step, (Generate, ClientReceive, ServerReceive)):
+                name = step.client
+            elif isinstance(step, Read):
+                name = step.replica
+            if name is not None and name != "s":
+                seen.setdefault(name, None)
+        return list(seen)
+
+    def generate_steps(self) -> List[Generate]:
+        return [s for s in self._steps if isinstance(s, Generate)]
+
+    def __add__(self, other: "Schedule") -> "Schedule":
+        return Schedule(self._steps + list(other))
+
+
+class ScheduleBuilder:
+    """Fluent construction of schedules for scenario code.
+
+    >>> schedule = (
+    ...     ScheduleBuilder()
+    ...     .ins("c1", 0, "x")
+    ...     .server_recv("c1")
+    ...     .client_recv("c2")
+    ...     .drain()
+    ...     .build()
+    ... )
+    """
+
+    def __init__(self) -> None:
+        self._steps: List[Step] = []
+
+    def ins(self, client: ReplicaId, position: int, value: Any) -> "ScheduleBuilder":
+        self._steps.append(Generate(client, OpSpec("ins", position, value)))
+        return self
+
+    def delete(self, client: ReplicaId, position: int) -> "ScheduleBuilder":
+        self._steps.append(Generate(client, OpSpec("del", position)))
+        return self
+
+    def read(self, replica: ReplicaId) -> "ScheduleBuilder":
+        self._steps.append(Read(replica))
+        return self
+
+    def server_recv(self, client: ReplicaId, times: int = 1) -> "ScheduleBuilder":
+        self._steps.extend(ServerReceive(client) for _ in range(times))
+        return self
+
+    def client_recv(self, client: ReplicaId, times: int = 1) -> "ScheduleBuilder":
+        self._steps.extend(ClientReceive(client) for _ in range(times))
+        return self
+
+    def drain(self) -> "ScheduleBuilder":
+        self._steps.append(Drain())
+        return self
+
+    def step(self, step: Step) -> "ScheduleBuilder":
+        self._steps.append(step)
+        return self
+
+    def build(self) -> Schedule:
+        return Schedule(self._steps)

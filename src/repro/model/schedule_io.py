@@ -1,0 +1,119 @@
+"""Saving and loading schedules as JSON.
+
+A recorded schedule is the complete, deterministic description of one
+interleaving; persisting it lets experiments replay the exact same run
+across processes, machines, and protocol implementations (the CLI's
+``record`` / ``replay`` commands, regression corpora for bugs found by
+the fuzzer).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from repro.errors import ScheduleError
+from repro.model.schedule import (
+    ClientReceive,
+    Drain,
+    Generate,
+    OpSpec,
+    Read,
+    Schedule,
+    ServerReceive,
+    Step,
+)
+
+FORMAT_VERSION = 1
+
+
+def _step_to_obj(step: Step) -> Dict[str, Any]:
+    if isinstance(step, Generate):
+        return {
+            "kind": "generate",
+            "client": step.client,
+            "op": {
+                "kind": step.spec.kind,
+                "position": step.spec.position,
+                "value": step.spec.value,
+            },
+        }
+    if isinstance(step, ServerReceive):
+        return {"kind": "server_receive", "client": step.client}
+    if isinstance(step, ClientReceive):
+        return {"kind": "client_receive", "client": step.client}
+    if isinstance(step, Read):
+        return {"kind": "read", "replica": step.replica}
+    if isinstance(step, Drain):
+        return {"kind": "drain"}
+    raise ScheduleError(f"cannot serialise step {step!r}")
+
+
+def _step_from_obj(obj: Dict[str, Any]) -> Step:
+    kind = obj.get("kind")
+    if kind == "generate":
+        op = obj["op"]
+        return Generate(
+            str(obj["client"]),
+            OpSpec(str(op["kind"]), int(op["position"]), op.get("value")),
+        )
+    if kind == "server_receive":
+        return ServerReceive(str(obj["client"]))
+    if kind == "client_receive":
+        return ClientReceive(str(obj["client"]))
+    if kind == "read":
+        return Read(str(obj["replica"]))
+    if kind == "drain":
+        return Drain()
+    raise ScheduleError(f"unknown step kind {kind!r}")
+
+
+def schedule_to_obj(
+    schedule: Schedule, metadata: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Serialise a schedule (plus free-form metadata) to a JSON-able dict."""
+    return {
+        "version": FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "steps": [_step_to_obj(step) for step in schedule],
+    }
+
+
+def schedule_from_obj(obj: Dict[str, Any]) -> Schedule:
+    if obj.get("version") != FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported schedule format version {obj.get('version')!r}"
+        )
+    return Schedule([_step_from_obj(step) for step in obj["steps"]])
+
+
+def save_schedule(
+    schedule: Schedule, path: str, metadata: Optional[Dict[str, Any]] = None
+) -> None:
+    """Write a schedule to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(schedule_to_obj(schedule, metadata), handle, indent=1)
+
+
+def load_schedule(path: str) -> Schedule:
+    """Read a schedule previously written by :func:`save_schedule`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return schedule_from_obj(json.load(handle))
+
+
+def load_metadata(path: str) -> Dict[str, Any]:
+    """Read just the metadata block of a saved schedule."""
+    with open(path, "r", encoding="utf-8") as handle:
+        obj = json.load(handle)
+    if obj.get("version") != FORMAT_VERSION:
+        raise ScheduleError(
+            f"unsupported schedule format version {obj.get('version')!r}"
+        )
+    return dict(obj.get("metadata", {}))
+
+
+def schedules_equal(first: Schedule, second: Schedule) -> bool:
+    """Structural equality of two schedules."""
+    return [_step_to_obj(s) for s in first] == [
+        _step_to_obj(s) for s in second
+    ]

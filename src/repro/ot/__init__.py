@@ -1,0 +1,24 @@
+"""Operational transformation: operations and transformation functions."""
+
+from repro.ot.operations import OpKind, Operation, delete, insert, nop
+from repro.ot.properties import PropertyVerdict, check_cp1, check_cp2
+from repro.ot.sequences import (
+    transform_against_sequence,
+    transform_sequence_against,
+)
+from repro.ot.transform import transform, transform_pair
+
+__all__ = [
+    "OpKind",
+    "Operation",
+    "insert",
+    "delete",
+    "nop",
+    "transform",
+    "transform_pair",
+    "transform_against_sequence",
+    "transform_sequence_against",
+    "PropertyVerdict",
+    "check_cp1",
+    "check_cp2",
+]

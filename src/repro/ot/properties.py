@@ -1,0 +1,99 @@
+"""Executable convergence properties of transformation functions.
+
+CP1 (Definition 4.4) is the property the Jupiter proofs rely on:
+
+    σ; o1; o2'  =  σ; o2; o1'      where (o1', o2') = OT(o1, o2)
+
+CP2 (Prakash & Knister; footnote 4 of the paper) is *not* required by
+Jupiter — the server's total order makes it unnecessary — but we provide a
+checker so the test-suite can document that position-shifting OT indeed
+fails CP2 in general, which is precisely why protocols without a central
+serialisation order (like the broken protocol of Example 8.1) diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.document.list_document import ListDocument
+from repro.ot.operations import Operation
+from repro.ot.sequences import transform_against_sequence
+from repro.ot.transform import transform_pair
+
+
+@dataclass(frozen=True)
+class PropertyVerdict:
+    """Outcome of a convergence-property check, with evidence."""
+
+    holds: bool
+    detail: str = ""
+    left: Optional[List[object]] = None
+    right: Optional[List[object]] = None
+
+    def __bool__(self) -> bool:  # pragma: no cover - trivial
+        return self.holds
+
+
+def _apply_all(document: ListDocument, operations: List[Operation]) -> ListDocument:
+    result = document.copy()
+    for operation in operations:
+        operation.apply(result)
+    return result
+
+
+def check_cp1(
+    document: ListDocument, o1: Operation, o2: Operation
+) -> PropertyVerdict:
+    """Check CP1 for ``o1``/``o2`` defined on ``document``.
+
+    Both orders of the transformed square are executed on copies of
+    ``document`` and the resulting element sequences compared.
+    """
+    o1_prime, o2_prime = transform_pair(o1, o2)
+    via_o1 = _apply_all(document, [o1, o2_prime])
+    via_o2 = _apply_all(document, [o2, o1_prime])
+    if via_o1 == via_o2:
+        return PropertyVerdict(True)
+    return PropertyVerdict(
+        False,
+        detail=(
+            f"CP1 violated for {o1} / {o2}: "
+            f"{via_o1.as_string()!r} != {via_o2.as_string()!r}"
+        ),
+        left=list(via_o1.read()),
+        right=list(via_o2.read()),
+    )
+
+
+def check_cp2(
+    document: ListDocument, o1: Operation, o2: Operation, o3: Operation
+) -> PropertyVerdict:
+    """Check CP2: transforming ``o3`` along either side of the CP1 square
+    of ``o1``/``o2`` yields the same operation effect.
+
+    Formally, with ``(o1', o2') = OT(o1, o2)``:
+
+        OT(OT(o3, o1), o2')  ≡  OT(OT(o3, o2), o1')
+
+    We compare by *effect* (applying both results to the state after the
+    square) rather than syntactically, since a NOP can be represented with
+    different contexts.
+    """
+    o1_prime, o2_prime = transform_pair(o1, o2)
+    via_o1, _ = transform_against_sequence(o3, [o1, o2_prime])
+    via_o2, _ = transform_against_sequence(o3, [o2, o1_prime])
+    base = _apply_all(document, [o1, o2_prime])
+    left = _apply_all(base, [via_o1])
+    right = _apply_all(base, [via_o2])
+    if left == right:
+        return PropertyVerdict(True)
+    return PropertyVerdict(
+        False,
+        detail=(
+            f"CP2 violated for {o1} / {o2} / {o3}: "
+            f"{left.as_string()!r} != {right.as_string()!r}"
+        ),
+        left=list(left.read()),
+        right=list(right.read()),
+    )

@@ -1,0 +1,44 @@
+"""Transforming an operation against a sequence of operations.
+
+This is the inner loop of the paper's Algorithm 1 (without the state-space
+bookkeeping): given an operation ``o`` and a sequence ``L = <o_1 .. o_m>``
+where ``C(o) = C(o_1)`` and ``C(o_{k+1}) = C(o_k) ∪ {org(o_k)}``, iterate
+
+    (o{L[..k]}, L[k]{o}) = OT(o{L[..k-1]}, L[k])
+
+producing ``o{L}`` (the fully transformed ``o``) and ``L{o}`` (the sequence
+``L`` shifted to account for ``o``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.ot.operations import Operation
+from repro.ot.transform import transform_pair
+
+
+def transform_against_sequence(
+    o: Operation, sequence: Sequence[Operation]
+) -> Tuple[Operation, List[Operation]]:
+    """Return ``(o{L}, L{o})`` for ``L = sequence``.
+
+    Context compatibility of each step is enforced by
+    :func:`~repro.ot.transform.transform`, so a mis-ordered ``sequence``
+    raises :class:`~repro.errors.ContextMismatchError` rather than silently
+    producing a wrong transformation.
+    """
+    transformed_o = o
+    shifted: List[Operation] = []
+    for step in sequence:
+        transformed_o, step_shifted = transform_pair(transformed_o, step)
+        shifted.append(step_shifted)
+    return transformed_o, shifted
+
+
+def transform_sequence_against(
+    sequence: Sequence[Operation], o: Operation
+) -> List[Operation]:
+    """Return just ``L{o}``; convenience wrapper over the full transform."""
+    _, shifted = transform_against_sequence(o, sequence)
+    return shifted

@@ -1,0 +1,21 @@
+"""Worked scenarios from the paper, one per figure."""
+
+from repro.scenarios.figures import (
+    FigureScenario,
+    figure1,
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    run_scenario,
+)
+
+__all__ = [
+    "FigureScenario",
+    "figure1",
+    "figure2",
+    "figure6",
+    "figure7",
+    "figure8",
+    "run_scenario",
+]

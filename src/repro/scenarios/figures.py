@@ -1,0 +1,220 @@
+"""Executable encodings of the paper's figures.
+
+Each scenario bundles the schedule, the participating clients, the initial
+document, and the artifacts the paper's figure shows (expected documents,
+state-space states, per-replica paths), so both the test-suite and the
+benchmark harness regenerate the figure from one source of truth.
+
+Figure-to-schedule notes:
+
+* **Figure 1** — two replicas on ``"efecte"``; ``Ins(f,1)`` and
+  ``Del(e,5)`` concurrently; converges to ``"effect"`` with OT.
+* **Figure 2 / Figure 4** — three pairwise-concurrent operations, server
+  order ``o1 ⇒ o2 ⇒ o3``; every replica ends with the same n-ary ordered
+  state-space, walked along different paths (Example 6.2 narrates client
+  ``c3``).
+* **Figure 6** — the richer schedule of [11, Fig. 2] is not reproduced in
+  the paper's text, so we reconstruct a four-operation schedule with the
+  same qualitative features: one operation generated from a non-initial
+  context and interleaved concurrency across three clients.
+* **Figure 7** — the strong-list counterexample: ``o1 = Ins(x,0)`` seen
+  by all; then concurrently ``o2 = Del(x,0)``, ``o3 = Ins(a,0)``,
+  ``o4 = Ins(b,1)``; intermediate states ``w13 = "ax"`` and
+  ``w14 = "xb"``, final state ``"ba"`` — forcing the cyclic list order
+  ``{(a,x), (x,b), (b,a)}``.
+* **Figure 8** — the running counterexample of an *incorrect* protocol.
+  The paper's trace relies on tie-breaking choices of its hypothetical
+  protocol; with our transformation functions the same divergence
+  (final states ``"ayxc"`` vs ``"axyc"`` from initial ``"abc"``) is
+  triggered by the CP2 triple ``Del(b,1) ∥ Ins(x,1) ∥ Ins(y,2)`` under
+  the naive receipt-order protocol of :mod:`repro.jupiter.broken`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.jupiter.cluster import Cluster, make_cluster
+from repro.model.execution import Execution
+from repro.model.schedule import Schedule, ScheduleBuilder
+
+
+@dataclass(frozen=True)
+class FigureScenario:
+    """One paper figure as an executable artifact."""
+
+    name: str
+    paper_figure: str
+    protocol: str
+    clients: Tuple[str, ...]
+    initial_text: str
+    schedule: Schedule
+    #: documents every replica must end with ({} = divergence expected).
+    expected_final: Dict[str, str] = field(default_factory=dict)
+    notes: str = ""
+
+
+def run_scenario(scenario: FigureScenario) -> Tuple[Cluster, Execution]:
+    """Execute a scenario and return the cluster and recorded execution."""
+    cluster = make_cluster(
+        scenario.protocol,
+        list(scenario.clients),
+        initial_text=scenario.initial_text,
+    )
+    execution = cluster.run(scenario.schedule)
+    return cluster, execution
+
+
+# ----------------------------------------------------------------------
+# Figure 1: the OT motivation on "efecte"
+# ----------------------------------------------------------------------
+def figure1(protocol: str = "css") -> FigureScenario:
+    schedule = (
+        ScheduleBuilder()
+        .ins("c1", 1, "f")  # o1 = Ins(f, 1) at R1
+        .delete("c2", 5)  # o2 = Del(e, 5) at R2
+        .drain()
+        .build()
+    )
+    return FigureScenario(
+        name="figure1",
+        paper_figure="Figure 1 (a-c)",
+        protocol=protocol,
+        clients=("c1", "c2"),
+        initial_text="efecte",
+        schedule=schedule,
+        expected_final={"s": "effect", "c1": "effect", "c2": "effect"},
+        notes="Del(e,5) transforms to Del(e,6) against the concurrent "
+        "Ins(f,1); both replicas reach 'effect'.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 2 + Figure 4: three pairwise concurrent operations
+# ----------------------------------------------------------------------
+def figure2(protocol: str = "css") -> FigureScenario:
+    """Server order o1 ⇒ o2 ⇒ o3; c3's deliveries follow Example 6.2."""
+    schedule = (
+        ScheduleBuilder()
+        .ins("c1", 0, "a")  # o1
+        .ins("c2", 0, "b")  # o2
+        .ins("c3", 0, "c")  # o3
+        .server_recv("c1")
+        .server_recv("c2")
+        .server_recv("c3")
+        # FIFO broadcasts now deliver o1, o2, o3 to every client in serial
+        # order (each client skips its own echo).
+        .drain()
+        .build()
+    )
+    return FigureScenario(
+        name="figure2",
+        paper_figure="Figure 2 (schedule) + Figure 4 (state-spaces)",
+        protocol=protocol,
+        clients=("c1", "c2", "c3"),
+        initial_text="",
+        schedule=schedule,
+        expected_final={},  # asserted via state-space structure instead
+        notes="All replicas build the same n-ary ordered state-space via "
+        "different construction paths (Proposition 6.6 / Example 6.3).",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 6: the richer reconstructed schedule
+# ----------------------------------------------------------------------
+def figure6(protocol: str = "css") -> FigureScenario:
+    """Four operations; o3 is generated from the non-initial context {o1}.
+
+    Serial order: o1 ⇒ o2 ⇒ o4 ⇒ o3, with o4 a second (pending) operation
+    of client c1 and o3 generated by c3 only after it received o1.
+    """
+    schedule = (
+        ScheduleBuilder()
+        .ins("c1", 0, "a")  # o1, context {}
+        .ins("c1", 1, "d")  # o4, context {o1} — still pending at c1
+        .ins("c2", 0, "b")  # o2, context {}
+        .server_recv("c1")  # serialises o1  (serial 1)
+        .server_recv("c2")  # serialises o2  (serial 2)
+        .server_recv("c1")  # serialises o4  (serial 3)
+        .client_recv("c3")  # c3 receives o1 ...
+        .ins("c3", 1, "c")  # ... and generates o3 with context {o1}
+        .server_recv("c3")  # serialises o3  (serial 4)
+        .drain()
+        .build()
+    )
+    return FigureScenario(
+        name="figure6",
+        paper_figure="Figure 6 (reconstructed from [11] Fig. 2)",
+        protocol=protocol,
+        clients=("c1", "c2", "c3"),
+        initial_text="",
+        schedule=schedule,
+        expected_final={},
+        notes="Reconstruction: the original schedule of Xu et al. [11] is "
+        "not included in the paper text; this schedule preserves the "
+        "qualitative features (non-initial context, pending local "
+        "operations, richer concurrency).",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 7: Jupiter violates the strong list specification
+# ----------------------------------------------------------------------
+def figure7(protocol: str = "css") -> FigureScenario:
+    schedule = (
+        ScheduleBuilder()
+        .ins("c1", 0, "x")  # o1 = Ins(x, 0)
+        .drain()  # everyone sees x
+        .delete("c1", 0)  # o2 = Del(x, 0)
+        .ins("c2", 0, "a")  # o3 = Ins(a, 0) -> w13 = "ax" at c2
+        .ins("c3", 1, "b")  # o4 = Ins(b, 1) -> w14 = "xb" at c3
+        .server_recv("c1")
+        .server_recv("c2")
+        .server_recv("c3")
+        .drain()
+        .build()
+    )
+    return FigureScenario(
+        name="figure7",
+        paper_figure="Figure 7 (Theorem 8.1)",
+        protocol=protocol,
+        clients=("c1", "c2", "c3"),
+        initial_text="",
+        schedule=schedule,
+        expected_final={"s": "ba", "c1": "ba", "c2": "ba", "c3": "ba"},
+        notes="w13='ax', w14='xb' and w1234='ba' force the cyclic list "
+        "order {(a,x), (x,b), (b,a)}: the strong list specification "
+        "fails while the weak one holds.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 8: the incorrect protocol's divergence
+# ----------------------------------------------------------------------
+def figure8() -> FigureScenario:
+    schedule = (
+        ScheduleBuilder()
+        .delete("c1", 1)  # o1 = Del(b, 1)
+        .ins("c2", 1, "x")  # o2 = Ins(x, 1)
+        .ins("c3", 2, "y")  # o3 = Ins(y, 2)
+        .server_recv("c1")
+        .server_recv("c2")
+        .server_recv("c3")
+        .drain()
+        .build()
+    )
+    return FigureScenario(
+        name="figure8",
+        paper_figure="Figure 8 (Example 8.1, adapted)",
+        protocol="broken",
+        clients=("c1", "c2", "c3"),
+        initial_text="abc",
+        schedule=schedule,
+        expected_final={},  # divergence: c1 ends 'ayxc', c2 ends 'axyc'
+        notes="The naive receipt-order protocol transforms along "
+        "different state-space paths at different clients; CP2 failure "
+        "makes the documents diverge into the figure's incompatible "
+        "states 'ayxc' / 'axyc'.",
+    )

@@ -1,0 +1,49 @@
+"""Deterministic discrete-event simulation of Jupiter deployments.
+
+The original Jupiter system ran clients against a central server over TCP;
+we substitute a simulated network that preserves exactly the properties
+the paper's proofs rely on — FIFO, exactly-once, eventually-delivered
+channels (Section 2.1.3) — while making every run deterministic and
+replayable:
+
+* :mod:`repro.sim.network` — latency models and FIFO channel timing;
+* :mod:`repro.sim.workload` — random editing workload generators;
+* :mod:`repro.sim.runner` — the event loop driving a protocol cluster in
+  simulated time, recording both the concrete execution and the abstract
+  :class:`~repro.model.schedule.Schedule` for replay against other
+  protocols;
+* :mod:`repro.sim.trace` — turning recorded executions into abstract
+  executions and running all three specification checkers.
+"""
+
+from repro.sim.network import (
+    FifoChannelTimer,
+    FixedLatency,
+    LatencyModel,
+    OfflinePeriods,
+    UniformLatency,
+)
+from repro.sim.fuzz import FuzzReport, fuzz
+from repro.sim.p2p import P2PSimulationResult, P2PSimulationRunner
+from repro.sim.runner import SimulationResult, SimulationRunner, replay
+from repro.sim.trace import SpecReport, check_all_specs
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+__all__ = [
+    "FifoChannelTimer",
+    "FixedLatency",
+    "LatencyModel",
+    "OfflinePeriods",
+    "UniformLatency",
+    "FuzzReport",
+    "fuzz",
+    "P2PSimulationResult",
+    "P2PSimulationRunner",
+    "SimulationResult",
+    "SimulationRunner",
+    "replay",
+    "SpecReport",
+    "check_all_specs",
+    "WorkloadConfig",
+    "WorkloadGenerator",
+]

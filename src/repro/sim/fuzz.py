@@ -1,0 +1,146 @@
+"""Randomised end-to-end fuzzing of protocols against the specifications.
+
+One fuzz case = a random protocol configuration (client count, workload
+shape, network) driven to quiescence and checked against every
+specification the protocol is supposed to satisfy.  The CLI exposes this
+as ``python -m repro fuzz``; the test-suite uses it for smoke coverage
+and the checkers' sensitivity is exercised by including the broken
+protocol (whose divergences must be *caught*).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.sim.network import FixedLatency, UniformLatency
+from repro.sim.runner import SimulationRunner
+from repro.sim.trace import check_all_specs
+from repro.sim.workload import WorkloadConfig
+
+#: What each protocol guarantees; the fuzzer fails a case when a
+#: guaranteed property is violated, and *also* when the broken protocol
+#: diverges without any checker noticing (checker sensitivity).
+GUARANTEES: Dict[str, Dict[str, bool]] = {
+    "css": {"convergence": True, "weak": True, "strong": False},
+    "css-gc": {"convergence": True, "weak": True, "strong": False},
+    "cscw": {"convergence": True, "weak": True, "strong": False},
+    "classic": {"convergence": True, "weak": True, "strong": False},
+    "vector": {"convergence": True, "weak": True, "strong": False},
+    "rga": {"convergence": True, "weak": True, "strong": True},
+    "logoot": {"convergence": True, "weak": True, "strong": True},
+    "woot": {"convergence": True, "weak": True, "strong": True},
+    "treedoc": {"convergence": True, "weak": True, "strong": True},
+    "broken": {"convergence": False, "weak": False, "strong": False},
+}
+
+
+@dataclass
+class FuzzCase:
+    """One randomly drawn configuration."""
+
+    protocol: str
+    workload: WorkloadConfig
+    latency_seed: int
+
+    def describe(self) -> str:
+        w = self.workload
+        return (
+            f"{self.protocol} clients={w.clients} ops={w.operations} "
+            f"ins={w.insert_ratio} pos={w.positions} seed={w.seed} "
+            f"lat={self.latency_seed}"
+        )
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of a fuzz session."""
+
+    cases: int = 0
+    failures: List[str] = field(default_factory=list)
+    broken_divergences_caught: int = 0
+    strong_violations_seen: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz: {self.cases} cases, {len(self.failures)} failure(s), "
+            f"{self.broken_divergences_caught} broken-protocol divergences "
+            f"caught, {self.strong_violations_seen} Jupiter strong-list "
+            "violations observed (Theorem 8.1 in the wild)"
+        ]
+        lines.extend(f"  FAIL {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+def draw_case(rng: random.Random, protocols: Optional[List[str]] = None) -> FuzzCase:
+    pool = protocols or list(GUARANTEES)
+    return FuzzCase(
+        protocol=rng.choice(pool),
+        workload=WorkloadConfig(
+            clients=rng.randint(2, 5),
+            operations=rng.randint(5, 40),
+            insert_ratio=rng.choice([0.5, 0.7, 0.9, 1.0]),
+            positions=rng.choice(["uniform", "append", "hotspot"]),
+            seed=rng.randrange(1 << 30),
+        ),
+        latency_seed=rng.randrange(1 << 30),
+    )
+
+
+def run_case(case: FuzzCase, report: FuzzReport) -> None:
+    """Execute one case and fold the verdicts into ``report``."""
+    report.cases += 1
+    latency = (
+        FixedLatency(0.002)
+        if case.latency_seed % 3 == 0
+        else UniformLatency(0.01, 0.6, seed=case.latency_seed)
+    )
+    try:
+        result = SimulationRunner(
+            case.protocol, case.workload, latency
+        ).run()
+        spec_report = check_all_specs(result.execution)
+    except Exception as error:  # noqa: BLE001 - fuzzing boundary
+        report.failures.append(f"{case.describe()}: crashed: {error!r}")
+        return
+
+    guarantees = GUARANTEES[case.protocol]
+    if guarantees["convergence"] and not result.converged:
+        report.failures.append(f"{case.describe()}: documents diverged")
+    if guarantees["convergence"] and not spec_report.convergence.ok:
+        report.failures.append(f"{case.describe()}: Acp violated")
+    if guarantees["weak"] and not spec_report.weak_list.ok:
+        report.failures.append(f"{case.describe()}: Aweak violated")
+    if guarantees["strong"] and not spec_report.strong_list.ok:
+        report.failures.append(f"{case.describe()}: Astrong violated")
+    if guarantees["convergence"] and not guarantees["strong"]:
+        if not spec_report.strong_list.ok:
+            report.strong_violations_seen += 1
+
+    if case.protocol == "broken" and not result.converged:
+        # Divergence happened: at least one checker must have noticed.
+        if spec_report.convergence.ok and spec_report.weak_list.ok:
+            report.failures.append(
+                f"{case.describe()}: broken protocol diverged but no "
+                "checker flagged it"
+            )
+        else:
+            report.broken_divergences_caught += 1
+
+
+def fuzz(
+    cases: int = 25,
+    seed: int = 0,
+    protocols: Optional[List[str]] = None,
+) -> FuzzReport:
+    """Run ``cases`` random configurations; deterministic per ``seed``."""
+    rng = random.Random(seed)
+    report = FuzzReport()
+    for _ in range(cases):
+        run_case(draw_case(rng, protocols), report)
+    return report

@@ -1,0 +1,125 @@
+"""Discrete-event simulation of the decentralised CSS protocol.
+
+Same shape as :mod:`repro.sim.runner` but over a full mesh: peers
+generate operations at Poisson arrival times and every message (operation
+broadcasts *and* stability acknowledgements) travels through a FIFO
+channel with model-supplied latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.ids import ReplicaId
+from repro.errors import SimulationError
+from repro.jupiter.peer_cluster import PeerCluster
+from repro.model.execution import Execution
+from repro.sim.network import FifoChannelTimer, FixedLatency, LatencyModel
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+
+@dataclass
+class P2PSimulationResult:
+    """Everything one simulated peer-to-peer run produces."""
+
+    cluster: PeerCluster
+    execution: Execution
+    duration: float
+    messages_delivered: int
+
+    def documents(self) -> Dict[ReplicaId, str]:
+        return self.cluster.documents()
+
+    @property
+    def converged(self) -> bool:
+        return self.cluster.converged()
+
+
+class P2PSimulationRunner:
+    """Run dCSS under one workload and latency model."""
+
+    def __init__(
+        self,
+        workload: Optional[WorkloadConfig] = None,
+        latency: Optional[LatencyModel] = None,
+        initial_text: str = "",
+        observe_after_receive: bool = True,
+        final_reads: bool = True,
+    ) -> None:
+        self.workload = workload or WorkloadConfig()
+        self.latency = latency or FixedLatency()
+        self.initial_text = initial_text
+        self.observe_after_receive = observe_after_receive
+        self.final_reads = final_reads
+
+    def run(self) -> P2PSimulationResult:
+        peers = self.workload.client_names()
+        cluster = PeerCluster(
+            peers,
+            initial_text=self.initial_text,
+            observe_after_receive=self.observe_after_receive,
+        )
+        generator = WorkloadGenerator(self.workload)
+        timer = FifoChannelTimer()
+        counter = itertools.count()
+        heap: List[Tuple[float, int, Tuple]] = []
+
+        for time, peer in generator.generation_times():
+            heapq.heappush(heap, (time, next(counter), ("gen", peer)))
+
+        def queue_new_messages(sender_hint: Optional[str], now: float) -> None:
+            """Schedule deliveries for any message newly put on a channel."""
+            for (sender, recipient), channel in cluster._channels.items():
+                backlog = scheduled.get((sender, recipient), 0)
+                for _ in range(len(channel) - backlog):
+                    arrival = timer.delivery_time(
+                        self.latency, sender, recipient, now
+                    )
+                    heapq.heappush(
+                        heap,
+                        (arrival, next(counter), ("recv", recipient, sender)),
+                    )
+                scheduled[(sender, recipient)] = len(channel)
+
+        scheduled: Dict[Tuple[str, str], int] = {}
+        now = 0.0
+        delivered = 0
+        while heap:
+            now, _, action = heapq.heappop(heap)
+            if action[0] == "gen":
+                peer = action[1]
+                length = len(cluster.peers[peer].document)
+                spec = generator.next_spec(peer, length)
+                cluster.generate(peer, spec)
+            elif action[0] == "recv":
+                receiver, sender = action[1], action[2]
+                cluster.deliver(receiver, sender)
+                delivered += 1
+                scheduled[(sender, receiver)] -= 1
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown action {action!r}")
+            queue_new_messages(None, now)
+
+        if cluster.in_flight():
+            raise SimulationError("messages left in flight after event loop")
+        stuck = {
+            name: peer.holdback_size
+            for name, peer in cluster.peers.items()
+            if peer.holdback_size
+        }
+        if stuck:
+            raise SimulationError(f"stability deadlock at quiescence: {stuck}")
+
+        if self.final_reads:
+            for peer in sorted(cluster.peers):
+                cluster.read(peer)
+
+        return P2PSimulationResult(
+            cluster=cluster,
+            execution=cluster.execution(),
+            duration=now,
+            messages_delivered=delivered,
+        )

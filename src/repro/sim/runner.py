@@ -1,0 +1,194 @@
+"""The simulation event loop.
+
+Drives a protocol cluster through a random workload in simulated time:
+operation generations fire at their Poisson arrival times, messages travel
+through FIFO channels with model-supplied latencies, and every step is
+appended to a :class:`~repro.model.schedule.Schedule` so the exact same
+interleaving can be replayed against a different protocol (the setup of
+every Theorem 7.1 equivalence experiment).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.ids import SERVER_ID, ReplicaId
+from repro.errors import SimulationError
+from repro.jupiter.cluster import Cluster, make_cluster
+from repro.model.execution import Execution
+from repro.model.schedule import (
+    ClientReceive,
+    Generate,
+    Read,
+    Schedule,
+    ServerReceive,
+    Step,
+)
+from repro.sim.network import FifoChannelTimer, FixedLatency, LatencyModel
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulated run produces."""
+
+    cluster: Cluster
+    execution: Execution
+    schedule: Schedule
+    duration: float  # simulated seconds until quiescence
+    messages_delivered: int
+    #: simulated time each operation was generated, by OpId.
+    generated_at: Dict = None  # type: ignore[assignment]
+    #: simulated time each (opid, replica) pair saw the operation applied.
+    applied_at: Dict = None  # type: ignore[assignment]
+
+    def documents(self) -> Dict[ReplicaId, str]:
+        return self.cluster.documents()
+
+    @property
+    def converged(self) -> bool:
+        return len(set(self.documents().values())) == 1
+
+    def propagation_latencies(self) -> Dict:
+        """Per-operation time from generation to remote application.
+
+        Maps each OpId to the list of (replica, delay) pairs for every
+        *remote* replica that applied it — the user-facing "how stale can
+        another user's screen be" metric of optimistic replication.
+        """
+        latencies: Dict = {}
+        for (opid, replica), when in (self.applied_at or {}).items():
+            start = (self.generated_at or {}).get(opid)
+            if start is None:
+                continue
+            latencies.setdefault(opid, []).append((replica, when - start))
+        return latencies
+
+
+class SimulationRunner:
+    """Run one protocol under one workload and latency model."""
+
+    def __init__(
+        self,
+        protocol: str = "css",
+        workload: Optional[WorkloadConfig] = None,
+        latency: Optional[LatencyModel] = None,
+        initial_text: str = "",
+        observe_after_receive: bool = True,
+        final_reads: bool = True,
+    ) -> None:
+        self.protocol = protocol
+        self.workload = workload or WorkloadConfig()
+        self.latency = latency or FixedLatency()
+        self.initial_text = initial_text
+        self.observe_after_receive = observe_after_receive
+        self.final_reads = final_reads
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        clients = self.workload.client_names()
+        cluster = make_cluster(
+            self.protocol,
+            clients,
+            initial_text=self.initial_text,
+            observe_after_receive=self.observe_after_receive,
+        )
+        generator = WorkloadGenerator(self.workload)
+        timer = FifoChannelTimer()
+        steps: List[Step] = []
+        counter = itertools.count()
+        heap: List[Tuple[float, int, Tuple]] = []
+
+        for time, client in generator.generation_times():
+            heapq.heappush(heap, (time, next(counter), ("gen", client)))
+
+        now = 0.0
+        delivered = 0
+        generated_at: dict = {}
+        applied_at: dict = {}
+        while heap:
+            now, _, action = heapq.heappop(heap)
+            kind = action[0]
+            if kind == "gen":
+                client = action[1]
+                length = len(cluster.clients[client].document)
+                spec = generator.next_spec(client, length)
+                cluster.generate(client, spec)
+                generated_at[cluster.behaviors[client][-1].opid] = now
+                steps.append(Generate(client, spec))
+                arrival = timer.delivery_time(
+                    self.latency, client, SERVER_ID, now
+                )
+                heapq.heappush(
+                    heap, (arrival, next(counter), ("srv", client))
+                )
+            elif kind == "srv":
+                client = action[1]
+                before = {
+                    name: cluster.pending_to_client(name) for name in clients
+                }
+                cluster.server_receive(client)
+                steps.append(ServerReceive(client))
+                for name in clients:
+                    newly_queued = cluster.pending_to_client(name) - before[name]
+                    for _ in range(newly_queued):
+                        arrival = timer.delivery_time(
+                            self.latency, SERVER_ID, name, now
+                        )
+                        heapq.heappush(
+                            heap, (arrival, next(counter), ("cli", name))
+                        )
+            elif kind == "cli":
+                client = action[1]
+                cluster.client_receive(client)
+                steps.append(ClientReceive(client))
+                delivered += 1
+                last = cluster.behaviors[client][-1]
+                if last.action == "apply" and last.opid is not None:
+                    applied_at[(last.opid, client)] = now
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown simulation action {action!r}")
+
+        if cluster.in_flight():
+            raise SimulationError(
+                f"{cluster.in_flight()} messages still in flight after the "
+                "event loop drained; FIFO timing is broken"
+            )
+
+        if self.final_reads:
+            for replica in [*sorted(cluster.clients), SERVER_ID]:
+                cluster.read(replica)
+                steps.append(Read(replica))
+
+        return SimulationResult(
+            cluster=cluster,
+            execution=cluster.recorder.finish(),
+            schedule=Schedule(steps),
+            duration=now,
+            messages_delivered=delivered,
+            generated_at=generated_at,
+            applied_at=applied_at,
+        )
+
+
+def replay(
+    protocol: str,
+    schedule: Schedule,
+    clients: Sequence[ReplicaId],
+    initial_text: str = "",
+    observe_after_receive: bool = True,
+) -> Cluster:
+    """Run ``schedule`` (typically recorded by a runner) on ``protocol``."""
+    cluster = make_cluster(
+        protocol,
+        clients,
+        initial_text=initial_text,
+        observe_after_receive=observe_after_receive,
+    )
+    cluster.run(schedule)
+    return cluster

@@ -1,0 +1,67 @@
+"""From recorded executions to specification verdicts."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.document.elements import Element
+from repro.document.list_document import ListDocument
+from repro.model.abstract import AbstractExecution, abstract_from_execution
+from repro.model.execution import Execution
+from repro.specs.convergence import check_convergence
+from repro.specs.report import CheckResult
+from repro.specs.strong_list import check_strong_list
+from repro.specs.weak_list import check_weak_list
+
+
+@dataclass
+class SpecReport:
+    """All three list-specification verdicts for one execution."""
+
+    convergence: CheckResult
+    weak_list: CheckResult
+    strong_list: CheckResult
+
+    @property
+    def ok_for_jupiter(self) -> bool:
+        """What Theorems 6.7 + 8.2 predict for any Jupiter execution.
+
+        Convergence and the weak list specification must hold; the strong
+        list specification may or may not (Theorem 8.1 exhibits schedules
+        where it fails, but many executions satisfy it anyway).
+        """
+        return self.convergence.ok and self.weak_list.ok
+
+    def summary(self) -> str:
+        return "\n".join(
+            result.summary()
+            for result in (self.convergence, self.weak_list, self.strong_list)
+        )
+
+
+def initial_elements_of(initial_text: str) -> Tuple[Element, ...]:
+    """The shared initial-document elements for a given starting text.
+
+    Must mirror :func:`repro.jupiter.cluster.make_cluster`'s construction
+    so the spec checkers see the same element identities the replicas use.
+    """
+    if not initial_text:
+        return ()
+    return tuple(ListDocument.from_string(initial_text).read())
+
+
+def check_all_specs(
+    execution: Execution,
+    initial_text: str = "",
+    abstract: Optional[AbstractExecution] = None,
+) -> SpecReport:
+    """Derive the abstract execution (vis := causality) and check it."""
+    if abstract is None:
+        abstract = abstract_from_execution(execution)
+    initial = initial_elements_of(initial_text)
+    return SpecReport(
+        convergence=check_convergence(abstract),
+        weak_list=check_weak_list(abstract, initial_elements=initial),
+        strong_list=check_strong_list(abstract, initial_elements=initial),
+    )

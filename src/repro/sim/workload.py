@@ -1,0 +1,147 @@
+"""Random editing workloads.
+
+A workload decides, per client, *when* operations are generated (Poisson
+arrivals) and *what* they are (insert/delete mix, position distribution,
+value alphabet).  Positions are drawn against the client's live document
+at generation time, so the produced operations are always valid; the
+runner records the materialised :class:`~repro.model.schedule.OpSpec` so
+the identical schedule can be replayed against other protocols.
+
+Position distributions model common editing patterns:
+
+* ``uniform`` — edits anywhere (collaborative brainstorming);
+* ``append`` — edits near the end (log-style writing);
+* ``hotspot`` — a sticky cursor with local moves (real typing), the
+  pattern the Jupiter paper's interactive-editing setting implies;
+* ``typing`` — a full editing-session model: each user keeps a cursor,
+  types characters left-to-right in runs ("words"), occasionally
+  backspaces over a mistake, and sometimes jumps the cursor elsewhere in
+  the document.  ``insert_ratio`` is ignored in this mode — the
+  insert/delete mix emerges from the typing behaviour itself.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.ids import ReplicaId
+from repro.model.schedule import OpSpec
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a random editing workload."""
+
+    clients: int = 3
+    operations: int = 30  # total across clients
+    insert_ratio: float = 0.7
+    positions: str = "uniform"  # uniform | append | hotspot
+    alphabet: str = string.ascii_lowercase
+    rate_per_client: float = 2.0  # operations per simulated second
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("need at least one client")
+        if self.operations < 0:
+            raise ValueError("negative operation count")
+        if not 0.0 <= self.insert_ratio <= 1.0:
+            raise ValueError("insert_ratio must be in [0, 1]")
+        if self.positions not in ("uniform", "append", "hotspot", "typing"):
+            raise ValueError(f"unknown position distribution {self.positions!r}")
+        if self.rate_per_client <= 0:
+            raise ValueError("rate must be positive")
+
+    def client_names(self) -> List[ReplicaId]:
+        return [f"c{i + 1}" for i in range(self.clients)]
+
+
+class WorkloadGenerator:
+    """Draws operation times and specs for one workload configuration."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self._cursor: Dict[ReplicaId, int] = {}
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def generation_times(self) -> List[tuple]:
+        """``(time, client)`` pairs for every operation, time-sorted.
+
+        Each client generates operations with exponential inter-arrival
+        times; operations are distributed round-robin so every client gets
+        a fair share of the total budget.
+        """
+        clients = self.config.client_names()
+        times: List[tuple] = []
+        clock: Dict[ReplicaId, float] = {name: 0.0 for name in clients}
+        for index in range(self.config.operations):
+            client = clients[index % len(clients)]
+            clock[client] += self._rng.expovariate(self.config.rate_per_client)
+            times.append((clock[client], client))
+        times.sort()
+        return times
+
+    # ------------------------------------------------------------------
+    # Operation contents
+    # ------------------------------------------------------------------
+    def _position(self, client: ReplicaId, length: int, inserting: bool) -> int:
+        limit = length if inserting else length - 1
+        if limit <= 0:
+            return 0
+        style = self.config.positions
+        if style == "uniform":
+            return self._rng.randint(0, limit)
+        if style == "append":
+            # Strong bias to the tail, occasional mid-document fix-up.
+            if self._rng.random() < 0.85:
+                return limit
+            return self._rng.randint(0, limit)
+        # hotspot: a per-client cursor taking small steps.
+        cursor = self._cursor.get(client, limit // 2)
+        cursor += self._rng.randint(-2, 2)
+        cursor = max(0, min(limit, cursor))
+        self._cursor[client] = cursor
+        return cursor
+
+    def next_spec(self, client: ReplicaId, document_length: int) -> OpSpec:
+        """The next operation for ``client`` given its current length."""
+        if self.config.positions == "typing":
+            return self._typing_spec(client, document_length)
+        inserting = (
+            document_length == 0
+            or self._rng.random() < self.config.insert_ratio
+        )
+        position = self._position(client, document_length, inserting)
+        if inserting:
+            value = self._rng.choice(self.config.alphabet)
+            return OpSpec("ins", position, value)
+        return OpSpec("del", position)
+
+    # ------------------------------------------------------------------
+    # The typing-session model
+    # ------------------------------------------------------------------
+    def _typing_spec(self, client: ReplicaId, length: int) -> OpSpec:
+        """One keystroke of an editing session.
+
+        Behaviour mix (roughly matching interactive-editor traces):
+        ~80 % plain typing at the cursor, ~8 % backspace, ~12 % cursor
+        jump followed by typing at the new spot.
+        """
+        cursor = min(self._cursor.get(client, length), length)
+        roll = self._rng.random()
+        if roll < 0.08 and cursor > 0 and length > 0:
+            # Backspace: delete the character left of the cursor.
+            self._cursor[client] = cursor - 1
+            return OpSpec("del", cursor - 1)
+        if roll < 0.20 and length > 0:
+            # Jump: the user clicks elsewhere, then types there.
+            cursor = self._rng.randint(0, length)
+        value = self._rng.choice(self.config.alphabet)
+        self._cursor[client] = cursor + 1
+        return OpSpec("ins", cursor, value)

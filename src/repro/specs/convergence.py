@@ -1,0 +1,67 @@
+"""The convergence property ``Acp`` (Definition 3.1).
+
+Two read events that observe the same set of list updates must return the
+same list.  Following footnote 3 of the paper this is the *strong*
+convergence property of Shapiro et al.; it is the specification Jupiter was
+originally designed for, and Theorem 6.7 shows CSS satisfies it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.model.abstract import AbstractExecution
+from repro.model.events import DoEvent
+from repro.specs.report import CheckResult
+
+
+def check_convergence(
+    abstract: AbstractExecution, reads_only: bool = False
+) -> CheckResult:
+    """Check that equal visible-update sets imply equal returned lists.
+
+    Definition 3.1 quantifies over ``Read`` events; since every operation
+    in the replicated list returns the full list, by default we check the
+    stronger statement over *all* do events (any event doubles as a read
+    of the state it produced).  Pass ``reads_only=True`` for the literal
+    definition.
+    """
+    result = CheckResult("convergence property (Def. 3.1)")
+    groups: Dict[FrozenSet[int], List[DoEvent]] = {}
+    for event in abstract.history:
+        if reads_only and not event.is_read:
+            continue
+        observed = abstract.updates_visible_to(event)
+        if event.is_update:
+            # The event's own update is part of what its return reflects;
+            # include it so events are grouped by the state they expose.
+            observed = observed | {event.eid}
+        groups.setdefault(observed, []).append(event)
+        result.events_checked += 1
+
+    for observed, events in groups.items():
+        reference = events[0]
+        for event in events[1:]:
+            if event.returned != reference.returned:
+                result.add(
+                    "Def 3.1",
+                    (
+                        f"events {reference.eid} and {event.eid} observe the "
+                        f"same updates but return "
+                        f"{reference.returned_string()!r} vs "
+                        f"{event.returned_string()!r}"
+                    ),
+                    witness=(reference, event, observed),
+                )
+    return result
+
+
+def final_states_by_replica(
+    abstract: AbstractExecution,
+) -> Dict[str, Tuple]:
+    """The last returned list at each replica — a convenient convergence
+    summary for tests and benchmarks."""
+    finals: Dict[str, Tuple] = {}
+    for event in abstract.history:
+        finals[event.replica] = event.returned
+    return finals

@@ -1,0 +1,174 @@
+"""The list order ``lo`` and state compatibility (Definitions 8.1, 8.2).
+
+The paper's proof of Theorem 8.2 hinges on two notions made executable
+here:
+
+* the **list order** ``a lo b`` — "there exists an event with returned
+  list ``w`` such that ``a`` appears before ``b`` in ``w``" (Def. 8.1);
+* **state compatibility** — two returned lists agree on the relative order
+  of all their common elements (Def. 8.2); Lemma 8.3 shows ``lo`` is
+  irreflexive (as a strict order) iff all returned lists are pairwise
+  compatible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.document.elements import Element
+
+
+class ListOrder:
+    """``lo`` built from a collection of returned lists, with queries."""
+
+    def __init__(self) -> None:
+        # successors[a] = elements that some list places after a.
+        self._successors: Dict[Element, Set[Element]] = {}
+        self._elements: Set[Element] = set()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_list(self, returned: Sequence[Element]) -> None:
+        """Record every ordered pair of one returned list."""
+        for index, earlier in enumerate(returned):
+            self._elements.add(earlier)
+            bucket = self._successors.setdefault(earlier, set())
+            for later in returned[index + 1 :]:
+                bucket.add(later)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def elements(self) -> Set[Element]:
+        return set(self._elements)
+
+    def ordered(self, first: Element, second: Element) -> bool:
+        """``first lo second``."""
+        return second in self._successors.get(first, ())
+
+    def pairs(self) -> Iterable[Tuple[Element, Element]]:
+        for first, bucket in self._successors.items():
+            for second in bucket:
+                yield first, second
+
+    def is_irreflexive(self) -> bool:
+        return all(
+            first not in bucket for first, bucket in self._successors.items()
+        )
+
+    def is_total_on(self, elements: Sequence[Element]) -> bool:
+        """Total on ``elements``: every distinct pair ordered some way."""
+        for i, first in enumerate(elements):
+            for second in elements[i + 1 :]:
+                if not (self.ordered(first, second) or self.ordered(second, first)):
+                    return False
+        return True
+
+    def is_transitive_on(self, elements: Sequence[Element]) -> bool:
+        """Transitive when restricted to ``elements``."""
+        element_set = set(elements)
+        for first in elements:
+            for second in self._successors.get(first, ()):
+                if second not in element_set:
+                    continue
+                for third in self._successors.get(second, ()):
+                    if third in element_set and not self.ordered(first, third):
+                        return False
+        return True
+
+    def find_cycle(self) -> Optional[List[Element]]:
+        """A directed cycle in ``lo`` if one exists, else ``None``.
+
+        A cycle is how the strong-list counterexample manifests: Figure 7
+        yields ``lo ⊇ {(a,x), (x,b), (b,a)}``.
+        """
+        return find_cycle(self._successors)
+
+
+def build_list_order(returned_lists: Iterable[Sequence[Element]]) -> ListOrder:
+    """Build Definition 8.1's ``lo`` from all returned lists."""
+    order = ListOrder()
+    for returned in returned_lists:
+        order.add_list(returned)
+    return order
+
+
+def compatible(
+    first: Sequence[Element], second: Sequence[Element]
+) -> Optional[Tuple[Element, Element]]:
+    """Check state compatibility (Definition 8.2).
+
+    Returns ``None`` when the two lists are compatible, or a witness pair
+    ``(a, b)`` of common elements such that ``a`` precedes ``b`` in
+    ``first`` but ``b`` precedes ``a`` in ``second``.
+    """
+    position_in_second = {element: i for i, element in enumerate(second)}
+    common = [element for element in first if element in position_in_second]
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            if position_in_second[common[i]] > position_in_second[common[j]]:
+                return (common[i], common[j])
+    return None
+
+
+def all_pairwise_compatible(
+    returned_lists: Sequence[Sequence[Element]],
+) -> Optional[Tuple[int, int, Tuple[Element, Element]]]:
+    """First incompatibility among the lists, or ``None``.
+
+    Returns ``(i, j, (a, b))`` where lists ``i`` and ``j`` disagree on the
+    order of common elements ``a`` and ``b``.
+    """
+    for i in range(len(returned_lists)):
+        for j in range(i + 1, len(returned_lists)):
+            witness = compatible(returned_lists[i], returned_lists[j])
+            if witness is not None:
+                return (i, j, witness)
+    return None
+
+
+def find_cycle(successors: Dict[Element, Set[Element]]) -> Optional[List[Element]]:
+    """Find any directed cycle in an adjacency mapping.
+
+    Iterative DFS with colouring; returns the cycle as a list of elements
+    (first element repeated implicitly), or ``None`` when acyclic.
+    """
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[Element, int] = {}
+    parent: Dict[Element, Optional[Element]] = {}
+
+    for root in successors:
+        if colour.get(root, WHITE) != WHITE:
+            continue
+        stack: List[Tuple[Element, Iterable[Element]]] = [
+            (root, iter(successors.get(root, ())))
+        ]
+        colour[root] = GREY
+        parent[root] = None
+        while stack:
+            node, children = stack[-1]
+            advanced = False
+            for child in children:
+                state = colour.get(child, WHITE)
+                if state == GREY:
+                    # Found a back-edge: child .. node is a cycle.
+                    cycle = [node]
+                    walker: Optional[Element] = parent[node]
+                    while walker is not None and cycle[-1] != child:
+                        cycle.append(walker)
+                        walker = parent[walker]
+                    if cycle[-1] != child:
+                        cycle.append(child)
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    colour[child] = GREY
+                    parent[child] = node
+                    stack.append((child, iter(successors.get(child, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return None

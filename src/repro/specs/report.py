@@ -1,0 +1,50 @@
+"""Verdict objects returned by the specification checkers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One reason an abstract execution fails a specification."""
+
+    condition: str
+    description: str
+    witness: Optional[Any] = None
+
+    def __str__(self) -> str:
+        return f"[{self.condition}] {self.description}"
+
+
+@dataclass
+class CheckResult:
+    """Outcome of checking one specification against one execution."""
+
+    specification: str
+    violations: List[Violation] = field(default_factory=list)
+    events_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def add(self, condition: str, description: str, witness: Any = None) -> None:
+        self.violations.append(Violation(condition, description, witness))
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"{self.specification}: SATISFIED "
+                f"({self.events_checked} events checked)"
+            )
+        lines = [
+            f"{self.specification}: VIOLATED "
+            f"({len(self.violations)} violation(s)):"
+        ]
+        lines.extend(f"  - {violation}" for violation in self.violations)
+        return "\n".join(lines)

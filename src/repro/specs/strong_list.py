@@ -1,0 +1,91 @@
+"""The strong list specification ``Astrong`` (Definition 3.2).
+
+Beyond the weak specification, the strong one requires a *single* list
+order ``lo`` that is transitive, irreflexive and total over **all**
+elements ever inserted — orderings relative to deleted elements must hold
+even after the deletion.
+
+Completeness of the checker: condition 1b forces ``lo`` to contain the
+order of every returned list, so a suitable ``lo`` exists iff the union of
+those orders is acyclic (any linear extension is then total, transitive
+and irreflexive).  The checker therefore reports the cycle as the witness;
+for the paper's Figure 7 it is exactly ``a → x → b → a``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.document.elements import Element
+from repro.model.abstract import AbstractExecution
+from repro.specs.list_order import build_list_order
+from repro.specs.report import CheckResult
+from repro.specs.weak_list import check_element_conditions
+
+
+def check_strong_list(
+    abstract: AbstractExecution,
+    initial_elements: Tuple[Element, ...] = (),
+) -> CheckResult:
+    """Check membership in ``Astrong``.
+
+    ``initial_elements`` declares a non-empty starting document (see
+    :func:`~repro.specs.weak_list.check_element_conditions`).
+    """
+    result = CheckResult("strong list specification (Def. 3.2)")
+    check_element_conditions(abstract, result, initial_elements)
+
+    order = build_list_order(event.returned for event in abstract.history)
+    cycle = order.find_cycle()
+    if cycle is not None:
+        rendering = " -> ".join(e.pretty() for e in cycle + cycle[:1])
+        result.add(
+            "2 (total order)",
+            (
+                "no total list order exists: the returned lists force the "
+                f"cycle {rendering}"
+            ),
+            witness=cycle,
+        )
+    return result
+
+
+def witness_list_order(
+    abstract: AbstractExecution,
+) -> Optional[List[Element]]:
+    """A concrete ``lo`` witnessing ``Astrong`` membership, if one exists.
+
+    Returns a topological ordering of ``elems(A)`` consistent with every
+    returned list (i.e. the total order as a list), or ``None`` when the
+    constraints are cyclic.  Useful for tests that want to exhibit the
+    order, e.g. for RGA executions.
+    """
+    order = build_list_order(event.returned for event in abstract.history)
+    elements: Set[Element] = set(abstract.elems()) | order.elements()
+    successors: Dict[Element, Set[Element]] = {e: set() for e in elements}
+    indegree: Dict[Element, int] = {e: 0 for e in elements}
+    for first, second in order.pairs():
+        if second not in successors[first]:
+            successors[first].add(second)
+            indegree[second] += 1
+
+    # Kahn's algorithm with deterministic tie-breaking on element identity.
+    ready = sorted(
+        (e for e in elements if indegree[e] == 0),
+        key=lambda e: (str(e.value), e.opid),
+    )
+    topological: List[Element] = []
+    while ready:
+        node = ready.pop(0)
+        topological.append(node)
+        inserted_any = False
+        for child in successors[node]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+                inserted_any = True
+        if inserted_any:
+            ready.sort(key=lambda e: (str(e.value), e.opid))
+    if len(topological) != len(elements):
+        return None
+    return topological

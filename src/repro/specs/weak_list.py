@@ -1,0 +1,195 @@
+"""The weak list specification ``Aweak`` (Definition 3.3).
+
+An abstract execution satisfies the weak list specification iff there is a
+list order ``lo`` such that (1) every event returns exactly the visible
+inserted-but-not-deleted elements, ordered consistently with ``lo``, with
+inserts landing at their requested position, and (2) ``lo`` is irreflexive
+and transitive/total on every returned list.
+
+The checker is sound *and complete*: condition 1b forces ``lo`` to contain
+the order of every returned list, so the union of those orders
+(Definition 8.1) is the minimal candidate; it works iff all returned lists
+are pairwise compatible (Lemma 8.3) — two lists disagreeing on common
+elements ``a``, ``b`` would force ``(a,b)`` and ``(b,a)`` into ``lo``, and
+transitivity on either list would then break irreflexivity.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.document.elements import Element
+from repro.model.abstract import AbstractExecution
+from repro.model.events import DoEvent
+from repro.specs.list_order import build_list_order
+from repro.specs.report import CheckResult
+
+
+def check_element_conditions(
+    abstract: AbstractExecution,
+    result: CheckResult,
+    initial_elements: Tuple[Element, ...] = (),
+) -> None:
+    """Conditions 1a and 1c, shared by the weak and strong checkers.
+
+    ``initial_elements`` are elements present in every replica's document
+    before the execution starts (the paper's worked examples begin from
+    lists like ``"abc"``); they count as inserted-and-visible everywhere.
+    """
+    for event in abstract.history:
+        result.events_checked += 1
+        _check_contents(abstract, event, result, initial_elements)
+        _check_insert_position(event, result)
+
+
+def _check_contents(
+    abstract: AbstractExecution,
+    event: DoEvent,
+    result: CheckResult,
+    initial_elements: Tuple[Element, ...] = (),
+) -> None:
+    """Condition 1a: ``w`` is exactly visible inserts minus deletes."""
+    visible = set(abstract.updates_visible_to(event))
+    if event.is_update:
+        visible.add(event.eid)  # ``≤vis`` includes the event itself
+    inserted: Set[Element] = set(initial_elements)
+    deleted: Set[Element] = set()
+    for eid in visible:
+        update = abstract.event_by_eid(eid)
+        assert update.operation is not None
+        if update.operation.is_insert:
+            inserted.add(update.operation.element)
+        elif update.operation.is_delete:
+            deleted.add(update.operation.element)
+    expected = inserted - deleted
+    actual = set(event.returned)
+    if actual != expected:
+        missing = expected - actual
+        extra = actual - expected
+        description = (
+            f"event {event.eid} at {event.replica} returned "
+            f"{event.returned_string()!r} but the visible updates imply "
+            f"{{{', '.join(sorted(str(e.value) for e in expected))}}}"
+        )
+        if missing:
+            description += f"; missing {sorted(str(e.value) for e in missing)}"
+        if extra:
+            description += f"; extra {sorted(str(e.value) for e in extra)}"
+        result.add("1a", description, witness=event)
+    if len(actual) != len(event.returned):
+        result.add(
+            "1a",
+            f"event {event.eid} returned duplicate elements",
+            witness=event,
+        )
+
+
+def _check_insert_position(event: DoEvent, result: CheckResult) -> None:
+    """Condition 1c: ``op = Ins(a, k)`` implies ``a = w[min(k, n-1)]``."""
+    if not event.is_update or not event.operation.is_insert:
+        return
+    operation = event.operation
+    assert operation.element is not None and operation.position is not None
+    length = len(event.returned)
+    if length == 0:
+        result.add(
+            "1c",
+            f"insert event {event.eid} returned an empty list",
+            witness=event,
+        )
+        return
+    landing = min(operation.position, length - 1)
+    if event.returned[landing] != operation.element:
+        result.add(
+            "1c",
+            (
+                f"insert event {event.eid} requested position "
+                f"{operation.position} but element {operation.element.pretty()} "
+                f"is not at index {landing} of {event.returned_string()!r}"
+            ),
+            witness=event,
+        )
+
+
+def _first_incompatibility(
+    events: List[DoEvent],
+) -> Tuple[DoEvent, DoEvent, Tuple[Element, Element]]:
+    """Locate a pair of events whose returned lists are incompatible.
+
+    Only called when an incompatibility is known to exist; scans pairwise
+    (the fast screening is done by :func:`check_weak_list` via a reversed-
+    pair lookup on the union order).
+    """
+    positions: List[Dict[Element, int]] = [
+        {element: index for index, element in enumerate(event.returned)}
+        for event in events
+    ]
+    for i in range(len(events)):
+        for j in range(i + 1, len(events)):
+            first, second = positions[i], positions[j]
+            common = [e for e in events[i].returned if e in second]
+            for x in range(len(common)):
+                for y in range(x + 1, len(common)):
+                    if second[common[x]] > second[common[y]]:
+                        return events[i], events[j], (common[x], common[y])
+    raise AssertionError("incompatibility was detected but cannot be located")
+
+
+def check_weak_list(
+    abstract: AbstractExecution,
+    thorough: bool = False,
+    initial_elements: Tuple[Element, ...] = (),
+) -> CheckResult:
+    """Check membership in ``Aweak``.
+
+    ``thorough=True`` additionally re-verifies condition 2 directly on the
+    constructed list order (irreflexive, transitive and total on each
+    returned list) instead of relying on the compatibility argument alone —
+    slower, used by the test-suite to validate the checker itself.
+    ``initial_elements`` declares a non-empty starting document (see
+    :func:`check_element_conditions`).
+    """
+    result = CheckResult("weak list specification (Def. 3.3)")
+    check_element_conditions(abstract, result, initial_elements)
+
+    order = build_list_order(event.returned for event in abstract.history)
+
+    # Pairwise compatibility ⟺ no reversed pair in the union order.
+    incompatible = any(
+        order.ordered(second, first) for first, second in order.pairs()
+    )
+    if incompatible:
+        first_event, second_event, (a, b) = _first_incompatibility(
+            abstract.history
+        )
+        result.add(
+            "2 (compatibility)",
+            (
+                f"incompatible states: event {first_event.eid} returned "
+                f"{first_event.returned_string()!r} but event "
+                f"{second_event.eid} returned "
+                f"{second_event.returned_string()!r} — common elements "
+                f"{a.pretty()} and {b.pretty()} appear in opposite orders"
+            ),
+            witness=(first_event, second_event, a, b),
+        )
+
+    if thorough:
+        if not order.is_irreflexive():
+            result.add("2", "list order is not irreflexive")
+        for event in abstract.history:
+            returned = list(event.returned)
+            if not order.is_total_on(returned):
+                result.add(
+                    "2",
+                    f"list order not total on the list of event {event.eid}",
+                    witness=event,
+                )
+            if not incompatible and not order.is_transitive_on(returned):
+                result.add(
+                    "2",
+                    f"list order not transitive on the list of event "
+                    f"{event.eid}",
+                    witness=event,
+                )
+    return result

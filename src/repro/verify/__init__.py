@@ -1,0 +1,25 @@
+"""Exhaustive verification for small configurations.
+
+Property tests sample the schedule space; for small configurations we
+can do better and enumerate it *completely*:
+
+* :mod:`repro.verify.explorer` — run a protocol under **every** possible
+  interleaving of a fixed set of user operations (all delivery orders
+  permitted by FIFO channels) and check every run against the
+  specifications;
+* :mod:`repro.verify.ot_exhaustive` — check CP1 for **every** pair of
+  operations over every document up to a bounded length.
+
+This turns the paper's theorems into finite, fully-checked statements on
+bounded instances — the strongest evidence short of the proofs
+themselves.
+"""
+
+from repro.verify.explorer import ExplorationReport, explore_all_schedules
+from repro.verify.ot_exhaustive import exhaustive_cp1
+
+__all__ = [
+    "ExplorationReport",
+    "explore_all_schedules",
+    "exhaustive_cp1",
+]

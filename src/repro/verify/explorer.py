@@ -1,0 +1,209 @@
+"""Exhaustive schedule exploration for client/server protocols.
+
+Fix a *script*: for each client, the ordered list of operations it will
+generate (as :class:`~repro.model.schedule.OpSpec`, interpreted against
+its live document).  The explorer enumerates every schedule consistent
+with the protocol's rules — a client generates its next scripted
+operation at any time; the server receives from any non-empty channel;
+a client receives any queued broadcast — which, with FIFO channels,
+covers **all** reachable executions of that script.
+
+Every complete (quiescent) run is checked: all replicas converged, the
+convergence property, and the weak list specification; optionally the
+strong list specification is *surveyed* (counted, not asserted — for
+Jupiter it legitimately fails on some schedules, and the survey measures
+how often).
+
+Complexity is factorial in the event count, so this is for small
+instances (e.g. 3 clients × 1 op ≈ 10⁴ runs); the point is completeness,
+not scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.jupiter.cluster import make_cluster
+from repro.model.schedule import (
+    ClientReceive,
+    Generate,
+    OpSpec,
+    Schedule,
+    ServerReceive,
+    Step,
+)
+from repro.sim.trace import check_all_specs
+
+Script = Dict[str, Sequence[OpSpec]]
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate outcome of one exhaustive exploration."""
+
+    protocol: str
+    runs: int = 0
+    truncated: bool = False
+    divergent: int = 0
+    convergence_violations: int = 0
+    weak_violations: int = 0
+    strong_violations: int = 0
+    distinct_finals: Dict[str, int] = field(default_factory=dict)
+    first_failure: Optional[Schedule] = None
+
+    @property
+    def ok(self) -> bool:
+        """No violations of what the protocol guarantees."""
+        return (
+            self.divergent == 0
+            and self.convergence_violations == 0
+            and self.weak_violations == 0
+        )
+
+    def summary(self) -> str:
+        finals = ", ".join(
+            f"{final!r}×{count}"
+            for final, count in sorted(self.distinct_finals.items())
+        )
+        status = "OK" if self.ok else "VIOLATIONS FOUND"
+        extra = " (truncated)" if self.truncated else ""
+        return (
+            f"{self.protocol}: {self.runs} schedules explored{extra} — "
+            f"{status}; strong-list violations on "
+            f"{self.strong_violations} schedule(s); finals: {finals}"
+        )
+
+
+def _enabled_actions(
+    remaining: Dict[str, int],
+    to_server: Dict[str, int],
+    to_client: Dict[str, int],
+) -> List[Tuple[str, str]]:
+    actions: List[Tuple[str, str]] = []
+    for client in sorted(remaining):
+        if remaining[client]:
+            actions.append(("gen", client))
+    for client in sorted(to_server):
+        if to_server[client]:
+            actions.append(("srv", client))
+    for client in sorted(to_client):
+        if to_client[client]:
+            actions.append(("cli", client))
+    return actions
+
+
+#: Protocols whose server does not echo the generator's own operation
+#: back to it (the state-vector wire format piggybacks acknowledgements).
+_NO_ECHO_PROTOCOLS = frozenset({"vector"})
+
+
+def _schedules(
+    script: Script,
+    clients: List[str],
+    max_runs: Optional[int],
+    echoes: bool = True,
+) -> Tuple[List[List[Step]], bool]:
+    """Enumerate all maximal schedules of ``script`` (DFS over actions)."""
+    complete: List[List[Step]] = []
+    truncated = False
+
+    def recurse(
+        steps: List[Step],
+        remaining: Dict[str, int],
+        to_server: Dict[str, int],
+        to_client: Dict[str, int],
+    ) -> None:
+        nonlocal truncated
+        if truncated:
+            return
+        actions = _enabled_actions(remaining, to_server, to_client)
+        if not actions:
+            if max_runs is not None and len(complete) >= max_runs:
+                truncated = True
+                return
+            complete.append(list(steps))
+            return
+        for kind, client in actions:
+            if kind == "gen":
+                index = len(script[client]) - remaining[client]
+                steps.append(Generate(client, script[client][index]))
+                remaining[client] -= 1
+                to_server[client] += 1
+                recurse(steps, remaining, to_server, to_client)
+                to_server[client] -= 1
+                remaining[client] += 1
+            elif kind == "srv":
+                steps.append(ServerReceive(client))
+                to_server[client] -= 1
+                recipients = [
+                    other
+                    for other in to_client
+                    if echoes or other != client
+                ]
+                for other in recipients:
+                    to_client[other] += 1
+                recurse(steps, remaining, to_server, to_client)
+                for other in recipients:
+                    to_client[other] -= 1
+                to_server[client] += 1
+            else:
+                steps.append(ClientReceive(client))
+                to_client[client] -= 1
+                recurse(steps, remaining, to_server, to_client)
+                to_client[client] += 1
+            steps.pop()
+
+    recurse(
+        [],
+        {c: len(script[c]) for c in clients},
+        {c: 0 for c in clients},
+        {c: 0 for c in clients},
+    )
+    return complete, truncated
+
+
+def explore_all_schedules(
+    script: Script,
+    protocol: str = "css",
+    initial_text: str = "",
+    max_runs: Optional[int] = 200_000,
+) -> ExplorationReport:
+    """Run ``protocol`` under every schedule of ``script`` and check it.
+
+    ``max_runs`` bounds the enumeration defensively; hitting it sets
+    ``truncated`` on the report (completeness claims then no longer
+    apply).
+    """
+    clients = sorted(script)
+    report = ExplorationReport(protocol=protocol)
+    schedules, report.truncated = _schedules(
+        script,
+        clients,
+        max_runs,
+        echoes=protocol not in _NO_ECHO_PROTOCOLS,
+    )
+    for steps in schedules:
+        schedule = Schedule(steps)
+        cluster = make_cluster(protocol, clients, initial_text=initial_text)
+        execution = cluster.run(schedule)
+        report.runs += 1
+        documents = cluster.documents()
+        final = documents[sorted(documents)[0]]
+        if len(set(documents.values())) != 1:
+            report.divergent += 1
+            report.first_failure = report.first_failure or schedule
+        else:
+            report.distinct_finals[final] = (
+                report.distinct_finals.get(final, 0) + 1
+            )
+        spec_report = check_all_specs(execution, initial_text=initial_text)
+        if not spec_report.convergence.ok:
+            report.convergence_violations += 1
+            report.first_failure = report.first_failure or schedule
+        if not spec_report.weak_list.ok:
+            report.weak_violations += 1
+            report.first_failure = report.first_failure or schedule
+        if not spec_report.strong_list.ok:
+            report.strong_violations += 1
+    return report

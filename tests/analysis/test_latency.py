@@ -1,0 +1,71 @@
+"""Tests for propagation-latency statistics."""
+
+import pytest
+
+from repro.analysis.latency import (
+    percentile,
+    propagation_stats,
+    staleness_per_operation,
+    summarise,
+)
+from repro.sim import FixedLatency, SimulationRunner, WorkloadConfig
+
+
+class TestPercentile:
+    def test_single_value(self):
+        assert percentile([5.0], 0.5) == 5.0
+        assert percentile([5.0], 0.99) == 5.0
+
+    def test_median_of_odd_sample(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_p95_nearest_rank(self):
+        sample = list(range(1, 101))
+        assert percentile(sample, 0.95) == 95
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+class TestSummarise:
+    def test_summary_fields(self):
+        stats = summarise([1.0, 2.0, 3.0, 4.0])
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.maximum == 4.0
+        assert "p95" in str(stats)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarise([])
+
+
+class TestSimulationLatency:
+    def run(self, latency_seconds=0.1):
+        config = WorkloadConfig(clients=3, operations=12, seed=3)
+        return SimulationRunner(
+            "css", config, FixedLatency(latency_seconds)
+        ).run()
+
+    def test_every_op_reaches_every_remote_replica(self):
+        result = self.run()
+        latencies = result.propagation_latencies()
+        assert len(latencies) == 12
+        for pairs in latencies.values():
+            # 3 clients: each op reaches the 2 other clients.
+            assert len(pairs) == 2
+
+    def test_fixed_latency_bounds_delays(self):
+        result = self.run(latency_seconds=0.1)
+        stats = propagation_stats(result)
+        # Two hops (client -> server -> client) at 0.1s each, plus FIFO
+        # epsilon adjustments; queuing can only delay further.
+        assert stats.count == 24
+        assert stats.p50 >= 0.2 - 1e-9
+
+    def test_staleness_per_operation(self):
+        result = self.run()
+        staleness = staleness_per_operation(result)
+        assert len(staleness) == 12
+        assert all(delay >= 0.2 - 1e-9 for delay in staleness)

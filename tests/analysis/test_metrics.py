@@ -1,0 +1,71 @@
+"""Tests for the metrics collector."""
+
+from repro.analysis import collect_metrics
+from repro.jupiter import make_cluster
+from repro.model import ScheduleBuilder
+
+
+def concurrent_schedule():
+    return (
+        ScheduleBuilder()
+        .ins("c1", 0, "a")
+        .ins("c2", 0, "b")
+        .ins("c3", 0, "c")
+        .drain()
+        .build()
+    )
+
+
+class TestJupiterMetrics:
+    def test_css_maintains_one_space_per_replica(self):
+        cluster = make_cluster("css", ["c1", "c2", "c3"])
+        cluster.run(concurrent_schedule())
+        metrics = collect_metrics(cluster, "css")
+        # 1 + n spaces total: the paper's headline count for CSS.
+        assert metrics.total_spaces == 4
+        assert all(count == 1 for count in metrics.spaces_maintained.values())
+
+    def test_cscw_server_maintains_n_spaces(self):
+        cluster = make_cluster("cscw", ["c1", "c2", "c3"])
+        cluster.run(concurrent_schedule())
+        metrics = collect_metrics(cluster, "cscw")
+        # n at the server + 1 per client = 2n.
+        assert metrics.spaces_maintained["s"] == 3
+        assert metrics.total_spaces == 6
+
+    def test_ot_counts_recorded(self):
+        cluster = make_cluster("css", ["c1", "c2", "c3"])
+        cluster.run(concurrent_schedule())
+        metrics = collect_metrics(cluster, "css")
+        assert metrics.total_ot_count > 0
+        assert metrics.document_length == 3
+
+    def test_classic_has_no_spaces(self):
+        cluster = make_cluster("classic", ["c1", "c2"])
+        cluster.run(ScheduleBuilder().ins("c1", 0, "a").drain().build())
+        metrics = collect_metrics(cluster, "classic")
+        assert metrics.total_spaces == 0
+        assert metrics.total_ot_count == 0
+
+
+class TestCrdtMetrics:
+    def test_rga_tombstones_counted(self):
+        cluster = make_cluster("rga", ["c1", "c2"])
+        schedule = (
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .drain()
+            .delete("c2", 0)
+            .drain()
+            .build()
+        )
+        cluster.run(schedule)
+        metrics = collect_metrics(cluster, "rga")
+        # Every replica (server included) retains the tombstone.
+        assert metrics.total_crdt_metadata == 3
+
+    def test_logoot_identifier_components_counted(self):
+        cluster = make_cluster("logoot", ["c1", "c2"])
+        cluster.run(ScheduleBuilder().ins("c1", 0, "a").drain().build())
+        metrics = collect_metrics(cluster, "logoot")
+        assert metrics.total_crdt_metadata >= 3  # one id per replica

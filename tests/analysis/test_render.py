@@ -1,0 +1,72 @@
+"""Tests for ASCII and DOT rendering of state-spaces."""
+
+from repro.analysis.render import (
+    render_behavior,
+    render_documents,
+    render_nary_space,
+    to_dot,
+)
+from repro.jupiter import make_cluster
+from repro.model import ScheduleBuilder
+
+
+def small_css_cluster():
+    cluster = make_cluster("css", ["c1", "c2"])
+    cluster.run(
+        ScheduleBuilder().ins("c1", 0, "a").ins("c2", 0, "b").drain().build()
+    )
+    return cluster
+
+
+class TestAsciiRendering:
+    def test_one_line_per_state(self):
+        cluster = small_css_cluster()
+        art = render_nary_space(cluster.server.space, title="T")
+        assert art.startswith("T")
+        assert art.count("children=") == cluster.server.space.node_count()
+
+    def test_documents_listing(self):
+        cluster = small_css_cluster()
+        listing = render_documents(cluster)
+        assert "c1:" in listing and "s:" in listing
+
+    def test_behavior_listing(self):
+        cluster = small_css_cluster()
+        line = render_behavior(cluster, "c1")
+        assert line.startswith("c1:")
+        assert "generate" in line
+
+    def test_behavior_of_unknown_replica_is_empty(self):
+        cluster = small_css_cluster()
+        assert render_behavior(cluster, "ghost") == "ghost: "
+
+
+class TestDotExport:
+    def test_dot_structure(self):
+        cluster = small_css_cluster()
+        space = cluster.server.space
+        dot = to_dot(space, name="fig")
+        assert dot.startswith("digraph fig {")
+        assert dot.rstrip().endswith("}")
+        # One node line per state, one edge line per transition.
+        assert dot.count("[label=") == (
+            space.node_count() + space.transition_count()
+        )
+
+    def test_sibling_order_in_edge_labels(self):
+        cluster = make_cluster("css", ["c1", "c2", "c3"])
+        cluster.run(
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .ins("c2", 0, "b")
+            .ins("c3", 0, "c")
+            .drain()
+            .build()
+        )
+        dot = to_dot(cluster.server.space)
+        assert '"1: ' in dot and '"2: ' in dot and '"3: ' in dot
+
+    def test_root_node_named_s0(self):
+        cluster = small_css_cluster()
+        dot = to_dot(cluster.server.space)
+        assert "s0 [label=" in dot

@@ -1,0 +1,34 @@
+"""Tests for the programmatic experiment report."""
+
+from repro.analysis.report import build_report, report_is_clean
+
+
+class TestBuildReport:
+    def test_report_is_clean_on_healthy_code(self):
+        markdown = build_report(operations=12, seed=1)
+        assert report_is_clean(markdown), markdown
+
+    def test_report_contains_all_sections(self):
+        markdown = build_report(operations=12, seed=1)
+        assert "## Paper figures" in markdown
+        assert "## Protocol comparison" in markdown
+        assert "## Equivalence theorems" in markdown
+
+    def test_report_mentions_every_protocol(self):
+        markdown = build_report(operations=12, seed=1)
+        for protocol in ("css", "cscw", "classic", "rga", "logoot", "woot"):
+            assert f"| {protocol} |" in markdown
+
+    def test_custom_title(self):
+        markdown = build_report(operations=12, seed=1, title="My Title")
+        assert markdown.startswith("# My Title")
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(["report", "--operations", "12", "--out", str(out)]) == 0
+        assert "## Paper figures" in out.read_text()
+
+    def test_report_is_clean_detects_failures(self):
+        assert not report_is_clean("| Figure 1 | x | **FAILED** |")

@@ -1,0 +1,56 @@
+"""Tests for the space-time diagram renderer."""
+
+from repro.analysis.spacetime import render_spacetime, spacetime_summary
+from repro.scenarios import figure2, run_scenario
+
+
+def figure2_execution():
+    _, execution = run_scenario(figure2())
+    return execution
+
+
+class TestRenderSpacetime:
+    def test_columns_for_all_replicas(self):
+        execution = figure2_execution()
+        art = render_spacetime(execution)
+        header = art.splitlines()[0]
+        for name in ("c1", "c2", "c3", "s"):
+            assert name in header
+
+    def test_generation_rows_present(self):
+        execution = figure2_execution()
+        art = render_spacetime(execution)
+        assert art.count("do Ins") == 3
+
+    def test_receive_rows_present(self):
+        execution = figure2_execution()
+        art = render_spacetime(execution)
+        # Server receives 3 ops; each client receives 3 broadcasts.
+        assert art.count("recv<") == 3 + 9
+
+    def test_sends_hidden_by_default(self):
+        execution = figure2_execution()
+        assert "send>" not in render_spacetime(execution)
+        assert "send>" in render_spacetime(execution, include_sends=True)
+
+    def test_reads_hidden_by_default(self):
+        execution = figure2_execution()
+        assert "read" not in render_spacetime(execution)
+        shown = render_spacetime(execution, include_reads=True)
+        assert "read" in shown
+
+    def test_explicit_column_selection(self):
+        execution = figure2_execution()
+        art = render_spacetime(execution, replicas=["c3", "s"])
+        header = art.splitlines()[0]
+        assert header.startswith("c3")
+        assert "c1" not in header
+
+
+class TestSummary:
+    def test_counts_per_replica(self):
+        execution = figure2_execution()
+        summary = spacetime_summary(execution)
+        assert summary["s"]["receive"] == 3
+        assert summary["s"]["send"] == 9
+        assert summary["c1"]["do"] >= 1

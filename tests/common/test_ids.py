@@ -1,0 +1,73 @@
+"""Tests for replica/operation identifiers and serial numbers."""
+
+import pytest
+
+from repro.common import (
+    EMPTY_STATE,
+    OpId,
+    SeqGenerator,
+    SerialCounter,
+    SerialNumber,
+    format_opid_set,
+)
+
+
+class TestOpId:
+    def test_equality_is_structural(self):
+        assert OpId("c1", 1) == OpId("c1", 1)
+        assert OpId("c1", 1) != OpId("c1", 2)
+        assert OpId("c1", 1) != OpId("c2", 1)
+
+    def test_hashable_and_usable_in_sets(self):
+        ids = {OpId("c1", 1), OpId("c1", 1), OpId("c2", 1)}
+        assert len(ids) == 2
+
+    def test_ordering_is_deterministic(self):
+        assert OpId("c1", 1) < OpId("c1", 2)
+        assert OpId("c1", 9) < OpId("c2", 1)
+
+    def test_str(self):
+        assert str(OpId("c3", 7)) == "c3:7"
+
+
+class TestSeqGenerator:
+    def test_generates_monotonic_ids(self):
+        gen = SeqGenerator("c1")
+        first, second, third = gen.next_opid(), gen.next_opid(), gen.next_opid()
+        assert (first.seq, second.seq, third.seq) == (1, 2, 3)
+        assert first.replica == "c1"
+
+    def test_custom_start(self):
+        gen = SeqGenerator("c2", start=10)
+        assert gen.next_opid() == OpId("c2", 10)
+
+    def test_current_peeks_without_advancing(self):
+        gen = SeqGenerator("c1")
+        assert gen.current == 1
+        gen.next_opid()
+        assert gen.current == 2
+
+
+class TestSerialNumber:
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SerialNumber(0)
+
+    def test_total_order(self):
+        assert SerialNumber(1) < SerialNumber(2)
+        assert not SerialNumber(2) < SerialNumber(1)
+
+    def test_counter_is_monotonic(self):
+        counter = SerialCounter()
+        assert counter.next_serial() == SerialNumber(1)
+        assert counter.next_serial() == SerialNumber(2)
+        assert counter.issued == 2
+
+
+class TestFormatting:
+    def test_empty_state_renders_as_braces(self):
+        assert format_opid_set(EMPTY_STATE) == "{}"
+
+    def test_sorted_rendering(self):
+        rendered = format_opid_set({OpId("c2", 1), OpId("c1", 2)})
+        assert rendered == "{c1:2, c2:1}"

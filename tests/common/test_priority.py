@@ -1,0 +1,22 @@
+"""Tests for the replica-priority tie-breaking convention."""
+
+from repro.common import priority_of
+
+
+class TestPriorityOf:
+    def test_larger_client_id_has_higher_priority(self):
+        # Figure 7 footnote: "client with a larger id has a higher priority".
+        assert priority_of("c3") > priority_of("c2") > priority_of("c1")
+
+    def test_numeric_suffix_compares_numerically(self):
+        assert priority_of("c10") > priority_of("c9")
+        assert priority_of("c100") > priority_of("c99")
+
+    def test_non_numeric_names_are_ordered_deterministically(self):
+        assert priority_of("alice") != priority_of("bob")
+        assert (priority_of("alice") > priority_of("bob")) == (
+            ("alice" > "bob")
+        )
+
+    def test_priority_is_stable(self):
+        assert priority_of("c7") == priority_of("c7")

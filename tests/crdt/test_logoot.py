@@ -1,0 +1,125 @@
+"""Tests for the Logoot replicated list."""
+
+import random
+
+import pytest
+
+from repro.common import OpId
+from repro.crdt.logoot import (
+    BEGIN,
+    END,
+    LogootDelete,
+    LogootList,
+    generate_between,
+)
+from repro.document import ListDocument
+from repro.errors import ProtocolError
+
+
+def values(logoot):
+    return [e.value for e in logoot.read()]
+
+
+class TestGenerateBetween:
+    def test_result_strictly_between(self):
+        rng = random.Random(0)
+        lower, upper = BEGIN, END
+        for counter in range(200):
+            identifier = generate_between(lower, upper, "c1", counter, rng)
+            assert lower < identifier < upper
+            # Narrow the window from alternating sides to force descents.
+            if counter % 2:
+                lower = identifier
+            else:
+                upper = identifier
+
+    def test_dense_between_adjacent_digits(self):
+        rng = random.Random(1)
+        lower = ((5, "c1", 1),)
+        upper = ((6, "c2", 1),)
+        identifier = generate_between(lower, upper, "c3", 1, rng)
+        assert lower < identifier < upper
+        assert len(identifier) > 1  # had to descend a level
+
+    def test_between_same_digit_different_site(self):
+        rng = random.Random(2)
+        lower = ((5, "c1", 1),)
+        upper = ((5, "c2", 1),)
+        identifier = generate_between(lower, upper, "c3", 1, rng)
+        assert lower < identifier < upper
+
+    def test_rejects_out_of_order_bounds(self):
+        rng = random.Random(3)
+        with pytest.raises(ProtocolError):
+            generate_between(END, BEGIN, "c1", 1, rng)
+
+
+class TestEditing:
+    def test_sequential_editing(self):
+        logoot = LogootList("c1")
+        logoot.local_insert(OpId("c1", 1), "a", 0)
+        logoot.local_insert(OpId("c1", 2), "c", 1)
+        logoot.local_insert(OpId("c1", 3), "b", 1)
+        assert values(logoot) == ["a", "b", "c"]
+        logoot.local_delete(OpId("c1", 4), 1)
+        assert values(logoot) == ["a", "c"]
+
+    def test_no_tombstones(self):
+        logoot = LogootList("c1")
+        logoot.local_insert(OpId("c1", 1), "a", 0)
+        before = logoot.metadata_size()
+        logoot.local_delete(OpId("c1", 2), 0)
+        assert values(logoot) == []
+        assert logoot.metadata_size() < before
+
+    def test_out_of_range_rejected(self):
+        logoot = LogootList("c1")
+        with pytest.raises(ProtocolError):
+            logoot.local_delete(OpId("c1", 1), 0)
+
+
+class TestConvergence:
+    def test_concurrent_inserts_converge(self):
+        r1, r2 = LogootList("c1"), LogootList("c2")
+        op1 = r1.local_insert(OpId("c1", 1), "a", 0)
+        op2 = r2.local_insert(OpId("c2", 1), "b", 0)
+        r1.apply_remote(op2)
+        r2.apply_remote(op1)
+        assert values(r1) == values(r2)
+
+    def test_concurrent_delete_is_idempotent(self):
+        r1, r2 = LogootList("c1"), LogootList("c2")
+        ins = r1.local_insert(OpId("c1", 1), "x", 0)
+        r2.apply_remote(ins)
+        d1 = r1.local_delete(OpId("c1", 2), 0)
+        d2 = r2.local_delete(OpId("c2", 1), 0)
+        r1.apply_remote(d2)
+        r2.apply_remote(d1)
+        assert values(r1) == values(r2) == []
+
+    def test_duplicate_insert_ignored(self):
+        r1 = LogootList("c1")
+        op = r1.local_insert(OpId("c1", 1), "a", 0)
+        r1.apply_remote(op)
+        assert values(r1) == ["a"]
+
+    def test_delete_of_absent_identifier_is_noop(self):
+        r1 = LogootList("c1")
+        r1.apply_remote(LogootDelete(((7, "c9", 1),)))
+        assert values(r1) == []
+
+
+class TestSeeding:
+    def test_seed_reproduces_document_in_order(self):
+        logoot = LogootList("c1")
+        logoot.seed(tuple(ListDocument.from_string("hello").read()))
+        assert "".join(values(logoot)) == "hello"
+
+    def test_seeded_replicas_interoperate(self):
+        initial = tuple(ListDocument.from_string("abc").read())
+        r1, r2 = LogootList("c1"), LogootList("c2")
+        r1.seed(initial)
+        r2.seed(initial)
+        op = r1.local_insert(OpId("c1", 1), "x", 1)
+        r2.apply_remote(op)
+        assert values(r2) == ["a", "x", "b", "c"]

@@ -1,0 +1,118 @@
+"""Tests for the Treedoc replicated list."""
+
+import pytest
+
+from repro.common import OpId
+from repro.crdt.treedoc import TreedocDelete, TreedocInsert, TreedocList
+from repro.document import Element, ListDocument
+from repro.errors import ProtocolError
+
+
+def values(treedoc):
+    return [e.value for e in treedoc.read()]
+
+
+class TestEditing:
+    def test_sequential_inserts(self):
+        doc = TreedocList("c1")
+        doc.local_insert(OpId("c1", 1), "a", 0)
+        doc.local_insert(OpId("c1", 2), "c", 1)
+        doc.local_insert(OpId("c1", 3), "b", 1)
+        assert values(doc) == ["a", "b", "c"]
+
+    def test_insert_at_head_repeatedly(self):
+        doc = TreedocList("c1")
+        for i, ch in enumerate("cba"):
+            doc.local_insert(OpId("c1", i + 1), ch, 0)
+        assert values(doc) == ["a", "b", "c"]
+
+    def test_delete_leaves_tombstone(self):
+        doc = TreedocList("c1")
+        doc.local_insert(OpId("c1", 1), "a", 0)
+        doc.local_insert(OpId("c1", 2), "b", 1)
+        doc.local_delete(OpId("c1", 3), 0)
+        assert values(doc) == ["b"]
+        assert doc.metadata_size() == 1
+
+    def test_insert_between_after_deletion(self):
+        doc = TreedocList("c1")
+        doc.local_insert(OpId("c1", 1), "a", 0)
+        doc.local_insert(OpId("c1", 2), "b", 1)
+        doc.local_delete(OpId("c1", 3), 1)  # delete b
+        doc.local_insert(OpId("c1", 4), "x", 1)  # after a, around tombstone
+        assert values(doc) == ["a", "x"]
+
+    def test_invalid_positions_rejected(self):
+        doc = TreedocList("c1")
+        with pytest.raises(ProtocolError):
+            doc.local_delete(OpId("c1", 1), 0)
+        with pytest.raises(ProtocolError):
+            doc.local_insert(OpId("c1", 1), "x", 1)
+
+
+class TestConvergence:
+    def test_concurrent_head_inserts(self):
+        r1, r2 = TreedocList("c1"), TreedocList("c2")
+        op1 = r1.local_insert(OpId("c1", 1), "a", 0)
+        op2 = r2.local_insert(OpId("c2", 1), "b", 0)
+        r1.apply_remote(op2)
+        r2.apply_remote(op1)
+        assert values(r1) == values(r2)
+
+    def test_concurrent_inserts_same_gap(self):
+        r1, r2 = TreedocList("c1"), TreedocList("c2")
+        seed = r1.local_insert(OpId("c1", 1), "m", 0)
+        r2.apply_remote(seed)
+        op1 = r1.local_insert(OpId("c1", 2), "x", 1)
+        op2 = r2.local_insert(OpId("c2", 1), "y", 1)
+        r1.apply_remote(op2)
+        r2.apply_remote(op1)
+        assert values(r1) == values(r2)
+        assert set(values(r1)) == {"m", "x", "y"}
+
+    def test_concurrent_delete_same_element(self):
+        r1, r2 = TreedocList("c1"), TreedocList("c2")
+        ins = r1.local_insert(OpId("c1", 1), "x", 0)
+        r2.apply_remote(ins)
+        d1 = r1.local_delete(OpId("c1", 2), 0)
+        d2 = r2.local_delete(OpId("c2", 1), 0)
+        r1.apply_remote(d2)
+        r2.apply_remote(d1)
+        assert values(r1) == values(r2) == []
+
+    def test_duplicate_insert_ignored(self):
+        doc = TreedocList("c1")
+        op = doc.local_insert(OpId("c1", 1), "a", 0)
+        doc.apply_remote(op)
+        assert values(doc) == ["a"]
+
+    def test_path_collision_between_different_elements_rejected(self):
+        doc = TreedocList("c1")
+        doc.apply_remote(
+            TreedocInsert(((1, "c9"),), Element("a", OpId("c9", 1)))
+        )
+        with pytest.raises(ProtocolError):
+            doc.apply_remote(
+                TreedocInsert(((1, "c9"),), Element("b", OpId("c9", 2)))
+            )
+
+    def test_delete_unknown_path_rejected(self):
+        doc = TreedocList("c1")
+        with pytest.raises(ProtocolError):
+            doc.apply_remote(TreedocDelete(((1, "ghost"),)))
+
+
+class TestSeeding:
+    def test_seed_reproduces_document(self):
+        doc = TreedocList("c1")
+        doc.seed(tuple(ListDocument.from_string("seed").read()))
+        assert "".join(values(doc)) == "seed"
+
+    def test_seeded_replicas_interoperate(self):
+        initial = tuple(ListDocument.from_string("abc").read())
+        r1, r2 = TreedocList("c1"), TreedocList("c2")
+        r1.seed(initial)
+        r2.seed(initial)
+        op = r1.local_insert(OpId("c1", 1), "x", 1)
+        r2.apply_remote(op)
+        assert values(r1) == values(r2) == ["a", "x", "b", "c"]

@@ -1,0 +1,119 @@
+"""Tests for the WOOT replicated list."""
+
+import pytest
+
+from repro.common import OpId
+from repro.crdt.woot import CB, CE, WootDelete, WootInsert, WootList
+from repro.document import Element, ListDocument
+from repro.errors import ProtocolError
+
+
+def values(woot):
+    return [e.value for e in woot.read()]
+
+
+class TestEditing:
+    def test_sequential_editing(self):
+        woot = WootList("c1")
+        woot.local_insert(OpId("c1", 1), "a", 0)
+        woot.local_insert(OpId("c1", 2), "c", 1)
+        woot.local_insert(OpId("c1", 3), "b", 1)
+        assert values(woot) == ["a", "b", "c"]
+
+    def test_delete_hides_but_keeps_character(self):
+        woot = WootList("c1")
+        woot.local_insert(OpId("c1", 1), "a", 0)
+        woot.local_delete(OpId("c1", 2), 0)
+        assert values(woot) == []
+        assert woot.sequence_length() == 1  # tombstone retained
+        assert woot.metadata_size() == 1
+
+    def test_invalid_positions_rejected(self):
+        woot = WootList("c1")
+        with pytest.raises(ProtocolError):
+            woot.local_delete(OpId("c1", 1), 0)
+        with pytest.raises(ProtocolError):
+            woot.local_insert(OpId("c1", 1), "x", 3)
+
+
+class TestIntegration:
+    def test_concurrent_inserts_ordered_consistently(self):
+        r1, r2, r3 = WootList("c1"), WootList("c2"), WootList("c3")
+        op1 = r1.local_insert(OpId("c1", 1), "1", 0)
+        op2 = r2.local_insert(OpId("c2", 1), "2", 0)
+        op3 = r3.local_insert(OpId("c3", 1), "3", 0)
+        for replica, own in ((r1, op1), (r2, op2), (r3, op3)):
+            for op in (op1, op2, op3):
+                if op is not own:
+                    replica.apply_remote(op)
+        assert values(r1) == values(r2) == values(r3)
+
+    def test_insert_between_tombstones(self):
+        """The anchors of a remote insert may already be invisible."""
+        r1, r2 = WootList("c1"), WootList("c2")
+        ops = [
+            r1.local_insert(OpId("c1", 1), "a", 0),
+            r1.local_insert(OpId("c1", 2), "b", 1),
+        ]
+        for op in ops:
+            r2.apply_remote(op)
+        insert_mid = r2.local_insert(OpId("c2", 1), "x", 1)  # between a, b
+        delete_a = r1.local_delete(OpId("c1", 3), 0)
+        delete_b = r1.local_delete(OpId("c1", 4), 0)
+        r2.apply_remote(delete_a)
+        r2.apply_remote(delete_b)
+        r1.apply_remote(insert_mid)
+        assert values(r1) == values(r2) == ["x"]
+
+    def test_interleaved_concurrent_runs_converge(self):
+        """Two clients type runs at the same place concurrently."""
+        r1, r2 = WootList("c1"), WootList("c2")
+        ops1 = [
+            r1.local_insert(OpId("c1", 1), "a", 0),
+            r1.local_insert(OpId("c1", 2), "b", 1),
+        ]
+        ops2 = [
+            r2.local_insert(OpId("c2", 1), "x", 0),
+            r2.local_insert(OpId("c2", 2), "y", 1),
+        ]
+        for op in ops2:
+            r1.apply_remote(op)
+        for op in ops1:
+            r2.apply_remote(op)
+        assert values(r1) == values(r2)
+
+    def test_missing_anchor_rejected(self):
+        woot = WootList("c1")
+        stray = WootInsert(Element("z", OpId("c9", 1)), OpId("ghost", 1), CE)
+        with pytest.raises(ProtocolError):
+            woot.apply_remote(stray)
+
+    def test_delete_unknown_character_rejected(self):
+        woot = WootList("c1")
+        with pytest.raises(ProtocolError):
+            woot.apply_remote(WootDelete(OpId("ghost", 1)))
+
+    def test_duplicate_insert_ignored(self):
+        woot = WootList("c1")
+        op = woot.local_insert(OpId("c1", 1), "a", 0)
+        woot.apply_remote(op)
+        assert values(woot) == ["a"]
+
+    def test_sentinels_sort_around_real_ids(self):
+        assert CB < OpId("c1", 1) < CE
+
+
+class TestSeeding:
+    def test_seed_reproduces_document(self):
+        woot = WootList("c1")
+        woot.seed(tuple(ListDocument.from_string("hey").read()))
+        assert "".join(values(woot)) == "hey"
+
+    def test_seeded_replicas_interoperate(self):
+        initial = tuple(ListDocument.from_string("abc").read())
+        r1, r2 = WootList("c1"), WootList("c2")
+        r1.seed(initial)
+        r2.seed(initial)
+        op = r1.local_insert(OpId("c1", 1), "x", 3)
+        r2.apply_remote(op)
+        assert values(r2) == ["a", "b", "c", "x"]

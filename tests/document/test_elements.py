@@ -1,0 +1,27 @@
+"""Tests for the Element value type."""
+
+from repro.common import OpId
+from repro.document import Element
+
+
+class TestElement:
+    def test_equality_includes_identity(self):
+        same = Element("a", OpId("c1", 1))
+        also_same = Element("a", OpId("c1", 1))
+        different_op = Element("a", OpId("c2", 1))
+        assert same == also_same
+        assert same != different_op
+
+    def test_hashable(self):
+        elements = {Element("a", OpId("c1", 1)), Element("a", OpId("c1", 1))}
+        assert len(elements) == 1
+
+    def test_str_is_plain_value(self):
+        assert str(Element("a", OpId("c1", 1))) == "a"
+
+    def test_pretty_includes_identity(self):
+        assert Element("a", OpId("c1", 1)).pretty() == "a@c1:1"
+
+    def test_non_string_values(self):
+        element = Element(42, OpId("c1", 1))
+        assert str(element) == "42"

@@ -1,0 +1,123 @@
+"""Tests for the list document substrate."""
+
+import pytest
+
+from repro.common import OpId
+from repro.document import Element, ListDocument
+from repro.errors import (
+    DuplicateElementError,
+    ElementNotFoundError,
+    PositionError,
+)
+
+
+def elem(value, replica="c1", seq=1):
+    return Element(value, OpId(replica, seq))
+
+
+class TestConstruction:
+    def test_empty_by_default(self):
+        doc = ListDocument()
+        assert len(doc) == 0
+        assert doc.values() == []
+        assert doc.as_string() == ""
+
+    def test_from_string_builds_unique_elements(self):
+        doc = ListDocument.from_string("efecte")
+        assert doc.as_string() == "efecte"
+        assert len({e.opid for e in doc}) == 6
+
+    def test_rejects_duplicate_ids_in_initial_contents(self):
+        dup = elem("a")
+        with pytest.raises(DuplicateElementError):
+            ListDocument([dup, dup])
+
+
+class TestInsert:
+    def test_insert_at_front_middle_end(self):
+        doc = ListDocument()
+        doc.insert(elem("b", seq=1), 0)
+        doc.insert(elem("a", seq=2), 0)
+        doc.insert(elem("d", seq=3), 2)
+        doc.insert(elem("c", seq=4), 2)
+        assert doc.as_string() == "abcd"
+
+    def test_insert_at_length_appends(self):
+        doc = ListDocument.from_string("ab")
+        doc.insert(elem("c"), 2)
+        assert doc.as_string() == "abc"
+
+    def test_insert_beyond_length_raises(self):
+        doc = ListDocument.from_string("ab")
+        with pytest.raises(PositionError):
+            doc.insert(elem("x"), 3)
+
+    def test_insert_negative_position_raises(self):
+        doc = ListDocument()
+        with pytest.raises(PositionError):
+            doc.insert(elem("x"), -1)
+
+    def test_insert_duplicate_id_raises(self):
+        doc = ListDocument()
+        doc.insert(elem("x"), 0)
+        with pytest.raises(DuplicateElementError):
+            doc.insert(elem("y"), 0)  # same default OpId c1:1
+
+
+class TestDelete:
+    def test_delete_returns_victim(self):
+        doc = ListDocument.from_string("abc")
+        victim = doc.delete(1)
+        assert victim.value == "b"
+        assert doc.as_string() == "ac"
+
+    def test_delete_with_matching_expected(self):
+        doc = ListDocument.from_string("abc")
+        target = doc.element_at(2)
+        doc.delete(2, expected=target)
+        assert doc.as_string() == "ab"
+
+    def test_delete_with_stale_expected_raises(self):
+        doc = ListDocument.from_string("abc")
+        wrong = elem("z", replica="other")
+        with pytest.raises(ElementNotFoundError):
+            doc.delete(0, expected=wrong)
+        assert doc.as_string() == "abc"  # unchanged on failure
+
+    def test_delete_out_of_range_raises(self):
+        doc = ListDocument.from_string("a")
+        with pytest.raises(PositionError):
+            doc.delete(1)
+
+
+class TestQueries:
+    def test_index_of_and_contains(self):
+        doc = ListDocument.from_string("abc")
+        b = doc.element_at(1)
+        assert doc.index_of(b.opid) == 1
+        assert b in doc
+        assert b.opid in doc
+        assert "c" in doc
+        assert "z" not in doc
+
+    def test_index_of_missing_raises(self):
+        doc = ListDocument()
+        with pytest.raises(ElementNotFoundError):
+            doc.index_of(OpId("ghost", 1))
+
+    def test_read_returns_immutable_snapshot(self):
+        doc = ListDocument.from_string("ab")
+        snapshot = doc.read()
+        doc.delete(0)
+        assert [e.value for e in snapshot] == ["a", "b"]
+
+    def test_equality_by_contents(self):
+        assert ListDocument.from_string("ab") == ListDocument.from_string("ab")
+        assert ListDocument.from_string("ab") != ListDocument.from_string("ba")
+
+    def test_copy_is_independent(self):
+        doc = ListDocument.from_string("ab")
+        clone = doc.copy()
+        clone.delete(0)
+        assert doc.as_string() == "ab"
+        assert clone.as_string() == "b"

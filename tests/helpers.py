@@ -1,0 +1,115 @@
+"""Shared test helpers for building histories and abstract executions.
+
+Protocol-independent spec tests construct abstract executions by hand;
+:class:`HistoryBuilder` keeps that readable: elements are named by their
+values, visibility is given as "this event sees those events" and closed
+transitively, and same-replica predecessor visibility (condition 1 of
+Definition 2.9) is added automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.common.ids import OpId, SeqGenerator
+from repro.document.elements import Element
+from repro.model.abstract import AbstractExecution
+from repro.model.events import DoEvent
+from repro.ot.operations import Operation, delete as make_delete, insert as make_insert
+
+
+class HistoryBuilder:
+    """Fluent construction of hand-crafted abstract executions."""
+
+    def __init__(self) -> None:
+        self._events: List[DoEvent] = []
+        self._vis: Dict[int, set] = {}
+        self._elements: Dict[str, Element] = {}
+        self._generators: Dict[str, SeqGenerator] = {}
+        self._last_at: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+    def element(self, name: str) -> Element:
+        return self._elements[name]
+
+    def _fresh_opid(self, replica: str) -> OpId:
+        generator = self._generators.setdefault(replica, SeqGenerator(replica))
+        return generator.next_opid()
+
+    def _returned(self, names: Sequence[str]) -> List[Element]:
+        return [self._elements[name] for name in names]
+
+    # ------------------------------------------------------------------
+    # Events
+    # ------------------------------------------------------------------
+    def _visibility_of(self, replica: str, sees: Iterable[int]) -> set:
+        visible = set(sees)
+        if replica in self._last_at:
+            visible.add(self._last_at[replica])
+        closed = set()
+        for eid in visible:
+            closed.add(eid)
+            closed |= self._vis[eid]
+        return closed
+
+    def _append(
+        self,
+        replica: str,
+        operation: Optional[Operation],
+        returned: Sequence[str],
+        sees: Iterable[int],
+    ) -> int:
+        eid = len(self._events)
+        self._vis[eid] = self._visibility_of(replica, sees)
+        self._events.append(
+            DoEvent(eid, replica, operation, tuple(self._returned(returned)))
+        )
+        self._last_at[replica] = eid
+        return eid
+
+    def ins(
+        self,
+        replica: str,
+        value: str,
+        position: int,
+        returned: Sequence[str],
+        sees: Iterable[int] = (),
+    ) -> int:
+        """Record ``do(Ins(value, position), returned)``; returns the eid."""
+        opid = self._fresh_opid(replica)
+        operation = make_insert(opid, value, position)
+        if value in self._elements:
+            raise ValueError(f"element name {value!r} reused")
+        self._elements[value] = operation.element
+        return self._append(replica, operation, returned, sees)
+
+    def delete(
+        self,
+        replica: str,
+        value: str,
+        position: int,
+        returned: Sequence[str],
+        sees: Iterable[int] = (),
+    ) -> int:
+        """Record ``do(Del(value, position), returned)``; returns the eid."""
+        opid = self._fresh_opid(replica)
+        operation = make_delete(opid, self._elements[value], position)
+        return self._append(replica, operation, returned, sees)
+
+    def read(
+        self,
+        replica: str,
+        returned: Sequence[str],
+        sees: Iterable[int] = (),
+    ) -> int:
+        """Record ``do(Read, returned)``; returns the eid."""
+        return self._append(replica, None, returned, sees)
+
+    # ------------------------------------------------------------------
+    # Finishing
+    # ------------------------------------------------------------------
+    def build(self, validate: bool = True) -> AbstractExecution:
+        visibility = {eid: frozenset(seen) for eid, seen in self._vis.items()}
+        return AbstractExecution(self._events, visibility, validate=validate)

@@ -1,0 +1,55 @@
+"""Tests for the shared replica interface (spec materialisation, reads)."""
+
+import pytest
+
+from repro.errors import ProtocolError, ReproError
+from repro.jupiter.css import CssClient
+from repro.model import OpSpec
+
+
+class TestSpecMaterialisation:
+    def test_insert_spec_becomes_insert_operation(self):
+        client = CssClient("c1")
+        result = client.generate(OpSpec("ins", 0, "x"))
+        assert result.operation.is_insert
+        assert result.operation.element.value == "x"
+        assert result.operation.opid.replica == "c1"
+
+    def test_delete_spec_captures_target_element(self):
+        client = CssClient("c1")
+        inserted = client.generate(OpSpec("ins", 0, "x")).operation
+        result = client.generate(OpSpec("del", 0))
+        assert result.operation.is_delete
+        assert result.operation.element.opid == inserted.opid
+
+    def test_sequence_numbers_are_dense_per_client(self):
+        client = CssClient("c1")
+        first = client.generate(OpSpec("ins", 0, "a")).operation
+        second = client.generate(OpSpec("ins", 0, "b")).operation
+        assert (first.opid.seq, second.opid.seq) == (1, 2)
+
+    def test_insert_beyond_length_rejected(self):
+        client = CssClient("c1")
+        with pytest.raises(ProtocolError):
+            client.generate(OpSpec("ins", 1, "x"))
+
+    def test_delete_on_empty_rejected(self):
+        client = CssClient("c1")
+        with pytest.raises(ReproError):
+            client.generate(OpSpec("del", 0))
+
+
+class TestRead:
+    def test_read_returns_elements_in_order(self):
+        client = CssClient("c1")
+        client.generate(OpSpec("ins", 0, "b"))
+        client.generate(OpSpec("ins", 0, "a"))
+        assert [e.value for e in client.read()] == ["a", "b"]
+
+    def test_read_is_a_snapshot(self):
+        client = CssClient("c1")
+        client.generate(OpSpec("ins", 0, "a"))
+        snapshot = client.read()
+        client.generate(OpSpec("del", 0))
+        assert [e.value for e in snapshot] == ["a"]
+        assert client.read() == ()

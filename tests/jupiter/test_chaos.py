@@ -1,0 +1,95 @@
+"""Fault injection at the message layer.
+
+The paper's network model (§2.1.3) gives exactly-once FIFO channels; a
+production transport can still misbehave.  These tests document how each
+implementation reacts to duplicated or reordered deliveries: CRDT
+replicas absorb duplicates idempotently, the Jupiter family detects the
+model violation and fails loudly rather than corrupting documents.
+"""
+
+import pytest
+
+from repro.common import OpId
+from repro.errors import ProtocolError, ReproError, StateSpaceError
+from repro.jupiter import make_cluster
+from repro.jupiter.css import CssClient, CssServer
+from repro.jupiter.messages import ClientOperation, ServerOperation
+from repro.model import OpSpec, ScheduleBuilder
+
+
+def css_pair():
+    server = CssServer("s", ["c1", "c2"])
+    sender = CssClient("c1")
+    receiver = CssClient("c2")
+    result = sender.generate(OpSpec("ins", 0, "a"))
+    outgoing = server.receive("c1", result.outgoing)
+    broadcast = dict(outgoing)["c2"]
+    return server, sender, receiver, result, broadcast
+
+
+class TestJupiterDetectsDuplicates:
+    def test_css_client_rejects_duplicate_broadcast(self):
+        _, _, receiver, _, broadcast = css_pair()
+        receiver.receive(broadcast)
+        with pytest.raises(ReproError):
+            receiver.receive(broadcast)
+
+    def test_css_server_rejects_duplicate_client_operation(self):
+        server, _, _, result, _ = css_pair()
+        with pytest.raises(ReproError):
+            server.receive("c1", result.outgoing)
+
+    def test_css_client_rejects_duplicate_echo(self):
+        _, sender, _, result, _ = css_pair()
+        echo = ServerOperation(
+            operation=result.operation,
+            origin="c1",
+            serial=1,
+            prefix=frozenset(),
+        )
+        sender.receive(echo)
+        with pytest.raises(ProtocolError):
+            sender.receive(echo)  # pending queue is already empty
+
+    def test_classic_client_rejects_stray_ack(self):
+        from repro.ot import insert
+
+        cluster = make_cluster("classic", ["c1", "c2"])
+        cluster.run(ScheduleBuilder().ins("c1", 0, "a").drain().build())
+        # The pending buffer is empty after drain; a replayed ack fails.
+        stray = ServerOperation(
+            operation=insert(OpId("c1", 1), "a", 0),
+            origin="c1",
+            serial=1,
+            prefix=frozenset(),
+        )
+        with pytest.raises(ProtocolError):
+            cluster.clients["c1"].receive(stray)
+
+
+class TestCrdtAbsorbsDuplicates:
+    @pytest.mark.parametrize("protocol", ["rga", "logoot", "woot", "treedoc"])
+    def test_duplicate_remote_insert_is_idempotent(self, protocol):
+        cluster = make_cluster(protocol, ["c1", "c2"])
+        result = cluster.clients["c1"].generate(OpSpec("ins", 0, "a"))
+        outgoing = cluster.server.receive("c1", result.outgoing)
+        broadcast = dict(outgoing)["c2"]
+        cluster.clients["c2"].receive(broadcast)
+        before = cluster.clients["c2"].document.as_string()
+        cluster.clients["c2"].receive(broadcast)  # duplicate delivery
+        assert cluster.clients["c2"].document.as_string() == before == "a"
+
+
+class TestReorderingDetection:
+    def test_css_client_rejects_gapped_serials(self):
+        """A skipped broadcast (serial 2 before serial 1's context ops
+        exist) surfaces as a missing matching state."""
+        server = CssServer("s", ["c1", "c2"])
+        c1 = CssClient("c1")
+        first = c1.generate(OpSpec("ins", 0, "a"))
+        second = c1.generate(OpSpec("ins", 1, "b"))
+        out1 = dict(server.receive("c1", first.outgoing))
+        out2 = dict(server.receive("c1", second.outgoing))
+        receiver = CssClient("c2")
+        with pytest.raises(ReproError):
+            receiver.receive(out2["c2"])  # delivered before out1["c2"]

@@ -1,0 +1,110 @@
+"""Additional cluster-harness coverage: flags, logs, projections."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.jupiter import make_cluster
+from repro.model import OpSpec, ScheduleBuilder
+from repro.model.events import DoEvent
+
+
+class TestObserveFlag:
+    def test_observe_on_records_reads_after_applies(self):
+        cluster = make_cluster("css", ["c1", "c2"], observe_after_receive=True)
+        execution = cluster.run(
+            ScheduleBuilder().ins("c1", 0, "a").drain().build()
+        )
+        reads = [
+            e for e in execution.do_events() if isinstance(e, DoEvent) and e.is_read
+        ]
+        assert len(reads) == 1  # c2 applied one remote operation
+        assert reads[0].replica == "c2"
+
+    def test_observe_off_records_no_reads(self):
+        cluster = make_cluster(
+            "css", ["c1", "c2"], observe_after_receive=False
+        )
+        execution = cluster.run(
+            ScheduleBuilder().ins("c1", 0, "a").drain().build()
+        )
+        assert all(not e.is_read for e in execution.do_events())
+
+    def test_explicit_reads_still_recorded_when_observe_off(self):
+        cluster = make_cluster(
+            "css", ["c1", "c2"], observe_after_receive=False
+        )
+        execution = cluster.run(
+            ScheduleBuilder().ins("c1", 0, "a").drain().read("c2").build()
+        )
+        reads = [e for e in execution.do_events() if e.is_read]
+        assert len(reads) == 1
+
+
+class TestBehaviourLog:
+    def test_server_log_tracks_documents(self):
+        cluster = make_cluster("css", ["c1", "c2"])
+        cluster.run(
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .ins("c2", 0, "b")
+            .drain()
+            .build()
+        )
+        server_docs = [e.document for e in cluster.behaviors["s"]]
+        assert len(server_docs) == 2  # two serialisations
+        assert server_docs[-1] == cluster.documents()["s"]
+
+    def test_generate_entries_carry_operation_details(self):
+        cluster = make_cluster("css", ["c1"])
+        cluster.generate("c1", OpSpec("ins", 0, "q"))
+        entry = cluster.behaviors["c1"][0]
+        assert entry.action == "generate"
+        assert entry.kind == "ins"
+        assert entry.position == 0
+        assert entry.opid is not None
+
+    def test_apply_entries_use_transformed_position(self):
+        cluster = make_cluster("css", ["c1", "c2"])
+        schedule = (
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .ins("c2", 0, "b")
+            .server_recv("c1")
+            .server_recv("c2")
+            .client_recv("c1", times=2)  # echo, then b
+            .build()
+        )
+        cluster.run(schedule)
+        applies = [
+            e for e in cluster.behaviors["c1"] if e.action == "apply"
+        ]
+        assert len(applies) == 1
+        # b ties with the pending a at position 0; c2 outranks c1, so the
+        # executed form keeps position 0.
+        assert applies[0].position == 0
+        assert applies[0].document == "ba"
+
+
+class TestServerReads:
+    def test_server_read_step(self):
+        cluster = make_cluster("css", ["c1"])
+        execution = cluster.run(
+            ScheduleBuilder().ins("c1", 0, "a").drain().read("s").build()
+        )
+        server_reads = [
+            e for e in execution.do_events("s") if e.is_read
+        ]
+        assert len(server_reads) == 1
+        assert server_reads[0].returned_string() == "a"
+
+
+class TestErrors:
+    def test_read_of_unknown_replica_rejected(self):
+        cluster = make_cluster("css", ["c1"])
+        with pytest.raises(ScheduleError):
+            cluster.read("ghost")
+
+    def test_generate_for_unknown_client_rejected(self):
+        cluster = make_cluster("css", ["c1"])
+        with pytest.raises(ScheduleError):
+            cluster.generate("ghost", OpSpec("ins", 0, "x"))

@@ -1,0 +1,110 @@
+"""Edge-path coverage for the CSS client and server."""
+
+import pytest
+
+from repro.common import OpId
+from repro.errors import ProtocolError
+from repro.jupiter.css import CssClient, CssServer
+from repro.jupiter.messages import ClientOperation, ServerOperation
+from repro.model import OpSpec
+from repro.ot import insert
+
+
+def wired_pair():
+    server = CssServer("s", ["c1", "c2"])
+    c1, c2 = CssClient("c1"), CssClient("c2")
+    return server, c1, c2
+
+
+class TestFifoCrossCheck:
+    def test_pending_operation_in_prefix_rejected(self):
+        """A broadcast claiming our pending op was serialised before it,
+        arriving before our echo, proves the channel reordered."""
+        _, c1, _ = wired_pair()
+        result = c1.generate(OpSpec("ins", 0, "a"))
+        forged = ServerOperation(
+            operation=insert(OpId("c2", 1), "b", 0),
+            origin="c2",
+            serial=2,
+            prefix=frozenset({result.operation.opid}),  # claims c1's op
+        )
+        with pytest.raises(ProtocolError):
+            c1.receive(forged)
+
+    def test_echo_for_wrong_pending_head_rejected(self):
+        _, c1, _ = wired_pair()
+        c1.generate(OpSpec("ins", 0, "a"))
+        wrong_echo = ServerOperation(
+            operation=insert(OpId("c1", 99), "z", 0),
+            origin="c1",
+            serial=1,
+            prefix=frozenset(),
+        )
+        with pytest.raises(ProtocolError):
+            c1.receive(wrong_echo)
+
+    def test_echo_without_pending_rejected(self):
+        _, c1, _ = wired_pair()
+        stray = ServerOperation(
+            operation=insert(OpId("c1", 1), "a", 0),
+            origin="c1",
+            serial=1,
+            prefix=frozenset(),
+        )
+        with pytest.raises(ProtocolError):
+            c1.receive(stray)
+
+
+class TestServerGuards:
+    def test_unknown_sender_is_accepted_as_client_operation(self):
+        """The CSS server serialises anything a transport hands it; the
+        roster only matters for broadcast fan-out."""
+        server, _, _ = wired_pair()
+        op = insert(OpId("c9", 1), "x", 0)
+        outgoing = server.receive("c9", ClientOperation(op))
+        assert [recipient for recipient, _ in outgoing] == ["c1", "c2"]
+
+    def test_generation_out_of_bounds_rejected(self):
+        _, c1, _ = wired_pair()
+        with pytest.raises(ProtocolError):
+            c1.generate(OpSpec("ins", 5, "x"))
+
+    def test_delete_on_empty_document_rejected(self):
+        _, c1, _ = wired_pair()
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            c1.generate(OpSpec("del", 0))
+
+
+class TestInterleavedPendingAndRemote:
+    def test_remote_between_two_pending_operations(self):
+        server, c1, c2 = wired_pair()
+        first = c1.generate(OpSpec("ins", 0, "a"))
+        remote = c2.generate(OpSpec("ins", 0, "x"))
+        # Server serialises c1's a (serial 1) then c2's x (serial 2).
+        out_a = dict(server.receive("c1", first.outgoing))
+        out_x = dict(server.receive("c2", remote.outgoing))
+        # c1 generates a second op before receiving anything.
+        c1.generate(OpSpec("ins", 1, "b"))
+        assert c1.pending_count == 2
+        # Now c1 receives its echo, then the remote op.
+        c1.receive(out_a["c1"])
+        assert c1.pending_count == 1
+        result = c1.receive(out_x["c1"])
+        assert result.executed is not None
+        # x (serial 2) is totally ordered before the pending b, and the
+        # sibling order in c1's space must reflect that.
+        assert c1.space.children_are_ordered()
+        assert c1.document.as_string() in ("xab", "axb", "abx")
+
+    def test_full_round_trip_clears_pending(self):
+        server, c1, c2 = wired_pair()
+        result = c1.generate(OpSpec("ins", 0, "a"))
+        for recipient, payload in server.receive("c1", result.outgoing):
+            if recipient == "c1":
+                c1.receive(payload)
+            else:
+                c2.receive(payload)
+        assert c1.pending_count == 0
+        assert c2.document.as_string() == "a"

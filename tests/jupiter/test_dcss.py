@@ -1,0 +1,183 @@
+"""Tests for the decentralised CSS protocol (§10 future-work extension)."""
+
+import random
+
+import pytest
+
+from repro.common import OpId
+from repro.errors import ProtocolError, ScheduleError, SimulationError
+from repro.jupiter.dcss import DcssPeer, LamportOrderOracle, PeerAck, PeerOperation
+from repro.jupiter.peer_cluster import PeerCluster
+from repro.model.schedule import OpSpec
+from repro.sim import UniformLatency, WorkloadConfig
+from repro.sim.p2p import P2PSimulationRunner
+from repro.sim.trace import check_all_specs
+
+
+class TestLamportOracle:
+    def test_clock_dominates_site(self):
+        oracle = LamportOrderOracle()
+        oracle.record(OpId("c9", 1), (1, "c9"))
+        oracle.record(OpId("c1", 1), (2, "c1"))
+        assert oracle.before(OpId("c9", 1), OpId("c1", 1))
+
+    def test_site_breaks_ties(self):
+        oracle = LamportOrderOracle()
+        oracle.record(OpId("c1", 1), (3, "c1"))
+        oracle.record(OpId("c2", 1), (3, "c2"))
+        assert oracle.before(OpId("c1", 1), OpId("c2", 1))
+
+    def test_conflicting_timestamps_rejected(self):
+        from repro.errors import OrderingError
+
+        oracle = LamportOrderOracle()
+        oracle.record(OpId("c1", 1), (1, "c1"))
+        with pytest.raises(OrderingError):
+            oracle.record(OpId("c1", 1), (2, "c1"))
+
+
+class TestDcssPeer:
+    def test_local_generation_integrates_immediately(self):
+        peer = DcssPeer("c1", ["c1", "c2"])
+        result = peer.generate(OpSpec("ins", 0, "a"))
+        assert peer.document.as_string() == "a"
+        assert [recipient for recipient, _ in result.outgoing] == ["c2"]
+
+    def test_remote_operation_waits_for_stability(self):
+        c1 = DcssPeer("c1", ["c1", "c2", "c3"])
+        c2 = DcssPeer("c2", ["c1", "c2", "c3"])
+        broadcast = c1.generate(OpSpec("ins", 0, "a")).outgoing[0][1]
+        result = c2.receive(broadcast)
+        # c3 has not been heard from: the operation must be held back.
+        assert result.integrated == []
+        assert c2.holdback_size == 1
+        assert c2.document.as_string() == ""
+        # An acknowledgement from c3 with a high enough clock releases it.
+        release = c2.receive(PeerAck("c3", clock=5))
+        assert len(release.integrated) == 1
+        assert c2.document.as_string() == "a"
+
+    def test_two_peer_system_is_immediately_stable(self):
+        c1 = DcssPeer("c1", ["c1", "c2"])
+        c2 = DcssPeer("c2", ["c1", "c2"])
+        broadcast = c1.generate(OpSpec("ins", 0, "a")).outgoing[0][1]
+        result = c2.receive(broadcast)
+        assert len(result.integrated) == 1
+        assert c2.document.as_string() == "a"
+
+    def test_receiving_own_broadcast_rejected(self):
+        c1 = DcssPeer("c1", ["c1", "c2"])
+        broadcast = c1.generate(OpSpec("ins", 0, "a")).outgoing[0][1]
+        with pytest.raises(ProtocolError):
+            c1.receive(broadcast)
+
+    def test_clock_regression_rejected(self):
+        c1 = DcssPeer("c1", ["c1", "c2"])
+        c1.receive(PeerAck("c2", clock=5))
+        with pytest.raises(ProtocolError):
+            c1.receive(PeerAck("c2", clock=3))
+
+    def test_unknown_peer_rejected(self):
+        c1 = DcssPeer("c1", ["c1", "c2"])
+        with pytest.raises(ProtocolError):
+            c1.receive(PeerAck("ghost", clock=1))
+
+
+class TestPeerCluster:
+    def test_needs_two_peers(self):
+        with pytest.raises(ValueError):
+            PeerCluster(["solo"])
+
+    def test_simple_session_converges(self):
+        cluster = PeerCluster(["c1", "c2", "c3"])
+        cluster.generate("c1", OpSpec("ins", 0, "a"))
+        cluster.generate("c2", OpSpec("ins", 0, "b"))
+        cluster.drain()
+        assert cluster.converged()
+        assert cluster.state_spaces_identical()
+
+    def test_empty_channel_rejected(self):
+        cluster = PeerCluster(["c1", "c2"])
+        with pytest.raises(ScheduleError):
+            cluster.deliver("c1", "c2")
+
+    def test_execution_well_formed(self):
+        cluster = PeerCluster(["c1", "c2", "c3"])
+        cluster.generate("c1", OpSpec("ins", 0, "a"))
+        cluster.drain()
+        cluster.execution().check_well_formed()
+
+    def test_initial_text_shared(self):
+        cluster = PeerCluster(["c1", "c2"], initial_text="hey")
+        assert set(cluster.documents().values()) == {"hey"}
+        cluster.generate("c1", OpSpec("del", 0))
+        cluster.drain()
+        assert set(cluster.documents().values()) == {"ey"}
+
+
+class TestRandomisedDcss:
+    def test_random_interleavings_converge_and_satisfy_weak_list(self):
+        rng = random.Random(7)
+        for _ in range(8):
+            cluster = PeerCluster(["c1", "c2", "c3"])
+            generated = 0
+            while generated < 10 or cluster.in_flight():
+                deliverable = [
+                    (r, s)
+                    for (s, r), channel in cluster._channels.items()
+                    if channel
+                ]
+                if generated < 10 and (not deliverable or rng.random() < 0.4):
+                    peer = rng.choice(["c1", "c2", "c3"])
+                    doc = cluster.peers[peer].document
+                    if len(doc) and rng.random() < 0.3:
+                        cluster.generate(
+                            peer, OpSpec("del", rng.randrange(len(doc)))
+                        )
+                    else:
+                        cluster.generate(
+                            peer,
+                            OpSpec(
+                                "ins",
+                                rng.randrange(len(doc) + 1),
+                                rng.choice("abcdef"),
+                            ),
+                        )
+                    generated += 1
+                else:
+                    receiver, sender = rng.choice(deliverable)
+                    cluster.deliver(receiver, sender)
+            cluster.drain()
+            assert cluster.converged(), cluster.documents()
+            assert cluster.state_spaces_identical()
+            report = check_all_specs(cluster.execution())
+            assert report.convergence.ok, report.convergence.summary()
+            assert report.weak_list.ok, report.weak_list.summary()
+
+
+class TestP2PSimulation:
+    def test_simulated_runs_converge(self):
+        for seed in range(3):
+            config = WorkloadConfig(
+                clients=3, operations=18, insert_ratio=0.6, seed=seed
+            )
+            latency = UniformLatency(0.01, 0.4, seed=seed)
+            result = P2PSimulationRunner(config, latency).run()
+            assert result.converged
+            assert result.cluster.state_spaces_identical()
+
+    def test_specs_hold_on_simulated_runs(self):
+        config = WorkloadConfig(clients=3, operations=18, seed=5)
+        result = P2PSimulationRunner(config).run()
+        report = check_all_specs(result.execution)
+        assert report.convergence.ok
+        assert report.weak_list.ok
+
+    def test_message_overhead_includes_acks(self):
+        """Removing the server costs acknowledgement traffic: for n peers
+        each operation needs n-1 broadcasts and up to (n-1)^2 acks."""
+        config = WorkloadConfig(clients=3, operations=12, seed=5)
+        result = P2PSimulationRunner(config).run()
+        operations = 12
+        broadcasts = operations * 2  # n-1 = 2 recipients
+        assert result.messages_delivered > broadcasts  # acks on top

@@ -1,0 +1,135 @@
+"""Tests for state-space garbage collection (the §10 metadata question)."""
+
+import pytest
+
+from repro.common import OpId
+from repro.errors import ProtocolError, StateSpaceError, UnknownStateError
+from repro.jupiter import make_cluster
+from repro.jupiter.css import CssClient
+from repro.jupiter.nary import NaryStateSpace
+from repro.jupiter.ordering import ServerOrderOracle
+from repro.model import ScheduleBuilder
+from repro.ot import insert
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+from repro.sim.runner import replay
+from repro.sim.trace import check_all_specs
+
+
+class TestPruneBelow:
+    def build(self):
+        oracle = ServerOrderOracle()
+        space = NaryStateSpace(oracle)
+        ops = []
+        for i, client in enumerate(["c1", "c2", "c3"]):
+            op = insert(OpId(client, 1), client[-1], 0)
+            oracle.assign(op.opid)
+            space.integrate(op)
+            ops.append(op)
+        return space, ops
+
+    def test_prune_keeps_states_above_floor(self):
+        space, ops = self.build()
+        before = space.node_count()
+        dropped = space.prune_below(frozenset({ops[0].opid}))
+        assert dropped > 0
+        assert space.node_count() == before - dropped
+        for key in space.states():
+            assert ops[0].opid in key
+
+    def test_empty_floor_prunes_nothing(self):
+        space, _ = self.build()
+        assert space.prune_below(frozenset()) == 0
+
+    def test_floor_beyond_processed_rejected(self):
+        space, _ = self.build()
+        with pytest.raises(StateSpaceError):
+            space.prune_below(frozenset({OpId("ghost", 1)}))
+
+    def test_pruned_state_lookup_raises(self):
+        space, ops = self.build()
+        space.prune_below(frozenset({ops[0].opid}))
+        with pytest.raises(UnknownStateError):
+            space.node(frozenset())
+
+    def test_leftmost_path_still_works_above_floor(self):
+        space, ops = self.build()
+        space.prune_below(frozenset({ops[0].opid}))
+        path = space.leftmost_path(frozenset({ops[0].opid}))
+        assert [t.org_id for t in path] == [ops[1].opid, ops[2].opid]
+
+
+class TestGcClientGuards:
+    def test_gc_requires_roster(self):
+        with pytest.raises(ProtocolError):
+            CssClient("c1", gc=True)
+
+    def test_gc_with_roster_accepted(self):
+        client = CssClient("c1", gc=True, peers=["c1", "c2"])
+        assert client.pruned_states == 0
+
+
+class TestGcEquivalence:
+    def run_both(self, seed):
+        config = WorkloadConfig(
+            clients=3, operations=30, insert_ratio=0.6, seed=seed
+        )
+        latency = UniformLatency(0.01, 0.4, seed=seed)
+        plain = SimulationRunner("css", config, latency).run()
+        gc = replay("css-gc", plain.schedule, config.client_names())
+        return plain, gc
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_gc_does_not_change_behaviour(self, seed):
+        plain, gc = self.run_both(seed)
+        assert gc.documents() == plain.documents()
+        assert {
+            name: [e.document for e in entries]
+            for name, entries in gc.behaviors.items()
+        } == {
+            name: [e.document for e in entries]
+            for name, entries in plain.cluster.behaviors.items()
+        }
+
+    def test_gc_reclaims_most_states(self):
+        plain, gc = self.run_both(0)
+        plain_nodes = plain.cluster.server.space.node_count()
+        gc_nodes = gc.server.space.node_count()
+        assert gc_nodes < plain_nodes / 2
+        assert gc.server.pruned_states > 0
+
+    def test_specs_hold_under_gc(self):
+        _, gc = self.run_both(1)
+        report = check_all_specs(gc.recorder.finish())
+        assert report.convergence.ok
+        assert report.weak_list.ok
+
+
+class TestGcWithSilentClient:
+    def test_silent_client_pins_the_floor(self):
+        """A client that never generates keeps its known state empty, so
+        nothing can be pruned — the fundamental memory cost of offline
+        editors that the paper's §10 future work asks about."""
+        cluster = make_cluster("css-gc", ["c1", "c2", "c3"])
+        schedule = ScheduleBuilder()
+        for i in range(8):
+            schedule.ins("c1", 0, "a").drain()
+        cluster.run(schedule.build())
+        # c3 (and c2) never spoke: the server cannot prune anything.
+        assert cluster.server.pruned_states == 0
+
+    def test_floor_advances_once_everyone_speaks(self):
+        cluster = make_cluster("css-gc", ["c1", "c2", "c3"])
+        schedule = (
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .drain()
+            .ins("c2", 0, "b")
+            .drain()
+            .ins("c3", 0, "c")
+            .drain()
+            .ins("c1", 0, "d")
+            .drain()
+            .build()
+        )
+        cluster.run(schedule)
+        assert cluster.server.pruned_states > 0

@@ -1,0 +1,126 @@
+"""Tests for dynamic client admission (late join)."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError, ScheduleError
+from repro.jupiter import make_cluster
+from repro.jupiter.membership import client_from_join, server_admit
+from repro.model import OpSpec, ScheduleBuilder
+from repro.sim.trace import check_all_specs
+
+
+def running_cluster():
+    cluster = make_cluster("css", ["c1", "c2"])
+    schedule = (
+        ScheduleBuilder()
+        .ins("c1", 0, "h")
+        .ins("c2", 0, "i")
+        .drain()
+        .ins("c1", 2, "!")  # in flight at join time
+        .build()
+    )
+    cluster.run(schedule)
+    return cluster
+
+
+class TestServerAdmit:
+    def test_join_payload_is_json_serialisable(self):
+        cluster = running_cluster()
+        payload = server_admit(cluster.server, "c3")
+        restored = client_from_join(json.loads(json.dumps(payload)))
+        assert restored.replica_id == "c3"
+
+    def test_duplicate_admission_rejected(self):
+        cluster = running_cluster()
+        server_admit(cluster.server, "c3")
+        with pytest.raises(ProtocolError):
+            server_admit(cluster.server, "c3")
+
+    def test_existing_member_rejected(self):
+        cluster = running_cluster()
+        with pytest.raises(ProtocolError):
+            server_admit(cluster.server, "c1")
+
+    def test_gc_server_refuses_admission(self):
+        cluster = make_cluster("css-gc", ["c1", "c2"])
+        with pytest.raises(ProtocolError):
+            server_admit(cluster.server, "c3")
+
+    def test_joiner_starts_from_server_state(self):
+        cluster = running_cluster()
+        joiner = client_from_join(server_admit(cluster.server, "c3"))
+        assert joiner.document.as_string() == cluster.server.document.as_string()
+        assert joiner.space.same_structure(cluster.server.space)
+
+
+class TestClusterAddClient:
+    def test_joiner_receives_in_flight_operations(self):
+        cluster = running_cluster()
+        cluster.add_client("c3")
+        # The '!' operation was generated before the join but not yet
+        # serialised: after drain the joiner has it too.
+        cluster.drain()
+        docs = cluster.documents()
+        assert docs["c3"] == docs["s"]
+        assert "!" in docs["c3"]
+
+    def test_joiner_can_edit(self):
+        cluster = running_cluster()
+        cluster.add_client("c3")
+        cluster.drain()
+        cluster.generate("c3", OpSpec("ins", 0, "Z"))
+        cluster.drain()
+        docs = cluster.documents()
+        assert len(set(docs.values())) == 1
+        assert docs["c1"].startswith("Z")
+
+    def test_compactness_holds_with_joiner(self):
+        cluster = running_cluster()
+        cluster.add_client("c3")
+        cluster.drain()
+        cluster.generate("c3", OpSpec("ins", 0, "Z"))
+        cluster.generate("c1", OpSpec("ins", 0, "Y"))
+        cluster.drain()
+        for client in cluster.clients.values():
+            assert client.space.same_structure(cluster.server.space)
+
+    def test_specs_hold_after_join(self):
+        cluster = running_cluster()
+        cluster.add_client("c3")
+        cluster.drain()
+        cluster.generate("c3", OpSpec("del", 0))
+        cluster.drain()
+        report = check_all_specs(cluster.recorder.finish())
+        assert report.convergence.ok
+        assert report.weak_list.ok
+
+    def test_duplicate_add_rejected(self):
+        cluster = running_cluster()
+        cluster.add_client("c3")
+        with pytest.raises(ScheduleError):
+            cluster.add_client("c3")
+
+    def test_generate_immediately_after_join(self):
+        """The join snapshot is communication: a joiner that edits before
+        receiving anything still has the prior history in its causal
+        past, so condition 1a holds."""
+        cluster = running_cluster()
+        cluster.add_client("c3")
+        cluster.generate("c3", OpSpec("ins", 0, "Z"))
+        cluster.drain()
+        report = check_all_specs(cluster.recorder.finish())
+        assert report.convergence.ok
+        assert report.weak_list.ok
+
+    def test_multiple_joins(self):
+        cluster = running_cluster()
+        cluster.add_client("c3")
+        cluster.drain()
+        cluster.add_client("c4")
+        cluster.generate("c4", OpSpec("ins", 0, "*"))
+        cluster.drain()
+        docs = cluster.documents()
+        assert len(set(docs.values())) == 1
+        assert len(docs) == 5  # s + 4 clients

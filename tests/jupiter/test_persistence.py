@@ -1,0 +1,139 @@
+"""Tests for CSS replica snapshot/restore."""
+
+import json
+
+import pytest
+
+from repro.common import OpId
+from repro.errors import ProtocolError
+from repro.jupiter import make_cluster
+from repro.jupiter.cluster import Cluster
+from repro.jupiter.persistence import (
+    operation_from_obj,
+    operation_to_obj,
+    restore_client,
+    restore_server,
+    snapshot_client,
+    snapshot_server,
+    space_from_obj,
+    space_to_obj,
+)
+from repro.model import ScheduleBuilder
+from repro.ot import delete, insert
+
+
+def mid_run_cluster():
+    """A CSS cluster stopped mid-run: operations in flight, pending acks."""
+    cluster = make_cluster("css", ["c1", "c2", "c3"])
+    schedule = (
+        ScheduleBuilder()
+        .ins("c1", 0, "a")
+        .ins("c2", 0, "b")
+        .server_recv("c1")
+        .server_recv("c2")
+        .client_recv("c1", times=2)  # echo + b
+        .ins("c1", 1, "x")  # pending operation
+        .build()
+    )
+    cluster.run(schedule)
+    return cluster
+
+
+class TestOperationCodec:
+    def test_insert_round_trip(self):
+        op = insert(OpId("c1", 1), "x", 3, context={OpId("c2", 1)})
+        assert operation_from_obj(operation_to_obj(op)) == op
+
+    def test_delete_round_trip(self):
+        base = insert(OpId("c9", 1), "v", 0)
+        op = delete(OpId("c1", 2), base.element, 0, context={base.opid})
+        assert operation_from_obj(operation_to_obj(op)) == op
+
+    def test_obj_is_json_serialisable(self):
+        op = insert(OpId("c1", 1), "x", 3)
+        encoded = json.dumps(operation_to_obj(op))
+        assert operation_from_obj(json.loads(encoded)) == op
+
+
+class TestSpaceCodec:
+    def test_space_round_trip_preserves_structure(self):
+        cluster = mid_run_cluster()
+        space = cluster.clients["c1"].space
+        obj = json.loads(json.dumps(space_to_obj(space)))
+        restored = space_from_obj(obj, cluster.clients["c1"].oracle)
+        assert restored.same_structure(space)
+        assert restored.final_key == space.final_key
+        assert restored.document.as_string() == space.document.as_string()
+        assert restored.ot_count == space.ot_count
+
+    def test_version_check(self):
+        cluster = mid_run_cluster()
+        obj = space_to_obj(cluster.server.space)
+        obj["version"] = 99
+        with pytest.raises(ProtocolError):
+            space_from_obj(obj, cluster.server.oracle)
+
+
+class TestClientSnapshot:
+    def test_round_trip_mid_run(self):
+        cluster = mid_run_cluster()
+        original = cluster.clients["c1"]
+        restored = restore_client(
+            json.loads(json.dumps(snapshot_client(original)))
+        )
+        assert restored.replica_id == "c1"
+        assert restored.space.same_structure(original.space)
+        assert restored.pending_count == original.pending_count
+        assert restored.document.as_string() == original.document.as_string()
+
+    def test_restored_client_resumes_the_run(self):
+        """Swap a restored client into the cluster and drain to the same
+        final state as an undisturbed run."""
+        reference = mid_run_cluster()
+        reference.drain()
+
+        crashed = mid_run_cluster()
+        snapshot = json.loads(json.dumps(snapshot_client(crashed.clients["c1"])))
+        resumed = Cluster(
+            crashed.server,
+            {**crashed.clients, "c1": restore_client(snapshot)},
+        )
+        # Carry over the undelivered channels from the crashed cluster.
+        resumed._to_server = crashed._to_server
+        resumed._to_client = crashed._to_client
+        resumed.drain()
+        assert resumed.documents() == reference.documents()
+
+    def test_restored_client_generates_fresh_opids(self):
+        cluster = mid_run_cluster()
+        restored = restore_client(snapshot_client(cluster.clients["c1"]))
+        from repro.model import OpSpec
+
+        result = restored.generate(OpSpec("ins", 0, "z"))
+        # c1 had generated 2 operations; the next must be seq 3.
+        assert result.operation.opid == OpId("c1", 3)
+
+
+class TestServerSnapshot:
+    def test_round_trip(self):
+        cluster = mid_run_cluster()
+        restored = restore_server(
+            json.loads(json.dumps(snapshot_server(cluster.server)))
+        )
+        assert restored.space.same_structure(cluster.server.space)
+        assert restored.clients == cluster.server.clients
+        assert restored.document.as_string() == cluster.server.document.as_string()
+
+    def test_restored_server_continues_serialising(self):
+        cluster = mid_run_cluster()
+        restored = restore_server(snapshot_server(cluster.server))
+        # Two operations were serialised; the next serial must be 3.
+        next_serial = restored.oracle.assign(OpId("c9", 1))
+        assert next_serial == 3
+
+    def test_corrupt_serials_rejected(self):
+        cluster = mid_run_cluster()
+        obj = snapshot_server(cluster.server)
+        obj["serials"][0][1] = 42
+        with pytest.raises(ProtocolError):
+            restore_server(obj)

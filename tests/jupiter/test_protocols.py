@@ -1,0 +1,245 @@
+"""Protocol-level tests for CSS, CSCW, classic and broken replicas."""
+
+import pytest
+
+from repro.document import ListDocument
+from repro.errors import ProtocolError, ScheduleError
+from repro.jupiter import make_cluster
+from repro.jupiter.css import CssClient, CssServer
+from repro.model import OpSpec, ScheduleBuilder
+from repro.model.abstract import abstract_from_execution
+from repro.specs import check_convergence, check_strong_list, check_weak_list
+
+
+def figure1_schedule():
+    return (
+        ScheduleBuilder()
+        .ins("c1", 1, "f")
+        .delete("c2", 5)
+        .drain()
+        .build()
+    )
+
+
+class TestFigure1AllProtocols:
+    @pytest.mark.parametrize("protocol", ["css", "cscw", "classic"])
+    def test_effecte_converges_to_effect(self, protocol):
+        cluster = make_cluster(protocol, ["c1", "c2"], initial_text="efecte")
+        cluster.run(figure1_schedule())
+        assert set(cluster.documents().values()) == {"effect"}
+
+    def test_broken_protocol_also_handles_the_easy_case(self):
+        cluster = make_cluster("broken", ["c1", "c2"], initial_text="efecte")
+        cluster.run(figure1_schedule())
+        assert set(cluster.documents().values()) == {"effect"}
+
+
+class TestCssProtocol:
+    def test_client_pending_queue_drains_on_echo(self):
+        cluster = make_cluster("css", ["c1", "c2"])
+        schedule = ScheduleBuilder().ins("c1", 0, "a").build()
+        cluster.run(schedule)
+        client = cluster.clients["c1"]
+        assert client.pending_count == 1
+        cluster.server_receive("c1")
+        cluster.client_receive("c1")  # echo
+        assert client.pending_count == 0
+
+    def test_echo_is_not_reapplied(self):
+        cluster = make_cluster("css", ["c1", "c2"])
+        cluster.run(ScheduleBuilder().ins("c1", 0, "a").drain().build())
+        assert cluster.documents()["c1"] == "a"
+
+    def test_all_replicas_share_one_state_space_structure(self):
+        """Proposition 6.6 on a concrete small run."""
+        cluster = make_cluster("css", ["c1", "c2", "c3"])
+        schedule = (
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .ins("c2", 0, "b")
+            .ins("c3", 0, "c")
+            .drain()
+            .build()
+        )
+        cluster.run(schedule)
+        server_space = cluster.server.space
+        for client in cluster.clients.values():
+            assert client.space.same_structure(server_space)
+
+    def test_out_of_order_payload_rejected(self):
+        client = CssClient("c1")
+        with pytest.raises(ProtocolError):
+            client.receive("garbage")
+        server = CssServer("s", ["c1"])
+        with pytest.raises(ProtocolError):
+            server.receive("c1", "garbage")
+
+    def test_state_space_grows_with_concurrency(self):
+        cluster = make_cluster("css", ["c1", "c2"])
+        schedule = (
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .ins("c2", 0, "b")
+            .drain()
+            .build()
+        )
+        cluster.run(schedule)
+        assert cluster.server.space.node_count() == 4  # the CP1 square
+        assert cluster.server.space.max_out_degree() <= 2  # Lemma 6.1
+
+
+class TestCscwProtocol:
+    def test_server_keeps_one_space_per_client(self):
+        cluster = make_cluster("cscw", ["c1", "c2", "c3"])
+        assert set(cluster.server.spaces) == {"c1", "c2", "c3"}
+
+    def test_client_ignores_echo(self):
+        cluster = make_cluster("cscw", ["c1", "c2"])
+        cluster.run(ScheduleBuilder().ins("c1", 0, "a").drain().build())
+        assert cluster.documents()["c1"] == "a"
+
+    def test_dss_subset_of_css(self):
+        """Proposition 7.4: DSS_ci ⊆ CSS_ci under the same schedule."""
+        schedule = (
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .ins("c2", 0, "b")
+            .ins("c1", 1, "c")
+            .drain()
+            .build()
+        )
+        cscw = make_cluster("cscw", ["c1", "c2"])
+        cscw.run(schedule)
+        css = make_cluster("css", ["c1", "c2"])
+        css.run(schedule)
+        for name in ("c1", "c2"):
+            dss = cscw.clients[name].space
+            nary = css.clients[name].space
+            assert nary.contains_structure(dss)
+
+
+class TestClassicProtocol:
+    def test_pending_buffer_lifecycle(self):
+        cluster = make_cluster("classic", ["c1", "c2"])
+        cluster.run(ScheduleBuilder().ins("c1", 0, "a").build())
+        assert cluster.clients["c1"].pending_count == 1
+        cluster.drain()
+        assert cluster.clients["c1"].pending_count == 0
+
+    def test_server_frontier_shrinks_on_acknowledgement(self):
+        cluster = make_cluster("classic", ["c1", "c2"])
+        schedule = (
+            ScheduleBuilder()
+            .ins("c2", 0, "x")
+            .server_recv("c2")
+            .client_recv("c1")  # c1 now knows x
+            .ins("c1", 0, "y")  # context acknowledges x
+            .server_recv("c1")
+            .build()
+        )
+        cluster.run(schedule)
+        assert cluster.server.frontier_size("c1") == 0
+
+    def test_interleaved_pending_operations(self):
+        cluster = make_cluster("classic", ["c1", "c2"])
+        schedule = (
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .ins("c1", 1, "b")  # two pending ops at c1
+            .ins("c2", 0, "x")
+            .server_recv("c2")  # x serialised first
+            .drain()
+            .build()
+        )
+        cluster.run(schedule)
+        docs = cluster.documents()
+        assert len(set(docs.values())) == 1, docs
+
+
+class TestBrokenProtocol:
+    def test_diverges_on_cp2_triple(self):
+        """The CP2 counterexample drives the naive protocol apart."""
+        schedule = (
+            ScheduleBuilder()
+            .delete("c1", 1)  # o1 = Del(b,1)
+            .ins("c2", 1, "x")  # o2 = Ins(x,1)
+            .ins("c3", 2, "y")  # o3 = Ins(y,2)
+            .server_recv("c1")
+            .server_recv("c2")
+            .server_recv("c3")
+            .drain()
+            .build()
+        )
+        cluster = make_cluster("broken", ["c1", "c2", "c3"], initial_text="abc")
+        execution = cluster.run(schedule)
+        docs = cluster.documents()
+        assert len(set(docs.values())) > 1, docs
+
+        initial = tuple(ListDocument.from_string("abc").read())
+        abstract = abstract_from_execution(execution)
+        assert not check_convergence(abstract).ok
+        assert not check_weak_list(abstract, initial_elements=initial).ok
+        assert not check_strong_list(abstract, initial_elements=initial).ok
+
+    def test_correct_protocols_pass_same_schedule(self):
+        schedule = (
+            ScheduleBuilder()
+            .delete("c1", 1)
+            .ins("c2", 1, "x")
+            .ins("c3", 2, "y")
+            .server_recv("c1")
+            .server_recv("c2")
+            .server_recv("c3")
+            .drain()
+            .build()
+        )
+        for protocol in ("css", "cscw", "classic"):
+            cluster = make_cluster(
+                protocol, ["c1", "c2", "c3"], initial_text="abc"
+            )
+            execution = cluster.run(schedule)
+            assert len(set(cluster.documents().values())) == 1
+            initial = tuple(ListDocument.from_string("abc").read())
+            abstract = abstract_from_execution(execution)
+            assert check_convergence(abstract).ok
+            assert check_weak_list(abstract, initial_elements=initial).ok
+
+
+class TestCluster:
+    def test_empty_channel_delivery_rejected(self):
+        cluster = make_cluster("css", ["c1"])
+        with pytest.raises(ScheduleError):
+            cluster.server_receive("c1")
+        with pytest.raises(ScheduleError):
+            cluster.client_receive("c1")
+
+    def test_unknown_client_rejected(self):
+        cluster = make_cluster("css", ["c1"])
+        with pytest.raises(ScheduleError):
+            cluster.generate("ghost", OpSpec("ins", 0, "x"))
+
+    def test_in_flight_accounting(self):
+        cluster = make_cluster("css", ["c1", "c2"])
+        cluster.run(ScheduleBuilder().ins("c1", 0, "a").build())
+        assert cluster.in_flight() == 1
+        cluster.drain()
+        assert cluster.in_flight() == 0
+
+    def test_execution_is_well_formed(self):
+        cluster = make_cluster("css", ["c1", "c2"])
+        execution = cluster.run(
+            ScheduleBuilder().ins("c1", 0, "a").ins("c2", 0, "b").drain().build()
+        )
+        execution.check_well_formed()
+
+    def test_behaviour_log_records_generate_and_apply(self):
+        cluster = make_cluster("css", ["c1", "c2"])
+        cluster.run(ScheduleBuilder().ins("c1", 0, "a").drain().build())
+        c1_actions = [entry.action for entry in cluster.behaviors["c1"]]
+        c2_actions = [entry.action for entry in cluster.behaviors["c2"]]
+        assert c1_actions == ["generate", "ack"]
+        assert c2_actions == ["apply"]
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            make_cluster("nope", ["c1"])

@@ -1,0 +1,114 @@
+"""Tests for the shared state-space machinery (BaseStateSpace)."""
+
+import pytest
+
+from repro.common import OpId
+from repro.document import ListDocument
+from repro.errors import StateSpaceError, UnknownStateError
+from repro.jupiter.nary import NaryStateSpace
+from repro.jupiter.ordering import ServerOrderOracle
+from repro.jupiter.state_space import Transition
+from repro.ot import insert
+
+
+def space_with(*ops_spec):
+    """Build a server space from (replica, value, position, ctx_ids)."""
+    oracle = ServerOrderOracle()
+    space = NaryStateSpace(oracle)
+    made = []
+    for replica, value, position, ctx in ops_spec:
+        op = insert(
+            OpId(replica, 1), value, position, context=frozenset(ctx)
+        )
+        oracle.assign(op.opid)
+        space.integrate(op)
+        made.append(op)
+    return space, made
+
+
+class TestNodeAccess:
+    def test_unknown_state_raises(self):
+        space, _ = space_with()
+        with pytest.raises(UnknownStateError):
+            space.node(frozenset({OpId("ghost", 1)}))
+
+    def test_has_state(self):
+        space, (op,) = space_with(("c1", "a", 0, []))
+        assert space.has_state(frozenset())
+        assert space.has_state(frozenset({op.opid}))
+        assert not space.has_state(frozenset({OpId("ghost", 1)}))
+
+    def test_counts(self):
+        space, _ = space_with(("c1", "a", 0, []), ("c2", "b", 0, []))
+        assert space.node_count() == 4
+        assert space.transition_count() == 4
+        assert len(list(space.transitions())) == 4
+
+    def test_final_node_document(self):
+        space, _ = space_with(("c1", "a", 0, []))
+        assert space.final_node.document.as_string() == "a"
+        assert space.document.as_string() == "a"
+
+
+class TestAttachGuards:
+    def test_attach_with_wrong_context_rejected(self):
+        space, _ = space_with(("c1", "a", 0, []))
+        stray = insert(OpId("c9", 1), "z", 0, context={OpId("ghost", 1)})
+        with pytest.raises(StateSpaceError):
+            space._attach(space.node(frozenset()), stray)
+
+    def test_broken_square_detected(self):
+        """If two edges into the same corner disagree on the document,
+        the structural CP1 check fires."""
+        space, (op_a, op_b) = space_with(
+            ("c1", "a", 0, []), ("c2", "b", 0, [])
+        )
+        corner = frozenset({op_a.opid, op_b.opid})
+        # Forge an edge into the existing corner with a wrong operation.
+        forged = insert(
+            OpId("c2", 1), "b", 1, context=frozenset({op_a.opid})
+        )
+        with pytest.raises(StateSpaceError):
+            space._attach(space.node(frozenset({op_a.opid})), forged)
+        assert space.has_state(corner)
+
+
+class TestSignatures:
+    def test_same_structure_reflexive(self):
+        space, _ = space_with(("c1", "a", 0, []), ("c2", "b", 0, []))
+        assert space.same_structure(space)
+
+    def test_different_spaces_differ(self):
+        one, _ = space_with(("c1", "a", 0, []))
+        two, _ = space_with(("c2", "b", 0, []))
+        assert not one.same_structure(two)
+
+    def test_contains_structure_is_subset_check(self):
+        big, _ = space_with(("c1", "a", 0, []), ("c2", "b", 0, []))
+        small, _ = space_with(("c1", "a", 0, []))
+        assert big.contains_structure(small)
+        assert not small.contains_structure(big)
+
+    def test_contains_ignores_missing_state(self):
+        one, _ = space_with(("c1", "a", 0, []))
+        other, _ = space_with(("c9", "z", 0, []))
+        assert not one.contains_structure(other)
+
+
+class TestTransitionObject:
+    def test_org_id_is_operation_identity(self):
+        op = insert(OpId("c1", 7), "x", 0)
+        transition = Transition(frozenset(), frozenset({op.opid}), op)
+        assert transition.org_id == OpId("c1", 7)
+        assert "Ins(x, 0)" in str(transition)
+
+
+class TestDocumentAt:
+    def test_intermediate_documents(self):
+        space, (op_a, op_b) = space_with(
+            ("c1", "a", 0, []), ("c2", "b", 0, [])
+        )
+        assert space.document_at(frozenset()).as_string() == ""
+        assert space.document_at(frozenset({op_a.opid})).as_string() == "a"
+        both = frozenset({op_a.opid, op_b.opid})
+        assert space.document_at(both).as_string() == "ba"

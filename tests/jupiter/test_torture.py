@@ -1,0 +1,216 @@
+"""Torture schedules: hand-crafted corner cases for all OT protocols.
+
+Each scenario targets a specific hazard: bursts against deep pending
+queues, concurrent deletions of the same element (NOP collapse inside
+squares), edits adjacent to deletions, ping-pong causality, and
+interleaved echo/remote arrivals.  Every correct protocol must agree
+with every other one, and the specs must hold.
+"""
+
+import pytest
+
+from repro.jupiter import make_cluster
+from repro.model import ScheduleBuilder
+from repro.sim.trace import check_all_specs
+
+PROTOCOLS = ["css", "css-gc", "cscw", "classic"]
+
+
+def run_everywhere(schedule, initial_text=""):
+    documents = {}
+    for protocol in PROTOCOLS:
+        cluster = make_cluster(
+            protocol, ["c1", "c2", "c3"], initial_text=initial_text
+        )
+        execution = cluster.run(schedule)
+        report = check_all_specs(execution, initial_text=initial_text)
+        assert report.convergence.ok, (protocol, report.convergence.summary())
+        assert report.weak_list.ok, (protocol, report.weak_list.summary())
+        documents[protocol] = cluster.documents()
+    reference = documents[PROTOCOLS[0]]
+    for protocol, docs in documents.items():
+        assert docs == reference, (protocol, docs)
+        assert len(set(docs.values())) == 1, (protocol, docs)
+    return reference
+
+
+class TestDeepPendingQueues:
+    def test_burst_against_five_pending_operations(self):
+        builder = ScheduleBuilder()
+        for i in range(5):
+            builder.ins("c1", i, "a")  # five pending at c1
+        builder.ins("c2", 0, "x").ins("c2", 0, "y").ins("c3", 0, "z")
+        # Server takes the other clients' ops first.
+        builder.server_recv("c2", times=2).server_recv("c3")
+        builder.drain()
+        run_everywhere(builder.build())
+
+    def test_alternating_generation_and_delivery(self):
+        builder = ScheduleBuilder()
+        builder.ins("c1", 0, "a").ins("c2", 0, "b")
+        builder.server_recv("c1")
+        builder.ins("c1", 1, "c")  # generated while b still in flight
+        builder.client_recv("c1")  # echo of a
+        builder.server_recv("c2")
+        builder.client_recv("c1")  # b arrives between own pendings
+        builder.ins("c1", 0, "d")
+        builder.drain()
+        run_everywhere(builder.build())
+
+
+class TestConcurrentDeletes:
+    def test_three_clients_delete_the_same_element(self):
+        builder = ScheduleBuilder()
+        builder.ins("c1", 0, "v").drain()
+        builder.delete("c1", 0).delete("c2", 0).delete("c3", 0)
+        builder.drain()
+        finals = run_everywhere(builder.build())
+        assert set(finals.values()) == {""}
+
+    def test_delete_collapse_inside_longer_squares(self):
+        builder = ScheduleBuilder()
+        builder.ins("c1", 0, "m").ins("c1", 1, "n").drain()
+        builder.delete("c1", 0)
+        builder.delete("c2", 0)
+        builder.ins("c3", 2, "o")
+        builder.server_recv("c1")
+        builder.server_recv("c2")
+        builder.server_recv("c3")
+        builder.drain()
+        finals = run_everywhere(builder.build())
+        assert set(finals.values()) == {"no"}
+
+    def test_delete_of_element_another_client_edits_next_to(self):
+        builder = ScheduleBuilder()
+        builder.ins("c1", 0, "p").ins("c1", 1, "q").drain()
+        builder.delete("c1", 1)  # remove q
+        builder.ins("c2", 1, "r")  # insert between p and q concurrently
+        builder.ins("c3", 2, "s")  # append after q concurrently
+        builder.drain()
+        finals = run_everywhere(builder.build())
+        # s shifts left when q vanishes and ties with r at position 1;
+        # the higher-priority client (c3) stays left: "psr".
+        assert set(finals.values()) == {"psr"}
+
+
+class TestCausalPingPong:
+    def test_reply_chains_across_clients(self):
+        builder = ScheduleBuilder()
+        builder.ins("c1", 0, "1").drain()
+        builder.ins("c2", 1, "2").drain()
+        builder.ins("c3", 2, "3").drain()
+        builder.ins("c1", 3, "4").drain()
+        finals = run_everywhere(builder.build())
+        assert set(finals.values()) == {"1234"}
+
+    def test_concurrent_rounds_with_partial_delivery(self):
+        builder = ScheduleBuilder()
+        builder.ins("c1", 0, "a").ins("c2", 0, "b").ins("c3", 0, "c")
+        builder.server_recv("c1").server_recv("c2")
+        builder.client_recv("c3", times=2)  # c3 sees a, b before its echo
+        builder.ins("c3", 1, "d")  # context includes a and b
+        builder.drain()
+        run_everywhere(builder.build())
+
+
+class TestNonEmptyStart:
+    def test_heavy_editing_of_seeded_document(self):
+        builder = ScheduleBuilder()
+        builder.delete("c1", 0).ins("c1", 0, "H")
+        builder.delete("c2", 4).ins("c2", 4, "O")
+        builder.ins("c3", 2, "-")
+        builder.drain()
+        finals = run_everywhere(builder.build(), initial_text="hello")
+        final = next(iter(finals.values()))
+        assert len(final) == 6
+        assert final.startswith("H")
+
+    def test_emptying_the_document_completely(self):
+        builder = ScheduleBuilder()
+        builder.delete("c1", 0).delete("c2", 1).delete("c3", 2)
+        builder.drain()
+        finals = run_everywhere(builder.build(), initial_text="abc")
+        assert set(finals.values()) == {""}
+
+    def test_refill_after_nop_collapse(self):
+        builder = ScheduleBuilder()
+        # Both clients delete position 0 concurrently: the *same*
+        # element, so one deletion collapses to NOP and 'b' survives.
+        builder.delete("c1", 0).delete("c2", 0)
+        builder.drain()
+        builder.ins("c3", 0, "z").drain()
+        finals = run_everywhere(builder.build(), initial_text="ab")
+        assert set(finals.values()) == {"zb"}
+
+
+class TestReads:
+    def test_interleaved_reads_are_consistent(self):
+        builder = ScheduleBuilder()
+        builder.ins("c1", 0, "a").read("c1")
+        builder.ins("c2", 0, "b").read("c2")
+        builder.drain()
+        builder.read("c1").read("c2").read("c3").read("s")
+        run_everywhere(builder.build())
+
+
+CRDT_PROTOCOLS = ["rga", "logoot", "woot", "treedoc"]
+
+
+@pytest.mark.parametrize("protocol", CRDT_PROTOCOLS)
+class TestCrdtTorture:
+    """The same torture schedules on the CRDT baselines.
+
+    CRDTs need not agree with the OT family on tie-break order, but each
+    must converge and satisfy both list specifications (strong included —
+    that is their selling point)."""
+
+    def run_one(self, protocol, schedule, initial_text=""):
+        cluster = make_cluster(
+            protocol, ["c1", "c2", "c3"], initial_text=initial_text
+        )
+        execution = cluster.run(schedule)
+        report = check_all_specs(execution, initial_text=initial_text)
+        assert len(set(cluster.documents().values())) == 1, (
+            protocol,
+            cluster.documents(),
+        )
+        assert report.convergence.ok, (protocol, report.convergence.summary())
+        assert report.weak_list.ok, (protocol, report.weak_list.summary())
+        assert report.strong_list.ok, (protocol, report.strong_list.summary())
+        return cluster
+
+    def test_deep_pending_burst(self, protocol):
+        builder = ScheduleBuilder()
+        for i in range(5):
+            builder.ins("c1", i, "a")
+        builder.ins("c2", 0, "x").ins("c3", 0, "z")
+        builder.server_recv("c2").server_recv("c3")
+        builder.drain()
+        self.run_one(protocol, builder.build())
+
+    def test_triple_delete_same_element(self, protocol):
+        builder = ScheduleBuilder()
+        builder.ins("c1", 0, "v").drain()
+        builder.delete("c1", 0).delete("c2", 0).delete("c3", 0)
+        builder.drain()
+        cluster = self.run_one(protocol, builder.build())
+        assert set(cluster.documents().values()) == {""}
+
+    def test_edits_around_concurrent_delete(self, protocol):
+        builder = ScheduleBuilder()
+        builder.ins("c1", 0, "p").ins("c1", 1, "q").drain()
+        builder.delete("c1", 1)
+        builder.ins("c2", 1, "r")
+        builder.ins("c3", 2, "s")
+        builder.drain()
+        cluster = self.run_one(protocol, builder.build())
+        final = cluster.documents()["s"]
+        assert sorted(final) == ["p", "r", "s"]
+
+    def test_seeded_document_editing(self, protocol):
+        builder = ScheduleBuilder()
+        builder.delete("c1", 0).ins("c2", 2, "-").ins("c3", 5, "+")
+        builder.drain()
+        cluster = self.run_one(protocol, builder.build(), initial_text="hello")
+        final = cluster.documents()["s"]
+        assert len(final) == 6

@@ -1,0 +1,85 @@
+"""Tests for the 2D state-space (DSS) of the CSCW protocol."""
+
+import pytest
+
+from repro.common import OpId
+from repro.errors import StateSpaceError
+from repro.jupiter.two_dim import Dimension, TwoDimStateSpace
+from repro.ot import insert
+
+
+def op(replica, seq, value, position, context=frozenset()):
+    return insert(OpId(replica, seq), value, position, context)
+
+
+class TestAppendAtFinal:
+    def test_local_append_advances_final(self):
+        space = TwoDimStateSpace()
+        o1 = op("c1", 1, "a", 0)
+        space.append_at_final(o1, Dimension.LOCAL)
+        assert space.final_key == frozenset({o1.opid})
+        assert space.document.as_string() == "a"
+
+    def test_two_transitions_same_dimension_rejected(self):
+        space = TwoDimStateSpace()
+        o1 = op("c1", 1, "a", 0)
+        o2 = op("c1", 2, "b", 0)
+        space.append_at_final(o1, Dimension.LOCAL)
+        # Force a second local transition at the root: not allowed.
+        with pytest.raises(StateSpaceError):
+            space._add(space.node(frozenset()), o2, Dimension.LOCAL)
+
+    def test_local_and_global_coexist(self):
+        space = TwoDimStateSpace()
+        local = op("c1", 1, "a", 0)
+        space.append_at_final(local, Dimension.LOCAL)
+        remote = op("c2", 1, "b", 0)
+        executed = space.integrate(remote, Dimension.GLOBAL)
+        root = space.node(frozenset())
+        assert len(root.children) == 2
+        dimensions = {space.dimension_of(t) for t in root.children}
+        assert dimensions == {Dimension.LOCAL, Dimension.GLOBAL}
+        assert executed.position in (0, 1)
+
+
+class TestIntegrate:
+    def test_remote_transforms_against_local_path(self):
+        """A client with two pending local ops receives a remote op."""
+        space = TwoDimStateSpace()
+        l1 = op("c1", 1, "a", 0)
+        l2 = op("c1", 2, "b", 1, context=frozenset({l1.opid}))
+        space.append_at_final(l1, Dimension.LOCAL)
+        space.append_at_final(l2, Dimension.LOCAL)
+        remote = op("c2", 1, "x", 0)
+        executed = space.integrate(remote, Dimension.GLOBAL)
+        assert executed.context == frozenset({l1.opid, l2.opid})
+        assert space.final_key == frozenset({l1.opid, l2.opid, remote.opid})
+        assert space.ot_count == 2
+        # x inserted at 0 concurrently: c2 outranks c1, x stays left.
+        assert space.document.as_string() == "xab"
+
+    def test_path_from_matching_state_is_pure_dimension(self):
+        space = TwoDimStateSpace()
+        l1 = op("c1", 1, "a", 0)
+        space.append_at_final(l1, Dimension.LOCAL)
+        path = space.path_along(frozenset(), Dimension.LOCAL)
+        assert [t.org_id for t in path] == [l1.opid]
+        assert space.path_along(frozenset(), Dimension.GLOBAL) == []
+
+    def test_integrate_with_empty_path_just_appends(self):
+        space = TwoDimStateSpace()
+        remote = op("c2", 1, "x", 0)
+        executed = space.integrate(remote, Dimension.GLOBAL)
+        assert executed == remote
+        assert space.ot_count == 0
+
+    def test_square_far_corner_document_checked(self):
+        """Both edges into the square's far corner recompute the document;
+        a healthy OT must agree (CP1 enforced structurally)."""
+        space = TwoDimStateSpace()
+        local = op("c1", 1, "a", 0)
+        space.append_at_final(local, Dimension.LOCAL)
+        remote = op("c2", 1, "b", 0)
+        space.integrate(remote, Dimension.GLOBAL)
+        far = space.node(frozenset({local.opid, remote.opid}))
+        assert far.document.as_string() == "ba"  # c2's b wins the tie

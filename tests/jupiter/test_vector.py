@@ -1,0 +1,151 @@
+"""Tests for the state-vector Jupiter implementation (UIST'95 format)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.jupiter import make_cluster
+from repro.jupiter.vector import SyncEndpoint, VectorClient, VectorMessage
+from repro.model import OpSpec, ScheduleBuilder
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+from repro.sim.trace import check_all_specs
+
+
+def drain_schedule():
+    """A schedule usable by every protocol (no explicit receive counts —
+    the vector server sends no echoes, so counted deliveries differ)."""
+    return (
+        ScheduleBuilder()
+        .ins("c1", 0, "a")
+        .ins("c2", 0, "b")
+        .drain()
+        .ins("c1", 1, "c")
+        .delete("c2", 0)
+        .drain()
+        .build()
+    )
+
+
+class TestSyncEndpoint:
+    def test_state_vector_advances(self):
+        from repro.common import OpId
+        from repro.ot import insert
+
+        endpoint = SyncEndpoint("c1")
+        assert endpoint.state_vector == (0, 0)
+        endpoint.send(insert(OpId("c1", 1), "x", 0))
+        assert endpoint.state_vector == (1, 0)
+        assert endpoint.pending == 1
+
+    def test_impossible_ack_rejected(self):
+        endpoint = SyncEndpoint("c1")
+        from repro.common import OpId
+        from repro.ot import insert
+
+        bogus = VectorMessage(
+            operation=insert(OpId("c2", 1), "y", 0),
+            sent=0,
+            received=5,  # claims to have seen 5 of our 0 operations
+            origin="c2",
+        )
+        with pytest.raises(ProtocolError):
+            endpoint.receive(bogus)
+
+    def test_two_endpoints_synchronise(self):
+        from repro.common import OpId
+        from repro.ot import insert
+
+        left, right = SyncEndpoint("L"), SyncEndpoint("R")
+        msg_l = left.send(insert(OpId("L", 1), "a", 0))
+        msg_r = right.send(insert(OpId("R", 1), "b", 0))
+        out_l = left.receive(msg_r)
+        out_r = right.receive(msg_l)
+        # Both transformed the remote op against their pending one.
+        assert out_l.opid == OpId("R", 1)
+        assert out_r.opid == OpId("L", 1)
+
+
+class TestVectorProtocol:
+    def test_figure1(self):
+        cluster = make_cluster("vector", ["c1", "c2"], initial_text="efecte")
+        cluster.run(
+            ScheduleBuilder().ins("c1", 1, "f").delete("c2", 5).drain().build()
+        )
+        assert set(cluster.documents().values()) == {"effect"}
+
+    def test_no_echo_to_generator(self):
+        cluster = make_cluster("vector", ["c1", "c2"])
+        cluster.run(ScheduleBuilder().ins("c1", 0, "a").drain().build())
+        # c1 never receives anything: only c2 got a broadcast.
+        actions = [e.action for e in cluster.behaviors["c1"]]
+        assert actions == ["generate"]
+        assert cluster.documents()["c1"] == "a"
+
+    def test_client_rejects_stray_echo(self):
+        client = VectorClient("c1")
+        result = client.generate(OpSpec("ins", 0, "a"))
+        with pytest.raises(ProtocolError):
+            client.receive(result.outgoing)
+
+    def test_agrees_with_other_jupiter_protocols(self):
+        schedule = drain_schedule()
+        finals = {}
+        for protocol in ("css", "cscw", "classic", "vector"):
+            cluster = make_cluster(protocol, ["c1", "c2"])
+            cluster.run(schedule)
+            docs = cluster.documents()
+            assert len(set(docs.values())) == 1, (protocol, docs)
+            finals[protocol] = docs["s"]
+        assert len(set(finals.values())) == 1, finals
+
+    def test_apply_sequences_match_css(self):
+        """Behaviour equivalence modulo echoes: the documents after every
+        generate/apply step coincide with CSS's."""
+        schedule = drain_schedule()
+        sequences = {}
+        for protocol in ("css", "vector"):
+            cluster = make_cluster(protocol, ["c1", "c2"])
+            cluster.run(schedule)
+            sequences[protocol] = {
+                name: [
+                    (entry.action, entry.document)
+                    for entry in entries
+                    if entry.action != "ack"
+                ]
+                for name, entries in cluster.behaviors.items()
+            }
+        assert sequences["css"] == sequences["vector"]
+
+    def test_simulated_runs_converge_with_specs(self):
+        for seed in range(3):
+            config = WorkloadConfig(clients=3, operations=20, seed=seed)
+            latency = UniformLatency(0.01, 0.4, seed=seed)
+            result = SimulationRunner("vector", config, latency).run()
+            assert result.converged, result.documents()
+            report = check_all_specs(result.execution)
+            assert report.convergence.ok
+            assert report.weak_list.ok
+
+    def test_message_volume_is_lower_than_echoing_protocols(self):
+        config = WorkloadConfig(clients=3, operations=12, seed=1)
+        vector = SimulationRunner("vector", config).run()
+        css = SimulationRunner("css", config).run()
+        # n-1 recipients per operation instead of n.
+        assert vector.messages_delivered == 12 * 2
+        assert css.messages_delivered == 12 * 3
+
+    def test_pending_queue_shrinks_via_piggybacked_acks(self):
+        cluster = make_cluster("vector", ["c1", "c2"])
+        schedule = (
+            ScheduleBuilder()
+            .ins("c1", 0, "a")
+            .drain()
+            .ins("c2", 1, "b")  # c2's op acknowledges c1's
+            .drain()
+            .build()
+        )
+        cluster.run(schedule)
+        # The server forwarded 'a' to c2; c2's next operation carried
+        # received=1, acknowledging it and emptying that endpoint.
+        assert cluster.server.endpoint_for("c2").pending == 0
+        # c1 has sent nothing since 'b' was forwarded to it: still pending.
+        assert cluster.server.endpoint_for("c1").pending == 1

@@ -1,0 +1,119 @@
+"""Tests for abstract executions: validity, queries, prefixes, compliance."""
+
+import pytest
+
+from repro.common import OpId
+from repro.errors import MalformedExecutionError
+from repro.model import ExecutionRecorder, Message, abstract_from_execution
+from repro.model.abstract import AbstractExecution
+from repro.ot import insert
+
+from tests.helpers import HistoryBuilder
+
+
+def simple_history():
+    builder = HistoryBuilder()
+    e0 = builder.ins("c1", "a", 0, ["a"])
+    e1 = builder.ins("c2", "b", 0, ["b"])
+    e2 = builder.delete("c1", "a", 0, [], sees=[e0])
+    e3 = builder.read("c1", [], sees=[e2])
+    return builder, (e0, e1, e2, e3)
+
+
+class TestValidation:
+    def test_valid_history_builds(self):
+        builder, _ = simple_history()
+        abstract = builder.build()
+        assert len(abstract) == 4
+
+    def test_vis_must_respect_history_order(self):
+        builder, (e0, e1, *_) = simple_history()
+        abstract = builder.build()
+        events = abstract.history
+        bad_vis = {event.eid: frozenset() for event in events}
+        bad_vis[events[0].eid] = frozenset({events[1].eid})  # sees the future
+        with pytest.raises(MalformedExecutionError):
+            AbstractExecution(events, bad_vis)
+
+    def test_vis_must_include_replica_order(self):
+        builder, _ = simple_history()
+        events = builder.build().history
+        bad_vis = {event.eid: frozenset() for event in events}
+        with pytest.raises(MalformedExecutionError):
+            AbstractExecution(events, bad_vis)  # c1's events unordered
+
+    def test_vis_must_be_transitive(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.ins("c2", "b", 0, ["a", "b"], sees=[e0])
+        e2 = builder.ins("c3", "c", 0, ["c", "a", "b"], sees=[e1])
+        events = builder.build().history
+        broken = {e0: frozenset(), e1: frozenset({e0}), e2: frozenset({e1})}
+        with pytest.raises(MalformedExecutionError):
+            AbstractExecution(events, broken)
+
+
+class TestQueries:
+    def test_updates_visible_to_filters_reads(self):
+        builder, (e0, e1, e2, e3) = simple_history()
+        abstract = builder.build()
+        read_event = abstract.history[e3]
+        assert abstract.updates_visible_to(read_event) == frozenset({e0, e2})
+
+    def test_elems_collects_all_inserted(self):
+        builder, _ = simple_history()
+        abstract = builder.build()
+        assert {e.value for e in abstract.elems()} == {"a", "b"}
+
+    def test_insert_and_delete_event_lookup(self):
+        builder, (e0, e1, e2, _) = simple_history()
+        abstract = builder.build()
+        a = builder.element("a")
+        insert_event = abstract.insert_event_of(a.opid)
+        assert insert_event is not None and insert_event.eid == e0
+        deletes = abstract.delete_events_of(a.opid)
+        assert [event.eid for event in deletes] == [e2]
+        assert abstract.insert_event_of(OpId("ghost", 1)) is None
+
+
+class TestPrefix:
+    def test_prefix_truncates_history_and_vis(self):
+        builder, _ = simple_history()
+        abstract = builder.build()
+        prefix = abstract.prefix(2)
+        assert len(prefix) == 2
+        for event in prefix.history:
+            assert prefix.visible_to(event) <= {e.eid for e in prefix.history}
+
+    def test_full_prefix_is_identity(self):
+        builder, _ = simple_history()
+        abstract = builder.build()
+        assert len(abstract.prefix(len(abstract))) == len(abstract)
+
+
+class TestCompliance:
+    def test_abstract_from_execution_complies(self):
+        recorder = ExecutionRecorder()
+        o1 = insert(OpId("c1", 1), "a", 0)
+        recorder.record_do("c1", o1, [o1.element])
+        message = Message("c1", "s", payload=o1)
+        recorder.record_send("c1", message)
+        recorder.record_receive("s", message)
+        recorder.record_do("s", None, [o1.element])
+        execution = recorder.finish()
+        abstract = abstract_from_execution(execution)
+        assert abstract.complies_with(execution)
+        server_read = abstract.history[-1]
+        assert abstract.visible_to(server_read) == frozenset({0})
+
+    def test_compliance_fails_on_mismatched_projection(self):
+        recorder = ExecutionRecorder()
+        o1 = insert(OpId("c1", 1), "a", 0)
+        recorder.record_do("c1", o1, [o1.element])
+        execution = recorder.finish()
+        abstract = abstract_from_execution(execution)
+
+        other = ExecutionRecorder()
+        other.record_do("c1", o1, [o1.element])
+        other.record_do("c1", None, [o1.element])
+        assert not abstract.complies_with(other.finish())

@@ -1,0 +1,44 @@
+"""Tests for event objects and messages."""
+
+from repro.common import OpId
+from repro.model.events import DoEvent, Message, ReceiveEvent, SendEvent
+from repro.ot import insert
+
+
+class TestMessage:
+    def test_unique_ids(self):
+        first = Message("a", "b", payload=None)
+        second = Message("a", "b", payload=None)
+        assert first.mid != second.mid
+
+    def test_str_shows_route(self):
+        message = Message("c1", "s", payload=None)
+        assert str(message).endswith("c1->s")
+
+
+class TestDoEvent:
+    def test_update_event(self):
+        op = insert(OpId("c1", 1), "x", 0)
+        event = DoEvent(0, "c1", op, (op.element,))
+        assert event.is_update and not event.is_read
+        assert event.opid == op.opid
+        assert event.returned_string() == "x"
+        assert "do[0]@c1" in str(event)
+
+    def test_read_event(self):
+        event = DoEvent(3, "c2", None, ())
+        assert event.is_read and not event.is_update
+        assert event.opid is None
+        assert "Read" in str(event)
+
+
+class TestSendReceive:
+    def test_send_event_str(self):
+        message = Message("c1", "s", payload=None)
+        event = SendEvent(1, "c1", message)
+        assert "send[1]@c1" in str(event)
+
+    def test_receive_event_str(self):
+        message = Message("c1", "s", payload=None)
+        event = ReceiveEvent(2, "s", message)
+        assert "recv[2]@s" in str(event)

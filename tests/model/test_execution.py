@@ -1,0 +1,84 @@
+"""Tests for concrete executions, recording and well-formedness."""
+
+import pytest
+
+from repro.common import OpId
+from repro.errors import MalformedExecutionError
+from repro.model import ExecutionRecorder, Message
+from repro.ot import insert
+
+
+def sample_recorder():
+    recorder = ExecutionRecorder()
+    op = insert(OpId("c1", 1), "x", 0)
+    do = recorder.record_do("c1", op, [op.element])
+    message = Message("c1", "s", payload=op)
+    send = recorder.record_send("c1", message)
+    receive = recorder.record_receive("s", message)
+    return recorder, do, send, receive, message
+
+
+class TestRecorder:
+    def test_event_ids_are_dense(self):
+        recorder, do, send, receive, _ = sample_recorder()
+        assert (do.eid, send.eid, receive.eid) == (0, 1, 2)
+        assert recorder.next_eid == 3
+
+    def test_finish_snapshots(self):
+        recorder, *_ = sample_recorder()
+        execution = recorder.finish()
+        assert len(execution) == 3
+        recorder.record_do("c2", None, [])
+        assert len(execution) == 3  # snapshot unaffected
+
+
+class TestProjections:
+    def test_replicas_in_first_seen_order(self):
+        recorder, *_ = sample_recorder()
+        execution = recorder.finish()
+        assert execution.replicas() == ["c1", "s"]
+
+    def test_at_replica(self):
+        recorder, do, send, receive, _ = sample_recorder()
+        execution = recorder.finish()
+        assert [e.eid for e in execution.at_replica("c1")] == [0, 1]
+        assert [e.eid for e in execution.at_replica("s")] == [2]
+
+    def test_do_events_projection(self):
+        recorder, do, *_ = sample_recorder()
+        recorder.record_do("s", None, [])
+        execution = recorder.finish()
+        assert [e.eid for e in execution.do_events()] == [0, 3]
+        assert [e.eid for e in execution.do_events("c1")] == [0]
+        assert [e.eid for e in execution.update_events()] == [0]
+
+
+class TestWellFormedness:
+    def test_valid_execution_passes(self):
+        recorder, *_ = sample_recorder()
+        execution = recorder.finish()
+        execution.check_well_formed()
+        assert execution.is_well_formed()
+
+    def test_receive_before_send_rejected(self):
+        recorder = ExecutionRecorder()
+        message = Message("c1", "s", payload=None)
+        recorder.record_receive("s", message)
+        execution = recorder.finish()
+        with pytest.raises(MalformedExecutionError):
+            execution.check_well_formed()
+
+    def test_duplicate_receive_rejected(self):
+        recorder = ExecutionRecorder()
+        message = Message("c1", "s", payload=None)
+        recorder.record_send("c1", message)
+        recorder.record_receive("s", message)
+        recorder.record_receive("s", message)
+        assert not recorder.finish().is_well_formed()
+
+    def test_duplicate_send_rejected(self):
+        recorder = ExecutionRecorder()
+        message = Message("c1", "s", payload=None)
+        recorder.record_send("c1", message)
+        recorder.record_send("c1", message)
+        assert not recorder.finish().is_well_formed()

@@ -1,0 +1,106 @@
+"""Tests for happens-before, causal and total orders."""
+
+from repro.common import OpId
+from repro.model import ExecutionRecorder, Message
+from repro.model.relations import (
+    CausalOrder,
+    HappensBefore,
+    linearise,
+    visibility_from_causality,
+)
+from repro.ot import insert
+
+
+def two_client_execution():
+    """c1 sends o1 to s; s forwards to c2; c2 then generates o2.
+
+    Thus o1 -> o2 causally, while a third op o3 by c3 is concurrent with
+    both.
+    """
+    recorder = ExecutionRecorder()
+    o1 = insert(OpId("c1", 1), "a", 0)
+    e_do1 = recorder.record_do("c1", o1, [o1.element])
+    m1 = Message("c1", "s", payload=o1)
+    recorder.record_send("c1", m1)
+    recorder.record_receive("s", m1)
+    m2 = Message("s", "c2", payload=o1)
+    recorder.record_send("s", m2)
+    e_recv = recorder.record_receive("c2", m2)
+    o2 = insert(OpId("c2", 1), "b", 1)
+    e_do2 = recorder.record_do("c2", o2, [o1.element, o2.element])
+    o3 = insert(OpId("c3", 1), "c", 0)
+    e_do3 = recorder.record_do("c3", o3, [o3.element])
+    return recorder.finish(), (e_do1, e_recv, e_do2, e_do3), (o1, o2, o3)
+
+
+class TestHappensBefore:
+    def test_thread_order(self):
+        execution, (e_do1, *_), _ = two_client_execution()
+        hb = HappensBefore(execution)
+        assert hb.happens_before(0, 1)  # do then send at c1
+
+    def test_message_delivery_order(self):
+        execution, _, _ = two_client_execution()
+        hb = HappensBefore(execution)
+        assert hb.happens_before(1, 2)  # send(m1) hb receive(m1)
+        assert hb.happens_before(3, 4)  # send(m2) hb receive(m2)
+
+    def test_transitivity_across_messages(self):
+        execution, (e_do1, e_recv, e_do2, _), _ = two_client_execution()
+        hb = HappensBefore(execution)
+        assert hb.happens_before(e_do1.eid, e_do2.eid)
+
+    def test_concurrent_events(self):
+        execution, (e_do1, _, e_do2, e_do3), _ = two_client_execution()
+        hb = HappensBefore(execution)
+        assert hb.concurrent(e_do1.eid, e_do3.eid)
+        assert hb.concurrent(e_do2.eid, e_do3.eid)
+        assert not hb.concurrent(e_do1.eid, e_do2.eid)
+
+    def test_not_reflexive(self):
+        execution, _, _ = two_client_execution()
+        hb = HappensBefore(execution)
+        assert not hb.happens_before(0, 0)
+
+    def test_totally_before_consistent_with_hb(self):
+        execution, _, _ = two_client_execution()
+        hb = HappensBefore(execution)
+        for first in range(len(execution)):
+            for second in range(len(execution)):
+                if hb.happens_before(first, second):
+                    assert hb.totally_before(first, second)
+
+
+class TestCausalOrder:
+    def test_causal_and_concurrent_operations(self):
+        execution, _, (o1, o2, o3) = two_client_execution()
+        causal = CausalOrder(execution)
+        assert causal.causally_before(o1.opid, o2.opid)
+        assert not causal.causally_before(o2.opid, o1.opid)
+        assert causal.concurrent(o1.opid, o3.opid)
+        assert causal.concurrent(o2.opid, o3.opid)
+
+    def test_context_of(self):
+        execution, _, (o1, o2, o3) = two_client_execution()
+        causal = CausalOrder(execution)
+        assert causal.context_of(o2.opid) == (o1.opid,)
+        assert causal.context_of(o1.opid) == ()
+        assert causal.context_of(o3.opid) == ()
+
+    def test_totally_before_extends_causality(self):
+        execution, _, (o1, o2, o3) = two_client_execution()
+        causal = CausalOrder(execution)
+        assert causal.totally_before(o1.opid, o2.opid)
+
+
+class TestVisibility:
+    def test_visibility_is_causal_past(self):
+        execution, (e_do1, _, e_do2, e_do3), _ = two_client_execution()
+        visibility = visibility_from_causality(execution)
+        assert visibility[e_do1.eid] == frozenset()
+        assert visibility[e_do2.eid] == frozenset({e_do1.eid})
+        assert visibility[e_do3.eid] == frozenset()
+
+    def test_linearise_returns_recording_order(self):
+        execution, _, _ = two_client_execution()
+        assert linearise(execution) == list(range(len(execution)))

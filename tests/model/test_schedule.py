@@ -1,0 +1,85 @@
+"""Tests for schedule steps and the builder DSL."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.model import (
+    ClientReceive,
+    Drain,
+    Generate,
+    OpSpec,
+    Read,
+    Schedule,
+    ScheduleBuilder,
+    ServerReceive,
+)
+
+
+class TestOpSpec:
+    def test_insert_spec(self):
+        spec = OpSpec("ins", 3, "x")
+        assert str(spec) == "Ins(x, 3)"
+
+    def test_delete_spec(self):
+        spec = OpSpec("del", 0)
+        assert str(spec) == "Del(_, 0)"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ScheduleError):
+            OpSpec("move", 0)
+
+    def test_rejects_negative_position(self):
+        with pytest.raises(ScheduleError):
+            OpSpec("del", -1)
+
+    def test_insert_requires_value(self):
+        with pytest.raises(ScheduleError):
+            OpSpec("ins", 0)
+
+
+class TestBuilder:
+    def test_builds_steps_in_order(self):
+        schedule = (
+            ScheduleBuilder()
+            .ins("c1", 0, "x")
+            .server_recv("c1")
+            .client_recv("c2")
+            .read("c2")
+            .drain()
+            .build()
+        )
+        assert len(schedule) == 5
+        assert isinstance(schedule[0], Generate)
+        assert isinstance(schedule[1], ServerReceive)
+        assert isinstance(schedule[2], ClientReceive)
+        assert isinstance(schedule[3], Read)
+        assert isinstance(schedule[4], Drain)
+
+    def test_repeated_receives(self):
+        schedule = ScheduleBuilder().client_recv("c1", times=3).build()
+        assert len(schedule) == 3
+        assert all(isinstance(step, ClientReceive) for step in schedule)
+
+    def test_clients_discovery_ignores_server(self):
+        schedule = (
+            ScheduleBuilder()
+            .ins("c2", 0, "x")
+            .server_recv("c2")
+            .client_recv("c1")
+            .build()
+        )
+        assert schedule.clients() == ["c2", "c1"]
+
+    def test_concatenation(self):
+        first = ScheduleBuilder().ins("c1", 0, "x").build()
+        second = ScheduleBuilder().drain().build()
+        combined = first + second
+        assert len(combined) == 2
+        assert isinstance(combined[1], Drain)
+
+    def test_generate_steps_projection(self):
+        schedule = (
+            ScheduleBuilder().ins("c1", 0, "x").drain().delete("c2", 0).build()
+        )
+        steps = schedule.generate_steps()
+        assert [s.client for s in steps] == ["c1", "c2"]

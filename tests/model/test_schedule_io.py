@@ -1,0 +1,95 @@
+"""Tests for schedule JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.model import ScheduleBuilder
+from repro.model.schedule_io import (
+    load_metadata,
+    load_schedule,
+    save_schedule,
+    schedule_from_obj,
+    schedule_to_obj,
+    schedules_equal,
+)
+
+
+def sample_schedule():
+    return (
+        ScheduleBuilder()
+        .ins("c1", 0, "x")
+        .delete("c2", 0)
+        .server_recv("c1")
+        .client_recv("c2")
+        .read("c1")
+        .drain()
+        .build()
+    )
+
+
+class TestRoundTrip:
+    def test_obj_round_trip(self):
+        schedule = sample_schedule()
+        restored = schedule_from_obj(
+            json.loads(json.dumps(schedule_to_obj(schedule)))
+        )
+        assert schedules_equal(schedule, restored)
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "schedule.json"
+        schedule = sample_schedule()
+        save_schedule(schedule, str(path), metadata={"note": "hi"})
+        restored = load_schedule(str(path))
+        assert schedules_equal(schedule, restored)
+        assert load_metadata(str(path)) == {"note": "hi"}
+
+    def test_replaying_loaded_schedule_matches(self, tmp_path):
+        from repro.sim import SimulationRunner, WorkloadConfig
+        from repro.sim.runner import replay
+
+        config = WorkloadConfig(clients=3, operations=15, seed=4)
+        result = SimulationRunner("css", config).run()
+        path = tmp_path / "run.json"
+        save_schedule(result.schedule, str(path))
+        loaded = load_schedule(str(path))
+        cluster = replay("css", loaded, config.client_names())
+        assert cluster.documents() == result.documents()
+
+
+class TestGuards:
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_obj({"version": 99, "steps": []})
+
+    def test_unknown_step_kind_rejected(self):
+        with pytest.raises(ScheduleError):
+            schedule_from_obj(
+                {"version": 1, "steps": [{"kind": "teleport"}]}
+            )
+
+    def test_metadata_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99, "metadata": {}}))
+        with pytest.raises(ScheduleError):
+            load_metadata(str(path))
+
+
+class TestCliRecordReplay:
+    def test_record_then_replay(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "session.json"
+        assert (
+            main(
+                ["record", "--out", str(out), "--operations", "10",
+                 "--latency", "lan"]
+            )
+            == 0
+        )
+        assert out.exists()
+        capsys.readouterr()
+        assert main(["replay", str(out), "--protocol", "cscw"]) == 0
+        printed = capsys.readouterr().out
+        assert "matches recorded document: True" in printed

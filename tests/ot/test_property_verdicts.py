@@ -1,0 +1,37 @@
+"""Tests for the PropertyVerdict evidence objects."""
+
+from repro.common import OpId
+from repro.document import ListDocument
+from repro.ot import check_cp1, check_cp2, delete, insert
+from repro.ot.properties import PropertyVerdict
+
+
+class TestVerdictShape:
+    def test_truthiness(self):
+        assert PropertyVerdict(True)
+        assert not PropertyVerdict(False)
+
+    def test_passing_cp1_has_no_detail(self):
+        doc = ListDocument.from_string("ab")
+        verdict = check_cp1(
+            doc,
+            insert(OpId("c1", 1), "x", 0),
+            insert(OpId("c2", 1), "y", 1),
+        )
+        assert verdict.holds
+        assert verdict.detail == ""
+        assert verdict.left is None and verdict.right is None
+
+    def test_failing_cp2_carries_evidence(self):
+        doc = ListDocument.from_string("abc")
+        verdict = check_cp2(
+            doc,
+            delete(OpId("c1", 1), doc.element_at(1), 1),
+            insert(OpId("c2", 1), "x", 1),
+            insert(OpId("c3", 1), "y", 2),
+        )
+        assert not verdict.holds
+        assert "CP2 violated" in verdict.detail
+        assert verdict.left is not None and verdict.right is not None
+        # The two divergent documents differ in their element order.
+        assert verdict.left != verdict.right

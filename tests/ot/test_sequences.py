@@ -1,0 +1,72 @@
+"""Tests for transforming an operation against an operation sequence."""
+
+import pytest
+
+from repro.common import OpId
+from repro.document import ListDocument
+from repro.errors import ContextMismatchError
+from repro.ot import (
+    delete,
+    insert,
+    transform_against_sequence,
+    transform_sequence_against,
+)
+
+
+class TestTransformAgainstSequence:
+    def test_empty_sequence_is_identity(self):
+        op = insert(OpId("c1", 1), "x", 0)
+        transformed, shifted = transform_against_sequence(op, [])
+        assert transformed == op
+        assert shifted == []
+
+    def test_chained_context_growth(self):
+        base = ListDocument.from_string("abc")
+        o = insert(OpId("c1", 1), "x", 0)
+        l1 = insert(OpId("c2", 1), "y", 1)
+        l2 = insert(OpId("c3", 1), "z", 2, context=l1.resulting_state)
+        transformed, shifted = transform_against_sequence(o, [l1, l2])
+        assert transformed.context == frozenset({l1.opid, l2.opid})
+        assert [s.context for s in shifted] == [
+            frozenset({o.opid}),
+            l1.resulting_state | {o.opid},
+        ]
+        assert base.as_string() == "abc"  # untouched
+
+    def test_effect_equivalence_both_orders(self):
+        """σ; L; o{L}  ==  σ; o; L{o} — the multi-step CP1 square."""
+        base = ListDocument.from_string("hello")
+        o = delete(OpId("c1", 1), base.element_at(4), 4)
+        l1 = insert(OpId("c2", 1), "X", 0)
+        l2 = delete(
+            OpId("c2", 2),
+            base.element_at(1),
+            2,  # 'e' shifted right by the insert at 0
+            context=l1.resulting_state,
+        )
+        transformed, shifted = transform_against_sequence(o, [l1, l2])
+
+        via_sequence_first = base.copy()
+        for op in [l1, l2, transformed]:
+            op.apply(via_sequence_first)
+
+        via_o_first = base.copy()
+        for op in [o, *shifted]:
+            op.apply(via_o_first)
+
+        assert via_sequence_first == via_o_first
+        assert via_sequence_first.as_string() == "Xhll"
+
+    def test_mis_ordered_sequence_raises(self):
+        o = insert(OpId("c1", 1), "x", 0)
+        l1 = insert(OpId("c2", 1), "y", 1)
+        l2_bad = insert(OpId("c3", 1), "z", 2)  # missing l1 in context
+        with pytest.raises(ContextMismatchError):
+            transform_against_sequence(o, [l1, l2_bad])
+
+    def test_transform_sequence_against_returns_shifted_only(self):
+        o = insert(OpId("c1", 1), "x", 0)
+        l1 = insert(OpId("c2", 1), "y", 1)
+        shifted = transform_sequence_against([l1], o)
+        assert len(shifted) == 1
+        assert shifted[0].position == 2  # shifted right by o at 0

@@ -1,0 +1,23 @@
+"""Shared fixtures/strategies for randomized protocol property tests."""
+
+from hypothesis import strategies as st
+
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+
+#: Modest sizes keep hypothesis rounds fast while still exploring varied
+#: interleavings; the benchmarks exercise larger configurations.
+workload_configs = st.builds(
+    WorkloadConfig,
+    clients=st.integers(min_value=2, max_value=4),
+    operations=st.integers(min_value=4, max_value=24),
+    insert_ratio=st.sampled_from([0.5, 0.7, 1.0]),
+    positions=st.sampled_from(["uniform", "append", "hotspot"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+latency_seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def run_simulation(protocol, config, latency_seed):
+    latency = UniformLatency(0.005, 0.5, seed=latency_seed)
+    return SimulationRunner(protocol, config, latency).run()

@@ -1,0 +1,50 @@
+"""E7: Theorem 6.7 — CSS satisfies the convergence property.
+
+Randomised end-to-end property tests: arbitrary workloads, arbitrary
+latency interleavings, all replicas must converge and the derived abstract
+execution must belong to ``Acp``.
+"""
+
+from hypothesis import given, settings
+
+from repro.sim.trace import check_all_specs
+
+from tests.properties.conftest import (
+    latency_seeds,
+    run_simulation,
+    workload_configs,
+)
+
+
+class TestCssConvergence:
+    @settings(max_examples=25, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_css_converges(self, config, latency_seed):
+        result = run_simulation("css", config, latency_seed)
+        assert result.converged, result.documents()
+
+    @settings(max_examples=15, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_css_satisfies_acp(self, config, latency_seed):
+        result = run_simulation("css", config, latency_seed)
+        report = check_all_specs(result.execution)
+        assert report.convergence.ok, report.convergence.summary()
+
+
+class TestOtherProtocolsConverge:
+    @settings(max_examples=10, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_cscw_converges(self, config, latency_seed):
+        assert run_simulation("cscw", config, latency_seed).converged
+
+    @settings(max_examples=10, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_classic_converges(self, config, latency_seed):
+        assert run_simulation("classic", config, latency_seed).converged
+
+    @settings(max_examples=8, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_crdts_converge(self, config, latency_seed):
+        for protocol in ("rga", "logoot", "woot"):
+            result = run_simulation(protocol, config, latency_seed)
+            assert result.converged, (protocol, result.documents())

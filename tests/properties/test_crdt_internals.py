@@ -1,0 +1,112 @@
+"""Property-based tests for CRDT internals (identifiers, traversals)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import OpId
+from repro.crdt.logoot import BEGIN, END, LogootList, generate_between
+from repro.crdt.rga import RgaList
+from repro.crdt.treedoc import TreedocList
+from repro.crdt.woot import WootList
+
+
+class TestLogootIdentifiers:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        narrowing=st.lists(st.booleans(), min_size=1, max_size=60),
+    )
+    def test_between_is_always_strictly_between(self, seed, narrowing):
+        """Repeatedly narrow the window; density must never run out."""
+        rng = random.Random(seed)
+        lower, upper = BEGIN, END
+        for counter, go_low in enumerate(narrowing):
+            identifier = generate_between(lower, upper, "c1", counter, rng)
+            assert lower < identifier < upper
+            if go_low:
+                upper = identifier
+            else:
+                lower = identifier
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        positions=st.lists(
+            st.integers(min_value=0, max_value=1000), min_size=1, max_size=40
+        ),
+    )
+    def test_identifiers_stay_sorted_under_random_editing(
+        self, seed, positions
+    ):
+        replica = LogootList("c1", seed=seed)
+        for i, raw in enumerate(positions):
+            replica.local_insert(
+                OpId("c1", i + 1), "x", raw % (len(replica.read()) + 1)
+            )
+        identifiers = [
+            replica.identifier_of(i) for i in range(len(replica.read()))
+        ]
+        assert identifiers == sorted(identifiers)
+
+
+def crdt_pair(kind):
+    if kind == "rga":
+        return RgaList("c1"), RgaList("c2")
+    if kind == "logoot":
+        return LogootList("c1"), LogootList("c2")
+    if kind == "woot":
+        return WootList("c1"), WootList("c2")
+    return TreedocList("c1"), TreedocList("c2")
+
+
+class TestTwoReplicaCommutativity:
+    """Concurrent update pairs applied in both orders converge."""
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        kind=st.sampled_from(["rga", "logoot", "woot", "treedoc"]),
+        shared=st.integers(min_value=1, max_value=6),
+        pos1=st.integers(min_value=0, max_value=100),
+        pos2=st.integers(min_value=0, max_value=100),
+        delete1=st.booleans(),
+        delete2=st.booleans(),
+    )
+    def test_concurrent_pair_commutes(
+        self, kind, shared, pos1, pos2, delete1, delete2
+    ):
+        r1, r2 = crdt_pair(kind)
+        # Build identical shared history first.
+        seed_ops = []
+        for i in range(shared):
+            seed_ops.append(r1.local_insert(OpId("c1", i + 1), "s", i))
+        for op in seed_ops:
+            r2.apply_remote(op)
+
+        def local(replica, opid, position, deleting):
+            length = len(replica.read())
+            if deleting and length:
+                return replica.local_delete(opid, position % length)
+            return replica.local_insert(opid, "u", position % (length + 1))
+
+        op1 = local(r1, OpId("c1", 100), pos1, delete1)
+        op2 = local(r2, OpId("c2", 100), pos2, delete2)
+        r1.apply_remote(op2)
+        r2.apply_remote(op1)
+        assert [e.opid for e in r1.read()] == [e.opid for e in r2.read()], kind
+
+
+class TestReadDeterminism:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        kind=st.sampled_from(["rga", "logoot", "woot", "treedoc"]),
+        count=st.integers(min_value=0, max_value=10),
+    )
+    def test_read_is_stable_without_updates(self, kind, count):
+        replica, _ = crdt_pair(kind)
+        for i in range(count):
+            replica.local_insert(OpId("c1", i + 1), "x", 0)
+        first = replica.read()
+        second = replica.read()
+        assert first == second

@@ -1,0 +1,57 @@
+"""Randomised properties of the decentralised CSS extension."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import UniformLatency, WorkloadConfig
+from repro.sim.p2p import P2PSimulationRunner
+from repro.sim.trace import check_all_specs
+
+dcss_configs = st.builds(
+    WorkloadConfig,
+    clients=st.integers(min_value=2, max_value=4),
+    operations=st.integers(min_value=3, max_value=18),
+    insert_ratio=st.sampled_from([0.6, 0.8, 1.0]),
+    positions=st.sampled_from(["uniform", "hotspot", "typing"]),
+    seed=st.integers(min_value=0, max_value=5_000),
+)
+
+
+class TestDcssProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(config=dcss_configs, latency_seed=st.integers(0, 5_000))
+    def test_converges_and_stays_compact(self, config, latency_seed):
+        latency = UniformLatency(0.005, 0.5, seed=latency_seed)
+        result = P2PSimulationRunner(config, latency).run()
+        assert result.converged, result.documents()
+        assert result.cluster.state_spaces_identical()
+
+    @settings(max_examples=10, deadline=None)
+    @given(config=dcss_configs, latency_seed=st.integers(0, 5_000))
+    def test_satisfies_convergence_and_weak_list(self, config, latency_seed):
+        latency = UniformLatency(0.005, 0.5, seed=latency_seed)
+        result = P2PSimulationRunner(config, latency).run()
+        report = check_all_specs(result.execution)
+        assert report.convergence.ok, report.convergence.summary()
+        assert report.weak_list.ok, report.weak_list.summary()
+
+    @settings(max_examples=10, deadline=None)
+    @given(config=dcss_configs, latency_seed=st.integers(0, 5_000))
+    def test_holdback_queues_drain_completely(self, config, latency_seed):
+        latency = UniformLatency(0.005, 0.5, seed=latency_seed)
+        result = P2PSimulationRunner(config, latency).run()
+        for peer in result.cluster.peers.values():
+            assert peer.holdback_size == 0
+
+    @settings(max_examples=8, deadline=None)
+    @given(config=dcss_configs, latency_seed=st.integers(0, 5_000))
+    def test_state_space_lemmas_hold_decentralised(
+        self, config, latency_seed
+    ):
+        """Lemma 6.1's bound and ordered siblings survive the move to
+        Lamport-order serialisation."""
+        latency = UniformLatency(0.005, 0.5, seed=latency_seed)
+        result = P2PSimulationRunner(config, latency).run()
+        for peer in result.cluster.peers.values():
+            assert peer.space.max_out_degree() <= config.clients
+            assert peer.space.children_are_ordered()

@@ -1,0 +1,53 @@
+"""E8: Theorem 7.1 and Propositions 7.2 / 7.4 on random schedules.
+
+The CSS runner records its schedule; replaying it on CSCW and classic
+Jupiter must reproduce identical per-replica behaviours, and the
+state-space containment/union relations must hold."""
+
+from hypothesis import given, settings
+
+from repro.analysis.equivalence import (
+    check_css_compactness,
+    check_css_equals_union_of_dss,
+    check_dss_subset_of_css,
+    compare_protocols,
+)
+from repro.sim.runner import replay
+
+from tests.properties.conftest import (
+    latency_seeds,
+    run_simulation,
+    workload_configs,
+)
+
+
+class TestTheorem71:
+    @settings(max_examples=15, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_behaviours_identical_across_protocols(self, config, latency_seed):
+        result = run_simulation("css", config, latency_seed)
+        clusters = {"css": result.cluster}
+        for protocol in ("cscw", "classic"):
+            clusters[protocol] = replay(
+                protocol, result.schedule, config.client_names()
+            )
+        report = compare_protocols(result.schedule, clusters)
+        assert report.ok, report.summary()
+
+
+class TestProposition66:
+    @settings(max_examples=15, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_all_css_replicas_share_the_state_space(self, config, latency_seed):
+        result = run_simulation("css", config, latency_seed)
+        assert check_css_compactness(result.cluster) == []
+
+
+class TestProposition72And74:
+    @settings(max_examples=12, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_dss_subset_and_union_equality(self, config, latency_seed):
+        result = run_simulation("css", config, latency_seed)
+        cscw = replay("cscw", result.schedule, config.client_names())
+        assert check_dss_subset_of_css(cscw, result.cluster) == []
+        assert check_css_equals_union_of_dss(cscw, result.cluster) == []

@@ -1,0 +1,89 @@
+"""Property tests for multi-operation transformation squares.
+
+The multi-step CP1 property Algorithm 1 relies on:
+
+    σ; L; o{L}  ==  σ; o; L{o}
+
+for any operation ``o`` and any causally-chained sequence ``L`` of
+operations concurrent with it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import OpId
+from repro.document import ListDocument
+from repro.ot import delete, insert, transform_against_sequence
+
+ALPHABET = "abcdefgh"
+
+
+def build_chain(document, specs, replica_prefix):
+    """Build a causally-chained op sequence, applying each to a copy."""
+    working = document.copy()
+    context = frozenset()
+    operations = []
+    for index, (kind, position, value) in enumerate(specs):
+        opid = OpId(f"{replica_prefix}{index + 2}", 1)
+        if kind == "ins" or len(working) == 0:
+            op = insert(opid, value, position % (len(working) + 1), context)
+        else:
+            target_pos = position % len(working)
+            op = delete(opid, working.element_at(target_pos), target_pos, context)
+        op.apply(working)
+        context = context | {opid}
+        operations.append(op)
+    return operations, working
+
+
+op_specs = st.tuples(
+    st.sampled_from(["ins", "del"]),
+    st.integers(min_value=0, max_value=63),
+    st.sampled_from("XYZW"),
+)
+
+
+class TestMultiStepSquare:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        base_length=st.integers(min_value=0, max_value=8),
+        own=op_specs,
+        chain=st.lists(op_specs, min_size=0, max_size=6),
+    )
+    def test_sequence_square_commutes(self, base_length, own, chain):
+        document = ListDocument.from_string(ALPHABET[:base_length])
+        kind, position, value = own
+        if kind == "ins" or len(document) == 0:
+            operation = insert(
+                OpId("c1", 1), value, position % (len(document) + 1)
+            )
+        else:
+            target = position % len(document)
+            operation = delete(
+                OpId("c1", 1), document.element_at(target), target
+            )
+        sequence, after_sequence = build_chain(document, chain, "d")
+
+        transformed, shifted = transform_against_sequence(operation, sequence)
+
+        via_sequence_first = after_sequence.copy()
+        transformed.apply(via_sequence_first)
+
+        via_own_first = document.copy()
+        operation.apply(via_own_first)
+        for step in shifted:
+            step.apply(via_own_first)
+
+        assert via_sequence_first == via_own_first
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        base_length=st.integers(min_value=1, max_value=8),
+        chain=st.lists(op_specs, min_size=1, max_size=6),
+    )
+    def test_transformed_context_accumulates_chain(self, base_length, chain):
+        document = ListDocument.from_string(ALPHABET[:base_length])
+        operation = insert(OpId("c1", 1), "Q", 0)
+        sequence, _ = build_chain(document, chain, "d")
+        transformed, _ = transform_against_sequence(operation, sequence)
+        assert transformed.context == frozenset(op.opid for op in sequence)

@@ -1,0 +1,67 @@
+"""Prefix-closedness (Definition 2.10) of the specifications.
+
+A specification is a *prefix-closed* set of abstract executions: if an
+execution satisfies it, every prefix must too.  We verify this on the
+abstract executions our protocols actually produce — a good consistency
+check of both the checkers and the prefix construction.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.abstract import abstract_from_execution
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+from repro.specs import check_convergence, check_strong_list, check_weak_list
+
+
+def abstract_for(protocol, seed):
+    config = WorkloadConfig(clients=3, operations=14, seed=seed)
+    latency = UniformLatency(0.01, 0.4, seed=seed)
+    result = SimulationRunner(protocol, config, latency).run()
+    return abstract_from_execution(result.execution)
+
+
+class TestPrefixClosure:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_weak_list_prefix_closed_on_jupiter(self, seed, cut):
+        abstract = abstract_for("css", seed)
+        assert check_weak_list(abstract).ok
+        prefix = abstract.prefix(int(cut * len(abstract)))
+        assert check_weak_list(prefix).ok
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_convergence_prefix_closed(self, seed, cut):
+        abstract = abstract_for("css", seed)
+        assert check_convergence(abstract).ok
+        prefix = abstract.prefix(int(cut * len(abstract)))
+        assert check_convergence(prefix).ok
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        cut=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_strong_list_prefix_closed_on_rga(self, seed, cut):
+        abstract = abstract_for("rga", seed)
+        assert check_strong_list(abstract).ok
+        prefix = abstract.prefix(int(cut * len(abstract)))
+        assert check_strong_list(prefix).ok
+
+    def test_prefix_of_violating_execution_may_be_fine(self):
+        """The converse direction: Figure 7's violating execution has a
+        satisfying prefix (before the concurrent round lands)."""
+        from repro.scenarios import figure7, run_scenario
+
+        _, execution = run_scenario(figure7())
+        abstract = abstract_from_execution(execution)
+        assert not check_strong_list(abstract).ok
+        small = abstract.prefix(2)
+        assert check_strong_list(small).ok

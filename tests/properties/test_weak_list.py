@@ -1,0 +1,117 @@
+"""E9: Theorem 8.2 — Jupiter satisfies the weak list specification.
+
+Also machine-checks the supporting lemmas on the state-spaces produced by
+random executions: n-ary out-degree (Lemma 6.1), ordered siblings, unique
+LCA (Lemma 8.4), and pairwise state compatibility (Theorem 8.7)."""
+
+import itertools
+
+from hypothesis import given, settings
+
+from repro.sim.trace import check_all_specs
+from repro.specs.list_order import compatible
+
+from tests.properties.conftest import (
+    latency_seeds,
+    run_simulation,
+    workload_configs,
+)
+
+
+class TestTheorem82:
+    @settings(max_examples=20, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_css_satisfies_weak_list(self, config, latency_seed):
+        result = run_simulation("css", config, latency_seed)
+        report = check_all_specs(result.execution)
+        assert report.weak_list.ok, report.weak_list.summary()
+
+    @settings(max_examples=8, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_cscw_satisfies_weak_list(self, config, latency_seed):
+        result = run_simulation("cscw", config, latency_seed)
+        report = check_all_specs(result.execution)
+        assert report.weak_list.ok, report.weak_list.summary()
+
+
+class TestStateSpaceLemmas:
+    @settings(max_examples=10, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_lemma_6_1_out_degree_bounded_by_clients(
+        self, config, latency_seed
+    ):
+        result = run_simulation("css", config, latency_seed)
+        space = result.cluster.server.space
+        assert space.max_out_degree() <= config.clients
+
+    @settings(max_examples=10, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_siblings_are_totally_ordered(self, config, latency_seed):
+        result = run_simulation("css", config, latency_seed)
+        assert result.cluster.server.space.children_are_ordered()
+
+    @settings(max_examples=6, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_lemma_8_4_unique_lca(self, config, latency_seed):
+        result = run_simulation("css", config, latency_seed)
+        space = result.cluster.server.space
+        states = space.states()[:12]  # bounded: LCA checks are quadratic
+        for first, second in itertools.combinations(states, 2):
+            assert len(space.lowest_common_ancestors(first, second)) == 1
+
+    @settings(max_examples=6, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_theorem_8_7_pairwise_state_compatibility(
+        self, config, latency_seed
+    ):
+        result = run_simulation("css", config, latency_seed)
+        space = result.cluster.server.space
+        documents = [
+            list(space.node(key).document.read()) for key in space.states()
+        ]
+        for first, second in itertools.combinations(documents[:20], 2):
+            assert compatible(first, second) is None
+
+
+class TestStrongListOnRga:
+    """E10: the RGA baseline satisfies the strong list specification."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_rga_satisfies_strong_list(self, config, latency_seed):
+        result = run_simulation("rga", config, latency_seed)
+        report = check_all_specs(result.execution)
+        assert report.strong_list.ok, report.strong_list.summary()
+
+    @settings(max_examples=6, deadline=None)
+    @given(config=workload_configs, latency_seed=latency_seeds)
+    def test_logoot_and_woot_satisfy_weak_list(self, config, latency_seed):
+        for protocol in ("logoot", "woot"):
+            result = run_simulation(protocol, config, latency_seed)
+            report = check_all_specs(result.execution)
+            assert report.weak_list.ok, (protocol, report.weak_list.summary())
+
+
+class TestBrokenProtocolIsCaught:
+    """Failure injection: the checkers must have teeth."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(latency_seed=latency_seeds)
+    def test_broken_protocol_violations_detected_on_dense_workload(
+        self, latency_seed
+    ):
+        from repro.sim import WorkloadConfig
+
+        config = WorkloadConfig(
+            clients=3,
+            operations=20,
+            insert_ratio=0.5,
+            positions="hotspot",
+            seed=latency_seed,
+        )
+        result = run_simulation("broken", config, latency_seed)
+        report = check_all_specs(result.execution)
+        # Divergence is not guaranteed on every schedule, but whenever the
+        # documents differ the checkers must flag it.
+        if not result.converged:
+            assert not report.convergence.ok or not report.weak_list.ok

@@ -1,0 +1,169 @@
+"""Scenario tests: every paper figure, regenerated and asserted."""
+
+import pytest
+
+from repro.analysis.equivalence import check_css_compactness
+from repro.analysis.render import render_nary_space
+from repro.common import OpId
+from repro.scenarios import (
+    figure1,
+    figure2,
+    figure6,
+    figure7,
+    figure8,
+    run_scenario,
+)
+from repro.sim.trace import check_all_specs
+
+
+class TestFigure1:
+    @pytest.mark.parametrize("protocol", ["css", "cscw", "classic"])
+    def test_converges_to_effect(self, protocol):
+        cluster, _ = run_scenario(figure1(protocol))
+        assert set(cluster.documents().values()) == {"effect"}
+
+    def test_specs_hold(self):
+        _, execution = run_scenario(figure1())
+        report = check_all_specs(execution, initial_text="efecte")
+        assert report.convergence.ok
+        assert report.weak_list.ok
+
+
+class TestFigure2And4:
+    def test_all_replicas_converge(self):
+        cluster, _ = run_scenario(figure2())
+        assert len(set(cluster.documents().values())) == 1
+
+    def test_proposition_6_6_same_state_space(self):
+        cluster, _ = run_scenario(figure2())
+        assert check_css_compactness(cluster) == []
+
+    def test_state_space_shape_matches_figure4(self):
+        """Figure 4's final space: 7 states ({2,3} never materialises —
+        the leftmost rule always transforms through o1 first), root with
+        3 ordered children o1 ⇒ o2 ⇒ o3."""
+        cluster, _ = run_scenario(figure2())
+        space = cluster.server.space
+        assert space.node_count() == 7
+        assert not space.has_state(
+            frozenset({OpId("c2", 1), OpId("c3", 1)})
+        )
+        root = space.node(frozenset())
+        assert root.child_org_ids() == [
+            OpId("c1", 1),
+            OpId("c2", 1),
+            OpId("c3", 1),
+        ]
+        assert space.max_out_degree() == 3  # Lemma 6.1 bound: n clients
+
+    def test_construction_paths_differ_but_converge(self):
+        cluster, _ = run_scenario(figure2())
+        behaviours = {
+            name: tuple(e.document for e in entries)
+            for name, entries in cluster.behaviors.items()
+        }
+        # The three clients walk different paths (Example 6.3)...
+        assert len(set(behaviours.values())) > 1
+        # ...to the same final document.
+        assert len({docs[-1] for docs in behaviours.values()}) == 1
+
+    def test_rendering_contains_all_states(self):
+        cluster, _ = run_scenario(figure2())
+        art = render_nary_space(cluster.server.space, title="CSS_s")
+        assert art.count("children=") == 7
+        assert "CSS_s" in art
+
+
+class TestFigure6:
+    def test_converges(self):
+        cluster, _ = run_scenario(figure6())
+        assert len(set(cluster.documents().values())) == 1
+
+    def test_non_initial_context_operation(self):
+        """o3 (c3's op) must be generated from context {o1}."""
+        cluster, execution = run_scenario(figure6())
+        generated = [e for e in execution.do_events() if e.is_update]
+        o3 = next(e for e in generated if e.replica == "c3")
+        assert o3.operation.context == frozenset({OpId("c1", 1)})
+
+    def test_compactness_holds(self):
+        cluster, _ = run_scenario(figure6())
+        assert check_css_compactness(cluster) == []
+
+    def test_specs_hold(self):
+        _, execution = run_scenario(figure6())
+        report = check_all_specs(execution)
+        assert report.convergence.ok
+        assert report.weak_list.ok
+
+
+class TestFigure7:
+    def test_final_state_is_ba(self):
+        cluster, _ = run_scenario(figure7())
+        assert set(cluster.documents().values()) == {"ba"}
+
+    def test_intermediate_states_match_paper(self):
+        cluster, _ = run_scenario(figure7())
+        space = cluster.clients["c2"].space
+        o1 = OpId("c1", 1)  # Ins(x, 0)
+        o3 = OpId("c2", 1)  # Ins(a, 0)
+        o4 = OpId("c3", 1)  # Ins(b, 1)
+        assert space.document_at(frozenset({o1, o3})).as_string() == "ax"
+        assert space.document_at(frozenset({o1, o4})).as_string() == "xb"
+
+    def test_strong_list_violated_weak_satisfied(self):
+        """Theorem 8.1 + Theorem 8.2 on the same execution."""
+        _, execution = run_scenario(figure7())
+        report = check_all_specs(execution)
+        assert report.convergence.ok
+        assert report.weak_list.ok
+        assert not report.strong_list.ok
+
+    def test_violation_witness_is_the_paper_cycle(self):
+        _, execution = run_scenario(figure7())
+        report = check_all_specs(execution)
+        violation = next(
+            v
+            for v in report.strong_list.violations
+            if "total order" in v.condition
+        )
+        assert {e.value for e in violation.witness} == {"a", "x", "b"}
+
+    @pytest.mark.parametrize("protocol", ["cscw", "classic"])
+    def test_equivalent_protocols_same_violation(self, protocol):
+        cluster, execution = run_scenario(figure7(protocol))
+        assert set(cluster.documents().values()) == {"ba"}
+        report = check_all_specs(execution)
+        assert report.weak_list.ok and not report.strong_list.ok
+
+
+class TestFigure8:
+    def test_broken_protocol_diverges(self):
+        cluster, _ = run_scenario(figure8())
+        finals = set(cluster.documents().values())
+        assert finals == {"ayxc", "axyc"}
+
+    def test_checkers_catch_the_divergence(self):
+        _, execution = run_scenario(figure8())
+        report = check_all_specs(execution, initial_text="abc")
+        assert not report.convergence.ok
+        assert not report.weak_list.ok
+
+    def test_incompatible_states_reported(self):
+        _, execution = run_scenario(figure8())
+        report = check_all_specs(execution, initial_text="abc")
+        assert any(
+            "incompatible states" in v.description
+            for v in report.weak_list.violations
+        )
+
+    def test_correct_protocols_handle_the_same_schedule(self):
+        from repro.jupiter import make_cluster
+
+        figure = figure8()
+        for protocol in ("css", "cscw", "classic"):
+            cluster = make_cluster(
+                protocol, list(figure.clients), initial_text="abc"
+            )
+            cluster.run(figure.schedule)
+            assert len(set(cluster.documents().values())) == 1

@@ -1,0 +1,62 @@
+"""Tests for latency models and FIFO channel timing."""
+
+import pytest
+
+from repro.sim.network import (
+    FifoChannelTimer,
+    FixedLatency,
+    OfflinePeriods,
+    UniformLatency,
+)
+
+
+class TestLatencyModels:
+    def test_fixed_latency(self):
+        model = FixedLatency(0.25)
+        assert model.delay("a", "b", 0.0) == 0.25
+        assert model.delay("a", "b", 100.0) == 0.25
+
+    def test_uniform_latency_in_range_and_deterministic(self):
+        model = UniformLatency(0.1, 0.5, seed=1)
+        draws = [model.delay("a", "b", 0.0) for _ in range(50)]
+        assert all(0.1 <= d <= 0.5 for d in draws)
+        again = UniformLatency(0.1, 0.5, seed=1)
+        assert draws == [again.delay("a", "b", 0.0) for _ in range(50)]
+
+    def test_uniform_latency_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.5, 0.1)
+        with pytest.raises(ValueError):
+            UniformLatency(-1.0, 0.1)
+
+    def test_offline_period_defers_delivery(self):
+        model = OfflinePeriods(
+            FixedLatency(0.1), windows={"c1": [(1.0, 5.0)]}
+        )
+        # Sent to c1 during its offline window: arrives once it is back.
+        delay = model.delay("s", "c1", 2.0)
+        assert 2.0 + delay >= 5.0
+        # Sent while everyone is online: the base latency applies.
+        assert model.delay("s", "c1", 6.0) == pytest.approx(0.1)
+
+    def test_offline_sender_holds_message(self):
+        model = OfflinePeriods(
+            FixedLatency(0.1), windows={"c1": [(1.0, 5.0)]}
+        )
+        delay = model.delay("c1", "s", 2.0)
+        assert 2.0 + delay >= 5.0 + 0.1
+
+
+class TestFifoChannelTimer:
+    def test_monotone_per_channel(self):
+        timer = FifoChannelTimer()
+        model = UniformLatency(0.0, 1.0, seed=9)
+        times = [timer.delivery_time(model, "a", "b", t * 0.01) for t in range(100)]
+        assert all(later > earlier for earlier, later in zip(times, times[1:]))
+
+    def test_channels_are_independent(self):
+        timer = FifoChannelTimer()
+        model = FixedLatency(1.0)
+        first = timer.delivery_time(model, "a", "b", 0.0)
+        other = timer.delivery_time(model, "b", "a", 0.0)
+        assert first == other == 1.0  # no cross-channel interference

@@ -1,0 +1,99 @@
+"""Tests for the simulation runner and cross-protocol replay."""
+
+import pytest
+
+from repro.sim import (
+    FixedLatency,
+    SimulationRunner,
+    UniformLatency,
+    WorkloadConfig,
+)
+from repro.sim.network import OfflinePeriods
+from repro.sim.runner import replay
+from repro.sim.trace import check_all_specs
+
+
+def quick_config(**overrides):
+    defaults = dict(clients=3, operations=18, insert_ratio=0.7, seed=11)
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestRunner:
+    def test_run_converges(self):
+        result = SimulationRunner("css", quick_config()).run()
+        assert result.converged, result.documents()
+
+    def test_execution_well_formed_and_specs_hold(self):
+        result = SimulationRunner("css", quick_config()).run()
+        result.execution.check_well_formed()
+        report = check_all_specs(result.execution)
+        assert report.convergence.ok
+        assert report.weak_list.ok
+
+    def test_deterministic_given_seeds(self):
+        first = SimulationRunner(
+            "css", quick_config(), UniformLatency(0.01, 0.3, seed=2)
+        ).run()
+        second = SimulationRunner(
+            "css", quick_config(), UniformLatency(0.01, 0.3, seed=2)
+        ).run()
+        assert first.documents() == second.documents()
+        assert list(first.schedule) == list(second.schedule)
+
+    def test_latency_changes_interleaving(self):
+        slow = SimulationRunner(
+            "css", quick_config(), FixedLatency(10.0)
+        ).run()
+        fast = SimulationRunner(
+            "css", quick_config(), FixedLatency(0.0001)
+        ).run()
+        # Same workload, different network: schedules genuinely differ.
+        assert list(slow.schedule) != list(fast.schedule)
+        # ... but both converge.
+        assert slow.converged and fast.converged
+
+    def test_message_accounting(self):
+        config = quick_config()
+        result = SimulationRunner("css", config).run()
+        # Every operation is broadcast to every client (echo included).
+        assert result.messages_delivered == config.operations * config.clients
+
+    def test_offline_client_catches_up(self):
+        latency = OfflinePeriods(
+            FixedLatency(0.01), windows={"c2": [(0.0, 60.0)]}
+        )
+        result = SimulationRunner("css", quick_config(), latency).run()
+        assert result.converged
+        assert result.duration >= 60.0  # quiescence waits for the window
+
+    @pytest.mark.parametrize("protocol", ["css", "cscw", "classic"])
+    def test_all_protocols_converge(self, protocol):
+        result = SimulationRunner(protocol, quick_config()).run()
+        assert result.converged
+
+
+class TestReplay:
+    def test_replay_reproduces_documents(self):
+        config = quick_config()
+        result = SimulationRunner("css", config).run()
+        for protocol in ("css", "cscw", "classic"):
+            cluster = replay(protocol, result.schedule, config.client_names())
+            assert cluster.documents() == result.documents(), protocol
+
+    def test_replay_reproduces_behaviour_documents(self):
+        """Theorem 7.1 at behaviour granularity: per-replica document
+        sequences match step by step across CSS / CSCW / classic."""
+        config = quick_config(operations=24, seed=3)
+        result = SimulationRunner("css", config).run()
+        reference = {
+            name: [entry.document for entry in entries]
+            for name, entries in result.cluster.behaviors.items()
+        }
+        for protocol in ("cscw", "classic"):
+            cluster = replay(protocol, result.schedule, config.client_names())
+            mirrored = {
+                name: [entry.document for entry in entries]
+                for name, entries in cluster.behaviors.items()
+            }
+            assert mirrored == reference, protocol

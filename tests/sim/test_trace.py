@@ -1,0 +1,54 @@
+"""Tests for trace utilities (SpecReport, initial elements)."""
+
+from repro.document import ListDocument
+from repro.sim import SimulationRunner, WorkloadConfig
+from repro.sim.trace import SpecReport, check_all_specs, initial_elements_of
+
+
+class TestInitialElements:
+    def test_empty_text_gives_no_elements(self):
+        assert initial_elements_of("") == ()
+
+    def test_elements_match_cluster_construction(self):
+        elements = initial_elements_of("hey")
+        expected = tuple(ListDocument.from_string("hey").read())
+        assert elements == expected
+
+
+class TestSpecReport:
+    def run_report(self):
+        result = SimulationRunner(
+            "css", WorkloadConfig(clients=2, operations=8, seed=2)
+        ).run()
+        return check_all_specs(result.execution)
+
+    def test_ok_for_jupiter_semantics(self):
+        report = self.run_report()
+        assert isinstance(report, SpecReport)
+        assert report.ok_for_jupiter  # conv + weak, strong not required
+
+    def test_summary_has_three_verdicts(self):
+        summary = self.run_report().summary()
+        assert "convergence property" in summary
+        assert "weak list specification" in summary
+        assert "strong list specification" in summary
+
+    def test_precomputed_abstract_is_accepted(self):
+        from repro.model.abstract import abstract_from_execution
+
+        result = SimulationRunner(
+            "css", WorkloadConfig(clients=2, operations=8, seed=2)
+        ).run()
+        abstract = abstract_from_execution(result.execution)
+        report = check_all_specs(result.execution, abstract=abstract)
+        assert report.convergence.ok
+
+    def test_initial_text_is_threaded_through(self):
+        result = SimulationRunner(
+            "css",
+            WorkloadConfig(clients=2, operations=6, seed=2),
+            initial_text="seed",
+        ).run()
+        report = check_all_specs(result.execution, initial_text="seed")
+        assert report.convergence.ok
+        assert report.weak_list.ok

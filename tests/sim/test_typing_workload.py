@@ -1,0 +1,85 @@
+"""Tests for the typing-session workload model."""
+
+from repro.sim import SimulationRunner, WorkloadConfig, WorkloadGenerator
+from repro.sim.trace import check_all_specs
+
+
+def typing_config(**overrides):
+    defaults = dict(clients=3, operations=30, positions="typing", seed=9)
+    defaults.update(overrides)
+    return WorkloadConfig(**defaults)
+
+
+class TestTypingSpecs:
+    def test_specs_always_valid(self):
+        generator = WorkloadGenerator(typing_config())
+        length = 0
+        for _ in range(300):
+            spec = generator.next_spec("c1", length)
+            if spec.kind == "ins":
+                assert 0 <= spec.position <= length
+                length += 1
+            else:
+                assert length > 0
+                assert 0 <= spec.position < length
+                length -= 1
+
+    def test_empty_document_always_inserts(self):
+        generator = WorkloadGenerator(typing_config())
+        for _ in range(50):
+            assert generator.next_spec("c1", 0).kind == "ins"
+
+    def test_typing_is_mostly_sequential(self):
+        """Consecutive inserts usually advance the cursor by one."""
+        generator = WorkloadGenerator(typing_config(seed=3))
+        length = 0
+        sequential = 0
+        total = 0
+        last_position = None
+        for _ in range(300):
+            spec = generator.next_spec("c1", length)
+            if spec.kind == "ins":
+                if last_position is not None:
+                    total += 1
+                    if spec.position == last_position + 1:
+                        sequential += 1
+                last_position = spec.position
+                length += 1
+            else:
+                last_position = None
+                length -= 1
+        assert sequential / total > 0.5
+
+    def test_backspaces_occur(self):
+        generator = WorkloadGenerator(typing_config(seed=3))
+        length = 0
+        deletes = 0
+        for _ in range(500):
+            spec = generator.next_spec("c1", length)
+            if spec.kind == "del":
+                deletes += 1
+                length -= 1
+            else:
+                length += 1
+        assert deletes > 0
+
+    def test_cursors_are_per_client(self):
+        generator = WorkloadGenerator(typing_config(seed=3))
+        a = generator.next_spec("c1", 100)
+        b = generator.next_spec("c2", 100)
+        # Different clients keep independent cursor state; the generator
+        # must not crash or leak cursors across clients.
+        assert a.kind in ("ins", "del") and b.kind in ("ins", "del")
+
+
+class TestTypingEndToEnd:
+    def test_all_jupiter_protocols_converge_on_typing(self):
+        for protocol in ("css", "cscw", "classic"):
+            result = SimulationRunner(protocol, typing_config()).run()
+            assert result.converged, (protocol, result.documents())
+
+    def test_specs_hold_on_typing_workload(self):
+        result = SimulationRunner("css", typing_config(seed=12)).run()
+        report = check_all_specs(result.execution)
+        assert report.convergence.ok
+        assert report.weak_list.ok

@@ -1,0 +1,83 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.sim.workload import WorkloadConfig, WorkloadGenerator
+
+
+class TestWorkloadConfig:
+    def test_defaults_are_valid(self):
+        config = WorkloadConfig()
+        assert config.client_names() == ["c1", "c2", "c3"]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"clients": 0},
+            {"operations": -1},
+            {"insert_ratio": 1.5},
+            {"positions": "sideways"},
+            {"rate_per_client": 0.0},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            WorkloadConfig(**kwargs)
+
+
+class TestGenerationTimes:
+    def test_every_operation_scheduled(self):
+        generator = WorkloadGenerator(WorkloadConfig(clients=3, operations=30))
+        times = generator.generation_times()
+        assert len(times) == 30
+        assert times == sorted(times)
+
+    def test_operations_shared_across_clients(self):
+        generator = WorkloadGenerator(WorkloadConfig(clients=3, operations=30))
+        by_client = {}
+        for _, client in generator.generation_times():
+            by_client[client] = by_client.get(client, 0) + 1
+        assert by_client == {"c1": 10, "c2": 10, "c3": 10}
+
+    def test_deterministic_for_fixed_seed(self):
+        first = WorkloadGenerator(WorkloadConfig(seed=5)).generation_times()
+        second = WorkloadGenerator(WorkloadConfig(seed=5)).generation_times()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = WorkloadGenerator(WorkloadConfig(seed=5)).generation_times()
+        second = WorkloadGenerator(WorkloadConfig(seed=6)).generation_times()
+        assert first != second
+
+
+class TestSpecs:
+    def test_specs_are_valid_for_length(self):
+        generator = WorkloadGenerator(WorkloadConfig(seed=1, insert_ratio=0.5))
+        for length in (0, 1, 5, 100):
+            for _ in range(50):
+                spec = generator.next_spec("c1", length)
+                if spec.kind == "ins":
+                    assert 0 <= spec.position <= length
+                else:
+                    assert length > 0
+                    assert 0 <= spec.position < length
+
+    def test_empty_document_forces_insert(self):
+        generator = WorkloadGenerator(WorkloadConfig(seed=1, insert_ratio=0.0))
+        spec = generator.next_spec("c1", 0)
+        assert spec.kind == "ins"
+
+    def test_append_style_prefers_tail(self):
+        generator = WorkloadGenerator(
+            WorkloadConfig(seed=1, positions="append", insert_ratio=1.0)
+        )
+        positions = [generator.next_spec("c1", 100).position for _ in range(100)]
+        assert positions.count(100) > 50
+
+    def test_hotspot_cursor_moves_locally(self):
+        generator = WorkloadGenerator(
+            WorkloadConfig(seed=1, positions="hotspot", insert_ratio=1.0)
+        )
+        positions = [generator.next_spec("c1", 100).position for _ in range(50)]
+        jumps = [abs(b - a) for a, b in zip(positions, positions[1:])]
+        assert max(jumps) <= 4  # cursor takes ±2 steps

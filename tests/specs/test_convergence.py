@@ -1,0 +1,64 @@
+"""Tests for the convergence checker."""
+
+from repro.specs import check_convergence
+from repro.specs.convergence import final_states_by_replica
+
+from tests.helpers import HistoryBuilder
+
+
+class TestConvergence:
+    def test_converged_reads_pass(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.read("c1", ["a"], sees=[e0])
+        e2 = builder.read("c2", ["a"], sees=[e0])
+        result = check_convergence(builder.build())
+        assert result.ok
+        assert result.events_checked == 3
+
+    def test_diverged_reads_fail(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.ins("c2", "b", 0, ["b"])
+        # Both reads see both inserts but return different orders.
+        builder.read("c1", ["a", "b"], sees=[e0, e1])
+        builder.read("c2", ["b", "a"], sees=[e0, e1])
+        result = check_convergence(builder.build())
+        assert not result.ok
+        assert "VIOLATED" in result.summary()
+
+    def test_reads_with_different_visibility_may_differ(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.ins("c2", "b", 0, ["b"])
+        builder.read("c1", ["a"], sees=[e0])
+        builder.read("c2", ["b", "a"], sees=[e0, e1])
+        assert check_convergence(builder.build()).ok
+
+    def test_reads_only_mode_skips_updates(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.ins("c2", "b", 0, ["b"])
+        result = check_convergence(builder.build(), reads_only=True)
+        assert result.ok
+        assert result.events_checked == 0
+
+    def test_update_events_grouped_by_exposed_state(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        # A second insert seeing e0 exposes a different state; no clash.
+        builder.ins("c2", "b", 1, ["a", "b"], sees=[e0])
+        assert check_convergence(builder.build()).ok
+
+    def test_final_states_summary(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        builder.read("c2", ["a"], sees=[e0])
+        finals = final_states_by_replica(builder.build())
+        assert set(finals) == {"c1", "c2"}
+        assert [e.value for e in finals["c2"]] == ["a"]
+
+    def test_summary_mentions_satisfied(self):
+        builder = HistoryBuilder()
+        builder.ins("c1", "a", 0, ["a"])
+        assert "SATISFIED" in check_convergence(builder.build()).summary()

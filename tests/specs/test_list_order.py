@@ -1,0 +1,98 @@
+"""Tests for the list order and state compatibility machinery."""
+
+from repro.common import OpId
+from repro.document import Element
+from repro.specs.list_order import (
+    all_pairwise_compatible,
+    build_list_order,
+    compatible,
+    find_cycle,
+)
+
+
+def elems(*names):
+    return [Element(name, OpId("t", i + 1)) for i, name in enumerate(names)]
+
+
+class TestCompatibility:
+    def test_identical_lists_compatible(self):
+        a, b = elems("a", "b")
+        assert compatible([a, b], [a, b]) is None
+
+    def test_disjoint_lists_compatible(self):
+        a, b, c, d = elems("a", "b", "c", "d")
+        assert compatible([a, b], [c, d]) is None
+
+    def test_subsequence_compatible(self):
+        a, b, c = elems("a", "b", "c")
+        assert compatible([a, b, c], [a, c]) is None
+
+    def test_reversed_common_pair_incompatible(self):
+        a, b, c = elems("a", "b", "c")
+        witness = compatible([a, b], [c, b, a])
+        assert witness == (a, b)
+
+    def test_all_pairwise_reports_indices(self):
+        a, b = elems("a", "b")
+        found = all_pairwise_compatible([[a, b], [a], [b, a]])
+        assert found is not None
+        i, j, (x, y) = found
+        assert (i, j) == (0, 2)
+        assert (x, y) == (a, b)
+
+    def test_all_pairwise_none_when_compatible(self):
+        a, b, c = elems("a", "b", "c")
+        assert all_pairwise_compatible([[a, b], [b, c], [a, b, c]]) is None
+
+
+class TestListOrder:
+    def test_ordered_pairs_from_lists(self):
+        a, b, c = elems("a", "b", "c")
+        order = build_list_order([[a, b], [b, c]])
+        assert order.ordered(a, b)
+        assert order.ordered(b, c)
+        assert not order.ordered(a, c)  # union, not closure
+
+    def test_total_and_transitive_on_single_list(self):
+        a, b, c = elems("a", "b", "c")
+        order = build_list_order([[a, b, c]])
+        assert order.is_total_on([a, b, c])
+        assert order.is_transitive_on([a, b, c])
+
+    def test_not_total_on_unrelated_elements(self):
+        a, b, c = elems("a", "b", "c")
+        order = build_list_order([[a, b]])
+        assert not order.is_total_on([a, c])
+
+    def test_irreflexive_by_construction_on_unique_lists(self):
+        a, b = elems("a", "b")
+        order = build_list_order([[a, b]])
+        assert order.is_irreflexive()
+
+
+class TestFindCycle:
+    def test_acyclic_graph(self):
+        a, b, c = elems("a", "b", "c")
+        order = build_list_order([[a, b], [b, c], [a, c]])
+        assert order.find_cycle() is None
+
+    def test_figure7_cycle(self):
+        # Figure 7: lo = {(a,x), (x,b), (b,a)} must contain a cycle.
+        a, x, b = elems("a", "x", "b")
+        order = build_list_order([[a, x], [x, b], [b, a]])
+        cycle = order.find_cycle()
+        assert cycle is not None
+        assert set(cycle) <= {a, x, b}
+        assert len(cycle) == 3
+
+    def test_two_cycle(self):
+        a, b = elems("a", "b")
+        order = build_list_order([[a, b], [b, a]])
+        cycle = order.find_cycle()
+        assert cycle is not None
+        assert set(cycle) == {a, b}
+
+    def test_raw_adjacency_interface(self):
+        a, b = elems("a", "b")
+        assert find_cycle({a: {b}, b: set()}) is None
+        assert find_cycle({a: {b}, b: {a}}) is not None

@@ -1,0 +1,43 @@
+"""Tests for the CheckResult / Violation report types."""
+
+from repro.specs.report import CheckResult, Violation
+
+
+class TestViolation:
+    def test_str_includes_condition(self):
+        violation = Violation("1a", "something is off")
+        assert str(violation) == "[1a] something is off"
+
+    def test_witness_is_optional(self):
+        assert Violation("2", "x").witness is None
+        assert Violation("2", "x", witness=42).witness == 42
+
+
+class TestCheckResult:
+    def test_ok_when_empty(self):
+        result = CheckResult("spec")
+        assert result.ok
+        assert bool(result)
+
+    def test_not_ok_after_add(self):
+        result = CheckResult("spec")
+        result.add("1a", "broken", witness="w")
+        assert not result.ok
+        assert not bool(result)
+        assert result.violations[0].witness == "w"
+
+    def test_summary_satisfied(self):
+        result = CheckResult("my-spec")
+        result.events_checked = 5
+        summary = result.summary()
+        assert "my-spec" in summary
+        assert "SATISFIED" in summary
+        assert "5 events" in summary
+
+    def test_summary_violated_lists_reasons(self):
+        result = CheckResult("my-spec")
+        result.add("1a", "first problem")
+        result.add("2", "second problem")
+        summary = result.summary()
+        assert "VIOLATED" in summary
+        assert "first problem" in summary and "second problem" in summary

@@ -1,0 +1,68 @@
+"""Tests for the strong list specification checker."""
+
+from repro.specs import check_strong_list
+from repro.specs.strong_list import witness_list_order
+
+from tests.specs.test_weak_list import figure7_history
+
+from tests.helpers import HistoryBuilder
+
+
+class TestStrongList:
+    def test_single_replica_history_satisfies_strong(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.ins("c1", "b", 1, ["a", "b"], sees=[e0])
+        builder.delete("c1", "a", 0, ["b"], sees=[e1])
+        result = check_strong_list(builder.build())
+        assert result.ok, result.summary()
+
+    def test_figure7_violates_strong_list(self):
+        """Theorem 8.1: the Figure 7 execution forces a cyclic list order."""
+        result = check_strong_list(figure7_history().build())
+        assert not result.ok
+        violation = next(
+            v for v in result.violations if "total order" in v.condition
+        )
+        cycle_values = {element.value for element in violation.witness}
+        assert cycle_values == {"a", "x", "b"}
+
+    def test_figure7_passes_element_conditions(self):
+        """The violation is *only* the cyclic order, not conditions 1a/1c."""
+        result = check_strong_list(figure7_history().build())
+        assert all(v.condition not in ("1a", "1c") for v in result.violations)
+
+    def test_orderings_relative_to_deleted_elements(self):
+        """Strong list keeps deleted elements ordered; weak does not."""
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "x", 0, ["x"])
+        e1 = builder.delete("c1", "x", 0, [], sees=[e0])
+        # a inserted before the deletion is visible, next to x.
+        e2 = builder.ins("c2", "a", 0, ["a", "x"], sees=[e0])
+        # b inserted after x on another replica.
+        e3 = builder.ins("c3", "b", 1, ["x", "b"], sees=[e0])
+        # Final order must respect a < x < b: "ab" is fine...
+        builder.read("c1", ["a", "b"], sees=[e1, e2, e3])
+        assert check_strong_list(builder.build()).ok
+
+
+class TestWitnessOrder:
+    def test_witness_is_consistent_linearisation(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.ins("c2", "b", 1, ["a", "b"], sees=[e0])
+        builder.read("c3", ["a", "b"], sees=[e0, e1])
+        witness = witness_list_order(builder.build())
+        assert witness is not None
+        assert [e.value for e in witness] == ["a", "b"]
+
+    def test_witness_includes_deleted_elements(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "x", 0, ["x"])
+        builder.delete("c1", "x", 0, [], sees=[e0])
+        witness = witness_list_order(builder.build())
+        assert witness is not None
+        assert [e.value for e in witness] == ["x"]
+
+    def test_witness_none_on_cycle(self):
+        assert witness_list_order(figure7_history().build()) is None

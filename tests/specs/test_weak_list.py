@@ -1,0 +1,101 @@
+"""Tests for the weak list specification checker."""
+
+from repro.specs import check_weak_list
+
+from tests.helpers import HistoryBuilder
+
+
+def figure7_history():
+    """The paper's Figure 7 returned lists, as an abstract execution.
+
+    o1=Ins(x,0) seen by all; then concurrently o2=Del(x,0) at c1,
+    o3=Ins(a,0) at c2, o4=Ins(b,1) at c3.  Intermediate states include
+    w13="ax" and w14="xb"; the common final state is "ba".
+    """
+    builder = HistoryBuilder()
+    e1 = builder.ins("c1", "x", 0, ["x"])
+    e2 = builder.delete("c1", "x", 0, [], sees=[e1])
+    e3 = builder.ins("c2", "a", 0, ["a", "x"], sees=[e1])
+    e4 = builder.ins("c3", "b", 1, ["x", "b"], sees=[e1])
+    # Final states after everything is delivered.
+    builder.read("c1", ["b", "a"], sees=[e2, e3, e4])
+    builder.read("c2", ["b", "a"], sees=[e2, e3, e4])
+    builder.read("c3", ["b", "a"], sees=[e2, e3, e4])
+    return builder
+
+
+class TestCondition1a:
+    def test_missing_visible_insert_detected(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        builder.read("c2", [], sees=[e0])  # should contain a
+        result = check_weak_list(builder.build())
+        assert not result.ok
+        assert any(v.condition == "1a" for v in result.violations)
+
+    def test_deleted_element_still_present_detected(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.delete("c1", "a", 0, [], sees=[e0])
+        builder.read("c2", ["a"], sees=[e0, e1])
+        result = check_weak_list(builder.build())
+        assert any(v.condition == "1a" for v in result.violations)
+
+    def test_event_sees_its_own_update(self):
+        builder = HistoryBuilder()
+        builder.ins("c1", "a", 0, ["a"])  # returns the inserted element
+        assert check_weak_list(builder.build()).ok
+
+
+class TestCondition1c:
+    def test_insert_at_wrong_position_detected(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        # c1 inserts b at position 0 but reports it at position 1.
+        builder.ins("c1", "b", 0, ["a", "b"], sees=[e0])
+        result = check_weak_list(builder.build())
+        assert any(v.condition == "1c" for v in result.violations)
+
+    def test_insert_position_clamped_to_end(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        # Position 99 clamps to the last slot (min{k, n-1}).
+        builder.ins("c1", "b", 99, ["a", "b"], sees=[e0])
+        assert check_weak_list(builder.build()).ok
+
+
+class TestCondition2:
+    def test_incompatible_states_detected(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.ins("c2", "b", 0, ["b"])
+        builder.read("c1", ["a", "b"], sees=[e0, e1])
+        builder.read("c2", ["b", "a"], sees=[e0, e1])
+        result = check_weak_list(builder.build())
+        assert not result.ok
+        assert any("compatibility" in v.condition for v in result.violations)
+
+    def test_compatible_states_pass(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.ins("c2", "b", 0, ["b", "a"], sees=[e0])
+        builder.read("c1", ["b", "a"], sees=[e0, e1])
+        assert check_weak_list(builder.build()).ok
+
+
+class TestFigure7:
+    def test_figure7_satisfies_weak_list(self):
+        """Jupiter's Figure 7 execution is weak-list legal (Theorem 8.2)."""
+        result = check_weak_list(figure7_history().build(), thorough=True)
+        assert result.ok, result.summary()
+
+
+class TestThoroughMode:
+    def test_thorough_mode_agrees_on_valid_history(self):
+        builder = HistoryBuilder()
+        e0 = builder.ins("c1", "a", 0, ["a"])
+        e1 = builder.ins("c2", "b", 1, ["a", "b"], sees=[e0])
+        builder.read("c3", ["a", "b"], sees=[e0, e1])
+        fast = check_weak_list(builder.build())
+        slow = check_weak_list(builder.build(), thorough=True)
+        assert fast.ok and slow.ok

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--protocol", "nope"])
+
+
+class TestFiguresCommand:
+    def test_single_figure(self, capsys):
+        assert main(["figures", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "'effect'" in out
+
+    def test_unknown_figure_errors(self, capsys):
+        assert main(["figures", "figure99"]) == 2
+
+    def test_all_figures_by_default(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure1", "figure2", "figure6", "figure7", "figure8"):
+            assert name in out
+
+    def test_figure7_reports_strong_violation(self, capsys):
+        assert main(["figures", "figure7"]) == 0
+        out = capsys.readouterr().out
+        assert "strong list specification (Def. 3.2): VIOLATED" in out
+        assert "weak list specification (Def. 3.3): SATISFIED" in out
+
+
+class TestSimulateCommand:
+    def test_css_simulation_succeeds(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "css", "--operations", "12",
+             "--latency", "lan"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "converged: True" in out
+        assert "OTs=" in out
+
+    def test_crdt_simulation_succeeds(self, capsys):
+        code = main(
+            ["simulate", "--protocol", "rga", "--operations", "12",
+             "--latency", "lan"]
+        )
+        assert code == 0
+
+    def test_initial_document(self, capsys):
+        code = main(
+            ["simulate", "--operations", "6", "--initial", "hello",
+             "--latency", "lan"]
+        )
+        assert code == 0
+
+
+class TestCompareCommand:
+    def test_default_protocol_set(self, capsys):
+        code = main(["compare", "--operations", "10", "--latency", "lan"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for protocol in ("css", "cscw", "classic", "rga", "logoot", "woot"):
+            assert protocol in out
+
+    def test_subset_of_protocols(self, capsys):
+        code = main(
+            ["compare", "--protocols", "css", "classic",
+             "--operations", "8", "--latency", "lan"]
+        )
+        assert code == 0
+
+
+class TestEquivalenceCommand:
+    def test_reports_all_propositions(self, capsys):
+        code = main(["equivalence", "--operations", "14", "--latency", "lan"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 7.1" in out
+        assert "Proposition 6.6" in out
+        assert "Proposition 7.2" in out
+        assert "Proposition 7.4" in out
+
+
+class TestDcssCommand:
+    def test_dcss_runs(self, capsys):
+        code = main(["dcss", "--operations", "10", "--latency", "lan"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "state-spaces identical: True" in out

@@ -1,0 +1,39 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+import repro.errors as errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in errors.__all__:
+            exc = getattr(errors, name)
+            assert issubclass(exc, errors.ReproError), name
+
+    def test_position_error_is_also_index_error(self):
+        assert issubclass(errors.PositionError, IndexError)
+
+    def test_element_not_found_is_also_key_error(self):
+        assert issubclass(errors.ElementNotFoundError, KeyError)
+
+    def test_unknown_state_is_also_key_error(self):
+        assert issubclass(errors.UnknownStateError, KeyError)
+
+    def test_context_mismatch_is_transform_error(self):
+        assert issubclass(errors.ContextMismatchError, errors.TransformError)
+
+    def test_malformed_execution_is_specification_error(self):
+        assert issubclass(
+            errors.MalformedExecutionError, errors.SpecificationError
+        )
+
+    def test_one_except_clause_catches_the_library(self):
+        """The documented contract: `except ReproError` is sufficient."""
+        from repro.common import OpId
+        from repro.document import ListDocument
+
+        with pytest.raises(errors.ReproError):
+            ListDocument().delete(0)
+        with pytest.raises(errors.ReproError):
+            ListDocument().index_of(OpId("ghost", 1))

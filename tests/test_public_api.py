@@ -1,0 +1,55 @@
+"""Public-API hygiene: every package imports and every __all__ resolves."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.common",
+    "repro.document",
+    "repro.ot",
+    "repro.model",
+    "repro.specs",
+    "repro.jupiter",
+    "repro.crdt",
+    "repro.sim",
+    "repro.analysis",
+    "repro.scenarios",
+]
+
+
+def iter_all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                names.append(f"{package_name}.{info.name}")
+    return sorted(set(names))
+
+
+class TestImports:
+    @pytest.mark.parametrize("module_name", iter_all_modules())
+    def test_module_imports(self, module_name):
+        importlib.import_module(module_name)
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        for name in getattr(package, "__all__", []):
+            assert hasattr(package, name), f"{package_name}.{name} missing"
+
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_cli_module_importable(self):
+        import repro.cli
+        import repro.__main__  # noqa: F401
+
+        assert callable(repro.cli.main)
