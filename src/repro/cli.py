@@ -17,6 +17,9 @@ Commands:
   against any protocol;
 * ``fuzz`` — random configurations checked against each protocol's
   guarantees;
+* ``chaos`` — sampled fault plans (drops, duplicates, reordering delays,
+  client crash/restore) against the reliable-session layer; every run
+  must converge and match a fault-free replay;
 * ``dcss`` — run the decentralised CSS extension on a peer-to-peer mesh.
 """
 
@@ -277,6 +280,42 @@ def cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _drop_rate(text: str) -> float:
+    from repro.sim.faults import MAX_DROP
+
+    value = float(text)
+    if not 0.0 <= value < MAX_DROP:
+        raise argparse.ArgumentTypeError(
+            f"drop rate {value} not in [0, {MAX_DROP}): a channel that drops "
+            "(nearly) everything can never be made reliable"
+        )
+    return value
+
+
+def cmd_chaos(args) -> int:
+    from repro.sim import WorkloadConfig
+    from repro.sim.fuzz import chaos_sweep
+
+    workload = WorkloadConfig(
+        clients=args.clients,
+        operations=args.operations,
+        insert_ratio=args.insert_ratio,
+        positions=args.positions,
+        seed=args.seed,
+    )
+    report = chaos_sweep(
+        protocol=args.protocol,
+        plans=args.plans,
+        seed=args.seed,
+        workload=workload,
+        max_drop=args.max_drop,
+        check_replay=not args.no_replay,
+    )
+    print(report.table())
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_dcss(args) -> int:
     from repro.sim.p2p import P2PSimulationRunner
     from repro.sim.trace import check_all_specs
@@ -413,6 +452,25 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--seed", type=int, default=0)
     fuzz.add_argument("--protocols", nargs="*", default=None)
     fuzz.set_defaults(handler=cmd_fuzz)
+
+    chaos = commands.add_parser(
+        "chaos",
+        help="sampled fault plans against the reliable-session layer",
+    )
+    chaos.add_argument(
+        "--protocol",
+        default="css",
+        choices=("css", "css-gc", "cscw", "classic", "vector"),
+    )
+    chaos.add_argument("--plans", type=int, default=10)
+    chaos.add_argument("--max-drop", type=_drop_rate, default=0.3)
+    chaos.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the fault-free replay cross-check",
+    )
+    _add_workload_arguments(chaos)
+    chaos.set_defaults(handler=cmd_chaos)
 
     return parser
 

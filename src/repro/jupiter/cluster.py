@@ -89,7 +89,7 @@ class Cluster:
         self.recorder.record_send(client_id, message)
         self._to_server[client_id].append(message)
 
-    def server_receive(self, client_id: ReplicaId) -> None:
+    def server_receive(self, client_id: ReplicaId) -> Message:
         queue = self._to_server[self._require_client(client_id)]
         if not queue:
             raise ScheduleError(
@@ -103,8 +103,9 @@ class Cluster:
             reply = Message(SERVER_ID, recipient, payload)
             self.recorder.record_send(SERVER_ID, reply)
             self._to_client[recipient].append(reply)
+        return message
 
-    def client_receive(self, client_id: ReplicaId) -> None:
+    def client_receive(self, client_id: ReplicaId) -> Message:
         queue = self._to_client[self._require_client(client_id)]
         if not queue:
             raise ScheduleError(
@@ -126,6 +127,7 @@ class Cluster:
                 self.recorder.record_do(client_id, None, result.returned)
         else:
             self._log(client_id, "ack", None, client.document.as_string())
+        return message
 
     def read(self, replica_id: ReplicaId) -> None:
         if replica_id == self.server.replica_id:
@@ -167,6 +169,51 @@ class Cluster:
             else:  # pragma: no cover - defensive
                 raise ScheduleError(f"unknown schedule step {step!r}")
         return self.recorder.finish()
+
+    # ------------------------------------------------------------------
+    # Crash recovery (used by the fault-injected simulation loop)
+    # ------------------------------------------------------------------
+    def replace_client(
+        self,
+        client_id: ReplicaId,
+        client: BaseClient,
+        behaviors_keep: Optional[int] = None,
+    ) -> None:
+        """Swap in a replica restored from a checkpoint after a crash.
+
+        The behaviour log is truncated to ``behaviors_keep`` entries —
+        everything after the checkpoint was volatile and died with the
+        process; the resync replay re-appends it deterministically, so
+        the final log matches an uncrashed run of the same schedule
+        (the Theorem 7.1 comparison the chaos harness performs).
+        """
+        self._require_client(client_id)
+        if client.replica_id != client_id:
+            raise ScheduleError(
+                f"restored replica {client.replica_id} cannot replace "
+                f"{client_id}"
+            )
+        self.clients[client_id] = client
+        if behaviors_keep is not None:
+            del self.behaviors[client_id][behaviors_keep:]
+
+    def resync_deliver(self, client_id: ReplicaId, payload) -> None:
+        """Re-process one lost-and-recovered server message.
+
+        Unlike :meth:`client_receive` this bypasses the channel queue and
+        the execution recorder: the message was already received (and
+        recorded) once before the crash — recovery only replays its
+        *effect* on the restored replica, logging the behaviour entry the
+        crash erased.
+        """
+        client = self._client(client_id)
+        result = client.receive(payload)
+        if result.executed is not None:
+            self._log(
+                client_id, "apply", result.executed, client.document.as_string()
+            )
+        else:
+            self._log(client_id, "ack", None, client.document.as_string())
 
     # ------------------------------------------------------------------
     # Dynamic membership (CSS only; see repro.jupiter.membership)

@@ -17,7 +17,7 @@ cover all protocol variants:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet
+from typing import Any, FrozenSet, Tuple
 
 from repro.common.ids import OpId, ReplicaId
 from repro.ot.operations import Operation
@@ -54,3 +54,37 @@ class ServerOperation:
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"ServerOperation(#{self.serial} {self.operation})"
+
+
+@dataclass(frozen=True)
+class ResyncRequest:
+    """A restarted client asks the server for operations it lost.
+
+    ``delivered`` is the number of server messages the client's restored
+    checkpoint had consumed on its server-to-client channel; every
+    message after that point (up to the server's current serial) must be
+    re-shipped.  Part of the crash-recovery control plane built on the
+    reliable-session layer (:mod:`repro.jupiter.session`).
+    """
+
+    client: ReplicaId
+    delivered: int
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"ResyncRequest({self.client}, delivered={self.delivered})"
+
+
+@dataclass(frozen=True)
+class ResyncResponse:
+    """The server's answer: the missed broadcasts in serial order.
+
+    For Jupiter protocols the payloads are :class:`ServerOperation`\\ s,
+    so the tuple is ordered by ``serial`` — the index the recovering
+    client replays them through (footnote 7's originals for CSS).
+    """
+
+    client: ReplicaId
+    payloads: Tuple[Any, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"ResyncResponse({self.client}, {len(self.payloads)} ops)"

@@ -185,6 +185,46 @@ def restore_client(obj: Dict[str, Any]) -> CssClient:
     return client
 
 
+def checkpoint_client(
+    client: CssClient,
+    session: Optional[Dict[str, Any]] = None,
+    behaviors_len: int = 0,
+    delivered: int = 0,
+) -> Dict[str, Any]:
+    """Cut a crash-recovery checkpoint for one CSS client.
+
+    A checkpoint is what survives a crash: the protocol snapshot
+    (:func:`snapshot_client`) plus the durable transport metadata the
+    reliable-session layer needs to resume — the client's sender-side
+    sequence state (``session``), how many server messages it had
+    consumed (``delivered``, the resync cursor of
+    :class:`~repro.jupiter.messages.ResyncRequest`), and how long its
+    behaviour log was (entries after it are lost with the crash and
+    reconstructed by the resync replay).
+    """
+    return {
+        "version": FORMAT_VERSION,
+        "client": snapshot_client(client),
+        "session": dict(session or {}),
+        "behaviors_len": int(behaviors_len),
+        "delivered": int(delivered),
+    }
+
+
+def restore_checkpoint(obj: Dict[str, Any]) -> CssClient:
+    """Rebuild the protocol replica held in a checkpoint.
+
+    The transport metadata (``obj["session"]``, ``obj["delivered"]``,
+    ``obj["behaviors_len"]``) stays with the caller — the event loop
+    re-seeds its session endpoints and behaviour log from it.
+    """
+    if obj.get("version") != FORMAT_VERSION:
+        raise ProtocolError(
+            f"unsupported checkpoint version {obj.get('version')!r}"
+        )
+    return restore_client(obj["client"])
+
+
 def snapshot_server(server: CssServer) -> Dict[str, Any]:
     """Serialise a CSS server (space + full serialisation order)."""
     return {

@@ -1,0 +1,194 @@
+"""Reliable sessions: exactly-once FIFO delivery over a lossy channel.
+
+Every protocol in this repository (``ClassicClient``/``CscwClient``/
+``CssClient`` and the server halves) assumes the paper's network model:
+reliable exactly-once FIFO channels (Section 4.4).  This module rebuilds
+that abstraction on top of a channel that may drop, duplicate and reorder
+frames — without touching protocol internals:
+
+* a :class:`SessionSender` stamps each outgoing protocol message with a
+  per-channel monotone sequence number and keeps it retransmittable until
+  a cumulative acknowledgement covers it;
+* a :class:`SessionReceiver` suppresses duplicates, buffers out-of-order
+  arrivals and releases frames to the protocol strictly in sequence
+  order, acknowledging cumulatively;
+* a :class:`RetransmitPolicy` turns attempt counts into timeout-driven
+  resends with exponential backoff and seeded jitter (deterministic, so
+  simulated runs replay exactly).
+
+Crash recovery adds a control-plane handshake: a restarted client that
+restored an older checkpoint re-requests the operations it had already
+consumed but lost (:class:`~repro.jupiter.messages.ResyncRequest` /
+``ResyncResponse``, built by :func:`resync_payloads` from the server-side
+delivery log, ordered by ``ServerOperation.serial``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.common.ids import ReplicaId
+from repro.errors import ProtocolError
+from repro.jupiter.messages import ResyncRequest, ResyncResponse
+
+#: A directed channel, e.g. ``("c1", "s")``.
+Channel = Tuple[ReplicaId, ReplicaId]
+
+
+class SessionSender:
+    """Sender half of one directed channel.
+
+    Sequence numbers start at 1 and are dense; ``acked`` is the highest
+    *cumulatively* acknowledged sequence number, so the retransmittable
+    window is exactly ``acked + 1 .. next_seq - 1``.
+    """
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+        self.next_seq = 1
+        self.acked = 0
+
+    def send(self) -> int:
+        """Allocate the sequence number for the next outgoing frame."""
+        seq = self.next_seq
+        self.next_seq += 1
+        return seq
+
+    def ack(self, cumulative: int) -> None:
+        """Process a cumulative acknowledgement (idempotent, monotone)."""
+        if cumulative >= self.next_seq:
+            raise ProtocolError(
+                f"{self.channel}: ack {cumulative} beyond last sent "
+                f"{self.next_seq - 1}"
+            )
+        self.acked = max(self.acked, cumulative)
+
+    def unacked(self) -> range:
+        """Sequence numbers still awaiting acknowledgement."""
+        return range(self.acked + 1, self.next_seq)
+
+    @property
+    def outstanding(self) -> int:
+        return self.next_seq - 1 - self.acked
+
+    # -- checkpointing --------------------------------------------------
+    def state(self) -> Dict[str, int]:
+        return {"next_seq": self.next_seq, "acked": self.acked}
+
+    def restore(self, state: Dict[str, int]) -> None:
+        self.next_seq = int(state["next_seq"])
+        # Rolling ``acked`` back makes the sender re-offer frames the peer
+        # already consumed; the peer's receiver suppresses them as
+        # duplicates, so recovery errs on the safe side.
+        self.acked = int(state["acked"])
+
+
+class SessionReceiver:
+    """Receiver half of one directed channel.
+
+    ``expected`` is the next in-order sequence number; anything below it
+    is a duplicate (suppressed), anything above it is parked in the
+    reorder buffer until the gap fills.  :meth:`receive` returns how many
+    frames became releasable *in order* — the caller hands exactly that
+    many queued protocol messages to the replica, which is what restores
+    exactly-once FIFO semantics.
+    """
+
+    def __init__(self, channel: Channel) -> None:
+        self.channel = channel
+        self.expected = 1
+        self.buffer: set = set()
+        self.duplicates = 0
+        self.buffered = 0
+
+    def receive(self, seq: int) -> int:
+        """Accept frame ``seq``; return the number of frames released."""
+        if seq < 1:
+            raise ProtocolError(f"{self.channel}: invalid sequence {seq}")
+        if seq < self.expected or seq in self.buffer:
+            self.duplicates += 1
+            return 0
+        if seq > self.expected:
+            self.buffer.add(seq)
+            self.buffered += 1
+            return 0
+        released = 1
+        self.expected += 1
+        while self.expected in self.buffer:
+            self.buffer.remove(self.expected)
+            self.expected += 1
+            released += 1
+        return released
+
+    @property
+    def cumulative_ack(self) -> int:
+        """The acknowledgement to send: highest in-order frame consumed."""
+        return self.expected - 1
+
+    @property
+    def released_total(self) -> int:
+        return self.expected - 1
+
+    def drop_reorder_buffer(self) -> None:
+        """Forget parked out-of-order frames (lost volatile state)."""
+        self.buffer.clear()
+
+
+@dataclass
+class RetransmitPolicy:
+    """Exponential backoff with seeded jitter for retransmission timers.
+
+    The timeout for attempt ``n`` (1-based) is ``base * factor**(n-1)``
+    capped at ``cap``, inflated by up to ``jitter`` of itself from a
+    dedicated RNG — deterministic per seed, so a fault-injected run is a
+    pure function of its seeds.
+    """
+
+    base: float = 0.25
+    factor: float = 2.0
+    cap: float = 8.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.base <= 0 or self.factor < 1.0 or self.cap < self.base:
+            raise ProtocolError(
+                f"invalid retransmit policy base={self.base} "
+                f"factor={self.factor} cap={self.cap}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ProtocolError(f"jitter {self.jitter} not in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def timeout(self, attempt: int) -> float:
+        """Timeout before retransmission number ``attempt`` (1-based)."""
+        raw = min(self.base * self.factor ** (attempt - 1), self.cap)
+        return raw * (1.0 + self.jitter * self._rng.random())
+
+
+def resync_payloads(
+    request: ResyncRequest, delivered_log: Sequence[Any]
+) -> ResyncResponse:
+    """Answer a restarted client's resync request from the delivery log.
+
+    ``delivered_log`` is the ordered list of payloads the client had
+    consumed before crashing (for Jupiter protocols these are
+    ``ServerOperation``s, so the order is the serial order); the client
+    restored a checkpoint that had only consumed the first
+    ``request.delivered`` of them, so everything after that index is
+    re-shipped.  Frames the client had *not* yet consumed stay with the
+    session layer: the sender still holds them unacknowledged and normal
+    retransmission delivers them after the restart.
+    """
+    if not 0 <= request.delivered <= len(delivered_log):
+        raise ProtocolError(
+            f"resync for {request.client}: checkpoint claims "
+            f"{request.delivered} delivered but the log has "
+            f"{len(delivered_log)}"
+        )
+    return ResyncResponse(
+        client=request.client,
+        payloads=tuple(delivered_log[request.delivered:]),
+    )

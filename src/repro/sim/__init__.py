@@ -13,9 +13,18 @@ replayable:
   :class:`~repro.model.schedule.Schedule` for replay against other
   protocols;
 * :mod:`repro.sim.trace` — turning recorded executions into abstract
-  executions and running all three specification checkers.
+  executions and running all three specification checkers;
+* :mod:`repro.sim.faults` — seeded drop/duplicate/delay/crash injection,
+  against which the reliable-session layer
+  (:mod:`repro.jupiter.session`) re-earns the FIFO exactly-once model.
 """
 
+from repro.sim.faults import (
+    ChannelFaults,
+    CrashSpec,
+    FaultPlan,
+    FaultStats,
+)
 from repro.sim.network import (
     FifoChannelTimer,
     FixedLatency,
@@ -23,19 +32,25 @@ from repro.sim.network import (
     OfflinePeriods,
     UniformLatency,
 )
-from repro.sim.fuzz import FuzzReport, fuzz
+from repro.sim.fuzz import ChaosReport, FuzzReport, chaos_sweep, fuzz
 from repro.sim.p2p import P2PSimulationResult, P2PSimulationRunner
 from repro.sim.runner import SimulationResult, SimulationRunner, replay
 from repro.sim.trace import SpecReport, check_all_specs
 from repro.sim.workload import WorkloadConfig, WorkloadGenerator
 
 __all__ = [
+    "ChannelFaults",
+    "ChaosReport",
+    "CrashSpec",
+    "FaultPlan",
+    "FaultStats",
     "FifoChannelTimer",
     "FixedLatency",
     "LatencyModel",
     "OfflinePeriods",
     "UniformLatency",
     "FuzzReport",
+    "chaos_sweep",
     "fuzz",
     "P2PSimulationResult",
     "P2PSimulationRunner",

@@ -1,0 +1,316 @@
+"""Deterministic fault injection for the simulated network.
+
+The paper's correctness story (convergence, Theorem 6.7; behavioural
+equivalence, Theorem 7.1) assumes reliable exactly-once FIFO channels
+(Section 4.4).  A production transport has to *earn* that assumption over
+a network that drops, duplicates and reorders packets and over clients
+that crash and restart.  This module supplies the adversary:
+
+* :class:`ChannelFaults` — per-directed-channel drop / duplicate /
+  extra-delay probabilities;
+* :class:`CrashSpec` — a crash/restore window for one client;
+* :class:`FaultPlan` — a seeded, deterministic composition of the above.
+  Every random decision is drawn from one dedicated RNG in event order,
+  so the same plan replayed against the same workload produces the same
+  run, byte for byte (the property the chaos harness and the ``repro
+  chaos`` CLI rely on).
+
+The plan is *advisory*: the event loop in
+:class:`~repro.sim.runner.SimulationRunner` asks :meth:`FaultPlan.decide`
+once per physical transmission and schedules the surviving copies.  When
+no plan is installed the runner never imports this machinery — fault
+injection is zero-cost when disabled.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.ids import ReplicaId
+from repro.errors import SimulationError
+
+#: A directed channel, e.g. ``("c1", "s")`` or ``("s", "c2")``.
+Channel = Tuple[ReplicaId, ReplicaId]
+
+#: Sanity ceiling: a channel that drops *every* packet can never be made
+#: reliable, so plans refuse drop probabilities at or above this bound.
+MAX_DROP = 0.95
+
+
+@dataclass(frozen=True)
+class ChannelFaults:
+    """Fault probabilities for one directed channel.
+
+    ``drop``/``duplicate``/``delay`` are per-transmission probabilities;
+    a delayed copy gets an extra latency drawn uniformly from
+    ``delay_range`` on top of the latency model, which is what reorders
+    packets relative to their send order.
+    """
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    delay_range: Tuple[float, float] = (0.05, 0.5)
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "delay"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(f"{name} probability {value} not in [0, 1]")
+        if self.drop >= MAX_DROP:
+            raise SimulationError(
+                f"drop probability {self.drop} >= {MAX_DROP}; such a channel "
+                "can never be made reliable"
+            )
+        low, high = self.delay_range
+        if low < 0 or high < low:
+            raise SimulationError(f"invalid delay range {self.delay_range}")
+
+    @property
+    def quiet(self) -> bool:
+        return self.drop == 0.0 and self.duplicate == 0.0 and self.delay == 0.0
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One crash/restore window for a client.
+
+    At ``at`` the client loses all volatile state (everything since its
+    last checkpoint); at ``restore_at`` it restarts from that checkpoint
+    and resyncs missed operations from the server.
+    """
+
+    client: ReplicaId
+    at: float
+    restore_at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise SimulationError(f"crash time {self.at} is negative")
+        if self.restore_at <= self.at:
+            raise SimulationError(
+                f"restore time {self.restore_at} not after crash at {self.at}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """Fate of one physical transmission: the extra delays of every copy
+    that survives (empty means the transmission was dropped entirely)."""
+
+    extra_delays: Tuple[float, ...]
+    dropped: int
+    duplicated: int
+
+
+class FaultPlan:
+    """A seeded, deterministic fault schedule for one simulated run.
+
+    A plan is consumed by exactly one run: :meth:`decide` draws from an
+    internal RNG in call order, so reusing a plan object across runs
+    would entangle their randomness.  Use :meth:`fresh` to obtain an
+    identically-seeded copy for another run.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default: Optional[ChannelFaults] = None,
+        channels: Optional[Dict[Channel, ChannelFaults]] = None,
+        crashes: Sequence[CrashSpec] = (),
+        snapshot_every: int = 3,
+    ) -> None:
+        if snapshot_every < 1:
+            raise SimulationError("snapshot_every must be >= 1")
+        self.seed = seed
+        self.default = default or ChannelFaults()
+        self.channels = dict(channels or {})
+        self.crashes = sorted(crashes, key=lambda c: (c.at, c.client))
+        self.snapshot_every = snapshot_every
+        self._rng = random.Random(seed)
+        self._validate_crashes()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def fresh(self) -> "FaultPlan":
+        """An identically-configured plan with a rewound RNG."""
+        return FaultPlan(
+            seed=self.seed,
+            default=self.default,
+            channels=dict(self.channels),
+            crashes=list(self.crashes),
+            snapshot_every=self.snapshot_every,
+        )
+
+    def without_crashes(self) -> "FaultPlan":
+        """The same network faults, but no client ever crashes.
+
+        Crash recovery restores from :mod:`repro.jupiter.persistence`
+        snapshots, which exist for the CSS protocol only; protocols
+        without snapshot support run the lossy network with this variant.
+        """
+        return FaultPlan(
+            seed=self.seed,
+            default=self.default,
+            channels=dict(self.channels),
+            crashes=(),
+            snapshot_every=self.snapshot_every,
+        )
+
+    @classmethod
+    def sample(
+        cls,
+        seed: int,
+        clients: Sequence[ReplicaId],
+        duration_hint: float = 10.0,
+        max_drop: float = 0.3,
+        crashes: bool = True,
+    ) -> "FaultPlan":
+        """Draw a random plan: lossy channels plus >= 1 crash/restore.
+
+        Deterministic per ``seed``; the chaos property harness samples one
+        plan per seed and the ``repro chaos`` CLI sweeps a seed range.
+        """
+        rng = random.Random(seed)
+        default = ChannelFaults(
+            drop=rng.uniform(0.0, max_drop),
+            duplicate=rng.uniform(0.0, 0.2),
+            delay=rng.uniform(0.0, 0.3),
+            delay_range=(0.02, rng.uniform(0.1, 1.0)),
+        )
+        crash_list: List[CrashSpec] = []
+        if crashes and clients:
+            for client in rng.sample(
+                list(clients), k=rng.randint(1, min(2, len(clients)))
+            ):
+                at = rng.uniform(0.2, max(0.4, 0.8 * duration_hint))
+                crash_list.append(
+                    CrashSpec(
+                        client=client,
+                        at=at,
+                        restore_at=at + rng.uniform(0.5, 3.0),
+                    )
+                )
+        return cls(
+            seed=seed,
+            default=default,
+            crashes=crash_list,
+            snapshot_every=rng.randint(1, 4),
+        )
+
+    def shrunk(self) -> Iterator["FaultPlan"]:
+        """Progressively simpler variants of this plan, for failure triage.
+
+        When a chaos case fails, re-running these (same seed, fewer fault
+        dimensions) pins down which ingredient breaks: first without
+        duplication/delay, then without drops, then without crashes.
+        """
+        yield FaultPlan(
+            seed=self.seed,
+            default=replace(self.default, duplicate=0.0, delay=0.0),
+            crashes=list(self.crashes),
+            snapshot_every=self.snapshot_every,
+        )
+        yield FaultPlan(
+            seed=self.seed,
+            default=replace(self.default, drop=0.0),
+            crashes=list(self.crashes),
+            snapshot_every=self.snapshot_every,
+        )
+        yield self.without_crashes()
+        yield FaultPlan(seed=self.seed)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+    def faults_for(self, channel: Channel) -> ChannelFaults:
+        return self.channels.get(channel, self.default)
+
+    def decide(self, channel: Channel, now: float) -> FaultDecision:
+        """Fate of one transmission on ``channel`` at time ``now``."""
+        faults = self.faults_for(channel)
+        if faults.quiet:
+            return FaultDecision(extra_delays=(0.0,), dropped=0, duplicated=0)
+        rng = self._rng
+        copies = 1
+        if rng.random() < faults.duplicate:
+            copies += 1
+        surviving: List[float] = []
+        for _ in range(copies):
+            if rng.random() < faults.drop:
+                continue
+            extra = 0.0
+            if rng.random() < faults.delay:
+                extra = rng.uniform(*faults.delay_range)
+            surviving.append(extra)
+        return FaultDecision(
+            extra_delays=tuple(surviving),
+            dropped=copies - len(surviving),
+            duplicated=copies - 1,
+        )
+
+    # ------------------------------------------------------------------
+    # Crash bookkeeping
+    # ------------------------------------------------------------------
+    def crashes_for(self, client: ReplicaId) -> List[CrashSpec]:
+        return [crash for crash in self.crashes if crash.client == client]
+
+    def crashed_clients(self) -> List[ReplicaId]:
+        return sorted({crash.client for crash in self.crashes})
+
+    def _validate_crashes(self) -> None:
+        by_client: Dict[ReplicaId, List[CrashSpec]] = {}
+        for crash in self.crashes:
+            by_client.setdefault(crash.client, []).append(crash)
+        for client, windows in by_client.items():
+            for earlier, later in zip(windows, windows[1:]):
+                if later.at < earlier.restore_at:
+                    raise SimulationError(
+                        f"overlapping crash windows for {client}: "
+                        f"{earlier} and {later}"
+                    )
+
+
+@dataclass
+class FaultStats:
+    """Counters one fault-injected run accumulates.
+
+    ``frames_*`` count physical transmissions on the lossy network;
+    ``duplicates_suppressed`` and ``out_of_order_buffered`` are the
+    session layer's receiver-side work; ``retransmissions`` counts
+    timeout-driven resends; the crash counters describe the recovery
+    path (``resynced_ops`` = operations re-delivered from the server's
+    serial index after a restore).
+    """
+
+    frames_sent: int = 0
+    frames_dropped: int = 0
+    frames_duplicated: int = 0
+    frames_lost_to_crash: int = 0
+    acks_sent: int = 0
+    acks_dropped: int = 0
+    retransmissions: int = 0
+    duplicates_suppressed: int = 0
+    out_of_order_buffered: int = 0
+    crashes: int = 0
+    restores: int = 0
+    checkpoints: int = 0
+    resynced_ops: int = 0
+    deferred_generations: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+    def summary(self) -> str:
+        return (
+            f"frames sent={self.frames_sent} dropped={self.frames_dropped} "
+            f"duplicated={self.frames_duplicated} "
+            f"lost-to-crash={self.frames_lost_to_crash}; "
+            f"retransmissions={self.retransmissions} "
+            f"dup-suppressed={self.duplicates_suppressed} "
+            f"reorder-buffered={self.out_of_order_buffered}; "
+            f"crashes={self.crashes} resynced-ops={self.resynced_ops}"
+        )

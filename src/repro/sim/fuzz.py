@@ -14,8 +14,9 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.sim.faults import FaultPlan
 from repro.sim.network import FixedLatency, UniformLatency
-from repro.sim.runner import SimulationRunner
+from repro.sim.runner import SimulationRunner, replay
 from repro.sim.trace import check_all_specs
 from repro.sim.workload import WorkloadConfig
 
@@ -143,4 +144,155 @@ def fuzz(
     report = FuzzReport()
     for _ in range(cases):
         run_case(draw_case(rng, protocols), report)
+    return report
+
+
+# ----------------------------------------------------------------------
+# Chaos sweeps: sampled fault plans against one protocol
+# ----------------------------------------------------------------------
+@dataclass
+class ChaosCase:
+    """Outcome of one fault-injected run."""
+
+    seed: int
+    drop: float
+    duplicate: float
+    delay: float
+    crashes: int
+    converged: bool
+    #: ``None`` when the fault-free replay cross-check was skipped.
+    replay_ok: Optional[bool]
+    retransmissions: int
+    frames_dropped: int
+    duplicates_suppressed: int
+    resynced_ops: int
+    duration: float
+
+    def row(self) -> str:
+        return (
+            f"{self.seed:>6} {self.drop:>5.2f} {self.duplicate:>4.2f} "
+            f"{self.delay:>5.2f} {self.crashes:>7} "
+            f"{str(self.converged):<10} "
+            f"{'-' if self.replay_ok is None else str(self.replay_ok):<7} "
+            f"{self.retransmissions:>7} {self.frames_dropped:>8} "
+            f"{self.duplicates_suppressed:>7} {self.resynced_ops:>7} "
+            f"{self.duration:>9.2f}"
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate outcome of a chaos sweep."""
+
+    protocol: str
+    cases: List[ChaosCase] = field(default_factory=list)
+    failures: List[str] = field(default_factory=list)
+
+    HEADER = (
+        f"{'seed':>6} {'drop':>5} {'dup':>4} {'delay':>5} {'crashes':>7} "
+        f"{'converged':<10} {'replay':<7} {'retrans':>7} {'dropped':>8} "
+        f"{'dedup':>7} {'resync':>7} {'duration':>9}"
+    )
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def table(self) -> str:
+        return "\n".join([self.HEADER, *(case.row() for case in self.cases)])
+
+    def summary(self) -> str:
+        total_retrans = sum(c.retransmissions for c in self.cases)
+        total_resync = sum(c.resynced_ops for c in self.cases)
+        lines = [
+            f"chaos[{self.protocol}]: {len(self.cases)} fault plans, "
+            f"{len(self.failures)} failure(s), {total_retrans} "
+            f"retransmissions, {total_resync} resynced ops"
+        ]
+        lines.extend(f"  FAIL {failure}" for failure in self.failures)
+        return "\n".join(lines)
+
+
+def chaos_sweep(
+    protocol: str = "css",
+    plans: int = 10,
+    seed: int = 0,
+    workload: Optional[WorkloadConfig] = None,
+    max_drop: float = 0.3,
+    check_replay: bool = True,
+) -> ChaosReport:
+    """Run ``plans`` sampled fault plans against one protocol.
+
+    Each plan draws lossy-channel probabilities plus (for CSS, the
+    protocol with snapshot-based recovery) at least one crash/restore.
+    Every run must reach quiescence and converge; with ``check_replay``
+    the recorded exactly-once schedule is additionally replayed on a
+    fault-free cluster whose per-replica behaviours must match — for a
+    crashed client that is precisely the "recovery behaves like an
+    uncrashed replica" guarantee.
+    """
+    base = workload or WorkloadConfig(clients=3, operations=18)
+    report = ChaosReport(protocol=protocol)
+    for index in range(plans):
+        case_seed = seed + index
+        config = WorkloadConfig(
+            clients=base.clients,
+            operations=base.operations,
+            insert_ratio=base.insert_ratio,
+            positions=base.positions,
+            rate_per_client=base.rate_per_client,
+            seed=case_seed,
+        )
+        duration_hint = config.operations / (
+            config.clients * config.rate_per_client
+        )
+        plan = FaultPlan.sample(
+            case_seed,
+            config.client_names(),
+            duration_hint=max(duration_hint, 1.0),
+            max_drop=max_drop,
+            crashes=protocol == "css",
+        )
+        latency = UniformLatency(0.01, 0.3, seed=case_seed)
+        label = (
+            f"plan seed={case_seed} drop={plan.default.drop:.2f} "
+            f"crashes={len(plan.crashes)}"
+        )
+        try:
+            result = SimulationRunner(
+                protocol, config, latency, faults=plan
+            ).run()
+        except Exception as error:  # noqa: BLE001 - chaos boundary
+            report.failures.append(f"{label}: crashed: {error!r}")
+            continue
+        replay_ok: Optional[bool] = None
+        if check_replay:
+            twin = replay(protocol, result.schedule, config.client_names())
+            replay_ok = (
+                twin.behaviors == result.cluster.behaviors
+                and twin.documents() == result.documents()
+            )
+        stats = result.fault_stats
+        report.cases.append(
+            ChaosCase(
+                seed=case_seed,
+                drop=plan.default.drop,
+                duplicate=plan.default.duplicate,
+                delay=plan.default.delay,
+                crashes=len(plan.crashes),
+                converged=result.converged,
+                replay_ok=replay_ok,
+                retransmissions=stats.retransmissions,
+                frames_dropped=stats.frames_dropped,
+                duplicates_suppressed=stats.duplicates_suppressed,
+                resynced_ops=stats.resynced_ops,
+                duration=result.duration,
+            )
+        )
+        if not result.converged:
+            report.failures.append(f"{label}: documents diverged")
+        if replay_ok is False:
+            report.failures.append(
+                f"{label}: behaviours differ from fault-free replay"
+            )
     return report

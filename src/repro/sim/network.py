@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.ids import ReplicaId
 
@@ -75,10 +75,15 @@ class OfflinePeriods(LatencyModel):
         }
 
     def _resume_time(self, replica: ReplicaId, now: float) -> float:
+        # One pass over the start-sorted windows reaches a fixpoint even
+        # when windows abut or overlap: resuming at one window's end can
+        # only land inside a window that starts no earlier, which is
+        # visited later in the scan.
+        resume = now
         for start, end in self._windows.get(replica, ()):
-            if start <= now < end:
-                return end
-        return now
+            if start <= resume < end:
+                resume = end
+        return resume
 
     def delay(self, sender: ReplicaId, recipient: ReplicaId, now: float) -> float:
         base_delay = self._base.delay(sender, recipient, now)
@@ -115,3 +120,18 @@ class FifoChannelTimer:
             raw = floor + self.epsilon
         self._last_delivery[channel] = raw
         return raw
+
+    def last_delivery(
+        self, sender: ReplicaId, recipient: ReplicaId
+    ) -> Optional[float]:
+        """Latest delivery time scheduled on one directed channel.
+
+        ``None`` until the channel has carried a message.  The
+        fault-injected runner samples this to seed its retransmission
+        timers from observed channel latency instead of a blind constant.
+        """
+        return self._last_delivery.get((sender, recipient))
+
+    def channels(self) -> List[Tuple[ReplicaId, ReplicaId]]:
+        """Every directed channel that has carried at least one message."""
+        return sorted(self._last_delivery)

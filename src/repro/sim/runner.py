@@ -6,14 +6,32 @@ through FIFO channels with model-supplied latencies, and every step is
 appended to a :class:`~repro.model.schedule.Schedule` so the exact same
 interleaving can be replayed against a different protocol (the setup of
 every Theorem 7.1 equivalence experiment).
+
+Two network regimes share the loop's skeleton:
+
+* **Reliable** (default, ``faults=None``): the paper's exactly-once FIFO
+  channels, realised by :class:`~repro.sim.network.FifoChannelTimer`.
+  This path is byte-identical to the original runner — fault machinery is
+  never imported, so replay determinism of existing experiments is
+  untouched.
+* **Faulty** (``faults=FaultPlan(...)``): frames cross a lossy network
+  that drops, duplicates and delays them, and clients may crash and
+  restart.  A reliable-session layer (:mod:`repro.jupiter.session`) with
+  per-channel sequence numbers, cumulative acks and backoff-driven
+  retransmission rebuilds exactly-once FIFO delivery for the protocol
+  machines, and crashed CSS clients recover from
+  :mod:`repro.jupiter.persistence` checkpoints plus a serial-indexed
+  resync.  The recorded :class:`Schedule` contains each protocol-level
+  step exactly once, so it replays on a fault-free cluster — which is how
+  the chaos harness checks Theorem 7.1 under faults.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.ids import SERVER_ID, ReplicaId
 from repro.errors import SimulationError
@@ -41,9 +59,12 @@ class SimulationResult:
     duration: float  # simulated seconds until quiescence
     messages_delivered: int
     #: simulated time each operation was generated, by OpId.
-    generated_at: Dict = None  # type: ignore[assignment]
+    generated_at: Dict = field(default_factory=dict)
     #: simulated time each (opid, replica) pair saw the operation applied.
-    applied_at: Dict = None  # type: ignore[assignment]
+    applied_at: Dict = field(default_factory=dict)
+    #: transport counters of a fault-injected run; ``None`` on the
+    #: reliable path (see :class:`repro.sim.faults.FaultStats`).
+    fault_stats: Optional[Any] = None
 
     def documents(self) -> Dict[ReplicaId, str]:
         return self.cluster.documents()
@@ -60,8 +81,8 @@ class SimulationResult:
         another user's screen be" metric of optimistic replication.
         """
         latencies: Dict = {}
-        for (opid, replica), when in (self.applied_at or {}).items():
-            start = (self.generated_at or {}).get(opid)
+        for (opid, replica), when in self.applied_at.items():
+            start = self.generated_at.get(opid)
             if start is None:
                 continue
             latencies.setdefault(opid, []).append((replica, when - start))
@@ -69,7 +90,12 @@ class SimulationResult:
 
 
 class SimulationRunner:
-    """Run one protocol under one workload and latency model."""
+    """Run one protocol under one workload and latency model.
+
+    ``faults`` installs a :class:`~repro.sim.faults.FaultPlan`; ``rto``
+    overrides the retransmission policy the faulty path uses.  Both are
+    ignored (and never imported) on the reliable path.
+    """
 
     def __init__(
         self,
@@ -79,6 +105,8 @@ class SimulationRunner:
         initial_text: str = "",
         observe_after_receive: bool = True,
         final_reads: bool = True,
+        faults: Optional[Any] = None,
+        rto: Optional[Any] = None,
     ) -> None:
         self.protocol = protocol
         self.workload = workload or WorkloadConfig()
@@ -86,11 +114,15 @@ class SimulationRunner:
         self.initial_text = initial_text
         self.observe_after_receive = observe_after_receive
         self.final_reads = final_reads
+        self.faults = faults
+        self.rto = rto
 
     # ------------------------------------------------------------------
     # Main loop
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
+        if self.faults is not None:
+            return _FaultyRun(self).run()
         clients = self.workload.client_names()
         cluster = make_cluster(
             self.protocol,
@@ -174,6 +206,380 @@ class SimulationRunner:
             generated_at=generated_at,
             applied_at=applied_at,
         )
+
+
+class _FaultyRun:
+    """One fault-injected run: lossy frames + reliable sessions + crashes.
+
+    Physical *frames* reference protocol messages by per-channel sequence
+    number; the cluster's FIFO queues double as the sender-side message
+    buffers (a frame's payload is popped exactly when the session layer
+    releases its sequence number, which happens strictly in order).  The
+    recorded schedule therefore contains each protocol step exactly once,
+    in an order a fault-free cluster can replay.
+    """
+
+    #: epsilon used when deferring a retransmission behind an in-flight ack.
+    _EPS = 1e-9
+
+    def __init__(self, runner: SimulationRunner) -> None:
+        from repro.jupiter.session import (
+            RetransmitPolicy,
+            SessionReceiver,
+            SessionSender,
+        )
+        from repro.sim.faults import FaultStats
+
+        self.runner = runner
+        self.latency = runner.latency
+        self.plan = runner.faults.fresh()
+        self.clients = runner.workload.client_names()
+        self._validate()
+        self.cluster = make_cluster(
+            runner.protocol,
+            self.clients,
+            initial_text=runner.initial_text,
+            observe_after_receive=runner.observe_after_receive,
+        )
+        self.policy = runner.rto or RetransmitPolicy(seed=self.plan.seed)
+        self.stats = FaultStats()
+        self.steps: List[Step] = []
+        self.counter = itertools.count()
+        self.heap: List[Tuple[float, int, Tuple]] = []
+        self.generated_at: dict = {}
+        self.applied_at: dict = {}
+        self.delivered = 0
+        self.progress_time = 0.0
+
+        channels = [(name, SERVER_ID) for name in self.clients]
+        channels += [(SERVER_ID, name) for name in self.clients]
+        self.senders = {ch: SessionSender(ch) for ch in channels}
+        self.receivers = {ch: SessionReceiver(ch) for ch in channels}
+        #: payloads consumed per server-to-client channel, in release
+        #: (= serial) order — the log crash resync re-ships from.
+        self.released: Dict[ReplicaId, List[Any]] = {
+            name: [] for name in self.clients
+        }
+        #: sender epoch per client: bumped on restore so retransmission
+        #: chains from a previous incarnation die off.
+        self.epochs: Dict[ReplicaId, int] = {name: 0 for name in self.clients}
+        self.crashed: set = set()
+        self.checkpoints: Dict[ReplicaId, dict] = {}
+        self.applies_since: Dict[ReplicaId, int] = {}
+        self.deferred_gens: Dict[ReplicaId, int] = {
+            name: 0 for name in self.clients
+        }
+        #: FIFO timer reused for the ack path: cumulative acks arrive in
+        #: order, and its per-channel last-delivery state lets the
+        #: retransmission timer wait out an ack already in flight.
+        self.ack_timer = FifoChannelTimer()
+        self.pending_gens = 0
+        self.pending_lifecycle = 0
+
+    def _validate(self) -> None:
+        if self.plan.crashes and self.runner.protocol != "css":
+            raise SimulationError(
+                "crash/restore requires the css protocol: recovery restores "
+                "repro.jupiter.persistence snapshots, which exist for CSS "
+                "replicas only (use FaultPlan.without_crashes() otherwise)"
+            )
+        roster = set(self.clients)
+        for crash in self.plan.crashes:
+            if crash.client not in roster:
+                raise SimulationError(
+                    f"fault plan crashes unknown client {crash.client!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Event loop
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        generator = WorkloadGenerator(self.runner.workload)
+        for time, client in generator.generation_times():
+            self._push(time, ("gen", client))
+            self.pending_gens += 1
+        for crash in self.plan.crashes:
+            self._push(crash.at, ("crash", crash.client))
+            self._push(crash.restore_at, ("restore", crash.client))
+            self.pending_lifecycle += 2
+        for client in self.plan.crashed_clients():
+            self._checkpoint(client)
+
+        now = 0.0
+        while self.heap:
+            now, _, event = heapq.heappop(self.heap)
+            kind = event[0]
+            if kind == "gen":
+                self._on_generate(event[1], generator, now)
+            elif kind == "frame":
+                self._on_frame(event[1], event[2], event[3], now)
+            elif kind == "ack":
+                self._on_ack(event[1], event[2], event[3], now)
+            elif kind == "rto":
+                self._on_rto(event[1], event[2], event[3], event[4], event[5], now)
+            elif kind == "crash":
+                self._on_crash(event[1], now)
+            elif kind == "restore":
+                self._on_restore(event[1], now)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown simulation event {event!r}")
+            if self._quiescent():
+                break
+
+        if self.cluster.in_flight() or not self._quiescent():
+            raise SimulationError(
+                f"{self.cluster.in_flight()} messages still in flight after "
+                "the faulty event loop drained; the session layer failed to "
+                "reconstruct reliable delivery"
+            )
+
+        if self.runner.final_reads:
+            for replica in [*sorted(self.cluster.clients), SERVER_ID]:
+                self.cluster.read(replica)
+                self.steps.append(Read(replica))
+
+        return SimulationResult(
+            cluster=self.cluster,
+            execution=self.cluster.recorder.finish(),
+            schedule=Schedule(self.steps),
+            duration=self.progress_time,
+            messages_delivered=self.delivered,
+            generated_at=self.generated_at,
+            applied_at=self.applied_at,
+            fault_stats=self.stats,
+        )
+
+    def _quiescent(self) -> bool:
+        """All traffic delivered, acknowledged, and no lifecycle pending.
+
+        Pending retransmission timers for acknowledged frames are *not*
+        progress — they fire as no-ops — so quiescence is decided from
+        protocol and session state, not from heap emptiness.
+        """
+        if self.pending_gens or self.pending_lifecycle:
+            return False
+        if self.cluster.in_flight():
+            return False
+        return all(s.outstanding == 0 for s in self.senders.values())
+
+    def _push(self, time: float, event: Tuple) -> None:
+        heapq.heappush(self.heap, (time, next(self.counter), event))
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_generate(self, client: ReplicaId, generator, now: float) -> None:
+        if client in self.crashed:
+            # The user cannot type into a crashed editor: the keystroke
+            # happens once the client is back.
+            self.deferred_gens[client] += 1
+            self.stats.deferred_generations += 1
+            return
+        self.pending_gens -= 1
+        self.progress_time = now
+        length = len(self.cluster.clients[client].document)
+        spec = generator.next_spec(client, length)
+        self.cluster.generate(client, spec)
+        self.generated_at[self.cluster.behaviors[client][-1].opid] = now
+        self.steps.append(Generate(client, spec))
+        seq = self.senders[(client, SERVER_ID)].send()
+        self._transmit((client, SERVER_ID), seq, now, attempt=1)
+        if client in self.checkpoints:
+            # Write-ahead persistence: a generated operation survives any
+            # later crash, so recovery never loses serialised history.
+            self._checkpoint(client)
+
+    def _on_frame(
+        self, sender: ReplicaId, recipient: ReplicaId, seq: int, now: float
+    ) -> None:
+        if recipient in self.crashed:
+            self.stats.frames_lost_to_crash += 1
+            return
+        receiver = self.receivers[(sender, recipient)]
+        duplicates = receiver.duplicates
+        buffered = receiver.buffered
+        released = receiver.receive(seq)
+        self.stats.duplicates_suppressed += receiver.duplicates - duplicates
+        self.stats.out_of_order_buffered += receiver.buffered - buffered
+        for _ in range(released):
+            if recipient == SERVER_ID:
+                self._deliver_to_server(sender, now)
+            else:
+                self._deliver_to_client(recipient, now)
+        # Always (re-)acknowledge cumulatively — a duplicate frame means a
+        # previous ack was probably lost.
+        self._send_ack((sender, recipient), receiver.cumulative_ack, now)
+
+    def _deliver_to_server(self, client: ReplicaId, now: float) -> None:
+        self.progress_time = now
+        before = {
+            name: self.cluster.pending_to_client(name) for name in self.clients
+        }
+        self.cluster.server_receive(client)
+        self.steps.append(ServerReceive(client))
+        for name in self.clients:
+            newly_queued = self.cluster.pending_to_client(name) - before[name]
+            for _ in range(newly_queued):
+                seq = self.senders[(SERVER_ID, name)].send()
+                self._transmit((SERVER_ID, name), seq, now, attempt=1)
+
+    def _deliver_to_client(self, client: ReplicaId, now: float) -> None:
+        self.progress_time = now
+        message = self.cluster.client_receive(client)
+        self.steps.append(ClientReceive(client))
+        self.delivered += 1
+        self.released[client].append(message.payload)
+        last = self.cluster.behaviors[client][-1]
+        if last.action == "apply" and last.opid is not None:
+            self.applied_at[(last.opid, client)] = now
+        if client in self.checkpoints:
+            self.applies_since[client] = self.applies_since.get(client, 0) + 1
+            if self.applies_since[client] >= self.plan.snapshot_every:
+                self._checkpoint(client)
+
+    def _on_ack(
+        self, sender: ReplicaId, recipient: ReplicaId, cumulative: int, now: float
+    ) -> None:
+        if sender in self.crashed:
+            self.stats.frames_lost_to_crash += 1
+            return
+        self.senders[(sender, recipient)].ack(cumulative)
+
+    def _on_rto(
+        self,
+        sender: ReplicaId,
+        recipient: ReplicaId,
+        seq: int,
+        attempt: int,
+        epoch: int,
+        now: float,
+    ) -> None:
+        if epoch != self.epochs.get(sender, 0):
+            return  # a previous incarnation's timer; recovery rearmed it
+        if sender in self.crashed:
+            return  # rearmed wholesale on restore
+        session = self.senders[(sender, recipient)]
+        if seq <= session.acked:
+            return  # acknowledged in the meantime: timer is a no-op
+        # An ack already in flight on the reverse path may cover this
+        # frame; wait it out before burning a retransmission (this is the
+        # FifoChannelTimer last-delivery reuse).
+        reverse_arrival = self.ack_timer.last_delivery(recipient, sender)
+        if reverse_arrival is not None and reverse_arrival > now:
+            self._push(
+                reverse_arrival + self._EPS,
+                ("rto", sender, recipient, seq, attempt, epoch),
+            )
+            return
+        self.stats.retransmissions += 1
+        self._transmit((sender, recipient), seq, now, attempt=attempt + 1)
+
+    def _on_crash(self, client: ReplicaId, now: float) -> None:
+        self.pending_lifecycle -= 1
+        self.crashed.add(client)
+        self.stats.crashes += 1
+
+    def _on_restore(self, client: ReplicaId, now: float) -> None:
+        from repro.jupiter.messages import ResyncRequest
+        from repro.jupiter.persistence import restore_checkpoint
+        from repro.jupiter.session import resync_payloads
+
+        self.pending_lifecycle -= 1
+        self.progress_time = now
+        checkpoint = self.checkpoints[client]
+        restored = restore_checkpoint(checkpoint)
+        self.cluster.replace_client(
+            client, restored, behaviors_keep=checkpoint["behaviors_len"]
+        )
+        # Control-plane resync: re-ship everything the client had consumed
+        # after the checkpoint (serial-ordered; see ResyncRequest).
+        request = ResyncRequest(client=client, delivered=checkpoint["delivered"])
+        response = resync_payloads(request, self.released[client])
+        for payload in response.payloads:
+            self.cluster.resync_deliver(client, payload)
+        self.stats.resynced_ops += len(response.payloads)
+        # Receiver half: the reorder buffer was volatile; unreleased frames
+        # are still unacknowledged at the server and will be retransmitted.
+        self.receivers[(SERVER_ID, client)].drop_reorder_buffer()
+        # Sender half: roll back to the checkpointed sequence state and
+        # rearm retransmission for everything unacknowledged.
+        sender = self.senders[(client, SERVER_ID)]
+        sender.restore(checkpoint["session"])
+        self.epochs[client] += 1
+        for seq in sender.unacked():
+            self.stats.retransmissions += 1
+            self._transmit((client, SERVER_ID), seq, now, attempt=1)
+        self.crashed.discard(client)
+        self.stats.restores += 1
+        # Keystrokes queued while the editor was down happen now.
+        while self.deferred_gens[client]:
+            self.deferred_gens[client] -= 1
+            self._push(now + self._EPS, ("gen", client))
+        # The recovered state is durable: checkpoint it so a later crash
+        # does not redo this resync.
+        self._checkpoint(client)
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _transmit(
+        self,
+        channel: Tuple[ReplicaId, ReplicaId],
+        seq: int,
+        now: float,
+        attempt: int,
+    ) -> None:
+        """Put one frame on the lossy wire and arm its retransmit timer."""
+        sender, recipient = channel
+        decision = self.plan.decide(channel, now)
+        self.stats.frames_sent += 1
+        self.stats.frames_dropped += decision.dropped
+        self.stats.frames_duplicated += decision.duplicated
+        for extra in decision.extra_delays:
+            arrival = now + self.latency.delay(sender, recipient, now) + extra
+            self._push(arrival, ("frame", sender, recipient, seq))
+        epoch = self.epochs.get(sender, 0)
+        deadline = now + self.policy.timeout(attempt)
+        self._push(deadline, ("rto", sender, recipient, seq, attempt, epoch))
+
+    def _send_ack(
+        self,
+        channel: Tuple[ReplicaId, ReplicaId],
+        cumulative: int,
+        now: float,
+    ) -> None:
+        """Send a cumulative ack back across the lossy reverse channel."""
+        sender, recipient = channel  # data direction; the ack flows back
+        decision = self.plan.decide((recipient, sender), now)
+        self.stats.acks_sent += 1
+        self.stats.acks_dropped += decision.dropped
+        for extra in decision.extra_delays:
+            arrival = (
+                self.ack_timer.delivery_time(self.latency, recipient, sender, now)
+                + extra
+            )
+            self._push(arrival, ("ack", sender, recipient, cumulative))
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def _checkpoint(self, client: ReplicaId) -> None:
+        from repro.jupiter.persistence import checkpoint_client
+
+        # The resync cursor is the number of payloads the *replica* has
+        # consumed, not the session receiver's released total: a checkpoint
+        # cut mid-release-burst (the receiver releases a whole in-order run
+        # before the event loop pops it message by message) would otherwise
+        # claim messages the snapshot never integrated, and recovery would
+        # skip them.
+        self.checkpoints[client] = checkpoint_client(
+            self.cluster.clients[client],
+            session=self.senders[(client, SERVER_ID)].state(),
+            behaviors_len=len(self.cluster.behaviors[client]),
+            delivered=len(self.released[client]),
+        )
+        self.applies_since[client] = 0
+        self.stats.checkpoints += 1
 
 
 def replay(

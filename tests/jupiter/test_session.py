@@ -1,0 +1,117 @@
+"""Tests for the reliable-session layer (sequence numbers, acks, resync)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.jupiter.messages import ResyncRequest
+from repro.jupiter.session import (
+    RetransmitPolicy,
+    SessionReceiver,
+    SessionSender,
+    resync_payloads,
+)
+
+
+class TestSessionSender:
+    def test_sequence_numbers_are_dense_from_one(self):
+        sender = SessionSender(("c1", "s"))
+        assert [sender.send() for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_cumulative_ack_clears_prefix(self):
+        sender = SessionSender(("c1", "s"))
+        for _ in range(5):
+            sender.send()
+        sender.ack(3)
+        assert list(sender.unacked()) == [4, 5]
+        assert sender.outstanding == 2
+
+    def test_acks_are_monotone(self):
+        sender = SessionSender(("c1", "s"))
+        for _ in range(4):
+            sender.send()
+        sender.ack(3)
+        sender.ack(1)  # stale cumulative ack: ignored, not a rollback
+        assert list(sender.unacked()) == [4]
+
+    def test_ack_beyond_last_sent_is_rejected(self):
+        sender = SessionSender(("c1", "s"))
+        sender.send()
+        with pytest.raises(ProtocolError):
+            sender.ack(2)
+
+    def test_state_roundtrip(self):
+        sender = SessionSender(("c1", "s"))
+        for _ in range(3):
+            sender.send()
+        sender.ack(1)
+        twin = SessionSender(("c1", "s"))
+        twin.restore(sender.state())
+        assert list(twin.unacked()) == list(sender.unacked())
+        assert twin.send() == sender.send()
+
+
+class TestSessionReceiver:
+    def test_in_order_frames_release_immediately(self):
+        receiver = SessionReceiver(("s", "c1"))
+        assert [receiver.receive(seq) for seq in (1, 2, 3)] == [1, 1, 1]
+        assert receiver.cumulative_ack == 3
+
+    def test_gap_buffers_until_filled(self):
+        receiver = SessionReceiver(("s", "c1"))
+        assert receiver.receive(1) == 1
+        assert receiver.receive(3) == 0  # gap: held back
+        assert receiver.receive(4) == 0
+        assert receiver.receive(2) == 3  # releases 2, 3, 4 in one run
+        assert receiver.cumulative_ack == 4
+        assert receiver.buffered == 2
+
+    def test_duplicates_are_suppressed(self):
+        receiver = SessionReceiver(("s", "c1"))
+        receiver.receive(1)
+        assert receiver.receive(1) == 0
+        receiver.receive(3)
+        assert receiver.receive(3) == 0  # duplicate of a buffered frame
+        assert receiver.duplicates == 2
+
+    def test_drop_reorder_buffer_forgets_unreleased_frames(self):
+        receiver = SessionReceiver(("s", "c1"))
+        receiver.receive(1)
+        receiver.receive(3)
+        receiver.drop_reorder_buffer()
+        # Frame 3 must be retransmitted: only then can 2, 3 release.
+        assert receiver.receive(2) == 1
+        assert receiver.receive(3) == 1
+        assert receiver.released_total == 3
+
+
+class TestRetransmitPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetransmitPolicy(base=0.25, factor=2.0, cap=8.0, jitter=0.0)
+        timeouts = [policy.timeout(attempt) for attempt in range(1, 8)]
+        assert timeouts[0] == pytest.approx(0.25)
+        assert all(b >= a for a, b in zip(timeouts, timeouts[1:]))
+        assert timeouts[-1] == pytest.approx(8.0)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        first = RetransmitPolicy(jitter=0.1, seed=5)
+        second = RetransmitPolicy(jitter=0.1, seed=5)
+        draws = [first.timeout(1) for _ in range(10)]
+        assert draws == [second.timeout(1) for _ in range(10)]
+        base = RetransmitPolicy(jitter=0.0).timeout(1)
+        assert all(base <= d <= base * 1.1 for d in draws)
+
+
+class TestResync:
+    def test_resync_returns_missed_suffix(self):
+        log = ["op1", "op2", "op3", "op4"]
+        response = resync_payloads(
+            ResyncRequest(client="c1", delivered=2), log
+        )
+        assert response.client == "c1"
+        assert list(response.payloads) == ["op3", "op4"]
+
+    def test_up_to_date_client_gets_nothing(self):
+        response = resync_payloads(
+            ResyncRequest(client="c1", delivered=3), ["a", "b", "c"]
+        )
+        assert response.payloads == ()

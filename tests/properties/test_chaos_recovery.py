@@ -1,0 +1,110 @@
+"""Chaos property harness: convergence and equivalence under faults.
+
+The acceptance bar for the reliable-session layer: across many sampled
+fault plans — lossy, duplicating, reordering channels plus at least one
+client crash/restore each — a CSS cluster must reach quiescence and
+converge, its recovered clients must behave exactly like uncrashed
+replicas, and the recorded schedule must still satisfy Theorem 7.1 when
+replayed on the other Jupiter protocols.
+
+Failures shrink: re-running the failing seed over
+:meth:`FaultPlan.shrunk` variants pins down which fault dimension
+(duplication/delay, drops, crashes) breaks the property.
+"""
+
+import pytest
+
+from repro.analysis.equivalence import compare_protocols
+from repro.sim import (
+    FaultPlan,
+    SimulationRunner,
+    UniformLatency,
+    WorkloadConfig,
+    replay,
+)
+
+#: Acceptance floor: at least 50 seeded plans, each with >= 1 crash.
+PLAN_COUNT = 50
+WORKLOAD = WorkloadConfig(clients=3, operations=10)
+
+
+def _case(seed: int):
+    workload = WorkloadConfig(
+        clients=WORKLOAD.clients,
+        operations=WORKLOAD.operations,
+        seed=seed,
+    )
+    duration_hint = workload.operations / (
+        workload.clients * workload.rate_per_client
+    )
+    plan = FaultPlan.sample(
+        seed,
+        workload.client_names(),
+        duration_hint=max(duration_hint, 1.0),
+        max_drop=0.3,
+    )
+    return workload, plan
+
+
+def _shrink_trail(workload, plan, latency_seed):
+    """Which shrunk plan variants still fail — the triage breadcrumb."""
+    trail = []
+    for variant in plan.shrunk():
+        try:
+            shrunk = SimulationRunner(
+                "css",
+                workload,
+                UniformLatency(0.01, 0.3, seed=latency_seed),
+                faults=variant,
+            ).run()
+            verdict = "converged" if shrunk.converged else "DIVERGED"
+        except Exception as error:  # noqa: BLE001 - triage aid
+            verdict = f"crashed: {error!r}"
+        trail.append(
+            f"drop={variant.default.drop:.2f} "
+            f"dup={variant.default.duplicate:.2f} "
+            f"crashes={len(variant.crashes)}: {verdict}"
+        )
+    return "; ".join(trail)
+
+
+@pytest.mark.parametrize("seed", range(PLAN_COUNT))
+def test_chaos_case_converges_and_preserves_equivalence(seed):
+    workload, plan = _case(seed)
+    assert plan.crashes, "sampled plans must include a crash/restore"
+    assert plan.default.drop <= 0.3
+
+    try:
+        result = SimulationRunner(
+            "css",
+            workload,
+            UniformLatency(0.01, 0.3, seed=seed),
+            faults=plan,
+        ).run()
+    except Exception:
+        pytest.fail(
+            f"seed {seed} crashed; shrink trail: "
+            f"{_shrink_trail(workload, plan, seed)}"
+        )
+
+    # Quiescence and convergence under faults.
+    assert result.converged, _shrink_trail(workload, plan, seed)
+    stats = result.fault_stats
+    assert stats.crashes == len(plan.crashes)
+    assert stats.restores == stats.crashes
+    assert result.messages_delivered == workload.operations * workload.clients
+
+    # The recovered clients behave like uncrashed replicas: a fault-free
+    # replay of the recorded schedule reproduces every behaviour log.
+    clients = workload.client_names()
+    twin = replay("css", result.schedule, clients)
+    assert twin.behaviors == result.cluster.behaviors
+    assert twin.documents() == result.documents()
+
+    # Theorem 7.1 survives the faulty transport: the same schedule drives
+    # CSCW and classic Jupiter to equivalent behaviour.
+    clusters = {"css": result.cluster}
+    for protocol in ("cscw", "classic"):
+        clusters[protocol] = replay(protocol, result.schedule, clients)
+    report = compare_protocols(result.schedule, clusters)
+    assert report.ok, report.summary()

@@ -1,0 +1,205 @@
+"""Tests for the fault-injected simulation path (sessions + recovery)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import (
+    ChannelFaults,
+    CrashSpec,
+    FaultPlan,
+    SimulationResult,
+    SimulationRunner,
+    UniformLatency,
+    WorkloadConfig,
+    chaos_sweep,
+    replay,
+)
+
+LOSSY = ChannelFaults(drop=0.25, duplicate=0.15, delay=0.25)
+
+
+def run_css(workload, plan, latency_seed=4):
+    return SimulationRunner(
+        "css",
+        workload,
+        UniformLatency(0.01, 0.3, seed=latency_seed),
+        faults=plan,
+    ).run()
+
+
+class TestZeroCostWhenDisabled:
+    def test_no_plan_means_no_fault_stats(self):
+        result = SimulationRunner(
+            "css", WorkloadConfig(operations=8), UniformLatency(0.01, 0.1)
+        ).run()
+        assert result.fault_stats is None
+
+    def test_reliable_path_is_deterministic(self):
+        """With ``faults=None`` the runner takes the original code path:
+        two identically-seeded runs produce identical schedules."""
+        def fresh():
+            return SimulationRunner(
+                "css",
+                WorkloadConfig(clients=3, operations=15, seed=3),
+                UniformLatency(0.01, 0.2, seed=2),
+            ).run()
+
+        first, second = fresh(), fresh()
+        assert first.schedule._steps == second.schedule._steps
+        assert first.cluster.behaviors == second.cluster.behaviors
+        assert first.documents() == second.documents()
+
+    def test_quiet_plan_converges_without_faults(self):
+        """An all-quiet plan rides the session layer but never drops,
+        duplicates or retransmits spuriously on an idle-enough network."""
+        workload = WorkloadConfig(clients=3, operations=15, seed=3)
+        faulty = SimulationRunner(
+            "css",
+            workload,
+            UniformLatency(0.01, 0.1, seed=2),
+            faults=FaultPlan(seed=0),
+        ).run()
+        assert faulty.converged
+        stats = faulty.fault_stats
+        assert stats.frames_dropped == 0
+        assert stats.frames_duplicated == 0
+        assert stats.duplicates_suppressed == 0
+        twin = replay("css", faulty.schedule, workload.client_names())
+        assert twin.behaviors == faulty.cluster.behaviors
+
+
+class TestLossyNetwork:
+    def test_converges_and_replays_without_crashes(self):
+        workload = WorkloadConfig(clients=3, operations=20, seed=5)
+        plan = FaultPlan(seed=8, default=LOSSY)
+        result = run_css(workload, plan)
+        assert result.converged
+        stats = result.fault_stats
+        assert stats.frames_dropped > 0
+        assert stats.retransmissions > 0
+        assert stats.duplicates_suppressed > 0
+        # Every protocol message reached every client exactly once.
+        assert result.messages_delivered == workload.operations * workload.clients
+        twin = replay("css", result.schedule, workload.client_names())
+        assert twin.behaviors == result.cluster.behaviors
+        assert twin.documents() == result.documents()
+
+
+class TestCrashRecovery:
+    def test_crash_restore_resync(self):
+        workload = WorkloadConfig(clients=3, operations=18, seed=5)
+        plan = FaultPlan(
+            seed=2,
+            default=LOSSY,
+            crashes=[CrashSpec("c2", at=1.0, restore_at=2.5)],
+            snapshot_every=2,
+        )
+        result = run_css(workload, plan)
+        assert result.converged
+        stats = result.fault_stats
+        assert stats.crashes == 1
+        assert stats.restores == 1
+        assert stats.checkpoints > 0
+        twin = replay("css", result.schedule, workload.client_names())
+        assert twin.behaviors == result.cluster.behaviors
+
+    def test_checkpoint_cut_mid_release_burst(self):
+        """Regression: a checkpoint taken while the session receiver has
+        released a multi-frame run the event loop has only partly popped
+        must record the *popped* count as its resync cursor.  With the
+        receiver's burst-advanced total, recovery skipped the unpopped
+        operations and the restored client later failed context lookup."""
+        workload = WorkloadConfig(clients=3, operations=24, seed=7)
+        plan = FaultPlan(
+            seed=9,
+            default=LOSSY,
+            crashes=[CrashSpec("c1", at=2.0, restore_at=4.0)],
+            snapshot_every=4,
+        )
+        result = run_css(workload, plan)
+        assert result.converged
+        twin = replay("css", result.schedule, workload.client_names())
+        assert twin.behaviors == result.cluster.behaviors
+        assert twin.documents() == result.documents()
+
+    def test_generations_during_crash_are_deferred(self):
+        workload = WorkloadConfig(clients=2, operations=16, seed=1)
+        plan = FaultPlan(
+            seed=3,
+            crashes=[CrashSpec("c1", at=0.5, restore_at=6.0)],
+        )
+        result = run_css(workload, plan)
+        assert result.converged
+        assert result.fault_stats.deferred_generations > 0
+        # Deferred keystrokes still happen: nothing is lost, only late.
+        assert result.messages_delivered == workload.operations * workload.clients
+
+    def test_crashes_require_css(self):
+        plan = FaultPlan(crashes=[CrashSpec("c1", at=1.0, restore_at=2.0)])
+        with pytest.raises(SimulationError):
+            SimulationRunner(
+                "cscw", WorkloadConfig(operations=6), faults=plan
+            ).run()
+
+    def test_crash_of_unknown_client_rejected(self):
+        plan = FaultPlan(crashes=[CrashSpec("c9", at=1.0, restore_at=2.0)])
+        with pytest.raises(SimulationError):
+            SimulationRunner(
+                "css", WorkloadConfig(clients=2, operations=6), faults=plan
+            ).run()
+
+
+class TestChaosSweep:
+    def test_sweep_passes_with_replay_check(self):
+        report = chaos_sweep(
+            "css",
+            plans=4,
+            seed=50,
+            workload=WorkloadConfig(clients=3, operations=12),
+        )
+        assert report.ok, report.summary()
+        assert len(report.cases) == 4
+        assert all(case.converged and case.replay_ok for case in report.cases)
+        assert "chaos[css]" in report.summary()
+        assert report.table().count("\n") == 4  # header + one row per case
+
+    def test_sweep_on_protocol_without_snapshots(self):
+        report = chaos_sweep(
+            "cscw",
+            plans=2,
+            seed=20,
+            workload=WorkloadConfig(clients=3, operations=10),
+        )
+        assert report.ok, report.summary()
+        assert all(case.crashes == 0 for case in report.cases)
+
+
+class TestSimulationResultDefaults:
+    def test_timing_dicts_are_independent_instances(self):
+        """Regression for the shared-``None`` sentinel: two results must
+        not alias one mutable default dict."""
+        def fresh():
+            return SimulationRunner(
+                "css", WorkloadConfig(operations=4), UniformLatency(0.01, 0.05)
+            ).run()
+
+        first, second = fresh(), fresh()
+        assert first.generated_at == second.generated_at
+        assert first.generated_at is not second.generated_at
+        bare = SimulationResult(
+            cluster=first.cluster,
+            execution=first.execution,
+            schedule=first.schedule,
+            duration=0.0,
+            messages_delivered=0,
+        )
+        assert bare.generated_at == {}
+        assert bare.propagation_latencies() == {}
+        bare.generated_at["x"] = 1.0
+        assert SimulationResult(
+            cluster=first.cluster,
+            execution=first.execution,
+            schedule=first.schedule,
+            duration=0.0,
+            messages_delivered=0,
+        ).generated_at == {}

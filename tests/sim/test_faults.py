@@ -1,0 +1,131 @@
+"""Tests for the deterministic fault-injection plans."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.faults import (
+    MAX_DROP,
+    ChannelFaults,
+    CrashSpec,
+    FaultPlan,
+    FaultStats,
+)
+
+
+class TestChannelFaults:
+    def test_probabilities_validated(self):
+        with pytest.raises(SimulationError):
+            ChannelFaults(drop=-0.1)
+        with pytest.raises(SimulationError):
+            ChannelFaults(duplicate=1.5)
+        with pytest.raises(SimulationError):
+            ChannelFaults(drop=MAX_DROP)  # would never become reliable
+        with pytest.raises(SimulationError):
+            ChannelFaults(delay_range=(0.5, 0.1))
+
+    def test_quiet_channel(self):
+        assert ChannelFaults().quiet
+        assert not ChannelFaults(drop=0.1).quiet
+
+
+class TestCrashSpec:
+    def test_restore_must_follow_crash(self):
+        with pytest.raises(SimulationError):
+            CrashSpec("c1", at=2.0, restore_at=2.0)
+        with pytest.raises(SimulationError):
+            CrashSpec("c1", at=-1.0, restore_at=2.0)
+
+    def test_overlapping_windows_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(
+                crashes=[
+                    CrashSpec("c1", at=1.0, restore_at=3.0),
+                    CrashSpec("c1", at=2.0, restore_at=4.0),
+                ]
+            )
+        # Distinct clients may overlap freely.
+        FaultPlan(
+            crashes=[
+                CrashSpec("c1", at=1.0, restore_at=3.0),
+                CrashSpec("c2", at=2.0, restore_at=4.0),
+            ]
+        )
+
+
+class TestFaultPlan:
+    def test_decisions_are_deterministic_per_seed(self):
+        faults = ChannelFaults(drop=0.3, duplicate=0.2, delay=0.3)
+        first = FaultPlan(seed=3, default=faults)
+        second = first.fresh()
+        decisions = [first.decide(("c1", "s"), t * 0.1) for t in range(50)]
+        assert decisions == [
+            second.decide(("c1", "s"), t * 0.1) for t in range(50)
+        ]
+
+    def test_quiet_channel_skips_the_rng(self):
+        plan = FaultPlan(
+            seed=1,
+            channels={("c1", "s"): ChannelFaults(drop=0.5)},
+        )
+        # Decisions on a quiet channel must not consume randomness, so
+        # adding quiet-channel traffic never perturbs the lossy channel.
+        before = [plan.decide(("c1", "s"), 0.0) for _ in range(5)]
+        replayed = plan.fresh()
+        for _ in range(100):
+            assert replayed.decide(("s", "c2"), 0.0).extra_delays == (0.0,)
+        assert before == [replayed.decide(("c1", "s"), 0.0) for _ in range(5)]
+
+    def test_per_channel_overrides(self):
+        plan = FaultPlan(
+            default=ChannelFaults(drop=0.1),
+            channels={("c1", "s"): ChannelFaults(drop=0.9)},
+        )
+        assert plan.faults_for(("c1", "s")).drop == 0.9
+        assert plan.faults_for(("s", "c1")).drop == 0.1
+
+    def test_sample_respects_bounds_and_crashes(self):
+        for seed in range(30):
+            plan = FaultPlan.sample(
+                seed, ["c1", "c2", "c3"], duration_hint=5.0, max_drop=0.3
+            )
+            assert 0.0 <= plan.default.drop <= 0.3
+            assert 0.0 <= plan.default.duplicate <= 0.2
+            assert 1 <= len(plan.crashes) <= 2
+            for crash in plan.crashes:
+                assert crash.restore_at > crash.at
+            assert plan.snapshot_every >= 1
+
+    def test_sample_is_deterministic(self):
+        one = FaultPlan.sample(9, ["c1", "c2"])
+        two = FaultPlan.sample(9, ["c1", "c2"])
+        assert one.default == two.default
+        assert one.crashes == two.crashes
+        assert one.snapshot_every == two.snapshot_every
+
+    def test_without_crashes(self):
+        plan = FaultPlan.sample(4, ["c1", "c2"])
+        assert plan.crashes
+        assert not plan.without_crashes().crashes
+        assert plan.without_crashes().default == plan.default
+
+    def test_shrunk_ends_clean(self):
+        plan = FaultPlan.sample(11, ["c1", "c2", "c3"])
+        variants = list(plan.shrunk())
+        assert variants[-1].default.quiet
+        assert not variants[-1].crashes
+        # Earlier variants strip one fault dimension at a time.
+        assert variants[0].default.duplicate == 0.0
+        assert variants[1].default.drop == 0.0
+        assert not variants[2].crashes
+
+    def test_snapshot_every_validated(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(snapshot_every=0)
+
+
+class TestFaultStats:
+    def test_as_dict_and_summary(self):
+        stats = FaultStats(frames_sent=10, frames_dropped=3, crashes=1)
+        assert stats.as_dict()["frames_dropped"] == 3
+        assert "dropped=3" in stats.summary()
+        assert "crashes=1" in stats.summary()

@@ -47,6 +47,51 @@ class TestLatencyModels:
         assert 2.0 + delay >= 5.0 + 0.1
 
 
+class TestOfflinePeriodEdgeCases:
+    def test_send_exactly_at_window_boundaries(self):
+        model = OfflinePeriods(
+            FixedLatency(0.1), windows={"c1": [(1.0, 5.0)]}
+        )
+        # The window start is inclusive: a send at 1.0 is deferred...
+        assert 1.0 + model.delay("s", "c1", 1.0) >= 5.0
+        # ...the window end is exclusive: at 5.0 the replica is back.
+        assert model.delay("s", "c1", 5.0) == pytest.approx(0.1)
+
+    def test_abutting_windows_chain(self):
+        model = OfflinePeriods(
+            FixedLatency(0.1),
+            windows={"c1": [(1.0, 3.0), (3.0, 6.0)]},
+        )
+        # Resuming at the first window's end lands exactly on the second
+        # window's start, which must also be skipped.
+        assert 2.0 + model.delay("s", "c1", 2.0) >= 6.0
+
+    def test_overlapping_windows_chain(self):
+        model = OfflinePeriods(
+            FixedLatency(0.1),
+            windows={"c1": [(1.0, 4.0), (3.0, 7.0)]},
+        )
+        assert 2.0 + model.delay("s", "c1", 2.0) >= 7.0
+
+    def test_disjoint_windows_do_not_chain(self):
+        model = OfflinePeriods(
+            FixedLatency(0.1),
+            windows={"c1": [(1.0, 3.0), (4.0, 6.0)]},
+        )
+        # Back online at 3.0, and the 4.0 window is not yet open.
+        arrival = 2.0 + model.delay("s", "c1", 2.0)
+        assert 3.0 <= arrival < 4.0
+
+    def test_both_endpoints_offline(self):
+        model = OfflinePeriods(
+            FixedLatency(0.1),
+            windows={"c1": [(1.0, 3.0)], "c2": [(2.0, 6.0)]},
+        )
+        # Held until the sender returns at 3.0, transferred (+0.1), then
+        # held again until the recipient returns at 6.0.
+        assert 1.5 + model.delay("c1", "c2", 1.5) >= 6.0
+
+
 class TestFifoChannelTimer:
     def test_monotone_per_channel(self):
         timer = FifoChannelTimer()
@@ -60,3 +105,27 @@ class TestFifoChannelTimer:
         first = timer.delivery_time(model, "a", "b", 0.0)
         other = timer.delivery_time(model, "b", "a", 0.0)
         assert first == other == 1.0  # no cross-channel interference
+
+    def test_bursty_uniform_draws_never_violate_fifo(self):
+        """A burst of sends in a tiny window with latency spread far wider
+        than the inter-send gap is the worst case for reordering; the
+        timer must still deliver strictly in send order."""
+        timer = FifoChannelTimer()
+        model = UniformLatency(0.0, 2.0, seed=13)
+        deliveries = [
+            timer.delivery_time(model, "s", "c1", send * 1e-4)
+            for send in range(500)
+        ]
+        assert all(b > a for a, b in zip(deliveries, deliveries[1:]))
+
+    def test_last_delivery_exposes_channel_state(self):
+        timer = FifoChannelTimer()
+        model = FixedLatency(0.5)
+        assert timer.last_delivery("a", "b") is None
+        assert timer.channels() == []
+        first = timer.delivery_time(model, "a", "b", 0.0)
+        assert timer.last_delivery("a", "b") == first
+        second = timer.delivery_time(model, "a", "b", 1.0)
+        assert timer.last_delivery("a", "b") == second
+        timer.delivery_time(model, "b", "a", 0.0)
+        assert timer.channels() == [("a", "b"), ("b", "a")]

@@ -96,6 +96,26 @@ class TestEquivalenceCommand:
         assert "Proposition 7.4" in out
 
 
+class TestChaosCommand:
+    def test_chaos_sweep_passes(self, capsys):
+        code = main(
+            ["chaos", "--plans", "2", "--seed", "7", "--operations", "10"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos[css]: 2 fault plans, 0 failure(s)" in out
+        assert "converged" in out  # the per-plan table header
+
+    def test_chaos_on_cscw_skips_crashes(self, capsys):
+        code = main(
+            ["chaos", "--protocol", "cscw", "--plans", "1",
+             "--operations", "8", "--no-replay"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos[cscw]" in out
+
+
 class TestDcssCommand:
     def test_dcss_runs(self, capsys):
         code = main(["dcss", "--operations", "10", "--latency", "lan"])
