@@ -18,8 +18,9 @@ Commands:
 * ``fuzz`` — random configurations checked against each protocol's
   guarantees;
 * ``chaos`` — sampled fault plans (drops, duplicates, reordering delays,
-  client crash/restore) against the reliable-session layer; every run
-  must converge and match a fault-free replay;
+  client crash/restore, and with ``--server-crash`` a server crash
+  recovered from its write-ahead log) against the reliable-session
+  layer; every run must converge and match a fault-free replay;
 * ``dcss`` — run the decentralised CSS extension on a peer-to-peer mesh.
 """
 
@@ -296,6 +297,12 @@ def cmd_chaos(args) -> int:
     from repro.sim import WorkloadConfig
     from repro.sim.fuzz import chaos_sweep
 
+    if args.server_crash and args.protocol != "css":
+        print(
+            f"--server-crash requires --protocol css (got {args.protocol!r}):"
+            " server recovery replays the write-ahead log through a CssServer"
+        )
+        return 2
     workload = WorkloadConfig(
         clients=args.clients,
         operations=args.operations,
@@ -310,6 +317,7 @@ def cmd_chaos(args) -> int:
         workload=workload,
         max_drop=args.max_drop,
         check_replay=not args.no_replay,
+        server_crash=args.server_crash,
     )
     print(report.table())
     print(report.summary())
@@ -468,6 +476,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-replay",
         action="store_true",
         help="skip the fault-free replay cross-check",
+    )
+    chaos.add_argument(
+        "--server-crash",
+        action="store_true",
+        help="crash the server mid-run and recover it from the "
+        "write-ahead log (css only)",
     )
     _add_workload_arguments(chaos)
     chaos.set_defaults(handler=cmd_chaos)

@@ -197,6 +197,36 @@ class Cluster:
         if behaviors_keep is not None:
             del self.behaviors[client_id][behaviors_keep:]
 
+    def replace_server(self, server: BaseServer) -> None:
+        """Swap in a server recovered from its write-ahead log.
+
+        Unlike :meth:`replace_client` nothing is truncated: the WAL is
+        written before every broadcast, so each behaviour entry the old
+        server logged corresponds to a serialised operation the recovered
+        server has replayed — the log and the behaviour record agree.
+        """
+        if server.replica_id != self.server.replica_id:
+            raise ScheduleError(
+                f"recovered server {server.replica_id} cannot replace "
+                f"{self.server.replica_id}"
+            )
+        if sorted(server.clients) != sorted(self.server.clients):
+            raise ScheduleError(
+                "recovered server's client roster differs from the "
+                "running cluster's"
+            )
+        self.server = server
+
+    def queued_payloads_to(self, client_id: ReplicaId) -> Tuple[Any, ...]:
+        """Payloads queued on one server-to-client channel, send order.
+
+        Server crash recovery cross-checks these against the broadcasts
+        rebuilt from the write-ahead log: the queue is the server's
+        volatile send buffer, and the WAL must reproduce it exactly.
+        """
+        self._require_client(client_id)
+        return tuple(m.payload for m in self._to_client[client_id])
+
     def resync_deliver(self, client_id: ReplicaId, payload) -> None:
         """Re-process one lost-and-recovered server message.
 

@@ -16,9 +16,9 @@ comparing the structures these objects build.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Tuple
+from typing import Any, List, Optional, Sequence, Tuple
 
-from repro.common.ids import ReplicaId
+from repro.common.ids import OpId, ReplicaId, SeqGenerator
 from repro.document.list_document import ListDocument
 from repro.errors import ProtocolError
 from repro.jupiter.base import BaseClient, BaseServer, GenerateResult, ReceiveResult
@@ -69,6 +69,31 @@ class CssClient(BaseClient):
     @property
     def pending_count(self) -> int:
         return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore seams (used by repro.jupiter.persistence)
+    # ------------------------------------------------------------------
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next generated operation will carry."""
+        return self._seq.current
+
+    def pending_opids(self) -> Tuple[OpId, ...]:
+        """Own operations awaiting their server echo, in send order."""
+        return tuple(self._pending)
+
+    def restore_session(
+        self, pending: Sequence[OpId], next_seq: int
+    ) -> None:
+        """Reinstall the send-side state a snapshot captured.
+
+        ``pending`` is the echo-await queue and ``next_seq`` the sequence
+        counter position; together with the state-space and the oracle's
+        recorded serials they make a restored client byte-equivalent to
+        the snapshotted one.
+        """
+        self._pending = list(pending)
+        self._seq = SeqGenerator(self.replica_id, start=int(next_seq))
 
     # ------------------------------------------------------------------
     # Local processing (Section 5.2.1 — identical in CSS, see the Remark

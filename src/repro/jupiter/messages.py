@@ -58,13 +58,20 @@ class ServerOperation:
 
 @dataclass(frozen=True)
 class ResyncRequest:
-    """A restarted client asks the server for operations it lost.
+    """A consumer asks the server for the broadcasts it is missing.
 
-    ``delivered`` is the number of server messages the client's restored
-    checkpoint had consumed on its server-to-client channel; every
-    message after that point (up to the server's current serial) must be
-    re-shipped.  Part of the crash-recovery control plane built on the
-    reliable-session layer (:mod:`repro.jupiter.session`).
+    ``delivered`` is the number of server messages the consumer has on
+    record for its server-to-client channel; every message after that
+    point (up to the server's current serial) must be re-shipped.  Two
+    recovery flows use it, both part of the crash-recovery control plane
+    built on the reliable-session layer (:mod:`repro.jupiter.session`):
+
+    * a restarted *client* reports its checkpoint's consumption cursor
+      and the server re-ships from its delivery log;
+    * after a *server* restart, each client reports its live consumption
+      cursor and the recovered server answers from the replayed
+      write-ahead log
+      (:meth:`~repro.jupiter.persistence.ServerWriteAheadLog.broadcasts_for`).
     """
 
     client: ReplicaId

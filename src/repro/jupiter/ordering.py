@@ -17,7 +17,7 @@ the server's total order ``⇒`` on the original operations.  How a replica
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.ids import OpId
 from repro.errors import OrderingError
@@ -29,6 +29,20 @@ class ServerOrderOracle:
     def __init__(self) -> None:
         self._serial_by_opid: Dict[OpId, int] = {}
         self._next_serial = 1
+
+    @property
+    def last_serial(self) -> int:
+        """The highest serial assigned so far (0 before the first)."""
+        return self._next_serial - 1
+
+    def serial_items(self) -> List[Tuple[OpId, int]]:
+        """Every (opid, serial) pair, sorted by serial.
+
+        The public seam snapshots read instead of the internal mapping:
+        sorting makes the emitted order canonical, so the same replica
+        always serialises to byte-identical JSON.
+        """
+        return sorted(self._serial_by_opid.items(), key=lambda item: item[1])
 
     def assign(self, opid: OpId) -> int:
         """Serialise ``opid``: give it the next serial number."""
@@ -74,6 +88,14 @@ class ClientOrderOracle:
     def __init__(self, replica: str) -> None:
         self._replica = replica
         self._serial_by_opid: Dict[OpId, int] = {}
+
+    def serial_items(self) -> List[Tuple[OpId, int]]:
+        """Every (opid, serial) pair learned so far, sorted by serial.
+
+        See :meth:`ServerOrderOracle.serial_items` — the canonical order
+        snapshots serialise.
+        """
+        return sorted(self._serial_by_opid.items(), key=lambda item: item[1])
 
     def record(self, opid: OpId, serial: int) -> None:
         existing = self._serial_by_opid.get(opid)

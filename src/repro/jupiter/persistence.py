@@ -1,4 +1,4 @@
-"""Snapshot / restore for CSS replicas (crash recovery, debugging dumps).
+"""Snapshot / restore and server durability for CSS replicas.
 
 A production collaborative editor checkpoints replica state so a client
 can restart without replaying its whole history.  This module serialises
@@ -6,21 +6,38 @@ every piece of a CSS replica — operations, state-space nodes and ordered
 transitions, the order oracle, the pending queue — to plain JSON-able
 dictionaries and restores them to working replicas.
 
+Snapshots are *canonical*: every collection is emitted in a sorted or
+protocol-defined order (serials by serial number, state keys sorted), so
+the same replica always produces byte-identical JSON — which is what lets
+tests and operators compare snapshots with plain string equality.
+
 Round-trip fidelity is exact: a restored replica produces byte-identical
 behaviour to the original (verified structurally in the tests by
 comparing state-space signatures and resuming runs on the restored
 replica).
+
+The second half of the module is the **server durability subsystem**
+(:class:`ServerWriteAheadLog`): the serialisation authority appends every
+operation it serialises — with its assigned serial and origin — to a
+write-ahead log *before* broadcasting it, periodically compacts the log
+into a full snapshot, and recovers after a crash by restoring the latest
+snapshot and replaying the log suffix through a real
+:class:`~repro.jupiter.css.CssServer`.  Recovery re-checks the paper's
+ordering invariants as it goes: every replayed operation must receive
+exactly the serial the log recorded (dense 1..n, no serial skipped or
+reused), and the rebuilt state-space must match the logged history.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.common.ids import OpId, ReplicaId
 from repro.document.elements import Element
 from repro.document.list_document import ListDocument
 from repro.errors import ProtocolError
 from repro.jupiter.css import CssClient, CssServer
+from repro.jupiter.messages import ClientOperation, ServerOperation
 from repro.jupiter.nary import NaryStateSpace
 from repro.jupiter.state_space import StateNode, Transition
 from repro.ot.operations import OpKind, Operation
@@ -155,17 +172,23 @@ def space_from_obj(obj: Dict[str, Any], oracle) -> NaryStateSpace:
 # Replica snapshots
 # ----------------------------------------------------------------------
 def snapshot_client(client: CssClient) -> Dict[str, Any]:
-    """Serialise a CSS client (space, serial knowledge, pending queue)."""
+    """Serialise a CSS client (space, serial knowledge, pending queue).
+
+    ``serials`` is emitted sorted by serial number (the canonical order of
+    :meth:`~repro.jupiter.ordering.ClientOrderOracle.serial_items`), so
+    snapshotting the same replica twice — or a replica restored from this
+    snapshot — produces byte-identical JSON.
+    """
     return {
         "version": FORMAT_VERSION,
         "replica": client.replica_id,
-        "next_seq": client._seq.current,
+        "next_seq": client.next_seq,
         "space": space_to_obj(client.space),
         "serials": [
             [opid_to_obj(opid), serial]
-            for opid, serial in client.oracle._serial_by_opid.items()
+            for opid, serial in client.oracle.serial_items()
         ],
-        "pending": [opid_to_obj(opid) for opid in client._pending],
+        "pending": [opid_to_obj(opid) for opid in client.pending_opids()],
     }
 
 
@@ -178,9 +201,9 @@ def restore_client(obj: Dict[str, Any]) -> CssClient:
     for opid_obj, serial in obj["serials"]:
         client.oracle.record(opid_from_obj(opid_obj), int(serial))
     client.space = space_from_obj(obj["space"], client.oracle)
-    client._pending = [opid_from_obj(o) for o in obj["pending"]]
-    client._seq = type(client._seq)(
-        client.replica_id, start=int(obj["next_seq"])
+    client.restore_session(
+        pending=[opid_from_obj(o) for o in obj["pending"]],
+        next_seq=int(obj["next_seq"]),
     )
     return client
 
@@ -226,7 +249,11 @@ def restore_checkpoint(obj: Dict[str, Any]) -> CssClient:
 
 
 def snapshot_server(server: CssServer) -> Dict[str, Any]:
-    """Serialise a CSS server (space + full serialisation order)."""
+    """Serialise a CSS server (space + full serialisation order).
+
+    ``serials`` is sorted by serial number (see :func:`snapshot_client`),
+    so the same server always snapshots to byte-identical JSON.
+    """
     return {
         "version": FORMAT_VERSION,
         "replica": server.replica_id,
@@ -234,7 +261,7 @@ def snapshot_server(server: CssServer) -> Dict[str, Any]:
         "space": space_to_obj(server.space),
         "serials": [
             [opid_to_obj(opid), serial]
-            for opid, serial in server.oracle._serial_by_opid.items()
+            for opid, serial in server.oracle.serial_items()
         ],
     }
 
@@ -253,3 +280,242 @@ def restore_server(obj: Dict[str, Any]) -> CssServer:
             )
     server.space = space_from_obj(obj["space"], server.oracle)
     return server
+
+
+# ----------------------------------------------------------------------
+# Server durability: write-ahead log + snapshot compaction + recovery
+# ----------------------------------------------------------------------
+def wal_record_to_obj(
+    serial: int, origin: ReplicaId, operation: Operation
+) -> Dict[str, Any]:
+    """One WAL entry: a serialised operation in server-serial order."""
+    return {
+        "serial": int(serial),
+        "origin": origin,
+        "operation": operation_to_obj(operation),
+    }
+
+
+class ServerWriteAheadLog:
+    """Durability for the serialisation authority.
+
+    The server appends each operation it serialises — original form,
+    origin client, assigned serial — *before* broadcasting it, so a crash
+    can never lose serialised history: everything the server has told the
+    world is on the log.  Periodically the log is *compacted*: a full
+    :func:`snapshot_server` replaces the record prefix it covers, except
+    that records a lagging consumer still needs are retained (the
+    ``retain_after`` low-water mark — the classic "keep the suffix beyond
+    the minimum acknowledged cursor" rule), because the broadcast
+    re-shipment of recovery (:meth:`broadcasts_for`) rebuilds
+    ``ServerOperation`` payloads from records, not from the snapshot.
+
+    Recovery (:meth:`recover`) restores the latest snapshot and replays
+    the record suffix through a real :class:`CssServer` receive path,
+    verifying that every replayed operation is assigned exactly the
+    serial the log recorded — the dense 1..n sequence every proof in the
+    paper leans on resumes precisely where the log left off, with no
+    serial skipped or reused.
+
+    The whole structure is JSON-able (:meth:`to_obj` / :meth:`from_obj`);
+    in a deployment each :meth:`append` would be an fsync'd disk write.
+    """
+
+    def __init__(
+        self,
+        replica_id: ReplicaId,
+        clients: Sequence[ReplicaId],
+        snapshot_every: int = 8,
+        initial_text: str = "",
+    ) -> None:
+        if snapshot_every < 1:
+            raise ProtocolError("snapshot_every must be >= 1")
+        self.replica_id = replica_id
+        self.clients = list(clients)
+        self.snapshot_every = snapshot_every
+        self.initial_text = initial_text
+        #: latest compaction snapshot (``None`` until the first compaction)
+        self.snapshot: Optional[Dict[str, Any]] = None
+        #: records after the truncation point, ascending contiguous serials
+        self.records: List[Dict[str, Any]] = []
+        self.appends = 0
+        self.compactions = 0
+        self.records_truncated = 0
+        self._next_serial = 1
+        self._since_snapshot = 0
+
+    # -- write path ----------------------------------------------------
+    @property
+    def last_serial(self) -> int:
+        """The highest serial the log has witnessed (0 when empty)."""
+        return self._next_serial - 1
+
+    def append(
+        self, serial: int, origin: ReplicaId, operation: Operation
+    ) -> None:
+        """Log one serialised operation (call *before* broadcasting it)."""
+        if serial != self._next_serial:
+            raise ProtocolError(
+                f"WAL append out of order: got serial {serial}, "
+                f"expected {self._next_serial}"
+            )
+        self.records.append(wal_record_to_obj(serial, origin, operation))
+        self._next_serial += 1
+        self.appends += 1
+        self._since_snapshot += 1
+
+    def should_compact(self) -> bool:
+        return self._since_snapshot >= self.snapshot_every
+
+    def compact(
+        self, server: CssServer, retain_after: Optional[int] = None
+    ) -> int:
+        """Snapshot ``server`` and truncate the record prefix it covers.
+
+        ``retain_after`` is the low-water mark: records with a serial
+        above it are kept even though the snapshot covers them, because a
+        consumer (a client session cursor or a client-crash checkpoint)
+        may still need their broadcast re-shipped.  Returns the number of
+        records truncated.
+        """
+        self.snapshot = snapshot_server(server)
+        floor = self.last_serial
+        if retain_after is not None:
+            floor = min(floor, int(retain_after))
+        kept = [r for r in self.records if r["serial"] > floor]
+        truncated = len(self.records) - len(kept)
+        self.records = kept
+        self.records_truncated += truncated
+        self.compactions += 1
+        self._since_snapshot = 0
+        return truncated
+
+    # -- recovery ------------------------------------------------------
+    def recover(self) -> CssServer:
+        """Rebuild the server: latest snapshot + replay of the log suffix.
+
+        The suffix replays through the real :meth:`CssServer.receive`
+        path, so recovery exercises serialisation, integration and
+        broadcast construction exactly as live traffic does.  Every
+        replayed operation must be assigned the serial the log recorded.
+        """
+        if self.snapshot is not None:
+            server = restore_server(self.snapshot)
+        else:
+            initial = (
+                ListDocument.from_string(self.initial_text)
+                if self.initial_text
+                else None
+            )
+            server = CssServer(self.replica_id, list(self.clients), initial)
+        for record in self.records:
+            serial = int(record["serial"])
+            if serial <= server.oracle.last_serial:
+                continue  # snapshot already covers this retained record
+            operation = operation_from_obj(record["operation"])
+            server.receive(record["origin"], ClientOperation(operation))
+            assigned = server.oracle.serial_of(operation.opid)
+            if assigned != serial:
+                raise ProtocolError(
+                    f"WAL replay assigned serial {assigned} to "
+                    f"{operation.opid} but the log recorded {serial}; "
+                    "the recovered order diverges from the logged one"
+                )
+        if server.oracle.last_serial != self.last_serial:
+            raise ProtocolError(
+                f"WAL recovery stopped at serial "
+                f"{server.oracle.last_serial} but the log reaches "
+                f"{self.last_serial}"
+            )
+        return server
+
+    def broadcasts_for(
+        self, server: CssServer, delivered: int
+    ) -> List[ServerOperation]:
+        """Rebuild the broadcasts a consumer with cursor ``delivered`` missed.
+
+        Answers a :class:`~repro.jupiter.messages.ResyncRequest` from the
+        replayed log: one :class:`ServerOperation` per serial in
+        ``delivered + 1 .. last_serial``, with the prefix sets recomputed
+        from the recovered server's oracle.
+        """
+        total = self.last_serial
+        if not 0 <= delivered <= total:
+            raise ProtocolError(
+                f"resync cursor {delivered} outside the log's 0..{total}"
+            )
+        if delivered == total:
+            return []
+        available = {int(r["serial"]): r for r in self.records}
+        missing = [
+            serial
+            for serial in range(delivered + 1, total + 1)
+            if serial not in available
+        ]
+        if missing:
+            raise ProtocolError(
+                f"WAL compacted past a consumer: serials {missing} were "
+                "truncated but a resync cursor still needs them (the "
+                "retain_after low-water mark was too aggressive)"
+            )
+        return [
+            ServerOperation(
+                operation=operation_from_obj(available[serial]["operation"]),
+                origin=available[serial]["origin"],
+                serial=serial,
+                prefix=server.oracle.serialized_before(serial),
+            )
+            for serial in range(delivered + 1, total + 1)
+        ]
+
+    def origin_counts(self) -> Dict[ReplicaId, int]:
+        """Serialised operations per origin client (snapshot + suffix).
+
+        This is exactly the per-channel consumption count the server's
+        session receivers held before the crash: origin ``c`` had
+        ``origin_counts()[c]`` frames consumed from its channel, so the
+        recovered receiver resumes expecting frame ``count + 1``.
+        """
+        counts: Dict[ReplicaId, int] = {}
+        seen: set = set()
+        if self.snapshot is not None:
+            for opid_obj, _serial in self.snapshot["serials"]:
+                opid = opid_from_obj(opid_obj)
+                seen.add(opid)
+                counts[opid.replica] = counts.get(opid.replica, 0) + 1
+        for record in self.records:
+            opid = opid_from_obj(record["operation"]["opid"])
+            if opid in seen:
+                continue  # retained record the snapshot also covers
+            counts[record["origin"]] = counts.get(record["origin"], 0) + 1
+        return counts
+
+    # -- codec ---------------------------------------------------------
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "version": FORMAT_VERSION,
+            "replica": self.replica_id,
+            "clients": list(self.clients),
+            "snapshot_every": self.snapshot_every,
+            "initial_text": self.initial_text,
+            "snapshot": self.snapshot,
+            "records": [dict(r) for r in self.records],
+            "next_serial": self._next_serial,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, Any]) -> "ServerWriteAheadLog":
+        if obj.get("version") != FORMAT_VERSION:
+            raise ProtocolError(
+                f"unsupported WAL version {obj.get('version')!r}"
+            )
+        wal = cls(
+            str(obj["replica"]),
+            [str(c) for c in obj["clients"]],
+            snapshot_every=int(obj["snapshot_every"]),
+            initial_text=str(obj.get("initial_text", "")),
+        )
+        wal.snapshot = obj["snapshot"]
+        wal.records = [dict(r) for r in obj["records"]]
+        wal._next_serial = int(obj["next_serial"])
+        return wal

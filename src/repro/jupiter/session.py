@@ -135,6 +135,27 @@ class SessionReceiver:
         """Forget parked out-of-order frames (lost volatile state)."""
         self.buffer.clear()
 
+    def fast_forward(self, consumed: int) -> None:
+        """Resume a fresh receiver as if ``consumed`` frames were released.
+
+        Server crash recovery rebuilds the server's receiver for each
+        client channel from the write-ahead log: the log knows how many
+        operations each origin had serialised, which is exactly how many
+        frames that channel had consumed.  The reorder buffer stays empty
+        — parked frames died with the process and the peers' senders
+        still hold them unacknowledged, so retransmission re-delivers.
+        """
+        if consumed < 0:
+            raise ProtocolError(
+                f"{self.channel}: cannot fast-forward to {consumed} consumed"
+            )
+        if self.buffer:
+            raise ProtocolError(
+                f"{self.channel}: fast_forward on a receiver with parked "
+                "frames; it is a recovery primitive for fresh receivers"
+            )
+        self.expected = consumed + 1
+
 
 @dataclass
 class RetransmitPolicy:

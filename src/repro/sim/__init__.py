@@ -24,6 +24,7 @@ from repro.sim.faults import (
     CrashSpec,
     FaultPlan,
     FaultStats,
+    ServerCrashSpec,
 )
 from repro.sim.network import (
     FifoChannelTimer,
@@ -44,6 +45,7 @@ __all__ = [
     "CrashSpec",
     "FaultPlan",
     "FaultStats",
+    "ServerCrashSpec",
     "FifoChannelTimer",
     "FixedLatency",
     "LatencyModel",

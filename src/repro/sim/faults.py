@@ -9,6 +9,9 @@ that crash and restart.  This module supplies the adversary:
 * :class:`ChannelFaults` — per-directed-channel drop / duplicate /
   extra-delay probabilities;
 * :class:`CrashSpec` — a crash/restore window for one client;
+* :class:`ServerCrashSpec` — a crash/restore window for the *server*,
+  the serialisation authority itself; recovery replays the write-ahead
+  log of :class:`~repro.jupiter.persistence.ServerWriteAheadLog`;
 * :class:`FaultPlan` — a seeded, deterministic composition of the above.
   Every random decision is drawn from one dedicated RNG in event order,
   so the same plan replayed against the same workload produces the same
@@ -96,6 +99,30 @@ class CrashSpec:
 
 
 @dataclass(frozen=True)
+class ServerCrashSpec:
+    """One crash/restore window for the server.
+
+    At ``at`` the server loses all volatile state — its state-space, its
+    order oracle, its session endpoints, and every frame or ack it had in
+    flight; at ``restore_at`` it recovers from the write-ahead log (latest
+    snapshot + replayed suffix), re-enters under a new epoch, and answers
+    each client's resync request from the replayed log.
+    """
+
+    at: float
+    restore_at: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise SimulationError(f"server crash time {self.at} is negative")
+        if self.restore_at <= self.at:
+            raise SimulationError(
+                f"server restore time {self.restore_at} not after crash "
+                f"at {self.at}"
+            )
+
+
+@dataclass(frozen=True)
 class FaultDecision:
     """Fate of one physical transmission: the extra delays of every copy
     that survives (empty means the transmission was dropped entirely)."""
@@ -120,7 +147,9 @@ class FaultPlan:
         default: Optional[ChannelFaults] = None,
         channels: Optional[Dict[Channel, ChannelFaults]] = None,
         crashes: Sequence[CrashSpec] = (),
+        server_crashes: Sequence[ServerCrashSpec] = (),
         snapshot_every: int = 3,
+        wal: Optional[bool] = None,
     ) -> None:
         if snapshot_every < 1:
             raise SimulationError("snapshot_every must be >= 1")
@@ -128,9 +157,26 @@ class FaultPlan:
         self.default = default or ChannelFaults()
         self.channels = dict(channels or {})
         self.crashes = sorted(crashes, key=lambda c: (c.at, c.client))
+        self.server_crashes = sorted(server_crashes, key=lambda c: c.at)
         self.snapshot_every = snapshot_every
+        #: ``None`` = automatic (the WAL runs exactly when the plan
+        #: contains server crashes); an explicit bool forces it on (to
+        #: measure durability overhead) or off.
+        self.wal = wal
+        if wal is False and self.server_crashes:
+            raise SimulationError(
+                "server crashes require the write-ahead log: recovery "
+                "replays it (drop wal=False or the ServerCrashSpecs)"
+            )
         self._rng = random.Random(seed)
         self._validate_crashes()
+
+    @property
+    def wal_enabled(self) -> bool:
+        """Whether the runner should maintain a server write-ahead log."""
+        if self.wal is not None:
+            return self.wal
+        return bool(self.server_crashes)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -142,11 +188,13 @@ class FaultPlan:
             default=self.default,
             channels=dict(self.channels),
             crashes=list(self.crashes),
+            server_crashes=list(self.server_crashes),
             snapshot_every=self.snapshot_every,
+            wal=self.wal,
         )
 
     def without_crashes(self) -> "FaultPlan":
-        """The same network faults, but no client ever crashes.
+        """The same network faults, but no replica ever crashes.
 
         Crash recovery restores from :mod:`repro.jupiter.persistence`
         snapshots, which exist for the CSS protocol only; protocols
@@ -157,7 +205,9 @@ class FaultPlan:
             default=self.default,
             channels=dict(self.channels),
             crashes=(),
+            server_crashes=(),
             snapshot_every=self.snapshot_every,
+            wal=self.wal,
         )
 
     @classmethod
@@ -168,11 +218,16 @@ class FaultPlan:
         duration_hint: float = 10.0,
         max_drop: float = 0.3,
         crashes: bool = True,
+        server_crash: bool = False,
     ) -> "FaultPlan":
         """Draw a random plan: lossy channels plus >= 1 crash/restore.
 
         Deterministic per ``seed``; the chaos property harness samples one
         plan per seed and the ``repro chaos`` CLI sweeps a seed range.
+        With ``server_crash`` the plan additionally crashes the server
+        once; client restores that would land inside the server's outage
+        window are pushed past it (a client cannot resync from a dead
+        server), keeping every sampled plan valid.
         """
         rng = random.Random(seed)
         default = ChannelFaults(
@@ -194,10 +249,27 @@ class FaultPlan:
                         restore_at=at + rng.uniform(0.5, 3.0),
                     )
                 )
+        server_list: List[ServerCrashSpec] = []
+        if server_crash:
+            at = rng.uniform(0.3, max(0.6, 0.7 * duration_hint))
+            window = ServerCrashSpec(
+                at=at, restore_at=at + rng.uniform(0.4, 2.0)
+            )
+            server_list.append(window)
+            crash_list = [
+                replace(
+                    crash,
+                    restore_at=window.restore_at + rng.uniform(0.1, 1.0),
+                )
+                if window.at <= crash.restore_at <= window.restore_at
+                else crash
+                for crash in crash_list
+            ]
         return cls(
             seed=seed,
             default=default,
             crashes=crash_list,
+            server_crashes=server_list,
             snapshot_every=rng.randint(1, 4),
         )
 
@@ -206,20 +278,30 @@ class FaultPlan:
 
         When a chaos case fails, re-running these (same seed, fewer fault
         dimensions) pins down which ingredient breaks: first without
-        duplication/delay, then without drops, then without crashes.
+        duplication/delay, then without drops, then (when present)
+        without the server crash, then without any crashes.
         """
         yield FaultPlan(
             seed=self.seed,
             default=replace(self.default, duplicate=0.0, delay=0.0),
             crashes=list(self.crashes),
+            server_crashes=list(self.server_crashes),
             snapshot_every=self.snapshot_every,
         )
         yield FaultPlan(
             seed=self.seed,
             default=replace(self.default, drop=0.0),
             crashes=list(self.crashes),
+            server_crashes=list(self.server_crashes),
             snapshot_every=self.snapshot_every,
         )
+        if self.server_crashes:
+            yield FaultPlan(
+                seed=self.seed,
+                default=self.default,
+                crashes=list(self.crashes),
+                snapshot_every=self.snapshot_every,
+            )
         yield self.without_crashes()
         yield FaultPlan(seed=self.seed)
 
@@ -272,6 +354,21 @@ class FaultPlan:
                         f"overlapping crash windows for {client}: "
                         f"{earlier} and {later}"
                     )
+        for earlier, later in zip(self.server_crashes, self.server_crashes[1:]):
+            if later.at < earlier.restore_at:
+                raise SimulationError(
+                    f"overlapping server crash windows: "
+                    f"{earlier} and {later}"
+                )
+        for window in self.server_crashes:
+            for crash in self.crashes:
+                if window.at <= crash.restore_at <= window.restore_at:
+                    raise SimulationError(
+                        f"client {crash.client} restores at "
+                        f"{crash.restore_at} while the server is down "
+                        f"({window}); recovery needs the server to answer "
+                        "its resync request"
+                    )
 
 
 @dataclass
@@ -283,13 +380,19 @@ class FaultStats:
     session layer's receiver-side work; ``retransmissions`` counts
     timeout-driven resends; the crash counters describe the recovery
     path (``resynced_ops`` = operations re-delivered from the server's
-    serial index after a restore).
+    serial index after a restore).  The ``server_*`` and ``wal_*``
+    counters describe the server durability subsystem:
+    ``frames_lost_in_flight`` are frames/acks the crashing server had on
+    the wire (they die with its epoch), ``server_resynced_ops`` are
+    broadcasts rebuilt from the replayed write-ahead log, and the
+    ``wal_*`` counters are the log's append/compaction work.
     """
 
     frames_sent: int = 0
     frames_dropped: int = 0
     frames_duplicated: int = 0
     frames_lost_to_crash: int = 0
+    frames_lost_in_flight: int = 0
     acks_sent: int = 0
     acks_dropped: int = 0
     retransmissions: int = 0
@@ -300,6 +403,12 @@ class FaultStats:
     checkpoints: int = 0
     resynced_ops: int = 0
     deferred_generations: int = 0
+    server_crashes: int = 0
+    server_restores: int = 0
+    server_resynced_ops: int = 0
+    wal_appends: int = 0
+    wal_compactions: int = 0
+    wal_records_truncated: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -312,5 +421,9 @@ class FaultStats:
             f"retransmissions={self.retransmissions} "
             f"dup-suppressed={self.duplicates_suppressed} "
             f"reorder-buffered={self.out_of_order_buffered}; "
-            f"crashes={self.crashes} resynced-ops={self.resynced_ops}"
+            f"crashes={self.crashes} resynced-ops={self.resynced_ops}; "
+            f"server-crashes={self.server_crashes} "
+            f"server-resynced={self.server_resynced_ops} "
+            f"wal-appends={self.wal_appends} "
+            f"wal-compactions={self.wal_compactions}"
         )

@@ -14,6 +14,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.errors import SimulationError
 from repro.sim.faults import FaultPlan
 from repro.sim.network import FixedLatency, UniformLatency
 from repro.sim.runner import SimulationRunner, replay
@@ -167,16 +168,18 @@ class ChaosCase:
     duplicates_suppressed: int
     resynced_ops: int
     duration: float
+    server_crashes: int = 0
+    wal_appends: int = 0
 
     def row(self) -> str:
         return (
             f"{self.seed:>6} {self.drop:>5.2f} {self.duplicate:>4.2f} "
-            f"{self.delay:>5.2f} {self.crashes:>7} "
+            f"{self.delay:>5.2f} {self.crashes:>7} {self.server_crashes:>6} "
             f"{str(self.converged):<10} "
             f"{'-' if self.replay_ok is None else str(self.replay_ok):<7} "
             f"{self.retransmissions:>7} {self.frames_dropped:>8} "
             f"{self.duplicates_suppressed:>7} {self.resynced_ops:>7} "
-            f"{self.duration:>9.2f}"
+            f"{self.wal_appends:>7} {self.duration:>9.2f}"
         )
 
 
@@ -190,8 +193,9 @@ class ChaosReport:
 
     HEADER = (
         f"{'seed':>6} {'drop':>5} {'dup':>4} {'delay':>5} {'crashes':>7} "
-        f"{'converged':<10} {'replay':<7} {'retrans':>7} {'dropped':>8} "
-        f"{'dedup':>7} {'resync':>7} {'duration':>9}"
+        f"{'scrash':>6} {'converged':<10} {'replay':<7} {'retrans':>7} "
+        f"{'dropped':>8} {'dedup':>7} {'resync':>7} {'wal':>7} "
+        f"{'duration':>9}"
     )
 
     @property
@@ -220,17 +224,26 @@ def chaos_sweep(
     workload: Optional[WorkloadConfig] = None,
     max_drop: float = 0.3,
     check_replay: bool = True,
+    server_crash: bool = False,
 ) -> ChaosReport:
     """Run ``plans`` sampled fault plans against one protocol.
 
     Each plan draws lossy-channel probabilities plus (for CSS, the
-    protocol with snapshot-based recovery) at least one crash/restore.
-    Every run must reach quiescence and converge; with ``check_replay``
-    the recorded exactly-once schedule is additionally replayed on a
-    fault-free cluster whose per-replica behaviours must match — for a
-    crashed client that is precisely the "recovery behaves like an
-    uncrashed replica" guarantee.
+    protocol with snapshot-based recovery) at least one crash/restore;
+    with ``server_crash`` every plan additionally crashes and recovers
+    the *server* from its write-ahead log.  Every run must reach
+    quiescence and converge; with ``check_replay`` the recorded
+    exactly-once schedule is additionally replayed on a fault-free
+    cluster whose per-replica behaviours must match — for a crashed
+    client that is precisely the "recovery behaves like an uncrashed
+    replica" guarantee.  After a server crash the sweep also checks that
+    the recovered serialisation order is the dense sequence ``1..n``.
     """
+    if server_crash and protocol != "css":
+        raise SimulationError(
+            "--server-crash requires the css protocol: server recovery "
+            "replays the write-ahead log through a CssServer"
+        )
     base = workload or WorkloadConfig(clients=3, operations=18)
     report = ChaosReport(protocol=protocol)
     for index in range(plans):
@@ -252,11 +265,13 @@ def chaos_sweep(
             duration_hint=max(duration_hint, 1.0),
             max_drop=max_drop,
             crashes=protocol == "css",
+            server_crash=server_crash,
         )
         latency = UniformLatency(0.01, 0.3, seed=case_seed)
         label = (
             f"plan seed={case_seed} drop={plan.default.drop:.2f} "
-            f"crashes={len(plan.crashes)}"
+            f"crashes={len(plan.crashes)} "
+            f"server-crashes={len(plan.server_crashes)}"
         )
         try:
             result = SimulationRunner(
@@ -287,6 +302,8 @@ def chaos_sweep(
                 duplicates_suppressed=stats.duplicates_suppressed,
                 resynced_ops=stats.resynced_ops,
                 duration=result.duration,
+                server_crashes=stats.server_crashes,
+                wal_appends=stats.wal_appends,
             )
         )
         if not result.converged:
@@ -295,4 +312,11 @@ def chaos_sweep(
             report.failures.append(
                 f"{label}: behaviours differ from fault-free replay"
             )
+        if plan.server_crashes:
+            oracle = result.cluster.server.oracle
+            serials = [serial for _opid, serial in oracle.serial_items()]
+            if serials != list(range(1, len(serials) + 1)):
+                report.failures.append(
+                    f"{label}: recovered serials not dense 1..n: {serials}"
+                )
     return report

@@ -15,15 +15,23 @@ Two network regimes share the loop's skeleton:
   never imported, so replay determinism of existing experiments is
   untouched.
 * **Faulty** (``faults=FaultPlan(...)``): frames cross a lossy network
-  that drops, duplicates and delays them, and clients may crash and
+  that drops, duplicates and delays them, and replicas may crash and
   restart.  A reliable-session layer (:mod:`repro.jupiter.session`) with
   per-channel sequence numbers, cumulative acks and backoff-driven
   retransmission rebuilds exactly-once FIFO delivery for the protocol
   machines, and crashed CSS clients recover from
   :mod:`repro.jupiter.persistence` checkpoints plus a serial-indexed
-  resync.  The recorded :class:`Schedule` contains each protocol-level
-  step exactly once, so it replays on a fault-free cluster — which is how
-  the chaos harness checks Theorem 7.1 under faults.
+  resync.  The *server* itself may crash too: it appends every operation
+  it serialises to a write-ahead log before broadcasting
+  (:class:`~repro.jupiter.persistence.ServerWriteAheadLog`), and on
+  restore it replays snapshot + log suffix, re-enters under a new epoch
+  (its in-flight frames and acks died with the old incarnation), rebuilds
+  its session endpoints from the log, and answers each client's
+  :class:`~repro.jupiter.messages.ResyncRequest` from the replayed
+  records — resuming serial assignment exactly where the log left off.
+  The recorded :class:`Schedule` contains each protocol-level step
+  exactly once, so it replays on a fault-free cluster — which is how the
+  chaos harness checks Theorem 7.1 under faults.
 """
 
 from __future__ import annotations
@@ -260,11 +268,26 @@ class _FaultyRun:
         self.released: Dict[ReplicaId, List[Any]] = {
             name: [] for name in self.clients
         }
-        #: sender epoch per client: bumped on restore so retransmission
-        #: chains from a previous incarnation die off.
-        self.epochs: Dict[ReplicaId, int] = {name: 0 for name in self.clients}
+        #: sender epoch per replica.  A client's epoch bumps on restore so
+        #: retransmission chains from a previous incarnation die off; the
+        #: *server's* epoch bumps on crash, which additionally kills its
+        #: in-flight frames and acks (they reference a dead incarnation —
+        #: see :meth:`_on_frame`).
+        self.epochs: Dict[ReplicaId, int] = {
+            name: 0 for name in [*self.clients, SERVER_ID]
+        }
         self.crashed: set = set()
         self.checkpoints: Dict[ReplicaId, dict] = {}
+        self.wal = None
+        if self.plan.wal_enabled:
+            from repro.jupiter.persistence import ServerWriteAheadLog
+
+            self.wal = ServerWriteAheadLog(
+                SERVER_ID,
+                self.clients,
+                snapshot_every=self.plan.snapshot_every,
+                initial_text=runner.initial_text,
+            )
         self.applies_since: Dict[ReplicaId, int] = {}
         self.deferred_gens: Dict[ReplicaId, int] = {
             name: 0 for name in self.clients
@@ -282,6 +305,12 @@ class _FaultyRun:
                 "crash/restore requires the css protocol: recovery restores "
                 "repro.jupiter.persistence snapshots, which exist for CSS "
                 "replicas only (use FaultPlan.without_crashes() otherwise)"
+            )
+        if self.plan.wal_enabled and self.runner.protocol != "css":
+            raise SimulationError(
+                "the server write-ahead log (and therefore server "
+                "crash/restore) requires the css protocol: recovery "
+                "replays the log through a CssServer"
             )
         roster = set(self.clients)
         for crash in self.plan.crashes:
@@ -302,6 +331,10 @@ class _FaultyRun:
             self._push(crash.at, ("crash", crash.client))
             self._push(crash.restore_at, ("restore", crash.client))
             self.pending_lifecycle += 2
+        for crash in self.plan.server_crashes:
+            self._push(crash.at, ("scrash",))
+            self._push(crash.restore_at, ("srestore",))
+            self.pending_lifecycle += 2
         for client in self.plan.crashed_clients():
             self._checkpoint(client)
 
@@ -312,15 +345,19 @@ class _FaultyRun:
             if kind == "gen":
                 self._on_generate(event[1], generator, now)
             elif kind == "frame":
-                self._on_frame(event[1], event[2], event[3], now)
+                self._on_frame(event[1], event[2], event[3], event[4], now)
             elif kind == "ack":
-                self._on_ack(event[1], event[2], event[3], now)
+                self._on_ack(event[1], event[2], event[3], event[4], now)
             elif kind == "rto":
                 self._on_rto(event[1], event[2], event[3], event[4], event[5], now)
             elif kind == "crash":
                 self._on_crash(event[1], now)
             elif kind == "restore":
                 self._on_restore(event[1], now)
+            elif kind == "scrash":
+                self._on_server_crash(now)
+            elif kind == "srestore":
+                self._on_server_restore(now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown simulation event {event!r}")
             if self._quiescent():
@@ -337,6 +374,11 @@ class _FaultyRun:
             for replica in [*sorted(self.cluster.clients), SERVER_ID]:
                 self.cluster.read(replica)
                 self.steps.append(Read(replica))
+
+        if self.wal is not None:
+            self.stats.wal_appends = self.wal.appends
+            self.stats.wal_compactions = self.wal.compactions
+            self.stats.wal_records_truncated = self.wal.records_truncated
 
         return SimulationResult(
             cluster=self.cluster,
@@ -390,8 +432,20 @@ class _FaultyRun:
             self._checkpoint(client)
 
     def _on_frame(
-        self, sender: ReplicaId, recipient: ReplicaId, seq: int, now: float
+        self,
+        sender: ReplicaId,
+        recipient: ReplicaId,
+        seq: int,
+        sent_epoch: int,
+        now: float,
     ) -> None:
+        if sender == SERVER_ID and sent_epoch != self.epochs[SERVER_ID]:
+            # An in-flight frame from a dead server incarnation: the crash
+            # loses it (ISSUE semantics).  Client-origin frames carry no
+            # such fate — a restored client *resumes* its sender state, so
+            # its old frames are ordinary duplicates, not stale ones.
+            self.stats.frames_lost_in_flight += 1
+            return
         if recipient in self.crashed:
             self.stats.frames_lost_to_crash += 1
             return
@@ -415,8 +469,21 @@ class _FaultyRun:
         before = {
             name: self.cluster.pending_to_client(name) for name in self.clients
         }
-        self.cluster.server_receive(client)
+        message = self.cluster.server_receive(client)
         self.steps.append(ServerReceive(client))
+        if self.wal is not None:
+            # Write-ahead: the serialised operation hits the log before any
+            # broadcast frame hits the wire (the _transmit calls below), so
+            # a crash can never lose an operation the world has seen.
+            self.wal.append(
+                self.cluster.server.oracle.last_serial,
+                client,
+                message.payload.operation,
+            )
+            if self.wal.should_compact():
+                self.wal.compact(
+                    self.cluster.server, retain_after=self._retain_floor()
+                )
         for name in self.clients:
             newly_queued = self.cluster.pending_to_client(name) - before[name]
             for _ in range(newly_queued):
@@ -438,8 +505,18 @@ class _FaultyRun:
                 self._checkpoint(client)
 
     def _on_ack(
-        self, sender: ReplicaId, recipient: ReplicaId, cumulative: int, now: float
+        self,
+        sender: ReplicaId,
+        recipient: ReplicaId,
+        cumulative: int,
+        sent_epoch: int,
+        now: float,
     ) -> None:
+        # ``sender``/``recipient`` name the *data* direction; the ack was
+        # emitted by ``recipient`` and arrives at ``sender``.
+        if recipient == SERVER_ID and sent_epoch != self.epochs[SERVER_ID]:
+            self.stats.frames_lost_in_flight += 1
+            return  # an ack from a dead server incarnation
         if sender in self.crashed:
             self.stats.frames_lost_to_crash += 1
             return
@@ -519,6 +596,101 @@ class _FaultyRun:
         # does not redo this resync.
         self._checkpoint(client)
 
+    def _on_server_crash(self, now: float) -> None:
+        self.pending_lifecycle -= 1
+        self.crashed.add(SERVER_ID)
+        # The server's epoch bumps at *crash* time (a client's bumps at
+        # restore): every frame and ack the dead incarnation still has in
+        # flight is dropped on arrival (_on_frame/_on_ack), and its armed
+        # retransmission timers die (the epoch test in _on_rto).  Client
+        # retransmission timers keep firing into the void — their frames
+        # hit the crash check until the server is back.
+        self.epochs[SERVER_ID] += 1
+        self.stats.server_crashes += 1
+
+    def _on_server_restore(self, now: float) -> None:
+        from repro.jupiter.messages import ResyncRequest
+        from repro.jupiter.session import SessionReceiver, SessionSender
+
+        self.pending_lifecycle -= 1
+        self.progress_time = now
+        crashed_server = self.cluster.server
+        recovered = self.wal.recover()
+        # The simulator can do what a deployment cannot: compare against
+        # the crashed process's in-memory state.  The rebuilt state-space
+        # must be structurally identical.
+        if recovered.space.signature() != crashed_server.space.signature():
+            raise SimulationError(
+                "WAL recovery rebuilt a different state-space than the "
+                "crashed server held; the log lost or reordered history"
+            )
+        serials = [serial for _opid, serial in recovered.oracle.serial_items()]
+        if serials != list(range(1, self.wal.last_serial + 1)):
+            raise SimulationError(
+                "recovered server's serials are not the dense sequence "
+                f"1..{self.wal.last_serial}: {serials}"
+            )
+        self.cluster.replace_server(recovered)
+        self.crashed.discard(SERVER_ID)
+        self.stats.server_restores += 1
+
+        counts = self.wal.origin_counts()
+        total = self.wal.last_serial
+        for client in self.clients:
+            # Client-to-server half: the receiver state was volatile, but
+            # the log knows how many frames each origin had consumed (one
+            # serialised operation each).  A fresh receiver fast-forwards
+            # to that cursor; parked out-of-order frames died with the
+            # process and the clients' senders retransmit them.
+            receiver = SessionReceiver((client, SERVER_ID))
+            receiver.fast_forward(counts.get(client, 0))
+            self.receivers[(client, SERVER_ID)] = receiver
+            # Control plane: the client reports its live consumption
+            # cursor and the server answers from the replayed log.  The
+            # rebuilt broadcasts must reproduce the volatile send buffer
+            # exactly — same payloads, same serial order — so delivery
+            # resumes from the original (identity-carrying) messages.
+            request = ResyncRequest(
+                client=client, delivered=len(self.released[client])
+            )
+            payloads = self.wal.broadcasts_for(recovered, request.delivered)
+            queued = self.cluster.queued_payloads_to(client)
+            if tuple(payloads) != queued:
+                raise SimulationError(
+                    f"WAL resync for {client} rebuilt {len(payloads)} "
+                    f"broadcasts but the send buffer holds {len(queued)}; "
+                    "the log diverges from what the server had shipped"
+                )
+            self.stats.server_resynced_ops += len(payloads)
+            # Server-to-client half: frame seq equals serial on this
+            # channel, so the sender resumes numbering at total + 1 with
+            # everything past the client's cursor unacknowledged — and
+            # retransmits it under the new epoch.
+            sender = SessionSender((SERVER_ID, client))
+            sender.restore({"next_seq": total + 1, "acked": request.delivered})
+            self.senders[(SERVER_ID, client)] = sender
+            for seq in sender.unacked():
+                self.stats.retransmissions += 1
+                self._transmit((SERVER_ID, client), seq, now, attempt=1)
+
+        # The recovered state is durable: compact so a later crash replays
+        # from this snapshot instead of the whole history.
+        self.wal.compact(recovered, retain_after=self._retain_floor())
+
+    def _retain_floor(self) -> int:
+        """Low-water mark for WAL compaction.
+
+        :meth:`ServerWriteAheadLog.broadcasts_for` rebuilds re-shipments
+        from *records*, so compaction must keep every record some client
+        may still need: anything past the minimum consumption cursor.
+        The cursors only grow, so records at or below the floor can never
+        be requested by a future recovery.
+        """
+        return min(
+            [self.wal.last_serial]
+            + [len(self.released[client]) for client in self.clients]
+        )
+
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
@@ -535,10 +707,10 @@ class _FaultyRun:
         self.stats.frames_sent += 1
         self.stats.frames_dropped += decision.dropped
         self.stats.frames_duplicated += decision.duplicated
+        epoch = self.epochs.get(sender, 0)
         for extra in decision.extra_delays:
             arrival = now + self.latency.delay(sender, recipient, now) + extra
-            self._push(arrival, ("frame", sender, recipient, seq))
-        epoch = self.epochs.get(sender, 0)
+            self._push(arrival, ("frame", sender, recipient, seq, epoch))
         deadline = now + self.policy.timeout(attempt)
         self._push(deadline, ("rto", sender, recipient, seq, attempt, epoch))
 
@@ -553,12 +725,13 @@ class _FaultyRun:
         decision = self.plan.decide((recipient, sender), now)
         self.stats.acks_sent += 1
         self.stats.acks_dropped += decision.dropped
+        epoch = self.epochs.get(recipient, 0)  # the ack's actual emitter
         for extra in decision.extra_delays:
             arrival = (
                 self.ack_timer.delivery_time(self.latency, recipient, sender, now)
                 + extra
             )
-            self._push(arrival, ("ack", sender, recipient, cumulative))
+            self._push(arrival, ("ack", sender, recipient, cumulative, epoch))
 
     # ------------------------------------------------------------------
     # Checkpoints

@@ -1,4 +1,4 @@
-"""Tests for CSS replica snapshot/restore."""
+"""Tests for CSS replica snapshot/restore and the server write-ahead log."""
 
 import json
 
@@ -9,16 +9,24 @@ from repro.errors import ProtocolError
 from repro.jupiter import make_cluster
 from repro.jupiter.cluster import Cluster
 from repro.jupiter.persistence import (
+    ServerWriteAheadLog,
+    checkpoint_client,
+    element_from_obj,
+    element_to_obj,
     operation_from_obj,
     operation_to_obj,
+    opid_from_obj,
+    opid_to_obj,
+    restore_checkpoint,
     restore_client,
     restore_server,
     snapshot_client,
     snapshot_server,
     space_from_obj,
     space_to_obj,
+    wal_record_to_obj,
 )
-from repro.model import ScheduleBuilder
+from repro.model import OpSpec, ScheduleBuilder
 from repro.ot import delete, insert
 
 
@@ -137,3 +145,229 @@ class TestServerSnapshot:
         obj["serials"][0][1] = 42
         with pytest.raises(ProtocolError):
             restore_server(obj)
+
+
+class TestSnapshotDeterminism:
+    """Snapshots are canonical: same state, byte-identical JSON."""
+
+    def test_client_snapshot_twice_is_byte_identical(self):
+        client = mid_run_cluster().clients["c1"]
+        assert json.dumps(snapshot_client(client)) == json.dumps(
+            snapshot_client(client)
+        )
+
+    def test_client_snapshot_survives_restore_byte_identically(self):
+        """restore -> snapshot reproduces the exact bytes: the canonical
+        (serial-sorted) ordering does not depend on insertion history."""
+        snap = snapshot_client(mid_run_cluster().clients["c1"])
+        again = snapshot_client(restore_client(snap))
+        assert json.dumps(snap) == json.dumps(again)
+
+    def test_server_snapshot_survives_restore_byte_identically(self):
+        snap = snapshot_server(mid_run_cluster().server)
+        again = snapshot_server(restore_server(snap))
+        assert json.dumps(snap) == json.dumps(again)
+
+    def test_serials_emitted_sorted_by_serial(self):
+        cluster = mid_run_cluster()
+        for snap in (
+            snapshot_client(cluster.clients["c1"]),
+            snapshot_server(cluster.server),
+        ):
+            serials = [serial for _opid, serial in snap["serials"]]
+            assert serials == sorted(serials)
+
+
+class TestJsonRoundTrips:
+    """Every codec in the module survives dumps -> loads -> decode."""
+
+    def test_opid(self):
+        opid = OpId("c7", 42)
+        assert opid_from_obj(json.loads(json.dumps(opid_to_obj(opid)))) == opid
+
+    def test_element(self):
+        element = insert(OpId("c1", 1), "x", 0).element
+        decoded = element_from_obj(
+            json.loads(json.dumps(element_to_obj(element)))
+        )
+        assert decoded == element
+
+    def test_checkpoint(self):
+        cluster = mid_run_cluster()
+        checkpoint = checkpoint_client(
+            cluster.clients["c1"],
+            session={"next_seq": 3, "acked": 1},
+            behaviors_len=4,
+            delivered=2,
+        )
+        decoded = json.loads(json.dumps(checkpoint))
+        assert decoded["session"] == {"next_seq": 3, "acked": 1}
+        assert decoded["behaviors_len"] == 4
+        assert decoded["delivered"] == 2
+        restored = restore_checkpoint(decoded)
+        assert restored.space.same_structure(cluster.clients["c1"].space)
+
+    def test_checkpoint_version_check(self):
+        checkpoint = checkpoint_client(mid_run_cluster().clients["c1"])
+        checkpoint["version"] = 99
+        with pytest.raises(ProtocolError):
+            restore_checkpoint(checkpoint)
+
+    def test_wal_record(self):
+        op = insert(OpId("c1", 1), "x", 3, context={OpId("c2", 1)})
+        record = json.loads(json.dumps(wal_record_to_obj(5, "c1", op)))
+        assert record["serial"] == 5
+        assert record["origin"] == "c1"
+        assert operation_from_obj(record["operation"]) == op
+
+    def test_wal(self):
+        cluster, wal = driven_wal(snapshot_every=2)
+        wal.compact(cluster.server)
+        decoded = ServerWriteAheadLog.from_obj(
+            json.loads(json.dumps(wal.to_obj()))
+        )
+        assert decoded.last_serial == wal.last_serial
+        assert decoded.records == wal.records
+        assert decoded.recover().space.signature() == (
+            cluster.server.space.signature()
+        )
+
+
+def driven_wal(ops_per_client=3, snapshot_every=100):
+    """A CSS cluster whose server traffic is mirrored into a WAL, the way
+    the fault-injected runner does it: append after each serialisation,
+    before the broadcast would hit the wire."""
+    cluster = make_cluster("css", ["c1", "c2"])
+    wal = ServerWriteAheadLog(
+        cluster.server.replica_id, ["c1", "c2"], snapshot_every=snapshot_every
+    )
+    letters = iter("abcdefghijkl")
+    for _ in range(ops_per_client):
+        for client in ("c1", "c2"):
+            cluster.generate(client, OpSpec("ins", 0, next(letters)))
+            message = cluster.server_receive(client)
+            wal.append(
+                cluster.server.oracle.last_serial,
+                client,
+                message.payload.operation,
+            )
+    return cluster, wal
+
+
+class TestWriteAheadLog:
+    def test_snapshot_every_validated(self):
+        with pytest.raises(ProtocolError):
+            ServerWriteAheadLog("s", ["c1"], snapshot_every=0)
+
+    def test_append_enforces_dense_serial_order(self):
+        cluster, wal = driven_wal(ops_per_client=1)
+        op = insert(OpId("c9", 1), "z", 0)
+        with pytest.raises(ProtocolError):
+            wal.append(wal.last_serial + 2, "c1", op)  # skips a serial
+        with pytest.raises(ProtocolError):
+            wal.append(wal.last_serial, "c1", op)  # reuses a serial
+
+    def test_cold_recovery_replays_every_record(self):
+        cluster, wal = driven_wal()
+        recovered = wal.recover()
+        assert recovered.space.signature() == cluster.server.space.signature()
+        assert recovered.oracle.last_serial == wal.last_serial
+        assert recovered.document.as_string() == (
+            cluster.server.document.as_string()
+        )
+
+    def test_recovered_server_resumes_serial_assignment(self):
+        cluster, wal = driven_wal()
+        recovered = wal.recover()
+        assert recovered.oracle.assign(OpId("c9", 1)) == wal.last_serial + 1
+
+    def test_should_compact_counts_appends(self):
+        cluster, wal = driven_wal(ops_per_client=2, snapshot_every=3)
+        assert wal.should_compact()  # 4 appends >= 3
+        wal.compact(cluster.server)
+        assert not wal.should_compact()
+
+    def test_compaction_truncates_and_recovery_still_matches(self):
+        cluster, wal = driven_wal(snapshot_every=2)
+        truncated = wal.compact(cluster.server)
+        assert truncated == 6
+        assert wal.records == []
+        assert wal.records_truncated == 6
+        recovered = wal.recover()
+        assert recovered.space.signature() == cluster.server.space.signature()
+        assert recovered.oracle.last_serial == wal.last_serial
+
+    def test_retain_after_keeps_the_suffix_a_consumer_needs(self):
+        cluster, wal = driven_wal()
+        wal.compact(cluster.server, retain_after=2)
+        assert [r["serial"] for r in wal.records] == [3, 4, 5, 6]
+        # Retained records replay as no-ops (the snapshot covers them)...
+        recovered = wal.recover()
+        assert recovered.space.signature() == cluster.server.space.signature()
+        # ...but still answer a consumer whose cursor is at 2.
+        payloads = wal.broadcasts_for(recovered, delivered=2)
+        assert [p.serial for p in payloads] == [3, 4, 5, 6]
+        assert tuple(payloads) == cluster.queued_payloads_to("c1")[2:]
+
+    def test_compacting_past_a_consumer_is_detected(self):
+        cluster, wal = driven_wal()
+        wal.compact(cluster.server, retain_after=4)
+        recovered = wal.recover()
+        with pytest.raises(ProtocolError):
+            wal.broadcasts_for(recovered, delivered=2)  # needs 3 and 4
+
+    def test_broadcasts_rebuild_the_send_buffer_exactly(self):
+        cluster, wal = driven_wal()
+        recovered = wal.recover()
+        for client in ("c1", "c2"):
+            payloads = wal.broadcasts_for(recovered, delivered=0)
+            assert tuple(payloads) == cluster.queued_payloads_to(client)
+
+    def test_broadcast_cursor_validated(self):
+        _cluster, wal = driven_wal()
+        recovered = wal.recover()
+        with pytest.raises(ProtocolError):
+            wal.broadcasts_for(recovered, delivered=-1)
+        with pytest.raises(ProtocolError):
+            wal.broadcasts_for(recovered, delivered=wal.last_serial + 1)
+
+    def test_origin_counts_across_compaction(self):
+        cluster, wal = driven_wal()
+        before = wal.origin_counts()
+        assert before == {"c1": 3, "c2": 3}
+        # Retained records overlapping the snapshot must not double count.
+        wal.compact(cluster.server, retain_after=3)
+        assert wal.origin_counts() == before
+
+    def test_reordered_log_is_detected_on_recovery(self):
+        _cluster, wal = driven_wal()
+        wal.records[0], wal.records[1] = wal.records[1], wal.records[0]
+        with pytest.raises(ProtocolError):
+            wal.recover()
+
+    def test_version_check(self):
+        _cluster, wal = driven_wal()
+        obj = wal.to_obj()
+        obj["version"] = 99
+        with pytest.raises(ProtocolError):
+            ServerWriteAheadLog.from_obj(obj)
+
+
+class TestRestoreSeams:
+    """The public session seams persistence (and recovery) build on."""
+
+    def test_next_seq_tracks_generations(self):
+        client = mid_run_cluster().clients["c1"]
+        assert client.next_seq == 3  # two operations generated
+
+    def test_pending_opids_names_the_unacknowledged_operation(self):
+        client = mid_run_cluster().clients["c1"]
+        assert client.pending_opids() == (OpId("c1", 2),)
+
+    def test_restore_session_resumes_numbering(self):
+        client = mid_run_cluster().clients["c1"]
+        client.restore_session(pending=[OpId("c1", 2)], next_seq=7)
+        assert client.next_seq == 7
+        assert client.pending_opids() == (OpId("c1", 2),)
+        result = client.generate(OpSpec("ins", 0, "z"))
+        assert result.operation.opid == OpId("c1", 7)

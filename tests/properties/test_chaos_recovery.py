@@ -7,9 +7,16 @@ converge, its recovered clients must behave exactly like uncrashed
 replicas, and the recorded schedule must still satisfy Theorem 7.1 when
 replayed on the other Jupiter protocols.
 
+The second harness raises the bar to the *server*: every plan also
+crashes the serialisation authority mid-run.  Recovery from the
+write-ahead log must leave the same properties intact, plus the paper's
+bedrock ordering invariant — the recovered server's serials are the
+dense sequence ``1..n``, no serial skipped or reused across the crash.
+
 Failures shrink: re-running the failing seed over
 :meth:`FaultPlan.shrunk` variants pins down which fault dimension
-(duplication/delay, drops, crashes) breaks the property.
+(duplication/delay, drops, the server crash, client crashes) breaks the
+property.
 """
 
 import pytest
@@ -28,7 +35,7 @@ PLAN_COUNT = 50
 WORKLOAD = WorkloadConfig(clients=3, operations=10)
 
 
-def _case(seed: int):
+def _case(seed: int, server_crash: bool = False):
     workload = WorkloadConfig(
         clients=WORKLOAD.clients,
         operations=WORKLOAD.operations,
@@ -42,6 +49,7 @@ def _case(seed: int):
         workload.client_names(),
         duration_hint=max(duration_hint, 1.0),
         max_drop=0.3,
+        server_crash=server_crash,
     )
     return workload, plan
 
@@ -63,7 +71,8 @@ def _shrink_trail(workload, plan, latency_seed):
         trail.append(
             f"drop={variant.default.drop:.2f} "
             f"dup={variant.default.duplicate:.2f} "
-            f"crashes={len(variant.crashes)}: {verdict}"
+            f"crashes={len(variant.crashes)} "
+            f"server={len(variant.server_crashes)}: {verdict}"
         )
     return "; ".join(trail)
 
@@ -103,6 +112,56 @@ def test_chaos_case_converges_and_preserves_equivalence(seed):
 
     # Theorem 7.1 survives the faulty transport: the same schedule drives
     # CSCW and classic Jupiter to equivalent behaviour.
+    clusters = {"css": result.cluster}
+    for protocol in ("cscw", "classic"):
+        clusters[protocol] = replay(protocol, result.schedule, clients)
+    report = compare_protocols(result.schedule, clusters)
+    assert report.ok, report.summary()
+
+
+@pytest.mark.parametrize("seed", range(PLAN_COUNT))
+def test_server_crash_case_recovers_and_preserves_equivalence(seed):
+    """>= 50 seeded plans mixing a server crash with client crashes."""
+    workload, plan = _case(seed, server_crash=True)
+    assert plan.server_crashes, "sampled plans must crash the server"
+    assert plan.crashes, "sampled plans must also crash a client"
+    assert plan.wal_enabled
+
+    try:
+        result = SimulationRunner(
+            "css",
+            workload,
+            UniformLatency(0.01, 0.3, seed=seed),
+            faults=plan,
+        ).run()
+    except Exception:
+        pytest.fail(
+            f"seed {seed} crashed; shrink trail: "
+            f"{_shrink_trail(workload, plan, seed)}"
+        )
+
+    # Quiescence and convergence across the server outage.
+    assert result.converged, _shrink_trail(workload, plan, seed)
+    stats = result.fault_stats
+    assert stats.server_crashes == len(plan.server_crashes)
+    assert stats.server_restores == stats.server_crashes
+    assert stats.wal_appends == workload.operations
+    assert result.messages_delivered == workload.operations * workload.clients
+
+    # The bedrock ordering invariant survives recovery: serials are the
+    # dense sequence 1..n, none skipped, none reused.
+    oracle = result.cluster.server.oracle
+    serials = [serial for _opid, serial in oracle.serial_items()]
+    assert serials == list(range(1, workload.operations + 1))
+
+    # The recovered server behaves like an uncrashed one: a fault-free
+    # replay of the recorded schedule reproduces every behaviour log.
+    clients = workload.client_names()
+    twin = replay("css", result.schedule, clients)
+    assert twin.behaviors == result.cluster.behaviors
+    assert twin.documents() == result.documents()
+
+    # Theorem 7.1 still holds for the recorded schedule.
     clusters = {"css": result.cluster}
     for protocol in ("cscw", "classic"):
         clusters[protocol] = replay(protocol, result.schedule, clients)

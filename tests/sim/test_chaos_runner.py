@@ -7,6 +7,7 @@ from repro.sim import (
     ChannelFaults,
     CrashSpec,
     FaultPlan,
+    ServerCrashSpec,
     SimulationResult,
     SimulationRunner,
     UniformLatency,
@@ -149,6 +150,115 @@ class TestCrashRecovery:
             ).run()
 
 
+def assert_dense_serials(server, expected_count):
+    serials = [serial for _opid, serial in server.oracle.serial_items()]
+    assert serials == list(range(1, expected_count + 1))
+
+
+class TestServerCrashRecovery:
+    def test_server_crash_recovers_from_the_wal(self):
+        workload = WorkloadConfig(clients=3, operations=18, seed=5)
+        plan = FaultPlan(
+            seed=2,
+            default=LOSSY,
+            server_crashes=[ServerCrashSpec(at=1.0, restore_at=2.5)],
+            snapshot_every=4,
+        )
+        result = run_css(workload, plan)
+        assert result.converged
+        stats = result.fault_stats
+        assert stats.server_crashes == 1
+        assert stats.server_restores == 1
+        # Every serialised operation was logged before broadcast.
+        assert stats.wal_appends == workload.operations
+        assert stats.wal_compactions > 0
+        # Exactly-once delivery survived the outage.
+        assert result.messages_delivered == (
+            workload.operations * workload.clients
+        )
+        assert_dense_serials(result.cluster.server, workload.operations)
+        twin = replay("css", result.schedule, workload.client_names())
+        assert twin.behaviors == result.cluster.behaviors
+        assert twin.documents() == result.documents()
+
+    def test_in_flight_server_traffic_dies_with_the_epoch(self):
+        """Frames/acks the old incarnation had on the wire are lost; the
+        session layer re-earns delivery through the recovered server."""
+        workload = WorkloadConfig(clients=3, operations=20, seed=9)
+        plan = FaultPlan(
+            seed=6,
+            default=LOSSY,
+            server_crashes=[ServerCrashSpec(at=1.2, restore_at=2.0)],
+        )
+        result = run_css(workload, plan)
+        assert result.converged
+        assert result.fault_stats.frames_lost_in_flight > 0
+
+    def test_mixed_server_and_client_crashes(self):
+        workload = WorkloadConfig(clients=3, operations=24, seed=3)
+        plan = FaultPlan(
+            seed=7,
+            default=LOSSY,
+            crashes=[CrashSpec("c2", at=0.8, restore_at=3.0)],
+            server_crashes=[ServerCrashSpec(at=1.0, restore_at=2.0)],
+            snapshot_every=3,
+        )
+        result = run_css(workload, plan)
+        assert result.converged
+        stats = result.fault_stats
+        assert stats.crashes == 1 and stats.restores == 1
+        assert stats.server_crashes == 1 and stats.server_restores == 1
+        assert_dense_serials(result.cluster.server, workload.operations)
+        twin = replay("css", result.schedule, workload.client_names())
+        assert twin.behaviors == result.cluster.behaviors
+        assert twin.documents() == result.documents()
+
+    def test_wal_consumes_no_randomness(self):
+        """wal=True on a crash-free plan must not perturb the run: the
+        durability write path is pure bookkeeping, so the schedule (and
+        every transport counter) is identical with it on or off."""
+        workload = WorkloadConfig(clients=3, operations=15, seed=4)
+
+        def run(wal):
+            plan = FaultPlan(seed=5, default=LOSSY, wal=wal)
+            return run_css(workload, plan)
+
+        off, on = run(False), run(True)
+        assert on.schedule._steps == off.schedule._steps
+        assert on.duration == off.duration
+        assert on.fault_stats.frames_sent == off.fault_stats.frames_sent
+        assert off.fault_stats.wal_appends == 0
+        assert on.fault_stats.wal_appends == workload.operations
+
+    def test_server_crashes_require_css(self):
+        plan = FaultPlan(
+            server_crashes=[ServerCrashSpec(at=1.0, restore_at=2.0)]
+        )
+        with pytest.raises(SimulationError):
+            SimulationRunner(
+                "cscw", WorkloadConfig(operations=6), faults=plan
+            ).run()
+
+    def test_back_to_back_server_outages(self):
+        workload = WorkloadConfig(clients=2, operations=20, seed=8)
+        plan = FaultPlan(
+            seed=1,
+            default=ChannelFaults(drop=0.1, duplicate=0.1, delay=0.2),
+            server_crashes=[
+                ServerCrashSpec(at=1.0, restore_at=1.8),
+                ServerCrashSpec(at=3.0, restore_at=3.7),
+            ],
+            snapshot_every=2,
+        )
+        result = run_css(workload, plan)
+        assert result.converged
+        assert result.fault_stats.server_crashes == 2
+        assert result.fault_stats.server_restores == 2
+        assert_dense_serials(result.cluster.server, workload.operations)
+        twin = replay("css", result.schedule, workload.client_names())
+        assert twin.behaviors == result.cluster.behaviors
+
+
 class TestChaosSweep:
     def test_sweep_passes_with_replay_check(self):
         report = chaos_sweep(
@@ -172,6 +282,23 @@ class TestChaosSweep:
         )
         assert report.ok, report.summary()
         assert all(case.crashes == 0 for case in report.cases)
+
+    def test_sweep_with_server_crashes(self):
+        report = chaos_sweep(
+            "css",
+            plans=3,
+            seed=40,
+            workload=WorkloadConfig(clients=3, operations=12),
+            server_crash=True,
+        )
+        assert report.ok, report.summary()
+        assert all(case.server_crashes == 1 for case in report.cases)
+        assert all(case.wal_appends == 12 for case in report.cases)
+        assert all(case.converged and case.replay_ok for case in report.cases)
+
+    def test_server_crash_sweep_requires_css(self):
+        with pytest.raises(SimulationError):
+            chaos_sweep("cscw", plans=1, server_crash=True)
 
 
 class TestSimulationResultDefaults:

@@ -9,6 +9,7 @@ from repro.sim.faults import (
     CrashSpec,
     FaultPlan,
     FaultStats,
+    ServerCrashSpec,
 )
 
 
@@ -22,6 +23,13 @@ class TestChannelFaults:
             ChannelFaults(drop=MAX_DROP)  # would never become reliable
         with pytest.raises(SimulationError):
             ChannelFaults(delay_range=(0.5, 0.1))
+
+    def test_drop_ceiling_is_exclusive(self):
+        """MAX_DROP itself and anything above it is refused; just below
+        passes — the boundary a plan generator is most likely to hit."""
+        with pytest.raises(SimulationError):
+            ChannelFaults(drop=MAX_DROP + 0.01)
+        assert ChannelFaults(drop=MAX_DROP - 0.01).drop == MAX_DROP - 0.01
 
     def test_quiet_channel(self):
         assert ChannelFaults().quiet
@@ -50,6 +58,64 @@ class TestCrashSpec:
                 CrashSpec("c2", at=2.0, restore_at=4.0),
             ]
         )
+
+
+class TestServerCrashSpec:
+    def test_restore_must_follow_crash(self):
+        with pytest.raises(SimulationError):
+            ServerCrashSpec(at=2.0, restore_at=2.0)
+        with pytest.raises(SimulationError):
+            ServerCrashSpec(at=-1.0, restore_at=2.0)
+
+    def test_overlapping_server_windows_rejected(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(
+                server_crashes=[
+                    ServerCrashSpec(at=1.0, restore_at=3.0),
+                    ServerCrashSpec(at=2.0, restore_at=4.0),
+                ]
+            )
+        # Sequential outages are fine.
+        FaultPlan(
+            server_crashes=[
+                ServerCrashSpec(at=1.0, restore_at=2.0),
+                ServerCrashSpec(at=3.0, restore_at=4.0),
+            ]
+        )
+
+    def test_client_restore_during_server_outage_rejected(self):
+        """A restarting client resyncs from the server, so its restore
+        cannot land inside (or on the closed boundary of) an outage."""
+        window = ServerCrashSpec(at=1.0, restore_at=3.0)
+        for restore_at in (1.0, 2.0, 3.0):  # boundaries included
+            with pytest.raises(SimulationError):
+                FaultPlan(
+                    crashes=[
+                        CrashSpec("c1", at=0.5, restore_at=restore_at)
+                    ],
+                    server_crashes=[window],
+                )
+        # Restoring after the server is back is fine, even if the crash
+        # itself happened mid-outage.
+        FaultPlan(
+            crashes=[CrashSpec("c1", at=2.0, restore_at=3.5)],
+            server_crashes=[window],
+        )
+
+    def test_server_crashes_require_the_wal(self):
+        with pytest.raises(SimulationError):
+            FaultPlan(
+                server_crashes=[ServerCrashSpec(at=1.0, restore_at=2.0)],
+                wal=False,
+            )
+
+    def test_wal_enabled_defaults_to_server_crash_presence(self):
+        assert not FaultPlan().wal_enabled
+        assert FaultPlan(
+            server_crashes=[ServerCrashSpec(at=1.0, restore_at=2.0)]
+        ).wal_enabled
+        # Explicit True measures durability overhead without a crash.
+        assert FaultPlan(wal=True).wal_enabled
 
 
 class TestFaultPlan:
@@ -122,6 +188,41 @@ class TestFaultPlan:
         with pytest.raises(SimulationError):
             FaultPlan(snapshot_every=0)
 
+    def test_sample_with_server_crash_is_valid_and_deterministic(self):
+        for seed in range(30):
+            plan = FaultPlan.sample(
+                seed, ["c1", "c2", "c3"], duration_hint=5.0, server_crash=True
+            )
+            assert len(plan.server_crashes) == 1
+            assert plan.wal_enabled
+            window = plan.server_crashes[0]
+            # Construction already validates, but make the guarantee
+            # explicit: no client restores during the outage.
+            for crash in plan.crashes:
+                assert not window.at <= crash.restore_at <= window.restore_at
+        one = FaultPlan.sample(9, ["c1", "c2"], server_crash=True)
+        two = FaultPlan.sample(9, ["c1", "c2"], server_crash=True)
+        assert one.server_crashes == two.server_crashes
+        assert one.crashes == two.crashes
+
+    def test_without_crashes_clears_server_crashes_too(self):
+        plan = FaultPlan.sample(4, ["c1", "c2"], server_crash=True)
+        cleared = plan.without_crashes()
+        assert not cleared.crashes
+        assert not cleared.server_crashes
+
+    def test_shrunk_strips_the_server_crash_separately(self):
+        plan = FaultPlan.sample(11, ["c1", "c2", "c3"], server_crash=True)
+        variants = list(plan.shrunk())
+        # One variant keeps the client crashes but drops the server crash
+        # — the triage step that distinguishes WAL-recovery bugs from
+        # client-recovery bugs.
+        assert any(
+            v.crashes and not v.server_crashes for v in variants
+        )
+        assert variants[-1].default.quiet
+        assert not variants[-1].server_crashes
+
 
 class TestFaultStats:
     def test_as_dict_and_summary(self):
@@ -129,3 +230,14 @@ class TestFaultStats:
         assert stats.as_dict()["frames_dropped"] == 3
         assert "dropped=3" in stats.summary()
         assert "crashes=1" in stats.summary()
+
+    def test_summary_reports_durability_counters(self):
+        stats = FaultStats(
+            server_crashes=1, server_resynced_ops=4, wal_appends=12,
+            wal_compactions=3,
+        )
+        summary = stats.summary()
+        assert "server-crashes=1" in summary
+        assert "server-resynced=4" in summary
+        assert "wal-appends=12" in summary
+        assert "wal-compactions=3" in summary

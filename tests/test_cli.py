@@ -106,6 +106,24 @@ class TestChaosCommand:
         assert "chaos[css]: 2 fault plans, 0 failure(s)" in out
         assert "converged" in out  # the per-plan table header
 
+    def test_chaos_server_crash_sweep_passes(self, capsys):
+        code = main(
+            ["chaos", "--plans", "2", "--seed", "7", "--operations", "10",
+             "--server-crash"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chaos[css]: 2 fault plans, 0 failure(s)" in out
+        assert "scrash" in out  # the server-crash column is reported
+
+    def test_server_crash_requires_css(self, capsys):
+        code = main(
+            ["chaos", "--protocol", "cscw", "--plans", "1", "--server-crash"]
+        )
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "--server-crash requires --protocol css" in out
+
     def test_chaos_on_cscw_skips_crashes(self, capsys):
         code = main(
             ["chaos", "--protocol", "cscw", "--plans", "1",
