@@ -1,0 +1,70 @@
+"""E21 — throughput and round-trip latency of the deployed wire runtime.
+
+The simulator measures the protocol under a modelled clock;
+``repro.net`` deploys the same protocol objects behind real TCP sockets
+and OS processes.  This bench runs the multi-process load generator at
+1, 4 and 8 localhost clients and reports serialised operations per
+second and the p50/p99 client round-trip time (edit shipped → own echo
+applied).  Every run must still satisfy Theorem 6.7 across process
+boundaries: byte-identical final document signatures on every replica,
+checked by ``run_loadgen`` itself.
+
+Numbers scale with the host (the run shares one machine between the
+server and every client process); the shape is the point — RTT grows
+with client count because serialisation is a single queue doing n-ary
+state-space OT, which is exactly the paper's server role.
+"""
+
+from repro.net.loadgen import run_loadgen
+
+from benchmarks.conftest import print_banner
+
+#: (clients, total operations) — ops grow with the fleet so every
+#: client has a meaningful stream, while staying laptop-scale.
+SWEEP = [(1, 40), (4, 120), (8, 160)]
+
+
+def _measure():
+    rows = []
+    for clients, ops in SWEEP:
+        report = run_loadgen(
+            clients=clients,
+            ops=ops,
+            seed=7,
+            timeout=180.0,
+            op_interval=0.01,
+            reconnect_clients=0,  # clean RTTs: no offline windows
+            quiet=True,
+        )
+        assert report["ok"], report["failures"] or report
+        assert report["signatures_identical"]
+        assert report["serial"] == ops
+        rows.append(
+            (
+                clients,
+                ops,
+                report["ops_per_sec"],
+                report["rtt_ms_p50"],
+                report["rtt_ms_p99"],
+                report["wall_seconds"],
+                report["document_length"],
+            )
+        )
+    return rows
+
+
+def test_net_throughput_artifact(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_banner("Wire runtime throughput (localhost, real processes)")
+    print(
+        f"{'clients':>8} {'ops':>5} {'ops/sec':>9} {'p50 rtt':>9} "
+        f"{'p99 rtt':>9} {'wall':>7} {'doc':>5}"
+    )
+    for clients, ops, rate, p50, p99, wall, doc in rows:
+        print(
+            f"{clients:>8} {ops:>5} {rate:>9.1f} {p50:>7.1f}ms "
+            f"{p99:>7.1f}ms {wall:>6.1f}s {doc:>5}"
+        )
+    # Convergence held at every fleet size (asserted per-run above);
+    # the single-client run is the latency floor.
+    assert rows[0][3] <= rows[-1][3] * 1.5 + 50.0

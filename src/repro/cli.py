@@ -21,7 +21,20 @@ Commands:
   client crash/restore, and with ``--server-crash`` a server crash
   recovered from its write-ahead log) against the reliable-session
   layer; every run must converge and match a fault-free replay;
-* ``dcss`` — run the decentralised CSS extension on a peer-to-peer mesh.
+* ``dcss`` — run the decentralised CSS extension on a peer-to-peer mesh;
+* ``serve`` — host a CSS server behind a real TCP listener
+  (:mod:`repro.net`), write-ahead logged, resyncing reconnecting
+  clients from durable state;
+* ``connect`` — run one CSS client process against a ``serve`` instance,
+  optionally driving a seeded edit stream and reporting convergence;
+* ``loadgen`` — spawn a server plus N client OS processes, drive live
+  load with a mid-run disconnect/reconnect, and verify cross-process
+  convergence by comparing final document signatures.
+
+Unknown subcommands and bad arguments exit with status 2 — the same
+code ``figures`` returns for an unknown figure — and ``main`` always
+*returns* the exit code (argparse's ``SystemExit`` is absorbed), so
+programmatic callers never need a try/except.
 """
 
 from __future__ import annotations
@@ -348,6 +361,97 @@ def cmd_dcss(args) -> int:
     return 0 if result.converged else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.net.server import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        initial_text=args.initial,
+        snapshot_every=args.snapshot_every,
+        announce=args.announce,
+        quiet=args.quiet,
+    )
+
+
+def cmd_connect(args) -> int:
+    import asyncio
+    import json as json_module
+
+    from repro.net.loadgen import percentile, run_worker
+
+    report = asyncio.run(
+        run_worker(
+            host=args.host,
+            port=args.port,
+            client_id=args.client,
+            ops=args.ops,
+            expect_total=(
+                args.expect_total if args.expect_total is not None else args.ops
+            ),
+            seed=args.seed,
+            insert_ratio=args.insert_ratio,
+            reconnect_after=args.reconnect_after,
+            op_interval=args.op_interval,
+            timeout=args.timeout,
+        )
+    )
+    if args.json:
+        print(json_module.dumps(report, sort_keys=True))
+    else:
+        print(f"client:     {report['client']}")
+        print(f"ops:        {report['ops']}")
+        print(f"converged:  {report['converged']}")
+        print(f"signature:  {report['signature']}")
+        print(f"delivered:  {report['delivered']}")
+        print(f"reconnects: {report['reconnects']} "
+              f"(resynced {report['resync_on_reconnect']} frames)")
+        rtts = report["rtt_ms"]
+        print(f"rtt:        p50={percentile(rtts, 0.5):.2f}ms "
+              f"p99={percentile(rtts, 0.99):.2f}ms over {len(rtts)} echoes")
+    return 0 if report["converged"] else 1
+
+
+def cmd_loadgen(args) -> int:
+    from repro.net.loadgen import run_loadgen
+
+    report = run_loadgen(
+        clients=args.clients,
+        ops=args.ops,
+        seed=args.seed,
+        host=args.host,
+        port=args.port,
+        timeout=args.timeout,
+        insert_ratio=args.insert_ratio,
+        op_interval=args.op_interval,
+        reconnect_clients=args.reconnect_clients,
+        snapshot_every=args.snapshot_every,
+        initial_text=args.initial,
+        quiet=args.quiet,
+    )
+    print(f"clients:       {report['clients']} processes + 1 server process")
+    print(f"operations:    {report['ops']} (serialised {report['serial']})")
+    print(f"converged:     {report['converged']}")
+    print(f"signatures:    identical={report['signatures_identical']}")
+    for replica in sorted(report["signatures"]):
+        print(f"  {replica:<4} {report['signatures'][replica]}")
+    print(f"reconnects:    {report['reconnects']} "
+          f"(resynced {report['resync_on_reconnect']} frames from the WAL)")
+    print(f"throughput:    {report['ops_per_sec']:.1f} ops/sec "
+          f"({report['wall_seconds']:.2f}s wall)")
+    print(f"round-trip:    p50={report['rtt_ms_p50']:.2f}ms "
+          f"p99={report['rtt_ms_p99']:.2f}ms")
+    stats = report["server_stats"]
+    print(f"server:        frames={stats['frames_received']} "
+          f"resync-sent={stats['resync_frames_sent']} "
+          f"dups-suppressed={stats['duplicates_suppressed']} "
+          f"wal-appends={stats['wal']['appends']} "
+          f"wal-compactions={stats['wal']['compactions']}")
+    for failure in report["failures"]:
+        print(f"FAILURE: {failure}")
+    return 0 if report["ok"] else 1
+
+
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
@@ -486,11 +590,103 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_arguments(chaos)
     chaos.set_defaults(handler=cmd_chaos)
 
+    serve = commands.add_parser(
+        "serve", help="host a CSS server behind a real TCP listener"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=4400, help="0 picks an ephemeral port"
+    )
+    serve.add_argument("--initial", default="", help="initial document")
+    serve.add_argument("--snapshot-every", type=int, default=256)
+    serve.add_argument(
+        "--announce",
+        action="store_true",
+        help="print one machine-parseable REPRO-SERVE line on startup",
+    )
+    serve.add_argument("--quiet", action="store_true")
+    serve.set_defaults(handler=cmd_serve)
+
+    connect = commands.add_parser(
+        "connect", help="run one CSS client process against a server"
+    )
+    connect.add_argument("--host", default="127.0.0.1")
+    connect.add_argument("--port", type=int, default=4400)
+    connect.add_argument("--client", default="c1", help="replica name")
+    connect.add_argument(
+        "--ops", type=int, default=0, help="seeded edits to generate"
+    )
+    connect.add_argument(
+        "--expect-total",
+        type=int,
+        default=None,
+        help="total operations across all clients to wait for "
+        "(default: --ops)",
+    )
+    connect.add_argument("--seed", type=int, default=0)
+    connect.add_argument("--insert-ratio", type=float, default=0.7)
+    connect.add_argument(
+        "--reconnect-after",
+        type=int,
+        default=None,
+        help="drop and re-establish the connection after this many edits",
+    )
+    connect.add_argument(
+        "--op-interval",
+        type=float,
+        default=0.02,
+        help="pause between generated edits (seconds)",
+    )
+    connect.add_argument("--timeout", type=float, default=60.0)
+    connect.add_argument(
+        "--json", action="store_true", help="emit the report as one JSON line"
+    )
+    connect.set_defaults(handler=cmd_connect)
+
+    loadgen = commands.add_parser(
+        "loadgen",
+        help="spawn a server + N client processes and verify convergence",
+    )
+    loadgen.add_argument("--clients", type=int, default=3)
+    loadgen.add_argument(
+        "--ops", type=int, default=500, help="total operations across clients"
+    )
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    loadgen.add_argument("--timeout", type=float, default=240.0)
+    loadgen.add_argument("--insert-ratio", type=float, default=0.7)
+    loadgen.add_argument(
+        "--op-interval",
+        type=float,
+        default=0.02,
+        help="per-client pause between generated edits (seconds)",
+    )
+    loadgen.add_argument(
+        "--reconnect-clients",
+        type=int,
+        default=None,
+        help="workers that drop/reconnect mid-run "
+        "(default: 1 when clients > 1)",
+    )
+    loadgen.add_argument("--snapshot-every", type=int, default=256)
+    loadgen.add_argument("--initial", default="", help="initial document")
+    loadgen.add_argument("--quiet", action="store_true")
+    loadgen.set_defaults(handler=cmd_loadgen)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    # argparse signals --version / --help / bad usage via SystemExit;
+    # absorb it so every path *returns* an int and an unknown subcommand
+    # exits 2 just like any in-command usage error.
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
     return args.handler(args)
 
 

@@ -1,0 +1,58 @@
+"""``repro.net`` — the asyncio wire runtime.
+
+Everything below :mod:`repro.sim` is simulated time on in-process
+queues; this package is the first *deployed* code path.  It hosts a
+:class:`~repro.jupiter.css.CssServer` behind a real TCP listener and
+runs :class:`~repro.jupiter.css.CssClient`\\ s as independent OS
+processes, moving protocol messages as length-prefixed, version-enveloped
+JSON frames.  The stack is reused, not forked:
+
+* :mod:`repro.jupiter.messages` dataclasses are the payload schema
+  (serialised by :mod:`repro.net.codec`);
+* :mod:`repro.jupiter.session` provides seq/ack/duplicate-suppression
+  semantics so a reconnecting client resumes exactly-once FIFO delivery;
+* the PR-2 write-ahead log
+  (:class:`~repro.jupiter.persistence.ServerWriteAheadLog`) is the
+  durable broadcast buffer: a reconnecting client resyncs from it via
+  :meth:`~repro.jupiter.persistence.ServerWriteAheadLog.broadcasts_for`.
+
+The load generator (:mod:`repro.net.loadgen`) drives N client processes
+against one server process and checks the paper's convergence property
+(Theorem 6.7) across OS process boundaries by comparing final document
+signatures.
+"""
+
+from repro.net.codec import (
+    WIRE_VERSION,
+    WireError,
+    decode_envelope,
+    document_signature,
+    encode_envelope,
+    message_from_json,
+    message_from_obj,
+    message_to_json,
+    message_to_obj,
+)
+from repro.net.transport import MAX_FRAME, read_frame, write_frame
+from repro.net.client import NetClient
+from repro.net.server import NetServer
+from repro.net.loadgen import run_loadgen, run_worker
+
+__all__ = [
+    "WIRE_VERSION",
+    "WireError",
+    "decode_envelope",
+    "document_signature",
+    "encode_envelope",
+    "message_from_json",
+    "message_from_obj",
+    "message_to_json",
+    "message_to_obj",
+    "MAX_FRAME",
+    "read_frame",
+    "write_frame",
+    "NetClient",
+    "NetServer",
+    "run_loadgen",
+    "run_worker",
+]

@@ -1,0 +1,284 @@
+"""The deployed CSS client: a ``CssClient`` behind a TCP connection.
+
+A :class:`NetClient` owns exactly what a simulated client endpoint owns —
+a :class:`~repro.jupiter.css.CssClient` plus a
+:class:`~repro.jupiter.session.SessionSender` /
+:class:`~repro.jupiter.session.SessionReceiver` pair — and keeps every
+unacknowledged outgoing frame retransmittable, so a dropped connection
+loses nothing:
+
+* on (re)connect it sends ``hello {client, delivered}`` where
+  ``delivered`` is its receiver's cumulative ack (broadcasts consumed);
+* the server's ``welcome {ack, resync}`` tells it which of its pending
+  frames the server already consumed (dropped from the buffer) and how
+  many broadcasts will be re-shipped from the write-ahead log;
+* it then retransmits its unacknowledged suffix in sequence order; the
+  server's receiver suppresses any duplicates, restoring exactly-once.
+
+Broadcast frames arriving out of order across a reconnect (live traffic
+racing the WAL resync) are parked by sequence number and released to the
+protocol strictly in order — the same discipline the simulator enforces.
+
+Reconnect backoff reuses :class:`~repro.jupiter.session.RetransmitPolicy`
+so retry pacing stays seeded and deterministic per client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.common.ids import SERVER_ID, ReplicaId
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.jupiter.css import CssClient
+from repro.jupiter.messages import ServerOperation
+from repro.jupiter.session import (
+    RetransmitPolicy,
+    SessionReceiver,
+    SessionSender,
+)
+from repro.model.schedule import OpSpec
+from repro.net.codec import (
+    document_signature,
+    encode_envelope,
+    message_from_obj,
+    message_to_obj,
+)
+from repro.net.transport import read_frame, write_frame
+
+
+class NetClient:
+    """One deployed CSS client endpoint."""
+
+    def __init__(
+        self,
+        client_id: ReplicaId,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        reconnect_seed: int = 0,
+        max_connect_attempts: int = 8,
+    ) -> None:
+        self.client_id = client_id
+        self.host = host
+        self.port = port
+        self.css = CssClient(client_id)
+        self.sender = SessionSender((client_id, SERVER_ID))
+        self.receiver = SessionReceiver((SERVER_ID, client_id))
+        #: unacknowledged outgoing frames, seq -> message envelope obj
+        self.unacked: Dict[int, Dict[str, Any]] = {}
+        #: out-of-order broadcasts parked until the session releases them
+        self.parked: Dict[int, ServerOperation] = {}
+        self.backoff = RetransmitPolicy(seed=reconnect_seed)
+        self.max_connect_attempts = max_connect_attempts
+        self.connects = 0
+        self.resync_frames = 0
+        self.rtts: List[float] = []
+        self._sent_at: Dict[Any, float] = {}
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._progress = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    @property
+    def delivered(self) -> int:
+        """Broadcasts consumed in order (the resync cursor)."""
+        return self.receiver.cumulative_ack
+
+    async def connect(self) -> None:
+        """Dial, handshake, resync, and start the reader task."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                reader, writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                break
+            except OSError:
+                if attempt >= self.max_connect_attempts:
+                    raise
+                await asyncio.sleep(self.backoff.timeout(attempt))
+        self._reader, self._writer = reader, writer
+        self.connects += 1
+        await write_frame(
+            writer,
+            encode_envelope(
+                "hello", client=self.client_id, delivered=self.delivered
+            ),
+        )
+        welcome = await read_frame(reader)
+        if welcome is None or welcome["type"] != "welcome":
+            raise ProtocolError(
+                f"{self.client_id}: expected welcome, got {welcome!r}"
+            )
+        initial = welcome.get("initial") or ""
+        if initial and self.connects == 1 and self.sender.next_seq == 1:
+            # First contact with a seeded document: adopt the server's
+            # initial text before any history applies.  The canonical
+            # ``from_string`` identities make both sides byte-identical.
+            self.css = CssClient(
+                self.client_id, ListDocument.from_string(initial)
+            )
+        self.resync_frames += int(welcome.get("resync", 0))
+        self._absorb_ack(int(welcome.get("ack", 0)))
+        # Retransmit the unacknowledged suffix in sequence order; the
+        # server's session receiver suppresses anything it already has.
+        for seq in sorted(self.unacked):
+            await write_frame(
+                writer,
+                encode_envelope(
+                    "data",
+                    seq=seq,
+                    ack=self.delivered,
+                    body=self.unacked[seq],
+                ),
+            )
+        self._reader_task = asyncio.ensure_future(self._read_loop(reader))
+
+    async def _read_loop(self, reader: asyncio.StreamReader) -> None:
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    return
+                self._handle_frame(frame)
+        except (ConnectionError, asyncio.CancelledError):
+            return
+        finally:
+            self._progress.set()
+
+    async def drop(self) -> None:
+        """Abruptly sever the connection (no ``bye``), keeping all state."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+        self._reader = None
+
+    async def close(self) -> None:
+        """Graceful shutdown: say ``bye`` and release the socket."""
+        if self._writer is not None:
+            try:
+                await write_frame(self._writer, encode_envelope("bye"))
+            except ConnectionError:
+                pass
+        await self.drop()
+
+    # ------------------------------------------------------------------
+    # Frame processing
+    # ------------------------------------------------------------------
+    def _absorb_ack(self, ack: int) -> None:
+        ack = min(ack, self.sender.next_seq - 1)
+        self.sender.ack(ack)
+        for seq in [s for s in self.unacked if s <= ack]:
+            del self.unacked[seq]
+
+    def _handle_frame(self, frame: Dict[str, Any]) -> None:
+        kind = frame["type"]
+        if kind == "ack":
+            self._absorb_ack(int(frame.get("ack", 0)))
+            self._progress.set()
+            return
+        if kind == "pong":
+            return
+        if kind != "data":
+            return
+        self._absorb_ack(int(frame.get("ack", 0)))
+        seq = int(frame["seq"])
+        payload = message_from_obj(frame["body"])
+        if not isinstance(payload, ServerOperation):
+            raise ProtocolError(
+                f"{self.client_id}: server data frames must carry "
+                f"ServerOperation, got {type(payload).__name__}"
+            )
+        released = self.receiver.receive(seq)
+        if released == 0:
+            if seq >= self.receiver.expected:
+                self.parked[seq] = payload
+            return
+        self.parked[seq] = payload
+        first = self.receiver.expected - released
+        for released_seq in range(first, self.receiver.expected):
+            self._apply(self.parked.pop(released_seq))
+        self._progress.set()
+
+    def _apply(self, broadcast: ServerOperation) -> None:
+        is_echo = broadcast.origin == self.client_id
+        opid = broadcast.operation.opid
+        self.css.receive(broadcast)
+        if is_echo and opid in self._sent_at:
+            self.rtts.append(time.perf_counter() - self._sent_at.pop(opid))
+
+    # ------------------------------------------------------------------
+    # User operations
+    # ------------------------------------------------------------------
+    async def generate(self, spec: OpSpec) -> None:
+        """Apply one user edit locally and ship it to the server."""
+        result = self.css.generate(spec)
+        seq = self.sender.send()
+        body = message_to_obj(result.outgoing)
+        self.unacked[seq] = body
+        self._sent_at[result.operation.opid] = time.perf_counter()
+        if self._writer is None:
+            return  # offline: the frame stays buffered for retransmission
+        try:
+            await write_frame(
+                self._writer,
+                encode_envelope(
+                    "data", seq=seq, ack=self.delivered, body=body
+                ),
+            )
+        except ConnectionError:
+            self._writer = None
+
+    async def ping(self) -> None:
+        if self._writer is not None:
+            await write_frame(
+                self._writer,
+                encode_envelope("ping", t=time.perf_counter()),
+            )
+
+    # ------------------------------------------------------------------
+    # Convergence
+    # ------------------------------------------------------------------
+    def converged(self, total_operations: int) -> bool:
+        """All broadcasts consumed and nothing of ours still pending."""
+        return (
+            self.delivered >= total_operations
+            and self.css.pending_count == 0
+            and not self.unacked
+        )
+
+    async def wait_converged(
+        self, total_operations: int, timeout: float = 30.0
+    ) -> bool:
+        """Wait until :meth:`converged`; reconnect if the link dies."""
+        deadline = time.monotonic() + timeout
+        while not self.converged(total_operations):
+            if time.monotonic() > deadline:
+                return False
+            if not self.connected or (
+                self._reader_task is not None and self._reader_task.done()
+            ):
+                await self.drop()
+                await self.connect()
+            self._progress.clear()
+            try:
+                await asyncio.wait_for(self._progress.wait(), timeout=0.5)
+            except asyncio.TimeoutError:
+                pass
+        return True
+
+    def signature(self) -> str:
+        return document_signature(self.css.document)

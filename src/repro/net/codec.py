@@ -1,0 +1,221 @@
+"""Wire codec: versioned JSON envelopes for the protocol messages.
+
+The persistence module already serialises operations for snapshots; this
+module lifts that into an explicit *wire* codec for all four
+:mod:`repro.jupiter.messages` payload types:
+
+* :class:`~repro.jupiter.messages.ClientOperation`
+* :class:`~repro.jupiter.messages.ServerOperation`
+* :class:`~repro.jupiter.messages.ResyncRequest`
+* :class:`~repro.jupiter.messages.ResyncResponse`
+
+Every serialised message is wrapped in an **envelope**::
+
+    {"v": 1, "kind": "server_op", "body": {...}}
+
+with two compatibility rules:
+
+* the envelope ``v`` must match :data:`WIRE_VERSION` exactly — a peer
+  speaking a different wire version is rejected loudly rather than
+  misinterpreted;
+* *unknown fields* anywhere (envelope or body) are tolerated and
+  ignored, so a newer peer may add fields without breaking an older one.
+  Decoders read only the keys they know.
+
+The module also provides :func:`document_signature` — the canonical
+digest the load generator compares across process boundaries to check
+convergence (byte-identical documents, element identities included).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict
+
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.jupiter.messages import (
+    ClientOperation,
+    ResyncRequest,
+    ResyncResponse,
+    ServerOperation,
+)
+from repro.jupiter.persistence import (
+    operation_from_obj,
+    operation_to_obj,
+    opid_from_obj,
+    opid_to_obj,
+)
+
+#: Version of the frame envelope; bumped on any incompatible change.
+WIRE_VERSION = 1
+
+
+class WireError(ProtocolError):
+    """A frame or message cannot be decoded (bad version, junk, oversize)."""
+
+
+# ----------------------------------------------------------------------
+# Message codecs (satellite: explicit to/from JSON for all four types)
+# ----------------------------------------------------------------------
+def _client_op_to_obj(message: ClientOperation) -> Dict[str, Any]:
+    return {"operation": operation_to_obj(message.operation)}
+
+
+def _client_op_from_obj(body: Dict[str, Any]) -> ClientOperation:
+    return ClientOperation(operation=operation_from_obj(body["operation"]))
+
+
+def _server_op_to_obj(message: ServerOperation) -> Dict[str, Any]:
+    return {
+        "operation": operation_to_obj(message.operation),
+        "origin": message.origin,
+        "serial": message.serial,
+        "prefix": sorted(opid_to_obj(o) for o in message.prefix),
+    }
+
+
+def _server_op_from_obj(body: Dict[str, Any]) -> ServerOperation:
+    return ServerOperation(
+        operation=operation_from_obj(body["operation"]),
+        origin=str(body["origin"]),
+        serial=int(body["serial"]),
+        prefix=frozenset(opid_from_obj(o) for o in body["prefix"]),
+    )
+
+
+def _resync_request_to_obj(message: ResyncRequest) -> Dict[str, Any]:
+    return {"client": message.client, "delivered": message.delivered}
+
+
+def _resync_request_from_obj(body: Dict[str, Any]) -> ResyncRequest:
+    return ResyncRequest(
+        client=str(body["client"]), delivered=int(body["delivered"])
+    )
+
+
+def _resync_response_to_obj(message: ResyncResponse) -> Dict[str, Any]:
+    return {
+        "client": message.client,
+        "payloads": [message_to_obj(p) for p in message.payloads],
+    }
+
+
+def _resync_response_from_obj(body: Dict[str, Any]) -> ResyncResponse:
+    return ResyncResponse(
+        client=str(body["client"]),
+        payloads=tuple(message_from_obj(p) for p in body["payloads"]),
+    )
+
+
+_ENCODERS = {
+    ClientOperation: ("client_op", _client_op_to_obj),
+    ServerOperation: ("server_op", _server_op_to_obj),
+    ResyncRequest: ("resync_request", _resync_request_to_obj),
+    ResyncResponse: ("resync_response", _resync_response_to_obj),
+}
+
+_DECODERS = {
+    "client_op": _client_op_from_obj,
+    "server_op": _server_op_from_obj,
+    "resync_request": _resync_request_from_obj,
+    "resync_response": _resync_response_from_obj,
+}
+
+
+def message_to_obj(message: Any) -> Dict[str, Any]:
+    """Wrap one protocol message in a versioned envelope dictionary."""
+    entry = _ENCODERS.get(type(message))
+    if entry is None:
+        raise WireError(f"cannot encode payload of type {type(message).__name__}")
+    kind, encoder = entry
+    return {"v": WIRE_VERSION, "kind": kind, "body": encoder(message)}
+
+
+def message_from_obj(obj: Dict[str, Any]) -> Any:
+    """Decode an envelope dictionary back into a protocol message.
+
+    Unknown fields in the envelope and the body are ignored; a missing
+    or mismatched version, an unknown kind, or a malformed body raise
+    :class:`WireError`.
+    """
+    if not isinstance(obj, dict):
+        raise WireError(f"message envelope must be an object, got {type(obj).__name__}")
+    if obj.get("v") != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {obj.get('v')!r}")
+    kind = obj.get("kind")
+    decoder = _DECODERS.get(kind)
+    if decoder is None:
+        raise WireError(f"unknown message kind {kind!r}")
+    body = obj.get("body")
+    if not isinstance(body, dict):
+        raise WireError(f"message body must be an object, got {type(body).__name__}")
+    try:
+        return decoder(body)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed {kind} body: {exc!r}") from exc
+
+
+def message_to_json(message: Any) -> str:
+    """Canonical JSON text of one protocol message (sorted keys)."""
+    return json.dumps(message_to_obj(message), sort_keys=True, separators=(",", ":"))
+
+
+def message_from_json(text: str) -> Any:
+    try:
+        obj = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise WireError(f"message is not valid JSON: {exc}") from exc
+    return message_from_obj(obj)
+
+
+# ----------------------------------------------------------------------
+# Frame envelopes (control plane + data plane of the transport)
+# ----------------------------------------------------------------------
+def encode_envelope(frame_type: str, **fields: Any) -> Dict[str, Any]:
+    """Build one wire frame: ``{"v": 1, "type": ..., **fields}``."""
+    if "v" in fields or "type" in fields:
+        raise WireError("'v' and 'type' are reserved envelope keys")
+    envelope: Dict[str, Any] = {"v": WIRE_VERSION, "type": frame_type}
+    envelope.update(fields)
+    return envelope
+
+
+def decode_envelope(raw: bytes) -> Dict[str, Any]:
+    """Parse and version-check one frame body.
+
+    Returns the decoded dictionary; callers dispatch on ``frame["type"]``
+    and read only the fields they know (unknown fields are tolerated).
+    """
+    try:
+        obj = json.loads(raw.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"frame is not valid UTF-8 JSON: {exc}") from exc
+    if not isinstance(obj, dict):
+        raise WireError(f"frame must be a JSON object, got {type(obj).__name__}")
+    if obj.get("v") != WIRE_VERSION:
+        raise WireError(f"unsupported wire version {obj.get('v')!r}")
+    if not isinstance(obj.get("type"), str):
+        raise WireError("frame has no 'type' field")
+    return obj
+
+
+# ----------------------------------------------------------------------
+# Convergence signatures
+# ----------------------------------------------------------------------
+def document_signature(document: ListDocument) -> str:
+    """Canonical digest of a document, element identities included.
+
+    Two replicas converged (Theorem 6.7) iff their documents agree as
+    *identified* element sequences — same values in the same order with
+    the same originating :class:`~repro.common.ids.OpId`\\ s.  Hashing the
+    canonical JSON of exactly that sequence lets processes compare state
+    by exchanging one short hex string.
+    """
+    canon = [
+        [element.value, element.opid.replica, element.opid.seq]
+        for element in document.read()
+    ]
+    blob = json.dumps(canon, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

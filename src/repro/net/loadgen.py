@@ -1,0 +1,353 @@
+"""Live load generation: N client OS processes against one TCP server.
+
+This is the first place the paper's convergence property (Theorem 6.7)
+is checked across *process* boundaries instead of inside one
+interpreter.  The coordinator:
+
+1. spawns ``repro serve`` as a subprocess on an ephemeral port (parsing
+   its one-line ``REPRO-SERVE {...}`` announcement);
+2. spawns one ``repro connect`` subprocess per client, each driving a
+   seeded stream of edits against its live local document;
+3. by default severs one client's connection mid-run (no ``bye``) — the
+   worker reconnects and resyncs the broadcasts it missed from the
+   server's write-ahead log, and retransmits its own unacknowledged
+   frames;
+4. waits for every worker to report convergence, asks the server for its
+   document signature over the admin plane, shuts the server down, and
+   compares: the run passes iff **every replica's final document
+   signature is byte-identical**.
+
+Every worker's operation stream is a pure function of ``seed`` and its
+index; the interleaving is real wall-clock scheduling, which is exactly
+the point — convergence must hold under schedules nobody picked.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import random
+import string
+import subprocess
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.model.schedule import OpSpec
+from repro.net.client import NetClient
+from repro.net.codec import encode_envelope
+from repro.net.transport import read_frame, write_frame
+
+_ALPHABET = string.ascii_lowercase
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples`` by nearest-rank."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+    return ordered[index]
+
+
+# ----------------------------------------------------------------------
+# Admin plane helpers
+# ----------------------------------------------------------------------
+async def _admin_async(host: str, port: int, command: str) -> Dict[str, Any]:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        await write_frame(writer, encode_envelope("admin", cmd=command))
+        reply = await read_frame(reader)
+    finally:
+        writer.close()
+    if reply is None or reply.get("type") != "admin_reply":
+        raise ConnectionError(f"admin {command!r}: bad reply {reply!r}")
+    return reply
+
+
+def admin(host: str, port: int, command: str) -> Dict[str, Any]:
+    """Synchronous admin round-trip (signature / stats / shutdown)."""
+    return asyncio.run(_admin_async(host, port, command))
+
+
+# ----------------------------------------------------------------------
+# One worker process
+# ----------------------------------------------------------------------
+async def run_worker(
+    host: str,
+    port: int,
+    client_id: str,
+    ops: int,
+    expect_total: int,
+    seed: int,
+    insert_ratio: float = 0.7,
+    reconnect_after: Optional[int] = None,
+    offline_pause: float = 0.25,
+    op_interval: float = 0.02,
+    timeout: float = 60.0,
+) -> Dict[str, Any]:
+    """Drive one client: ``ops`` seeded edits, then wait for convergence.
+
+    With ``reconnect_after = m`` the worker abruptly drops its TCP
+    connection right after its ``m``-th edit, stays offline for
+    ``offline_pause`` seconds (letting the other workers race ahead),
+    then reconnects — exercising the hello/welcome resync from the
+    server's write-ahead log and the retransmission of its own
+    unacknowledged frames.
+    """
+    rng = random.Random(seed)
+    client = NetClient(client_id, host, port, reconnect_seed=seed)
+    started = time.perf_counter()
+    await client.connect()
+    resync_on_reconnect = 0
+    for index in range(ops):
+        length = len(client.css.document)
+        inserting = length == 0 or rng.random() < insert_ratio
+        if inserting:
+            spec = OpSpec("ins", rng.randint(0, length), rng.choice(_ALPHABET))
+        else:
+            spec = OpSpec("del", rng.randint(0, length - 1))
+        await client.generate(spec)
+        if reconnect_after is not None and index + 1 == reconnect_after:
+            await client.drop()
+            await asyncio.sleep(offline_pause)
+            before = client.resync_frames
+            await client.connect()
+            resync_on_reconnect += client.resync_frames - before
+        await asyncio.sleep(op_interval)
+    converged = await client.wait_converged(expect_total, timeout=timeout)
+    duration = time.perf_counter() - started
+    report = {
+        "client": client_id,
+        "ops": ops,
+        "converged": converged,
+        "signature": client.signature(),
+        "document_length": len(client.css.document),
+        "delivered": client.delivered,
+        "connects": client.connects,
+        "reconnects": client.connects - 1,
+        "resync_frames": client.resync_frames,
+        "resync_on_reconnect": resync_on_reconnect,
+        "duration": duration,
+        "rtt_ms": [round(r * 1000.0, 4) for r in client.rtts],
+    }
+    await client.close()
+    return report
+
+
+# ----------------------------------------------------------------------
+# The coordinator
+# ----------------------------------------------------------------------
+def _child_env() -> Dict[str, str]:
+    """Environment for subprocesses: make ``repro`` importable."""
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+def _spawn_server(
+    host: str, port: int, snapshot_every: int, initial_text: str
+) -> "tuple[subprocess.Popen, int]":
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        host,
+        "--port",
+        str(port),
+        "--snapshot-every",
+        str(snapshot_every),
+        "--announce",
+        "--quiet",
+    ]
+    if initial_text:
+        command += ["--initial", initial_text]
+    process = subprocess.Popen(
+        command,
+        env=_child_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            process.wait()
+            stderr = process.stderr.read() if process.stderr else ""
+            raise RuntimeError(f"server failed to start:\n{stderr}")
+        if line.startswith("REPRO-SERVE "):
+            announced = json.loads(line[len("REPRO-SERVE "):])
+            return process, int(announced["port"])
+
+
+def split_ops(total: int, clients: int) -> List[int]:
+    """Distribute ``total`` operations over ``clients`` round-robin."""
+    base, extra = divmod(total, clients)
+    return [base + (1 if index < extra else 0) for index in range(clients)]
+
+
+def run_loadgen(
+    clients: int = 3,
+    ops: int = 500,
+    seed: int = 7,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    timeout: float = 240.0,
+    insert_ratio: float = 0.7,
+    op_interval: float = 0.02,
+    reconnect_clients: Optional[int] = None,
+    snapshot_every: int = 256,
+    initial_text: str = "",
+    quiet: bool = False,
+) -> Dict[str, Any]:
+    """Run the full multi-process deployment and report convergence.
+
+    ``reconnect_clients`` workers (default: 1 when there is more than
+    one client) each drop and re-establish their connection mid-run.
+    The returned report's ``ok`` is True iff every worker converged,
+    every replica signature (workers + server) is byte-identical, and
+    every requested reconnect actually happened and resynced.
+    """
+    if clients < 1:
+        raise ValueError("need at least one client")
+    if ops < clients:
+        raise ValueError("need at least one operation per client")
+    if reconnect_clients is None:
+        reconnect_clients = 1 if clients > 1 else 0
+    reconnect_clients = min(reconnect_clients, clients)
+
+    def log(text: str) -> None:
+        if not quiet:
+            print(f"[loadgen] {text}", flush=True)
+
+    server_process, bound_port = _spawn_server(
+        host, port, snapshot_every, initial_text
+    )
+    log(f"server pid {server_process.pid} on {host}:{bound_port}")
+    shares = split_ops(ops, clients)
+    workers: List[subprocess.Popen] = []
+    started = time.perf_counter()
+    try:
+        for index in range(clients):
+            name = f"c{index + 1}"
+            command = [
+                sys.executable,
+                "-m",
+                "repro",
+                "connect",
+                "--host",
+                host,
+                "--port",
+                str(bound_port),
+                "--client",
+                name,
+                "--ops",
+                str(shares[index]),
+                "--expect-total",
+                str(ops),
+                "--seed",
+                str(seed * 1000 + index),
+                "--insert-ratio",
+                str(insert_ratio),
+                "--op-interval",
+                str(op_interval),
+                "--timeout",
+                str(timeout),
+                "--json",
+            ]
+            if index < reconnect_clients:
+                command += [
+                    "--reconnect-after",
+                    str(max(1, shares[index] // 2)),
+                ]
+            workers.append(
+                subprocess.Popen(
+                    command,
+                    env=_child_env(),
+                    stdout=subprocess.PIPE,
+                    stderr=subprocess.PIPE,
+                    text=True,
+                )
+            )
+        log(f"spawned {clients} worker processes ({shares} ops each)")
+        reports: List[Dict[str, Any]] = []
+        failures: List[str] = []
+        for index, worker in enumerate(workers):
+            name = f"c{index + 1}"
+            try:
+                stdout, stderr = worker.communicate(timeout=timeout + 30.0)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                stdout, stderr = worker.communicate()
+                failures.append(f"{name}: timed out")
+                continue
+            lines = [l for l in stdout.splitlines() if l.strip()]
+            if worker.returncode != 0 or not lines:
+                failures.append(
+                    f"{name}: exit {worker.returncode}\n{stderr.strip()}"
+                )
+                continue
+            reports.append(json.loads(lines[-1]))
+        wall = time.perf_counter() - started
+        server_view = admin(host, bound_port, "signature")
+        server_stats = admin(host, bound_port, "stats")
+    finally:
+        try:
+            admin(host, bound_port, "shutdown")
+        except (ConnectionError, OSError):
+            pass
+        try:
+            server_process.wait(timeout=10.0)
+        except subprocess.TimeoutExpired:
+            server_process.kill()
+        for worker in workers:
+            if worker.poll() is None:
+                worker.kill()
+
+    signatures = {r["client"]: r["signature"] for r in reports}
+    signatures["s"] = server_view["signature"]
+    identical = len(set(signatures.values())) == 1
+    reconnects = sum(r["reconnects"] for r in reports)
+    resynced = sum(r["resync_on_reconnect"] for r in reports)
+    rtts = [sample for r in reports for sample in r["rtt_ms"]]
+    ok = (
+        not failures
+        and len(reports) == clients
+        and all(r["converged"] for r in reports)
+        and identical
+        and reconnects >= reconnect_clients
+        and (reconnect_clients == 0 or resynced > 0)
+    )
+    return {
+        "ok": ok,
+        "clients": clients,
+        "ops": ops,
+        "seed": seed,
+        "converged": all(r["converged"] for r in reports) and not failures,
+        "signatures_identical": identical,
+        "signatures": signatures,
+        "document_length": len(server_view.get("document") or ""),
+        "serial": server_view["serial"],
+        "reconnects": reconnects,
+        "resync_on_reconnect": resynced,
+        "failures": failures,
+        "wall_seconds": wall,
+        "ops_per_sec": ops / wall if wall > 0 else 0.0,
+        "rtt_ms_p50": percentile(rtts, 0.50),
+        "rtt_ms_p99": percentile(rtts, 0.99),
+        "server_stats": {
+            "frames_received": server_stats["frames_received"],
+            "resync_frames_sent": server_stats["resync_frames_sent"],
+            "duplicates_suppressed": server_stats["duplicates_suppressed"],
+            "wal": server_stats["wal"],
+        },
+        "workers": reports,
+    }

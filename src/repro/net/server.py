@@ -1,0 +1,428 @@
+"""The deployed CSS server: a real TCP listener around ``CssServer``.
+
+One :class:`NetServer` hosts exactly the objects the simulator hosts —
+a :class:`~repro.jupiter.css.CssServer`, a
+:class:`~repro.jupiter.persistence.ServerWriteAheadLog`, and one
+:class:`~repro.jupiter.session.SessionSender` /
+:class:`~repro.jupiter.session.SessionReceiver` pair per client channel —
+but drives them from asyncio connections instead of simulated events.
+
+Connection lifecycle (the server side of the reconnect state machine in
+``docs/ARCHITECTURE.md``):
+
+1. A client's first frame is ``hello {client, delivered}``, where
+   ``delivered`` is its consumption cursor (how many broadcasts it has
+   consumed, i.e. its receiver's cumulative ack).
+2. The server registers the client (late joiners are welcome: they
+   simply resync from serial 0), answers ``welcome {ack, serial,
+   resync}`` — ``ack`` being the server's cumulative ack of the
+   client-to-server channel, which lets the client drop acknowledged
+   pending frames and retransmit only the rest —
+3. and then **resyncs from durable state**: every broadcast with a
+   serial in ``delivered+1 .. last_serial`` is rebuilt from the
+   write-ahead log (:meth:`ServerWriteAheadLog.broadcasts_for`) and
+   re-shipped as an ordinary ``data`` frame whose channel sequence
+   number *is* the serial.
+4. Thereafter ``data`` frames flow both ways; the WAL is appended
+   *before* any broadcast frame hits a socket, so a crash can never
+   lose an operation the world has seen.
+
+Because every broadcast goes to every client exactly once in serial
+order, the server→client channel sequence number always equals the
+broadcast serial — which is what makes the WAL a perfect retransmission
+buffer: nothing needs to be kept in memory per disconnected client.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro.common.ids import SERVER_ID, ReplicaId
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.jupiter.css import CssServer
+from repro.jupiter.messages import ClientOperation
+from repro.jupiter.persistence import ServerWriteAheadLog
+from repro.jupiter.session import SessionReceiver, SessionSender
+from repro.net.codec import (
+    WireError,
+    document_signature,
+    encode_envelope,
+    message_from_obj,
+    message_to_obj,
+)
+from repro.net.transport import read_frame, write_frame
+
+
+class _ClientChannel:
+    """Per-client transport state: sessions, parked payloads, live writer."""
+
+    def __init__(self, client: ReplicaId) -> None:
+        self.client = client
+        self.sender = SessionSender((SERVER_ID, client))
+        self.receiver = SessionReceiver((client, SERVER_ID))
+        #: out-of-order payloads parked until the session releases them
+        self.parked: Dict[int, Any] = {}
+        self.writer: Optional[asyncio.StreamWriter] = None
+        #: the client's consumption cursor (its last reported cumulative ack)
+        self.delivered = 0
+        self.connects = 0
+
+
+class NetServer:
+    """Serve one CSS document over TCP.
+
+    The client roster is dynamic: the first ``hello`` from an unknown
+    name registers it (appending to both the protocol server's broadcast
+    list and the WAL's roster).  WAL compaction uses the minimum
+    consumption cursor over the roster as its retain floor, so a
+    disconnected or lagging client can always resync from records.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        initial_text: str = "",
+        snapshot_every: int = 256,
+        quiet: bool = True,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.quiet = quiet
+        self.initial_text = initial_text
+        initial = ListDocument.from_string(initial_text) if initial_text else None
+        self.server = CssServer(SERVER_ID, [], initial)
+        self.wal = ServerWriteAheadLog(
+            SERVER_ID, [], snapshot_every=snapshot_every, initial_text=initial_text
+        )
+        self.channels: Dict[ReplicaId, _ClientChannel] = {}
+        self.resync_frames_sent = 0
+        self.frames_received = 0
+        self.duplicates_suppressed = 0
+        self._asyncio_server: Optional[asyncio.base_events.Server] = None
+        self._closed = asyncio.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+        self._log(f"listening on {self.host}:{self.port}")
+
+    async def wait_closed(self) -> None:
+        await self._closed.wait()
+
+    async def stop(self) -> None:
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+        for channel in self.channels.values():
+            if channel.writer is not None:
+                channel.writer.close()
+                channel.writer = None
+        self._closed.set()
+
+    def _log(self, text: str) -> None:
+        if not self.quiet:
+            print(f"[serve] {text}", flush=True)
+
+    # ------------------------------------------------------------------
+    # Roster
+    # ------------------------------------------------------------------
+    def ensure_client(self, name: ReplicaId) -> _ClientChannel:
+        channel = self.channels.get(name)
+        if channel is None:
+            channel = _ClientChannel(name)
+            # A late joiner never receives live frames for serials that
+            # predate its registration — those arrive via the WAL resync,
+            # which stamps seq = serial.  Position the channel sender
+            # where the log ends so the next live broadcast continues
+            # the same numbering (seq == serial on every s->c channel).
+            channel.sender.restore(
+                {"next_seq": self.wal.last_serial + 1, "acked": 0}
+            )
+            self.channels[name] = channel
+            self.server.clients.append(name)
+            self.wal.clients.append(name)
+        return channel
+
+    def _retain_floor(self) -> int:
+        """Lowest consumption cursor across the roster (WAL retain floor)."""
+        if not self.channels:
+            return 0
+        return min(c.delivered for c in self.channels.values())
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            frame = await read_frame(reader)
+        except WireError as exc:
+            self._log(f"rejecting connection: {exc}")
+            writer.close()
+            return
+        if frame is None:
+            writer.close()
+            return
+        if frame["type"] == "admin":
+            await self._handle_admin(frame, writer)
+            return
+        if frame["type"] != "hello":
+            self._log(f"first frame must be hello/admin, got {frame['type']!r}")
+            writer.close()
+            return
+        await self._handle_session(frame, reader, writer)
+
+    async def _handle_session(
+        self,
+        hello: Dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        name = str(hello.get("client", ""))
+        if not name or name == SERVER_ID:
+            self._log(f"invalid client name {name!r}")
+            writer.close()
+            return
+        channel = self.ensure_client(name)
+        delivered = int(hello.get("delivered", 0))
+        delivered = max(0, min(delivered, self.wal.last_serial))
+        channel.delivered = max(channel.delivered, delivered)
+        channel.connects += 1
+        if channel.writer is not None:
+            channel.writer.close()  # a reconnect supersedes the stale socket
+        channel.writer = writer
+        missed = self.wal.broadcasts_for(self.server, delivered)
+        await write_frame(
+            writer,
+            encode_envelope(
+                "welcome",
+                server=SERVER_ID,
+                ack=channel.receiver.cumulative_ack,
+                serial=self.wal.last_serial,
+                resync=len(missed),
+                initial=self.initial_text,
+            ),
+        )
+        # Resync from durable state: re-ship everything after the cursor.
+        for broadcast in missed:
+            self.resync_frames_sent += 1
+            await write_frame(
+                writer,
+                encode_envelope(
+                    "data",
+                    seq=broadcast.serial,
+                    ack=channel.receiver.cumulative_ack,
+                    body=message_to_obj(broadcast),
+                ),
+            )
+        self._log(
+            f"{name} connected (connect #{channel.connects}, "
+            f"cursor {delivered}, resynced {len(missed)})"
+        )
+        try:
+            while True:
+                frame = await read_frame(reader)
+                if frame is None or frame["type"] == "bye":
+                    break
+                await self._handle_frame(channel, frame)
+        except (WireError, ConnectionError, asyncio.IncompleteReadError) as exc:
+            self._log(f"{name} dropped: {exc}")
+        except ProtocolError as exc:
+            # A malformed or out-of-contract peer loses its connection;
+            # the server and every other client keep running.
+            self._log(f"{name} violated the protocol: {exc}")
+        except asyncio.CancelledError:
+            pass  # event-loop teardown while the connection was idle
+        finally:
+            if channel.writer is writer:
+                channel.writer = None
+            writer.close()
+
+    async def _handle_frame(
+        self, channel: _ClientChannel, frame: Dict[str, Any]
+    ) -> None:
+        kind = frame["type"]
+        if kind == "ping":
+            if channel.writer is not None:
+                await write_frame(
+                    channel.writer, encode_envelope("pong", t=frame.get("t"))
+                )
+            return
+        if kind != "data":
+            self._log(f"{channel.client}: ignoring frame type {kind!r}")
+            return
+        self.frames_received += 1
+        ack = min(int(frame.get("ack", 0)), channel.sender.next_seq - 1)
+        channel.sender.ack(ack)
+        channel.delivered = max(channel.delivered, ack)
+        seq = int(frame["seq"])
+        payload = message_from_obj(frame["body"])
+        if not isinstance(payload, ClientOperation):
+            raise ProtocolError(
+                f"{channel.client}: client data frames must carry "
+                f"ClientOperation, got {type(payload).__name__}"
+            )
+        released = channel.receiver.receive(seq)
+        if released == 0:
+            if seq >= channel.receiver.expected:
+                channel.parked[seq] = payload  # gap: park until it fills
+            else:
+                self.duplicates_suppressed += 1
+        else:
+            channel.parked[seq] = payload
+            first = channel.receiver.expected - released
+            for released_seq in range(first, channel.receiver.expected):
+                await self._serialise(channel, channel.parked.pop(released_seq))
+        # Always re-acknowledge: a duplicate means an earlier ack was lost.
+        if channel.writer is not None:
+            await write_frame(
+                channel.writer,
+                encode_envelope("ack", ack=channel.receiver.cumulative_ack),
+            )
+
+    async def _serialise(
+        self, origin: _ClientChannel, payload: ClientOperation
+    ) -> None:
+        """The write path: serialise, log (write-ahead), then broadcast."""
+        # Everything up to (and including) the per-channel sequence
+        # allocation is synchronous: two connection tasks can never
+        # interleave here, which is what keeps the s->c sequence number
+        # equal to the serial on every channel.
+        outgoing = self.server.receive(origin.client, payload)
+        serial = self.server.oracle.last_serial
+        self.wal.append(serial, origin.client, payload.operation)
+        if self.wal.should_compact():
+            self.wal.compact(self.server, retain_after=self._retain_floor())
+        frames = []
+        for recipient, broadcast in outgoing:
+            channel = self.channels[recipient]
+            seq = channel.sender.send()
+            if seq != serial:
+                raise ProtocolError(
+                    f"s->c seq {seq} for {recipient} diverged from serial "
+                    f"{serial}; the channel numbering invariant is broken"
+                )
+            frames.append(
+                (
+                    channel,
+                    encode_envelope(
+                        "data",
+                        seq=seq,
+                        ack=channel.receiver.cumulative_ack,
+                        body=message_to_obj(broadcast),
+                    ),
+                )
+            )
+        for channel, envelope in frames:
+            if channel.writer is None:
+                continue  # offline: the WAL re-ships on reconnect
+            try:
+                await write_frame(channel.writer, envelope)
+            except ConnectionError:
+                channel.writer = None
+
+    # ------------------------------------------------------------------
+    # Admin plane (used by the load generator and operators)
+    # ------------------------------------------------------------------
+    async def _handle_admin(
+        self, frame: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        command = frame.get("cmd")
+        if command == "signature":
+            reply = encode_envelope(
+                "admin_reply",
+                signature=document_signature(self.server.document),
+                serial=self.wal.last_serial,
+                document=self.server.document.as_string(),
+            )
+        elif command == "stats":
+            reply = encode_envelope(
+                "admin_reply",
+                serial=self.wal.last_serial,
+                clients={
+                    name: {
+                        "delivered": c.delivered,
+                        "connects": c.connects,
+                        "connected": c.writer is not None,
+                    }
+                    for name, c in sorted(self.channels.items())
+                },
+                frames_received=self.frames_received,
+                resync_frames_sent=self.resync_frames_sent,
+                duplicates_suppressed=self.duplicates_suppressed,
+                wal={
+                    "appends": self.wal.appends,
+                    "compactions": self.wal.compactions,
+                    "records_truncated": self.wal.records_truncated,
+                },
+            )
+        elif command == "shutdown":
+            reply = encode_envelope("admin_reply", stopping=True)
+            await write_frame(writer, reply)
+            writer.close()
+            await self.stop()
+            return
+        else:
+            reply = encode_envelope(
+                "admin_reply", error=f"unknown admin command {command!r}"
+            )
+        await write_frame(writer, reply)
+        writer.close()
+
+
+# ----------------------------------------------------------------------
+# Process entry point (the ``repro serve`` verb)
+# ----------------------------------------------------------------------
+async def _serve(
+    host: str,
+    port: int,
+    initial_text: str,
+    snapshot_every: int,
+    announce: bool,
+    quiet: bool,
+) -> int:
+    server = NetServer(
+        host=host,
+        port=port,
+        initial_text=initial_text,
+        snapshot_every=snapshot_every,
+        quiet=quiet,
+    )
+    await server.start()
+    if announce:
+        # One machine-parseable line; the load generator reads this to
+        # discover the ephemeral port.
+        print(
+            "REPRO-SERVE "
+            + json.dumps({"host": server.host, "port": server.port}),
+            flush=True,
+        )
+    await server.wait_closed()
+    return 0
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    initial_text: str = "",
+    snapshot_every: int = 256,
+    announce: bool = False,
+    quiet: bool = False,
+) -> int:
+    """Blocking entry point for ``repro serve``."""
+    try:
+        return asyncio.run(
+            _serve(host, port, initial_text, snapshot_every, announce, quiet)
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0

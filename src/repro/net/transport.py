@@ -1,0 +1,79 @@
+"""Framed transport: length-prefixed JSON frames on asyncio streams.
+
+A frame on the wire is a 4-byte big-endian length followed by that many
+bytes of UTF-8 JSON (one envelope, see :func:`repro.net.codec.decode_envelope`).
+Length-prefixing restores message boundaries on top of TCP's byte
+stream; the JSON envelope carries the version and type.
+
+TCP already gives each *connection* reliable FIFO bytes, so within one
+connection the session layer's reorder buffer stays empty.  What TCP
+does **not** give is continuity across connections — a client that
+reconnects has no idea which of its frames the server processed, and
+vice versa.  That is exactly the seam
+:mod:`repro.jupiter.session` closes: every data frame carries the
+channel sequence number and a cumulative ack, so after a reconnect the
+sender retransmits its unacknowledged suffix and the receiver suppresses
+the duplicates (see the reconnect state machine in
+``docs/ARCHITECTURE.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional
+
+from repro.net.codec import WireError, decode_envelope
+
+#: Frame length header: 4-byte unsigned big-endian.
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame body; a resync of a very long run stays far
+#: below this, and anything larger is junk or an attack.
+MAX_FRAME = 16 * 1024 * 1024
+
+#: Seconds between client heartbeat pings on an idle connection.
+HEARTBEAT_INTERVAL = 5.0
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`~repro.net.codec.WireError` on a truncated frame, an
+    oversized length prefix, or a body that fails envelope decoding.
+    """
+    header = await _read_exactly(reader, _HEADER.size, at_boundary=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise WireError(f"frame of {length} bytes exceeds the {MAX_FRAME} cap")
+    body = await _read_exactly(reader, length, at_boundary=False)
+    if body is None:  # pragma: no cover - needs a mid-frame EOF race
+        raise WireError("connection closed mid-frame")
+    return decode_envelope(body)
+
+
+async def _read_exactly(
+    reader: asyncio.StreamReader, count: int, at_boundary: bool
+) -> Optional[bytes]:
+    try:
+        return await reader.readexactly(count)
+    except asyncio.IncompleteReadError as exc:
+        if at_boundary and not exc.partial:
+            return None  # clean EOF between frames
+        raise WireError(
+            f"connection closed after {len(exc.partial)}/{count} bytes"
+        ) from exc
+
+
+async def write_frame(
+    writer: asyncio.StreamWriter, envelope: Dict[str, Any]
+) -> None:
+    """Serialise and send one envelope, waiting for the buffer to drain."""
+    body = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise WireError(f"frame of {len(body)} bytes exceeds the {MAX_FRAME} cap")
+    writer.write(_HEADER.pack(len(body)) + body)
+    await writer.drain()

@@ -371,3 +371,16 @@ class TestRestoreSeams:
         assert client.pending_opids() == (OpId("c1", 2),)
         result = client.generate(OpSpec("ins", 0, "z"))
         assert result.operation.opid == OpId("c1", 7)
+
+    def test_restore_session_with_empty_pending_set(self):
+        # A replica restored from a checkpoint taken at a quiescent
+        # moment has nothing in flight: the pending queue empties and
+        # only the numbering cursor survives.
+        client = mid_run_cluster().clients["c1"]
+        assert client.pending_count == 1  # the in-flight 'x'
+        client.restore_session(pending=[], next_seq=3)
+        assert client.pending_count == 0
+        assert client.pending_opids() == ()
+        assert client.next_seq == 3
+        result = client.generate(OpSpec("ins", 0, "q"))
+        assert result.operation.opid == OpId("c1", 3)

@@ -84,6 +84,48 @@ class TestSessionReceiver:
         assert receiver.released_total == 3
 
 
+class TestFastForward:
+    """Recovery edge cases: resuming a fresh receiver at a watermark."""
+
+    def test_fast_forward_positions_the_watermark(self):
+        receiver = SessionReceiver(("s", "c1"))
+        receiver.fast_forward(5)
+        assert receiver.expected == 6
+        assert receiver.cumulative_ack == 5
+
+    def test_fast_forward_past_zero_is_the_identity(self):
+        receiver = SessionReceiver(("s", "c1"))
+        receiver.fast_forward(0)
+        assert receiver.expected == 1
+        assert receiver.receive(1) == 1  # a fresh stream starts at one
+
+    def test_frames_at_or_below_the_watermark_are_duplicates(self):
+        receiver = SessionReceiver(("s", "c1"))
+        receiver.fast_forward(3)
+        assert receiver.receive(2) == 0  # suppressed, already consumed
+        assert receiver.receive(3) == 0
+        assert receiver.receive(4) == 1  # the stream resumes in order
+        assert receiver.cumulative_ack == 4
+
+    def test_negative_watermark_is_rejected(self):
+        receiver = SessionReceiver(("s", "c1"))
+        with pytest.raises(ProtocolError):
+            receiver.fast_forward(-1)
+
+    def test_parked_frames_forbid_fast_forward(self):
+        receiver = SessionReceiver(("s", "c1"))
+        receiver.receive(2)  # parked: frame 1 is still missing
+        with pytest.raises(ProtocolError):
+            receiver.fast_forward(7)
+
+    def test_fast_forward_after_dropping_the_buffer_is_allowed(self):
+        receiver = SessionReceiver(("s", "c1"))
+        receiver.receive(2)
+        receiver.drop_reorder_buffer()
+        receiver.fast_forward(7)
+        assert receiver.expected == 8
+
+
 class TestRetransmitPolicy:
     def test_backoff_grows_and_caps(self):
         policy = RetransmitPolicy(base=0.25, factor=2.0, cap=8.0, jitter=0.0)

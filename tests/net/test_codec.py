@@ -1,0 +1,223 @@
+"""Tests for the wire codec: envelopes, message round-trips, signatures."""
+
+import json
+
+import pytest
+
+from repro.common import OpId
+from repro.document.list_document import ListDocument
+from repro.errors import ProtocolError
+from repro.jupiter.messages import (
+    ClientOperation,
+    ResyncRequest,
+    ResyncResponse,
+    ServerOperation,
+)
+from repro.net.codec import (
+    WIRE_VERSION,
+    WireError,
+    decode_envelope,
+    document_signature,
+    encode_envelope,
+    message_from_json,
+    message_from_obj,
+    message_to_json,
+    message_to_obj,
+)
+from repro.ot import delete, insert
+
+
+def _insert_op(replica="c1", seq=1, value="x", position=0, context=()):
+    return insert(OpId(replica, seq), value, position, context=set(context))
+
+
+def _delete_op():
+    base = _insert_op("c9", 1, "v")
+    return delete(OpId("c1", 2), base.element, 0, context={base.opid})
+
+
+def _server_op(serial=1):
+    op = _insert_op("c2", serial, "y", 0, context={OpId("c1", 1)})
+    return ServerOperation(
+        operation=op,
+        origin="c2",
+        serial=serial,
+        prefix=frozenset({OpId("c1", 1)}),
+    )
+
+
+class TestMessageRoundTrips:
+    """Satellite: explicit to/from JSON for all four message types."""
+
+    def test_client_operation_insert(self):
+        message = ClientOperation(operation=_insert_op(context={OpId("c2", 3)}))
+        assert message_from_obj(message_to_obj(message)) == message
+
+    def test_client_operation_delete(self):
+        message = ClientOperation(operation=_delete_op())
+        assert message_from_obj(message_to_obj(message)) == message
+
+    def test_server_operation(self):
+        message = _server_op()
+        assert message_from_obj(message_to_obj(message)) == message
+
+    def test_server_operation_empty_prefix(self):
+        message = ServerOperation(
+            operation=_insert_op(), origin="c1", serial=1, prefix=frozenset()
+        )
+        assert message_from_obj(message_to_obj(message)) == message
+
+    def test_resync_request(self):
+        message = ResyncRequest(client="c1", delivered=17)
+        assert message_from_obj(message_to_obj(message)) == message
+
+    def test_resync_response_carries_nested_payloads(self):
+        message = ResyncResponse(
+            client="c1", payloads=(_server_op(1), _server_op(2))
+        )
+        assert message_from_obj(message_to_obj(message)) == message
+
+    def test_resync_response_empty(self):
+        message = ResyncResponse(client="c1", payloads=())
+        assert message_from_obj(message_to_obj(message)) == message
+
+    @pytest.mark.parametrize(
+        "message",
+        [
+            ClientOperation(operation=_insert_op()),
+            ClientOperation(operation=_delete_op()),
+            _server_op(),
+            ResyncRequest(client="c2", delivered=0),
+            ResyncResponse(client="c2", payloads=(_server_op(),)),
+        ],
+        ids=["client_ins", "client_del", "server_op", "resync_req", "resync_resp"],
+    )
+    def test_json_text_round_trip(self, message):
+        text = message_to_json(message)
+        json.loads(text)  # valid JSON
+        assert message_from_json(text) == message
+
+    def test_json_text_is_canonical(self):
+        message = _server_op()
+        assert message_to_json(message) == message_to_json(message)
+
+
+class TestMessageEnvelope:
+    def test_carries_wire_version_and_kind(self):
+        obj = message_to_obj(ResyncRequest(client="c1", delivered=0))
+        assert obj["v"] == WIRE_VERSION
+        assert obj["kind"] == "resync_request"
+
+    def test_unknown_envelope_fields_are_ignored(self):
+        obj = message_to_obj(ResyncRequest(client="c1", delivered=3))
+        obj["future_extension"] = {"nested": True}
+        assert message_from_obj(obj) == ResyncRequest(client="c1", delivered=3)
+
+    def test_unknown_body_fields_are_ignored(self):
+        obj = message_to_obj(ResyncRequest(client="c1", delivered=3))
+        obj["body"]["priority"] = "high"
+        assert message_from_obj(obj) == ResyncRequest(client="c1", delivered=3)
+
+    def test_version_mismatch_rejected(self):
+        obj = message_to_obj(ResyncRequest(client="c1", delivered=0))
+        obj["v"] = WIRE_VERSION + 1
+        with pytest.raises(WireError):
+            message_from_obj(obj)
+
+    def test_missing_version_rejected(self):
+        obj = message_to_obj(ResyncRequest(client="c1", delivered=0))
+        del obj["v"]
+        with pytest.raises(WireError):
+            message_from_obj(obj)
+
+    def test_unknown_kind_rejected(self):
+        obj = message_to_obj(ResyncRequest(client="c1", delivered=0))
+        obj["kind"] = "telepathy"
+        with pytest.raises(WireError):
+            message_from_obj(obj)
+
+    def test_malformed_body_rejected(self):
+        obj = message_to_obj(ResyncRequest(client="c1", delivered=0))
+        del obj["body"]["client"]
+        with pytest.raises(WireError):
+            message_from_obj(obj)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(WireError):
+            message_from_obj(["not", "an", "envelope"])
+
+    def test_invalid_json_text_rejected(self):
+        with pytest.raises(WireError):
+            message_from_json("{nope")
+
+    def test_unencodable_payload_rejected(self):
+        with pytest.raises(WireError):
+            message_to_obj(object())
+
+    def test_wire_error_is_a_protocol_error(self):
+        assert issubclass(WireError, ProtocolError)
+
+
+class TestFrameEnvelope:
+    def test_encode_sets_version_and_type(self):
+        frame = encode_envelope("hello", client="c1", delivered=0)
+        assert frame == {
+            "v": WIRE_VERSION, "type": "hello", "client": "c1", "delivered": 0
+        }
+
+    def test_reserved_keys_rejected(self):
+        with pytest.raises(WireError):
+            encode_envelope("hello", v=2)
+        with pytest.raises(WireError):
+            encode_envelope("hello", type="other")
+
+    def test_decode_round_trip(self):
+        frame = encode_envelope("data", seq=4, ack=2)
+        raw = json.dumps(frame).encode("utf-8")
+        assert decode_envelope(raw) == frame
+
+    def test_decode_tolerates_unknown_fields(self):
+        raw = json.dumps(
+            {"v": WIRE_VERSION, "type": "ping", "shiny": "new"}
+        ).encode()
+        assert decode_envelope(raw)["type"] == "ping"
+
+    def test_decode_rejects_bad_version(self):
+        raw = json.dumps({"v": 99, "type": "ping"}).encode()
+        with pytest.raises(WireError):
+            decode_envelope(raw)
+
+    def test_decode_rejects_missing_type(self):
+        raw = json.dumps({"v": WIRE_VERSION}).encode()
+        with pytest.raises(WireError):
+            decode_envelope(raw)
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(WireError):
+            decode_envelope(b"[1, 2, 3]")
+
+    def test_decode_rejects_junk_bytes(self):
+        with pytest.raises(WireError):
+            decode_envelope(b"\xff\xfe not json")
+
+
+class TestDocumentSignature:
+    def test_equal_documents_equal_signatures(self):
+        a = ListDocument.from_string("hello")
+        b = ListDocument.from_string("hello")
+        assert document_signature(a) == document_signature(b)
+
+    def test_same_text_different_identities_differ(self):
+        a = ListDocument.from_string("hi", replica="init")
+        b = ListDocument.from_string("hi", replica="other")
+        assert document_signature(a) != document_signature(b)
+
+    def test_order_matters(self):
+        a = ListDocument.from_string("ab")
+        b = ListDocument(reversed(list(ListDocument.from_string("ab"))))
+        assert document_signature(a) != document_signature(b)
+
+    def test_empty_document_is_stable(self):
+        assert document_signature(ListDocument()) == document_signature(
+            ListDocument()
+        )

@@ -1,0 +1,60 @@
+"""Tests for the multi-process load generator.
+
+The smoke test here spawns real OS processes (one server, two clients)
+and is deliberately small — the CI workflow runs the full-size recipe.
+"""
+
+import pytest
+
+from repro.net.loadgen import percentile, run_loadgen, split_ops
+
+
+class TestHelpers:
+    def test_split_ops_distributes_remainder_first(self):
+        assert split_ops(10, 3) == [4, 3, 3]
+        assert split_ops(9, 3) == [3, 3, 3]
+        assert split_ops(1, 1) == [1]
+
+    def test_split_ops_covers_total(self):
+        assert sum(split_ops(500, 7)) == 500
+
+    def test_percentile_nearest_rank(self):
+        samples = [float(v) for v in range(1, 101)]
+        assert percentile(samples, 0.0) == 1.0
+        assert percentile(samples, 0.5) == 51.0
+        assert percentile(samples, 1.0) == 100.0
+
+    def test_percentile_of_nothing_is_zero(self):
+        assert percentile([], 0.99) == 0.0
+
+
+class TestValidation:
+    def test_rejects_zero_clients(self):
+        with pytest.raises(ValueError):
+            run_loadgen(clients=0, ops=10)
+
+    def test_rejects_fewer_ops_than_clients(self):
+        with pytest.raises(ValueError):
+            run_loadgen(clients=5, ops=3)
+
+
+class TestMultiProcessSmoke:
+    def test_two_process_run_converges_with_a_reconnect(self):
+        report = run_loadgen(
+            clients=2,
+            ops=24,
+            seed=7,
+            timeout=90.0,
+            op_interval=0.01,
+            quiet=True,
+        )
+        assert report["failures"] == []
+        assert report["ok"], report
+        assert report["converged"]
+        assert report["signatures_identical"]
+        # Workers plus the server-side view all report one signature.
+        assert len(report["signatures"]) == 3
+        assert report["serial"] == 24
+        assert report["reconnects"] >= 1
+        assert report["resync_on_reconnect"] > 0
+        assert report["server_stats"]["wal"]["appends"] == 24

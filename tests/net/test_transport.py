@@ -1,0 +1,127 @@
+"""Tests for the length-prefixed frame transport."""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.net.codec import WIRE_VERSION, WireError, encode_envelope
+from repro.net.transport import MAX_FRAME, read_frame, write_frame
+
+
+class _FakeWriter:
+    """Collects written bytes; enough of StreamWriter for write_frame."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        pass
+
+    @property
+    def data(self):
+        return b"".join(self.chunks)
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _reader_with(data: bytes, eof: bool = True) -> asyncio.StreamReader:
+    async def build():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        if eof:
+            reader.feed_eof()
+        return reader
+
+    return build()
+
+
+async def _read_from(data: bytes, eof: bool = True):
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    if eof:
+        reader.feed_eof()
+    return await read_frame(reader)
+
+
+class TestFraming:
+    def test_write_then_read_round_trips(self):
+        async def scenario():
+            writer = _FakeWriter()
+            frame = encode_envelope("data", seq=3, ack=1, body={"k": "v"})
+            await write_frame(writer, frame)
+            return await _read_from(writer.data)
+
+        assert _run(scenario()) == {
+            "v": WIRE_VERSION, "type": "data", "seq": 3, "ack": 1,
+            "body": {"k": "v"},
+        }
+
+    def test_header_is_four_byte_big_endian_length(self):
+        async def scenario():
+            writer = _FakeWriter()
+            await write_frame(writer, encode_envelope("ping"))
+            return writer.data
+
+        data = _run(scenario())
+        (length,) = struct.unpack(">I", data[:4])
+        assert length == len(data) - 4
+        assert json.loads(data[4:])["type"] == "ping"
+
+    def test_multiple_frames_preserve_boundaries(self):
+        async def scenario():
+            writer = _FakeWriter()
+            for index in range(3):
+                await write_frame(writer, encode_envelope("ack", ack=index))
+            reader = asyncio.StreamReader()
+            reader.feed_data(writer.data)
+            reader.feed_eof()
+            frames = []
+            while True:
+                frame = await read_frame(reader)
+                if frame is None:
+                    break
+                frames.append(frame)
+            return frames
+
+        assert [f["ack"] for f in _run(scenario())] == [0, 1, 2]
+
+    def test_clean_eof_returns_none(self):
+        assert _run(_read_from(b"")) is None
+
+    def test_eof_inside_header_raises(self):
+        with pytest.raises(WireError):
+            _run(_read_from(b"\x00\x00"))
+
+    def test_eof_inside_body_raises(self):
+        payload = json.dumps({"v": WIRE_VERSION, "type": "ping"}).encode()
+        truncated = struct.pack(">I", len(payload)) + payload[:-5]
+        with pytest.raises(WireError):
+            _run(_read_from(truncated))
+
+    def test_oversized_length_prefix_rejected(self):
+        header = struct.pack(">I", MAX_FRAME + 1)
+        with pytest.raises(WireError):
+            _run(_read_from(header + b"x" * 16, eof=False))
+
+    def test_oversized_outgoing_frame_rejected(self):
+        async def scenario():
+            writer = _FakeWriter()
+            await write_frame(
+                writer, encode_envelope("data", blob="x" * (MAX_FRAME + 1))
+            )
+
+        with pytest.raises(WireError):
+            _run(scenario())
+
+    def test_body_failing_envelope_decode_raises(self):
+        payload = json.dumps({"v": 99, "type": "ping"}).encode()
+        framed = struct.pack(">I", len(payload)) + payload
+        with pytest.raises(WireError):
+            _run(_read_from(framed))

@@ -10,14 +10,28 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_version_flag(self, capsys):
-        with pytest.raises(SystemExit) as excinfo:
-            main(["--version"])
-        assert excinfo.value.code == 0
+    def test_no_command_returns_usage_error(self, capsys):
+        assert main([]) == 2
+
+    def test_version_flag_returns_zero(self, capsys):
+        assert main(["--version"]) == 0
+        out = capsys.readouterr().out
+        from repro._version import __version__
+
+        assert out.strip() == f"repro {__version__}"
+
+    def test_unknown_subcommand_returns_usage_error(self, capsys):
+        # Consistent with in-command errors like an unknown figure name:
+        # every bad invocation is exit code 2, returned (not raised).
+        assert main(["frobnicate"]) == 2
+        assert "invalid choice" in capsys.readouterr().err
 
     def test_unknown_protocol_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["simulate", "--protocol", "nope"])
+
+    def test_unknown_option_returns_usage_error(self, capsys):
+        assert main(["simulate", "--protocol", "nope"]) == 2
 
 
 class TestFiguresCommand:
