@@ -27,7 +27,7 @@ from repro.sim import (
     WorkloadConfig,
 )
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import print_banner, write_json
 
 DROP_RATES = [0.0, 0.1, 0.2, 0.3, 0.4]
 
@@ -92,6 +92,23 @@ def test_chaos_overhead_artifact(benchmark):
             f"{delivered:>10} {duration:>8.2f}s {off_wall * 1e3:>8.1f}ms "
             f"{on_wall * 1e3:>8.1f}ms {compactions:>8}"
         )
+    write_json(
+        "chaos_overhead",
+        [
+            {
+                "drop": row[0],
+                "frames_sent": row[1],
+                "retransmissions": row[2],
+                "duplicates_suppressed": row[3],
+                "messages_delivered": row[4],
+                "simulated_duration": row[5],
+                "wall_seconds_wal_off": row[6],
+                "wall_seconds_wal_on": row[7],
+                "wal_compactions": row[8],
+            }
+            for row in rows
+        ],
+    )
     # Protocol-level delivery is identical at every drop rate: the session
     # layer absorbs the loss entirely.
     assert len({row[4] for row in rows}) == 1

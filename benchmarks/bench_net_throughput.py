@@ -17,7 +17,7 @@ state-space OT, which is exactly the paper's server role.
 
 from repro.net.loadgen import run_loadgen
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import print_banner, write_json
 
 #: (clients, total operations) — ops grow with the fleet so every
 #: client has a meaningful stream, while staying laptop-scale.
@@ -65,6 +65,21 @@ def test_net_throughput_artifact(benchmark):
             f"{clients:>8} {ops:>5} {rate:>9.1f} {p50:>7.1f}ms "
             f"{p99:>7.1f}ms {wall:>6.1f}s {doc:>5}"
         )
+    write_json(
+        "net_throughput",
+        [
+            {
+                "clients": clients,
+                "ops": ops,
+                "ops_per_sec": rate,
+                "rtt_ms_p50": p50,
+                "rtt_ms_p99": p99,
+                "wall_seconds": wall,
+                "document_length": doc,
+            }
+            for clients, ops, rate, p50, p99, wall, doc in rows
+        ],
+    )
     # Convergence held at every fleet size (asserted per-run above);
     # the single-client run is the latency floor.
     assert rows[0][3] <= rows[-1][3] * 1.5 + 50.0

@@ -1,0 +1,123 @@
+"""E22 — what disabled observability costs on the hot path: ~nothing.
+
+The contract of :mod:`repro.obs` is that an instrumented call site with
+observability *off* costs one attribute load plus an empty method call —
+and that sites doing real work first (reading a clock, computing a
+length) guard on ``obs.enabled`` and skip even that.  This bench holds
+the repo to the contract on a fixed simulator workload under a seeded
+fault plan, which drives every instrumented layer (OT integration,
+serialisation, session counters, WAL appends and compactions):
+
+* time the workload with observability disabled (the tier-1 default);
+* enable observability, rerun the identical workload, and read from the
+  snapshot how many instrument events the run actually produced;
+* measure the unit cost of one *disabled* instrument call directly;
+* assert that events x unit-cost — the total the disabled run could
+  possibly have spent inside instrumentation — is below 5% of the
+  disabled wall time, with a generous safety factor.
+
+Comparing two wall-clock runs of a ~second-long workload on shared CI
+hardware is noise; events x measured-unit-cost is deterministic, which
+is what lets CI enforce the ≤5% budget on every push.
+"""
+
+import time
+import timeit
+
+from repro import obs
+from repro.sim import (
+    ChannelFaults,
+    FaultPlan,
+    SimulationRunner,
+    UniformLatency,
+    WorkloadConfig,
+)
+
+from benchmarks.conftest import print_banner, write_json
+
+#: Headroom multiplier on the measured per-call cost: CI machines jitter,
+#: and the guard should fail only on a real fast-path regression.
+SAFETY_FACTOR = 10.0
+
+#: The contract's ceiling: instrumentation may cost at most this fraction
+#: of the disabled-mode workload.
+BUDGET = 0.05
+
+
+def _workload():
+    config = WorkloadConfig(clients=3, operations=40, seed=11)
+    plan = FaultPlan(
+        seed=11,
+        default=ChannelFaults(drop=0.2, duplicate=0.1, delay=0.2),
+        wal=True,
+    )
+    latency = UniformLatency(0.01, 0.3, seed=11)
+    return SimulationRunner("css", config, latency, faults=plan)
+
+
+def _run_disabled():
+    obs.disable()
+    started = time.perf_counter()
+    result = _workload().run()
+    wall = time.perf_counter() - started
+    assert result.converged
+    return wall
+
+
+def _count_events():
+    """Run the identical workload instrumented and count what it emits."""
+    obs.enable(reset=True)
+    try:
+        result = _workload().run()
+        assert result.converged
+        snapshot = obs.get_obs().snapshot()
+    finally:
+        obs.disable()
+    events = 0.0
+    for metric in snapshot["metrics"]:
+        for sample in metric["samples"]:
+            events += sample.get("count", sample.get("value", 0.0)) or 0.0
+    return events, snapshot
+
+
+def _unit_cost():
+    """Seconds per disabled-mode instrument call (attribute load + no-op)."""
+    handle = obs.get_obs()
+    assert not handle.enabled
+    loops = 200_000
+    spent = timeit.timeit(lambda: handle.ot_transforms.inc(), number=loops)
+    return spent / loops
+
+
+def test_obs_disabled_overhead_guard(benchmark):
+    def regenerate():
+        disabled_wall = _run_disabled()
+        events, _snapshot = _count_events()
+        per_call = _unit_cost()
+        worst_case = events * per_call * SAFETY_FACTOR
+        return {
+            "disabled_wall_seconds": disabled_wall,
+            "instrument_events": events,
+            "noop_call_seconds": per_call,
+            "worst_case_overhead_seconds": worst_case,
+            "worst_case_fraction": worst_case / disabled_wall,
+            "budget_fraction": BUDGET,
+            "safety_factor": SAFETY_FACTOR,
+        }
+
+    row = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner("Disabled-observability overhead (fixed chaos workload)")
+    print(f"disabled wall:        {row['disabled_wall_seconds'] * 1e3:.1f}ms")
+    print(f"instrument events:    {row['instrument_events']:.0f}")
+    print(f"no-op call cost:      {row['noop_call_seconds'] * 1e9:.1f}ns")
+    print(
+        f"worst-case overhead:  {row['worst_case_overhead_seconds'] * 1e6:.1f}us "
+        f"({row['worst_case_fraction'] * 100:.3f}% of the run, "
+        f"x{SAFETY_FACTOR:.0f} safety)"
+    )
+    write_json("obs_overhead", row)
+    # The run must actually have exercised the instruments...
+    assert row["instrument_events"] > 100
+    # ...and the disabled fast path must stay inside the 5% budget even
+    # with the safety factor inflating every call to its measured cost.
+    assert row["worst_case_fraction"] <= BUDGET

@@ -9,6 +9,9 @@ the timing output.
 
 from __future__ import annotations
 
+import json
+import os
+
 import pytest
 
 from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
@@ -34,3 +37,20 @@ def print_banner(title: str) -> None:
     print("=" * 72)
     print(title)
     print("=" * 72)
+
+
+def write_json(name: str, payload) -> str:
+    """Persist one benchmark artifact as ``BENCH_<name>.json``.
+
+    The file lands in ``$BENCH_ARTIFACT_DIR`` (created if missing) or
+    the current directory, so CI can upload the machine-readable numbers
+    next to pytest-benchmark's own output.  Returns the path written.
+    """
+    directory = os.environ.get("BENCH_ARTIFACT_DIR", ".")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench] artifact written: {path}")
+    return path

@@ -29,7 +29,9 @@ Commands:
   optionally driving a seeded edit stream and reporting convergence;
 * ``loadgen`` — spawn a server plus N client OS processes, drive live
   load with a mid-run disconnect/reconnect, and verify cross-process
-  convergence by comparing final document signatures.
+  convergence by comparing final document signatures;
+* ``metrics`` — scrape a running ``serve`` instance's metrics over the
+  admin plane and print the Prometheus text exposition.
 
 Unknown subcommands and bad arguments exit with status 2 — the same
 code ``figures`` returns for an unknown figure — and ``main`` always
@@ -361,9 +363,35 @@ def cmd_dcss(args) -> int:
     return 0 if result.converged else 1
 
 
+def _configure_net_process(args) -> None:
+    """Shared startup for the deployed-runtime verbs (serve/connect).
+
+    Observability must be enabled *before* the instrumented objects are
+    constructed (see :mod:`repro.obs`), so this runs first in each
+    handler.  Logging goes to stderr so ``--announce`` / ``--json``
+    stdout stays machine-parseable.
+    """
+    import logging
+
+    from repro import obs
+
+    if not getattr(args, "no_obs", False):
+        obs.enable()
+    quiet = getattr(args, "quiet", False)
+    level_name = getattr(args, "log_level", None) or (
+        "warning" if quiet else "info"
+    )
+    logging.basicConfig(
+        level=getattr(logging, level_name.upper(), logging.INFO),
+        stream=sys.stderr,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+
+
 def cmd_serve(args) -> int:
     from repro.net.server import run_server
 
+    _configure_net_process(args)
     return run_server(
         host=args.host,
         port=args.port,
@@ -380,6 +408,7 @@ def cmd_connect(args) -> int:
 
     from repro.net.loadgen import percentile, run_worker
 
+    _configure_net_process(args)
     report = asyncio.run(
         run_worker(
             host=args.host,
@@ -447,9 +476,49 @@ def cmd_loadgen(args) -> int:
           f"dups-suppressed={stats['duplicates_suppressed']} "
           f"wal-appends={stats['wal']['appends']} "
           f"wal-compactions={stats['wal']['compactions']}")
+    from repro.obs import snapshot_value
+
+    merged = report.get("client_metrics") or {}
+
+    def metric(name: str) -> float:
+        return snapshot_value(merged, name) or 0.0
+
+    if merged.get("metrics"):
+        print(f"metrics:       rtt-observations={metric('repro_net_rtt_seconds'):.0f} "
+              f"retransmits={metric('repro_session_retransmits_total'):.0f} "
+              f"dups={metric('repro_session_duplicates_total'):.0f} "
+              f"frames-in={metric('repro_net_frames_received_total'):.0f} "
+              f"frames-out={metric('repro_net_frames_sent_total'):.0f}")
+    print(f"server-obs:    enabled={report['server_metrics_enabled']} "
+          f"(scrape with: repro metrics --port <port>)")
     for failure in report["failures"]:
         print(f"FAILURE: {failure}")
     return 0 if report["ok"] else 1
+
+
+def cmd_metrics(args) -> int:
+    """Scrape a running server's metrics over the admin plane."""
+    from repro.net.loadgen import admin
+
+    try:
+        reply = admin(args.host, args.port, "metrics")
+    except (ConnectionError, OSError) as exc:
+        print(f"cannot scrape {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        import json as json_module
+
+        print(json_module.dumps(reply.get("snapshot"), sort_keys=True))
+    else:
+        sys.stdout.write(reply.get("exposition") or "")
+    if not reply.get("enabled"):
+        print(
+            "observability is disabled on the server "
+            "(start it without --no-obs)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -605,6 +674,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one machine-parseable REPRO-SERVE line on startup",
     )
     serve.add_argument("--quiet", action="store_true")
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="server log level (default: info, or warning with --quiet)",
+    )
+    serve.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable the metrics registry and trace ring",
+    )
     serve.set_defaults(handler=cmd_serve)
 
     connect = commands.add_parser(
@@ -641,6 +721,17 @@ def build_parser() -> argparse.ArgumentParser:
     connect.add_argument(
         "--json", action="store_true", help="emit the report as one JSON line"
     )
+    connect.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="client-side log level (stderr)",
+    )
+    connect.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable the metrics registry and trace ring",
+    )
     connect.set_defaults(handler=cmd_connect)
 
     loadgen = commands.add_parser(
@@ -675,6 +766,19 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--initial", default="", help="initial document")
     loadgen.add_argument("--quiet", action="store_true")
     loadgen.set_defaults(handler=cmd_loadgen)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="scrape a running server's Prometheus exposition",
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=4400)
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw snapshot as JSON instead of text exposition",
+    )
+    metrics.set_defaults(handler=cmd_metrics)
 
     return parser
 

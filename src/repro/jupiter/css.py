@@ -16,6 +16,7 @@ comparing the structures these objects build.
 
 from __future__ import annotations
 
+import time
 from typing import Any, List, Optional, Sequence, Tuple
 
 from repro.common.ids import OpId, ReplicaId, SeqGenerator
@@ -26,6 +27,7 @@ from repro.jupiter.messages import ClientOperation, ServerOperation
 from repro.jupiter.nary import NaryStateSpace
 from repro.jupiter.ordering import ClientOrderOracle, ServerOrderOracle
 from repro.model.schedule import OpSpec
+from repro.obs import get_obs
 
 
 class CssClient(BaseClient):
@@ -180,6 +182,7 @@ class CssServer(BaseServer):
         self._gc = gc
         self._known: dict = {}
         self.pruned_states = 0
+        self._obs = get_obs()
 
     @property
     def document(self) -> ListDocument:
@@ -190,6 +193,8 @@ class CssServer(BaseServer):
     ) -> List[Tuple[ReplicaId, Any]]:
         if not isinstance(payload, ClientOperation):
             raise ProtocolError(f"server: unexpected payload {payload!r}")
+        obs = self._obs
+        started = time.perf_counter() if obs.enabled else 0.0
         operation = payload.operation
         serial = self.oracle.assign(operation.opid)
         prefix = self.oracle.serialized_before(serial)
@@ -200,6 +205,9 @@ class CssServer(BaseServer):
         broadcast = ServerOperation(
             operation=operation, origin=sender, serial=serial, prefix=prefix
         )
+        if obs.enabled:
+            obs.ops_serialised.inc()
+            obs.serialise_duration.observe(time.perf_counter() - started)
         return [(client, broadcast) for client in self.clients]
 
     def _collect_garbage(self) -> None:

@@ -22,6 +22,7 @@ from repro.common.ids import OpId, StateKey, format_opid_set
 from repro.document.list_document import ListDocument
 from repro.errors import StateSpaceError
 from repro.jupiter.state_space import BaseStateSpace, StateNode, Transition
+from repro.obs import get_obs
 from repro.ot.operations import Operation
 from repro.ot.transform import transform_pair
 
@@ -43,6 +44,7 @@ class NaryStateSpace(BaseStateSpace):
     ) -> None:
         super().__init__(initial_document)
         self._oracle = oracle
+        self._obs = get_obs()
 
     # ------------------------------------------------------------------
     # Ordered transition insertion
@@ -109,6 +111,10 @@ class NaryStateSpace(BaseStateSpace):
             current = transformed
 
         self.final_key = new_corner.key
+        obs = self._obs
+        if obs.enabled:
+            obs.ot_transforms.inc(len(path))
+            obs.space_nodes.set(len(self._nodes))
         return current
 
     # ------------------------------------------------------------------
@@ -156,6 +162,10 @@ class NaryStateSpace(BaseStateSpace):
         doomed = [key for key in self._nodes if not floor <= key]
         for key in doomed:
             del self._nodes[key]
+        obs = self._obs
+        if obs.enabled:
+            obs.space_pruned.inc(len(doomed))
+            obs.space_nodes.set(len(self._nodes))
         return len(doomed)
 
     def _ancestors(self, key: StateKey) -> set:

@@ -30,6 +30,7 @@ reused), and the rebuilt state-space must match the logged history.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.common.ids import OpId, ReplicaId
@@ -40,6 +41,7 @@ from repro.jupiter.css import CssClient, CssServer
 from repro.jupiter.messages import ClientOperation, ServerOperation
 from repro.jupiter.nary import NaryStateSpace
 from repro.jupiter.state_space import StateNode, Transition
+from repro.obs import get_obs
 from repro.ot.operations import OpKind, Operation
 
 FORMAT_VERSION = 1
@@ -343,6 +345,7 @@ class ServerWriteAheadLog:
         self.records_truncated = 0
         self._next_serial = 1
         self._since_snapshot = 0
+        self._obs = get_obs()
 
     # -- write path ----------------------------------------------------
     @property
@@ -363,6 +366,7 @@ class ServerWriteAheadLog:
         self._next_serial += 1
         self.appends += 1
         self._since_snapshot += 1
+        self._obs.wal_appends.inc()
 
     def should_compact(self) -> bool:
         return self._since_snapshot >= self.snapshot_every
@@ -378,6 +382,8 @@ class ServerWriteAheadLog:
         may still need their broadcast re-shipped.  Returns the number of
         records truncated.
         """
+        obs = self._obs
+        started = time.perf_counter() if obs.enabled else 0.0
         self.snapshot = snapshot_server(server)
         floor = self.last_serial
         if retain_after is not None:
@@ -388,6 +394,16 @@ class ServerWriteAheadLog:
         self.records_truncated += truncated
         self.compactions += 1
         self._since_snapshot = 0
+        if obs.enabled:
+            obs.wal_compactions.inc()
+            obs.wal_records_truncated.inc(truncated)
+            obs.wal_compaction_duration.observe(time.perf_counter() - started)
+            obs.trace(
+                "wal.compact",
+                serial=self.last_serial,
+                truncated=truncated,
+                retained=len(kept),
+            )
         return truncated
 
     # -- recovery ------------------------------------------------------
@@ -399,6 +415,8 @@ class ServerWriteAheadLog:
         broadcast construction exactly as live traffic does.  Every
         replayed operation must be assigned the serial the log recorded.
         """
+        obs = self._obs
+        started = time.perf_counter() if obs.enabled else 0.0
         if self.snapshot is not None:
             server = restore_server(self.snapshot)
         else:
@@ -426,6 +444,14 @@ class ServerWriteAheadLog:
                 f"WAL recovery stopped at serial "
                 f"{server.oracle.last_serial} but the log reaches "
                 f"{self.last_serial}"
+            )
+        if obs.enabled:
+            obs.wal_recovery_duration.observe(time.perf_counter() - started)
+            obs.trace(
+                "wal.recover",
+                serial=self.last_serial,
+                replayed=len(self.records),
+                from_snapshot=self.snapshot is not None,
             )
         return server
 

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Sequence, Tuple
 from repro.common.ids import ReplicaId
 from repro.errors import ProtocolError
 from repro.jupiter.messages import ResyncRequest, ResyncResponse
+from repro.obs import get_obs
 
 #: A directed channel, e.g. ``("c1", "s")``.
 Channel = Tuple[ReplicaId, ReplicaId]
@@ -49,6 +50,7 @@ class SessionSender:
         self.channel = channel
         self.next_seq = 1
         self.acked = 0
+        self._obs = get_obs()
 
     def send(self) -> int:
         """Allocate the sequence number for the next outgoing frame."""
@@ -64,6 +66,7 @@ class SessionSender:
                 f"{self.next_seq - 1}"
             )
         self.acked = max(self.acked, cumulative)
+        self._obs.session_acks.inc()
 
     def unacked(self) -> range:
         """Sequence numbers still awaiting acknowledgement."""
@@ -102,6 +105,7 @@ class SessionReceiver:
         self.buffer: set = set()
         self.duplicates = 0
         self.buffered = 0
+        self._obs = get_obs()
 
     def receive(self, seq: int) -> int:
         """Accept frame ``seq``; return the number of frames released."""
@@ -109,10 +113,12 @@ class SessionReceiver:
             raise ProtocolError(f"{self.channel}: invalid sequence {seq}")
         if seq < self.expected or seq in self.buffer:
             self.duplicates += 1
+            self._obs.session_duplicates.inc()
             return 0
         if seq > self.expected:
             self.buffer.add(seq)
             self.buffered += 1
+            self._obs.session_gap_parks.inc()
             return 0
         released = 1
         self.expected += 1

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Deque, Dict, Optional
 
 from repro.common.ids import SERVER_ID, ReplicaId
 from repro.document.list_document import ListDocument
@@ -47,6 +48,12 @@ from repro.net.codec import (
     message_to_obj,
 )
 from repro.net.transport import read_frame, write_frame
+from repro.obs import get_obs
+
+#: Most recent round-trip samples kept for the loadgen report; the full
+#: distribution lives in the ``repro_net_rtt_seconds`` histogram, which
+#: is bounded by construction, so the raw-sample window can be small.
+RTT_SAMPLE_CAP = 2048
 
 
 class NetClient:
@@ -74,7 +81,8 @@ class NetClient:
         self.max_connect_attempts = max_connect_attempts
         self.connects = 0
         self.resync_frames = 0
-        self.rtts: List[float] = []
+        self.rtts: Deque[float] = deque(maxlen=RTT_SAMPLE_CAP)
+        self._obs = get_obs()
         self._sent_at: Dict[Any, float] = {}
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
@@ -109,6 +117,11 @@ class NetClient:
                 await asyncio.sleep(self.backoff.timeout(attempt))
         self._reader, self._writer = reader, writer
         self.connects += 1
+        if self.connects > 1:
+            self._obs.net_reconnects.inc()
+            self._obs.trace(
+                "net.reconnect", client=self.client_id, attempt=self.connects
+            )
         await write_frame(
             writer,
             encode_envelope(
@@ -128,10 +141,15 @@ class NetClient:
             self.css = CssClient(
                 self.client_id, ListDocument.from_string(initial)
             )
-        self.resync_frames += int(welcome.get("resync", 0))
+        resync = int(welcome.get("resync", 0))
+        self.resync_frames += resync
+        if resync:
+            self._obs.net_resync_frames.inc(resync)
         self._absorb_ack(int(welcome.get("ack", 0)))
         # Retransmit the unacknowledged suffix in sequence order; the
         # server's session receiver suppresses anything it already has.
+        if self.unacked:
+            self._obs.session_retransmits.inc(len(self.unacked))
         for seq in sorted(self.unacked):
             await write_frame(
                 writer,
@@ -183,6 +201,9 @@ class NetClient:
         self.sender.ack(ack)
         for seq in [s for s in self.unacked if s <= ack]:
             del self.unacked[seq]
+        obs = self._obs
+        if obs.enabled:
+            obs.net_unacked_frames.set(len(self.unacked))
 
     def _handle_frame(self, frame: Dict[str, Any]) -> None:
         kind = frame["type"]
@@ -211,6 +232,9 @@ class NetClient:
         first = self.receiver.expected - released
         for released_seq in range(first, self.receiver.expected):
             self._apply(self.parked.pop(released_seq))
+        obs = self._obs
+        if obs.enabled:
+            obs.net_parked_frames.set(len(self.parked))
         self._progress.set()
 
     def _apply(self, broadcast: ServerOperation) -> None:
@@ -218,7 +242,9 @@ class NetClient:
         opid = broadcast.operation.opid
         self.css.receive(broadcast)
         if is_echo and opid in self._sent_at:
-            self.rtts.append(time.perf_counter() - self._sent_at.pop(opid))
+            rtt = time.perf_counter() - self._sent_at.pop(opid)
+            self.rtts.append(rtt)
+            self._obs.net_rtt.observe(rtt)
 
     # ------------------------------------------------------------------
     # User operations

@@ -38,6 +38,7 @@ from repro.model.schedule import OpSpec
 from repro.net.client import NetClient
 from repro.net.codec import encode_envelope
 from repro.net.transport import read_frame, write_frame
+from repro.obs import get_obs, merge_snapshots, snapshot_value
 
 _ALPHABET = string.ascii_lowercase
 
@@ -131,6 +132,7 @@ async def run_worker(
         "resync_on_reconnect": resync_on_reconnect,
         "duration": duration,
         "rtt_ms": [round(r * 1000.0, 4) for r in client.rtts],
+        "metrics": get_obs().snapshot(),
     }
     await client.close()
     return report
@@ -299,6 +301,7 @@ def run_loadgen(
         wall = time.perf_counter() - started
         server_view = admin(host, bound_port, "signature")
         server_stats = admin(host, bound_port, "stats")
+        server_metrics = admin(host, bound_port, "metrics")
     finally:
         try:
             admin(host, bound_port, "shutdown")
@@ -315,6 +318,12 @@ def run_loadgen(
     signatures = {r["client"]: r["signature"] for r in reports}
     signatures["s"] = server_view["signature"]
     identical = len(set(signatures.values())) == 1
+    # Exact cross-process merge: every worker snapshots its registry and
+    # the fixed bucket boundaries make the histograms sum element-wise.
+    client_metrics = merge_snapshots(
+        [r["metrics"] for r in reports if r.get("metrics", {}).get("metrics")]
+    )
+    rtt_observed = snapshot_value(client_metrics, "repro_net_rtt_seconds")
     reconnects = sum(r["reconnects"] for r in reports)
     resynced = sum(r["resync_on_reconnect"] for r in reports)
     rtts = [sample for r in reports for sample in r["rtt_ms"]]
@@ -349,5 +358,9 @@ def run_loadgen(
             "duplicates_suppressed": server_stats["duplicates_suppressed"],
             "wal": server_stats["wal"],
         },
+        "client_metrics": client_metrics,
+        "client_rtt_observations": rtt_observed,
+        "server_metrics_enabled": bool(server_metrics.get("enabled")),
+        "server_exposition": server_metrics.get("exposition", ""),
         "workers": reports,
     }

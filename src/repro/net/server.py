@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from typing import Any, Dict, Optional
 
 from repro.common.ids import SERVER_ID, ReplicaId
@@ -54,6 +55,11 @@ from repro.net.codec import (
     message_to_obj,
 )
 from repro.net.transport import read_frame, write_frame
+from repro.obs import get_obs
+
+#: The server's named logger; silent unless the embedding process (the
+#: ``repro serve`` CLI, a test harness) configures handlers and a level.
+LOGGER = logging.getLogger("repro.net.server")
 
 
 class _ClientChannel:
@@ -102,6 +108,8 @@ class NetServer:
         self.resync_frames_sent = 0
         self.frames_received = 0
         self.duplicates_suppressed = 0
+        self._obs = get_obs()
+        self._logger = LOGGER
         self._asyncio_server: Optional[asyncio.base_events.Server] = None
         self._closed = asyncio.Event()
 
@@ -129,8 +137,7 @@ class NetServer:
         self._closed.set()
 
     def _log(self, text: str) -> None:
-        if not self.quiet:
-            print(f"[serve] {text}", flush=True)
+        self._logger.info("%s", text)
 
     # ------------------------------------------------------------------
     # Roster
@@ -157,6 +164,19 @@ class NetServer:
         if not self.channels:
             return 0
         return min(c.delivered for c in self.channels.values())
+
+    def _update_connection_gauges(self) -> None:
+        obs = self._obs
+        if obs.enabled:
+            obs.net_connected_clients.set(
+                sum(1 for c in self.channels.values() if c.writer is not None)
+            )
+            obs.net_parked_frames.set(
+                sum(len(c.parked) for c in self.channels.values())
+            )
+            obs.net_unacked_frames.set(
+                sum(c.sender.outstanding for c in self.channels.values())
+            )
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -213,7 +233,17 @@ class NetServer:
                 initial=self.initial_text,
             ),
         )
+        self._obs.trace(
+            "net.connect",
+            client=name,
+            connect=channel.connects,
+            cursor=delivered,
+            resync=len(missed),
+        )
+        self._update_connection_gauges()
         # Resync from durable state: re-ship everything after the cursor.
+        if missed:
+            self._obs.net_resync_frames.inc(len(missed))
         for broadcast in missed:
             self.resync_frames_sent += 1
             await write_frame(
@@ -247,6 +277,8 @@ class NetServer:
             if channel.writer is writer:
                 channel.writer = None
             writer.close()
+            self._obs.trace("net.disconnect", client=name)
+            self._update_connection_gauges()
 
     async def _handle_frame(
         self, channel: _ClientChannel, frame: Dict[str, Any]
@@ -283,6 +315,7 @@ class NetServer:
             first = channel.receiver.expected - released
             for released_seq in range(first, channel.receiver.expected):
                 await self._serialise(channel, channel.parked.pop(released_seq))
+        self._update_connection_gauges()
         # Always re-acknowledge: a duplicate means an earlier ack was lost.
         if channel.writer is not None:
             await write_frame(
@@ -365,6 +398,14 @@ class NetServer:
                     "compactions": self.wal.compactions,
                     "records_truncated": self.wal.records_truncated,
                 },
+            )
+        elif command == "metrics":
+            obs = self._obs
+            reply = encode_envelope(
+                "admin_reply",
+                enabled=obs.enabled,
+                exposition=obs.render(),
+                snapshot=obs.snapshot(),
             )
         elif command == "shutdown":
             reply = encode_envelope("admin_reply", stopping=True)

@@ -25,6 +25,7 @@ import struct
 from typing import Any, Dict, Optional
 
 from repro.net.codec import WireError, decode_envelope
+from repro.obs import get_obs
 
 #: Frame length header: 4-byte unsigned big-endian.
 _HEADER = struct.Struct(">I")
@@ -52,6 +53,10 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
     body = await _read_exactly(reader, length, at_boundary=False)
     if body is None:  # pragma: no cover - needs a mid-frame EOF race
         raise WireError("connection closed mid-frame")
+    obs = get_obs()
+    if obs.enabled:
+        obs.net_frames_in.inc()
+        obs.net_bytes_in.inc(_HEADER.size + length)
     return decode_envelope(body)
 
 
@@ -75,5 +80,9 @@ async def write_frame(
     body = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
         raise WireError(f"frame of {len(body)} bytes exceeds the {MAX_FRAME} cap")
+    obs = get_obs()
+    if obs.enabled:
+        obs.net_frames_out.inc()
+        obs.net_bytes_out.inc(_HEADER.size + len(body))
     writer.write(_HEADER.pack(len(body)) + body)
     await writer.drain()

@@ -1,0 +1,109 @@
+"""repro.obs — metrics, tracing, and Prometheus-style exposition.
+
+The observability subsystem for the deployed runtime: a metrics registry
+(counters, gauges, histograms with fixed bucket boundaries so
+cross-process merges are exact), a structured trace-event ring buffer,
+and Prometheus text exposition — all behind one process-global handle
+that is a no-op singleton until :func:`enable` is called.
+
+Usage, in three layers:
+
+* **Instrumented code** calls :func:`get_obs` once (at object
+  construction) and pokes named instruments on the handle; when
+  observability is off those calls hit the shared no-op handle and cost
+  ~nothing (see :mod:`repro.obs.handle`).
+* **Processes** opt in at startup: the ``repro serve`` and
+  ``repro connect`` CLI verbs call :func:`enable` before building their
+  runtime objects; library embedders and the simulator default to off.
+* **Consumers** scrape: the ``metrics`` admin-plane command on a running
+  :class:`~repro.net.server.NetServer` (and the ``repro metrics`` CLI
+  verb wrapping it) return Prometheus text exposition, and the load
+  generator merges per-client snapshots into its report with
+  :func:`merge_snapshots`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.obs.handle import (
+    CANONICAL_COUNTERS,
+    CANONICAL_GAUGES,
+    CANONICAL_HISTOGRAMS,
+    FAST_SECONDS_BUCKETS,
+    NOOP_INSTRUMENT,
+    NoopObs,
+    Obs,
+)
+from repro.obs.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObservabilityError,
+    merge_snapshots,
+    render_snapshot,
+    snapshot_value,
+)
+from repro.obs.trace import DEFAULT_CAPACITY, TraceRing
+
+__all__ = [
+    "Obs",
+    "NoopObs",
+    "NOOP",
+    "NOOP_INSTRUMENT",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceRing",
+    "ObservabilityError",
+    "DEFAULT_SECONDS_BUCKETS",
+    "FAST_SECONDS_BUCKETS",
+    "DEFAULT_CAPACITY",
+    "CANONICAL_COUNTERS",
+    "CANONICAL_GAUGES",
+    "CANONICAL_HISTOGRAMS",
+    "get_obs",
+    "enable",
+    "disable",
+    "is_enabled",
+    "merge_snapshots",
+    "render_snapshot",
+    "snapshot_value",
+]
+
+#: The disabled singleton every process starts with.
+NOOP = NoopObs()
+
+_handle: Union[Obs, NoopObs] = NOOP
+
+
+def get_obs() -> Union[Obs, NoopObs]:
+    """The process-global handle (the no-op singleton until enabled)."""
+    return _handle
+
+
+def enable(trace_capacity: int = DEFAULT_CAPACITY, reset: bool = False) -> Obs:
+    """Switch observability on; idempotent unless ``reset`` is given.
+
+    Must run *before* the instrumented objects are constructed — call
+    sites bind the handle once, at construction (which is what makes the
+    disabled fast path free).  ``reset=True`` discards a live handle's
+    instruments and starts fresh, which tests use for isolation.
+    """
+    global _handle
+    if reset or not _handle.enabled:
+        _handle = Obs(trace_capacity)
+    return _handle
+
+
+def disable() -> None:
+    """Switch observability off (back to the shared no-op singleton)."""
+    global _handle
+    _handle = NOOP
+
+
+def is_enabled() -> bool:
+    return _handle.enabled

@@ -1,0 +1,493 @@
+"""The metrics registry: counters, gauges, histograms, exposition.
+
+Three instrument kinds, modelled on the Prometheus data model but pure
+stdlib:
+
+* :class:`Counter` — a monotonically increasing float;
+* :class:`Gauge` — a float that can go up and down;
+* :class:`Histogram` — observations bucketed against **fixed, explicit
+  bucket boundaries**.  Fixing the boundaries at creation (instead of
+  adapting them to the data) is what makes cross-process merge *exact*:
+  two histograms with the same boundaries merge by summing their bucket
+  counts, with zero approximation error.  This is the property the
+  load generator leans on when it folds per-client snapshots into one
+  fleet-wide report.
+
+Instruments may carry labels (``labelnames`` at creation,
+:meth:`~_Metric.labels` to get the per-label-value child).  Children are
+ordinary instruments; the parent is only a factory plus sample
+aggregator.
+
+Every instrument lives in a :class:`MetricsRegistry`; ``snapshot()``
+serialises the whole registry to a plain JSON-able dict, and
+:func:`render_snapshot` turns any snapshot — live or merged — into
+Prometheus text exposition format (version 0.0.4: ``# HELP`` / ``# TYPE``
+comments, cumulative ``_bucket{le="..."}`` series, ``_sum`` and
+``_count``).
+
+Registries are deliberately not thread-safe: every runtime in this
+repository is either single-threaded or a single asyncio event loop, and
+cross-process aggregation happens through snapshots, never shared state.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError
+
+SNAPSHOT_VERSION = 1
+
+#: Default histogram bucket upper bounds, in seconds — wide enough for
+#: localhost RTTs (sub-millisecond) through WAN reconnect storms.
+DEFAULT_SECONDS_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the metrics registry (type clash, bucket mismatch...)."""
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample formatting: integers without a trailing ``.0``."""
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_labels(
+    labelnames: Sequence[str], labelvalues: Sequence[str]
+) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    """Common machinery: identity, labels, child management."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        if not name or not name.replace("_", "a").isalnum():
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        #: labelvalues tuple -> child instrument (labelled parents only)
+        self._children: Dict[Tuple[str, ...], "_Metric"] = {}
+
+    def _new_child(self) -> "_Metric":
+        return type(self)(self.name, self.help)
+
+    def labels(self, *values: str) -> "_Metric":
+        """The child instrument for one concrete label-value tuple."""
+        if not self.labelnames:
+            raise ObservabilityError(
+                f"{self.name} was created without labels"
+            )
+        if len(values) != len(self.labelnames):
+            raise ObservabilityError(
+                f"{self.name} expects {len(self.labelnames)} label values "
+                f"({self.labelnames}), got {len(values)}"
+            )
+        key = tuple(str(v) for v in values)
+        child = self._children.get(key)
+        if child is None:
+            child = self._new_child()
+            self._children[key] = child
+        return child
+
+    def _own_sample(self) -> Dict[str, Any]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def samples(self) -> List[Dict[str, Any]]:
+        """All concrete samples: ``[{"labels": [...], ...values...}]``."""
+        if self.labelnames:
+            rows = []
+            for key in sorted(self._children):
+                sample = self._children[key]._own_sample()
+                sample["labels"] = list(key)
+                rows.append(sample)
+            return rows
+        sample = self._own_sample()
+        sample["labels"] = []
+        return [sample]
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "type": self.kind,
+            "help": self.help,
+            "labelnames": list(self.labelnames),
+            "samples": self.samples(),
+        }
+
+
+class Counter(_Metric):
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        if self.labelnames:
+            return sum(c._value for c in self._children.values())
+        return self._value
+
+    def _own_sample(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Gauge(_Metric):
+    """A value that can go up and down (queue depths, live counts)."""
+
+    kind = "gauge"
+
+    def __init__(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        if self.labelnames:
+            return sum(c._value for c in self._children.values())
+        return self._value
+
+    def _own_sample(self) -> Dict[str, Any]:
+        return {"value": self._value}
+
+
+class Histogram(_Metric):
+    """Observations against fixed bucket boundaries.
+
+    ``buckets`` are the finite upper bounds (``le`` semantics: an
+    observation equal to a bound lands in that bound's bucket); the
+    implicit ``+Inf`` bucket catches the overflow.  Counts are stored
+    per-bucket (not cumulative) and cumulated only at render time, which
+    keeps :func:`merge_snapshots` a plain element-wise sum.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labelnames)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ObservabilityError(
+                f"histogram {name} buckets must be strictly increasing, "
+                f"got {buckets!r}"
+            )
+        self.buckets = bounds
+        self._counts = [0] * (len(bounds) + 1)  # trailing slot = +Inf
+        self._sum = 0.0
+        self._count = 0
+
+    def _new_child(self) -> "Histogram":
+        return Histogram(self.name, self.help, buckets=self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._counts[bisect_left(self.buckets, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        if self.labelnames:
+            return sum(c._count for c in self._children.values())
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        if self.labelnames:
+            return sum(c._sum for c in self._children.values())
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (0..1) from the bucket counts.
+
+        Returns the upper bound of the bucket holding the target rank
+        (the last finite bound for overflow observations) — the usual
+        fixed-bucket estimate: exact to bucket resolution, merge-stable.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObservabilityError(f"quantile {q} not in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank and bucket_count:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return self.buckets[-1]
+        return self.buckets[-1]  # pragma: no cover - defensive
+
+    def _own_sample(self) -> Dict[str, Any]:
+        return {
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+    def to_obj(self) -> Dict[str, Any]:
+        obj = super().to_obj()
+        obj["buckets"] = list(self.buckets)
+        return obj
+
+
+class MetricsRegistry:
+    """A named collection of instruments with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, _Metric] = {}
+
+    def _get_or_create(self, cls, name: str, **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise ObservabilityError(
+                    f"{name} is already registered as a "
+                    f"{existing.kind}, not a {cls.kind}"
+                )
+            wanted_buckets = kwargs.get("buckets")
+            if wanted_buckets is not None and tuple(
+                float(b) for b in wanted_buckets
+            ) != existing.buckets:
+                raise ObservabilityError(
+                    f"{name} is already registered with buckets "
+                    f"{existing.buckets}"
+                )
+            return existing
+        metric = cls(name, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(
+            Counter, name, help=help, labelnames=labelnames
+        )
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(
+            Gauge, name, help=help, labelnames=labelnames
+        )
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_SECONDS_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help=help, labelnames=labelnames, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[_Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(self._metrics.values())
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Serialise every instrument to a JSON-able dict."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "metrics": [m.to_obj() for m in self._metrics.values()],
+        }
+
+    def render(self) -> str:
+        """Prometheus text exposition of the live registry."""
+        return render_snapshot(self.snapshot())
+
+
+# ----------------------------------------------------------------------
+# Snapshot-level operations (work on live or merged snapshots alike)
+# ----------------------------------------------------------------------
+def render_snapshot(snapshot: Dict[str, Any]) -> str:
+    """Render any snapshot to Prometheus text exposition format."""
+    lines: List[str] = []
+    for metric in snapshot.get("metrics", []):
+        name = metric["name"]
+        labelnames = metric.get("labelnames", [])
+        if metric.get("help"):
+            lines.append(f"# HELP {name} {metric['help']}")
+        lines.append(f"# TYPE {name} {metric['type']}")
+        for sample in metric["samples"]:
+            labelstr = _format_labels(labelnames, sample.get("labels", []))
+            if metric["type"] == "histogram":
+                cumulative = 0
+                bounds = [*metric["buckets"], "+Inf"]
+                for bound, count in zip(bounds, sample["counts"]):
+                    cumulative += count
+                    le = (
+                        _format_value(bound)
+                        if bound != "+Inf"
+                        else "+Inf"
+                    )
+                    bucket_labels = _format_labels(
+                        [*labelnames, "le"],
+                        [*sample.get("labels", []), le],
+                    )
+                    lines.append(
+                        f"{name}_bucket{bucket_labels} {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_sum{labelstr} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(f"{name}_count{labelstr} {sample['count']}")
+            else:
+                lines.append(
+                    f"{name}{labelstr} {_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge snapshots from several processes into one, exactly.
+
+    Counters and gauges sum per ``(name, labels)``; histograms sum their
+    per-bucket counts element-wise, which is exact because every process
+    uses the same fixed boundaries (a boundary mismatch raises — merging
+    approximations silently is how dashboards lie).
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    order: List[str] = []
+    for snapshot in snapshots:
+        if snapshot.get("version") != SNAPSHOT_VERSION:
+            raise ObservabilityError(
+                f"unsupported snapshot version {snapshot.get('version')!r}"
+            )
+        for metric in snapshot.get("metrics", []):
+            name = metric["name"]
+            target = merged.get(name)
+            if target is None:
+                target = {
+                    "name": name,
+                    "type": metric["type"],
+                    "help": metric.get("help", ""),
+                    "labelnames": list(metric.get("labelnames", [])),
+                    "samples": [],
+                }
+                if metric["type"] == "histogram":
+                    target["buckets"] = list(metric["buckets"])
+                merged[name] = target
+                order.append(name)
+            if target["type"] != metric["type"]:
+                raise ObservabilityError(
+                    f"{name} is a {metric['type']} in one snapshot and a "
+                    f"{target['type']} in another"
+                )
+            if metric["type"] == "histogram" and list(
+                metric["buckets"]
+            ) != target["buckets"]:
+                raise ObservabilityError(
+                    f"{name} bucket boundaries differ across snapshots; "
+                    "an exact merge is impossible"
+                )
+            by_labels = {
+                tuple(s.get("labels", [])): s for s in target["samples"]
+            }
+            for sample in metric["samples"]:
+                key = tuple(sample.get("labels", []))
+                existing = by_labels.get(key)
+                if existing is None:
+                    copied = dict(sample)
+                    copied["labels"] = list(key)
+                    if "counts" in copied:
+                        copied["counts"] = list(copied["counts"])
+                    target["samples"].append(copied)
+                    by_labels[key] = copied
+                elif metric["type"] == "histogram":
+                    existing["counts"] = [
+                        a + b
+                        for a, b in zip(existing["counts"], sample["counts"])
+                    ]
+                    existing["sum"] += sample["sum"]
+                    existing["count"] += sample["count"]
+                else:
+                    existing["value"] += sample["value"]
+    return {
+        "version": SNAPSHOT_VERSION,
+        "metrics": [merged[name] for name in order],
+    }
+
+
+def snapshot_value(
+    snapshot: Dict[str, Any],
+    name: str,
+    labels: Sequence[str] = (),
+) -> Optional[float]:
+    """Read one counter/gauge sample out of a snapshot (``None`` if absent).
+
+    For histograms this returns the observation *count* — the scalar a
+    report or assertion usually wants.
+    """
+    wanted = list(labels)
+    for metric in snapshot.get("metrics", []):
+        if metric["name"] != name:
+            continue
+        for sample in metric["samples"]:
+            if sample.get("labels", []) == wanted:
+                if metric["type"] == "histogram":
+                    return float(sample["count"])
+                return float(sample["value"])
+    return None

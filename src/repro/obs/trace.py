@@ -1,0 +1,67 @@
+"""The structured trace-event ring buffer.
+
+Metrics answer "how many / how fast"; traces answer "what happened just
+before things went wrong".  A :class:`TraceRing` keeps the most recent
+``capacity`` structured events — a monotone sequence number, a wall-clock
+timestamp, a dot-separated ``kind`` and free-form fields — and overwrites
+the oldest on overflow, so a long-lived server pays a fixed memory cost
+no matter how chatty its lifetime was.
+
+Events are plain dicts, JSON-able by construction, so a ring can ride
+along a metrics snapshot or an admin-plane reply unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Any, Dict, List
+
+from repro.obs.registry import ObservabilityError
+
+DEFAULT_CAPACITY = 4096
+
+
+class TraceRing:
+    """A bounded ring of structured trace events."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ObservabilityError(
+                f"trace ring capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self._events: deque = deque(maxlen=capacity)
+        self._next_seq = 1
+
+    def append(self, kind: str, fields: Dict[str, Any]) -> None:
+        """Record one event; the oldest event falls off a full ring."""
+        self._events.append(
+            {
+                "seq": self._next_seq,
+                "ts": time.time(),
+                "kind": kind,
+                "fields": dict(fields),
+            }
+        )
+        self._next_seq += 1
+
+    def events(self) -> List[Dict[str, Any]]:
+        """The retained events, oldest first (copies, JSON-able)."""
+        return [dict(event) for event in self._events]
+
+    @property
+    def total(self) -> int:
+        """Events ever appended (retained + overwritten)."""
+        return self._next_seq - 1
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by ring wrap-around."""
+        return self.total - len(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -238,8 +238,11 @@ class _FaultyRun:
         )
         from repro.sim.faults import FaultStats
 
+        from repro.obs import get_obs
+
         self.runner = runner
         self.latency = runner.latency
+        self._obs = get_obs()
         self.plan = runner.faults.fresh()
         self.clients = runner.workload.client_names()
         self._validate()
@@ -549,6 +552,7 @@ class _FaultyRun:
             )
             return
         self.stats.retransmissions += 1
+        self._obs.session_retransmits.inc()
         self._transmit((sender, recipient), seq, now, attempt=attempt + 1)
 
     def _on_crash(self, client: ReplicaId, now: float) -> None:
@@ -585,6 +589,7 @@ class _FaultyRun:
         self.epochs[client] += 1
         for seq in sender.unacked():
             self.stats.retransmissions += 1
+            self._obs.session_retransmits.inc()
             self._transmit((client, SERVER_ID), seq, now, attempt=1)
         self.crashed.discard(client)
         self.stats.restores += 1
@@ -671,6 +676,7 @@ class _FaultyRun:
             self.senders[(SERVER_ID, client)] = sender
             for seq in sender.unacked():
                 self.stats.retransmissions += 1
+                self._obs.session_retransmits.inc()
                 self._transmit((SERVER_ID, client), seq, now, attempt=1)
 
         # The recovered state is durable: compact so a later crash replays

@@ -1,0 +1,16 @@
+"""Isolation for observability tests.
+
+The handle is process-global, and the tier-1 suite runs with
+observability *off* — every test here that enables it must leave the
+process the way it found it, or unrelated tests would start recording.
+"""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _disabled_after_each_test():
+    yield
+    obs.disable()

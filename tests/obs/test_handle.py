@@ -1,0 +1,109 @@
+"""The process-global handle: no-op fast path, enable/disable, tracing."""
+
+from repro import obs
+from repro.obs import NOOP_INSTRUMENT, NoopObs, Obs, TraceRing
+from repro.obs.handle import (
+    CANONICAL_COUNTERS,
+    CANONICAL_GAUGES,
+    CANONICAL_HISTOGRAMS,
+)
+
+
+class TestNoop:
+    def test_process_starts_disabled(self):
+        handle = obs.get_obs()
+        assert isinstance(handle, NoopObs)
+        assert not handle.enabled
+        assert not obs.is_enabled()
+
+    def test_every_canonical_instrument_is_the_shared_noop(self):
+        handle = NoopObs()
+        for attr, _name, _help in CANONICAL_COUNTERS + CANONICAL_GAUGES:
+            assert getattr(handle, attr) is NOOP_INSTRUMENT
+        for attr, _name, _help, _buckets in CANONICAL_HISTOGRAMS:
+            assert getattr(handle, attr) is NOOP_INSTRUMENT
+
+    def test_noop_instrument_absorbs_everything(self):
+        NOOP_INSTRUMENT.inc()
+        NOOP_INSTRUMENT.inc(5)
+        NOOP_INSTRUMENT.dec()
+        NOOP_INSTRUMENT.set(3)
+        NOOP_INSTRUMENT.observe(0.1)
+        assert NOOP_INSTRUMENT.labels("x") is NOOP_INSTRUMENT
+        assert NOOP_INSTRUMENT.value == 0.0
+        assert NOOP_INSTRUMENT.count == 0
+        assert NOOP_INSTRUMENT.quantile(0.99) == 0.0
+
+    def test_noop_surface_matches_the_live_one(self):
+        handle = NoopObs()
+        handle.trace("anything", key="value")
+        assert handle.snapshot() == {"version": 1, "metrics": []}
+        assert handle.render() == ""
+        assert handle.trace_events() == []
+
+
+class TestEnableDisable:
+    def test_enable_swaps_the_handle_and_is_idempotent(self):
+        live = obs.enable()
+        assert isinstance(live, Obs)
+        assert obs.get_obs() is live
+        assert obs.enable() is live  # idempotent: instruments survive
+        live.ot_transforms.inc()
+        assert obs.enable().ot_transforms.value == 1.0
+
+    def test_reset_discards_recorded_values(self):
+        obs.enable().ot_transforms.inc(5)
+        fresh = obs.enable(reset=True)
+        assert fresh.ot_transforms.value == 0.0
+
+    def test_disable_returns_to_the_shared_singleton(self):
+        obs.enable()
+        obs.disable()
+        assert obs.get_obs() is obs.NOOP
+
+    def test_construction_binding_contract(self):
+        # An object built before enable() keeps its no-op handle: the
+        # documented contract — observability is a process-start decision.
+        before = obs.get_obs()
+        obs.enable()
+        after = obs.get_obs()
+        assert not before.enabled
+        assert after.enabled
+        assert before is not after
+
+    def test_every_canonical_series_present_even_when_zero(self):
+        live = obs.enable(reset=True)
+        text = live.render()
+        for _attr, name, _help in CANONICAL_COUNTERS + CANONICAL_GAUGES:
+            assert f"# TYPE {name} " in text
+        for _attr, name, _help, _buckets in CANONICAL_HISTOGRAMS:
+            assert f"# TYPE {name} histogram" in text
+            assert f'{name}_bucket{{le="+Inf"}} 0' in text
+
+
+class TestTraceRing:
+    def test_ring_keeps_the_newest_events(self):
+        ring = TraceRing(capacity=3)
+        for index in range(5):
+            ring.append("tick", {"index": index})
+        events = ring.events()
+        assert [e["fields"]["index"] for e in events] == [2, 3, 4]
+        assert [e["seq"] for e in events] == [3, 4, 5]
+        assert ring.total == 5
+        assert ring.dropped == 2
+        assert len(ring) == 3
+
+    def test_handle_trace_records_kind_and_fields(self):
+        live = obs.enable(reset=True)
+        live.trace("wal.compact", serial=7, truncated=3)
+        (event,) = live.trace_events()
+        assert event["kind"] == "wal.compact"
+        assert event["fields"] == {"serial": 7, "truncated": 3}
+        assert event["ts"] > 0
+
+    def test_snapshot_can_include_the_trace(self):
+        live = obs.enable(reset=True)
+        live.trace("net.connect", client="c1")
+        snapshot = live.snapshot(include_trace=True)
+        assert snapshot["trace"][0]["kind"] == "net.connect"
+        assert "trace" not in live.snapshot()

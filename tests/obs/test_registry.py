@@ -1,0 +1,204 @@
+"""The metrics registry: instruments, exposition, exact cross-process merge."""
+
+import json
+
+import pytest
+
+from repro.obs.registry import (
+    DEFAULT_SECONDS_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObservabilityError,
+    merge_snapshots,
+    render_snapshot,
+    snapshot_value,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("repro_test_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_cannot_decrease(self):
+        counter = Counter("repro_test_total")
+        with pytest.raises(ObservabilityError):
+            counter.inc(-1)
+
+    def test_labelled_children_sum_into_the_parent(self):
+        counter = Counter("repro_test_total", labelnames=("role",))
+        counter.labels("client").inc(2)
+        counter.labels("server").inc(3)
+        counter.labels("client").inc()
+        assert counter.value == 6.0
+        samples = counter.samples()
+        assert [s["labels"] for s in samples] == [["client"], ["server"]]
+        assert [s["value"] for s in samples] == [3.0, 3.0]
+
+    def test_unlabelled_metric_rejects_labels(self):
+        with pytest.raises(ObservabilityError):
+            Counter("repro_test_total").labels("x")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(ObservabilityError):
+            Counter("not a metric name")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("repro_test_nodes")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        histogram = Histogram("repro_test_seconds", buckets=(0.1, 0.5, 1.0))
+        histogram.observe(0.1)   # == bound: lands in the 0.1 bucket
+        histogram.observe(0.3)
+        histogram.observe(2.0)   # overflow: +Inf
+        assert histogram._counts == [1, 1, 0, 1]
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(2.4)
+
+    def test_buckets_must_strictly_increase(self):
+        for bad in ((), (1.0, 1.0), (2.0, 1.0)):
+            with pytest.raises(ObservabilityError):
+                Histogram("repro_test_seconds", buckets=bad)
+
+    def test_quantile_is_a_bucket_bound(self):
+        histogram = Histogram("repro_test_seconds", buckets=(0.1, 0.5, 1.0))
+        for _ in range(99):
+            histogram.observe(0.05)
+        histogram.observe(0.7)
+        assert histogram.quantile(0.5) == 0.1
+        assert histogram.quantile(1.0) == 1.0
+        assert Histogram("repro_empty_seconds").quantile(0.5) == 0.0
+
+    def test_labelled_children_inherit_buckets(self):
+        histogram = Histogram(
+            "repro_test_seconds", labelnames=("role",), buckets=(1.0, 2.0)
+        )
+        child = histogram.labels("client")
+        assert child.buckets == (1.0, 2.0)
+        child.observe(1.5)
+        assert histogram.count == 1
+
+
+class TestRegistry:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        first = registry.counter("repro_test_total")
+        second = registry.counter("repro_test_total")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total")
+        with pytest.raises(ObservabilityError):
+            registry.gauge("repro_test_total")
+
+    def test_bucket_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_seconds", buckets=(1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            registry.histogram("repro_test_seconds", buckets=(1.0, 3.0))
+
+    def test_snapshot_is_json_roundtrippable(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total").inc(3)
+        registry.histogram("repro_test_seconds", buckets=(1.0,)).observe(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot == json.loads(json.dumps(snapshot))
+
+
+class TestExposition:
+    def test_render_counters_and_gauges(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "help text").inc(3)
+        registry.gauge("repro_test_nodes").set(7)
+        text = registry.render()
+        assert "# HELP repro_test_total help text" in text
+        assert "# TYPE repro_test_total counter" in text
+        assert "repro_test_total 3" in text
+        assert "# TYPE repro_test_nodes gauge" in text
+        assert "repro_test_nodes 7" in text
+        assert text.endswith("\n")
+
+    def test_render_histogram_is_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "repro_test_seconds", buckets=(0.1, 0.5)
+        )
+        histogram.observe(0.05)
+        histogram.observe(0.3)
+        histogram.observe(9.0)
+        text = registry.render()
+        assert 'repro_test_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_test_seconds_bucket{le="0.5"} 2' in text
+        assert 'repro_test_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_test_seconds_count 3" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "repro_test_total", labelnames=("path",)
+        ).labels('a"b\\c\nd').inc()
+        text = registry.render()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+
+class TestMerge:
+    def _snapshot(self, counter=0, observations=()):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total").inc(counter)
+        histogram = registry.histogram(
+            "repro_test_seconds", buckets=(0.1, 0.5)
+        )
+        for value in observations:
+            histogram.observe(value)
+        return registry.snapshot()
+
+    def test_merge_sums_counters_and_histograms_exactly(self):
+        merged = merge_snapshots(
+            [
+                self._snapshot(counter=2, observations=(0.05, 0.3)),
+                self._snapshot(counter=3, observations=(0.05, 9.0)),
+            ]
+        )
+        assert snapshot_value(merged, "repro_test_total") == 5.0
+        assert snapshot_value(merged, "repro_test_seconds") == 4.0
+        (histogram,) = [
+            m for m in merged["metrics"] if m["name"] == "repro_test_seconds"
+        ]
+        assert histogram["samples"][0]["counts"] == [2, 1, 1]
+        # A merged snapshot renders exactly like a live one.
+        assert 'repro_test_seconds_bucket{le="+Inf"} 4' in render_snapshot(
+            merged
+        )
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots([]) == {"version": 1, "metrics": []}
+
+    def test_bucket_mismatch_refuses_to_merge(self):
+        registry = MetricsRegistry()
+        registry.histogram("repro_test_seconds", buckets=(1.0, 2.0))
+        other = MetricsRegistry()
+        other.histogram("repro_test_seconds", buckets=DEFAULT_SECONDS_BUCKETS)
+        with pytest.raises(ObservabilityError):
+            merge_snapshots([registry.snapshot(), other.snapshot()])
+
+    def test_version_mismatch_raises(self):
+        with pytest.raises(ObservabilityError):
+            merge_snapshots([{"version": 99, "metrics": []}])
+
+    def test_snapshot_value_absent_is_none(self):
+        assert snapshot_value({"version": 1, "metrics": []}, "nope") is None

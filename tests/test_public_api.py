@@ -19,6 +19,8 @@ PACKAGES = [
     "repro.sim",
     "repro.analysis",
     "repro.scenarios",
+    "repro.obs",
+    "repro.net",
 ]
 
 
