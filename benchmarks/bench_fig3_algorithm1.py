@@ -5,6 +5,8 @@ leftmost paths: the cost is linear in the number of operations the new
 operation is concurrent with.
 """
 
+import time
+
 import pytest
 
 from repro.common import OpId
@@ -12,7 +14,7 @@ from repro.jupiter.nary import NaryStateSpace
 from repro.jupiter.ordering import ServerOrderOracle
 from repro.ot import insert
 
-from benchmarks.conftest import print_banner
+from benchmarks.conftest import print_banner, write_json
 
 
 def _space_with_path(length: int):
@@ -41,6 +43,30 @@ def test_fig3_artifact(benchmark):
     print(f"Executed form after 3 transformations: {executed.pretty()}")
     print(f"OT count: {space.ot_count} (3 for the straggler)")
     assert len(executed.context) == 3
+
+    # Machine-readable scaling curve: one straggler integration against
+    # growing leftmost paths.  Near-linear growth is the tentpole claim.
+    curve = []
+    for path_length in (16, 64, 256, 1024):
+        grown, late = _space_with_path(path_length)
+        start = time.perf_counter()
+        grown.integrate(late)
+        elapsed = time.perf_counter() - start
+        curve.append(
+            {
+                "path_length": path_length,
+                "integrate_seconds": round(elapsed, 6),
+                "ot_count": path_length,
+            }
+        )
+    write_json(
+        "fig3_algorithm1",
+        {
+            "executed": executed.pretty(),
+            "ot_count": space.ot_count,
+            "straggler_integration": curve,
+        },
+    )
 
 
 @pytest.mark.parametrize("path_length", [1, 4, 16, 64])

@@ -11,7 +11,7 @@ import pytest
 from repro.analysis.equivalence import check_css_compactness
 from repro.sim.trace import check_all_specs
 
-from benchmarks.conftest import print_banner, simulate
+from benchmarks.conftest import print_banner, simulate, write_json
 
 
 def test_prop66_artifact(benchmark):
@@ -31,6 +31,19 @@ def test_prop66_artifact(benchmark):
     print(f"all {len(result.cluster.clients) + 1} replicas identical: "
           f"{not failures}")
     print(report.convergence.summary())
+    write_json(
+        "prop66_compactness",
+        {
+            "operations": 30,
+            "clients": 3,
+            "seed": 4,
+            "states": space.node_count(),
+            "transitions": space.transition_count(),
+            "replicas": len(result.cluster.clients) + 1,
+            "replicas_identical": not failures,
+            "convergence_ok": report.convergence.ok,
+        },
+    )
     assert not failures and report.convergence.ok
 
 

@@ -6,9 +6,21 @@ grows.  The interesting shape: classic Jupiter's per-operation cost is
 flat, while the state-space protocols pay for concurrency bookkeeping.
 """
 
+import json
+import os
+import time
+
 import pytest
 
-from benchmarks.conftest import print_banner, simulate
+from benchmarks.conftest import print_banner, simulate, write_json
+
+#: The perf-regression grid: one client count, growing operation counts.
+#: ``css`` is the optimised hot path; ``css-ref`` is the retained seed
+#: implementation (repro.jupiter.reference) measured as the baseline.
+GRID_CLIENTS = 4
+GRID_OPERATIONS = (60, 120, 240, 480, 960)
+GRID_SEED = 77
+FLOOR_PATH = os.path.join(os.path.dirname(__file__), "perf_floor.json")
 
 
 @pytest.mark.parametrize("clients", [2, 4, 8])
@@ -32,9 +44,88 @@ def test_scaling_operations_css(benchmark, operations):
     assert result.converged
 
 
+def test_scaling_grid_artifact(benchmark):
+    """The perf-regression grid: optimised vs reference throughput.
+
+    Writes ``BENCH_scaling.json`` with ops/sec for every grid point and —
+    when ``PERF_FLOOR_ENFORCE=1`` — fails if the optimised path's
+    throughput at the largest grid point has regressed more than 2x
+    against the checked-in floor (``benchmarks/perf_floor.json``).
+    """
+
+    def regenerate():
+        rows = []
+        for protocol in ("css", "css-ref"):
+            for operations in GRID_OPERATIONS:
+                start = time.perf_counter()
+                result = simulate(
+                    protocol,
+                    clients=GRID_CLIENTS,
+                    operations=operations,
+                    seed=GRID_SEED,
+                )
+                elapsed = time.perf_counter() - start
+                assert result.converged
+                rows.append(
+                    {
+                        "protocol": protocol,
+                        "clients": GRID_CLIENTS,
+                        "operations": operations,
+                        "seed": GRID_SEED,
+                        "wall_seconds": round(elapsed, 4),
+                        "ops_per_sec": round(operations / elapsed, 1),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_banner(
+        f"Scaling grid: {GRID_CLIENTS} clients, css vs css-ref baseline"
+    )
+    print(f"{'protocol':<8} {'ops':>5} {'wall (s)':>9} {'ops/s':>9}")
+    for row in rows:
+        print(
+            f"{row['protocol']:<8} {row['operations']:>5} "
+            f"{row['wall_seconds']:>9.3f} {row['ops_per_sec']:>9.1f}"
+        )
+
+    largest = max(GRID_OPERATIONS)
+    by_point = {(r["protocol"], r["operations"]): r for r in rows}
+    fast = by_point[("css", largest)]
+    base = by_point[("css-ref", largest)]
+    speedup = fast["ops_per_sec"] / base["ops_per_sec"]
+    print(
+        f"largest point ({largest} ops): css {fast['ops_per_sec']:.1f} vs "
+        f"css-ref {base['ops_per_sec']:.1f} ops/s ({speedup:.2f}x)"
+    )
+    write_json(
+        "scaling",
+        {
+            "grid": rows,
+            "largest_point": {
+                "operations": largest,
+                "css_ops_per_sec": fast["ops_per_sec"],
+                "css_ref_ops_per_sec": base["ops_per_sec"],
+                "speedup_vs_reference": round(speedup, 2),
+            },
+        },
+    )
+
+    if os.environ.get("PERF_FLOOR_ENFORCE") == "1":
+        with open(FLOOR_PATH, encoding="utf-8") as handle:
+            floor = json.load(handle)["scaling"]
+        assert floor["clients"] == GRID_CLIENTS
+        assert floor["operations"] == largest
+        minimum = floor["floor_ops_per_sec"] / 2
+        assert fast["ops_per_sec"] >= minimum, (
+            f"css throughput at {largest} ops regressed more than 2x: "
+            f"{fast['ops_per_sec']:.1f} ops/s < {minimum:.1f} "
+            f"(floor {floor['floor_ops_per_sec']:.1f})"
+        )
+
+
 def test_scaling_artifact(benchmark):
     """Throughput table: simulated ops/sec of wall-clock runtime."""
-    import time
 
     def regenerate():
         rows = []

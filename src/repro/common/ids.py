@@ -28,10 +28,23 @@ class OpId:
     4.5).  The derived ordering (``replica`` then ``seq``) is arbitrary but
     deterministic; protocols must *not* use it as the Jupiter total order —
     that order is the server serialisation order (Definition 4.3).
+
+    The hash is computed once and cached: ids live inside state keys,
+    prefix sets and document id-sets, so the state-space hot path hashes
+    the same id many thousands of times.
     """
 
     replica: ReplicaId
     seq: int
+    _hash: int = field(
+        default=0, init=False, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash((self.replica, self.seq)))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return f"{self.replica}:{self.seq}"

@@ -25,11 +25,12 @@ class ListDocument:
     clamping would mask protocol bugs that the test-suite wants to catch.
     """
 
-    __slots__ = ("_elements", "_ids")
+    __slots__ = ("_elements", "_ids", "_shared")
 
     def __init__(self, elements: Optional[Iterable[Element]] = None) -> None:
         self._elements: List[Element] = list(elements or [])
         self._ids = {e.opid for e in self._elements}
+        self._shared = False
         if len(self._ids) != len(self._elements):
             raise DuplicateElementError(
                 "initial contents contain duplicate element ids"
@@ -112,6 +113,7 @@ class ListDocument:
             raise DuplicateElementError(
                 f"element {element.pretty()} already present"
             )
+        self._unshare()
         self._elements.insert(position, element)
         self._ids.add(element.opid)
 
@@ -128,13 +130,31 @@ class ListDocument:
                 f"expected {expected.pretty()} at position {position}, "
                 f"found {victim.pretty()}"
             )
+        self._unshare()
         del self._elements[position]
         self._ids.discard(victim.opid)
         return victim
 
+    def _unshare(self) -> None:
+        if self._shared:
+            self._elements = list(self._elements)
+            self._ids = set(self._ids)
+            self._shared = False
+
     def copy(self) -> "ListDocument":
-        """An independent copy with the same contents."""
-        return ListDocument(self._elements)
+        """An independent copy with the same contents.
+
+        Copy-on-write: the copy shares the element list and id set with
+        the original until either side next mutates, so copying a state
+        that is only ever *read* (most CP1 corners) is O(1) instead of
+        O(length).
+        """
+        clone = ListDocument.__new__(ListDocument)
+        clone._elements = self._elements
+        clone._ids = self._ids
+        clone._shared = True
+        self._shared = True
+        return clone
 
     # ------------------------------------------------------------------
     # Construction helpers

@@ -360,6 +360,7 @@ def make_cluster(
     clients: Sequence[ReplicaId],
     initial_text: str = "",
     observe_after_receive: bool = True,
+    strict_cp1: bool = False,
 ) -> Cluster:
     """Build a ready-to-run cluster for one of the implemented protocols.
 
@@ -367,24 +368,57 @@ def make_cluster(
     All replicas start from the same initial document built from
     ``initial_text`` (shared element identities, as the paper's worked
     examples assume).
+
+    ``strict_cp1`` applies to the CSS family only: every replica's
+    state-space verifies CP1 squares by full ordered-document comparison
+    (the pre-optimisation behaviour) instead of the cheap
+    length/fingerprint check.  ``"css-ref"`` goes further: the replicas
+    run on :class:`~repro.jupiter.reference.ReferenceStateSpace`, the
+    retained seed implementation, serving as the equivalence oracle and
+    the perf-harness baseline.
     """
     initial = ListDocument.from_string(initial_text) if initial_text else None
     if protocol == "css-gc":
         # CSS with state-space garbage collection at every replica.
-        server = CssServer(SERVER_ID, list(clients), initial, gc=True)
+        server = CssServer(
+            SERVER_ID, list(clients), initial, gc=True, strict_cp1=strict_cp1
+        )
         client_map = {
-            name: CssClient(name, initial, gc=True, peers=list(clients))
+            name: CssClient(
+                name, initial, gc=True, peers=list(clients),
+                strict_cp1=strict_cp1,
+            )
             for name in clients
         }
+        return Cluster(server, client_map, observe_after_receive)
+    if protocol == "css-ref":
+        from repro.jupiter.reference import ReferenceStateSpace
+
+        server = CssServer(SERVER_ID, list(clients), initial)
+        server.space = ReferenceStateSpace(server.oracle, initial)
+        client_map = {}
+        for name in clients:
+            client = CssClient(name, initial)
+            client.space = ReferenceStateSpace(client.oracle, initial)
+            client_map[name] = client
         return Cluster(server, client_map, observe_after_receive)
     registry = dict(_PROTOCOLS)
     registry.update(_crdt_protocols())
     if protocol not in registry:
         raise ValueError(
             f"unknown protocol {protocol!r}; choose from "
-            f"{sorted(registry) + ['css-gc']}"
+            f"{sorted(registry) + ['css-gc', 'css-ref']}"
         )
     server_cls, client_cls = registry[protocol]
+    if protocol == "css":
+        server = CssServer(
+            SERVER_ID, list(clients), initial, strict_cp1=strict_cp1
+        )
+        client_map = {
+            name: CssClient(name, initial, strict_cp1=strict_cp1)
+            for name in clients
+        }
+        return Cluster(server, client_map, observe_after_receive)
     server = server_cls(SERVER_ID, list(clients), initial)
     client_map = {name: client_cls(name, initial) for name in clients}
     return Cluster(server, client_map, observe_after_receive)

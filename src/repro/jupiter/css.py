@@ -49,10 +49,14 @@ class CssClient(BaseClient):
         initial_document: Optional[ListDocument] = None,
         gc: bool = False,
         peers: Optional[List[ReplicaId]] = None,
+        *,
+        strict_cp1: bool = False,
     ) -> None:
         super().__init__(replica_id)
         self.oracle = ClientOrderOracle(replica_id)
-        self.space = NaryStateSpace(self.oracle, initial_document)
+        self.space = NaryStateSpace(
+            self.oracle, initial_document, strict_cp1=strict_cp1
+        )
         self._pending: List = []  # own operations awaiting their echo
         self._gc = gc
         if gc and peers is None:
@@ -175,10 +179,14 @@ class CssServer(BaseServer):
         clients: List[ReplicaId],
         initial_document: Optional[ListDocument] = None,
         gc: bool = False,
+        *,
+        strict_cp1: bool = False,
     ) -> None:
         super().__init__(replica_id, clients)
         self.oracle = ServerOrderOracle()
-        self.space = NaryStateSpace(self.oracle, initial_document)
+        self.space = NaryStateSpace(
+            self.oracle, initial_document, strict_cp1=strict_cp1
+        )
         self._gc = gc
         self._known: dict = {}
         self.pruned_states = 0

@@ -1,0 +1,89 @@
+"""Hash-consed state keys for the state-space hot path.
+
+A state key is the :class:`frozenset` of original operation ids processed
+(Definition 4.5).  Algorithm 1 closes one CP1 square per leftmost-path
+step, and every square used to build the corner key with a fresh
+``frozenset`` union — an O(|key|) allocation plus an O(|key|) hash for
+every square, which made integration superlinear in the total number of
+operations processed.
+
+:class:`KeyInterner` removes both costs without changing the key *type*:
+
+* ``intern`` hash-conses keys — one canonical ``frozenset`` instance per
+  distinct key content.  CPython caches a frozenset's hash inside the
+  object after the first computation, so repeated hashing of a canonical
+  key is O(1), and dictionary probes against a table keyed by canonical
+  instances short-circuit on identity before ever comparing elements.
+* ``extend`` memoises the single-op union ``key | {opid}`` — the only
+  union shape the square construction needs.  Each distinct
+  ``(key, opid)`` pair pays the O(|key|) union exactly once; every later
+  square that reaches the same corner gets the canonical key back in
+  O(1).
+
+Interning is purely an in-memory representation: snapshots and the WAL
+keep the plain sorted-frozenset wire form
+(:mod:`repro.jupiter.persistence`), and restore re-interns keys as it
+rebuilds the node table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Tuple
+
+from repro.common.ids import OpId, StateKey
+
+
+class KeyInterner:
+    """Hash-consing table for state keys plus a memoised single-op union.
+
+    One interner belongs to one state-space: keys from different replicas
+    are still compared structurally (they are ordinary frozensets), so
+    cross-replica signature comparisons are unaffected.
+    """
+
+    __slots__ = ("_canon", "_extend")
+
+    def __init__(self) -> None:
+        self._canon: Dict[StateKey, StateKey] = {}
+        self._extend: Dict[Tuple[StateKey, OpId], StateKey] = {}
+
+    def intern(self, key: Iterable[OpId]) -> StateKey:
+        """The canonical instance for ``key``'s content."""
+        if type(key) is not frozenset:
+            key = frozenset(key)
+        canonical = self._canon.get(key)
+        if canonical is None:
+            # First sighting: this instance becomes the canonical one
+            # (its hash is now cached inside the frozenset object).
+            self._canon[key] = canonical = key
+        return canonical
+
+    def extend(self, key: StateKey, opid: OpId) -> StateKey:
+        """The canonical instance of ``key | {opid}``, memoised."""
+        pair = (key, opid)
+        extended = self._extend.get(pair)
+        if extended is None:
+            extended = self.intern(key | {opid})
+            self._extend[pair] = extended
+        return extended
+
+    def forget(self, keys: Iterable[StateKey]) -> None:
+        """Drop interned keys (after a GC prune) so the tables stay
+        proportional to the *live* state-space, not its whole history."""
+        doomed = set(keys)
+        if not doomed:
+            return
+        for key in doomed:
+            self._canon.pop(key, None)
+        self._extend = {
+            pair: result
+            for pair, result in self._extend.items()
+            if pair[0] not in doomed and result not in doomed
+        }
+
+    def __len__(self) -> int:
+        return len(self._canon)
+
+    @property
+    def extend_cache_size(self) -> int:
+        return len(self._extend)

@@ -12,11 +12,17 @@ operations.  Integrating an operation ``o`` whose context matches state
    transitions of each CP1 square in their appropriate order (Algorithm 1);
 3. returns ``o{L}`` for the replica to execute — the document of the new
    final state already reflects it.
+
+Each CP1 square is O(1) amortised: the corner node created by
+:meth:`_insert_ordered` is carried into the next square instead of being
+re-derived from a fresh key union, and all key bookkeeping goes through
+the space's :class:`~repro.jupiter.keys.KeyInterner`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol
+import time
+from typing import Dict, List, Optional, Protocol, Set
 
 from repro.common.ids import OpId, StateKey, format_opid_set
 from repro.document.list_document import ListDocument
@@ -41,19 +47,26 @@ class NaryStateSpace(BaseStateSpace):
         self,
         oracle: TotalOrderOracle,
         initial_document: Optional[ListDocument] = None,
+        *,
+        strict_cp1: bool = False,
     ) -> None:
-        super().__init__(initial_document)
+        super().__init__(initial_document, strict_cp1=strict_cp1)
         self._oracle = oracle
         self._obs = get_obs()
 
     # ------------------------------------------------------------------
     # Ordered transition insertion
     # ------------------------------------------------------------------
-    def _insert_ordered(self, source: StateNode, operation: Operation) -> None:
-        """Add a transition from ``source`` at its total-order position."""
-        target = self._attach(source, operation)
+    def _insert_ordered(
+        self,
+        source: StateNode,
+        operation: Operation,
+        target: Optional[StateNode] = None,
+    ) -> StateNode:
+        """Add a transition from ``source`` at its total-order position
+        and return the target node."""
+        target = self._attach(source, operation, target)
         transition = Transition(source.key, target.key, operation)
-        index = 0
         for index, sibling in enumerate(source.children):
             if sibling.org_id == operation.opid:
                 raise StateSpaceError(
@@ -62,8 +75,9 @@ class NaryStateSpace(BaseStateSpace):
                 )
             if not self._oracle.before(sibling.org_id, operation.opid):
                 source.children.insert(index, transition)
-                return
+                return target
         source.children.append(transition)
+        return target
 
     # ------------------------------------------------------------------
     # The leftmost path (Lemma 6.4)
@@ -91,30 +105,41 @@ class NaryStateSpace(BaseStateSpace):
     # ------------------------------------------------------------------
     def integrate(self, operation: Operation) -> Operation:
         """Integrate ``operation`` and return its executed form ``o{L}``."""
+        obs = self._obs
+        started = time.perf_counter() if obs.enabled else 0.0
         source = self.node(operation.context)  # the matching state
         path = self.leftmost_path(source.key)
 
-        self._insert_ordered(source, operation)
-        new_corner = self.node(source.key | {operation.opid})
+        corner = self._insert_ordered(source, operation)
 
         current = operation
         for step in path:
-            transformed, step_shifted = transform_pair(current, step.operation)
+            # The two transformed forms attach at states whose keys this
+            # loop already holds interned — hand them over so no set union
+            # is recomputed per square.
+            transformed, step_shifted = transform_pair(
+                current, step.operation, contexts=(step.target, corner.key)
+            )
             self.ot_count += 1
             # Close the CP1 square: the shifted path operation continues
-            # from the corner we just created...
-            self._insert_ordered(new_corner, step_shifted)
+            # from the corner we just created — its target *is* the next
+            # corner, so no key union needs recomputing...
+            next_corner = self._insert_ordered(corner, step_shifted)
             # ...and the transformed operation re-attaches at the path's
-            # next state, ordered among that state's existing transitions.
-            self._insert_ordered(self.node(step.target), transformed)
-            new_corner = self.node(step.target | {operation.opid})
+            # next state, into the same corner node, ordered among that
+            # state's existing transitions.
+            self._insert_ordered(
+                self.node(step.target), transformed, target=next_corner
+            )
+            corner = next_corner
             current = transformed
 
-        self.final_key = new_corner.key
-        obs = self._obs
+        self.final_key = corner.key
         if obs.enabled:
             obs.ot_transforms.inc(len(path))
             obs.space_nodes.set(len(self._nodes))
+            obs.document_length.set(corner.length)
+            obs.css_integrate_duration.observe(time.perf_counter() - started)
         return current
 
     # ------------------------------------------------------------------
@@ -160,19 +185,38 @@ class NaryStateSpace(BaseStateSpace):
                 "processed"
             )
         doomed = [key for key in self._nodes if not floor <= key]
-        for key in doomed:
-            del self._nodes[key]
+        if doomed:
+            doomed_set = set(doomed)
+            # Materialise the documents of surviving nodes whose pending
+            # chain starts at a doomed parent, so no survivor keeps a
+            # pruned subgraph alive through its materialisation chain.
+            for key, node in self._nodes.items():
+                if key in doomed_set or node.materialised:
+                    continue
+                parent = node._parent
+                if parent is not None and parent.key in doomed_set:
+                    node._materialise()
+            for key in doomed:
+                del self._nodes[key]
+            self._interner.forget(doomed)
         obs = self._obs
         if obs.enabled:
             obs.space_pruned.inc(len(doomed))
             obs.space_nodes.set(len(self._nodes))
         return len(doomed)
 
-    def _ancestors(self, key: StateKey) -> set:
-        """All states with a path to ``key`` (including ``key`` itself)."""
-        parents: dict = {state: [] for state in self._nodes}
-        for transition in self.transitions():
-            parents[transition.target].append(transition.source)
+    def _ancestors(
+        self,
+        key: StateKey,
+        parents: Optional[Dict[StateKey, List[StateKey]]] = None,
+    ) -> Set[StateKey]:
+        """All states with a path to ``key`` (including ``key`` itself).
+
+        ``parents`` is the reverse-edge map; pass one (from
+        :meth:`_parents_map`) to amortise it over several calls.
+        """
+        if parents is None:
+            parents = self._parents_map()
         seen = {key}
         frontier = [key]
         while frontier:
@@ -183,16 +227,38 @@ class NaryStateSpace(BaseStateSpace):
                     frontier.append(parent)
         return seen
 
+    def _parents_map(self) -> Dict[StateKey, List[StateKey]]:
+        parents: Dict[StateKey, List[StateKey]] = {
+            state: [] for state in self._nodes
+        }
+        for transition in self.transitions():
+            parents[transition.target].append(transition.source)
+        return parents
+
     def lowest_common_ancestors(
         self, first: StateKey, second: StateKey
     ) -> List[StateKey]:
-        """All LCAs of two states; Lemma 8.4 says there is exactly one."""
-        common = self._ancestors(first) & self._ancestors(second)
+        """All LCAs of two states; Lemma 8.4 says there is exactly one.
+
+        The reverse-edge map is built once and every candidate's ancestor
+        set is memoised, so the lowest-filter is linear in the graph per
+        distinct candidate instead of rebuilding the map per pair.
+        """
+        parents = self._parents_map()
+        ancestor_sets: Dict[StateKey, Set[StateKey]] = {}
+
+        def ancestors_of(key: StateKey) -> Set[StateKey]:
+            cached = ancestor_sets.get(key)
+            if cached is None:
+                ancestor_sets[key] = cached = self._ancestors(key, parents)
+            return cached
+
+        common = ancestors_of(first) & ancestors_of(second)
         lowest = [
             candidate
             for candidate in common
             if not any(
-                other != candidate and candidate in self._ancestors(other)
+                other != candidate and candidate in ancestors_of(other)
                 for other in common
             )
         ]

@@ -28,7 +28,10 @@ class ServerOrderOracle:
 
     def __init__(self) -> None:
         self._serial_by_opid: Dict[OpId, int] = {}
+        self._by_serial: List[OpId] = []  # index i holds serial i + 1
         self._next_serial = 1
+        # Incrementally grown prefix: (serial, ids serialised before it).
+        self._prefix_cache: Tuple[int, frozenset] = (1, frozenset())
 
     @property
     def last_serial(self) -> int:
@@ -50,6 +53,7 @@ class ServerOrderOracle:
             raise OrderingError(f"operation {opid} serialised twice")
         serial = self._next_serial
         self._serial_by_opid[opid] = serial
+        self._by_serial.append(opid)
         self._next_serial += 1
         return serial
 
@@ -60,10 +64,22 @@ class ServerOrderOracle:
         return opid in self._serial_by_opid
 
     def serialized_before(self, serial: int) -> frozenset:
-        """Ids of all operations with a smaller serial (message prefix)."""
-        return frozenset(
-            opid for opid, s in self._serial_by_opid.items() if s < serial
-        )
+        """Ids of all operations with a smaller serial (message prefix).
+
+        The common caller asks for the prefix of the serial it just
+        assigned, so the answer is grown incrementally from the last one
+        (one element added per assignment) instead of rescanning every
+        assignment ever made.
+        """
+        cached_serial, cached = self._prefix_cache
+        if serial == cached_serial:
+            return cached
+        if cached_serial < serial <= self._next_serial:
+            # Fully determined and append-only, so safe to cache.
+            grown = cached.union(self._by_serial[cached_serial - 1 : serial - 1])
+            self._prefix_cache = (serial, grown)
+            return grown
+        return frozenset(self._by_serial[: serial - 1])
 
     def before(self, first: OpId, second: OpId) -> bool:
         """``first ⇒ second`` in the server total order."""

@@ -108,12 +108,14 @@ def _state_key_from_obj(obj) -> frozenset:
 def space_to_obj(space: NaryStateSpace) -> Dict[str, Any]:
     """Serialise a state-space: nodes (with documents) and transitions."""
     nodes = []
-    for key in space.states():
+    # iter_documents materialises lazy documents through a transient memo,
+    # so snapshotting does not permanently cache every node's document.
+    for key, document in space.iter_documents():
         node = space.node(key)
         nodes.append(
             {
                 "key": _state_key_to_obj(key),
-                "document": [element_to_obj(e) for e in node.document],
+                "document": [element_to_obj(e) for e in document],
                 "children": [
                     {
                         "operation": operation_to_obj(t.operation),
@@ -145,17 +147,21 @@ def space_from_obj(obj: Dict[str, Any], oracle) -> NaryStateSpace:
     space = NaryStateSpace(oracle)
     nodes = space._nodes  # populated wholesale during restore
     nodes.clear()
+    # Snapshots carry plain sorted frozensets on the wire; restore
+    # re-interns every key so the rebuilt space hits the same identity
+    # fast paths as one grown through integrate().
+    intern = space._interner.intern
     for node_obj in obj["nodes"]:
-        key = _state_key_from_obj(node_obj["key"])
+        key = intern(_state_key_from_obj(node_obj["key"]))
         document = ListDocument(
             element_from_obj(e) for e in node_obj["document"]
         )
         nodes[key] = StateNode(key, document)
     for node_obj in obj["nodes"]:
-        key = _state_key_from_obj(node_obj["key"])
+        key = intern(_state_key_from_obj(node_obj["key"]))
         node = nodes[key]
         for child in node_obj["children"]:
-            target = _state_key_from_obj(child["target"])
+            target = intern(_state_key_from_obj(child["target"]))
             if target not in nodes:
                 raise ProtocolError(
                     "snapshot transition points at a missing state"
@@ -163,7 +169,7 @@ def space_from_obj(obj: Dict[str, Any], oracle) -> NaryStateSpace:
             node.children.append(
                 Transition(key, target, operation_from_obj(child["operation"]))
             )
-    space.final_key = _state_key_from_obj(obj["final"])
+    space.final_key = intern(_state_key_from_obj(obj["final"]))
     if space.final_key not in nodes:
         raise ProtocolError("snapshot final state missing from node table")
     space.ot_count = int(obj.get("ot_count", 0))

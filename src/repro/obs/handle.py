@@ -149,6 +149,11 @@ CANONICAL_GAUGES: Tuple[Tuple[str, str, str], ...] = (
         "repro_net_parked_frames",
         "Out-of-order broadcast frames parked awaiting a gap fill",
     ),
+    (
+        "document_length",
+        "repro_document_length",
+        "List length at the final state of the last integrating replica",
+    ),
 )
 
 #: attribute name -> (metric name, help, buckets)
@@ -175,6 +180,12 @@ CANONICAL_HISTOGRAMS: Tuple[Tuple[str, str, str, Tuple[float, ...]], ...] = (
         "wal_recovery_duration",
         "repro_wal_recovery_seconds",
         "Wall-clock duration of one WAL recovery (snapshot + replay)",
+        FAST_SECONDS_BUCKETS,
+    ),
+    (
+        "css_integrate_duration",
+        "repro_css_integrate_duration_seconds",
+        "Wall-clock duration of one Algorithm 1 integration",
         FAST_SECONDS_BUCKETS,
     ),
 )

@@ -117,23 +117,48 @@ class Operation:
         """A copy of this operation defined on ``context``."""
         return replace(self, context=frozenset(context))
 
-    def extended_by(self, other_id: OpId) -> "Operation":
-        """A copy whose context additionally contains ``other_id``."""
-        return replace(self, context=self.context | {other_id})
+    def extended_by(
+        self, other_id: OpId, context: Optional[StateKey] = None
+    ) -> "Operation":
+        """A copy whose context additionally contains ``other_id``.
 
-    def moved_to(self, position: int, other_id: OpId) -> "Operation":
-        """A copy at ``position`` whose context gained ``other_id``."""
-        return replace(
-            self, position=position, context=self.context | {other_id}
+        ``context`` short-circuits the union when the caller already holds
+        ``self.context | {other_id}`` (Algorithm 1 does: it is the state
+        key of the square corner the derived operation attaches at).
+        """
+        return Operation(
+            kind=self.kind,
+            opid=self.opid,
+            element=self.element,
+            position=self.position,
+            context=self.context | {other_id} if context is None else context,
         )
 
-    def collapsed(self, other_id: OpId) -> "Operation":
+    def moved_to(
+        self,
+        position: int,
+        other_id: OpId,
+        context: Optional[StateKey] = None,
+    ) -> "Operation":
+        """A copy at ``position`` whose context gained ``other_id``."""
+        return Operation(
+            kind=self.kind,
+            opid=self.opid,
+            element=self.element,
+            position=position,
+            context=self.context | {other_id} if context is None else context,
+        )
+
+    def collapsed(
+        self, other_id: OpId, context: Optional[StateKey] = None
+    ) -> "Operation":
         """The NOP form of this operation (used when DEL targets vanish)."""
-        return replace(
-            self,
+        return Operation(
             kind=OpKind.NOP,
+            opid=self.opid,
+            element=self.element,
             position=None,
-            context=self.context | {other_id},
+            context=self.context | {other_id} if context is None else context,
         )
 
     # ------------------------------------------------------------------

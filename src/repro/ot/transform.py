@@ -16,20 +16,28 @@ operation pairs.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
+from repro.common.ids import StateKey
 from repro.errors import ContextMismatchError, TransformError
 from repro.ot.operations import Operation
 
 
-def transform(o1: Operation, o2: Operation) -> Operation:
+def transform(
+    o1: Operation, o2: Operation, context: Optional[StateKey] = None
+) -> Operation:
     """Return ``o1{o2}``, the form of ``o1`` that applies after ``o2``.
 
     Raises :class:`ContextMismatchError` when the operations are not
     defined on the same context — transforming such a pair is meaningless
     and always indicates a protocol bug, so we fail fast.
+
+    ``context`` optionally supplies the result's context
+    ``C(o1) ∪ {org(o2)}`` when the caller already holds it — Algorithm 1
+    does (it is a state key of the CP1 square being closed), and passing
+    it spares one O(|context|) set union per transform.
     """
-    if o1.context != o2.context:
+    if o1.context is not o2.context and o1.context != o2.context:
         raise ContextMismatchError(
             f"cannot transform {o1.pretty()} against {o2.pretty()}: "
             "contexts differ"
@@ -40,61 +48,76 @@ def transform(o1: Operation, o2: Operation) -> Operation:
         )
 
     if o1.is_nop or o2.is_nop:
-        return o1.extended_by(o2.opid)
+        return o1.extended_by(o2.opid, context)
 
     if o1.is_insert and o2.is_insert:
-        return _transform_ins_ins(o1, o2)
+        return _transform_ins_ins(o1, o2, context)
     if o1.is_insert and o2.is_delete:
-        return _transform_ins_del(o1, o2)
+        return _transform_ins_del(o1, o2, context)
     if o1.is_delete and o2.is_insert:
-        return _transform_del_ins(o1, o2)
-    return _transform_del_del(o1, o2)
+        return _transform_del_ins(o1, o2, context)
+    return _transform_del_del(o1, o2, context)
 
 
-def transform_pair(o1: Operation, o2: Operation) -> Tuple[Operation, Operation]:
+def transform_pair(
+    o1: Operation,
+    o2: Operation,
+    contexts: Optional[Tuple[StateKey, StateKey]] = None,
+) -> Tuple[Operation, Operation]:
     """Return ``(o1{o2}, o2{o1})`` — both sides of the CP1 square.
 
     This is the paper's ``(o1', o2') = OT(o1, o2)`` notation, producing the
-    two far edges of the commutative diagram in Figure 1c.
+    two far edges of the commutative diagram in Figure 1c.  ``contexts``
+    optionally carries the two result contexts (see :func:`transform`).
     """
-    return transform(o1, o2), transform(o2, o1)
+    if contexts is None:
+        return transform(o1, o2), transform(o2, o1)
+    return transform(o1, o2, contexts[0]), transform(o2, o1, contexts[1])
 
 
 # ----------------------------------------------------------------------
 # The four kind-directed cases
 # ----------------------------------------------------------------------
-def _transform_ins_ins(o1: Operation, o2: Operation) -> Operation:
+def _transform_ins_ins(
+    o1: Operation, o2: Operation, context: Optional[StateKey]
+) -> Operation:
     assert o1.position is not None and o2.position is not None
     if o1.position < o2.position:
-        return o1.extended_by(o2.opid)
+        return o1.extended_by(o2.opid, context)
     if o1.position > o2.position:
-        return o1.moved_to(o1.position + 1, o2.opid)
+        return o1.moved_to(o1.position + 1, o2.opid, context)
     # Same position: the higher-priority replica's element stays left.
     if o1.priority > o2.priority:
-        return o1.extended_by(o2.opid)
-    return o1.moved_to(o1.position + 1, o2.opid)
+        return o1.extended_by(o2.opid, context)
+    return o1.moved_to(o1.position + 1, o2.opid, context)
 
 
-def _transform_ins_del(o1: Operation, o2: Operation) -> Operation:
+def _transform_ins_del(
+    o1: Operation, o2: Operation, context: Optional[StateKey]
+) -> Operation:
     assert o1.position is not None and o2.position is not None
     if o1.position <= o2.position:
-        return o1.extended_by(o2.opid)
-    return o1.moved_to(o1.position - 1, o2.opid)
+        return o1.extended_by(o2.opid, context)
+    return o1.moved_to(o1.position - 1, o2.opid, context)
 
 
-def _transform_del_ins(o1: Operation, o2: Operation) -> Operation:
+def _transform_del_ins(
+    o1: Operation, o2: Operation, context: Optional[StateKey]
+) -> Operation:
     assert o1.position is not None and o2.position is not None
     if o1.position < o2.position:
-        return o1.extended_by(o2.opid)
-    return o1.moved_to(o1.position + 1, o2.opid)
+        return o1.extended_by(o2.opid, context)
+    return o1.moved_to(o1.position + 1, o2.opid, context)
 
 
-def _transform_del_del(o1: Operation, o2: Operation) -> Operation:
+def _transform_del_del(
+    o1: Operation, o2: Operation, context: Optional[StateKey]
+) -> Operation:
     assert o1.position is not None and o2.position is not None
     if o1.position < o2.position:
-        return o1.extended_by(o2.opid)
+        return o1.extended_by(o2.opid, context)
     if o1.position > o2.position:
-        return o1.moved_to(o1.position - 1, o2.opid)
+        return o1.moved_to(o1.position - 1, o2.opid, context)
     # Same position on the same context means the same element: the other
     # deletion already removed it, so this one degenerates to a no-op.
     assert o1.element is not None and o2.element is not None
@@ -104,4 +127,4 @@ def _transform_del_del(o1: Operation, o2: Operation) -> Operation:
             f"different elements ({o1.element.pretty()} vs "
             f"{o2.element.pretty()}) despite equal contexts"
         )
-    return o1.collapsed(o2.opid)
+    return o1.collapsed(o2.opid, context)

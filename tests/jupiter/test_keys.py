@@ -1,0 +1,79 @@
+"""Tests for the state-key interner (repro.jupiter.keys)."""
+
+from repro.common import OpId
+from repro.jupiter.keys import KeyInterner
+
+
+def opids(*seqs):
+    return [OpId("c1", s) for s in seqs]
+
+
+class TestIntern:
+    def test_equal_content_interns_to_one_instance(self):
+        interner = KeyInterner()
+        a, b = opids(1, 2)
+        first = interner.intern(frozenset({a, b}))
+        second = interner.intern(frozenset({b, a}))
+        assert first is second
+
+    def test_accepts_any_iterable(self):
+        interner = KeyInterner()
+        a, b = opids(1, 2)
+        canonical = interner.intern(frozenset({a, b}))
+        assert interner.intern([a, b]) is canonical
+        assert interner.intern({a, b}) is canonical
+
+    def test_distinct_contents_stay_distinct(self):
+        interner = KeyInterner()
+        a, b = opids(1, 2)
+        assert interner.intern({a}) is not interner.intern({b})
+        assert len(interner) == 2
+
+
+class TestExtend:
+    def test_extend_equals_union(self):
+        interner = KeyInterner()
+        a, b = opids(1, 2)
+        base = interner.intern({a})
+        extended = interner.extend(base, b)
+        assert extended == frozenset({a, b})
+
+    def test_extend_is_memoised_and_canonical(self):
+        interner = KeyInterner()
+        a, b = opids(1, 2)
+        base = interner.intern({a})
+        first = interner.extend(base, b)
+        second = interner.extend(base, b)
+        assert first is second
+        # Reaching the same content another way yields the same instance.
+        assert interner.intern(frozenset({a, b})) is first
+        assert interner.extend_cache_size == 1
+
+
+class TestForget:
+    def test_forget_drops_canon_and_extend_entries(self):
+        interner = KeyInterner()
+        a, b, c = opids(1, 2, 3)
+        base = interner.intern({a})
+        corner = interner.extend(base, b)
+        kept = interner.extend(base, c)
+        interner.forget([corner])
+        assert corner not in interner._canon
+        # The extend entry producing the doomed key is purged; the other
+        # survives.
+        assert (base, b) not in interner._extend
+        assert interner.extend(base, c) is kept
+
+    def test_forget_purges_entries_sourced_at_doomed_keys(self):
+        interner = KeyInterner()
+        a, b = opids(1, 2)
+        base = interner.intern({a})
+        interner.extend(base, b)
+        interner.forget([base])
+        assert (base, b) not in interner._extend
+
+    def test_forget_nothing_is_a_noop(self):
+        interner = KeyInterner()
+        base = interner.intern({opids(1)[0]})
+        interner.forget([])
+        assert interner.intern({opids(1)[0]}) is base

@@ -384,3 +384,52 @@ class TestRestoreSeams:
         assert client.next_seq == 3
         result = client.generate(OpSpec("ins", 0, "q"))
         assert result.operation.opid == OpId("c1", 3)
+
+
+class TestInternedKeysSurviveRestore:
+    """Snapshots stay on the plain frozenset wire form, but a restored
+    space must re-intern every key so it hits the same identity fast
+    paths as a space grown through integrate()."""
+
+    def test_restored_space_keys_are_interned(self):
+        client = mid_run_cluster().clients["c1"]
+        restored = restore_client(snapshot_client(client))
+        space = restored.space
+        interner = space._interner
+        for key in space.states():
+            assert interner.intern(frozenset(key)) is key
+        assert interner.intern(frozenset(space.final_key)) is space.final_key
+        # Transition targets are the same instances as the node keys.
+        for transition in space.transitions():
+            assert transition.target is interner.intern(
+                frozenset(transition.target)
+            )
+
+    def test_restored_space_matches_and_keeps_integrating(self):
+        cluster = mid_run_cluster()
+        client = cluster.clients["c1"]
+        restored = restore_client(snapshot_client(client))
+        assert restored.space.signature() == client.space.signature()
+        # The restored replica grows through the interned fast path.
+        result = restored.generate(OpSpec("ins", 0, "z"))
+        assert result.operation.opid.replica == "c1"
+        assert restored.space.final_key == (
+            client.space.final_key | {result.operation.opid}
+        )
+
+    def test_snapshot_of_lazy_space_does_not_pin_documents(self):
+        cluster = mid_run_cluster()
+        space = cluster.server.space
+        lazy_before = [
+            key
+            for key in space.states()
+            if not space.node(key).materialised
+        ]
+        snapshot_server(cluster.server)
+        still_lazy = [
+            key
+            for key in lazy_before
+            if not space.node(key).materialised
+        ]
+        # iter_documents used a transient memo: nothing new was pinned.
+        assert still_lazy == lazy_before

@@ -8,13 +8,13 @@ from repro.errors import StateSpaceError, UnknownStateError
 from repro.jupiter.nary import NaryStateSpace
 from repro.jupiter.ordering import ServerOrderOracle
 from repro.jupiter.state_space import Transition
-from repro.ot import insert
+from repro.ot import delete, insert
 
 
-def space_with(*ops_spec):
+def space_with(*ops_spec, strict_cp1=False):
     """Build a server space from (replica, value, position, ctx_ids)."""
     oracle = ServerOrderOracle()
-    space = NaryStateSpace(oracle)
+    space = NaryStateSpace(oracle, strict_cp1=strict_cp1)
     made = []
     for replica, value, position, ctx in ops_spec:
         op = insert(
@@ -57,19 +57,40 @@ class TestAttachGuards:
         with pytest.raises(StateSpaceError):
             space._attach(space.node(frozenset()), stray)
 
-    def test_broken_square_detected(self):
-        """If two edges into the same corner disagree on the document,
-        the structural CP1 check fires."""
+    def test_broken_square_detected_strict(self):
+        """If two edges into the same corner disagree on the document
+        *order*, the strict structural CP1 check fires.  (The default
+        length/fingerprint check cannot see pure order divergence — that
+        is exactly the cost the ``strict_cp1`` flag buys back.)"""
         space, (op_a, op_b) = space_with(
-            ("c1", "a", 0, []), ("c2", "b", 0, [])
+            ("c1", "a", 0, []), ("c2", "b", 0, []), strict_cp1=True
         )
         corner = frozenset({op_a.opid, op_b.opid})
-        # Forge an edge into the existing corner with a wrong operation.
+        # Forge an edge into the existing corner with a wrong position:
+        # same element, same length, different resulting order.
         forged = insert(
             OpId("c2", 1), "b", 1, context=frozenset({op_a.opid})
         )
         with pytest.raises(StateSpaceError):
             space._attach(space.node(frozenset({op_a.opid})), forged)
+        assert space.has_state(corner)
+
+    def test_broken_square_content_divergence_detected_fast(self):
+        """The default cheap CP1 check still catches edges whose derived
+        length or content fingerprint disagrees with the stored corner."""
+        space, (op_a, op_b) = space_with(
+            ("c1", "a", 0, []), ("c2", "b", 0, [])
+        )
+        corner = frozenset({op_a.opid, op_b.opid})
+        # Forge a *delete* edge into the existing corner: same opid, but
+        # the derived length (1 - 1 = 0) cannot match the corner's 2.
+        source = space.node(frozenset({op_a.opid}))
+        victim = source.document.element_at(0)
+        forged = delete(
+            OpId("c2", 1), victim, 0, context=frozenset({op_a.opid})
+        )
+        with pytest.raises(StateSpaceError):
+            space._attach(source, forged)
         assert space.has_state(corner)
 
 

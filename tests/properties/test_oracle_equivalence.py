@@ -1,0 +1,96 @@
+"""Oracle equivalence: the optimised n-ary space vs the retained reference.
+
+The hot-path overhaul (interned keys, lazy copy-on-write documents,
+corner reuse, cheap CP1 fingerprints) must be *behaviourally invisible*:
+a replica running the optimised :class:`NaryStateSpace` and one running
+the seed-semantics :class:`~repro.jupiter.reference.ReferenceStateSpace`
+must build identical state-spaces and documents on every schedule.
+
+50 seeded random schedules (mixed inserts/deletes, varied client counts
+and position distributions), half without GC and half with ``prune_below``
+active at every replica, are driven through both and compared state by
+state.
+"""
+
+import pytest
+
+from repro.common.ids import SERVER_ID
+from repro.jupiter.cluster import Cluster
+from repro.jupiter.css import CssClient, CssServer
+from repro.jupiter.reference import ReferenceStateSpace
+from repro.sim import SimulationRunner, UniformLatency, WorkloadConfig
+
+SEEDS = list(range(25))
+
+POSITIONS = ["uniform", "append", "hotspot"]
+
+
+def _workload(seed):
+    return WorkloadConfig(
+        clients=2 + seed % 3,
+        operations=16 + (seed * 7) % 32,
+        insert_ratio=[0.5, 0.7, 1.0][seed % 3],
+        positions=POSITIONS[seed % len(POSITIONS)],
+        seed=seed,
+    )
+
+
+def _reference_cluster(clients, gc):
+    """A CSS cluster whose every replica runs the reference space."""
+    server = CssServer(SERVER_ID, list(clients), gc=gc)
+    server.space = ReferenceStateSpace(server.oracle)
+    client_map = {}
+    for name in clients:
+        client = CssClient(
+            name, gc=gc, peers=list(clients) if gc else None
+        )
+        client.space = ReferenceStateSpace(client.oracle)
+        client_map[name] = client
+    return Cluster(server, client_map)
+
+
+def _assert_equivalent(optimised: Cluster, reference: Cluster):
+    assert optimised.documents() == reference.documents()
+    pairs = [(optimised.server, reference.server)]
+    pairs += [
+        (optimised.clients[name], reference.clients[name])
+        for name in optimised.clients
+    ]
+    for fast, slow in pairs:
+        # Identical structure: same states, same ordered transitions.
+        assert fast.space.signature() == slow.space.signature()
+        # Identical content: the document at every state matches.
+        fast_docs = {
+            key: doc.as_string() for key, doc in fast.space.iter_documents()
+        }
+        slow_docs = {
+            key: doc.as_string() for key, doc in slow.space.iter_documents()
+        }
+        assert fast_docs == slow_docs
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_optimised_space_matches_reference(seed):
+    config = _workload(seed)
+    latency = UniformLatency(0.005, 0.5, seed=seed)
+    result = SimulationRunner("css", config, latency).run()
+    reference = _reference_cluster(config.client_names(), gc=False)
+    reference.run(result.schedule)
+    _assert_equivalent(result.cluster, reference)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_optimised_space_matches_reference_under_gc(seed):
+    config = _workload(seed + 1000)
+    latency = UniformLatency(0.005, 0.5, seed=seed)
+    result = SimulationRunner("css-gc", config, latency).run()
+    reference = _reference_cluster(config.client_names(), gc=True)
+    reference.run(result.schedule)
+    _assert_equivalent(result.cluster, reference)
+    # GC reclaimed the same states on both sides.
+    assert (
+        result.cluster.server.pruned_states
+        == reference.server.pruned_states
+    )
+    for name, client in result.cluster.clients.items():
+        assert client.pruned_states == reference.clients[name].pruned_states
