@@ -318,6 +318,16 @@ def cmd_chaos(args) -> int:
             " server recovery replays the write-ahead log through a CssServer"
         )
         return 2
+    replicas = args.replicas
+    if args.kill_primary and not replicas:
+        replicas = 3
+    if replicas and args.protocol != "css":
+        print(
+            f"--replicas/--kill-primary require --protocol css "
+            f"(got {args.protocol!r}): replication quorum-commits the "
+            "CSS write-ahead log"
+        )
+        return 2
     workload = WorkloadConfig(
         clients=args.clients,
         operations=args.operations,
@@ -333,6 +343,8 @@ def cmd_chaos(args) -> int:
         max_drop=args.max_drop,
         check_replay=not args.no_replay,
         server_crash=args.server_crash,
+        replicas=replicas,
+        primary_kills=args.kill_primary or 1,
     )
     print(report.table())
     print(report.summary())
@@ -392,6 +404,28 @@ def cmd_serve(args) -> int:
     from repro.net.server import run_server
 
     _configure_net_process(args)
+    roster = None
+    replica_index = 0
+    if args.replica_of:
+        from repro.net.codec import parse_roster
+
+        roster = parse_roster(args.replica_of)
+        if args.port == 0:
+            print(
+                "--replica-of needs a fixed --port: the replica finds its "
+                "own roster index by matching --host:--port",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            replica_index = roster.index((args.host, args.port))
+        except ValueError:
+            print(
+                f"--host {args.host} --port {args.port} does not appear in "
+                f"the roster {args.replica_of!r}",
+                file=sys.stderr,
+            )
+            return 2
     return run_server(
         host=args.host,
         port=args.port,
@@ -399,6 +433,9 @@ def cmd_serve(args) -> int:
         snapshot_every=args.snapshot_every,
         announce=args.announce,
         quiet=args.quiet,
+        roster=roster,
+        replica_index=replica_index,
+        failover_delay=args.failover_delay,
     )
 
 
@@ -423,6 +460,8 @@ def cmd_connect(args) -> int:
             reconnect_after=args.reconnect_after,
             op_interval=args.op_interval,
             timeout=args.timeout,
+            roster=args.roster,
+            max_reconnect_attempts=args.max_reconnect_attempts,
         )
     )
     if args.json:
@@ -457,8 +496,21 @@ def cmd_loadgen(args) -> int:
         snapshot_every=args.snapshot_every,
         initial_text=args.initial,
         quiet=args.quiet,
+        replicas=args.replicas,
+        kill_primary=args.kill_primary,
+        failover_delay=args.failover_delay,
+        kill_after=args.kill_after,
     )
-    print(f"clients:       {report['clients']} processes + 1 server process")
+    server_desc = (
+        f"{report['replicas']} replica processes"
+        if report["replicas"] > 1
+        else "1 server process"
+    )
+    print(f"clients:       {report['clients']} processes + {server_desc}")
+    if report["replicas"] > 1:
+        print(f"replication:   primary={report['primary']} "
+              f"view={report['view']} view-changes={report['view_changes']} "
+              f"killed-primary={report['killed_primary']}")
     print(f"operations:    {report['ops']} (serialised {report['serial']})")
     print(f"converged:     {report['converged']}")
     print(f"signatures:    identical={report['signatures_identical']}")
@@ -491,6 +543,14 @@ def cmd_loadgen(args) -> int:
               f"frames-out={metric('repro_net_frames_sent_total'):.0f}")
     print(f"server-obs:    enabled={report['server_metrics_enabled']} "
           f"(scrape with: repro metrics --port <port>)")
+    if report["replicas"] > 1:
+        # Surface the failover instruments from the surviving primary's
+        # Prometheus exposition so smoke jobs can assert on them.
+        for line in (report.get("server_exposition") or "").splitlines():
+            if line.startswith(
+                ("repro_view_changes_total", "repro_repl_commit_floor")
+            ) or line.startswith("repro_failover_seconds_count"):
+                print(f"exposition:    {line}")
     for failure in report["failures"]:
         print(f"FAILURE: {failure}")
     return 0 if report["ok"] else 1
@@ -656,6 +716,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="crash the server mid-run and recover it from the "
         "write-ahead log (css only)",
     )
+    chaos.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        help="replicate the server over a 2f+1 quorum roster (css only)",
+    )
+    chaos.add_argument(
+        "--kill-primary",
+        type=int,
+        nargs="?",
+        const=1,
+        default=0,
+        help="kill the primary this many times per plan (implies "
+        "--replicas 3 when no roster size is given)",
+    )
     _add_workload_arguments(chaos)
     chaos.set_defaults(handler=cmd_chaos)
 
@@ -672,6 +747,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--announce",
         action="store_true",
         help="print one machine-parseable REPRO-SERVE line on startup",
+    )
+    serve.add_argument(
+        "--replica-of",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="ordered 2f+1 replica roster this server belongs to; its own "
+        "--host:--port must appear in it (the index is the replica id)",
+    )
+    serve.add_argument(
+        "--failover-delay",
+        type=float,
+        default=0.5,
+        help="seconds a backup waits after losing the primary feed before "
+        "starting a view change (staggered by successor rank)",
     )
     serve.add_argument("--quiet", action="store_true")
     serve.add_argument(
@@ -719,6 +808,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     connect.add_argument("--timeout", type=float, default=60.0)
     connect.add_argument(
+        "--roster",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="replica roster for failover: on connection loss the client "
+        "walks it and follows redirects to the current primary",
+    )
+    connect.add_argument(
+        "--max-reconnect-attempts",
+        type=int,
+        default=None,
+        help="give up (with a clean error) after this many mid-run "
+        "reconnect cycles (default: unbounded)",
+    )
+    connect.add_argument(
         "--json", action="store_true", help="emit the report as one JSON line"
     )
     connect.add_argument(
@@ -764,6 +867,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--snapshot-every", type=int, default=256)
     loadgen.add_argument("--initial", default="", help="initial document")
+    loadgen.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="spawn a 2f+1 replica roster instead of one server "
+        "(odd count >= 3)",
+    )
+    loadgen.add_argument(
+        "--kill-primary",
+        action="store_true",
+        help="SIGKILL the view-0 primary mid-run and require a view "
+        "change (needs --replicas >= 3)",
+    )
+    loadgen.add_argument(
+        "--failover-delay",
+        type=float,
+        default=0.5,
+        help="backup failover delay passed to every replica",
+    )
+    loadgen.add_argument(
+        "--kill-after",
+        type=float,
+        default=None,
+        help="seconds into the run to kill the primary (default: mid-run)",
+    )
     loadgen.add_argument("--quiet", action="store_true")
     loadgen.set_defaults(handler=cmd_loadgen)
 

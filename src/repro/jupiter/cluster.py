@@ -217,6 +217,23 @@ class Cluster:
             )
         self.server = server
 
+    def queued_payload_from(self, client_id: ReplicaId, index: int) -> Any:
+        """Peek (without delivering) one queued client-to-server payload.
+
+        The replicated runner proposes an operation to the backup quorum
+        *before* the server processes it: the payload stays queued until
+        the record commits, at which point :meth:`server_receive` pops it
+        — so the peek index is the client's proposed-but-uncommitted
+        count.
+        """
+        queue = self._to_server[self._require_client(client_id)]
+        if index >= len(queue):
+            raise ScheduleError(
+                f"peek at {client_id}[{index}] but only {len(queue)} "
+                "messages are queued"
+            )
+        return queue[index].payload
+
     def queued_payloads_to(self, client_id: ReplicaId) -> Tuple[Any, ...]:
         """Payloads queued on one server-to-client channel, send order.
 

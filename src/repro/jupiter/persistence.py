@@ -30,7 +30,9 @@ reused), and the rebuilt state-space must match the logged history.
 
 from __future__ import annotations
 
+import json
 import time
+import warnings
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.common.ids import OpId, ReplicaId
@@ -294,14 +296,32 @@ def restore_server(obj: Dict[str, Any]) -> CssServer:
 # Server durability: write-ahead log + snapshot compaction + recovery
 # ----------------------------------------------------------------------
 def wal_record_to_obj(
-    serial: int, origin: ReplicaId, operation: Operation
+    serial: int, origin: ReplicaId, operation: Operation, epoch: int = 0
 ) -> Dict[str, Any]:
-    """One WAL entry: a serialised operation in server-serial order."""
+    """One WAL entry: a serialised operation in server-serial order.
+
+    ``epoch`` is the replication view under which the record was first
+    proposed (0 for an unreplicated log).  View changes re-propose the
+    uncommitted suffix under a higher epoch, so ``(epoch, serial)`` pairs
+    totally order log prefixes across primaries.
+    """
     return {
         "serial": int(serial),
         "origin": origin,
+        "epoch": int(epoch),
         "operation": operation_to_obj(operation),
     }
+
+
+def _validate_wal_record(record: Any) -> Dict[str, Any]:
+    """Raise :class:`ProtocolError` unless ``record`` is a decodable entry."""
+    if not isinstance(record, dict):
+        raise ProtocolError(f"WAL record is not an object: {record!r}")
+    for field in ("serial", "origin", "operation"):
+        if field not in record:
+            raise ProtocolError(f"WAL record missing field {field!r}")
+    operation_from_obj(record["operation"])  # raises on garbage payloads
+    return record
 
 
 class ServerWriteAheadLog:
@@ -349,6 +369,8 @@ class ServerWriteAheadLog:
         self.appends = 0
         self.compactions = 0
         self.records_truncated = 0
+        #: epoch of the highest record witnessed (0 before any append)
+        self.last_epoch = 0
         self._next_serial = 1
         self._since_snapshot = 0
         self._obs = get_obs()
@@ -360,7 +382,11 @@ class ServerWriteAheadLog:
         return self._next_serial - 1
 
     def append(
-        self, serial: int, origin: ReplicaId, operation: Operation
+        self,
+        serial: int,
+        origin: ReplicaId,
+        operation: Operation,
+        epoch: int = 0,
     ) -> None:
         """Log one serialised operation (call *before* broadcasting it)."""
         if serial != self._next_serial:
@@ -368,11 +394,41 @@ class ServerWriteAheadLog:
                 f"WAL append out of order: got serial {serial}, "
                 f"expected {self._next_serial}"
             )
-        self.records.append(wal_record_to_obj(serial, origin, operation))
+        if epoch < self.last_epoch:
+            raise ProtocolError(
+                f"WAL append with stale epoch {epoch} < {self.last_epoch}"
+            )
+        self.records.append(
+            wal_record_to_obj(serial, origin, operation, epoch)
+        )
+        self.last_epoch = int(epoch)
         self._next_serial += 1
         self.appends += 1
         self._since_snapshot += 1
         self._obs.wal_appends.inc()
+
+    def truncate_from(self, serial: int) -> List[Dict[str, Any]]:
+        """Discard records with serial >= ``serial``; return them.
+
+        View changes use this on a backup whose uncommitted suffix lost to
+        the adopted log: the suffix is cut, handed back to the caller (the
+        new primary re-proposes equivalent records under its epoch), and
+        the log resumes appending at ``serial``.
+        """
+        cut = [r for r in self.records if int(r["serial"]) >= serial]
+        self.records = [r for r in self.records if int(r["serial"]) < serial]
+        self._next_serial = min(self._next_serial, int(serial))
+        self.last_epoch = (
+            int(self.records[-1]["epoch"]) if self.records else 0
+        )
+        return cut
+
+    def record_at(self, serial: int) -> Optional[Dict[str, Any]]:
+        """The retained record with ``serial``, or ``None`` if truncated."""
+        for record in self.records:
+            if int(record["serial"]) == serial:
+                return record
+        return None
 
     def should_compact(self) -> bool:
         return self._since_snapshot >= self.snapshot_every
@@ -550,4 +606,82 @@ class ServerWriteAheadLog:
         wal.snapshot = obj["snapshot"]
         wal.records = [dict(r) for r in obj["records"]]
         wal._next_serial = int(obj["next_serial"])
+        if wal.records:
+            wal.last_epoch = int(wal.records[-1].get("epoch", 0))
         return wal
+
+
+# ----------------------------------------------------------------------
+# On-disk WAL: header + one JSON record per line, torn-tail tolerant
+# ----------------------------------------------------------------------
+def save_wal(wal: ServerWriteAheadLog, path: str) -> None:
+    """Persist a WAL as JSON-lines: one header line, one line per record.
+
+    The record-per-line layout mirrors how an appending log hits disk: a
+    crash mid-append leaves at most one truncated final line, which
+    :func:`load_wal` detects and drops (the torn tail).
+    """
+    header = wal.to_obj()
+    records = header.pop("records")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def load_wal(path: str) -> ServerWriteAheadLog:
+    """Load a WAL saved by :func:`save_wal`, tolerating a torn tail.
+
+    A crash mid-append can leave the *final* record line truncated or
+    garbled.  That record was never acknowledged to anyone (the append
+    had not completed, so the op was neither broadcast nor quorum
+    certified), so it is safe to drop: recovery logs a warning, bumps the
+    ``wal_torn_tail_dropped`` counter, and resumes from the previous
+    record.  Corruption anywhere *before* the final record is not a torn
+    tail — it means lost acknowledged history — and raises
+    :class:`ProtocolError`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle.read().split("\n") if line.strip()]
+    if not lines:
+        raise ProtocolError(f"WAL file {path} is empty")
+    try:
+        header = json.loads(lines[0])
+    except ValueError as error:
+        raise ProtocolError(f"WAL header in {path} is corrupt: {error}")
+    records: List[Dict[str, Any]] = []
+    torn: Optional[str] = None
+    for index, line in enumerate(lines[1:], start=1):
+        final = index == len(lines) - 1
+        try:
+            records.append(_validate_wal_record(json.loads(line)))
+        except (ValueError, ProtocolError) as error:
+            if not final:
+                raise ProtocolError(
+                    f"WAL record {index} in {path} is corrupt mid-log "
+                    f"(not a torn tail): {error}"
+                )
+            torn = str(error)
+    if torn is not None:
+        warnings.warn(
+            f"dropping torn final WAL record in {path}: {torn}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        get_obs().wal_torn_tail_dropped.inc()
+    header["records"] = records
+    header["next_serial"] = (
+        int(records[-1]["serial"]) + 1
+        if records
+        else _post_snapshot_serial(header)
+    )
+    return ServerWriteAheadLog.from_obj(header)
+
+
+def _post_snapshot_serial(header: Dict[str, Any]) -> int:
+    """First serial after the header's snapshot (1 if no snapshot)."""
+    snapshot = header.get("snapshot")
+    if not snapshot:
+        return 1
+    serials = [int(serial) for _opid, serial in snapshot["serials"]]
+    return max(serials, default=0) + 1

@@ -1,0 +1,440 @@
+"""Quorum replication for the server write-ahead log.
+
+The Jupiter protocol is star-shaped: one server assigns the total serial
+order (dense 1..n), so :class:`~repro.jupiter.persistence.ServerWriteAheadLog`
+only survives a *restart* — a dead server machine still takes the
+document down.  This module replicates the log across ``2f + 1`` server
+replicas in the primary-backup style of Viewstamped Replication (see
+"Vive la Différence: Paxos vs. Viewstamped Replication vs. Zab"):
+
+* The **primary** of the current view assigns serials and ships each
+  record to the backups.  An operation is **committed** — and only then
+  acknowledged to its origin client and broadcast to everyone — once a
+  quorum of ``f + 1`` replicas (primary included) has durably appended
+  it.  A committed operation therefore survives any ``f`` simultaneous
+  replica failures: every election quorum intersects its write quorum.
+* A **view change** is deterministic: the next view's primary is
+  ``roster[view % len(roster)]`` (skipping dead replicas), it adopts the
+  longest quorum-certified log prefix — the candidate log with the
+  maximal ``(last_epoch, last_serial)`` among a quorum of survivors —
+  re-proposes the uncommitted suffix under the new **epoch** (stamped
+  into every record and frame, so anything a deposed primary still has
+  in flight is rejected as stale), and installs the adopted log on every
+  surviving backup (the VSR ``start-view`` message).
+* **Compaction is clamped to the commit floor**: the primary never
+  truncates a record that is not yet quorum-certified, because the
+  uncommitted suffix is exactly what a view change must re-propose (and
+  what :meth:`~repro.jupiter.persistence.ServerWriteAheadLog.broadcasts_for`
+  may still have to rebuild for a lagging consumer).
+
+:class:`ReplicatedWal` is the in-process composition — one object holds
+every replica's log, which is what the simulator (and the unit tests and
+failover benchmark) drive; the module-level helpers
+(:func:`quorum_size`, :func:`primary_for`, :func:`next_view`,
+:func:`elect`) are the pure election rules the networked runtime
+(:mod:`repro.net.server`) applies to logs it can only see over the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.common.ids import ReplicaId
+from repro.errors import ProtocolError
+from repro.jupiter.css import CssServer
+from repro.jupiter.persistence import ServerWriteAheadLog
+from repro.obs import get_obs
+
+
+def quorum_size(replicas: int) -> int:
+    """``f + 1`` for a roster of ``2f + 1`` (majority for any size)."""
+    return replicas // 2 + 1
+
+
+def primary_for(view: int, roster: Sequence[ReplicaId]) -> ReplicaId:
+    """The deterministic primary of ``view``: round-robin over the roster."""
+    return roster[view % len(roster)]
+
+
+def next_view(
+    view: int, roster: Sequence[ReplicaId], alive: Sequence[ReplicaId]
+) -> int:
+    """The lowest view above ``view`` whose designated primary is alive."""
+    living = set(alive)
+    if not living:
+        raise ProtocolError("cannot advance the view: no replica is alive")
+    candidate = view + 1
+    while primary_for(candidate, roster) not in living:
+        candidate += 1
+    return candidate
+
+
+def elect(candidates: Dict[ReplicaId, Tuple[int, int]]) -> ReplicaId:
+    """The replica whose log wins adoption.
+
+    ``candidates`` maps replica id to ``(last_epoch, last_serial)``.  The
+    longest quorum-certified prefix lives in the log with the maximal
+    ``(last_epoch, last_serial)`` — epoch dominates, because a record
+    re-proposed under a later epoch supersedes any same-serial record a
+    stale replica may still hold.  Ties break to the lexicographically
+    smallest replica id so every observer elects the same log.
+    """
+    if not candidates:
+        raise ProtocolError("cannot elect a log from zero candidates")
+    return min(
+        candidates,
+        key=lambda rid: (-candidates[rid][0], -candidates[rid][1], rid),
+    )
+
+
+def committed_origin_ack(
+    log: "ServerWriteAheadLog", committed: int, origin: ReplicaId
+) -> int:
+    """How many of ``origin``'s operations sit at or under the commit floor.
+
+    This — not the session receiver's cumulative receipt — is the
+    acknowledgement a replicated primary may send to a client: an op
+    acked with this counter is on ``f + 1`` disks and survives any view
+    change.  Works on any log whose uncommitted suffix is retained
+    (which the commit-floor compaction clamp guarantees).
+    """
+    uncommitted = sum(
+        1
+        for record in log.records
+        if int(record["serial"]) > committed and record["origin"] == origin
+    )
+    return log.origin_counts().get(origin, 0) - uncommitted
+
+
+@dataclass
+class ViewChange:
+    """The outcome of one deterministic view change."""
+
+    view: int
+    epoch: int
+    primary: ReplicaId
+    #: replica whose log was adopted (may be the new primary itself)
+    adopted_from: ReplicaId
+    #: highest serial in the adopted log
+    adopted_last: int
+    #: adopted-but-uncommitted records, re-stamped with the new epoch
+    reproposed: List[Dict[str, Any]] = field(default_factory=list)
+    #: records only the dead primary held — proposals the crash lost
+    #: (never acknowledged to anyone: acks are gated on the commit floor)
+    lost: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _clone_log(log: ServerWriteAheadLog) -> ServerWriteAheadLog:
+    return ServerWriteAheadLog.from_obj(log.to_obj())
+
+
+class ReplicatedWal:
+    """A quorum-replicated write-ahead log, all replicas in one process.
+
+    The serial-assignment rules of the underlying
+    :class:`ServerWriteAheadLog` are unchanged — the primary's log *is*
+    a plain WAL, and recovery/broadcast-rebuild go through it.  What this
+    class adds is the replication state machine around it: per-replica
+    ack tracking, the quorum commit floor, liveness, epochs, and the
+    view-change/rejoin transitions.
+
+    Durable appends survive their replica's death (the disk outlives the
+    process), so the commit floor counts *all* recorded acks, not just
+    currently-alive replicas.
+    """
+
+    def __init__(
+        self,
+        roster: Sequence[ReplicaId],
+        clients: Sequence[ReplicaId],
+        snapshot_every: int = 8,
+        initial_text: str = "",
+    ) -> None:
+        if len(roster) < 1:
+            raise ProtocolError("replica roster must not be empty")
+        if len(set(roster)) != len(roster):
+            raise ProtocolError(f"duplicate replica ids in roster {roster}")
+        self.roster = list(roster)
+        self.clients = list(clients)
+        self.view = 0
+        #: epochs equal view numbers: each view change bumps the epoch,
+        #: and every record/frame carries the epoch it was issued under.
+        self.epoch = 0
+        self.logs: Dict[ReplicaId, ServerWriteAheadLog] = {
+            rid: ServerWriteAheadLog(
+                rid,
+                clients,
+                snapshot_every=snapshot_every,
+                initial_text=initial_text,
+            )
+            for rid in self.roster
+        }
+        self.alive: Dict[ReplicaId, bool] = {rid: True for rid in self.roster}
+        #: highest serial each replica has durably appended (and, for
+        #: backups, acknowledged back to the primary)
+        self.acked: Dict[ReplicaId, int] = {rid: 0 for rid in self.roster}
+        #: quorum commit floor: highest serial certified by f+1 replicas
+        self.committed = 0
+        self.view_changes = 0
+        self.stale_rejected = 0
+        self._obs = get_obs()
+        self._obs.repl_commit_quorum.set(self.quorum)
+
+    # -- roster ---------------------------------------------------------
+    @property
+    def quorum(self) -> int:
+        return quorum_size(len(self.roster))
+
+    @property
+    def primary(self) -> ReplicaId:
+        return primary_for(self.view, self.roster)
+
+    @property
+    def primary_log(self) -> ServerWriteAheadLog:
+        return self.logs[self.primary]
+
+    def alive_replicas(self) -> List[ReplicaId]:
+        return [rid for rid in self.roster if self.alive[rid]]
+
+    @property
+    def last_proposed(self) -> int:
+        """Highest serial the current primary has assigned."""
+        return self.primary_log.last_serial
+
+    # -- primary write path ---------------------------------------------
+    def propose(self, origin: ReplicaId, operation) -> Dict[str, Any]:
+        """Assign the next serial and append to the primary's log.
+
+        Returns the record for the caller to ship to each alive backup
+        (the caller owns transport and its latencies).  The primary's own
+        durable append counts toward the quorum immediately.
+        """
+        serial = self.primary_log.last_serial + 1
+        log = self.primary_log
+        log.append(serial, origin, operation, epoch=self.epoch)
+        self.acked[self.primary] = serial
+        return log.records[-1]
+
+    def backup_append(
+        self, replica: ReplicaId, record: Dict[str, Any], epoch: int
+    ) -> bool:
+        """Durably append one shipped record on a backup.
+
+        Returns ``False`` — the record is discarded — when it was shipped
+        under a stale epoch (a deposed primary's leftover) or the backup
+        is down.  The caller sends an ack to the primary only on ``True``.
+        """
+        if epoch != self.epoch:
+            self.stale_rejected += 1
+            self._obs.repl_stale_rejected.inc()
+            return False
+        if not self.alive[replica]:
+            return False
+        log = self.logs[replica]
+        serial = int(record["serial"])
+        if serial <= log.last_serial:
+            return True  # duplicate ship (e.g. re-proposal overlap): ack it
+        log.append(
+            serial,
+            record["origin"],
+            _record_operation(record),
+            epoch=int(record["epoch"]),
+        )
+        self._obs.repl_appends.inc()
+        return True
+
+    def acknowledge(self, replica: ReplicaId, serial: int, epoch: int) -> int:
+        """Record a backup's durable-append ack; return newly committed.
+
+        The return value is the number of serials the ack newly pushed
+        under the commit floor (0 when the floor did not move) — the
+        caller acknowledges/broadcasts exactly those operations, in
+        serial order.
+        """
+        if epoch != self.epoch:
+            self.stale_rejected += 1
+            self._obs.repl_stale_rejected.inc()
+            return 0
+        if serial > self.acked.get(replica, 0):
+            self.acked[replica] = serial
+        floor = sorted(self.acked.values(), reverse=True)[self.quorum - 1]
+        newly = max(0, floor - self.committed)
+        if newly:
+            self.committed = floor
+            self._obs.repl_commit_floor.set(floor)
+        return newly
+
+    # -- liveness and view changes ---------------------------------------
+    def crash(self, replica: ReplicaId) -> bool:
+        """Mark a replica dead; ``True`` when it was the primary (the
+        caller must then run :meth:`view_change`)."""
+        if replica not in self.alive:
+            raise ProtocolError(f"unknown replica {replica!r}")
+        self.alive[replica] = False
+        return replica == self.primary
+
+    def view_change(self) -> ViewChange:
+        """Elect the next view after a primary failure.
+
+        Deterministic: the next view's primary is the round-robin
+        successor that is alive; it adopts the best log among the
+        surviving quorum, re-stamps the uncommitted suffix with the new
+        epoch, and (in this in-process composition) installs the adopted
+        log on itself.  The caller ships :meth:`start_view_payload` to
+        each alive backup and feeds the acks through
+        :meth:`install_view` / :meth:`acknowledge`.
+        """
+        survivors = self.alive_replicas()
+        if len(survivors) < self.quorum:
+            raise ProtocolError(
+                f"view change impossible: {len(survivors)} replicas alive, "
+                f"quorum is {self.quorum}"
+            )
+        old_primary = self.primary
+        self.view = next_view(self.view, self.roster, survivors)
+        self.epoch = self.view
+        candidates = {
+            rid: (self.logs[rid].last_epoch, self.logs[rid].last_serial)
+            for rid in survivors
+        }
+        winner = elect(candidates)
+        adopted = _clone_log(self.logs[winner])
+        adopted_last = adopted.last_serial
+        if adopted_last < self.committed:
+            raise ProtocolError(
+                "quorum intersection violated: the adopted log ends at "
+                f"serial {adopted_last} but {self.committed} is committed"
+            )
+        # Re-stamp the uncommitted suffix under the new epoch: these are
+        # the re-proposed records; anything the dead primary alone held
+        # is lost (and was never acknowledged).
+        reproposed: List[Dict[str, Any]] = []
+        records = []
+        for record in adopted.records:
+            if int(record["serial"]) > self.committed:
+                record = {**record, "epoch": self.epoch}
+                reproposed.append(record)
+            records.append(record)
+        adopted.records = records
+        if reproposed:
+            adopted.last_epoch = self.epoch
+        lost = [
+            record
+            for record in self.logs[old_primary].records
+            if int(record["serial"]) > adopted_last
+        ]
+        new_primary = self.primary
+        adopted.replica_id = new_primary
+        self.logs[new_primary] = adopted
+        # Acks from the previous view stay valid only up to the commit
+        # floor: a stale replica may hold a divergent uncommitted tail,
+        # which the start-view install replaces.
+        self.acked = {
+            rid: min(count, self.committed)
+            for rid, count in self.acked.items()
+        }
+        self.acked[new_primary] = adopted_last
+        self.view_changes += 1
+        self._obs.view_changes.inc()
+        self._obs.trace(
+            "repl.view_change",
+            view=self.view,
+            primary=new_primary,
+            adopted_from=winner,
+            adopted_last=adopted_last,
+            reproposed=len(reproposed),
+            lost=len(lost),
+        )
+        return ViewChange(
+            view=self.view,
+            epoch=self.epoch,
+            primary=new_primary,
+            adopted_from=winner,
+            adopted_last=adopted_last,
+            reproposed=reproposed,
+            lost=lost,
+        )
+
+    def start_view_payload(self) -> Dict[str, Any]:
+        """The VSR start-view message: the primary's full log state."""
+        return self.primary_log.to_obj()
+
+    def install_view(
+        self, replica: ReplicaId, payload: Dict[str, Any], epoch: int
+    ) -> Optional[int]:
+        """A backup adopts the new view's log; returns its ack serial.
+
+        ``None`` means the install was stale (a newer view superseded it
+        in flight) or the replica is down — no ack should be sent.
+        """
+        if epoch != self.epoch or not self.alive[replica]:
+            self.stale_rejected += 1
+            self._obs.repl_stale_rejected.inc()
+            return None
+        log = ServerWriteAheadLog.from_obj(payload)
+        log.replica_id = replica
+        self.logs[replica] = log
+        self._obs.repl_appends.inc(len(log.records))
+        return log.last_serial
+
+    def restore(self, replica: ReplicaId) -> None:
+        """A dead replica rejoins as a backup via state transfer.
+
+        The rejoining replica adopts a clone of the current primary's
+        log (it may have been the primary of a long-gone view; its stale
+        tail is discarded wholesale) and its durable append immediately
+        counts toward future quorums.
+        """
+        if self.alive[replica]:
+            raise ProtocolError(f"replica {replica!r} is already alive")
+        log = _clone_log(self.primary_log)
+        log.replica_id = replica
+        self.logs[replica] = log
+        self.alive[replica] = True
+        self.acked[replica] = log.last_serial
+        self._obs.trace(
+            "repl.rejoin", replica=replica, at_serial=log.last_serial
+        )
+
+    # -- committed-prefix views ------------------------------------------
+    def committed_ack(self, origin: ReplicaId) -> int:
+        """How many of ``origin``'s operations are quorum-committed.
+
+        This — not the session receiver's cumulative receipt — is the
+        acknowledgement the primary may send to a client: an op acked
+        with this counter is on f+1 disks and survives any view change.
+        """
+        return committed_origin_ack(self.primary_log, self.committed, origin)
+
+    def committed_log(self) -> ServerWriteAheadLog:
+        """A clone of the primary's log truncated to the commit floor.
+
+        This is the log a failover recovery may replay: everything in it
+        is quorum-certified, so the rebuilt server matches what every
+        client could have observed.
+        """
+        log = _clone_log(self.primary_log)
+        log.truncate_from(self.committed + 1)
+        return log
+
+    def compact(
+        self, server: CssServer, retain_after: Optional[int] = None
+    ) -> int:
+        """Compact the primary's log, clamped to the commit floor.
+
+        An uncommitted record must never be truncated: it is exactly what
+        the next view change re-proposes.  The caller's ``retain_after``
+        (the client-cursor low-water mark) is therefore tightened to
+        ``min(retain_after, committed)``.
+        """
+        floor = self.committed
+        if retain_after is not None:
+            floor = min(floor, int(retain_after))
+        return self.primary_log.compact(server, retain_after=floor)
+
+
+def _record_operation(record: Dict[str, Any]):
+    from repro.jupiter.persistence import operation_from_obj
+
+    return operation_from_obj(record["operation"])

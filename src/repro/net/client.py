@@ -19,8 +19,27 @@ Broadcast frames arriving out of order across a reconnect (live traffic
 racing the WAL resync) are parked by sequence number and released to the
 protocol strictly in order — the same discipline the simulator enforces.
 
-Reconnect backoff reuses :class:`~repro.jupiter.session.RetransmitPolicy`
-so retry pacing stays seeded and deterministic per client.
+**Reconnect pacing and jitter.**  Backoff reuses
+:class:`~repro.jupiter.session.RetransmitPolicy`: the delay before dial
+attempt ``n`` is ``base * factor**(n-1)`` capped at ``cap`` and inflated
+by up to ``jitter`` (10%) of itself from an RNG seeded with
+``reconnect_seed`` — deterministic per client, so tests replay exactly,
+but de-correlated *across* clients, so a herd of reconnecting clients
+does not stampede a recovering server in lockstep.  Two independent caps
+bound the retrying: ``max_connect_attempts`` limits consecutive failed
+dials inside one :meth:`NetClient.connect` call, and
+``max_reconnect_attempts`` (``None`` = unlimited) limits how many times
+:meth:`NetClient.wait_converged` will re-establish a dead connection
+before raising :class:`ReconnectExhausted` — a clean terminal error
+instead of retrying forever.
+
+**Failover.**  Given a replica ``roster`` the client survives primary
+loss: a dead connection advances round-robin through the roster (with
+the same seeded backoff), a ``redirect`` frame from a backup jumps
+straight to the primary of its view, and every frame's ``epoch`` is
+checked so a deposed primary's stale broadcasts are dropped rather than
+applied.  Acknowledgements from a replicated server are quorum-gated, so
+an op the client saw acked is on f+1 disks and survives the failover.
 """
 
 from __future__ import annotations
@@ -28,7 +47,7 @@ from __future__ import annotations
 import asyncio
 import time
 from collections import deque
-from typing import Any, Deque, Dict, Optional
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.common.ids import SERVER_ID, ReplicaId
 from repro.document.list_document import ListDocument
@@ -46,6 +65,7 @@ from repro.net.codec import (
     encode_envelope,
     message_from_obj,
     message_to_obj,
+    roster_from_obj,
 )
 from repro.net.transport import read_frame, write_frame
 from repro.obs import get_obs
@@ -54,6 +74,15 @@ from repro.obs import get_obs
 #: distribution lives in the ``repro_net_rtt_seconds`` histogram, which
 #: is bounded by construction, so the raw-sample window can be small.
 RTT_SAMPLE_CAP = 2048
+
+
+class ReconnectExhausted(ConnectionError):
+    """The configured reconnect budget ran out: a clean terminal error.
+
+    Subclasses :class:`ConnectionError` so existing callers that treat
+    connection failures uniformly keep working, while tests (and the
+    load generator) can tell "gave up by policy" from a raw socket error.
+    """
 
 
 class NetClient:
@@ -66,6 +95,8 @@ class NetClient:
         port: int = 0,
         reconnect_seed: int = 0,
         max_connect_attempts: int = 8,
+        roster: Optional[List[Tuple[str, int]]] = None,
+        max_reconnect_attempts: Optional[int] = None,
     ) -> None:
         self.client_id = client_id
         self.host = host
@@ -79,6 +110,19 @@ class NetClient:
         self.parked: Dict[int, ServerOperation] = {}
         self.backoff = RetransmitPolicy(seed=reconnect_seed)
         self.max_connect_attempts = max_connect_attempts
+        self.max_reconnect_attempts = max_reconnect_attempts
+        #: replica roster for failover; updated from welcome/redirect
+        self.roster: Optional[List[Tuple[str, int]]] = (
+            [(str(h), int(p)) for h, p in roster] if roster else None
+        )
+        self._target = 0
+        if self.roster and (host, port) in self.roster:
+            self._target = self.roster.index((host, port))
+        #: highest epoch observed; frames from lower epochs are stale
+        self.epoch = 0
+        self.view = 0
+        self.redirects = 0
+        self.reconnect_cycles = 0
         self.connects = 0
         self.resync_frames = 0
         self.rtts: Deque[float] = deque(maxlen=RTT_SAMPLE_CAP)
@@ -101,20 +145,104 @@ class NetClient:
         """Broadcasts consumed in order (the resync cursor)."""
         return self.receiver.cumulative_ack
 
+    def _current_target(self) -> "Tuple[str, int]":
+        if self.roster:
+            return self.roster[self._target % len(self.roster)]
+        return (self.host, self.port)
+
+    def _advance_target(self) -> None:
+        """Walk the roster round-robin after a failed dial/handshake."""
+        if self.roster:
+            self._target = (self._target + 1) % len(self.roster)
+
+    def _absorb_redirect(self, frame: Dict[str, Any]) -> None:
+        """Jump to the primary a backup pointed us at."""
+        self.redirects += 1
+        self.view = max(self.view, int(frame.get("view", 0)))
+        self.epoch = max(self.epoch, int(frame.get("epoch", 0)))
+        roster_obj = frame.get("roster")
+        if roster_obj:
+            self.roster = roster_from_obj(roster_obj)
+        target = (str(frame.get("host", "")), int(frame.get("port", 0)))
+        if self.roster and target in self.roster:
+            self._target = self.roster.index(target)
+        elif self.roster:
+            self._target = int(frame.get("primary", 0)) % len(self.roster)
+        else:
+            self.host, self.port = target
+        self._obs.trace(
+            "net.redirected",
+            client=self.client_id,
+            view=self.view,
+            target=f"{target[0]}:{target[1]}",
+        )
+
     async def connect(self) -> None:
-        """Dial, handshake, resync, and start the reader task."""
+        """Dial, handshake, resync, and start the reader task.
+
+        With a roster, failed dials and ``redirect`` answers walk the
+        replica list (seeded backoff between attempts) until a primary
+        answers ``welcome``; ``max_connect_attempts`` failed dials raise
+        :class:`ReconnectExhausted`.
+        """
         attempt = 0
+        # Redirect chains are bounded: a full roster sweep plus slack.
+        redirect_budget = max(4, 2 * len(self.roster or ()))
         while True:
-            attempt += 1
+            host, port = self._current_target()
             try:
-                reader, writer = await asyncio.open_connection(
-                    self.host, self.port
-                )
-                break
+                reader, writer = await asyncio.open_connection(host, port)
             except OSError:
+                attempt += 1
                 if attempt >= self.max_connect_attempts:
-                    raise
+                    raise ReconnectExhausted(
+                        f"{self.client_id}: no server reachable after "
+                        f"{attempt} dial attempts"
+                    )
+                self._advance_target()
                 await asyncio.sleep(self.backoff.timeout(attempt))
+                continue
+            try:
+                await write_frame(
+                    writer,
+                    encode_envelope(
+                        "hello",
+                        client=self.client_id,
+                        delivered=self.delivered,
+                        epoch=self.epoch,
+                    ),
+                )
+                first = await read_frame(reader)
+            except (ConnectionError, OSError):
+                writer.close()
+                attempt += 1
+                if attempt >= self.max_connect_attempts:
+                    raise ReconnectExhausted(
+                        f"{self.client_id}: handshake kept failing after "
+                        f"{attempt} attempts"
+                    )
+                self._advance_target()
+                await asyncio.sleep(self.backoff.timeout(attempt))
+                continue
+            if first is not None and first.get("type") == "redirect":
+                writer.close()
+                self._absorb_redirect(first)
+                redirect_budget -= 1
+                if redirect_budget <= 0:
+                    # Redirect loop: the roster disagrees about the
+                    # primary (mid view-change).  Treat as a failed
+                    # attempt and back off before trying again.
+                    attempt += 1
+                    if attempt >= self.max_connect_attempts:
+                        raise ReconnectExhausted(
+                            f"{self.client_id}: redirect loop persisted "
+                            f"across {attempt} attempts"
+                        )
+                    redirect_budget = max(4, 2 * len(self.roster or ()))
+                    await asyncio.sleep(self.backoff.timeout(attempt))
+                continue
+            welcome = first
+            break
         self._reader, self._writer = reader, writer
         self.connects += 1
         if self.connects > 1:
@@ -122,17 +250,15 @@ class NetClient:
             self._obs.trace(
                 "net.reconnect", client=self.client_id, attempt=self.connects
             )
-        await write_frame(
-            writer,
-            encode_envelope(
-                "hello", client=self.client_id, delivered=self.delivered
-            ),
-        )
-        welcome = await read_frame(reader)
         if welcome is None or welcome["type"] != "welcome":
             raise ProtocolError(
                 f"{self.client_id}: expected welcome, got {welcome!r}"
             )
+        self.view = max(self.view, int(welcome.get("view", 0)))
+        self.epoch = max(self.epoch, int(welcome.get("epoch", 0)))
+        roster_obj = welcome.get("roster")
+        if roster_obj:
+            self.roster = roster_from_obj(roster_obj)
         initial = welcome.get("initial") or ""
         if initial and self.connects == 1 and self.sender.next_seq == 1:
             # First contact with a seeded document: adopt the server's
@@ -157,6 +283,7 @@ class NetClient:
                     "data",
                     seq=seq,
                     ack=self.delivered,
+                    epoch=self.epoch,
                     body=self.unacked[seq],
                 ),
             )
@@ -207,6 +334,14 @@ class NetClient:
 
     def _handle_frame(self, frame: Dict[str, Any]) -> None:
         kind = frame["type"]
+        frame_epoch = int(frame.get("epoch", self.epoch))
+        if frame_epoch > self.epoch:
+            self.epoch = frame_epoch
+        elif frame_epoch < self.epoch and kind == "data":
+            # A deposed primary's leftover broadcast: it may carry an
+            # operation the view change discarded.  Never apply it.
+            self._obs.repl_stale_rejected.inc()
+            return
         if kind == "ack":
             self._absorb_ack(int(frame.get("ack", 0)))
             self._progress.set()
@@ -262,7 +397,11 @@ class NetClient:
             await write_frame(
                 self._writer,
                 encode_envelope(
-                    "data", seq=seq, ack=self.delivered, body=body
+                    "data",
+                    seq=seq,
+                    ack=self.delivered,
+                    epoch=self.epoch,
+                    body=body,
                 ),
             )
         except ConnectionError:
@@ -289,7 +428,13 @@ class NetClient:
     async def wait_converged(
         self, total_operations: int, timeout: float = 30.0
     ) -> bool:
-        """Wait until :meth:`converged`; reconnect if the link dies."""
+        """Wait until :meth:`converged`; reconnect if the link dies.
+
+        Each re-established connection counts against
+        ``max_reconnect_attempts`` (when configured); exhausting the
+        budget raises :class:`ReconnectExhausted` instead of silently
+        spinning until the timeout.
+        """
         deadline = time.monotonic() + timeout
         while not self.converged(total_operations):
             if time.monotonic() > deadline:
@@ -297,6 +442,15 @@ class NetClient:
             if not self.connected or (
                 self._reader_task is not None and self._reader_task.done()
             ):
+                self.reconnect_cycles += 1
+                if (
+                    self.max_reconnect_attempts is not None
+                    and self.reconnect_cycles > self.max_reconnect_attempts
+                ):
+                    raise ReconnectExhausted(
+                        f"{self.client_id}: gave up after "
+                        f"{self.max_reconnect_attempts} reconnect attempts"
+                    )
                 await self.drop()
                 await self.connect()
             self._progress.clear()

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.document.list_document import ListDocument
 from repro.errors import ProtocolError
@@ -171,8 +171,73 @@ def message_from_json(text: str) -> Any:
 
 
 # ----------------------------------------------------------------------
+# Replica rosters (the replicated-deployment control plane)
+# ----------------------------------------------------------------------
+def roster_to_obj(roster: Sequence[Tuple[str, int]]) -> List[List[Any]]:
+    """Serialise a replica roster (ordered ``(host, port)`` pairs).
+
+    The roster order is load-bearing: the index of each entry is the
+    replica's identity (``s0``, ``s1``, ...) and the view-change rule
+    ``primary(view) = roster[view mod len(roster)]`` is evaluated against
+    it, so every replica and client must hold the *same ordered* roster.
+    """
+    return [[str(host), int(port)] for host, port in roster]
+
+
+def roster_from_obj(obj: Any) -> List[Tuple[str, int]]:
+    """Decode a roster; raises :class:`WireError` on malformed entries."""
+    if not isinstance(obj, list) or not obj:
+        raise WireError(f"roster must be a non-empty list, got {obj!r}")
+    roster: List[Tuple[str, int]] = []
+    for entry in obj:
+        try:
+            host, port = entry
+            roster.append((str(host), int(port)))
+        except (TypeError, ValueError) as exc:
+            raise WireError(f"malformed roster entry {entry!r}: {exc}") from exc
+    return roster
+
+
+def parse_roster(text: str) -> List[Tuple[str, int]]:
+    """Parse a ``host:port,host:port,...`` roster string (CLI format)."""
+    roster: List[Tuple[str, int]] = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        host, _, port = item.rpartition(":")
+        if not host or not port.isdigit():
+            raise WireError(
+                f"malformed roster entry {item!r}: expected host:port"
+            )
+        roster.append((host, int(port)))
+    if not roster:
+        raise WireError(f"roster {text!r} contains no host:port entries")
+    return roster
+
+
+# ----------------------------------------------------------------------
 # Frame envelopes (control plane + data plane of the transport)
 # ----------------------------------------------------------------------
+# In a replicated deployment four frame types join the original eight
+# (hello/welcome/data/ack/ping/pong/bye/admin), all plain envelopes:
+#
+# * ``redirect {view, epoch, primary, host, port, roster}`` — a backup's
+#   answer to a client ``hello``: go talk to the primary of my view.
+# * ``repl_install {view, epoch, committed, log}`` — primary -> backup:
+#   adopt this full log (sent on (re)connect and as the VSR start-view).
+# * ``repl_append {epoch, committed, record}`` — primary -> backup: one
+#   shipped WAL record; the piggybacked ``committed`` floor lets backups
+#   track what is quorum-certified without extra round trips.
+# * ``repl_ack {serial, epoch}`` / ``repl_deny {view}`` — backup ->
+#   primary: durable-append acknowledgement, or a refusal quoting a
+#   higher view (the sender is a deposed primary and must stand down).
+# * ``repl_seek {view}`` / ``repl_offer {view, replica, last_epoch,
+#   last_serial, committed, log}`` — a view-change candidate gathering
+#   quorum: each offer is a promise to reject epochs below ``view``.
+#
+# Every replicated data/ack/welcome frame also carries ``epoch`` so
+# stale-primary frames are rejected instead of misapplied.
 def encode_envelope(frame_type: str, **fields: Any) -> Dict[str, Any]:
     """Build one wire frame: ``{"v": 1, "type": ..., **fields}``."""
     if "v" in fields or "type" in fields:

@@ -20,6 +20,15 @@ interpreter.  The coordinator:
 Every worker's operation stream is a pure function of ``seed`` and its
 index; the interleaving is real wall-clock scheduling, which is exactly
 the point — convergence must hold under schedules nobody picked.
+
+With ``replicas = 2f+1 > 1`` the coordinator instead spawns a quorum
+roster of ``repro serve --replica-of`` processes sharing one ordered
+roster, hands every worker the same roster, and (with ``kill_primary``)
+SIGKILLs the view-0 primary mid-run.  The surviving replicas run the
+view change, the workers fail over via the roster walk, and the final
+signature check is performed against whichever replica reports
+``role == "primary"`` afterwards — acknowledged operations must survive
+the crash byte-for-byte.
 """
 
 from __future__ import annotations
@@ -28,15 +37,16 @@ import asyncio
 import json
 import os
 import random
+import socket
 import string
 import subprocess
 import sys
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.model.schedule import OpSpec
 from repro.net.client import NetClient
-from repro.net.codec import encode_envelope
+from repro.net.codec import encode_envelope, parse_roster
 from repro.net.transport import read_frame, write_frame
 from repro.obs import get_obs, merge_snapshots, snapshot_value
 
@@ -75,6 +85,32 @@ def admin(host: str, port: int, command: str) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # One worker process
 # ----------------------------------------------------------------------
+async def _connect_with_retry(
+    client: NetClient, connect_timeout: float
+) -> int:
+    """Connect-phase retry: tolerate a server that is still starting.
+
+    Workers are spawned concurrently with (and sometimes before) the
+    server processes, so the very first dial can land on a port nobody
+    listens on yet.  Retry connection-refused with bounded exponential
+    backoff until ``connect_timeout`` elapses; the last error is
+    re-raised once the deadline passes.  Returns the number of failed
+    attempts absorbed.
+    """
+    deadline = time.monotonic() + connect_timeout
+    attempt = 0
+    while True:
+        try:
+            await client.connect()
+            return attempt
+        except (ConnectionError, OSError):
+            attempt += 1
+            pause = min(0.1 * (2 ** min(attempt, 4)), 1.5)
+            if time.monotonic() + pause >= deadline:
+                raise
+            await asyncio.sleep(pause)
+
+
 async def run_worker(
     host: str,
     port: int,
@@ -87,6 +123,9 @@ async def run_worker(
     offline_pause: float = 0.25,
     op_interval: float = 0.02,
     timeout: float = 60.0,
+    roster: Optional[str] = None,
+    max_reconnect_attempts: Optional[int] = None,
+    connect_timeout: float = 20.0,
 ) -> Dict[str, Any]:
     """Drive one client: ``ops`` seeded edits, then wait for convergence.
 
@@ -96,11 +135,22 @@ async def run_worker(
     then reconnects — exercising the hello/welcome resync from the
     server's write-ahead log and the retransmission of its own
     unacknowledged frames.
+
+    ``roster`` (a ``host:port,...`` string) enables failover: on
+    connection loss the client walks the replica roster and follows
+    redirects until it finds the current primary.
     """
     rng = random.Random(seed)
-    client = NetClient(client_id, host, port, reconnect_seed=seed)
+    client = NetClient(
+        client_id,
+        host,
+        port,
+        reconnect_seed=seed,
+        roster=parse_roster(roster) if roster else None,
+        max_reconnect_attempts=max_reconnect_attempts,
+    )
     started = time.perf_counter()
-    await client.connect()
+    connect_retries = await _connect_with_retry(client, connect_timeout)
     resync_on_reconnect = 0
     for index in range(ops):
         length = len(client.css.document)
@@ -114,7 +164,9 @@ async def run_worker(
             await client.drop()
             await asyncio.sleep(offline_pause)
             before = client.resync_frames
-            await client.connect()
+            connect_retries += await _connect_with_retry(
+                client, connect_timeout
+            )
             resync_on_reconnect += client.resync_frames - before
         await asyncio.sleep(op_interval)
     converged = await client.wait_converged(expect_total, timeout=timeout)
@@ -130,6 +182,10 @@ async def run_worker(
         "reconnects": client.connects - 1,
         "resync_frames": client.resync_frames,
         "resync_on_reconnect": resync_on_reconnect,
+        "connect_retries": connect_retries,
+        "view": client.view,
+        "epoch": client.epoch,
+        "redirects": client.redirects,
         "duration": duration,
         "rtt_ms": [round(r * 1000.0, 4) for r in client.rtts],
         "metrics": get_obs().snapshot(),
@@ -152,8 +208,35 @@ def _child_env() -> Dict[str, str]:
     return env
 
 
+def _free_ports(count: int, host: str) -> List[int]:
+    """Reserve ``count`` distinct currently-free TCP ports on ``host``.
+
+    The sockets are held open until all ports are collected so the OS
+    cannot hand the same port out twice, then released.  (A race with
+    other processes grabbing the port before the replica binds it is
+    possible but vanishingly rare in practice; the replica would fail
+    loudly at startup.)
+    """
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((host, 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
 def _spawn_server(
-    host: str, port: int, snapshot_every: int, initial_text: str
+    host: str,
+    port: int,
+    snapshot_every: int,
+    initial_text: str,
+    replica_of: Optional[str] = None,
+    failover_delay: Optional[float] = None,
 ) -> "tuple[subprocess.Popen, int]":
     command = [
         sys.executable,
@@ -171,6 +254,10 @@ def _spawn_server(
     ]
     if initial_text:
         command += ["--initial", initial_text]
+    if replica_of:
+        command += ["--replica-of", replica_of]
+    if failover_delay is not None:
+        command += ["--failover-delay", str(failover_delay)]
     process = subprocess.Popen(
         command,
         env=_child_env(),
@@ -196,6 +283,36 @@ def split_ops(total: int, clients: int) -> List[int]:
     return [base + (1 if index < extra else 0) for index in range(clients)]
 
 
+def _find_primary(
+    server_processes: List[Tuple[subprocess.Popen, int]],
+    host: str,
+    deadline: float = 15.0,
+) -> Tuple[int, Dict[str, Any]]:
+    """Locate the live replica currently acting as primary.
+
+    Polls the admin plane of every replica whose process is still alive
+    until one reports ``role == "primary"`` (a standalone server has no
+    replication block and is trivially primary).  Raises after
+    ``deadline`` seconds — at that point the roster has no primary and
+    the run has genuinely failed.
+    """
+    end = time.monotonic() + deadline
+    while True:
+        for process, port in server_processes:
+            if process.poll() is not None:
+                continue
+            try:
+                stats = admin(host, port, "stats")
+            except (ConnectionError, OSError):
+                continue
+            replication = stats.get("replication") or {}
+            if not replication or replication.get("role") == "primary":
+                return port, stats
+        if time.monotonic() >= end:
+            raise RuntimeError("no live primary replica found")
+        time.sleep(0.2)
+
+
 def run_loadgen(
     clients: int = 3,
     ops: int = 500,
@@ -209,6 +326,10 @@ def run_loadgen(
     snapshot_every: int = 256,
     initial_text: str = "",
     quiet: bool = False,
+    replicas: int = 1,
+    kill_primary: bool = False,
+    failover_delay: float = 0.5,
+    kill_after: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Run the full multi-process deployment and report convergence.
 
@@ -217,11 +338,23 @@ def run_loadgen(
     The returned report's ``ok`` is True iff every worker converged,
     every replica signature (workers + server) is byte-identical, and
     every requested reconnect actually happened and resynced.
+
+    ``replicas = 2f+1 > 1`` spawns a quorum roster instead of a single
+    server (ephemeral ports; ``port`` is ignored).  ``kill_primary``
+    SIGKILLs the view-0 primary ``kill_after`` seconds into the run
+    (default: roughly mid-run), after which the report additionally
+    requires ``view_changes >= 1`` and the signature comparison is made
+    against the *new* primary — the replica that adopted the
+    quorum-certified log.
     """
     if clients < 1:
         raise ValueError("need at least one client")
     if ops < clients:
         raise ValueError("need at least one operation per client")
+    if replicas > 1 and (replicas < 3 or replicas % 2 == 0):
+        raise ValueError("replica roster must be an odd count >= 3 (2f+1)")
+    if kill_primary and replicas < 3:
+        raise ValueError("--kill-primary needs a replica roster (>= 3)")
     if reconnect_clients is None:
         reconnect_clients = 1 if clients > 1 else 0
     reconnect_clients = min(reconnect_clients, clients)
@@ -230,10 +363,29 @@ def run_loadgen(
         if not quiet:
             print(f"[loadgen] {text}", flush=True)
 
-    server_process, bound_port = _spawn_server(
-        host, port, snapshot_every, initial_text
-    )
-    log(f"server pid {server_process.pid} on {host}:{bound_port}")
+    server_processes: List[Tuple[subprocess.Popen, int]] = []
+    roster_text = ""
+    if replicas > 1:
+        ports = _free_ports(replicas, host)
+        roster_text = ",".join(f"{host}:{p}" for p in ports)
+        for index, replica_port in enumerate(ports):
+            process, bound = _spawn_server(
+                host,
+                replica_port,
+                snapshot_every,
+                initial_text,
+                replica_of=roster_text,
+                failover_delay=failover_delay,
+            )
+            server_processes.append((process, bound))
+            log(f"replica s{index} pid {process.pid} on {host}:{bound}")
+        bound_port = server_processes[0][1]
+    else:
+        server_process, bound_port = _spawn_server(
+            host, port, snapshot_every, initial_text
+        )
+        server_processes.append((server_process, bound_port))
+        log(f"server pid {server_process.pid} on {host}:{bound_port}")
     shares = split_ops(ops, clients)
     workers: List[subprocess.Popen] = []
     started = time.perf_counter()
@@ -265,6 +417,8 @@ def run_loadgen(
                 str(timeout),
                 "--json",
             ]
+            if roster_text:
+                command += ["--roster", roster_text]
             if index < reconnect_clients:
                 command += [
                     "--reconnect-after",
@@ -280,6 +434,20 @@ def run_loadgen(
                 )
             )
         log(f"spawned {clients} worker processes ({shares} ops each)")
+        if kill_primary:
+            # Roughly mid-run: interpreter startup plus half the edit
+            # stream of the busiest worker.
+            delay = kill_after
+            if delay is None:
+                delay = max(2.0, shares[0] * op_interval * 0.5 + 1.0)
+            time.sleep(delay)
+            victim, victim_port = server_processes[0]
+            victim.kill()
+            victim.wait()
+            log(
+                f"killed view-0 primary pid {victim.pid} "
+                f"({host}:{victim_port}) after {delay:.1f}s"
+            )
         reports: List[Dict[str, Any]] = []
         failures: List[str] = []
         for index, worker in enumerate(workers):
@@ -296,27 +464,41 @@ def run_loadgen(
                 failures.append(
                     f"{name}: exit {worker.returncode}\n{stderr.strip()}"
                 )
+                # A non-converged worker still prints its report line;
+                # keep it for the post-mortem (it does not count toward
+                # the convergence check below, which requires a clean
+                # exit from every worker).
+                if lines:
+                    try:
+                        reports.append(json.loads(lines[-1]))
+                    except json.JSONDecodeError:
+                        pass
                 continue
             reports.append(json.loads(lines[-1]))
         wall = time.perf_counter() - started
-        server_view = admin(host, bound_port, "signature")
-        server_stats = admin(host, bound_port, "stats")
-        server_metrics = admin(host, bound_port, "metrics")
+        primary_port, server_stats = _find_primary(server_processes, host)
+        server_view = admin(host, primary_port, "signature")
+        server_metrics = admin(host, primary_port, "metrics")
     finally:
-        try:
-            admin(host, bound_port, "shutdown")
-        except (ConnectionError, OSError):
-            pass
-        try:
-            server_process.wait(timeout=10.0)
-        except subprocess.TimeoutExpired:
-            server_process.kill()
+        for process, replica_port in server_processes:
+            if process.poll() is not None:
+                continue
+            try:
+                admin(host, replica_port, "shutdown")
+            except (ConnectionError, OSError):
+                pass
+            try:
+                process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                process.kill()
         for worker in workers:
             if worker.poll() is None:
                 worker.kill()
 
+    replication = server_stats.get("replication") or {}
+    view_changes = int(replication.get("view_changes", 0))
     signatures = {r["client"]: r["signature"] for r in reports}
-    signatures["s"] = server_view["signature"]
+    signatures[replication.get("replica", "s")] = server_view["signature"]
     identical = len(set(signatures.values())) == 1
     # Exact cross-process merge: every worker snapshots its registry and
     # the fixed bucket boundaries make the histograms sum element-wise.
@@ -333,13 +515,24 @@ def run_loadgen(
         and all(r["converged"] for r in reports)
         and identical
         and reconnects >= reconnect_clients
-        and (reconnect_clients == 0 or resynced > 0)
+        # A kill-primary run pauses commits during the outage, so the
+        # deliberately-dropped worker may genuinely have nothing to
+        # resync when it reconnects; only demand resync evidence when
+        # the roster stayed healthy.
+        and (reconnect_clients == 0 or kill_primary or resynced > 0)
+        and (not kill_primary or view_changes >= 1)
     )
     return {
         "ok": ok,
         "clients": clients,
         "ops": ops,
         "seed": seed,
+        "replicas": replicas,
+        "roster": roster_text,
+        "killed_primary": kill_primary,
+        "view_changes": view_changes,
+        "primary": replication.get("replica", "s"),
+        "view": int(replication.get("view", 0)),
         "converged": all(r["converged"] for r in reports) and not failures,
         "signatures_identical": identical,
         "signatures": signatures,

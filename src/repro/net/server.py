@@ -31,6 +31,25 @@ Because every broadcast goes to every client exactly once in serial
 order, the server→client channel sequence number always equals the
 broadcast serial — which is what makes the WAL a perfect retransmission
 buffer: nothing needs to be kept in memory per disconnected client.
+
+**Replicated deployment.**  Started with a ``roster`` (ordered
+``(host, port)`` pairs, one per replica) the same class becomes one
+replica of a 2f+1 quorum group (:mod:`repro.jupiter.replication`):
+
+* the **primary** of the current view serialises as above, but parks
+  every broadcast frame and client acknowledgement until a quorum of
+  ``f + 1`` replicas (itself included) has durably appended the record —
+  an acknowledged operation therefore survives the loss of any ``f``
+  replicas, the primary included;
+* **backups** maintain a mirrored WAL fed over ``repl_append`` frames
+  and answer client ``hello``\\ s with a ``redirect`` to the primary;
+* when a backup loses its replication feed it waits a deterministic
+  stagger (``failover_delay x views-until-my-turn``), gathers
+  ``repl_offer`` promises from a quorum, adopts the log with the maximal
+  ``(last_epoch, last_serial)``, re-stamps the uncommitted suffix under
+  the new epoch, rebuilds the CSS server by WAL replay, and installs the
+  adopted log on every reachable replica — the VSR view change, with the
+  epoch in every frame rejecting whatever a deposed primary still ships.
 """
 
 from __future__ import annotations
@@ -38,14 +57,24 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
-from typing import Any, Dict, Optional
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.ids import SERVER_ID, ReplicaId
 from repro.document.list_document import ListDocument
 from repro.errors import ProtocolError
 from repro.jupiter.css import CssServer
-from repro.jupiter.messages import ClientOperation
-from repro.jupiter.persistence import ServerWriteAheadLog
+from repro.jupiter.messages import ClientOperation, ServerOperation
+from repro.jupiter.persistence import (
+    ServerWriteAheadLog,
+    operation_from_obj,
+)
+from repro.jupiter.replication import (
+    committed_origin_ack,
+    elect,
+    primary_for,
+    quorum_size,
+)
 from repro.jupiter.session import SessionReceiver, SessionSender
 from repro.net.codec import (
     WireError,
@@ -53,6 +82,7 @@ from repro.net.codec import (
     encode_envelope,
     message_from_obj,
     message_to_obj,
+    roster_to_obj,
 )
 from repro.net.transport import read_frame, write_frame
 from repro.obs import get_obs
@@ -60,6 +90,14 @@ from repro.obs import get_obs
 #: The server's named logger; silent unless the embedding process (the
 #: ``repro serve`` CLI, a test harness) configures handlers and a level.
 LOGGER = logging.getLogger("repro.net.server")
+
+
+class _Deposed(Exception):
+    """A replica quoted a higher view: this primary must stand down."""
+
+
+class _Reinstall(Exception):
+    """The backup lags behind the compaction floor: full-log install."""
 
 
 class _ClientChannel:
@@ -94,11 +132,15 @@ class NetServer:
         initial_text: str = "",
         snapshot_every: int = 256,
         quiet: bool = True,
+        roster: Optional[Sequence[Tuple[str, int]]] = None,
+        replica_index: int = 0,
+        failover_delay: float = 0.5,
     ) -> None:
         self.host = host
         self.port = port
         self.quiet = quiet
         self.initial_text = initial_text
+        self.snapshot_every = snapshot_every
         initial = ListDocument.from_string(initial_text) if initial_text else None
         self.server = CssServer(SERVER_ID, [], initial)
         self.wal = ServerWriteAheadLog(
@@ -108,10 +150,76 @@ class NetServer:
         self.resync_frames_sent = 0
         self.frames_received = 0
         self.duplicates_suppressed = 0
+        # -- replication state (inert in the standalone deployment) ----
+        self.roster: Optional[List[Tuple[str, int]]] = (
+            [(str(h), int(p)) for h, p in roster] if roster else None
+        )
+        if self.roster is not None and not (
+            0 <= replica_index < len(self.roster)
+        ):
+            raise ProtocolError(
+                f"replica index {replica_index} outside roster of "
+                f"{len(self.roster)}"
+            )
+        self.replica_index = replica_index
+        self.replica_ids: List[ReplicaId] = (
+            [f"{SERVER_ID}{i}" for i in range(len(self.roster))]
+            if self.roster
+            else []
+        )
+        self.failover_delay = failover_delay
+        self.view = 0
+        #: epochs equal view numbers; stamped into every replicated frame
+        self.epoch = 0
+        #: highest view this replica promised to (repl_seek): frames from
+        #: lower epochs are rejected even before the new view installs
+        self.promised = 0
+        #: quorum commit floor — the highest serial on f+1 disks
+        self.committed = 0
+        self.view_changes = 0
+        #: per-replica durable high-water marks (primary bookkeeping);
+        #: a dead backup's last ack stays — its disk outlives the process
+        self._repl_acked: Dict[ReplicaId, int] = {}
+        #: serial -> (origin client, broadcast frames) parked until commit
+        self._pending: Dict[int, Tuple[ReplicaId, List[Tuple[ReplicaId, Dict[str, Any]]]]] = {}
+        self._backup_tasks: Dict[int, asyncio.Task] = {}
+        self._repl_wakeup: Dict[int, asyncio.Event] = {}
+        self._primary_feed: Optional[asyncio.StreamWriter] = None
+        self._failover_task: Optional[asyncio.Task] = None
+        self._failover_started: Optional[float] = None
+        self._failover_target = 0
+        self._commit_lock = asyncio.Lock()
         self._obs = get_obs()
         self._logger = LOGGER
         self._asyncio_server: Optional[asyncio.base_events.Server] = None
         self._closed = asyncio.Event()
+        if self.replicated:
+            self._obs.repl_commit_quorum.set(self.quorum)
+
+    # ------------------------------------------------------------------
+    # Replication roster
+    # ------------------------------------------------------------------
+    @property
+    def replicated(self) -> bool:
+        return self.roster is not None
+
+    @property
+    def replica_id(self) -> ReplicaId:
+        if not self.replicated:
+            return SERVER_ID
+        return self.replica_ids[self.replica_index]
+
+    @property
+    def quorum(self) -> int:
+        return quorum_size(len(self.roster)) if self.replicated else 1
+
+    @property
+    def is_primary(self) -> bool:
+        """Standalone servers are trivially primary."""
+        return (
+            not self.replicated
+            or primary_for(self.view, self.replica_ids) == self.replica_id
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -121,12 +229,26 @@ class NetServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._asyncio_server.sockets[0].getsockname()[1]
-        self._log(f"listening on {self.host}:{self.port}")
+        role = ""
+        if self.replicated:
+            role = (
+                f" as {self.replica_id} "
+                f"({'primary' if self.is_primary else 'backup'} of view "
+                f"{self.view}, roster of {len(self.roster)})"
+            )
+        self._log(f"listening on {self.host}:{self.port}{role}")
+        if self.replicated and self.is_primary:
+            self._start_replication()
 
     async def wait_closed(self) -> None:
         await self._closed.wait()
 
     async def stop(self) -> None:
+        self._closed.set()
+        self._stop_replication()
+        if self._failover_task is not None:
+            self._failover_task.cancel()
+            self._failover_task = None
         if self._asyncio_server is not None:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
@@ -134,7 +256,6 @@ class NetServer:
             if channel.writer is not None:
                 channel.writer.close()
                 channel.writer = None
-        self._closed.set()
 
     def _log(self, text: str) -> None:
         self._logger.info("%s", text)
@@ -160,10 +281,36 @@ class NetServer:
         return channel
 
     def _retain_floor(self) -> int:
-        """Lowest consumption cursor across the roster (WAL retain floor)."""
-        if not self.channels:
-            return 0
-        return min(c.delivered for c in self.channels.values())
+        """Lowest consumption cursor across the roster (WAL retain floor).
+
+        A replicated primary additionally clamps to the quorum commit
+        floor: an uncommitted record must never be truncated — it is
+        exactly what the next view change re-proposes.
+        """
+        floor = (
+            min(c.delivered for c in self.channels.values())
+            if self.channels
+            else 0
+        )
+        if self.replicated:
+            floor = min(floor, self.committed)
+        return floor
+
+    def _gated_ack(self, channel: _ClientChannel) -> int:
+        """The c->s acknowledgement the client may act on.
+
+        Standalone: the receiver's cumulative ack (the WAL record is
+        already durable).  Replicated: clamped to the quorum commit
+        floor, so a client never drops a retransmittable frame whose
+        operation could still be lost in a view change.
+        """
+        ack = channel.receiver.cumulative_ack
+        if self.replicated:
+            ack = min(
+                ack,
+                committed_origin_ack(self.wal, self.committed, channel.client),
+            )
+        return ack
 
     def _update_connection_gauges(self) -> None:
         obs = self._obs
@@ -196,6 +343,12 @@ class NetServer:
         if frame["type"] == "admin":
             await self._handle_admin(frame, writer)
             return
+        if frame["type"] in ("repl_install", "repl_append"):
+            await self._handle_repl_feed(frame, reader, writer)
+            return
+        if frame["type"] == "repl_seek":
+            await self._handle_seek(frame, writer)
+            return
         if frame["type"] != "hello":
             self._log(f"first frame must be hello/admin, got {frame['type']!r}")
             writer.close()
@@ -213,6 +366,13 @@ class NetServer:
             self._log(f"invalid client name {name!r}")
             writer.close()
             return
+        if self.replicated and (
+            not self.is_primary or int(hello.get("epoch", 0)) > self.epoch
+        ):
+            # A backup (or a primary the client knows to be deposed)
+            # points the client at the primary of its view and hangs up.
+            await self._send_redirect(writer, name)
+            return
         channel = self.ensure_client(name)
         delivered = int(hello.get("delivered", 0))
         delivered = max(0, min(delivered, self.wal.last_serial))
@@ -222,15 +382,23 @@ class NetServer:
             channel.writer.close()  # a reconnect supersedes the stale socket
         channel.writer = writer
         missed = self.wal.broadcasts_for(self.server, delivered)
+        if self.replicated:
+            # Never re-ship an uncommitted broadcast: a client must not
+            # consume an operation a view change could still lose.  The
+            # suffix arrives via the commit flush once quorum-certified.
+            missed = [b for b in missed if b.serial <= self.committed]
         await write_frame(
             writer,
             encode_envelope(
                 "welcome",
                 server=SERVER_ID,
-                ack=channel.receiver.cumulative_ack,
+                ack=self._gated_ack(channel),
                 serial=self.wal.last_serial,
                 resync=len(missed),
                 initial=self.initial_text,
+                view=self.view,
+                epoch=self.epoch,
+                roster=roster_to_obj(self.roster) if self.replicated else [],
             ),
         )
         self._obs.trace(
@@ -251,7 +419,8 @@ class NetServer:
                 encode_envelope(
                     "data",
                     seq=broadcast.serial,
-                    ack=channel.receiver.cumulative_ack,
+                    ack=self._gated_ack(channel),
+                    epoch=self.epoch,
                     body=message_to_obj(broadcast),
                 ),
             )
@@ -320,20 +489,27 @@ class NetServer:
         if channel.writer is not None:
             await write_frame(
                 channel.writer,
-                encode_envelope("ack", ack=channel.receiver.cumulative_ack),
+                encode_envelope(
+                    "ack", ack=self._gated_ack(channel), epoch=self.epoch
+                ),
             )
 
     async def _serialise(
         self, origin: _ClientChannel, payload: ClientOperation
     ) -> None:
-        """The write path: serialise, log (write-ahead), then broadcast."""
+        """The write path: serialise, log (write-ahead), then broadcast.
+
+        Replicated: the broadcast frames are *parked* under their serial
+        and the backups woken; :meth:`_advance_commit` releases them (and
+        the origin's acknowledgement) once a quorum has the record.
+        """
         # Everything up to (and including) the per-channel sequence
         # allocation is synchronous: two connection tasks can never
         # interleave here, which is what keeps the s->c sequence number
         # equal to the serial on every channel.
         outgoing = self.server.receive(origin.client, payload)
         serial = self.server.oracle.last_serial
-        self.wal.append(serial, origin.client, payload.operation)
+        self.wal.append(serial, origin.client, payload.operation, epoch=self.epoch)
         if self.wal.should_compact():
             self.wal.compact(self.server, retain_after=self._retain_floor())
         frames = []
@@ -347,16 +523,24 @@ class NetServer:
                 )
             frames.append(
                 (
-                    channel,
+                    recipient,
                     encode_envelope(
                         "data",
                         seq=seq,
-                        ack=channel.receiver.cumulative_ack,
+                        ack=self._gated_ack(channel),
+                        epoch=self.epoch,
                         body=message_to_obj(broadcast),
                     ),
                 )
             )
-        for channel, envelope in frames:
+        if self.replicated:
+            self._pending[serial] = (origin.client, frames)
+            for event in self._repl_wakeup.values():
+                event.set()
+            await self._advance_commit()  # a quorum of one commits now
+            return
+        for recipient, envelope in frames:
+            channel = self.channels[recipient]
             if channel.writer is None:
                 continue  # offline: the WAL re-ships on reconnect
             try:
@@ -365,23 +549,567 @@ class NetServer:
                 channel.writer = None
 
     # ------------------------------------------------------------------
+    # Replication: primary write path
+    # ------------------------------------------------------------------
+    async def _send_redirect(
+        self, writer: asyncio.StreamWriter, client: str
+    ) -> None:
+        primary = primary_for(self.view, self.replica_ids)
+        index = self.replica_ids.index(primary)
+        host, port = self.roster[index]
+        try:
+            await write_frame(
+                writer,
+                encode_envelope(
+                    "redirect",
+                    view=self.view,
+                    epoch=self.epoch,
+                    primary=index,
+                    host=host,
+                    port=port,
+                    roster=roster_to_obj(self.roster),
+                ),
+            )
+        except ConnectionError:
+            pass
+        writer.close()
+        self._obs.trace(
+            "net.redirect", client=client, view=self.view, primary=index
+        )
+
+    def _start_replication(self) -> None:
+        """Spawn one shipping task per backup (primary only)."""
+        for index in range(len(self.roster)):
+            if index == self.replica_index:
+                continue
+            task = self._backup_tasks.get(index)
+            if task is not None and not task.done():
+                continue
+            self._repl_wakeup[index] = asyncio.Event()
+            self._backup_tasks[index] = asyncio.ensure_future(
+                self._replicate_to(index)
+            )
+
+    def _stop_replication(self) -> None:
+        for task in self._backup_tasks.values():
+            task.cancel()
+        self._backup_tasks.clear()
+
+    async def _replicate_to(self, index: int) -> None:
+        """Ship the log to one backup, forever: install, then appends.
+
+        Every (re)connect starts with a full-log ``repl_install`` — this
+        doubles as the VSR start-view after an election and as state
+        transfer for a backup that lagged behind the compaction floor —
+        and then streams ``repl_append`` frames one ack at a time.
+        """
+        rid = self.replica_ids[index]
+        host, port = self.roster[index]
+        wakeup = self._repl_wakeup[index]
+        attempt = 0
+        while not self._closed.is_set():
+            view_at_start = self.view
+            writer = None
+            try:
+                reader, writer = await asyncio.open_connection(host, port)
+                await write_frame(
+                    writer,
+                    encode_envelope(
+                        "repl_install",
+                        view=self.view,
+                        epoch=self.epoch,
+                        committed=self.committed,
+                        sender=self.replica_id,
+                        log=self.wal.to_obj(),
+                    ),
+                )
+                shipped = await self._await_repl_ack(reader, rid)
+                attempt = 0
+                while self.view == view_at_start:
+                    while shipped < self.wal.last_serial:
+                        record = self.wal.record_at(shipped + 1)
+                        if record is None:
+                            raise _Reinstall()  # compacted past the backup
+                        await write_frame(
+                            writer,
+                            encode_envelope(
+                                "repl_append",
+                                epoch=self.epoch,
+                                committed=self.committed,
+                                record=record,
+                            ),
+                        )
+                        shipped = await self._await_repl_ack(reader, rid)
+                    wakeup.clear()
+                    if shipped >= self.wal.last_serial:
+                        await wakeup.wait()
+            except _Reinstall:
+                continue
+            except _Deposed as exc:
+                self._depose(int(exc.args[0]))
+                return
+            except asyncio.CancelledError:
+                return
+            except (OSError, ConnectionError, WireError, EOFError) as exc:
+                attempt += 1
+                if attempt == 1:
+                    self._log(f"replica {rid} unreachable: {exc}")
+                await asyncio.sleep(min(0.25 * attempt, 2.0))
+            finally:
+                if writer is not None:
+                    writer.close()
+
+    async def _await_repl_ack(
+        self, reader: asyncio.StreamReader, rid: ReplicaId
+    ) -> int:
+        frame = await read_frame(reader)
+        if frame is None:
+            raise ConnectionError(f"replica {rid} closed the repl stream")
+        if frame["type"] == "repl_deny":
+            raise _Deposed(int(frame.get("view", self.view + 1)))
+        if frame["type"] != "repl_ack":
+            raise WireError(
+                f"replica {rid}: expected repl_ack, got {frame['type']!r}"
+            )
+        serial = int(frame.get("serial", 0))
+        if int(frame.get("epoch", self.epoch)) == self.epoch:
+            if serial > self._repl_acked.get(rid, 0):
+                self._repl_acked[rid] = serial
+            await self._advance_commit()
+        return serial
+
+    def _depose(self, new_view: int) -> None:
+        """A quorum moved on without us: stand down to backup."""
+        if new_view <= self.view:
+            new_view = self.view + 1
+        self._log(
+            f"deposed: view {new_view} exists, stepping down from view "
+            f"{self.view}"
+        )
+        self.view = new_view
+        self.epoch = max(self.epoch, new_view)
+        self.promised = max(self.promised, new_view)
+        self._stop_replication()
+        self._pending.clear()
+        # Hanging up makes every client walk the roster to the new
+        # primary; nothing un-acknowledged is lost — their frames are
+        # still buffered for retransmission.
+        for channel in self.channels.values():
+            if channel.writer is not None:
+                channel.writer.close()
+                channel.writer = None
+
+    async def _advance_commit(self) -> None:
+        """Recompute the quorum floor and flush newly committed serials."""
+        if not self.replicated or not self.is_primary:
+            return
+        async with self._commit_lock:
+            acked = {rid: 0 for rid in self.replica_ids}
+            acked.update(self._repl_acked)
+            acked[self.replica_id] = self.wal.last_serial
+            floor = sorted(acked.values(), reverse=True)[self.quorum - 1]
+            while self.committed < floor:
+                serial = self.committed + 1
+                self.committed = serial
+                await self._flush_committed(serial)
+            self._obs.repl_commit_floor.set(self.committed)
+            if (
+                self._failover_started is not None
+                and self.committed >= self._failover_target
+            ):
+                latency = time.monotonic() - self._failover_started
+                self._failover_started = None
+                self._obs.failover_latency.observe(latency)
+                self._obs.trace(
+                    "repl.failover_complete",
+                    view=self.view,
+                    serial=self.committed,
+                    latency=round(latency, 6),
+                )
+                self._log(
+                    f"failover complete: view {self.view} committed through "
+                    f"serial {self.committed} in {latency:.3f}s"
+                )
+
+    async def _flush_committed(self, serial: int) -> None:
+        """Release the parked broadcasts and origin ack for one serial."""
+        origin, frames = self._pending.pop(serial, (None, None))
+        if frames is None:
+            # No parked frames: a record adopted through a view change.
+            # Rebuild its broadcast from the log and ship it to every
+            # connected client; duplicate suppression absorbs overlap
+            # with the welcome resync.
+            record = self.wal.record_at(serial)
+            if record is None:
+                raise ProtocolError(
+                    f"commit floor reached serial {serial} but the record "
+                    "was compacted; the commit-floor clamp is broken"
+                )
+            broadcast = ServerOperation(
+                operation=operation_from_obj(record["operation"]),
+                origin=record["origin"],
+                serial=serial,
+                prefix=self.server.oracle.serialized_before(serial),
+            )
+            origin = record["origin"]
+            frames = [
+                (
+                    name,
+                    encode_envelope(
+                        "data",
+                        seq=serial,
+                        ack=self._gated_ack(channel),
+                        epoch=self.epoch,
+                        body=message_to_obj(broadcast),
+                    ),
+                )
+                for name, channel in self.channels.items()
+            ]
+        for recipient, envelope in frames:
+            channel = self.channels.get(recipient)
+            if channel is None or channel.writer is None:
+                continue  # offline: the WAL re-ships on reconnect
+            try:
+                await write_frame(channel.writer, envelope)
+            except ConnectionError:
+                channel.writer = None
+        channel = self.channels.get(origin)
+        if channel is not None and channel.writer is not None:
+            try:
+                await write_frame(
+                    channel.writer,
+                    encode_envelope(
+                        "ack", ack=self._gated_ack(channel), epoch=self.epoch
+                    ),
+                )
+            except ConnectionError:
+                channel.writer = None
+
+    # ------------------------------------------------------------------
+    # Replication: backup feed and view changes
+    # ------------------------------------------------------------------
+    async def _handle_repl_feed(
+        self,
+        first: Dict[str, Any],
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Serve one primary's install/append stream (the backup role)."""
+        if not self.replicated:
+            self._log("rejecting repl frame: this server is standalone")
+            writer.close()
+            return
+        frame: Optional[Dict[str, Any]] = first
+        try:
+            while frame is not None:
+                kind = frame.get("type")
+                if kind == "repl_install":
+                    accepted = self._install_log(frame)
+                elif kind == "repl_append":
+                    accepted = self._append_record(frame)
+                else:
+                    break
+                if not accepted:
+                    await write_frame(
+                        writer,
+                        encode_envelope(
+                            "repl_deny", view=max(self.view, self.promised)
+                        ),
+                    )
+                    break
+                self._primary_feed = writer
+                await write_frame(
+                    writer,
+                    encode_envelope(
+                        "repl_ack",
+                        serial=self.wal.last_serial,
+                        epoch=self.epoch,
+                    ),
+                )
+                frame = await read_frame(reader)
+        except (WireError, ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+            if self._primary_feed is writer:
+                self._primary_feed = None
+                if not self._closed.is_set() and not self.is_primary:
+                    self._log(
+                        f"replication feed from the view-{self.view} primary "
+                        "lost; arming failover"
+                    )
+                    self._schedule_failover()
+
+    def _install_log(self, frame: Dict[str, Any]) -> bool:
+        view = int(frame.get("view", 0))
+        if view < max(self.view, self.promised):
+            self._obs.repl_stale_rejected.inc()
+            return False
+        new_view = view != self.view
+        self.view = view
+        self.epoch = int(frame.get("epoch", view))
+        self.promised = max(self.promised, view)
+        log = ServerWriteAheadLog.from_obj(frame["log"])
+        self.wal = log
+        self.committed = max(self.committed, int(frame.get("committed", 0)))
+        self._obs.repl_appends.inc(len(log.records))
+        if new_view:
+            self._log(
+                f"installed view {view}: log through serial "
+                f"{log.last_serial}, committed {self.committed}"
+            )
+        return True
+
+    def _append_record(self, frame: Dict[str, Any]) -> bool:
+        epoch = int(frame.get("epoch", -1))
+        if epoch != self.epoch or self.promised > self.epoch:
+            self._obs.repl_stale_rejected.inc()
+            return False
+        record = frame["record"]
+        serial = int(record["serial"])
+        if serial > self.wal.last_serial:
+            origin = str(record["origin"])
+            if origin not in self.wal.clients:
+                # Client registrations are not shipped separately; a
+                # backup learns each origin from its first replicated
+                # record so that after a promotion `_become_primary`
+                # rebuilds a channel (receiver fast-forwarded past the
+                # origin's logged operations) for every such client.
+                self.wal.clients.append(origin)
+            self.wal.append(
+                serial,
+                origin,
+                operation_from_obj(record["operation"]),
+                epoch=int(record.get("epoch", epoch)),
+            )
+            self._obs.repl_appends.inc()
+        self.committed = max(self.committed, int(frame.get("committed", 0)))
+        return True
+
+    async def _handle_seek(
+        self, frame: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        """Answer a view-change candidate: promise + offer, or deny."""
+        view = int(frame.get("view", 0))
+        try:
+            if not self.replicated or view <= max(self.view, self.promised):
+                self._obs.repl_stale_rejected.inc()
+                await write_frame(
+                    writer,
+                    encode_envelope(
+                        "repl_deny", view=max(self.view, self.promised)
+                    ),
+                )
+            else:
+                self.promised = view
+                await write_frame(
+                    writer,
+                    encode_envelope(
+                        "repl_offer",
+                        view=view,
+                        replica=self.replica_id,
+                        last_epoch=self.wal.last_epoch,
+                        last_serial=self.wal.last_serial,
+                        committed=self.committed,
+                        log=self.wal.to_obj(),
+                    ),
+                )
+        except ConnectionError:
+            pass
+        writer.close()
+
+    def _schedule_failover(self) -> None:
+        if self._failover_task is None or self._failover_task.done():
+            self._failover_task = asyncio.ensure_future(self._failover_watch())
+
+    async def _failover_watch(self) -> None:
+        """Deterministically staggered election: the round-robin successor
+        tries first; each further-away successor waits one more
+        ``failover_delay`` so concurrent candidacies cannot collide
+        unless an earlier candidate is dead too."""
+        detected = time.monotonic()
+        while not self._closed.is_set() and not self.is_primary:
+            view_seen = self.view
+            target = self.view + 1
+            while primary_for(target, self.replica_ids) != self.replica_id:
+                target += 1
+            await asyncio.sleep(self.failover_delay * (target - view_seen))
+            if self.view != view_seen or self._primary_feed is not None:
+                return  # a new primary announced itself in time
+            if await self._run_election(target, detected):
+                return
+            await asyncio.sleep(self.failover_delay)
+
+    async def _run_election(self, target: int, detected: float) -> bool:
+        """Gather a quorum of offers for view ``target`` and take over."""
+        offers: Dict[ReplicaId, Tuple[int, int]] = {
+            self.replica_id: (self.wal.last_epoch, self.wal.last_serial)
+        }
+        logs: Dict[ReplicaId, ServerWriteAheadLog] = {}
+        committed = self.committed
+        for index, (host, port) in enumerate(self.roster):
+            if index == self.replica_index:
+                continue
+            reply = await self._seek_offer(host, port, target)
+            if reply is None:
+                continue
+            if reply["type"] == "repl_deny":
+                self._log(
+                    f"election for view {target} denied: view "
+                    f"{reply.get('view')} already exists"
+                )
+                return False
+            rid = str(reply["replica"])
+            offers[rid] = (
+                int(reply["last_epoch"]),
+                int(reply["last_serial"]),
+            )
+            logs[rid] = ServerWriteAheadLog.from_obj(reply["log"])
+            committed = max(committed, int(reply.get("committed", 0)))
+        if len(offers) < self.quorum:
+            self._log(
+                f"election for view {target} failed: {len(offers)} of "
+                f"{self.quorum} required offers"
+            )
+            return False
+        winner = elect(offers)
+        adopted = self.wal if winner == self.replica_id else logs[winner]
+        adopted_last = adopted.last_serial
+        if adopted_last < committed:
+            raise ProtocolError(
+                "quorum intersection violated: the adopted log ends at "
+                f"serial {adopted_last} but {committed} is committed"
+            )
+        self.view = target
+        self.epoch = target
+        self.promised = target
+        self.committed = committed
+        # Re-stamp the uncommitted suffix under the new epoch: these are
+        # the re-proposed records a deposed primary can no longer touch.
+        reproposed = 0
+        for record in adopted.records:
+            if int(record["serial"]) > committed:
+                record["epoch"] = target
+                reproposed += 1
+        if reproposed:
+            adopted.last_epoch = target
+        self._become_primary(adopted)
+        self.view_changes += 1
+        self._obs.view_changes.inc()
+        self._obs.trace(
+            "repl.view_change",
+            view=target,
+            primary=self.replica_id,
+            adopted_from=winner,
+            adopted_last=adopted_last,
+            reproposed=reproposed,
+        )
+        self._log(
+            f"view {target}: this replica is now the primary (adopted "
+            f"{winner}'s log through serial {adopted_last}, "
+            f"re-proposed {reproposed}, committed {committed})"
+        )
+        self._failover_started = detected
+        self._failover_target = adopted_last
+        self._repl_acked = {}
+        self._start_replication()
+        await self._advance_commit()  # a quorum of one commits immediately
+        return True
+
+    async def _seek_offer(
+        self, host: str, port: int, target: int
+    ) -> Optional[Dict[str, Any]]:
+        writer = None
+        try:
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=2.0
+            )
+            await write_frame(
+                writer,
+                encode_envelope(
+                    "repl_seek", view=target, sender=self.replica_id
+                ),
+            )
+            reply = await asyncio.wait_for(read_frame(reader), timeout=2.0)
+        except (OSError, ConnectionError, WireError, asyncio.TimeoutError):
+            return None
+        finally:
+            if writer is not None:
+                writer.close()
+        if reply is None or reply.get("type") not in ("repl_offer", "repl_deny"):
+            return None
+        return reply
+
+    def _become_primary(self, adopted: ServerWriteAheadLog) -> None:
+        """Install the adopted log and rebuild the serving state.
+
+        The CSS server replays from the log (snapshot + suffix, the same
+        recovery path a standalone restart uses); each client channel is
+        rebuilt exactly as the simulator's failover does — the c->s
+        receiver fast-forwarded to how many operations that origin has in
+        the log, the s->c sender positioned at ``last_serial + 1`` so the
+        seq==serial invariant survives the view change.
+        """
+        self.wal = adopted
+        counts = self.wal.origin_counts()
+        for origin in counts:
+            # Belt and braces: any origin present in the log must get a
+            # rebuilt channel even if its registration never made it
+            # into the adopted log's client list.
+            if origin != SERVER_ID and origin not in self.wal.clients:
+                self.wal.clients.append(origin)
+        self.server = self.wal.recover()
+        self.channels = {}
+        for name in list(self.wal.clients):
+            channel = _ClientChannel(name)
+            channel.sender.restore(
+                {"next_seq": self.wal.last_serial + 1, "acked": 0}
+            )
+            channel.receiver.fast_forward(counts.get(name, 0))
+            self.channels[name] = channel
+        self._pending = {}
+        self._primary_feed = None
+        self._update_connection_gauges()
+
+    # ------------------------------------------------------------------
     # Admin plane (used by the load generator and operators)
     # ------------------------------------------------------------------
     async def _handle_admin(
         self, frame: Dict[str, Any], writer: asyncio.StreamWriter
     ) -> None:
         command = frame.get("cmd")
+        replication = {
+            "replicated": self.replicated,
+            "replica": self.replica_id,
+            "role": "primary" if self.is_primary else "backup",
+            "view": self.view,
+            "epoch": self.epoch,
+            "committed": self.committed,
+            "view_changes": self.view_changes,
+        }
         if command == "signature":
+            # A backup's CssServer is stale by design (only its WAL is
+            # fed); rebuild one from the log so signatures are comparable
+            # across roles.
+            server = (
+                self.server
+                if not self.replicated or self.is_primary
+                else self.wal.recover()
+            )
             reply = encode_envelope(
                 "admin_reply",
-                signature=document_signature(self.server.document),
+                signature=document_signature(server.document),
                 serial=self.wal.last_serial,
-                document=self.server.document.as_string(),
+                document=server.document.as_string(),
+                **replication,
             )
         elif command == "stats":
             reply = encode_envelope(
                 "admin_reply",
                 serial=self.wal.last_serial,
+                replication=replication,
                 clients={
                     name: {
                         "delivered": c.delivered,
@@ -431,6 +1159,9 @@ async def _serve(
     snapshot_every: int,
     announce: bool,
     quiet: bool,
+    roster: Optional[Sequence[Tuple[str, int]]],
+    replica_index: int,
+    failover_delay: float,
 ) -> int:
     server = NetServer(
         host=host,
@@ -438,6 +1169,9 @@ async def _serve(
         initial_text=initial_text,
         snapshot_every=snapshot_every,
         quiet=quiet,
+        roster=roster,
+        replica_index=replica_index,
+        failover_delay=failover_delay,
     )
     await server.start()
     if announce:
@@ -445,7 +1179,13 @@ async def _serve(
         # discover the ephemeral port.
         print(
             "REPRO-SERVE "
-            + json.dumps({"host": server.host, "port": server.port}),
+            + json.dumps(
+                {
+                    "host": server.host,
+                    "port": server.port,
+                    "replica": server.replica_id,
+                }
+            ),
             flush=True,
         )
     await server.wait_closed()
@@ -459,11 +1199,24 @@ def run_server(
     snapshot_every: int = 256,
     announce: bool = False,
     quiet: bool = False,
+    roster: Optional[Sequence[Tuple[str, int]]] = None,
+    replica_index: int = 0,
+    failover_delay: float = 0.5,
 ) -> int:
     """Blocking entry point for ``repro serve``."""
     try:
         return asyncio.run(
-            _serve(host, port, initial_text, snapshot_every, announce, quiet)
+            _serve(
+                host,
+                port,
+                initial_text,
+                snapshot_every,
+                announce,
+                quiet,
+                roster,
+                replica_index,
+                failover_delay,
+            )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         return 0

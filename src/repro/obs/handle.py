@@ -126,6 +126,26 @@ CANONICAL_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
         "repro_net_resync_frames_total",
         "Broadcast frames re-shipped from durable state on reconnect",
     ),
+    (
+        "view_changes",
+        "repro_view_changes_total",
+        "View changes completed by the replication layer",
+    ),
+    (
+        "repl_appends",
+        "repro_repl_appends_total",
+        "Log records shipped to (and appended by) backup replicas",
+    ),
+    (
+        "repl_stale_rejected",
+        "repro_repl_stale_rejected_total",
+        "Frames rejected because they carried a stale epoch",
+    ),
+    (
+        "wal_torn_tail_dropped",
+        "repro_wal_torn_tail_dropped_total",
+        "Torn (truncated/garbage) final WAL records dropped at recovery",
+    ),
 )
 
 CANONICAL_GAUGES: Tuple[Tuple[str, str, str], ...] = (
@@ -153,6 +173,16 @@ CANONICAL_GAUGES: Tuple[Tuple[str, str, str], ...] = (
         "document_length",
         "repro_document_length",
         "List length at the final state of the last integrating replica",
+    ),
+    (
+        "repl_commit_quorum",
+        "repro_repl_commit_quorum",
+        "Replicas required for quorum commit (f+1 of the 2f+1 roster)",
+    ),
+    (
+        "repl_commit_floor",
+        "repro_repl_commit_floor",
+        "Highest quorum-committed serial in the replicated log",
     ),
 )
 
@@ -187,6 +217,12 @@ CANONICAL_HISTOGRAMS: Tuple[Tuple[str, str, str, Tuple[float, ...]], ...] = (
         "repro_css_integrate_duration_seconds",
         "Wall-clock duration of one Algorithm 1 integration",
         FAST_SECONDS_BUCKETS,
+    ),
+    (
+        "failover_latency",
+        "repro_failover_seconds",
+        "Primary loss detected to first op committed by the new primary",
+        DEFAULT_SECONDS_BUCKETS,
     ),
 )
 

@@ -28,7 +28,7 @@ injection is zero-cost when disabled.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field as dataclass_field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.common.ids import ReplicaId
@@ -100,17 +100,32 @@ class CrashSpec:
 
 @dataclass(frozen=True)
 class ServerCrashSpec:
-    """One crash/restore window for the server.
+    """One crash/restore window for the server (or one of its replicas).
 
     At ``at`` the server loses all volatile state — its state-space, its
     order oracle, its session endpoints, and every frame or ack it had in
     flight; at ``restore_at`` it recovers from the write-ahead log (latest
     snapshot + replayed suffix), re-enters under a new epoch, and answers
     each client's resync request from the replayed log.
+
+    With a replicated plan (``FaultPlan(replicas=...)``) the window
+    targets one member of the replica group instead:
+
+    * ``replica=None`` or ``replica="primary"`` — kill whichever replica
+      is the *primary* when ``at`` fires (the interesting case: the
+      serialisation authority dies mid-broadcast and a view change must
+      elect a successor);
+    * ``replica=<int>`` — kill that roster index, primary or not (a
+      backup kill exercises quorum commit with a degraded roster).
+
+    At ``restore_at`` the killed replica rejoins as a *backup* via state
+    transfer from the current primary, whatever role it held before.
     """
 
     at: float
     restore_at: float
+    #: ``None``/"primary" = the current primary; int = roster index.
+    replica: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -120,6 +135,12 @@ class ServerCrashSpec:
                 f"server restore time {self.restore_at} not after crash "
                 f"at {self.at}"
             )
+        if self.replica is not None and self.replica != "primary":
+            if not isinstance(self.replica, int) or self.replica < 0:
+                raise SimulationError(
+                    f"replica target {self.replica!r} is neither 'primary' "
+                    "nor a roster index"
+                )
 
 
 @dataclass(frozen=True)
@@ -150,6 +171,8 @@ class FaultPlan:
         server_crashes: Sequence[ServerCrashSpec] = (),
         snapshot_every: int = 3,
         wal: Optional[bool] = None,
+        replicas: int = 0,
+        failover_delay: float = 0.25,
     ) -> None:
         if snapshot_every < 1:
             raise SimulationError("snapshot_every must be >= 1")
@@ -163,6 +186,22 @@ class FaultPlan:
         #: contains server crashes); an explicit bool forces it on (to
         #: measure durability overhead) or off.
         self.wal = wal
+        #: 0 = the classic single server; >= 3 replicates the WAL across
+        #: a 2f+1 quorum group with view-change failover.
+        self.replicas = replicas
+        #: detection timeout: a dead primary's successor takes over this
+        #: long after the crash (the failure-detector latency).
+        self.failover_delay = failover_delay
+        if replicas:
+            if replicas < 3:
+                raise SimulationError(
+                    f"a replica group needs at least 3 members (2f+1, "
+                    f"f >= 1); got {replicas}"
+                )
+            if failover_delay <= 0:
+                raise SimulationError(
+                    f"failover delay {failover_delay} must be positive"
+                )
         if wal is False and self.server_crashes:
             raise SimulationError(
                 "server crashes require the write-ahead log: recovery "
@@ -176,7 +215,7 @@ class FaultPlan:
         """Whether the runner should maintain a server write-ahead log."""
         if self.wal is not None:
             return self.wal
-        return bool(self.server_crashes)
+        return bool(self.server_crashes) or self.replicas > 0
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -191,6 +230,8 @@ class FaultPlan:
             server_crashes=list(self.server_crashes),
             snapshot_every=self.snapshot_every,
             wal=self.wal,
+            replicas=self.replicas,
+            failover_delay=self.failover_delay,
         )
 
     def without_crashes(self) -> "FaultPlan":
@@ -208,6 +249,8 @@ class FaultPlan:
             server_crashes=(),
             snapshot_every=self.snapshot_every,
             wal=self.wal,
+            replicas=self.replicas,
+            failover_delay=self.failover_delay,
         )
 
     @classmethod
@@ -271,6 +314,56 @@ class FaultPlan:
             crashes=crash_list,
             server_crashes=server_list,
             snapshot_every=rng.randint(1, 4),
+        )
+
+    @classmethod
+    def sample_failover(
+        cls,
+        seed: int,
+        clients: Sequence[ReplicaId],
+        duration_hint: float = 10.0,
+        max_drop: float = 0.3,
+        replicas: int = 3,
+        kills: int = 1,
+    ) -> "FaultPlan":
+        """Draw a random replicated plan with ``kills`` primary kills.
+
+        Deterministic per ``seed``.  Each kill window targets whichever
+        replica is the primary when the window opens, so a sequence of
+        kills walks the view number forward — successive view changes
+        with the log adopted across them.  Windows are laid out
+        sequentially (one replica down at a time: the 2f+1 group keeps
+        its quorum throughout) and each is long enough for the failover
+        detection delay to elapse before the victim rejoins.
+        """
+        if kills < 1:
+            raise SimulationError("sample_failover needs kills >= 1")
+        rng = random.Random(seed)
+        default = ChannelFaults(
+            drop=rng.uniform(0.0, max_drop),
+            duplicate=rng.uniform(0.0, 0.2),
+            delay=rng.uniform(0.0, 0.3),
+            delay_range=(0.02, rng.uniform(0.1, 1.0)),
+        )
+        failover_delay = rng.uniform(0.1, 0.4)
+        span = max(duration_hint, 1.0)
+        server_list: List[ServerCrashSpec] = []
+        cursor = rng.uniform(0.2, 0.4 * span / kills)
+        for _ in range(kills):
+            outage = failover_delay + rng.uniform(0.3, 1.5)
+            server_list.append(
+                ServerCrashSpec(
+                    at=cursor, restore_at=cursor + outage, replica="primary"
+                )
+            )
+            cursor += outage + rng.uniform(0.2, max(0.4, span / kills))
+        return cls(
+            seed=seed,
+            default=default,
+            server_crashes=server_list,
+            snapshot_every=rng.randint(1, 4),
+            replicas=replicas,
+            failover_delay=failover_delay,
         )
 
     def shrunk(self) -> Iterator["FaultPlan"]:
@@ -361,6 +454,22 @@ class FaultPlan:
                     f"{earlier} and {later}"
                 )
         for window in self.server_crashes:
+            if window.replica is None:
+                continue
+            if not self.replicas:
+                raise SimulationError(
+                    f"server crash targets replica {window.replica!r} but "
+                    "the plan has no replica group (set replicas=2f+1)"
+                )
+            if (
+                isinstance(window.replica, int)
+                and window.replica >= self.replicas
+            ):
+                raise SimulationError(
+                    f"server crash targets replica {window.replica} but the "
+                    f"roster has only {self.replicas} members"
+                )
+        for window in self.server_crashes:
             for crash in self.crashes:
                 if window.at <= crash.restore_at <= window.restore_at:
                     raise SimulationError(
@@ -409,6 +518,11 @@ class FaultStats:
     wal_appends: int = 0
     wal_compactions: int = 0
     wal_records_truncated: int = 0
+    view_changes: int = 0
+    repl_stale_rejected: int = 0
+    #: simulated seconds from each primary crash to the commit floor
+    #: regaining the adopted log (the view fully certified again)
+    failover_latencies: List[float] = dataclass_field(default_factory=list)
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -425,5 +539,6 @@ class FaultStats:
             f"server-crashes={self.server_crashes} "
             f"server-resynced={self.server_resynced_ops} "
             f"wal-appends={self.wal_appends} "
-            f"wal-compactions={self.wal_compactions}"
+            f"wal-compactions={self.wal_compactions} "
+            f"view-changes={self.view_changes}"
         )

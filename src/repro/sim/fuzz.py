@@ -170,6 +170,8 @@ class ChaosCase:
     duration: float
     server_crashes: int = 0
     wal_appends: int = 0
+    view_changes: int = 0
+    failover_latencies: List[float] = field(default_factory=list)
 
     def row(self) -> str:
         return (
@@ -179,7 +181,7 @@ class ChaosCase:
             f"{'-' if self.replay_ok is None else str(self.replay_ok):<7} "
             f"{self.retransmissions:>7} {self.frames_dropped:>8} "
             f"{self.duplicates_suppressed:>7} {self.resynced_ops:>7} "
-            f"{self.wal_appends:>7} {self.duration:>9.2f}"
+            f"{self.wal_appends:>7} {self.view_changes:>5} {self.duration:>9.2f}"
         )
 
 
@@ -195,8 +197,16 @@ class ChaosReport:
         f"{'seed':>6} {'drop':>5} {'dup':>4} {'delay':>5} {'crashes':>7} "
         f"{'scrash':>6} {'converged':<10} {'replay':<7} {'retrans':>7} "
         f"{'dropped':>8} {'dedup':>7} {'resync':>7} {'wal':>7} "
-        f"{'duration':>9}"
+        f"{'views':>5} {'duration':>9}"
     )
+
+    def failover_latencies(self) -> List[float]:
+        """Every observed failover latency across the sweep's cases."""
+        return [
+            latency
+            for case in self.cases
+            for latency in case.failover_latencies
+        ]
 
     @property
     def ok(self) -> bool:
@@ -225,6 +235,8 @@ def chaos_sweep(
     max_drop: float = 0.3,
     check_replay: bool = True,
     server_crash: bool = False,
+    replicas: int = 0,
+    primary_kills: int = 1,
 ) -> ChaosReport:
     """Run ``plans`` sampled fault plans against one protocol.
 
@@ -238,11 +250,24 @@ def chaos_sweep(
     client that is precisely the "recovery behaves like an uncrashed
     replica" guarantee.  After a server crash the sweep also checks that
     the recovered serialisation order is the dense sequence ``1..n``.
+
+    With ``replicas`` (a 2f+1 roster size) every plan instead replicates
+    the write-ahead log and kills the *primary* ``primary_kills`` times
+    mid-run (``FaultPlan.sample_failover``); a view change must elect a
+    successor each time.  On top of the convergence/replay checks, the
+    sweep asserts that **no acknowledged operation is ever lost**: every
+    generated operation holds exactly one serial in the surviving log —
+    a bijection between generations and the dense serial order.
     """
     if server_crash and protocol != "css":
         raise SimulationError(
             "--server-crash requires the css protocol: server recovery "
             "replays the write-ahead log through a CssServer"
+        )
+    if replicas and protocol != "css":
+        raise SimulationError(
+            "--kill-primary requires the css protocol: failover recovery "
+            "replays the replicated write-ahead log through a CssServer"
         )
     base = workload or WorkloadConfig(clients=3, operations=18)
     report = ChaosReport(protocol=protocol)
@@ -259,14 +284,24 @@ def chaos_sweep(
         duration_hint = config.operations / (
             config.clients * config.rate_per_client
         )
-        plan = FaultPlan.sample(
-            case_seed,
-            config.client_names(),
-            duration_hint=max(duration_hint, 1.0),
-            max_drop=max_drop,
-            crashes=protocol == "css",
-            server_crash=server_crash,
-        )
+        if replicas:
+            plan = FaultPlan.sample_failover(
+                case_seed,
+                config.client_names(),
+                duration_hint=max(duration_hint, 1.0),
+                max_drop=max_drop,
+                replicas=replicas,
+                kills=primary_kills,
+            )
+        else:
+            plan = FaultPlan.sample(
+                case_seed,
+                config.client_names(),
+                duration_hint=max(duration_hint, 1.0),
+                max_drop=max_drop,
+                crashes=protocol == "css",
+                server_crash=server_crash,
+            )
         latency = UniformLatency(0.01, 0.3, seed=case_seed)
         label = (
             f"plan seed={case_seed} drop={plan.default.drop:.2f} "
@@ -304,6 +339,8 @@ def chaos_sweep(
                 duration=result.duration,
                 server_crashes=stats.server_crashes,
                 wal_appends=stats.wal_appends,
+                view_changes=stats.view_changes,
+                failover_latencies=list(stats.failover_latencies),
             )
         )
         if not result.converged:
@@ -318,5 +355,26 @@ def chaos_sweep(
             if serials != list(range(1, len(serials) + 1)):
                 report.failures.append(
                     f"{label}: recovered serials not dense 1..n: {serials}"
+                )
+        if replicas:
+            if stats.view_changes < len(plan.server_crashes):
+                report.failures.append(
+                    f"{label}: {len(plan.server_crashes)} primary kills "
+                    f"but only {stats.view_changes} view changes"
+                )
+            oracle = result.cluster.server.oracle
+            serialised = {opid for opid, _serial in oracle.serial_items()}
+            generated = set(result.generated_at)
+            lost = generated - serialised
+            if lost:
+                report.failures.append(
+                    f"{label}: acknowledged operations lost to failover: "
+                    f"{sorted(lost)}"
+                )
+            phantom = serialised - generated
+            if phantom:
+                report.failures.append(
+                    f"{label}: serialised operations never generated: "
+                    f"{sorted(phantom)}"
                 )
     return report

@@ -282,7 +282,37 @@ class _FaultyRun:
         self.crashed: set = set()
         self.checkpoints: Dict[ReplicaId, dict] = {}
         self.wal = None
-        if self.plan.wal_enabled:
+        self.group = None
+        if self.plan.replicas:
+            from repro.jupiter.replication import ReplicatedWal
+
+            # Quorum-replicated durability: the logical server SERVER_ID
+            # is *served by* whichever roster member is the current view's
+            # primary.  Schedule/behaviour bookkeeping keeps SERVER_ID —
+            # the replica group is the durability substrate underneath.
+            self.group = ReplicatedWal(
+                [f"{SERVER_ID}{i}" for i in range(self.plan.replicas)],
+                self.clients,
+                snapshot_every=self.plan.snapshot_every,
+                initial_text=runner.initial_text,
+            )
+            #: replication traffic is FIFO per replica pair: replicas talk
+            #: TCP in a deployment, so the lossy-channel adversary applies
+            #: to the client-server edges only, not the replica backbone.
+            self.repl_timer = FifoChannelTimer()
+            #: per-origin proposal/commit cursors; their difference is the
+            #: peek index of the origin's next queued-but-uncommitted op.
+            self.proposed_from: Dict[ReplicaId, int] = {
+                name: 0 for name in self.clients
+            }
+            self.popped_from: Dict[ReplicaId, int] = {
+                name: 0 for name in self.clients
+            }
+            self.commits_done = 0
+            self._failover_from: Optional[float] = None
+            self._failover_target = 0
+            self._outage_replica: Dict[float, ReplicaId] = {}
+        elif self.plan.wal_enabled:
             from repro.jupiter.persistence import ServerWriteAheadLog
 
             self.wal = ServerWriteAheadLog(
@@ -335,8 +365,8 @@ class _FaultyRun:
             self._push(crash.restore_at, ("restore", crash.client))
             self.pending_lifecycle += 2
         for crash in self.plan.server_crashes:
-            self._push(crash.at, ("scrash",))
-            self._push(crash.restore_at, ("srestore",))
+            self._push(crash.at, ("scrash", crash))
+            self._push(crash.restore_at, ("srestore", crash))
             self.pending_lifecycle += 2
         for client in self.plan.crashed_clients():
             self._checkpoint(client)
@@ -358,9 +388,17 @@ class _FaultyRun:
             elif kind == "restore":
                 self._on_restore(event[1], now)
             elif kind == "scrash":
-                self._on_server_crash(now)
+                self._on_server_crash(event[1], now)
             elif kind == "srestore":
-                self._on_server_restore(now)
+                self._on_server_restore(event[1], now)
+            elif kind == "repl":
+                self._on_repl(event[1], event[2], event[3], now)
+            elif kind == "rack":
+                self._on_repl_ack(event[1], event[2], event[3], now)
+            elif kind == "svw":
+                self._on_start_view(event[1], event[2], event[3], now)
+            elif kind == "sview":
+                self._on_view_change(now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown simulation event {event!r}")
             if self._quiescent():
@@ -382,6 +420,19 @@ class _FaultyRun:
             self.stats.wal_appends = self.wal.appends
             self.stats.wal_compactions = self.wal.compactions
             self.stats.wal_records_truncated = self.wal.records_truncated
+        if self.group is not None:
+            log = self.group.primary_log
+            self.stats.wal_appends = log.appends
+            self.stats.wal_compactions = log.compactions
+            self.stats.wal_records_truncated = log.records_truncated
+            self.stats.view_changes = self.group.view_changes
+            self.stats.repl_stale_rejected = self.group.stale_rejected
+            if self.commits_done != self.group.committed:
+                raise SimulationError(
+                    f"run ended with {self.group.committed} committed "
+                    f"serials but only {self.commits_done} delivered to "
+                    "the server"
+                )
 
         return SimulationResult(
             cluster=self.cluster,
@@ -459,13 +510,20 @@ class _FaultyRun:
         self.stats.duplicates_suppressed += receiver.duplicates - duplicates
         self.stats.out_of_order_buffered += receiver.buffered - buffered
         for _ in range(released):
-            if recipient == SERVER_ID:
-                self._deliver_to_server(sender, now)
-            else:
+            if recipient != SERVER_ID:
                 self._deliver_to_client(recipient, now)
+            elif self.group is not None:
+                self._propose_from(sender, now)
+            else:
+                self._deliver_to_server(sender, now)
         # Always (re-)acknowledge cumulatively — a duplicate frame means a
-        # previous ack was probably lost.
-        self._send_ack((sender, recipient), receiver.cumulative_ack, now)
+        # previous ack was probably lost.  With a replica group the
+        # server's ack is gated on the quorum commit floor: an op is only
+        # acknowledged once it can no longer be lost to a primary crash.
+        ack_value = receiver.cumulative_ack
+        if self.group is not None and recipient == SERVER_ID:
+            ack_value = self.group.committed_ack(sender)
+        self._send_ack((sender, recipient), ack_value, now)
 
     def _deliver_to_server(self, client: ReplicaId, now: float) -> None:
         self.progress_time = now
@@ -487,6 +545,14 @@ class _FaultyRun:
                 self.wal.compact(
                     self.cluster.server, retain_after=self._retain_floor()
                 )
+        elif self.group is not None:
+            # Replicated mode: the record was logged at proposal time and
+            # this delivery *is* the commit.  Compaction clamps to the
+            # commit floor inside the group.
+            if self.group.primary_log.should_compact():
+                self.group.compact(
+                    self.cluster.server, retain_after=self._retain_floor()
+                )
         for name in self.clients:
             newly_queued = self.cluster.pending_to_client(name) - before[name]
             for _ in range(newly_queued):
@@ -506,6 +572,203 @@ class _FaultyRun:
             self.applies_since[client] = self.applies_since.get(client, 0) + 1
             if self.applies_since[client] >= self.plan.snapshot_every:
                 self._checkpoint(client)
+
+    # ------------------------------------------------------------------
+    # Replicated durability: propose -> quorum certify -> commit/deliver
+    # ------------------------------------------------------------------
+    def _propose_from(self, origin: ReplicaId, now: float) -> None:
+        """Assign a serial and ship the record to the backup quorum.
+
+        The payload stays *queued* on the cluster's client-to-server
+        channel — :meth:`_commit_pending` pops it only once the record is
+        quorum-certified, so the recorded schedule (and the server's
+        state, behaviours and broadcasts) never contains an operation a
+        primary crash could still lose.
+        """
+        group = self.group
+        index = self.proposed_from[origin] - self.popped_from[origin]
+        payload = self.cluster.queued_payload_from(origin, index)
+        record = group.propose(origin, payload.operation)
+        self.proposed_from[origin] += 1
+        primary = group.primary
+        for rid in group.alive_replicas():
+            if rid == primary:
+                continue
+            arrival = self.repl_timer.delivery_time(
+                self.latency, primary, rid, now
+            )
+            self._push(arrival, ("repl", rid, record, group.epoch))
+
+    def _on_repl(self, replica: ReplicaId, record, epoch: int, now: float) -> None:
+        """One shipped record arrives at a backup; ack on durable append."""
+        group = self.group
+        if not group.backup_append(replica, record, epoch):
+            return  # stale epoch or dead backup: no ack
+        arrival = self.repl_timer.delivery_time(
+            self.latency, replica, group.primary, now
+        )
+        serial = group.logs[replica].last_serial
+        self._push(arrival, ("rack", replica, serial, epoch))
+
+    def _on_repl_ack(
+        self, replica: ReplicaId, serial: int, epoch: int, now: float
+    ) -> None:
+        if SERVER_ID in self.crashed:
+            # The primary that would process this ack is dead.  The
+            # backup's durable append stands regardless — the election
+            # reads it straight from the log.
+            self.stats.frames_lost_to_crash += 1
+            return
+        if self.group.acknowledge(replica, serial, epoch):
+            self._commit_pending(now)
+        self._finish_failover(now)
+
+    def _commit_pending(self, now: float) -> None:
+        """Deliver every newly quorum-certified serial to the server.
+
+        Commit order is serial order; each commit pops the origin's
+        queued payload (per-origin serial order equals queue order, so
+        the front is always the right message), broadcasts the result,
+        and releases the origin's gated session acknowledgement.
+        """
+        group = self.group
+        while self.commits_done < group.committed:
+            serial = self.commits_done + 1
+            record = group.primary_log.record_at(serial)
+            if record is None:
+                raise SimulationError(
+                    f"committed serial {serial} was compacted out of the "
+                    "primary log before delivery; the commit-floor clamp "
+                    "is broken"
+                )
+            origin = record["origin"]
+            self._deliver_to_server(origin, now)
+            assigned = self.cluster.server.oracle.last_serial
+            if assigned != serial:
+                raise SimulationError(
+                    f"commit of serial {serial} was assigned {assigned}; "
+                    "commit order diverges from proposal order"
+                )
+            self.commits_done += 1
+            self.popped_from[origin] += 1
+            self._send_ack(
+                (origin, SERVER_ID), group.committed_ack(origin), now
+            )
+
+    def _on_view_change(self, now: float) -> None:
+        """The failure detector fired: the next view's primary takes over.
+
+        Deterministic VSR-style takeover: elect the best log among the
+        surviving quorum, rebuild the logical server from its *committed*
+        prefix (never from the dead process's memory), resume every
+        client session from log-derived cursors, and install the adopted
+        log on the surviving backups (start-view).  The adopted
+        uncommitted suffix re-certifies under the new epoch via the
+        install acks; anything only the dead primary held is gone — and
+        was never acknowledged, because acks are gated on the floor.
+        """
+        from repro.jupiter.session import SessionReceiver, SessionSender
+
+        self.pending_lifecycle -= 1
+        self.progress_time = now
+        group = self.group
+        change = group.view_change()
+        self._failover_target = change.adopted_last
+        committed_log = group.committed_log()
+        # The logical serialisation authority keeps its identity across
+        # views; the roster member currently serving it is group.primary.
+        committed_log.replica_id = SERVER_ID
+        recovered = committed_log.recover()
+        # The simulator can do what a deployment cannot: compare the
+        # log-rebuilt server against the live committed state.
+        if recovered.space.signature() != self.cluster.server.space.signature():
+            raise SimulationError(
+                "failover rebuilt a different state-space than the served "
+                "committed prefix; the adopted log lost or reordered "
+                "quorum-certified history"
+            )
+        serials = [s for _opid, s in recovered.oracle.serial_items()]
+        if serials != list(range(1, self.commits_done + 1)):
+            raise SimulationError(
+                "failover-recovered serials are not the dense sequence "
+                f"1..{self.commits_done}: {serials}"
+            )
+        self.cluster.replace_server(recovered)
+
+        counts = group.primary_log.origin_counts()
+        committed_counts = committed_log.origin_counts()
+        for client in self.clients:
+            # Client-to-server half: the old primary's receivers died
+            # with it, but the adopted log knows how many frames each
+            # origin had consumed (one proposed record each) — including
+            # the uncommitted suffix, whose payloads are still queued.
+            receiver = SessionReceiver((client, SERVER_ID))
+            receiver.fast_forward(counts.get(client, 0))
+            self.receivers[(client, SERVER_ID)] = receiver
+            self.proposed_from[client] = counts.get(client, 0)
+            self.popped_from[client] = committed_counts.get(client, 0)
+            # Broadcast resync: the committed log must reproduce the
+            # volatile send buffer exactly.
+            delivered = len(self.released[client])
+            payloads = committed_log.broadcasts_for(recovered, delivered)
+            queued = self.cluster.queued_payloads_to(client)
+            if tuple(payloads) != queued:
+                raise SimulationError(
+                    f"failover resync for {client} rebuilt {len(payloads)} "
+                    f"broadcasts but the send buffer holds {len(queued)}; "
+                    "the adopted log diverges from what was shipped"
+                )
+            self.stats.server_resynced_ops += len(payloads)
+            # Server-to-client half: seq equals serial, so the new
+            # primary resumes numbering after the last commit and
+            # retransmits everything past the client's cursor under the
+            # new epoch (bumped at crash time).
+            sender = SessionSender((SERVER_ID, client))
+            sender.restore(
+                {"next_seq": self.commits_done + 1, "acked": delivered}
+            )
+            self.senders[(SERVER_ID, client)] = sender
+            for seq in sender.unacked():
+                self.stats.retransmissions += 1
+                self._obs.session_retransmits.inc()
+                self._transmit((SERVER_ID, client), seq, now, attempt=1)
+
+        self.crashed.discard(SERVER_ID)
+        payload = group.start_view_payload()
+        for rid in group.alive_replicas():
+            if rid == group.primary:
+                continue
+            arrival = self.repl_timer.delivery_time(
+                self.latency, group.primary, rid, now
+            )
+            self._push(arrival, ("svw", rid, payload, group.epoch))
+        self._finish_failover(now)
+
+    def _on_start_view(
+        self, replica: ReplicaId, payload, epoch: int, now: float
+    ) -> None:
+        """A backup installs the new view's adopted log and acks it."""
+        group = self.group
+        serial = group.install_view(replica, payload, epoch)
+        if serial is None:
+            return
+        arrival = self.repl_timer.delivery_time(
+            self.latency, replica, group.primary, now
+        )
+        self._push(arrival, ("rack", replica, serial, epoch))
+
+    def _finish_failover(self, now: float) -> None:
+        """Observe failover latency once the new view is fully certified."""
+        if self._failover_from is None or SERVER_ID in self.crashed:
+            return
+        if self.group.committed >= self._failover_target:
+            latency = now - self._failover_from
+            self.stats.failover_latencies.append(latency)
+            self._obs.failover_latency.observe(latency)
+            self._obs.trace(
+                "repl.failover", latency=latency, view=self.group.view
+            )
+            self._failover_from = None
 
     def _on_ack(
         self,
@@ -601,8 +864,31 @@ class _FaultyRun:
         # does not redo this resync.
         self._checkpoint(client)
 
-    def _on_server_crash(self, now: float) -> None:
+    def _on_server_crash(self, spec, now: float) -> None:
         self.pending_lifecycle -= 1
+        if self.group is not None:
+            group = self.group
+            target = spec.replica
+            rid = (
+                group.roster[target]
+                if isinstance(target, int)
+                else group.primary
+            )
+            self._outage_replica[spec.at] = rid
+            was_primary = group.crash(rid)
+            self.stats.server_crashes += 1
+            if was_primary:
+                # The serving endpoint is gone until the failure detector
+                # fires and the successor takes over: client frames hit
+                # the crash check, and the dead incarnation's in-flight
+                # frames/acks/timers die with the epoch bump.
+                self.crashed.add(SERVER_ID)
+                self.epochs[SERVER_ID] += 1
+                if self._failover_from is None:
+                    self._failover_from = now
+                self._push(now + self.plan.failover_delay, ("sview",))
+                self.pending_lifecycle += 1
+            return
         self.crashed.add(SERVER_ID)
         # The server's epoch bumps at *crash* time (a client's bumps at
         # restore): every frame and ack the dead incarnation still has in
@@ -613,12 +899,27 @@ class _FaultyRun:
         self.epochs[SERVER_ID] += 1
         self.stats.server_crashes += 1
 
-    def _on_server_restore(self, now: float) -> None:
+    def _on_server_restore(self, spec, now: float) -> None:
         from repro.jupiter.messages import ResyncRequest
         from repro.jupiter.session import SessionReceiver, SessionSender
 
         self.pending_lifecycle -= 1
         self.progress_time = now
+        if self.group is not None:
+            # A killed replica rejoins as a *backup* via state transfer
+            # from the current primary, whatever role it held before; its
+            # durable copy immediately counts toward future quorums.
+            rid = self._outage_replica.pop(spec.at)
+            self.group.restore(rid)
+            self.stats.server_restores += 1
+            if SERVER_ID not in self.crashed:
+                newly = self.group.acknowledge(
+                    rid, self.group.logs[rid].last_serial, self.group.epoch
+                )
+                if newly:
+                    self._commit_pending(now)
+                self._finish_failover(now)
+            return
         crashed_server = self.cluster.server
         recovered = self.wal.recover()
         # The simulator can do what a deployment cannot: compare against
@@ -692,8 +993,9 @@ class _FaultyRun:
         The cursors only grow, so records at or below the floor can never
         be requested by a future recovery.
         """
+        log = self.group.primary_log if self.group is not None else self.wal
         return min(
-            [self.wal.last_serial]
+            [log.last_serial]
             + [len(self.released[client]) for client in self.clients]
         )
 

@@ -1,0 +1,374 @@
+"""Tests for the quorum replication layer (repro.jupiter.replication).
+
+The election rules are pure functions, so they are tested directly; the
+:class:`ReplicatedWal` state machine is driven the way the simulator and
+the networked runtime drive it — propose on the primary, ship to
+backups, acknowledge, crash, view-change — and every transition is
+checked against the VSR safety argument: a committed operation is on
+``f + 1`` disks, so it survives into the adopted log of any view change.
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.jupiter import make_cluster
+from repro.jupiter.replication import (
+    ReplicatedWal,
+    committed_origin_ack,
+    elect,
+    next_view,
+    primary_for,
+    quorum_size,
+)
+from repro.model import OpSpec
+
+ROSTER = ["s0", "s1", "s2"]
+
+
+class TestElectionRules:
+    def test_quorum_is_a_majority(self):
+        assert quorum_size(1) == 1
+        assert quorum_size(3) == 2
+        assert quorum_size(5) == 3
+        assert quorum_size(7) == 4
+
+    def test_primary_rotates_round_robin(self):
+        assert primary_for(0, ROSTER) == "s0"
+        assert primary_for(1, ROSTER) == "s1"
+        assert primary_for(2, ROSTER) == "s2"
+        assert primary_for(3, ROSTER) == "s0"
+
+    def test_next_view_skips_dead_primaries(self):
+        assert next_view(0, ROSTER, alive=["s1", "s2"]) == 1
+        assert next_view(0, ROSTER, alive=["s2"]) == 2
+        # The successor of the successor wraps around the roster.
+        assert next_view(2, ROSTER, alive=["s0", "s1"]) == 3
+
+    def test_next_view_requires_a_survivor(self):
+        with pytest.raises(ProtocolError):
+            next_view(0, ROSTER, alive=[])
+
+    def test_elect_prefers_the_longest_log(self):
+        assert elect({"s1": (0, 5), "s2": (0, 3)}) == "s1"
+
+    def test_elect_epoch_dominates_length(self):
+        # A shorter log written under a later epoch supersedes a longer
+        # stale one: its records were re-proposed by a newer view.
+        assert elect({"s1": (2, 3), "s2": (1, 9)}) == "s1"
+
+    def test_elect_breaks_ties_deterministically(self):
+        assert elect({"s2": (1, 4), "s1": (1, 4)}) == "s1"
+
+    def test_elect_requires_candidates(self):
+        with pytest.raises(ProtocolError):
+            elect({})
+
+
+def driven_replicated(ops_per_client=3, clients=("c1", "c2")):
+    """A CSS cluster whose serialisations are proposed into a 3-replica
+    ReplicatedWal — the same mirroring the fault-injected runner does.
+    Nothing is shipped to the backups: each test decides what the
+    network delivered."""
+    cluster = make_cluster("css", list(clients))
+    rwal = ReplicatedWal(ROSTER, list(clients), snapshot_every=100)
+    letters = iter("abcdefghijkl")
+    records = []
+    for _ in range(ops_per_client):
+        for client_id in clients:
+            cluster.generate(client_id, OpSpec("ins", 0, next(letters)))
+            message = cluster.server_receive(client_id)
+            records.append(rwal.propose(client_id, message.payload.operation))
+    return cluster, rwal, records
+
+
+def replicate(rwal, records, backups=("s1", "s2"), ack=True):
+    """Ship ``records`` to ``backups`` (and optionally ack) in order."""
+    for record in records:
+        for backup in backups:
+            if rwal.backup_append(backup, record, epoch=rwal.epoch) and ack:
+                rwal.acknowledge(backup, int(record["serial"]), rwal.epoch)
+
+
+class TestRosterValidation:
+    def test_empty_roster_rejected(self):
+        with pytest.raises(ProtocolError):
+            ReplicatedWal([], ["c1"])
+
+    def test_duplicate_replica_ids_rejected(self):
+        with pytest.raises(ProtocolError):
+            ReplicatedWal(["s0", "s0", "s1"], ["c1"])
+
+
+class TestCommitFloor:
+    def test_propose_counts_the_primary_but_commits_nothing(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=1)
+        assert [int(r["serial"]) for r in records] == [1, 2]
+        assert rwal.acked["s0"] == 2
+        assert rwal.committed == 0  # one disk is not a quorum
+
+    def test_first_backup_ack_reaches_quorum(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=1)
+        assert rwal.backup_append("s1", records[0], epoch=0)
+        newly = rwal.acknowledge("s1", 1, epoch=0)
+        assert newly == 1
+        assert rwal.committed == 1
+
+    def test_third_ack_moves_nothing(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=1)
+        replicate(rwal, records, backups=("s1",))
+        assert rwal.committed == 2
+        assert rwal.backup_append("s2", records[0], epoch=0)
+        assert rwal.acknowledge("s2", 1, epoch=0) == 0
+
+    def test_one_ack_commits_the_whole_shipped_prefix(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        for record in records:
+            assert rwal.backup_append("s1", record, epoch=0)
+        # A single cumulative ack for the last serial certifies 1..4.
+        assert rwal.acknowledge("s1", 4, epoch=0) == 4
+        assert rwal.committed == 4
+
+    def test_duplicate_ship_is_acked_not_reappended(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=1)
+        assert rwal.backup_append("s1", records[0], epoch=0)
+        assert rwal.backup_append("s1", records[0], epoch=0)  # retransmit
+        assert rwal.logs["s1"].last_serial == 1
+
+    def test_stale_epoch_ship_rejected(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=1)
+        rejected_before = rwal.stale_rejected
+        assert not rwal.backup_append("s1", records[0], epoch=7)
+        assert rwal.logs["s1"].last_serial == 0
+        assert rwal.stale_rejected == rejected_before + 1
+
+    def test_stale_epoch_ack_never_commits(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=1)
+        assert rwal.backup_append("s1", records[0], epoch=0)
+        assert rwal.acknowledge("s1", 1, epoch=7) == 0
+        assert rwal.committed == 0
+
+    def test_dead_backup_rejects_ships(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=1)
+        rwal.crash("s1")
+        assert not rwal.backup_append("s1", records[0], epoch=0)
+
+    def test_committed_ack_gates_on_the_floor(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        # c1 holds serials 1 and 3, c2 holds 2 and 4; commit only 1..2.
+        replicate(rwal, records[:2], backups=("s1",))
+        assert rwal.committed == 2
+        assert rwal.committed_ack("c1") == 1
+        assert rwal.committed_ack("c2") == 1
+        replicate(rwal, records[2:], backups=("s1",))
+        assert rwal.committed_ack("c1") == 2
+        assert rwal.committed_ack("c2") == 2
+
+    def test_committed_origin_ack_matches_on_any_log_copy(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records, backups=("s1", "s2"))
+        # The helper is what the networked runtime applies to a log it
+        # rebuilt over the wire; it must agree with the in-process view.
+        for rid in ROSTER:
+            assert committed_origin_ack(
+                rwal.logs[rid], rwal.committed, "c1"
+            ) == rwal.committed_ack("c1")
+
+
+class TestViewChange:
+    def test_crash_of_a_backup_needs_no_view_change(self):
+        _cluster, rwal, _records = driven_replicated()
+        assert rwal.crash("s2") is False
+        assert rwal.primary == "s0"
+
+    def test_crash_of_the_primary_demands_one(self):
+        _cluster, rwal, _records = driven_replicated()
+        assert rwal.crash("s0") is True
+
+    def test_unknown_replica_rejected(self):
+        _cluster, rwal, _records = driven_replicated()
+        with pytest.raises(ProtocolError):
+            rwal.crash("s9")
+
+    def test_view_change_below_quorum_is_impossible(self):
+        _cluster, rwal, _records = driven_replicated()
+        rwal.crash("s0")
+        rwal.crash("s1")
+        with pytest.raises(ProtocolError):
+            rwal.view_change()
+
+    def test_adopts_the_longest_log_and_reproposes_the_suffix(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        # Serials 1..2 committed everywhere; 3..4 reached s1 but the
+        # acks were lost, so they are durable-but-uncommitted.
+        replicate(rwal, records[:2], backups=("s1", "s2"))
+        replicate(rwal, records[2:], backups=("s1",), ack=False)
+        assert rwal.committed == 2
+        rwal.crash("s0")
+        change = rwal.view_change()
+        assert (change.view, change.epoch, change.primary) == (1, 1, "s1")
+        assert change.adopted_from == "s1"
+        assert change.adopted_last == 4
+        assert [int(r["serial"]) for r in change.reproposed] == [3, 4]
+        assert all(int(r["epoch"]) == 1 for r in change.reproposed)
+        assert change.lost == []
+        # The adopted log itself carries the re-stamped suffix.
+        assert rwal.primary_log.last_epoch == 1
+        assert rwal.view_changes == 1
+
+    def test_unreplicated_suffix_is_lost_but_was_never_acked(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records[:2], backups=("s1", "s2"))
+        # Serials 3..4 never left the primary's disk.
+        rwal.crash("s0")
+        change = rwal.view_change()
+        assert change.adopted_last == 2
+        assert [int(r["serial"]) for r in change.lost] == [3, 4]
+        # Nothing lost was acknowledged: the commit floor never covered it.
+        assert rwal.committed == 2
+        for record in change.lost:
+            origin = record["origin"]
+            assert committed_origin_ack(
+                rwal.primary_log, rwal.committed, origin
+            ) <= 2
+
+    def test_commit_floor_always_survives_adoption(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records, backups=("s1", "s2"))
+        assert rwal.committed == 4
+        rwal.crash("s0")
+        change = rwal.view_change()
+        assert change.adopted_last >= rwal.committed
+        assert change.lost == []
+
+    def test_stale_acks_are_clamped_to_the_floor(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records[:2], backups=("s1", "s2"))
+        replicate(rwal, records[2:], backups=("s1",), ack=False)
+        rwal.crash("s0")
+        rwal.view_change()
+        # s2's old ack (2) stands; the dead s0's ack falls back to the
+        # floor — its uncommitted tail may diverge from the adopted log.
+        assert rwal.acked["s0"] == 2
+        assert rwal.acked["s2"] == 2
+        assert rwal.acked["s1"] == 4  # the new primary adopted through 4
+
+    def test_install_view_brings_a_backup_onto_the_adopted_log(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records[:2], backups=("s1", "s2"))
+        replicate(rwal, records[2:], backups=("s1",), ack=False)
+        rwal.crash("s0")
+        rwal.view_change()
+        payload = rwal.start_view_payload()
+        acked = rwal.install_view("s2", payload, epoch=rwal.epoch)
+        assert acked == 4
+        assert rwal.logs["s2"].records == rwal.primary_log.records
+        # The install's ack re-certifies the re-proposed suffix.
+        assert rwal.acknowledge("s2", acked, rwal.epoch) == 2
+        assert rwal.committed == 4
+
+    def test_install_view_under_a_stale_epoch_is_dropped(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=1)
+        replicate(rwal, records, backups=("s1", "s2"))
+        rwal.crash("s0")
+        rwal.view_change()
+        assert rwal.install_view("s2", rwal.start_view_payload(), epoch=0) is None
+
+    def test_deposed_primaries_leftover_ships_are_rejected(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records[:2], backups=("s1", "s2"))
+        rwal.crash("s0")
+        rwal.view_change()  # epoch is now 1
+        # A frame the dead view-0 primary still had in flight.
+        assert not rwal.backup_append("s2", records[2], epoch=0)
+
+    def test_rejoin_restores_a_dead_replica_from_the_primary(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records, backups=("s1", "s2"))
+        rwal.crash("s2")
+        rwal.restore("s2")
+        assert rwal.alive["s2"]
+        assert rwal.logs["s2"].last_serial == rwal.primary_log.last_serial
+        assert rwal.acked["s2"] == rwal.primary_log.last_serial
+
+    def test_rejoining_an_alive_replica_is_an_error(self):
+        _cluster, rwal, _records = driven_replicated()
+        with pytest.raises(ProtocolError):
+            rwal.restore("s1")
+
+    def test_second_failover_rotates_past_the_first_successor(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records, backups=("s1", "s2"))
+        rwal.crash("s0")
+        assert rwal.view_change().primary == "s1"
+        rwal.restore("s0")
+        rwal.crash("s1")
+        change = rwal.view_change()
+        assert change.primary == "s2"
+        assert (rwal.view, rwal.epoch) == (2, 2)
+        assert change.adopted_last == 4
+
+
+class TestCommittedViews:
+    def test_committed_log_is_the_quorum_certified_prefix(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records[:3], backups=("s1",))
+        log = rwal.committed_log()
+        assert log.last_serial == rwal.committed == 3
+        assert [int(r["serial"]) for r in log.records] == [1, 2, 3]
+
+    def test_fully_committed_log_recovers_the_cluster_state(self):
+        cluster, rwal, records = driven_replicated(ops_per_client=2)
+        replicate(rwal, records, backups=("s1", "s2"))
+        recovered = rwal.committed_log().recover()
+        assert recovered.space.signature() == cluster.server.space.signature()
+
+
+class TestCompactionClampedToTheCommitFloor:
+    """Satellite of the replication change: ``broadcasts_for`` across a
+    compaction boundary.  An unclamped compaction can truncate records a
+    lagging consumer still needs; the quorum commit floor prevents it."""
+
+    def test_compaction_never_crosses_the_commit_floor(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=3)
+        replicate(rwal, records[:2], backups=("s1", "s2"))
+        assert rwal.committed == 2
+        server = rwal.primary_log.recover()
+        # The client-cursor low-water mark says 6 is safe; the floor says 2.
+        rwal.compact(server, retain_after=6)
+        assert [int(r["serial"]) for r in rwal.primary_log.records] == [
+            3, 4, 5, 6,
+        ]
+
+    def test_lagging_consumer_reads_across_the_boundary(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=3)
+        replicate(rwal, records[:2], backups=("s1", "s2"))
+        server = rwal.primary_log.recover()
+        rwal.compact(server, retain_after=6)
+        recovered = rwal.primary_log.recover()
+        payloads = rwal.primary_log.broadcasts_for(recovered, delivered=2)
+        assert [p.serial for p in payloads] == [3, 4, 5, 6]
+
+    def test_unclamped_compaction_would_strand_the_consumer(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=3)
+        replicate(rwal, records, backups=("s1", "s2"))  # all committed
+        server = rwal.primary_log.recover()
+        # Bypassing the clamp (plain WAL compaction) truncates 1..4 ...
+        rwal.primary_log.compact(server, retain_after=4)
+        recovered = rwal.primary_log.recover()
+        with pytest.raises(ProtocolError):
+            # ... and a consumer whose cursor sits at 2 can no longer be
+            # served: the error path the clamp exists to rule out.
+            rwal.primary_log.broadcasts_for(recovered, delivered=2)
+
+    def test_uncommitted_suffix_survives_to_be_reproposed(self):
+        _cluster, rwal, records = driven_replicated(ops_per_client=3)
+        replicate(rwal, records[:2], backups=("s1", "s2"))
+        replicate(rwal, records[2:], backups=("s1",), ack=False)
+        server = rwal.primary_log.recover()
+        rwal.compact(server, retain_after=6)
+        rwal.crash("s0")
+        change = rwal.view_change()
+        # Everything above the floor was retained, so the view change
+        # re-proposes the full uncommitted suffix — nothing is lost.
+        assert [int(r["serial"]) for r in change.reproposed] == [3, 4, 5, 6]
+        assert change.lost == []

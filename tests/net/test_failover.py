@@ -1,0 +1,304 @@
+"""In-process end-to-end tests for replicated-server failover.
+
+Three real :class:`~repro.net.server.NetServer` replicas listen on
+localhost ports and replicate the write-ahead log over actual TCP;
+clients carry the roster and fail over when the primary dies.  One
+event loop keeps the tests deterministic while the frames still cross
+sockets.
+"""
+
+import asyncio
+import socket
+
+import pytest
+
+from repro.model.schedule import OpSpec
+from repro.net.client import NetClient, ReconnectExhausted
+from repro.net.codec import document_signature
+from repro.net.server import NetServer
+
+
+def _run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def _reserve_ports(count):
+    """Ephemeral ports for a roster that must be known before binding."""
+    sockets = []
+    try:
+        for _ in range(count):
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(("127.0.0.1", 0))
+            sockets.append(sock)
+        return [sock.getsockname()[1] for sock in sockets]
+    finally:
+        for sock in sockets:
+            sock.close()
+
+
+async def _started_roster(count=3, failover_delay=0.3, **kwargs):
+    ports = _reserve_ports(count)
+    roster = [("127.0.0.1", port) for port in ports]
+    servers = [
+        NetServer(
+            "127.0.0.1",
+            port,
+            quiet=True,
+            roster=roster,
+            replica_index=index,
+            failover_delay=failover_delay,
+            **kwargs,
+        )
+        for index, port in enumerate(ports)
+    ]
+    # Backups first: the view-0 primary's initial repl_install then
+    # succeeds on the first dial, before any client registers — the
+    # deployment ordering, and the one the registration regression test
+    # below depends on (the install must carry an empty client list).
+    for server in servers[1:]:
+        await server.start()
+    await servers[0].start()
+    async def _feeds_up():
+        while any(s._primary_feed is None for s in servers[1:]):
+            await asyncio.sleep(0.01)
+
+    await asyncio.wait_for(_feeds_up(), timeout=10)
+    return servers, roster
+
+
+async def _stop_all(servers, clients=()):
+    for client in clients:
+        await client.close()
+    for server in servers:
+        await server.stop()
+
+
+def _current_primary(servers):
+    primaries = [s for s in servers if s.is_primary]
+    assert len(primaries) == 1, [s.replica_id for s in primaries]
+    return primaries[0]
+
+
+class TestRedirect:
+    def test_backup_redirects_a_client_to_the_primary(self):
+        async def scenario():
+            servers, roster = await _started_roster()
+            # Dial a backup directly: it must bounce us to the primary.
+            c1 = NetClient("c1", *roster[1], roster=roster)
+            await c1.connect()
+            await c1.generate(OpSpec("ins", 0, "a"))
+            assert await c1.wait_converged(1, timeout=15)
+            redirects = c1.redirects
+            primary = _current_primary(servers)
+            same = c1.signature() == document_signature(
+                primary.server.document
+            )
+            await _stop_all(servers, [c1])
+            return redirects, same
+
+        redirects, same = _run(scenario())
+        assert redirects >= 1
+        assert same
+
+    def test_welcome_carries_the_roster(self):
+        async def scenario():
+            servers, roster = await _started_roster()
+            # The client only knows the primary's address; the welcome
+            # hands it the full roster for later failover.
+            c1 = NetClient("c1", *roster[0])
+            await c1.connect()
+            learned = c1.roster
+            await _stop_all(servers, [c1])
+            return learned, roster
+
+        learned, roster = _run(scenario())
+        assert learned == roster
+
+
+class TestCommitGating:
+    def test_replicated_acks_wait_for_quorum_but_still_flow(self):
+        async def scenario():
+            servers, roster = await _started_roster()
+            c1 = NetClient("c1", *roster[0], roster=roster)
+            c2 = NetClient("c2", *roster[0], roster=roster)
+            await c1.connect()
+            await c2.connect()
+            for index in range(4):
+                await c1.generate(OpSpec("ins", index, "a"))
+                await c2.generate(OpSpec("ins", 0, "b"))
+            done = await asyncio.gather(
+                c1.wait_converged(8, timeout=15),
+                c2.wait_converged(8, timeout=15),
+            )
+            primary = _current_primary(servers)
+            committed = primary.committed
+            backups_hold = [
+                s.wal.last_serial for s in servers if s is not primary
+            ]
+            signatures = {
+                c1.signature(),
+                c2.signature(),
+                document_signature(primary.server.document),
+            }
+            await _stop_all(servers, [c1, c2])
+            return done, committed, backups_hold, signatures
+
+        done, committed, backups_hold, signatures = _run(scenario())
+        assert done == [True, True]
+        assert committed == 8  # every acked op is quorum-certified
+        # At least a quorum's worth of backups hold the full log.
+        assert any(held == 8 for held in backups_hold)
+        assert len(signatures) == 1
+
+
+class TestPrimaryKill:
+    def test_clients_fail_over_and_lose_nothing(self):
+        """The client-registration regression: ops that are unacked at
+        kill time must survive into the new view.
+
+        ``snapshot_every`` is huge, so no compaction-triggered reinstall
+        ever ships the primary's client list — the backups must learn
+        each origin from the replicated records themselves, or the
+        promoted primary builds no session channels and the retransmits
+        park forever as an unfillable gap."""
+
+        async def scenario():
+            servers, roster = await _started_roster(
+                failover_delay=0.3, snapshot_every=100_000
+            )
+            c1 = NetClient("c1", *roster[0], roster=roster)
+            c2 = NetClient("c2", *roster[0], roster=roster)
+            await c1.connect()
+            await c2.connect()
+            for index in range(3):
+                await c1.generate(OpSpec("ins", index, "a"))
+                await c2.generate(OpSpec("ins", 0, "b"))
+            done = await asyncio.gather(
+                c1.wait_converged(6, timeout=15),
+                c2.wait_converged(6, timeout=15),
+            )
+            assert done == [True, True]
+
+            # SIGKILL stand-in: the primary vanishes mid-session.
+            await servers[0].stop()
+            # New operations while the roster is electing: they sit
+            # unacknowledged and must be retransmitted to the successor.
+            for index in range(2):
+                await c1.generate(OpSpec("ins", 0, "x"))
+                await c2.generate(OpSpec("del", 0))
+            done = await asyncio.gather(
+                c1.wait_converged(10, timeout=30),
+                c2.wait_converged(10, timeout=30),
+            )
+            survivors = servers[1:]
+            primary = _current_primary(survivors)
+            state = {
+                "done": done,
+                "view": primary.view,
+                "view_changes": primary.view_changes,
+                "serial": primary.wal.last_serial,
+                "signatures": {
+                    c1.signature(),
+                    c2.signature(),
+                    document_signature(primary.server.document),
+                },
+                "client_views": (c1.view, c2.view),
+            }
+            await _stop_all(survivors, [c1, c2])
+            return state
+
+        state = _run(scenario())
+        assert state["done"] == [True, True]
+        assert state["view"] >= 1
+        assert state["view_changes"] >= 1
+        assert state["serial"] == 10  # dense serials survived the crash
+        assert len(state["signatures"]) == 1
+        # Both clients observed the new view's epoch.
+        assert all(view >= 1 for view in state["client_views"])
+
+    def test_client_joining_mid_outage_reaches_the_new_primary(self):
+        async def scenario():
+            servers, roster = await _started_roster(failover_delay=0.2)
+            c1 = NetClient("c1", *roster[0], roster=roster)
+            await c1.connect()
+            await c1.generate(OpSpec("ins", 0, "a"))
+            assert await c1.wait_converged(1, timeout=15)
+            await servers[0].stop()
+
+            # A fresh client whose roster still names the dead replica
+            # first: the dial fails, the roster walk finds the successor.
+            c2 = NetClient("c2", *roster[0], roster=roster)
+            await c2.connect()
+            await c2.generate(OpSpec("ins", 0, "b"))
+            done = await asyncio.gather(
+                c1.wait_converged(2, timeout=30),
+                c2.wait_converged(2, timeout=30),
+            )
+            survivors = servers[1:]
+            primary = _current_primary(survivors)
+            signatures = {
+                c1.signature(),
+                c2.signature(),
+                document_signature(primary.server.document),
+            }
+            await _stop_all(survivors, [c1, c2])
+            return done, signatures
+
+        done, signatures = _run(scenario())
+        assert done == [True, True]
+        assert len(signatures) == 1
+
+
+class TestReconnectBudget:
+    def test_dead_roster_exhausts_the_dial_budget(self):
+        async def scenario():
+            ports = _reserve_ports(3)  # reserved, then released: nobody listens
+            roster = [("127.0.0.1", port) for port in ports]
+            c1 = NetClient(
+                "c1", *roster[0], roster=roster, max_connect_attempts=3
+            )
+            with pytest.raises(ReconnectExhausted):
+                await c1.connect()
+            return c1.connects
+
+        assert _run(scenario()) == 0
+
+    def test_wait_converged_respects_max_reconnect_attempts(self):
+        async def scenario():
+            server = NetServer("127.0.0.1", 0, quiet=True)
+            await server.start()
+            c1 = NetClient(
+                "c1", "127.0.0.1", server.port, max_reconnect_attempts=0
+            )
+            await c1.connect()
+            await c1.generate(OpSpec("ins", 0, "a"))
+            assert await c1.wait_converged(1, timeout=15)
+            await server.stop()
+            await c1.generate(OpSpec("ins", 1, "b"))
+            # The link is gone and the budget is zero: the wait must
+            # surface a clean terminal error, not spin to the timeout.
+            with pytest.raises(ReconnectExhausted):
+                await c1.wait_converged(2, timeout=10)
+            await c1.close()
+            return c1.reconnect_cycles
+
+        assert _run(scenario()) == 1
+
+
+class TestStaleEpochFilter:
+    def test_data_from_a_deposed_primary_is_dropped(self):
+        # Pure frame-level check: a client that has seen epoch 1 must
+        # ignore a data frame a deposed view-0 primary still had in
+        # flight — it may carry an operation the view change discarded.
+        client = NetClient("c1", "127.0.0.1", 1)
+        client.epoch = 1
+        client._handle_frame(
+            {"type": "data", "epoch": 0, "seq": 1, "ack": 0, "body": None}
+        )
+        assert client.delivered == 0  # never reached the session layer
+
+    def test_newer_epoch_is_adopted(self):
+        client = NetClient("c1", "127.0.0.1", 1)
+        client._handle_frame({"type": "ack", "epoch": 3, "ack": 0})
+        assert client.epoch == 3

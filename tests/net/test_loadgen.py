@@ -4,9 +4,19 @@ The smoke test here spawns real OS processes (one server, two clients)
 and is deliberately small — the CI workflow runs the full-size recipe.
 """
 
+import asyncio
+
 import pytest
 
-from repro.net.loadgen import percentile, run_loadgen, split_ops
+from repro.net.client import NetClient
+from repro.net.loadgen import (
+    _connect_with_retry,
+    _free_ports,
+    percentile,
+    run_loadgen,
+    split_ops,
+)
+from repro.net.server import NetServer
 
 
 class TestHelpers:
@@ -27,6 +37,52 @@ class TestHelpers:
     def test_percentile_of_nothing_is_zero(self):
         assert percentile([], 0.99) == 0.0
 
+    def test_free_ports_are_distinct(self):
+        ports = _free_ports(5, "127.0.0.1")
+        assert len(set(ports)) == 5
+        assert all(1024 < port < 65536 for port in ports)
+
+
+class TestConnectRetry:
+    def test_retries_until_the_server_comes_up(self):
+        async def scenario():
+            (port,) = _free_ports(1, "127.0.0.1")
+            # A single dial per connect(): the retry loop under test is
+            # the loadgen's, not the client's internal roster walk.
+            client = NetClient(
+                "c1", "127.0.0.1", port, max_connect_attempts=1
+            )
+
+            async def late_server():
+                # The worker races a server that is still starting.
+                await asyncio.sleep(0.3)
+                server = NetServer("127.0.0.1", port, quiet=True)
+                await server.start()
+                return server
+
+            starter = asyncio.ensure_future(late_server())
+            attempts = await _connect_with_retry(client, connect_timeout=10.0)
+            server = await starter
+            connected = client.connected
+            await client.close()
+            await server.stop()
+            return attempts, connected
+
+        attempts, connected = asyncio.run(scenario())
+        assert attempts >= 1  # at least one refused dial was absorbed
+        assert connected
+
+    def test_reraises_once_the_deadline_passes(self):
+        async def scenario():
+            (port,) = _free_ports(1, "127.0.0.1")  # released: nobody listens
+            client = NetClient(
+                "c1", "127.0.0.1", port, max_connect_attempts=1
+            )
+            with pytest.raises((ConnectionError, OSError)):
+                await _connect_with_retry(client, connect_timeout=0.5)
+
+        asyncio.run(scenario())
+
 
 class TestValidation:
     def test_rejects_zero_clients(self):
@@ -36,6 +92,16 @@ class TestValidation:
     def test_rejects_fewer_ops_than_clients(self):
         with pytest.raises(ValueError):
             run_loadgen(clients=5, ops=3)
+
+    def test_rejects_even_or_undersized_rosters(self):
+        with pytest.raises(ValueError):
+            run_loadgen(clients=1, ops=4, replicas=2)
+        with pytest.raises(ValueError):
+            run_loadgen(clients=1, ops=4, replicas=4)
+
+    def test_kill_primary_needs_a_roster(self):
+        with pytest.raises(ValueError):
+            run_loadgen(clients=1, ops=4, kill_primary=True)
 
 
 class TestMultiProcessSmoke:
