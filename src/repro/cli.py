@@ -31,7 +31,11 @@ Commands:
   load with a mid-run disconnect/reconnect, and verify cross-process
   convergence by comparing final document signatures;
 * ``metrics`` — scrape a running ``serve`` instance's metrics over the
-  admin plane and print the Prometheus text exposition.
+  admin plane and print the Prometheus text exposition;
+* ``chaosproxy`` — run a seeded TCP chaos proxy in front of a ``serve``
+  instance, injecting socket-level latency/jitter, bandwidth caps,
+  mid-stream resets, one-way partitions and slow-loris stalls from a
+  declarative :class:`~repro.sim.faults.NetChaosPlan`.
 
 Unknown subcommands and bad arguments exit with status 2 — the same
 code ``figures`` returns for an unknown figure — and ``main`` always
@@ -436,6 +440,12 @@ def cmd_serve(args) -> int:
         roster=roster,
         replica_index=replica_index,
         failover_delay=args.failover_delay,
+        max_connections=args.max_connections,
+        max_queued_frames=args.max_queued_frames,
+        outbound_queue=args.outbound_queue,
+        write_timeout=args.write_timeout if args.write_timeout > 0 else None,
+        idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
+        retry_after=args.retry_after,
     )
 
 
@@ -483,6 +493,17 @@ def cmd_connect(args) -> int:
 def cmd_loadgen(args) -> int:
     from repro.net.loadgen import run_loadgen
 
+    chaos = None
+    if args.chaos:
+        from repro.sim.faults import NetChaosPlan
+
+        chaos = NetChaosPlan(
+            seed=args.chaos_seed,
+            latency=args.chaos_latency,
+            jitter=args.chaos_jitter,
+            bandwidth=args.chaos_bandwidth,
+            reset_after=args.chaos_reset_after,
+        )
     report = run_loadgen(
         clients=args.clients,
         ops=args.ops,
@@ -500,6 +521,7 @@ def cmd_loadgen(args) -> int:
         kill_primary=args.kill_primary,
         failover_delay=args.failover_delay,
         kill_after=args.kill_after,
+        chaos=chaos,
     )
     server_desc = (
         f"{report['replicas']} replica processes"
@@ -543,13 +565,27 @@ def cmd_loadgen(args) -> int:
               f"frames-out={metric('repro_net_frames_sent_total'):.0f}")
     print(f"server-obs:    enabled={report['server_metrics_enabled']} "
           f"(scrape with: repro metrics --port <port>)")
-    if report["replicas"] > 1:
-        # Surface the failover instruments from the surviving primary's
+    if report.get("chaos") is not None:
+        overload = stats.get("overload", {})
+        print(f"chaos:         plan={report['chaos']}")
+        print(f"overload:      connections={overload.get('connections')} "
+              f"evictions={overload.get('evictions')} "
+              f"shed={overload.get('shed')} "
+              f"oversize-rejected={overload.get('oversize_rejected')}")
+    if report["replicas"] > 1 or report.get("chaos") is not None:
+        # Surface the failover / overload instruments from the primary's
         # Prometheus exposition so smoke jobs can assert on them.
+        wanted = (
+            "repro_view_changes_total",
+            "repro_repl_commit_floor",
+            "repro_failover_seconds_count",
+            "repro_net_evictions_total",
+            "repro_net_shed_total",
+            "repro_net_write_stalls_total",
+            "repro_net_oversize_rejected_total",
+        )
         for line in (report.get("server_exposition") or "").splitlines():
-            if line.startswith(
-                ("repro_view_changes_total", "repro_repl_commit_floor")
-            ) or line.startswith("repro_failover_seconds_count"):
+            if line.startswith(wanted):
                 print(f"exposition:    {line}")
     for failure in report["failures"]:
         print(f"FAILURE: {failure}")
@@ -579,6 +615,46 @@ def cmd_metrics(args) -> int:
         )
         return 1
     return 0
+
+
+def cmd_chaosproxy(args) -> int:
+    """Run a seeded TCP chaos proxy in front of a serve instance."""
+    import json as json_module
+
+    from repro.errors import SimulationError
+    from repro.net.chaosproxy import run_chaosproxy
+    from repro.sim.faults import NetChaosPlan
+
+    target_host, _, port_text = args.target.rpartition(":")
+    if not target_host or not port_text.isdigit():
+        print(
+            f"--target {args.target!r} is not host:port", file=sys.stderr
+        )
+        return 2
+    try:
+        if args.plan_json:
+            plan = NetChaosPlan.from_obj(json_module.loads(args.plan_json))
+        else:
+            plan = NetChaosPlan(
+                seed=args.seed,
+                latency=args.latency,
+                jitter=args.jitter,
+                bandwidth=args.bandwidth,
+                reset_after=args.reset_after,
+                stall_at=args.stall_at,
+                stall_for=args.stall_for,
+            )
+    except (ValueError, TypeError, SimulationError) as exc:
+        print(f"bad chaos plan: {exc}", file=sys.stderr)
+        return 2
+    return run_chaosproxy(
+        target_host,
+        int(port_text),
+        plan=plan,
+        host=args.host,
+        port=args.port,
+        announce=args.announce,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -762,6 +838,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds a backup waits after losing the primary feed before "
         "starting a view change (staggered by successor rank)",
     )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="admission control: shed new sessions beyond this many live "
+        "connections (reconnects of a known client always supersede)",
+    )
+    serve.add_argument(
+        "--max-queued-frames",
+        type=int,
+        default=8192,
+        help="admission control: shed new sessions while the total "
+        "outbound backlog exceeds this many frames",
+    )
+    serve.add_argument(
+        "--outbound-queue",
+        type=int,
+        default=256,
+        help="per-connection outbound frame queue; a consumer that lets "
+        "it overflow is evicted (and resyncs losslessly from the WAL)",
+    )
+    serve.add_argument(
+        "--write-timeout",
+        type=float,
+        default=10.0,
+        help="per-frame write deadline in seconds; a peer that stalls a "
+        "write past it is evicted (0 disables)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=60.0,
+        help="evict a session that completes no frame within this many "
+        "seconds; the client heartbeat keeps healthy sessions alive "
+        "(0 disables)",
+    )
+    serve.add_argument(
+        "--retry-after",
+        type=float,
+        default=1.0,
+        help="seconds quoted in the retry_after envelope when admission "
+        "control sheds a connection",
+    )
     serve.add_argument("--quiet", action="store_true")
     serve.add_argument(
         "--log-level",
@@ -892,6 +1011,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="seconds into the run to kill the primary (default: mid-run)",
     )
+    loadgen.add_argument(
+        "--chaos",
+        action="store_true",
+        help="route every worker through a seeded TCP chaos proxy "
+        "(single-server runs only; see also the chaosproxy verb)",
+    )
+    loadgen.add_argument("--chaos-seed", type=int, default=0)
+    loadgen.add_argument(
+        "--chaos-latency",
+        type=float,
+        default=0.005,
+        help="fixed per-chunk forwarding delay (seconds)",
+    )
+    loadgen.add_argument(
+        "--chaos-jitter",
+        type=float,
+        default=0.005,
+        help="additional uniform random delay (seconds)",
+    )
+    loadgen.add_argument(
+        "--chaos-bandwidth",
+        type=int,
+        default=0,
+        help="per-connection bandwidth cap (bytes/sec, 0 = uncapped)",
+    )
+    loadgen.add_argument(
+        "--chaos-reset-after",
+        type=float,
+        default=None,
+        help="reset every live proxied connection once, this many "
+        "seconds into the run",
+    )
     loadgen.add_argument("--quiet", action="store_true")
     loadgen.set_defaults(handler=cmd_loadgen)
 
@@ -907,6 +1058,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the raw snapshot as JSON instead of text exposition",
     )
     metrics.set_defaults(handler=cmd_metrics)
+
+    chaosproxy = commands.add_parser(
+        "chaosproxy",
+        help="seeded TCP chaos proxy in front of a serve instance",
+    )
+    chaosproxy.add_argument(
+        "--target",
+        required=True,
+        metavar="HOST:PORT",
+        help="the serve instance to forward to",
+    )
+    chaosproxy.add_argument(
+        "--host", default="127.0.0.1", help="address to listen on"
+    )
+    chaosproxy.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    chaosproxy.add_argument(
+        "--plan-json",
+        default=None,
+        help="full NetChaosPlan as one JSON object (overrides the "
+        "individual fault flags)",
+    )
+    chaosproxy.add_argument("--seed", type=int, default=0)
+    chaosproxy.add_argument(
+        "--latency",
+        type=float,
+        default=0.0,
+        help="fixed per-chunk forwarding delay (seconds)",
+    )
+    chaosproxy.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="additional uniform random delay (seconds)",
+    )
+    chaosproxy.add_argument(
+        "--bandwidth",
+        type=int,
+        default=0,
+        help="per-connection bandwidth cap (bytes/sec, 0 = uncapped)",
+    )
+    chaosproxy.add_argument(
+        "--reset-after",
+        type=float,
+        default=None,
+        help="abort every live connection once, this many seconds in",
+    )
+    chaosproxy.add_argument(
+        "--stall-at",
+        type=float,
+        default=None,
+        help="slow-loris each connection this many seconds after it "
+        "opens (socket stays up, no bytes move)",
+    )
+    chaosproxy.add_argument(
+        "--stall-for",
+        type=float,
+        default=0.0,
+        help="how long each stall lasts (seconds)",
+    )
+    chaosproxy.add_argument(
+        "--announce",
+        action="store_true",
+        help="print one machine-parseable REPRO-CHAOSPROXY line on startup",
+    )
+    chaosproxy.set_defaults(handler=cmd_chaosproxy)
 
     return parser
 

@@ -33,8 +33,18 @@ from repro.net.codec import (
     message_to_json,
     message_to_obj,
 )
-from repro.net.transport import MAX_FRAME, read_frame, write_frame
-from repro.net.client import NetClient
+from repro.net.transport import (
+    MAX_FRAME,
+    OUTBOUND_QUEUE,
+    WRITE_TIMEOUT,
+    FrameSender,
+    FrameTooLarge,
+    drain_payload,
+    read_frame,
+    write_frame,
+)
+from repro.net.chaosproxy import ChaosProxy, run_chaosproxy
+from repro.net.client import NetClient, ReconnectExhausted
 from repro.net.server import NetServer
 from repro.net.loadgen import run_loadgen, run_worker
 
@@ -49,9 +59,17 @@ __all__ = [
     "message_to_json",
     "message_to_obj",
     "MAX_FRAME",
+    "OUTBOUND_QUEUE",
+    "WRITE_TIMEOUT",
+    "FrameSender",
+    "FrameTooLarge",
+    "drain_payload",
     "read_frame",
     "write_frame",
+    "ChaosProxy",
+    "run_chaosproxy",
     "NetClient",
+    "ReconnectExhausted",
     "NetServer",
     "run_loadgen",
     "run_worker",

@@ -67,7 +67,7 @@ from repro.net.codec import (
     message_to_obj,
     roster_from_obj,
 )
-from repro.net.transport import read_frame, write_frame
+from repro.net.transport import HEARTBEAT_INTERVAL, read_frame, write_frame
 from repro.obs import get_obs
 
 #: Most recent round-trip samples kept for the loadgen report; the full
@@ -97,6 +97,7 @@ class NetClient:
         max_connect_attempts: int = 8,
         roster: Optional[List[Tuple[str, int]]] = None,
         max_reconnect_attempts: Optional[int] = None,
+        heartbeat_interval: Optional[float] = HEARTBEAT_INTERVAL,
     ) -> None:
         self.client_id = client_id
         self.host = host
@@ -125,12 +126,24 @@ class NetClient:
         self.reconnect_cycles = 0
         self.connects = 0
         self.resync_frames = 0
+        #: seconds between keepalive pings on an idle connection (feeds
+        #: the server's idle deadline); ``None`` disables the heartbeat
+        self.heartbeat_interval = heartbeat_interval
+        #: times this client was evicted as a slow consumer
+        self.evictions = 0
+        #: the most recent ``evicted`` envelope's reason, for diagnostics
+        self.last_eviction: Optional[str] = None
+        #: times admission control answered ``retry_after`` on connect
+        self.shed_retries = 0
+        #: operations the server rejected with a typed ``error`` envelope
+        self.op_rejections = 0
         self.rtts: Deque[float] = deque(maxlen=RTT_SAMPLE_CAP)
         self._obs = get_obs()
         self._sent_at: Dict[Any, float] = {}
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._reader_task: Optional[asyncio.Task] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
         self._progress = asyncio.Event()
 
     # ------------------------------------------------------------------
@@ -224,6 +237,45 @@ class NetClient:
                 self._advance_target()
                 await asyncio.sleep(self.backoff.timeout(attempt))
                 continue
+            if first is None or first.get("type") == "evicted":
+                # The link died before a welcome arrived — the hello (or
+                # the reply) was lost in transit, or the server's idle
+                # deadline reaped the half-open session and its eviction
+                # notice beat the close.  Either way: a failed attempt,
+                # not a protocol violation.
+                writer.close()
+                attempt += 1
+                if attempt >= self.max_connect_attempts:
+                    raise ReconnectExhausted(
+                        f"{self.client_id}: handshake kept dying after "
+                        f"{attempt} attempts"
+                    )
+                self._advance_target()
+                await asyncio.sleep(self.backoff.timeout(attempt))
+                continue
+            if first.get("type") == "retry_after":
+                # Admission control shed us: honor the server's pacing
+                # hint with the seeded backoff on top, so a shed herd
+                # does not stampede back in lockstep.
+                writer.close()
+                self.shed_retries += 1
+                self._obs.trace(
+                    "net.shed_retry",
+                    client=self.client_id,
+                    seconds=first.get("seconds"),
+                    reason=first.get("reason"),
+                )
+                attempt += 1
+                if attempt >= self.max_connect_attempts:
+                    raise ReconnectExhausted(
+                        f"{self.client_id}: shed by admission control "
+                        f"across {attempt} attempts"
+                    )
+                pause = max(0.0, float(first.get("seconds", 0.0)))
+                await asyncio.sleep(
+                    max(pause, self.backoff.timeout(attempt))
+                )
+                continue
             if first is not None and first.get("type") == "redirect":
                 writer.close()
                 self._absorb_redirect(first)
@@ -288,6 +340,24 @@ class NetClient:
                 ),
             )
         self._reader_task = asyncio.ensure_future(self._read_loop(reader))
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
+        if self.heartbeat_interval is not None:
+            self._heartbeat_task = asyncio.ensure_future(
+                self._heartbeat_loop()
+            )
+
+    async def _heartbeat_loop(self) -> None:
+        """Ping on idle so the server's read deadline sees a live peer."""
+        try:
+            while self._writer is not None:
+                await asyncio.sleep(self.heartbeat_interval)
+                await self.ping()
+        except (ConnectionError, OSError):
+            return  # the reader task notices the dead link and reconnects
+        except asyncio.CancelledError:
+            return
 
     async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         try:
@@ -303,6 +373,9 @@ class NetClient:
 
     async def drop(self) -> None:
         """Abruptly sever the connection (no ``bye``), keeping all state."""
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            self._heartbeat_task = None
         if self._reader_task is not None:
             self._reader_task.cancel()
             self._reader_task = None
@@ -347,6 +420,29 @@ class NetClient:
             self._progress.set()
             return
         if kind == "pong":
+            return
+        if kind == "evicted":
+            # The server dropped us as a slow consumer.  Nothing is
+            # lost: the WAL re-ships every missed broadcast on the next
+            # connect, and our unacked frames retransmit.  Record it and
+            # let the read loop end when the server hangs up.
+            self.evictions += 1
+            self.last_eviction = str(frame.get("reason", ""))
+            self._obs.trace(
+                "net.evicted", client=self.client_id, reason=self.last_eviction
+            )
+            self._progress.set()
+            return
+        if kind == "error":
+            # The server rejected one of our frames (e.g. oversized) but
+            # kept the session alive.
+            self.op_rejections += 1
+            self._obs.trace(
+                "net.op_rejected",
+                client=self.client_id,
+                reason=frame.get("reason"),
+            )
+            self._progress.set()
             return
         if kind != "data":
             return

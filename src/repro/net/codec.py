@@ -238,6 +238,16 @@ def parse_roster(text: str) -> List[Tuple[str, int]]:
 #
 # Every replicated data/ack/welcome frame also carries ``epoch`` so
 # stale-primary frames are rejected instead of misapplied.
+#
+# The overload-armor layer adds three server -> client envelopes:
+#
+# * ``evicted {reason, epoch}`` — the server dropped this connection as
+#   a slow consumer (queue overflow, write stall, idle deadline); the
+#   WAL resync on reconnect makes the eviction lossless.
+# * ``retry_after {seconds, reason}`` — admission control refused the
+#   connection; the client backs off at least ``seconds`` and redials.
+# * ``error {reason, length, limit, epoch}`` — one frame was rejected
+#   (e.g. oversized) but the session stays alive.
 def encode_envelope(frame_type: str, **fields: Any) -> Dict[str, Any]:
     """Build one wire frame: ``{"v": 1, "type": ..., **fields}``."""
     if "v" in fields or "type" in fields:

@@ -49,6 +49,7 @@ from repro.net.client import NetClient
 from repro.net.codec import encode_envelope, parse_roster
 from repro.net.transport import read_frame, write_frame
 from repro.obs import get_obs, merge_snapshots, snapshot_value
+from repro.sim.faults import NetChaosPlan
 
 _ALPHABET = string.ascii_lowercase
 
@@ -65,11 +66,24 @@ def percentile(samples: List[float], q: float) -> float:
 # ----------------------------------------------------------------------
 # Admin plane helpers
 # ----------------------------------------------------------------------
-async def _admin_async(host: str, port: int, command: str) -> Dict[str, Any]:
-    reader, writer = await asyncio.open_connection(host, port)
+async def _admin_async(
+    host: str, port: int, command: str, timeout: float = 5.0
+) -> Dict[str, Any]:
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout
+        )
+    except asyncio.TimeoutError as exc:
+        raise ConnectionError(
+            f"admin {command!r}: no connection within {timeout:.1f}s"
+        ) from exc
     try:
         await write_frame(writer, encode_envelope("admin", cmd=command))
-        reply = await read_frame(reader)
+        reply = await asyncio.wait_for(read_frame(reader), timeout=timeout)
+    except asyncio.TimeoutError as exc:
+        raise ConnectionError(
+            f"admin {command!r}: no reply within {timeout:.1f}s"
+        ) from exc
     finally:
         writer.close()
     if reply is None or reply.get("type") != "admin_reply":
@@ -77,9 +91,11 @@ async def _admin_async(host: str, port: int, command: str) -> Dict[str, Any]:
     return reply
 
 
-def admin(host: str, port: int, command: str) -> Dict[str, Any]:
+def admin(
+    host: str, port: int, command: str, timeout: float = 5.0
+) -> Dict[str, Any]:
     """Synchronous admin round-trip (signature / stats / shutdown)."""
-    return asyncio.run(_admin_async(host, port, command))
+    return asyncio.run(_admin_async(host, port, command, timeout=timeout))
 
 
 # ----------------------------------------------------------------------
@@ -283,10 +299,23 @@ def split_ops(total: int, clients: int) -> List[int]:
     return [base + (1 if index < extra else 0) for index in range(clients)]
 
 
+def primary_deadline_for(failover_delay: float, replicas: int) -> float:
+    """How long :func:`_find_primary` should keep polling.
+
+    A full election can take every surviving replica's staggered turn
+    (``failover_delay`` per view it waits out) plus log install and
+    replay, so the budget scales with the roster's detection delay
+    instead of hardcoding a wall-clock guess that flaps on slow CI:
+    a generous ten staggered-election rounds, floored at 15 seconds.
+    """
+    return max(15.0, 10.0 * failover_delay * max(replicas, 1))
+
+
 def _find_primary(
     server_processes: List[Tuple[subprocess.Popen, int]],
     host: str,
     deadline: float = 15.0,
+    admin_timeout: float = 5.0,
 ) -> Tuple[int, Dict[str, Any]]:
     """Locate the live replica currently acting as primary.
 
@@ -294,7 +323,9 @@ def _find_primary(
     until one reports ``role == "primary"`` (a standalone server has no
     replication block and is trivially primary).  Raises after
     ``deadline`` seconds — at that point the roster has no primary and
-    the run has genuinely failed.
+    the run has genuinely failed.  Callers with a replicated roster
+    derive ``deadline`` from the roster's failover delay via
+    :func:`primary_deadline_for`.
     """
     end = time.monotonic() + deadline
     while True:
@@ -302,7 +333,7 @@ def _find_primary(
             if process.poll() is not None:
                 continue
             try:
-                stats = admin(host, port, "stats")
+                stats = admin(host, port, "stats", timeout=admin_timeout)
             except (ConnectionError, OSError):
                 continue
             replication = stats.get("replication") or {}
@@ -311,6 +342,44 @@ def _find_primary(
         if time.monotonic() >= end:
             raise RuntimeError("no live primary replica found")
         time.sleep(0.2)
+
+
+def _spawn_chaosproxy(
+    host: str, target_port: int, plan: NetChaosPlan
+) -> "tuple[subprocess.Popen, int]":
+    """Spawn ``repro chaosproxy`` in front of the server; returns its port."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "chaosproxy",
+        "--target",
+        f"{host}:{target_port}",
+        "--host",
+        host,
+        "--port",
+        "0",
+        "--plan-json",
+        json.dumps(plan.to_obj()),
+        "--announce",
+    ]
+    process = subprocess.Popen(
+        command,
+        env=_child_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            process.wait()
+            stderr = process.stderr.read() if process.stderr else ""
+            raise RuntimeError(f"chaos proxy failed to start:\n{stderr}")
+        if line.startswith("REPRO-CHAOSPROXY "):
+            announced = json.loads(line[len("REPRO-CHAOSPROXY "):])
+            return process, int(announced["port"])
 
 
 def run_loadgen(
@@ -330,6 +399,8 @@ def run_loadgen(
     kill_primary: bool = False,
     failover_delay: float = 0.5,
     kill_after: Optional[float] = None,
+    chaos: Optional[NetChaosPlan] = None,
+    primary_deadline: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Run the full multi-process deployment and report convergence.
 
@@ -346,6 +417,15 @@ def run_loadgen(
     requires ``view_changes >= 1`` and the signature comparison is made
     against the *new* primary — the replica that adopted the
     quorum-certified log.
+
+    ``chaos`` interposes a seeded :mod:`repro.net.chaosproxy` subprocess
+    between the workers and the server: every client byte stream rides
+    through the plan's latency/jitter/reset faults while the admin plane
+    (and the final signature check) talks to the server directly.
+
+    ``primary_deadline`` bounds the post-run primary search; by default
+    it is derived from ``failover_delay`` (see
+    :func:`primary_deadline_for`) so slow-CI replicated runs don't flap.
     """
     if clients < 1:
         raise ValueError("need at least one client")
@@ -355,6 +435,14 @@ def run_loadgen(
         raise ValueError("replica roster must be an odd count >= 3 (2f+1)")
     if kill_primary and replicas < 3:
         raise ValueError("--kill-primary needs a replica roster (>= 3)")
+    if chaos is not None and replicas > 1:
+        raise ValueError(
+            "chaos proxying covers the single-server deployment; the "
+            "replicated roster is chaos-tested in-process "
+            "(tests/net/test_chaos_net.py)"
+        )
+    if primary_deadline is None:
+        primary_deadline = primary_deadline_for(failover_delay, replicas)
     if reconnect_clients is None:
         reconnect_clients = 1 if clients > 1 else 0
     reconnect_clients = min(reconnect_clients, clients)
@@ -386,6 +474,16 @@ def run_loadgen(
         )
         server_processes.append((server_process, bound_port))
         log(f"server pid {server_process.pid} on {host}:{bound_port}")
+    proxy_process: Optional[subprocess.Popen] = None
+    worker_port = bound_port
+    if chaos is not None:
+        proxy_process, worker_port = _spawn_chaosproxy(
+            host, bound_port, chaos
+        )
+        log(
+            f"chaos proxy pid {proxy_process.pid} on {host}:{worker_port} "
+            f"-> {host}:{bound_port} (seed {chaos.seed})"
+        )
     shares = split_ops(ops, clients)
     workers: List[subprocess.Popen] = []
     started = time.perf_counter()
@@ -400,7 +498,7 @@ def run_loadgen(
                 "--host",
                 host,
                 "--port",
-                str(bound_port),
+                str(worker_port),
                 "--client",
                 name,
                 "--ops",
@@ -476,10 +574,14 @@ def run_loadgen(
                 continue
             reports.append(json.loads(lines[-1]))
         wall = time.perf_counter() - started
-        primary_port, server_stats = _find_primary(server_processes, host)
+        primary_port, server_stats = _find_primary(
+            server_processes, host, deadline=primary_deadline
+        )
         server_view = admin(host, primary_port, "signature")
         server_metrics = admin(host, primary_port, "metrics")
     finally:
+        if proxy_process is not None and proxy_process.poll() is None:
+            proxy_process.kill()
         for process, replica_port in server_processes:
             if process.poll() is not None:
                 continue
@@ -529,6 +631,7 @@ def run_loadgen(
         "seed": seed,
         "replicas": replicas,
         "roster": roster_text,
+        "chaos": chaos.to_obj() if chaos is not None else None,
         "killed_primary": kill_primary,
         "view_changes": view_changes,
         "primary": replication.get("replica", "s"),
@@ -549,6 +652,7 @@ def run_loadgen(
             "frames_received": server_stats["frames_received"],
             "resync_frames_sent": server_stats["resync_frames_sent"],
             "duplicates_suppressed": server_stats["duplicates_suppressed"],
+            "overload": server_stats.get("overload", {}),
             "wal": server_stats["wal"],
         },
         "client_metrics": client_metrics,

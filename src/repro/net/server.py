@@ -84,7 +84,16 @@ from repro.net.codec import (
     message_to_obj,
     roster_to_obj,
 )
-from repro.net.transport import read_frame, write_frame
+from repro.net.transport import (
+    MAX_FRAME,
+    OUTBOUND_QUEUE,
+    WRITE_TIMEOUT,
+    FrameSender,
+    FrameTooLarge,
+    drain_payload,
+    read_frame,
+    write_frame,
+)
 from repro.obs import get_obs
 
 #: The server's named logger; silent unless the embedding process (the
@@ -110,9 +119,14 @@ class _ClientChannel:
         #: out-of-order payloads parked until the session releases them
         self.parked: Dict[int, Any] = {}
         self.writer: Optional[asyncio.StreamWriter] = None
+        #: bounded outbound queue + writer task wrapping ``writer``; all
+        #: frames to this peer flow through it so one stalled socket
+        #: never blocks the serialise/commit/broadcast loops
+        self.outbound: Optional[FrameSender] = None
         #: the client's consumption cursor (its last reported cumulative ack)
         self.delivered = 0
         self.connects = 0
+        self.evictions = 0
 
 
 class NetServer:
@@ -135,12 +149,36 @@ class NetServer:
         roster: Optional[Sequence[Tuple[str, int]]] = None,
         replica_index: int = 0,
         failover_delay: float = 0.5,
+        max_connections: int = 64,
+        max_queued_frames: int = 8192,
+        outbound_queue: int = OUTBOUND_QUEUE,
+        write_timeout: Optional[float] = WRITE_TIMEOUT,
+        idle_timeout: Optional[float] = 60.0,
+        retry_after: float = 1.0,
     ) -> None:
         self.host = host
         self.port = port
         self.quiet = quiet
         self.initial_text = initial_text
         self.snapshot_every = snapshot_every
+        # -- overload armor knobs --------------------------------------
+        #: admission bound on concurrent client sessions
+        self.max_connections = max_connections
+        #: admission bound on the *total* outbound backlog (frames parked
+        #: across every per-peer queue); new sessions are shed above it
+        self.max_queued_frames = max_queued_frames
+        #: per-peer outbound queue capacity (overflow evicts that peer)
+        self.outbound_queue = outbound_queue
+        #: write deadline applied to every server-side frame write
+        self.write_timeout = write_timeout
+        #: per-session read deadline; the client heartbeat (ping every
+        #: HEARTBEAT_INTERVAL) keeps a healthy idle session far below it
+        self.idle_timeout = idle_timeout
+        #: seconds quoted in the retry_after envelope when shedding
+        self.retry_after = retry_after
+        self.evictions = 0
+        self.shed_connections = 0
+        self.oversize_rejected = 0
         initial = ListDocument.from_string(initial_text) if initial_text else None
         self.server = CssServer(SERVER_ID, [], initial)
         self.wal = ServerWriteAheadLog(
@@ -253,6 +291,9 @@ class NetServer:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
         for channel in self.channels.values():
+            if channel.outbound is not None:
+                channel.outbound.abort()
+                channel.outbound = None
             if channel.writer is not None:
                 channel.writer.close()
                 channel.writer = None
@@ -315,15 +356,121 @@ class NetServer:
     def _update_connection_gauges(self) -> None:
         obs = self._obs
         if obs.enabled:
-            obs.net_connected_clients.set(
-                sum(1 for c in self.channels.values() if c.writer is not None)
-            )
+            obs.net_connected_clients.set(self._live_connections())
             obs.net_parked_frames.set(
                 sum(len(c.parked) for c in self.channels.values())
             )
             obs.net_unacked_frames.set(
                 sum(c.sender.outstanding for c in self.channels.values())
             )
+            obs.net_outbound_queue.set(self._queued_frames())
+
+    # ------------------------------------------------------------------
+    # Overload armor: per-peer outbound queues, eviction, admission
+    # ------------------------------------------------------------------
+    def _live_connections(self) -> int:
+        return sum(1 for c in self.channels.values() if c.writer is not None)
+
+    def _queued_frames(self) -> int:
+        """Total outbound backlog across every per-peer queue."""
+        return sum(
+            c.outbound.depth
+            for c in self.channels.values()
+            if c.outbound is not None
+        )
+
+    def _attach(
+        self, channel: _ClientChannel, writer: asyncio.StreamWriter
+    ) -> FrameSender:
+        """Wrap a fresh connection's writer in a bounded outbound queue.
+
+        A reconnect supersedes the stale socket: the old sender (and
+        whatever backlog it still held — the WAL re-ships it) is
+        aborted.  The failure callback runs in the writer task when a
+        write errors or overruns the deadline; it performs the eviction
+        bookkeeping there so the serialise path never blocks on it.
+        """
+        if channel.outbound is not None:
+            channel.outbound.abort()
+        channel.writer = writer
+        sender = FrameSender(
+            writer,
+            capacity=self.outbound_queue,
+            write_timeout=self.write_timeout,
+            label=channel.client,
+        )
+
+        def on_failure(reason: str) -> None:
+            if channel.writer is writer:
+                channel.writer = None
+                channel.outbound = None
+                self._record_eviction(channel, f"write failed: {reason}")
+
+        sender.on_failure = on_failure
+        channel.outbound = sender
+        return sender
+
+    def _record_eviction(self, channel: _ClientChannel, reason: str) -> None:
+        self.evictions += 1
+        channel.evictions += 1
+        self._obs.net_evictions.inc()
+        self._obs.trace("net.evict", client=channel.client, reason=reason)
+        self._log(f"evicting {channel.client}: {reason}")
+        self._update_connection_gauges()
+
+    def _evict(self, channel: _ClientChannel, reason: str) -> None:
+        """Drop a slow consumer; the WAL makes the eviction lossless.
+
+        The typed ``evicted`` notice is *force*-enqueued past the full
+        queue and the sender told to flush-then-close: a merely-slow
+        peer reads the backlog plus the notice and reconnects cleanly; a
+        wedged one hits the write deadline and is aborted by the writer
+        task.  Either way this call returns immediately — eviction never
+        blocks the serialise/commit loops.
+        """
+        sender = channel.outbound
+        if sender is None:
+            return
+        channel.writer = None
+        channel.outbound = None
+        sender.on_failure = None  # bookkeeping happens here, exactly once
+        sender.try_send(
+            encode_envelope("evicted", reason=reason, epoch=self.epoch),
+            force=True,
+        )
+        sender.close_soon()
+        self._record_eviction(channel, reason)
+
+    def _send_to(self, channel: _ClientChannel, envelope: Dict[str, Any]) -> None:
+        """Enqueue one frame for a peer; queue overflow evicts the peer."""
+        sender = channel.outbound
+        if sender is None or channel.writer is None:
+            return  # offline: the WAL re-ships on reconnect
+        if not sender.try_send(envelope):
+            self._evict(
+                channel,
+                f"outbound queue overflow ({sender.capacity} frames queued)",
+            )
+
+    async def _shed(
+        self, writer: asyncio.StreamWriter, name: str, reason: str
+    ) -> None:
+        """Refuse admission: answer ``retry_after`` and hang up."""
+        self.shed_connections += 1
+        self._obs.net_shed.inc()
+        self._obs.trace("net.shed", client=name, reason=reason)
+        self._log(f"shedding {name}: {reason}")
+        try:
+            await write_frame(
+                writer,
+                encode_envelope(
+                    "retry_after", seconds=self.retry_after, reason=reason
+                ),
+                timeout=self.write_timeout,
+            )
+        except (WireError, ConnectionError):
+            pass
+        writer.close()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -332,7 +479,23 @@ class NetServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            frame = await read_frame(reader)
+            # The idle deadline covers the *first* frame too: a peer
+            # that connects and never completes a hello (the classic
+            # slow-loris admission attack) must not park a socket
+            # forever.
+            if self.idle_timeout is None:
+                frame = await read_frame(reader)
+            else:
+                frame = await asyncio.wait_for(
+                    read_frame(reader), timeout=self.idle_timeout
+                )
+        except asyncio.TimeoutError:
+            self._log(
+                "dropping half-open connection: no first frame within "
+                f"the {self.idle_timeout:.3f}s idle deadline"
+            )
+            writer.close()
+            return
         except WireError as exc:
             self._log(f"rejecting connection: {exc}")
             writer.close()
@@ -373,22 +536,38 @@ class NetServer:
             # points the client at the primary of its view and hangs up.
             await self._send_redirect(writer, name)
             return
+        # Admission control: shed excess load *before* registering the
+        # client.  A reconnect superseding the same client's live socket
+        # is never shed — it replaces a connection, it does not add one.
+        existing = self.channels.get(name)
+        supersedes = existing is not None and existing.writer is not None
+        if not supersedes and self._live_connections() >= self.max_connections:
+            await self._shed(
+                writer,
+                name,
+                f"at the {self.max_connections}-connection limit",
+            )
+            return
+        if self._queued_frames() > self.max_queued_frames:
+            await self._shed(
+                writer,
+                name,
+                f"outbound backlog above {self.max_queued_frames} frames",
+            )
+            return
         channel = self.ensure_client(name)
         delivered = int(hello.get("delivered", 0))
         delivered = max(0, min(delivered, self.wal.last_serial))
         channel.delivered = max(channel.delivered, delivered)
         channel.connects += 1
-        if channel.writer is not None:
-            channel.writer.close()  # a reconnect supersedes the stale socket
-        channel.writer = writer
+        sender = self._attach(channel, writer)
         missed = self.wal.broadcasts_for(self.server, delivered)
         if self.replicated:
             # Never re-ship an uncommitted broadcast: a client must not
             # consume an operation a view change could still lose.  The
             # suffix arrives via the commit flush once quorum-certified.
             missed = [b for b in missed if b.serial <= self.committed]
-        await write_frame(
-            writer,
+        await sender.send_wait(
             encode_envelope(
                 "welcome",
                 server=SERVER_ID,
@@ -410,27 +589,67 @@ class NetServer:
         )
         self._update_connection_gauges()
         # Resync from durable state: re-ship everything after the cursor.
+        # send_wait backpressures *this* connection task when the burst
+        # outruns the queue — a healthy late joiner is never evicted for
+        # the server's own resync burst.
         if missed:
             self._obs.net_resync_frames.inc(len(missed))
         for broadcast in missed:
             self.resync_frames_sent += 1
-            await write_frame(
-                writer,
+            delivered_ok = await sender.send_wait(
                 encode_envelope(
                     "data",
                     seq=broadcast.serial,
                     ack=self._gated_ack(channel),
                     epoch=self.epoch,
                     body=message_to_obj(broadcast),
-                ),
+                )
             )
+            if not delivered_ok:
+                break  # the peer died (or stalled out) mid-resync
         self._log(
             f"{name} connected (connect #{channel.connects}, "
             f"cursor {delivered}, resynced {len(missed)})"
         )
         try:
             while True:
-                frame = await read_frame(reader)
+                try:
+                    if self.idle_timeout is None:
+                        frame = await read_frame(reader)
+                    else:
+                        frame = await asyncio.wait_for(
+                            read_frame(reader), timeout=self.idle_timeout
+                        )
+                except asyncio.TimeoutError:
+                    # No frame (the heartbeat included) for a whole idle
+                    # window: the peer is gone or wedged mid-frame (the
+                    # slow-loris shape) — evict it.
+                    self._evict(
+                        channel,
+                        f"idle past the {self.idle_timeout:.3f}s deadline",
+                    )
+                    break
+                except FrameTooLarge as exc:
+                    # Reject the op, keep the session: drain the body so
+                    # framing stays aligned, answer a typed error.
+                    await drain_payload(reader, exc.length)
+                    self.oversize_rejected += 1
+                    self._obs.net_oversize_rejected.inc()
+                    self._log(
+                        f"{name}: rejecting oversized frame "
+                        f"({exc.length} > {MAX_FRAME} bytes)"
+                    )
+                    self._send_to(
+                        channel,
+                        encode_envelope(
+                            "error",
+                            reason="frame too large",
+                            length=exc.length,
+                            limit=MAX_FRAME,
+                            epoch=self.epoch,
+                        ),
+                    )
+                    continue
                 if frame is None or frame["type"] == "bye":
                     break
                 await self._handle_frame(channel, frame)
@@ -445,7 +664,12 @@ class NetServer:
         finally:
             if channel.writer is writer:
                 channel.writer = None
-            writer.close()
+                if channel.outbound is sender:
+                    channel.outbound = None
+                    await sender.aclose()
+            # Otherwise the connection was superseded or evicted: the
+            # sender owns the writer and closes it after its final flush
+            # (closing here would race the evicted-notice delivery).
             self._obs.trace("net.disconnect", client=name)
             self._update_connection_gauges()
 
@@ -454,10 +678,7 @@ class NetServer:
     ) -> None:
         kind = frame["type"]
         if kind == "ping":
-            if channel.writer is not None:
-                await write_frame(
-                    channel.writer, encode_envelope("pong", t=frame.get("t"))
-                )
+            self._send_to(channel, encode_envelope("pong", t=frame.get("t")))
             return
         if kind != "data":
             self._log(f"{channel.client}: ignoring frame type {kind!r}")
@@ -486,13 +707,12 @@ class NetServer:
                 await self._serialise(channel, channel.parked.pop(released_seq))
         self._update_connection_gauges()
         # Always re-acknowledge: a duplicate means an earlier ack was lost.
-        if channel.writer is not None:
-            await write_frame(
-                channel.writer,
-                encode_envelope(
-                    "ack", ack=self._gated_ack(channel), epoch=self.epoch
-                ),
-            )
+        self._send_to(
+            channel,
+            encode_envelope(
+                "ack", ack=self._gated_ack(channel), epoch=self.epoch
+            ),
+        )
 
     async def _serialise(
         self, origin: _ClientChannel, payload: ClientOperation
@@ -539,14 +759,11 @@ class NetServer:
                 event.set()
             await self._advance_commit()  # a quorum of one commits now
             return
+        # Synchronous fan-out through the per-peer bounded queues: a
+        # stalled recipient overflows *its* queue and is evicted; it can
+        # never head-of-line-block this loop or any healthy peer.
         for recipient, envelope in frames:
-            channel = self.channels[recipient]
-            if channel.writer is None:
-                continue  # offline: the WAL re-ships on reconnect
-            try:
-                await write_frame(channel.writer, envelope)
-            except ConnectionError:
-                channel.writer = None
+            self._send_to(self.channels[recipient], envelope)
 
     # ------------------------------------------------------------------
     # Replication: primary write path
@@ -569,8 +786,9 @@ class NetServer:
                     port=port,
                     roster=roster_to_obj(self.roster),
                 ),
+                timeout=self.write_timeout,
             )
-        except ConnectionError:
+        except (WireError, ConnectionError):
             pass
         writer.close()
         self._obs.trace(
@@ -622,6 +840,7 @@ class NetServer:
                         sender=self.replica_id,
                         log=self.wal.to_obj(),
                     ),
+                    timeout=self.write_timeout,
                 )
                 shipped = await self._await_repl_ack(reader, rid)
                 attempt = 0
@@ -638,6 +857,7 @@ class NetServer:
                                 committed=self.committed,
                                 record=record,
                             ),
+                            timeout=self.write_timeout,
                         )
                         shipped = await self._await_repl_ack(reader, rid)
                     wakeup.clear()
@@ -695,6 +915,9 @@ class NetServer:
         # primary; nothing un-acknowledged is lost — their frames are
         # still buffered for retransmission.
         for channel in self.channels.values():
+            if channel.outbound is not None:
+                channel.outbound.abort()
+                channel.outbound = None
             if channel.writer is not None:
                 channel.writer.close()
                 channel.writer = None
@@ -767,23 +990,17 @@ class NetServer:
             ]
         for recipient, envelope in frames:
             channel = self.channels.get(recipient)
-            if channel is None or channel.writer is None:
-                continue  # offline: the WAL re-ships on reconnect
-            try:
-                await write_frame(channel.writer, envelope)
-            except ConnectionError:
-                channel.writer = None
+            if channel is None:
+                continue
+            self._send_to(channel, envelope)
         channel = self.channels.get(origin)
-        if channel is not None and channel.writer is not None:
-            try:
-                await write_frame(
-                    channel.writer,
-                    encode_envelope(
-                        "ack", ack=self._gated_ack(channel), epoch=self.epoch
-                    ),
-                )
-            except ConnectionError:
-                channel.writer = None
+        if channel is not None:
+            self._send_to(
+                channel,
+                encode_envelope(
+                    "ack", ack=self._gated_ack(channel), epoch=self.epoch
+                ),
+            )
 
     # ------------------------------------------------------------------
     # Replication: backup feed and view changes
@@ -815,6 +1032,7 @@ class NetServer:
                         encode_envelope(
                             "repl_deny", view=max(self.view, self.promised)
                         ),
+                        timeout=self.write_timeout,
                     )
                     break
                 self._primary_feed = writer
@@ -825,6 +1043,7 @@ class NetServer:
                         serial=self.wal.last_serial,
                         epoch=self.epoch,
                     ),
+                    timeout=self.write_timeout,
                 )
                 frame = await read_frame(reader)
         except (WireError, ConnectionError, asyncio.IncompleteReadError):
@@ -901,6 +1120,7 @@ class NetServer:
                     encode_envelope(
                         "repl_deny", view=max(self.view, self.promised)
                     ),
+                    timeout=self.write_timeout,
                 )
             else:
                 self.promised = view
@@ -915,8 +1135,9 @@ class NetServer:
                         committed=self.committed,
                         log=self.wal.to_obj(),
                     ),
+                    timeout=self.write_timeout,
                 )
-        except ConnectionError:
+        except (WireError, ConnectionError):
             pass
         writer.close()
 
@@ -1052,6 +1273,10 @@ class NetServer:
         the log, the s->c sender positioned at ``last_serial + 1`` so the
         seq==serial invariant survives the view change.
         """
+        for channel in self.channels.values():
+            if channel.outbound is not None:
+                channel.outbound.abort()
+                channel.outbound = None
         self.wal = adopted
         counts = self.wal.origin_counts()
         for origin in counts:
@@ -1121,6 +1346,15 @@ class NetServer:
                 frames_received=self.frames_received,
                 resync_frames_sent=self.resync_frames_sent,
                 duplicates_suppressed=self.duplicates_suppressed,
+                overload={
+                    "connections": self._live_connections(),
+                    "max_connections": self.max_connections,
+                    "queued_frames": self._queued_frames(),
+                    "max_queued_frames": self.max_queued_frames,
+                    "evictions": self.evictions,
+                    "shed": self.shed_connections,
+                    "oversize_rejected": self.oversize_rejected,
+                },
                 wal={
                     "appends": self.wal.appends,
                     "compactions": self.wal.compactions,
@@ -1137,7 +1371,7 @@ class NetServer:
             )
         elif command == "shutdown":
             reply = encode_envelope("admin_reply", stopping=True)
-            await write_frame(writer, reply)
+            await write_frame(writer, reply, timeout=self.write_timeout)
             writer.close()
             await self.stop()
             return
@@ -1145,7 +1379,7 @@ class NetServer:
             reply = encode_envelope(
                 "admin_reply", error=f"unknown admin command {command!r}"
             )
-        await write_frame(writer, reply)
+        await write_frame(writer, reply, timeout=self.write_timeout)
         writer.close()
 
 
@@ -1162,6 +1396,12 @@ async def _serve(
     roster: Optional[Sequence[Tuple[str, int]]],
     replica_index: int,
     failover_delay: float,
+    max_connections: int,
+    max_queued_frames: int,
+    outbound_queue: int,
+    write_timeout: Optional[float],
+    idle_timeout: Optional[float],
+    retry_after: float,
 ) -> int:
     server = NetServer(
         host=host,
@@ -1172,6 +1412,12 @@ async def _serve(
         roster=roster,
         replica_index=replica_index,
         failover_delay=failover_delay,
+        max_connections=max_connections,
+        max_queued_frames=max_queued_frames,
+        outbound_queue=outbound_queue,
+        write_timeout=write_timeout,
+        idle_timeout=idle_timeout,
+        retry_after=retry_after,
     )
     await server.start()
     if announce:
@@ -1202,6 +1448,12 @@ def run_server(
     roster: Optional[Sequence[Tuple[str, int]]] = None,
     replica_index: int = 0,
     failover_delay: float = 0.5,
+    max_connections: int = 64,
+    max_queued_frames: int = 8192,
+    outbound_queue: int = OUTBOUND_QUEUE,
+    write_timeout: Optional[float] = WRITE_TIMEOUT,
+    idle_timeout: Optional[float] = 60.0,
+    retry_after: float = 1.0,
 ) -> int:
     """Blocking entry point for ``repro serve``."""
     try:
@@ -1216,6 +1468,12 @@ def run_server(
                 roster,
                 replica_index,
                 failover_delay,
+                max_connections,
+                max_queued_frames,
+                outbound_queue,
+                write_timeout,
+                idle_timeout,
+                retry_after,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive only

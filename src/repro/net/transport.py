@@ -15,6 +15,22 @@ channel sequence number and a cumulative ack, so after a reconnect the
 sender retransmits its unacknowledged suffix and the receiver suppresses
 the duplicates (see the reconnect state machine in
 ``docs/ARCHITECTURE.md``).
+
+**Backpressure.**  ``await drain()`` is TCP flow control surfacing into
+the application: a peer that stops reading eventually zero-windows the
+connection and ``drain()`` never returns.  Awaiting it inline from a
+shared code path (the server's serialise/commit loop) therefore lets one
+stalled socket head-of-line-block every healthy session.  Two tools in
+this module manufacture isolation instead:
+
+* :func:`write_frame` accepts a ``timeout`` — a *write deadline* — so a
+  wedged peer surfaces as :class:`~repro.net.codec.WireError` instead of
+  an eternal await;
+* :class:`FrameSender` decouples serialisation from I/O entirely: a
+  bounded per-peer outbound queue drained by one dedicated writer task.
+  Enqueueing is synchronous and never blocks; a peer whose queue fills
+  or whose writes stall is *evicted* (the owner decides), and the
+  write-ahead log re-ships everything it missed on reconnect.
 """
 
 from __future__ import annotations
@@ -22,7 +38,8 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Optional
 
 from repro.net.codec import WireError, decode_envelope
 from repro.obs import get_obs
@@ -37,19 +54,47 @@ MAX_FRAME = 16 * 1024 * 1024
 #: Seconds between client heartbeat pings on an idle connection.
 HEARTBEAT_INTERVAL = 5.0
 
+#: Default write deadline: how long one frame may sit in ``drain()``
+#: before the peer is declared wedged.  Far above any healthy RTT, far
+#: below "forever".
+WRITE_TIMEOUT = 10.0
+
+#: Default bound on one peer's outbound queue.  Sized for bursts (a big
+#: WAL resync) while still converting a genuinely stalled consumer into
+#: an eviction within one burst.
+OUTBOUND_QUEUE = 256
+
+
+class FrameTooLarge(WireError):
+    """A frame exceeded :data:`MAX_FRAME`; ``length`` is the claimed size.
+
+    Distinguished from other :class:`WireError`\\ s so a server can keep
+    the session alive: the oversized body is still sitting in the stream
+    and can be drained (:func:`drain_payload`) and rejected with a typed
+    ``error`` envelope instead of killing the connection.
+    """
+
+    def __init__(self, message: str, length: int) -> None:
+        super().__init__(message)
+        self.length = length
+
 
 async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
     """Read one frame; ``None`` on clean EOF at a frame boundary.
 
-    Raises :class:`~repro.net.codec.WireError` on a truncated frame, an
-    oversized length prefix, or a body that fails envelope decoding.
+    Raises :class:`FrameTooLarge` on an oversized length prefix (the
+    body is *not* consumed — callers may :func:`drain_payload` it and
+    continue) and :class:`~repro.net.codec.WireError` on a truncated
+    frame or a body that fails envelope decoding.
     """
     header = await _read_exactly(reader, _HEADER.size, at_boundary=True)
     if header is None:
         return None
     (length,) = _HEADER.unpack(header)
     if length > MAX_FRAME:
-        raise WireError(f"frame of {length} bytes exceeds the {MAX_FRAME} cap")
+        raise FrameTooLarge(
+            f"frame of {length} bytes exceeds the {MAX_FRAME} cap", length
+        )
     body = await _read_exactly(reader, length, at_boundary=False)
     if body is None:  # pragma: no cover - needs a mid-frame EOF race
         raise WireError("connection closed mid-frame")
@@ -58,6 +103,22 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
         obs.net_frames_in.inc()
         obs.net_bytes_in.inc(_HEADER.size + length)
     return decode_envelope(body)
+
+
+async def drain_payload(reader: asyncio.StreamReader, length: int) -> None:
+    """Read and discard ``length`` bytes (an oversized frame's body).
+
+    Raises :class:`~repro.net.codec.WireError` if the stream ends before
+    the advertised body does.
+    """
+    remaining = length
+    while remaining > 0:
+        chunk = await reader.read(min(remaining, 256 * 1024))
+        if not chunk:
+            raise WireError(
+                f"connection closed {remaining} bytes into an oversized body"
+            )
+        remaining -= len(chunk)
 
 
 async def _read_exactly(
@@ -74,15 +135,192 @@ async def _read_exactly(
 
 
 async def write_frame(
-    writer: asyncio.StreamWriter, envelope: Dict[str, Any]
+    writer: asyncio.StreamWriter,
+    envelope: Dict[str, Any],
+    timeout: Optional[float] = None,
 ) -> None:
-    """Serialise and send one envelope, waiting for the buffer to drain."""
+    """Serialise and send one envelope, waiting for the buffer to drain.
+
+    ``timeout`` is the write deadline: if ``drain()`` has not completed
+    within it the transport is aborted and :class:`WireError` raised —
+    a wedged (zero-window) peer surfaces as an error instead of an
+    eternal await.  ``None`` waits forever (the pre-deadline behaviour,
+    still appropriate for client-side writes where the event loop has
+    nothing better to do).
+    """
     body = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
-        raise WireError(f"frame of {len(body)} bytes exceeds the {MAX_FRAME} cap")
+        raise FrameTooLarge(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME} cap",
+            len(body),
+        )
     obs = get_obs()
     if obs.enabled:
         obs.net_frames_out.inc()
         obs.net_bytes_out.inc(_HEADER.size + len(body))
     writer.write(_HEADER.pack(len(body)) + body)
-    await writer.drain()
+    if timeout is None:
+        await writer.drain()
+        return
+    try:
+        await asyncio.wait_for(writer.drain(), timeout=timeout)
+    except asyncio.TimeoutError:
+        if obs.enabled:
+            obs.net_write_stalls.inc()
+        # Abort rather than close: close() would try to flush the very
+        # buffer the peer refuses to read.
+        writer.transport.abort()
+        raise WireError(
+            f"write stalled past the {timeout:.3f}s deadline "
+            f"({envelope.get('type', '?')} frame)"
+        )
+
+
+class FrameSender:
+    """Bounded outbound queue + dedicated writer task for one peer.
+
+    The owner enqueues envelopes with :meth:`try_send` — synchronous,
+    never blocking — and a single writer task drains the queue through
+    :func:`write_frame` under the write deadline, preserving FIFO order
+    per peer.  Failure is *fail-fast and typed*:
+
+    * :meth:`try_send` returns ``False`` when the queue is at capacity —
+      the consumer is slower than the producer by a whole queue's worth
+      and the owner should evict it;
+    * a write error or deadline overrun records ``failure``, closes the
+      transport, and invokes ``on_failure`` exactly once, from the
+      writer task (so the owner can do eviction bookkeeping without
+      racing the serialisation path).
+
+    Nothing queued is precious: every broadcast lives in the write-ahead
+    log and is re-shipped on reconnect, so an evicted peer's unsent
+    suffix is dropped on the floor by design.
+    """
+
+    def __init__(
+        self,
+        writer: asyncio.StreamWriter,
+        *,
+        capacity: int = OUTBOUND_QUEUE,
+        write_timeout: Optional[float] = WRITE_TIMEOUT,
+        on_failure: Optional[Callable[[str], None]] = None,
+        label: str = "",
+    ) -> None:
+        if capacity < 1:
+            raise WireError(f"outbound queue capacity {capacity} must be >= 1")
+        self.writer = writer
+        self.capacity = capacity
+        self.write_timeout = write_timeout
+        self.label = label
+        self.failure: Optional[str] = None
+        self.closed = False
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self._queue: Deque[Dict[str, Any]] = deque()
+        self._wakeup = asyncio.Event()
+        self._space = asyncio.Event()
+        self._space.set()
+        #: invoked exactly once, from the writer task, on write
+        #: error/stall; the owner may replace or clear it at any time
+        self.on_failure = on_failure
+        self._task = asyncio.ensure_future(self._run())
+
+    @property
+    def depth(self) -> int:
+        """Frames currently queued (the per-peer backlog)."""
+        return len(self._queue)
+
+    def try_send(self, envelope: Dict[str, Any], force: bool = False) -> bool:
+        """Enqueue one envelope; ``False`` if the queue is full or dead.
+
+        ``force`` bypasses the capacity check — used for exactly one
+        frame, the ``evicted`` notice, which must be *attempted* even
+        though the queue just overflowed (a merely-slow peer will read
+        it; a wedged one never will, and the abort cuts it off).
+        """
+        if self.closed or self.failure is not None:
+            return False
+        if not force and len(self._queue) >= self.capacity:
+            return False
+        self._queue.append(envelope)
+        self._wakeup.set()
+        return True
+
+    async def send_wait(self, envelope: Dict[str, Any]) -> bool:
+        """Enqueue, *awaiting* queue space instead of failing when full.
+
+        For bursts that outrun the queue by design — the WAL resync on
+        reconnect — where the producer is this peer's own connection
+        task and blocking it is the correct backpressure (a healthy
+        late joiner must not be evicted for the server's own burst).
+        ``False`` once the sender is closed or failed.
+        """
+        while not self.closed and self.failure is None:
+            if self.try_send(envelope):
+                return True
+            self._space.clear()
+            await self._space.wait()
+        return False
+
+    async def _run(self) -> None:
+        try:
+            while True:
+                while not self._queue:
+                    if self.closed:
+                        return
+                    self._wakeup.clear()
+                    await self._wakeup.wait()
+                envelope = self._queue.popleft()
+                await write_frame(
+                    self.writer, envelope, timeout=self.write_timeout
+                )
+                self.frames_sent += 1
+                if len(self._queue) < self.capacity:
+                    self._space.set()
+        except asyncio.CancelledError:
+            return
+        except (WireError, ConnectionError, OSError) as exc:
+            self.failure = str(exc)
+            self.frames_dropped += len(self._queue)
+            self._queue.clear()
+            self.writer.transport.abort()
+            if self.on_failure is not None:
+                self.on_failure(self.failure)
+        finally:
+            self.closed = True
+            self._space.set()  # wake any send_wait so it observes closure
+            self.writer.close()
+
+    def close_soon(self) -> None:
+        """Flush the backlog from the writer task, then close.
+
+        Synchronous and non-blocking — the eviction path calls this from
+        the serialisation loop.  A merely-slow peer receives everything
+        queued (its ``evicted`` notice included); a wedged one hits the
+        write deadline on the next frame and is aborted.
+        """
+        self.closed = True
+        self._wakeup.set()
+
+    async def aclose(self) -> None:
+        """Flush what is queued (bounded by the deadline) and close."""
+        self.closed = True
+        self._wakeup.set()
+        if not self._task.done():
+            try:
+                await asyncio.wait_for(
+                    self._task, timeout=self.write_timeout
+                )
+            except asyncio.TimeoutError:
+                self._task.cancel()
+        self.writer.close()
+
+    def abort(self) -> None:
+        """Drop the backlog and sever the connection immediately."""
+        self.closed = True
+        self.frames_dropped += len(self._queue)
+        self._queue.clear()
+        self._wakeup.set()
+        if not self._task.done():
+            self._task.cancel()
+        self.writer.transport.abort()

@@ -146,6 +146,26 @@ CANONICAL_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
         "repro_wal_torn_tail_dropped_total",
         "Torn (truncated/garbage) final WAL records dropped at recovery",
     ),
+    (
+        "net_evictions",
+        "repro_net_evictions_total",
+        "Slow-consumer connections evicted (queue full, write stall, idle)",
+    ),
+    (
+        "net_shed",
+        "repro_net_shed_total",
+        "Connections shed by admission control with a retry_after answer",
+    ),
+    (
+        "net_write_stalls",
+        "repro_net_write_stalls_total",
+        "Frame writes that exceeded the write deadline",
+    ),
+    (
+        "net_oversize_rejected",
+        "repro_net_oversize_rejected_total",
+        "Oversized frames rejected mid-session with an error envelope",
+    ),
 )
 
 CANONICAL_GAUGES: Tuple[Tuple[str, str, str], ...] = (
@@ -183,6 +203,11 @@ CANONICAL_GAUGES: Tuple[Tuple[str, str, str], ...] = (
         "repl_commit_floor",
         "repro_repl_commit_floor",
         "Highest quorum-committed serial in the replicated log",
+    ),
+    (
+        "net_outbound_queue",
+        "repro_net_outbound_queue_depth",
+        "Outbound frames parked in per-peer bounded send queues",
     ),
 )
 

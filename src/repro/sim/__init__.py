@@ -24,6 +24,7 @@ from repro.sim.faults import (
     CrashSpec,
     FaultPlan,
     FaultStats,
+    NetChaosPlan,
     ServerCrashSpec,
 )
 from repro.sim.network import (
@@ -45,6 +46,7 @@ __all__ = [
     "CrashSpec",
     "FaultPlan",
     "FaultStats",
+    "NetChaosPlan",
     "ServerCrashSpec",
     "FifoChannelTimer",
     "FixedLatency",

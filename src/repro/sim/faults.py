@@ -542,3 +542,139 @@ class FaultStats:
             f"wal-compactions={self.wal_compactions} "
             f"view-changes={self.view_changes}"
         )
+
+
+@dataclass(frozen=True)
+class NetChaosPlan:
+    """A seeded, declarative fault plan for the *real* TCP transport.
+
+    :class:`FaultPlan` adversaries the simulated network; this is its
+    socket-level twin, consumed by
+    :class:`repro.net.chaosproxy.ChaosProxy`, which sits between real
+    clients and a real :class:`~repro.net.server.NetServer` and
+    perturbs the byte stream itself:
+
+    * ``latency``/``jitter`` — every forwarded chunk waits ``latency``
+      plus a uniform draw from ``[0, jitter]`` seconds (jitter reorders
+      nothing — TCP is FIFO — but it perturbs timing and coalescing);
+    * ``bandwidth`` — bytes/second cap per connection per direction
+      (0 = uncapped), throttled over 4KiB slices;
+    * ``reset_after`` — one mid-run reset: ``reset_after`` seconds
+      after the proxy starts, every live connection is aborted *once*
+      (clients reconnect and resync losslessly from the WAL);
+    * ``partition``/``partition_at``/``partition_for`` — a one-way
+      partition: during the window, bytes flowing ``"c2s"`` (client to
+      server) or ``"s2c"`` are read and discarded, the TCP mirror of a
+      one-way channel outage;
+    * ``stall_at``/``stall_for`` — slow-loris: each connection stops
+      forwarding *both* directions ``stall_at`` seconds after it is
+      accepted, for ``stall_for`` seconds — the connection stays open
+      but nothing moves, which is exactly the shape the server's idle
+      deadline and write deadline must defend against.
+
+    All windows except the stall run on the proxy clock (seconds since
+    :meth:`ChaosProxy.start`); the stall is per-connection.  Every
+    random draw comes from an RNG seeded with ``seed``, so a plan
+    replays identically — the property the chaos-net suite relies on.
+    """
+
+    seed: int = 0
+    latency: float = 0.0
+    jitter: float = 0.0
+    bandwidth: int = 0
+    reset_after: Optional[float] = None
+    partition: Optional[str] = None
+    partition_at: float = 0.0
+    partition_for: float = 0.0
+    stall_at: Optional[float] = None
+    stall_for: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0 or self.jitter < 0:
+            raise SimulationError(
+                f"latency {self.latency}/jitter {self.jitter} negative"
+            )
+        if self.bandwidth < 0:
+            raise SimulationError(f"bandwidth {self.bandwidth} negative")
+        if self.reset_after is not None and self.reset_after <= 0:
+            raise SimulationError(
+                f"reset_after {self.reset_after} must be positive"
+            )
+        if self.partition is not None:
+            if self.partition not in ("c2s", "s2c"):
+                raise SimulationError(
+                    f"partition {self.partition!r} must be 'c2s' or 's2c'"
+                )
+            if self.partition_for <= 0:
+                raise SimulationError(
+                    f"partition_for {self.partition_for} must be positive"
+                )
+            if self.partition_at < 0:
+                raise SimulationError(
+                    f"partition_at {self.partition_at} negative"
+                )
+        if self.stall_at is not None:
+            if self.stall_at < 0:
+                raise SimulationError(f"stall_at {self.stall_at} negative")
+            if self.stall_for <= 0:
+                raise SimulationError(
+                    f"stall_for {self.stall_for} must be positive"
+                )
+
+    @property
+    def quiet(self) -> bool:
+        return (
+            self.latency == 0.0
+            and self.jitter == 0.0
+            and self.bandwidth == 0
+            and self.reset_after is None
+            and self.partition is None
+            and self.stall_at is None
+        )
+
+    @classmethod
+    def sample(cls, seed: int, duration_hint: float = 5.0) -> "NetChaosPlan":
+        """Draw a random plan, deterministic per ``seed``.
+
+        Delays stay in the tens of milliseconds so a 50-plan property
+        sweep finishes in CI time; windows land inside
+        ``duration_hint`` so every fault actually fires mid-run.
+        """
+        rng = random.Random(seed)
+        plan: Dict[str, object] = {
+            "seed": seed,
+            "latency": rng.uniform(0.0, 0.02),
+            "jitter": rng.uniform(0.0, 0.02),
+        }
+        if rng.random() < 0.3:
+            plan["bandwidth"] = rng.randrange(64 * 1024, 1024 * 1024)
+        if rng.random() < 0.4:
+            plan["reset_after"] = rng.uniform(0.2, 0.7 * duration_hint)
+        if rng.random() < 0.3:
+            plan["partition"] = rng.choice(["c2s", "s2c"])
+            plan["partition_at"] = rng.uniform(0.1, 0.5 * duration_hint)
+            plan["partition_for"] = rng.uniform(0.1, 0.5)
+        if rng.random() < 0.3:
+            plan["stall_at"] = rng.uniform(0.1, 0.5 * duration_hint)
+            plan["stall_for"] = rng.uniform(0.1, 0.5)
+        return cls(**plan)  # type: ignore[arg-type]
+
+    def to_obj(self) -> Dict[str, object]:
+        """JSON-able form (the ``repro chaosproxy`` announce line)."""
+        return {
+            "seed": self.seed,
+            "latency": self.latency,
+            "jitter": self.jitter,
+            "bandwidth": self.bandwidth,
+            "reset_after": self.reset_after,
+            "partition": self.partition,
+            "partition_at": self.partition_at,
+            "partition_for": self.partition_for,
+            "stall_at": self.stall_at,
+            "stall_for": self.stall_for,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, object]) -> "NetChaosPlan":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in dict(obj).items() if k in known})

@@ -118,6 +118,32 @@ class TestTornTail:
         assert recovered.oracle.last_serial == wal.last_serial - 1
         assert recovered.oracle.assign(OpId("c9", 1)) == wal.last_serial
 
+    def test_torn_tail_warns_exactly_once_counts_once_recovers_dense(
+        self, tmp_path
+    ):
+        # The full torn-tail contract in one pass: exactly one
+        # RuntimeWarning (not one per surviving record), exactly one
+        # counter bump, and a recovery whose serial order is dense —
+        # the next assignment continues right after the surviving
+        # prefix, no gap where the dropped record was.
+        _cluster, wal, path = saved_wal(tmp_path)
+        truncate_line(path, -1)
+        handle = obs.enable(reset=True)
+        with pytest.warns(RuntimeWarning) as caught:
+            loaded = load_wal(str(path))
+        torn = [
+            w for w in caught if issubclass(w.category, RuntimeWarning)
+        ]
+        assert len(torn) == 1
+        assert handle.wal_torn_tail_dropped.value == 1
+        serials = [r["serial"] for r in loaded.records]
+        assert serials == list(
+            range(serials[0], serials[0] + len(serials))
+        )
+        recovered = loaded.recover()
+        assert recovered.oracle.last_serial == wal.last_serial - 1
+        assert recovered.oracle.assign(OpId("c9", 1)) == wal.last_serial
+
     def test_torn_only_record_falls_back_to_the_snapshot_serial(
         self, tmp_path
     ):
