@@ -1,0 +1,104 @@
+"""E22 — throughput of the sharded fleet tier.
+
+One router, two workers, four documents, two clients per document —
+every process real, every client's first hello answered with a
+rendezvous redirect.  The fleet's point is that documents are
+independent serialisation orders: per-shard throughput should be
+roughly the single-document rate while the fleet aggregate scales with
+the number of shards spread over the workers.  Reported per shard and
+fleet-wide, plus the placement skew (max docs-per-worker over the mean)
+and the p99 of redirects a client needed to find its owner (1 on the
+happy path: router -> worker, no retries).
+
+``PERF_FLOOR_ENFORCE=1`` compares the fleet-aggregate throughput
+against the ``fleet`` entry of ``benchmarks/perf_floor.json`` at the
+same 2x slack every floor gets: only a >2x regression (a revert of the
+shard fan-out, or redirects degrading into retry storms) trips it.
+"""
+
+import json
+import os
+
+from repro.net.fleet import run_fleet_loadgen
+
+from benchmarks.conftest import print_banner, write_json
+
+FLOOR_PATH = os.path.join(os.path.dirname(__file__), "perf_floor.json")
+
+WORKERS = 2
+DOCS = 4
+CLIENTS_PER_DOC = 2
+OPS_PER_DOC = 40
+SEED = 7
+
+
+def _measure():
+    report = run_fleet_loadgen(
+        workers=WORKERS,
+        docs=DOCS,
+        clients_per_doc=CLIENTS_PER_DOC,
+        ops_per_doc=OPS_PER_DOC,
+        seed=SEED,
+        op_interval=0.01,
+        timeout=180.0,
+        quiet=True,
+    )
+    assert report["ok"], report["failures"] or report
+    assert report["signatures_identical"]
+    return report
+
+
+def test_fleet_throughput_artifact(benchmark):
+    report = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_banner("Fleet tier throughput (router + workers, real processes)")
+    print(
+        f"{'workers':>8} {'docs':>5} {'ops':>5} {'ops/sec':>9} "
+        f"{'skew':>6} {'redir p99':>10} {'p99 rtt':>9}"
+    )
+    print(
+        f"{report['workers']:>8} {report['docs']:>5} "
+        f"{report['total_ops']:>5} {report['ops_per_sec']:>9.1f} "
+        f"{report['placement_skew']:>6.2f} "
+        f"{report['redirects_p99']:>10.0f} "
+        f"{report['rtt_ms_p99']:>7.1f}ms"
+    )
+    for doc in sorted(report["docs_detail"]):
+        detail = report["docs_detail"][doc]
+        print(
+            f"  {doc:<8} owner={detail.get('owner', '?'):<4} "
+            f"{detail['ops_per_sec']:>7.1f} ops/sec"
+        )
+    artifact = {
+        "workers": report["workers"],
+        "docs": report["docs"],
+        "clients_per_doc": report["clients_per_doc"],
+        "total_ops": report["total_ops"],
+        "ops_per_sec": report["ops_per_sec"],
+        "placement_skew": report["placement_skew"],
+        "placement": report["placement_after"],
+        "redirects_total": report["redirects_total"],
+        "redirects_p99": report["redirects_p99"],
+        "rtt_ms_p50": report["rtt_ms_p50"],
+        "rtt_ms_p99": report["rtt_ms_p99"],
+        "wall_seconds": report["wall_seconds"],
+        "per_shard_ops_per_sec": {
+            doc: report["docs_detail"][doc]["ops_per_sec"]
+            for doc in report["docs_detail"]
+        },
+    }
+    path = write_json("fleet", artifact)
+    print(f"artifact: {path}")
+    # The happy path needs exactly one redirect per client; a p99 above
+    # that means clients were bounced between router and workers.
+    assert report["redirects_p99"] <= 2.0
+    if os.environ.get("PERF_FLOOR_ENFORCE") == "1":
+        with open(FLOOR_PATH) as handle:
+            floor = json.load(handle)["fleet"]
+        assert floor["workers"] == WORKERS
+        assert floor["docs"] == DOCS
+        assert floor["ops_per_doc"] == OPS_PER_DOC
+        minimum = floor["floor_ops_per_sec"] / 2
+        assert report["ops_per_sec"] >= minimum, (
+            f"fleet throughput regressed: {report['ops_per_sec']:.1f} "
+            f"ops/sec < {minimum:.1f} (floor {floor['floor_ops_per_sec']:.1f})"
+        )

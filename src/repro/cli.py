@@ -35,7 +35,13 @@ Commands:
 * ``chaosproxy`` — run a seeded TCP chaos proxy in front of a ``serve``
   instance, injecting socket-level latency/jitter, bandwidth caps,
   mid-stream resets, one-way partitions and slow-loris stalls from a
-  declarative :class:`~repro.sim.faults.NetChaosPlan`.
+  declarative :class:`~repro.sim.faults.NetChaosPlan`;
+* ``fleet route`` / ``fleet worker`` / ``fleet loadgen`` — the sharded
+  multi-document tier (:mod:`repro.net.fleet`): a router that redirects
+  each ``hello {doc}`` to the document's rendezvous-placed worker, the
+  lease-keeping multi-document worker it points at, and a coordinator
+  that drives router + K workers x D documents x C clients and checks
+  per-document convergence (optionally SIGKILLing a worker mid-run).
 
 Unknown subcommands and bad arguments exit with status 2 — the same
 code ``figures`` returns for an unknown figure — and ``main`` always
@@ -47,7 +53,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro._version import __version__
 
@@ -405,6 +411,7 @@ def _configure_net_process(args) -> None:
 
 
 def cmd_serve(args) -> int:
+    from repro.net.codec import DEFAULT_DOC
     from repro.net.server import run_server
 
     _configure_net_process(args)
@@ -430,6 +437,13 @@ def cmd_serve(args) -> int:
                 file=sys.stderr,
             )
             return 2
+    if args.wal_dir and roster:
+        print(
+            "--wal-dir is for standalone (fleet) workers; a replicated "
+            "group's durability is the quorum, not per-document files",
+            file=sys.stderr,
+        )
+        return 2
     return run_server(
         host=args.host,
         port=args.port,
@@ -446,6 +460,8 @@ def cmd_serve(args) -> int:
         write_timeout=args.write_timeout if args.write_timeout > 0 else None,
         idle_timeout=args.idle_timeout if args.idle_timeout > 0 else None,
         retry_after=args.retry_after,
+        doc_id=args.doc if args.doc is not None else DEFAULT_DOC,
+        wal_dir=args.wal_dir,
     )
 
 
@@ -472,6 +488,8 @@ def cmd_connect(args) -> int:
             timeout=args.timeout,
             roster=args.roster,
             max_reconnect_attempts=args.max_reconnect_attempts,
+            doc=args.doc,
+            max_connect_attempts=args.max_connect_attempts,
         )
     )
     if args.json:
@@ -550,12 +568,14 @@ def cmd_loadgen(args) -> int:
           f"dups-suppressed={stats['duplicates_suppressed']} "
           f"wal-appends={stats['wal']['appends']} "
           f"wal-compactions={stats['wal']['compactions']}")
-    from repro.obs import snapshot_value
+    from repro.obs import snapshot_total
 
     merged = report.get("client_metrics") or {}
 
     def metric(name: str) -> float:
-        return snapshot_value(merged, name) or 0.0
+        # snapshot_total, not snapshot_value: the frame counters carry a
+        # doc label, so the per-name total is the sum over label values.
+        return snapshot_total(merged, name) or 0.0
 
     if merged.get("metrics"):
         print(f"metrics:       rtt-observations={metric('repro_net_rtt_seconds'):.0f} "
@@ -593,24 +613,58 @@ def cmd_loadgen(args) -> int:
 
 
 def cmd_metrics(args) -> int:
-    """Scrape a running server's metrics over the admin plane."""
-    from repro.net.loadgen import admin
+    """Scrape one or many running servers' metrics over the admin plane.
 
-    try:
-        reply = admin(args.host, args.port, "metrics")
-    except (ConnectionError, OSError) as exc:
-        print(f"cannot scrape {args.host}:{args.port}: {exc}", file=sys.stderr)
+    With repeated ``--addr host:port`` the snapshots are merged exactly
+    (:func:`repro.obs.merge_snapshots`) into one fleet-wide exposition.
+    Exit 2 when *no* endpoint is reachable; exit 1 only when every
+    reachable endpoint has observability disabled.
+    """
+    from repro.net.loadgen import admin
+    from repro.obs import merge_snapshots, render_snapshot
+
+    targets: List[Tuple[str, int]] = []
+    for addr in args.addr or []:
+        host, _, port_text = addr.rpartition(":")
+        if not host or not port_text.isdigit():
+            print(f"--addr {addr!r} is not host:port", file=sys.stderr)
+            return 2
+        targets.append((host, int(port_text)))
+    if not targets:
+        targets.append((args.host, args.port))
+
+    replies = []
+    for host, port in targets:
+        try:
+            replies.append(admin(host, port, "metrics"))
+        except (ConnectionError, OSError) as exc:
+            print(f"cannot scrape {host}:{port}: {exc}", file=sys.stderr)
+    if not replies:
         return 2
+    enabled = [reply for reply in replies if reply.get("enabled")]
+    if len(replies) == 1:
+        # Single endpoint: pass its exposition through verbatim.
+        snapshot = replies[0].get("snapshot")
+        exposition = replies[0].get("exposition") or ""
+    else:
+        snapshot = merge_snapshots(
+            [
+                reply.get("snapshot") or {}
+                for reply in enabled
+                if (reply.get("snapshot") or {}).get("metrics")
+            ]
+        )
+        exposition = render_snapshot(snapshot) if snapshot.get("metrics") else ""
     if args.json:
         import json as json_module
 
-        print(json_module.dumps(reply.get("snapshot"), sort_keys=True))
+        print(json_module.dumps(snapshot, sort_keys=True))
     else:
-        sys.stdout.write(reply.get("exposition") or "")
-    if not reply.get("enabled"):
+        sys.stdout.write(exposition)
+    if not enabled:
         print(
-            "observability is disabled on the server "
-            "(start it without --no-obs)",
+            "observability is disabled on every reachable endpoint "
+            "(start them without --no-obs)",
             file=sys.stderr,
         )
         return 1
@@ -655,6 +709,116 @@ def cmd_chaosproxy(args) -> int:
         port=args.port,
         announce=args.announce,
     )
+
+
+def _parse_addr(text: str) -> Tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise argparse.ArgumentTypeError(f"{text!r} is not host:port")
+    return host, int(port_text)
+
+
+def cmd_fleet_route(args) -> int:
+    from repro.net.fleet import run_router
+
+    _configure_net_process(args)
+    return run_router(
+        host=args.host,
+        port=args.port,
+        lease_seconds=args.lease,
+        heartbeat_interval=args.heartbeat,
+        retry_after=args.retry_after,
+        announce=args.announce,
+    )
+
+
+def cmd_fleet_worker(args) -> int:
+    from repro.net.fleet import run_fleet_worker
+
+    _configure_net_process(args)
+    router_host, router_port = args.router
+    return run_fleet_worker(
+        worker_id=args.worker,
+        router_host=router_host,
+        router_port=router_port,
+        host=args.host,
+        port=args.port,
+        wal_dir=args.wal_dir,
+        initial_text=args.initial,
+        snapshot_every=args.snapshot_every,
+        heartbeat_seed=args.heartbeat_seed,
+        announce=args.announce,
+    )
+
+
+def cmd_fleet_loadgen(args) -> int:
+    from repro.net.fleet import run_fleet_loadgen
+
+    report = run_fleet_loadgen(
+        workers=args.workers,
+        docs=args.docs,
+        clients_per_doc=args.clients_per_doc,
+        ops_per_doc=args.ops_per_doc,
+        seed=args.seed,
+        host=args.host,
+        op_interval=args.op_interval,
+        timeout=args.timeout,
+        insert_ratio=args.insert_ratio,
+        kill_worker=args.kill_worker,
+        kill_after=args.kill_after,
+        lease_seconds=args.lease,
+        heartbeat_interval=args.heartbeat,
+        wal_dir=args.wal_dir,
+        quiet=args.quiet,
+    )
+    if args.json:
+        import json as json_module
+
+        # The raw per-client reports and merged snapshot are bulky;
+        # --json is for scripted assertions, which want the verdict.
+        slim = {
+            key: value
+            for key, value in report.items()
+            if key not in ("clients", "fleet_metrics")
+        }
+        print(json_module.dumps(slim, sort_keys=True))
+        return 0 if report["ok"] else 1
+    print(
+        f"fleet:         {report['workers']} workers x {report['docs']} "
+        f"documents x {report['clients_per_doc']} clients"
+    )
+    print(f"operations:    {report['total_ops']} "
+          f"({report['ops_per_doc']} per document)")
+    print(f"converged:     {report['converged']}")
+    print(f"signatures:    identical-per-doc={report['signatures_identical']}")
+    print(f"placement:     skew={report['placement_skew']:.2f} "
+          f"live={','.join(report['live_workers'])}")
+    if report["killed_worker"]:
+        print(f"kill drill:    killed={report['killed_worker']} "
+              f"expirations={report['expirations']} "
+              f"re-placed={','.join(report['replaced_docs']) or '-'} "
+              f"replacement-ok={report['replacement_ok']}")
+    print(f"throughput:    {report['ops_per_sec']:.1f} ops/sec fleet-wide "
+          f"({report['wall_seconds']:.2f}s wall)")
+    print(f"redirects:     total={report['redirects_total']} "
+          f"p99-per-client={report['redirects_p99']:.0f}")
+    print(f"round-trip:    p50={report['rtt_ms_p50']:.2f}ms "
+          f"p99={report['rtt_ms_p99']:.2f}ms")
+    router = report["router_stats"]
+    print(f"router:        registrations={router['registrations']} "
+          f"redirects={router['redirects']} "
+          f"expirations={router['expirations']} "
+          f"replacements={router['replacements']}")
+    for doc in sorted(report["docs_detail"]):
+        detail = report["docs_detail"][doc]
+        print(f"  {doc:<8} owner={detail.get('owner', '?'):<4} "
+              f"serial={detail.get('serial', '?'):>4} "
+              f"converged={detail['converged']} "
+              f"identical={detail['signatures_identical']} "
+              f"{detail['ops_per_sec']:.1f} ops/sec")
+    for failure in report["failures"]:
+        print(f"FAILURE: {failure}")
+    return 0 if report["ok"] else 1
 
 
 # ----------------------------------------------------------------------
@@ -820,6 +984,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--initial", default="", help="initial document")
     serve.add_argument("--snapshot-every", type=int, default=256)
     serve.add_argument(
+        "--doc",
+        default=None,
+        help="document id this server hosts by default (clients that "
+        "send no doc in their hello land here)",
+    )
+    serve.add_argument(
+        "--wal-dir",
+        default=None,
+        help="directory for per-document write-ahead logs; enables "
+        "multi-document hosting with crash recovery (standalone only, "
+        "incompatible with --replica-of)",
+    )
+    serve.add_argument(
         "--announce",
         action="store_true",
         help="print one machine-parseable REPRO-SERVE line on startup",
@@ -901,6 +1078,21 @@ def build_parser() -> argparse.ArgumentParser:
     connect.add_argument("--host", default="127.0.0.1")
     connect.add_argument("--port", type=int, default=4400)
     connect.add_argument("--client", default="c1", help="replica name")
+    connect.add_argument(
+        "--doc",
+        default="",
+        help="document to edit; sent in the hello so a fleet router (or "
+        "multi-document server) can pick the shard (default: let the "
+        "server choose its default document)",
+    )
+    connect.add_argument(
+        "--max-connect-attempts",
+        type=int,
+        default=8,
+        help="connection/redirect budget per (re)connect cycle; raise "
+        "it when the target is a fleet router that may redirect to a "
+        "dead worker until its lease expires",
+    )
     connect.add_argument(
         "--ops", type=int, default=0, help="seeded edits to generate"
     )
@@ -1048,16 +1240,196 @@ def build_parser() -> argparse.ArgumentParser:
 
     metrics = commands.add_parser(
         "metrics",
-        help="scrape a running server's Prometheus exposition",
+        help="scrape one or many servers' Prometheus expositions",
     )
     metrics.add_argument("--host", default="127.0.0.1")
     metrics.add_argument("--port", type=int, default=4400)
+    metrics.add_argument(
+        "--addr",
+        action="append",
+        default=None,
+        metavar="HOST:PORT",
+        help="endpoint to scrape; repeat to merge several processes' "
+        "snapshots exactly into one fleet-wide exposition "
+        "(overrides --host/--port)",
+    )
     metrics.add_argument(
         "--json",
         action="store_true",
         help="emit the raw snapshot as JSON instead of text exposition",
     )
     metrics.set_defaults(handler=cmd_metrics)
+
+    fleet = commands.add_parser(
+        "fleet",
+        help="sharded multi-document tier: router, workers, loadgen",
+    )
+    fleet_commands = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fleet_route = fleet_commands.add_parser(
+        "route",
+        help="run the fleet router: redirect each hello to its "
+        "document's rendezvous-placed worker",
+    )
+    fleet_route.add_argument("--host", default="127.0.0.1")
+    fleet_route.add_argument(
+        "--port", type=int, default=4500, help="0 picks an ephemeral port"
+    )
+    fleet_route.add_argument(
+        "--lease",
+        type=float,
+        default=1.2,
+        help="seconds a worker lease survives without a heartbeat",
+    )
+    fleet_route.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.3,
+        help="heartbeat interval quoted to workers in the fleet_ack",
+    )
+    fleet_route.add_argument(
+        "--retry-after",
+        type=float,
+        default=0.5,
+        help="seconds quoted to clients when no worker lease is live",
+    )
+    fleet_route.add_argument(
+        "--announce",
+        action="store_true",
+        help="print one machine-parseable REPRO-FLEET-ROUTER line on "
+        "startup",
+    )
+    fleet_route.add_argument("--quiet", action="store_true")
+    fleet_route.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="router log level (default: info, or warning with --quiet)",
+    )
+    fleet_route.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable the metrics registry and trace ring",
+    )
+    fleet_route.set_defaults(handler=cmd_fleet_route)
+
+    fleet_worker = fleet_commands.add_parser(
+        "worker",
+        help="run one fleet worker: a multi-document server that "
+        "registers with the router and keeps its lease alive",
+    )
+    fleet_worker.add_argument(
+        "--worker", required=True, help="worker id (unique in the fleet)"
+    )
+    fleet_worker.add_argument(
+        "--router",
+        required=True,
+        type=_parse_addr,
+        metavar="HOST:PORT",
+        help="the fleet router's registration endpoint",
+    )
+    fleet_worker.add_argument("--host", default="127.0.0.1")
+    fleet_worker.add_argument(
+        "--port", type=int, default=0, help="0 picks an ephemeral port"
+    )
+    fleet_worker.add_argument(
+        "--wal-dir",
+        default=None,
+        help="shared per-document WAL directory (placement moves, "
+        "storage stays: a re-placed document is recovered here by its "
+        "new owner)",
+    )
+    fleet_worker.add_argument("--initial", default="", help="initial document")
+    fleet_worker.add_argument("--snapshot-every", type=int, default=256)
+    fleet_worker.add_argument(
+        "--heartbeat-seed",
+        type=int,
+        default=0,
+        help="seed for the heartbeat jitter (de-correlates a fleet "
+        "restarted in lockstep)",
+    )
+    fleet_worker.add_argument(
+        "--announce",
+        action="store_true",
+        help="print one machine-parseable REPRO-FLEET-WORKER line on "
+        "startup",
+    )
+    fleet_worker.add_argument("--quiet", action="store_true")
+    fleet_worker.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="worker log level (default: info, or warning with --quiet)",
+    )
+    fleet_worker.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable the metrics registry and trace ring",
+    )
+    fleet_worker.set_defaults(handler=cmd_fleet_worker)
+
+    fleet_loadgen = fleet_commands.add_parser(
+        "loadgen",
+        help="spawn router + K workers x D documents x C clients and "
+        "verify per-document convergence",
+    )
+    fleet_loadgen.add_argument("--workers", type=int, default=2)
+    fleet_loadgen.add_argument("--docs", type=int, default=8)
+    fleet_loadgen.add_argument("--clients-per-doc", type=int, default=3)
+    fleet_loadgen.add_argument(
+        "--ops-per-doc",
+        type=int,
+        default=60,
+        help="total operations per document, split across its clients",
+    )
+    fleet_loadgen.add_argument("--seed", type=int, default=7)
+    fleet_loadgen.add_argument("--host", default="127.0.0.1")
+    fleet_loadgen.add_argument("--timeout", type=float, default=240.0)
+    fleet_loadgen.add_argument("--insert-ratio", type=float, default=0.7)
+    fleet_loadgen.add_argument(
+        "--op-interval",
+        type=float,
+        default=0.02,
+        help="per-client pause between generated edits (seconds)",
+    )
+    fleet_loadgen.add_argument(
+        "--kill-worker",
+        action="store_true",
+        help="SIGKILL one worker mid-run and require every document "
+        "re-placed onto survivors with zero lost acked operations",
+    )
+    fleet_loadgen.add_argument(
+        "--kill-after",
+        type=float,
+        default=None,
+        help="seconds into the run to kill the worker (default: mid-run)",
+    )
+    fleet_loadgen.add_argument(
+        "--lease",
+        type=float,
+        default=1.2,
+        help="worker lease duration passed to the router",
+    )
+    fleet_loadgen.add_argument(
+        "--heartbeat",
+        type=float,
+        default=0.3,
+        help="heartbeat interval passed to the router",
+    )
+    fleet_loadgen.add_argument(
+        "--wal-dir",
+        default=None,
+        help="shared WAL directory (default: a fresh temp dir, removed "
+        "afterwards)",
+    )
+    fleet_loadgen.add_argument("--quiet", action="store_true")
+    fleet_loadgen.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the verdict as one JSON line (omits bulky raw "
+        "per-client reports)",
+    )
+    fleet_loadgen.set_defaults(handler=cmd_fleet_loadgen)
 
     chaosproxy = commands.add_parser(
         "chaosproxy",

@@ -47,6 +47,17 @@ from repro.net.chaosproxy import ChaosProxy, run_chaosproxy
 from repro.net.client import NetClient, ReconnectExhausted
 from repro.net.server import NetServer
 from repro.net.loadgen import run_loadgen, run_worker
+from repro.net.fleet import (
+    FleetRouter,
+    FleetWorker,
+    WorkerRegistry,
+    place,
+    placement_map,
+    placement_skew,
+    run_fleet_loadgen,
+    run_fleet_worker,
+    run_router,
+)
 
 __all__ = [
     "WIRE_VERSION",
@@ -73,4 +84,13 @@ __all__ = [
     "NetServer",
     "run_loadgen",
     "run_worker",
+    "FleetRouter",
+    "FleetWorker",
+    "WorkerRegistry",
+    "place",
+    "placement_map",
+    "placement_skew",
+    "run_fleet_loadgen",
+    "run_fleet_worker",
+    "run_router",
 ]

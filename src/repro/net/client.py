@@ -98,10 +98,15 @@ class NetClient:
         roster: Optional[List[Tuple[str, int]]] = None,
         max_reconnect_attempts: Optional[int] = None,
         heartbeat_interval: Optional[float] = HEARTBEAT_INTERVAL,
+        doc: str = "",
     ) -> None:
         self.client_id = client_id
         self.host = host
         self.port = port
+        #: document this client edits; ``""`` lets the server choose its
+        #: default (the pre-fleet behaviour).  A fleet router reads the
+        #: field from the hello to pick the owning worker.
+        self.doc = doc
         self.css = CssClient(client_id)
         self.sender = SessionSender((client_id, SERVER_ID))
         self.receiver = SessionReceiver((SERVER_ID, client_id))
@@ -223,9 +228,11 @@ class NetClient:
                         client=self.client_id,
                         delivered=self.delivered,
                         epoch=self.epoch,
+                        doc=self.doc,
                     ),
+                    doc=self.doc,
                 )
-                first = await read_frame(reader)
+                first = await read_frame(reader, doc=self.doc)
             except (ConnectionError, OSError):
                 writer.close()
                 attempt += 1
@@ -338,6 +345,7 @@ class NetClient:
                     epoch=self.epoch,
                     body=self.unacked[seq],
                 ),
+                doc=self.doc,
             )
         self._reader_task = asyncio.ensure_future(self._read_loop(reader))
         if self._heartbeat_task is not None:
@@ -362,7 +370,7 @@ class NetClient:
     async def _read_loop(self, reader: asyncio.StreamReader) -> None:
         try:
             while True:
-                frame = await read_frame(reader)
+                frame = await read_frame(reader, doc=self.doc)
                 if frame is None:
                     return
                 self._handle_frame(frame)
@@ -388,7 +396,9 @@ class NetClient:
         """Graceful shutdown: say ``bye`` and release the socket."""
         if self._writer is not None:
             try:
-                await write_frame(self._writer, encode_envelope("bye"))
+                await write_frame(
+                    self._writer, encode_envelope("bye"), doc=self.doc
+                )
             except ConnectionError:
                 pass
         await self.drop()
@@ -499,6 +509,7 @@ class NetClient:
                     epoch=self.epoch,
                     body=body,
                 ),
+                doc=self.doc,
             )
         except ConnectionError:
             self._writer = None
@@ -508,6 +519,7 @@ class NetClient:
             await write_frame(
                 self._writer,
                 encode_envelope("ping", t=time.perf_counter()),
+                doc=self.doc,
             )
 
     # ------------------------------------------------------------------

@@ -51,6 +51,13 @@ from repro.jupiter.persistence import (
 #: Version of the frame envelope; bumped on any incompatible change.
 WIRE_VERSION = 1
 
+#: Document served when a ``hello`` carries no ``doc`` field.  The field
+#: is an *addition* under the unknown-fields rule: an old client's hello
+#: lands on this document, and an old server ignores the field entirely
+#: (a fleet client must therefore only be pointed at fleet-aware
+#: workers, which the router guarantees).
+DEFAULT_DOC = "default"
+
 
 class WireError(ProtocolError):
     """A frame or message cannot be decoded (bad version, junk, oversize)."""
@@ -248,6 +255,22 @@ def parse_roster(text: str) -> List[Tuple[str, int]]:
 #   connection; the client backs off at least ``seconds`` and redials.
 # * ``error {reason, length, limit, epoch}`` — one frame was rejected
 #   (e.g. oversized) but the session stays alive.
+#
+# The fleet tier (:mod:`repro.net.fleet`) adds a control plane between
+# workers and the router, plus one field on the session handshake:
+#
+# * ``hello`` gains an optional ``doc`` field naming the document the
+#   session is for (default :data:`DEFAULT_DOC`); ``welcome`` echoes it.
+# * ``fleet_register {worker, host, port}`` — worker -> router: join the
+#   fleet; answered with ``fleet_ack {lease, interval}`` quoting the
+#   lease the worker must keep renewed and the heartbeat interval.
+# * ``fleet_heartbeat {worker, docs}`` — worker -> router: renew the
+#   lease, reporting the documents currently hosted; answered with
+#   ``fleet_ack``.
+# * A client ``hello`` sent *to the router* is answered with the same
+#   ``redirect`` envelope the replication layer uses — ``{host, port,
+#   roster}`` pointing at the worker that owns ``doc`` — so the
+#   client's existing redirect/roster-walk machinery needs nothing new.
 def encode_envelope(frame_type: str, **fields: Any) -> Dict[str, Any]:
     """Build one wire frame: ``{"v": 1, "type": ..., **fields}``."""
     if "v" in fields or "type" in fields:

@@ -1,0 +1,54 @@
+"""``repro.net.fleet`` — sharded multi-document serving.
+
+The Jupiter protocol serialises each document independently: nothing in
+the paper's correctness argument couples two documents' serial orders.
+That makes horizontal scaling a *placement* problem, not a protocol
+problem — and this package is exactly that placement layer:
+
+* :mod:`repro.net.fleet.placement` — deterministic rendezvous (HRW)
+  hashing of ``doc_id`` onto the live worker set: every router replica
+  computes the same owner from the same membership, and a membership
+  change moves only the documents whose argmax changed;
+* :mod:`repro.net.fleet.registry` — the worker registry: registration,
+  heartbeats, lease expiry, and the re-placement bookkeeping when a
+  lease lapses;
+* :mod:`repro.net.fleet.router` — the router process: answers client
+  ``hello``\\ s with a ``redirect`` to the owning worker (the same
+  envelope, roster-walk, and redirect-budget machinery the replicated
+  tier already uses), and exposes the fleet admin plane;
+* :mod:`repro.net.fleet.worker` — a multi-document
+  :class:`~repro.net.server.NetServer` plus the registration/heartbeat
+  loop that keeps its lease alive;
+* :mod:`repro.net.fleet.loadgen` — the fleet coordinator: router + K
+  workers x D documents x C clients, per-document byte-identical
+  signature checks, exact fleet-wide metric merges, and the
+  kill-a-worker re-placement drill.
+
+Durability model: placement moves, storage stays.  Every worker mounts
+the same ``wal_dir``; a document's write-ahead log lives in one
+``<doc>.wal`` file regardless of which worker currently owns it, so the
+next owner recovers exactly the state the old owner acknowledged.
+"""
+
+from repro.net.fleet.placement import (
+    place,
+    placement_map,
+    placement_skew,
+)
+from repro.net.fleet.registry import WorkerInfo, WorkerRegistry
+from repro.net.fleet.router import FleetRouter, run_router
+from repro.net.fleet.worker import FleetWorker, run_fleet_worker
+from repro.net.fleet.loadgen import run_fleet_loadgen
+
+__all__ = [
+    "place",
+    "placement_map",
+    "placement_skew",
+    "WorkerInfo",
+    "WorkerRegistry",
+    "FleetRouter",
+    "run_router",
+    "FleetWorker",
+    "run_fleet_worker",
+    "run_fleet_loadgen",
+]

@@ -1,0 +1,64 @@
+"""Deterministic document placement: rendezvous (HRW) hashing.
+
+Every router (and every test) must agree on which worker owns a
+document given only the live worker set — no coordination, no stored
+assignment table.  Rendezvous hashing gives exactly that: the owner of
+``doc`` is the worker maximising ``sha256(worker "|" doc)``.  Two
+properties matter here:
+
+* **determinism** — the argmax is a pure function of the (sorted) live
+  set and the document id, so independent observers always agree;
+* **minimal movement** — when a worker dies, only the documents whose
+  argmax *was* that worker move (each to its runner-up); every other
+  document keeps its owner, so a lease expiry never triggers a fleet-wide
+  reshuffle the way naive ``hash(doc) % N`` would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+from repro.errors import ProtocolError
+
+
+def _score(worker: str, doc: str) -> bytes:
+    return hashlib.sha256(f"{worker}|{doc}".encode("utf-8")).digest()
+
+
+def place(doc: str, workers: Sequence[str]) -> str:
+    """The worker owning ``doc`` — the rendezvous argmax over ``workers``.
+
+    Ties are impossible in practice (a sha256 collision); worker ids are
+    deduplicated and the argmax is taken over the sorted set so the
+    result is independent of input order.
+    """
+    candidates = sorted(set(workers))
+    if not candidates:
+        raise ProtocolError(f"no live workers to place document {doc!r} on")
+    return max(candidates, key=lambda worker: _score(worker, doc))
+
+
+def placement_map(
+    docs: Iterable[str], workers: Sequence[str]
+) -> Dict[str, str]:
+    """Place every document: ``doc -> owning worker``."""
+    return {doc: place(doc, workers) for doc in docs}
+
+
+def placement_skew(assignment: Dict[str, str], workers: Sequence[str]) -> float:
+    """Load imbalance of an assignment: ``max_docs_per_worker / mean``.
+
+    1.0 is a perfectly even spread; a worker owning every document in a
+    two-worker fleet scores 2.0.  Workers owning nothing still count in
+    the mean — an empty fleet member *is* skew.
+    """
+    candidates = sorted(set(workers))
+    if not candidates or not assignment:
+        return 1.0
+    counts: List[int] = [
+        sum(1 for owner in assignment.values() if owner == worker)
+        for worker in candidates
+    ]
+    mean = len(assignment) / len(candidates)
+    return max(counts) / mean if mean > 0 else 1.0

@@ -1,0 +1,113 @@
+"""The worker registry: membership with leases.
+
+Pure bookkeeping, no I/O — the router drives it from its frame handlers
+and a sweep task, and tests drive it with an injected clock.  The state
+machine per worker:
+
+    (unknown) --register--> LIVE --heartbeat--> LIVE
+        ^                     |
+        |                     | no heartbeat for ``lease_seconds``
+        +------register------ EXPIRED (forgotten)
+
+A heartbeat from an expired (or never-registered) worker is *rejected* —
+the worker must re-register, so the router's view of ``(host, port)`` is
+always as fresh as its lease.  Expiry is the failure detector: a worker
+that died without deregistering stops heartbeating, its lease lapses,
+and :meth:`WorkerRegistry.expire` reports it exactly once so the router
+can log the re-placement of its documents.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.errors import ProtocolError
+
+
+class WorkerInfo:
+    """One registered worker's lease state."""
+
+    def __init__(
+        self, worker_id: str, host: str, port: int, now: float
+    ) -> None:
+        self.worker_id = worker_id
+        self.host = host
+        self.port = port
+        self.registered_at = now
+        self.last_heartbeat = now
+        self.heartbeats = 0
+        #: documents the worker reported hosting in its last heartbeat
+        self.docs: Set[str] = set()
+
+    @property
+    def addr(self) -> Tuple[str, int]:
+        return (self.host, self.port)
+
+
+class WorkerRegistry:
+    """Registration, heartbeats, and lease expiry for a worker fleet."""
+
+    def __init__(
+        self,
+        lease_seconds: float = 1.2,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if lease_seconds <= 0:
+            raise ProtocolError(
+                f"lease of {lease_seconds}s must be positive"
+            )
+        self.lease_seconds = lease_seconds
+        self._clock = clock
+        self._workers: Dict[str, WorkerInfo] = {}
+        self.registrations = 0
+        self.expirations = 0
+
+    def register(self, worker_id: str, host: str, port: int) -> WorkerInfo:
+        """Admit (or re-admit) a worker; its lease starts now."""
+        if not worker_id:
+            raise ProtocolError("worker id must be non-empty")
+        info = WorkerInfo(str(worker_id), str(host), int(port), self._clock())
+        self._workers[info.worker_id] = info
+        self.registrations += 1
+        return info
+
+    def heartbeat(self, worker_id: str, docs: Optional[List[str]] = None) -> bool:
+        """Renew a lease; ``False`` means unknown/expired — re-register."""
+        info = self._workers.get(worker_id)
+        if info is None:
+            return False
+        info.last_heartbeat = self._clock()
+        info.heartbeats += 1
+        if docs is not None:
+            info.docs = {str(d) for d in docs}
+        return True
+
+    def expire(self) -> List[WorkerInfo]:
+        """Drop every worker whose lease lapsed; returns them, once."""
+        now = self._clock()
+        lapsed = [
+            info
+            for info in self._workers.values()
+            if now - info.last_heartbeat > self.lease_seconds
+        ]
+        for info in lapsed:
+            del self._workers[info.worker_id]
+            self.expirations += 1
+        return sorted(lapsed, key=lambda info: info.worker_id)
+
+    def live(self) -> List[str]:
+        """Sorted ids of every worker holding a current lease."""
+        return sorted(self._workers)
+
+    def get(self, worker_id: str) -> Optional[WorkerInfo]:
+        return self._workers.get(worker_id)
+
+    def addr(self, worker_id: str) -> Tuple[str, int]:
+        info = self._workers.get(worker_id)
+        if info is None:
+            raise ProtocolError(f"worker {worker_id!r} holds no lease")
+        return info.addr
+
+    def __len__(self) -> int:
+        return len(self._workers)

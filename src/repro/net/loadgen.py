@@ -67,7 +67,11 @@ def percentile(samples: List[float], q: float) -> float:
 # Admin plane helpers
 # ----------------------------------------------------------------------
 async def _admin_async(
-    host: str, port: int, command: str, timeout: float = 5.0
+    host: str,
+    port: int,
+    command: str,
+    timeout: float = 5.0,
+    **fields: Any,
 ) -> Dict[str, Any]:
     try:
         reader, writer = await asyncio.wait_for(
@@ -78,7 +82,9 @@ async def _admin_async(
             f"admin {command!r}: no connection within {timeout:.1f}s"
         ) from exc
     try:
-        await write_frame(writer, encode_envelope("admin", cmd=command))
+        await write_frame(
+            writer, encode_envelope("admin", cmd=command, **fields)
+        )
         reply = await asyncio.wait_for(read_frame(reader), timeout=timeout)
     except asyncio.TimeoutError as exc:
         raise ConnectionError(
@@ -92,10 +98,16 @@ async def _admin_async(
 
 
 def admin(
-    host: str, port: int, command: str, timeout: float = 5.0
+    host: str, port: int, command: str, timeout: float = 5.0, **fields: Any
 ) -> Dict[str, Any]:
-    """Synchronous admin round-trip (signature / stats / shutdown)."""
-    return asyncio.run(_admin_async(host, port, command, timeout=timeout))
+    """Synchronous admin round-trip (signature / stats / shutdown).
+
+    Extra keyword ``fields`` ride in the admin envelope — a multi-doc
+    worker's signature/stats commands accept ``doc=...``.
+    """
+    return asyncio.run(
+        _admin_async(host, port, command, timeout=timeout, **fields)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -142,6 +154,8 @@ async def run_worker(
     roster: Optional[str] = None,
     max_reconnect_attempts: Optional[int] = None,
     connect_timeout: float = 20.0,
+    doc: str = "",
+    max_connect_attempts: int = 8,
 ) -> Dict[str, Any]:
     """Drive one client: ``ops`` seeded edits, then wait for convergence.
 
@@ -162,8 +176,10 @@ async def run_worker(
         host,
         port,
         reconnect_seed=seed,
+        max_connect_attempts=max_connect_attempts,
         roster=parse_roster(roster) if roster else None,
         max_reconnect_attempts=max_reconnect_attempts,
+        doc=doc,
     )
     started = time.perf_counter()
     connect_retries = await _connect_with_retry(client, connect_timeout)
@@ -189,6 +205,7 @@ async def run_worker(
     duration = time.perf_counter() - started
     report = {
         "client": client_id,
+        "doc": doc,
         "ops": ops,
         "converged": converged,
         "signature": client.signature(),
@@ -337,7 +354,8 @@ def _find_primary(
             except (ConnectionError, OSError):
                 continue
             replication = stats.get("replication") or {}
-            if not replication or replication.get("role") == "primary":
+            role = stats.get("role") or replication.get("role")
+            if role in (None, "primary"):
                 return port, stats
         if time.monotonic() >= end:
             raise RuntimeError("no live primary replica found")

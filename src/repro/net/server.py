@@ -57,7 +57,9 @@ from __future__ import annotations
 import asyncio
 import json
 import logging
+import os
 import time
+import urllib.parse
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.ids import SERVER_ID, ReplicaId
@@ -67,7 +69,9 @@ from repro.jupiter.css import CssServer
 from repro.jupiter.messages import ClientOperation, ServerOperation
 from repro.jupiter.persistence import (
     ServerWriteAheadLog,
+    load_wal,
     operation_from_obj,
+    save_wal,
 )
 from repro.jupiter.replication import (
     committed_origin_ack,
@@ -77,6 +81,7 @@ from repro.jupiter.replication import (
 )
 from repro.jupiter.session import SessionReceiver, SessionSender
 from repro.net.codec import (
+    DEFAULT_DOC,
     WireError,
     document_signature,
     encode_envelope,
@@ -112,8 +117,11 @@ class _Reinstall(Exception):
 class _ClientChannel:
     """Per-client transport state: sessions, parked payloads, live writer."""
 
-    def __init__(self, client: ReplicaId) -> None:
+    def __init__(self, client: ReplicaId, shard: "_DocShard") -> None:
         self.client = client
+        #: the document shard this channel belongs to — one client name
+        #: may hold independent channels on several shards
+        self.shard = shard
         self.sender = SessionSender((SERVER_ID, client))
         self.receiver = SessionReceiver((client, SERVER_ID))
         #: out-of-order payloads parked until the session releases them
@@ -129,14 +137,80 @@ class _ClientChannel:
         self.evictions = 0
 
 
+class _DocShard:
+    """One hosted document: its CSS server, WAL, channels, and disk file.
+
+    Each shard carries an independent serialization order (its own
+    serial counter, WAL, and per-client session pairs); nothing but the
+    listener and the admission/overload accounting is shared between
+    shards, which is exactly what makes multi-document hosting a safe
+    generalisation — the per-document protocol is byte-identical to a
+    single-document :class:`NetServer`.
+    """
+
+    def __init__(
+        self,
+        doc: str,
+        server: CssServer,
+        wal: ServerWriteAheadLog,
+        wal_path: Optional[str] = None,
+    ) -> None:
+        self.doc = doc
+        self.server = server
+        self.wal = wal
+        self.channels: Dict[ReplicaId, _ClientChannel] = {}
+        #: monotonic timestamp the shard was opened (uptime accounting)
+        self.opened_at = time.monotonic()
+        #: on-disk WAL file (``None`` = in-memory only, the pre-fleet
+        #: behaviour; replicated servers get durability from the quorum)
+        self.wal_path = wal_path
+        self.frames_received = 0
+        self.resync_frames_sent = 0
+        self.duplicates_suppressed = 0
+
+    def rewrite_disk(self) -> None:
+        """Write the full WAL (header + records) — open and compaction."""
+        if self.wal_path is not None:
+            save_wal(self.wal, self.wal_path)
+
+    def append_disk(self) -> None:
+        """Append the newest record as one line; flushed before any
+        broadcast or acknowledgement leaves the process, so an
+        acknowledged operation survives a SIGKILL (``load_wal`` drops a
+        torn final line, never an acked one)."""
+        if self.wal_path is None:
+            return
+        record = self.wal.records[-1]
+        with open(self.wal_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+
+
+def _doc_filename(doc: str) -> str:
+    """Deterministic, filesystem-safe WAL filename for a document id."""
+    return urllib.parse.quote(doc, safe="") + ".wal"
+
+
 class NetServer:
-    """Serve one CSS document over TCP.
+    """Serve CSS documents over TCP — one or many behind one listener.
 
     The client roster is dynamic: the first ``hello`` from an unknown
     name registers it (appending to both the protocol server's broadcast
     list and the WAL's roster).  WAL compaction uses the minimum
     consumption cursor over the roster as its retain floor, so a
     disconnected or lagging client can always resync from records.
+
+    **Multi-document hosting (the fleet tier's worker role).**  Every
+    hosted document is a :class:`_DocShard` with its own ``CssServer``,
+    write-ahead log, and per-client session pairs; a ``hello`` naming a
+    ``doc`` is routed to (and lazily opens) that shard, a doc-less hello
+    lands on the default ``doc_id``.  Serialization orders are fully
+    independent across shards; admission control and the overload
+    accounting are shared, because sockets and memory are.  With a
+    ``wal_dir``, each shard's WAL lives in ``<wal_dir>/<doc>.wal`` —
+    appended (and flushed) *before* any broadcast or ack leaves the
+    process, rewritten on compaction — so a re-placed document's next
+    owner recovers exactly the state the old owner acknowledged.
     """
 
     def __init__(
@@ -155,6 +229,8 @@ class NetServer:
         write_timeout: Optional[float] = WRITE_TIMEOUT,
         idle_timeout: Optional[float] = 60.0,
         retry_after: float = 1.0,
+        doc_id: str = DEFAULT_DOC,
+        wal_dir: Optional[str] = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -179,12 +255,23 @@ class NetServer:
         self.evictions = 0
         self.shed_connections = 0
         self.oversize_rejected = 0
-        initial = ListDocument.from_string(initial_text) if initial_text else None
-        self.server = CssServer(SERVER_ID, [], initial)
-        self.wal = ServerWriteAheadLog(
-            SERVER_ID, [], snapshot_every=snapshot_every, initial_text=initial_text
-        )
-        self.channels: Dict[ReplicaId, _ClientChannel] = {}
+        # -- document shards -------------------------------------------
+        #: the default document — what a doc-less ``hello`` lands on
+        self.doc_id = str(doc_id)
+        #: per-document WAL directory (one ``<doc>.wal`` file each);
+        #: placement may move a document between fleet workers, but its
+        #: log stays put — the next owner recovers from the same file
+        self.wal_dir = wal_dir
+        if wal_dir is not None and roster:
+            raise ProtocolError(
+                "wal_dir persistence is for standalone (fleet) workers; "
+                "a replicated group's durability is the quorum"
+            )
+        self._obs = get_obs()
+        self._logger = LOGGER
+        self.started_at = time.monotonic()
+        self.shards: Dict[str, _DocShard] = {}
+        self._open_shard(self.doc_id)
         self.resync_frames_sent = 0
         self.frames_received = 0
         self.duplicates_suppressed = 0
@@ -227,8 +314,6 @@ class NetServer:
         self._failover_started: Optional[float] = None
         self._failover_target = 0
         self._commit_lock = asyncio.Lock()
-        self._obs = get_obs()
-        self._logger = LOGGER
         self._asyncio_server: Optional[asyncio.base_events.Server] = None
         self._closed = asyncio.Event()
         if self.replicated:
@@ -258,6 +343,97 @@ class NetServer:
             not self.replicated
             or primary_for(self.view, self.replica_ids) == self.replica_id
         )
+
+    # ------------------------------------------------------------------
+    # Document shards
+    # ------------------------------------------------------------------
+    # The pre-fleet single-document attributes remain as views onto the
+    # default shard: every replication path (which is restricted to the
+    # default document) and every existing embedder keeps working
+    # unchanged.  The setters exist because the view change reassigns
+    # ``self.wal`` / ``self.server`` / ``self.channels`` wholesale.
+    @property
+    def server(self) -> CssServer:
+        return self.shards[self.doc_id].server
+
+    @server.setter
+    def server(self, value: CssServer) -> None:
+        self.shards[self.doc_id].server = value
+
+    @property
+    def wal(self) -> ServerWriteAheadLog:
+        return self.shards[self.doc_id].wal
+
+    @wal.setter
+    def wal(self, value: ServerWriteAheadLog) -> None:
+        self.shards[self.doc_id].wal = value
+
+    @property
+    def channels(self) -> Dict[ReplicaId, _ClientChannel]:
+        return self.shards[self.doc_id].channels
+
+    @channels.setter
+    def channels(self, value: Dict[ReplicaId, _ClientChannel]) -> None:
+        self.shards[self.doc_id].channels = value
+
+    def _open_shard(self, doc: str) -> _DocShard:
+        """Return the shard for ``doc``, opening (and recovering) it lazily.
+
+        With a ``wal_dir``, an existing ``<doc>.wal`` is replayed through
+        a real :class:`CssServer` and every logged origin gets a rebuilt
+        channel — the sender positioned at ``last_serial + 1`` and the
+        receiver fast-forwarded past the origin's logged operations, the
+        same restart recovery a single-document server performs.
+        """
+        shard = self.shards.get(doc)
+        if shard is not None:
+            return shard
+        wal_path = None
+        if self.wal_dir is not None:
+            os.makedirs(self.wal_dir, exist_ok=True)
+            wal_path = os.path.join(self.wal_dir, _doc_filename(doc))
+        if wal_path is not None and os.path.exists(wal_path):
+            wal = load_wal(wal_path)
+            counts = wal.origin_counts()
+            for origin in counts:
+                # Belt and braces: any origin present in the log gets a
+                # channel even if its registration record predates the
+                # client-list snapshot.
+                if origin != SERVER_ID and origin not in wal.clients:
+                    wal.clients.append(origin)
+            shard = _DocShard(doc, wal.recover(), wal, wal_path)
+            for name in list(wal.clients):
+                channel = _ClientChannel(name, shard)
+                channel.sender.restore(
+                    {"next_seq": wal.last_serial + 1, "acked": 0}
+                )
+                channel.receiver.fast_forward(counts.get(name, 0))
+                shard.channels[name] = channel
+            self._log(
+                f"document {doc!r}: recovered through serial "
+                f"{wal.last_serial} from {wal_path} "
+                f"({len(shard.channels)} known clients)"
+            )
+        else:
+            initial = (
+                ListDocument.from_string(self.initial_text)
+                if self.initial_text
+                else None
+            )
+            shard = _DocShard(
+                doc,
+                CssServer(SERVER_ID, [], initial),
+                ServerWriteAheadLog(
+                    SERVER_ID,
+                    [],
+                    snapshot_every=self.snapshot_every,
+                    initial_text=self.initial_text,
+                ),
+                wal_path,
+            )
+            shard.rewrite_disk()
+        self.shards[doc] = shard
+        return shard
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -290,13 +466,14 @@ class NetServer:
         if self._asyncio_server is not None:
             self._asyncio_server.close()
             await self._asyncio_server.wait_closed()
-        for channel in self.channels.values():
-            if channel.outbound is not None:
-                channel.outbound.abort()
-                channel.outbound = None
-            if channel.writer is not None:
-                channel.writer.close()
-                channel.writer = None
+        for shard in self.shards.values():
+            for channel in shard.channels.values():
+                if channel.outbound is not None:
+                    channel.outbound.abort()
+                    channel.outbound = None
+                if channel.writer is not None:
+                    channel.writer.close()
+                    channel.writer = None
 
     def _log(self, text: str) -> None:
         self._logger.info("%s", text)
@@ -304,24 +481,28 @@ class NetServer:
     # ------------------------------------------------------------------
     # Roster
     # ------------------------------------------------------------------
-    def ensure_client(self, name: ReplicaId) -> _ClientChannel:
-        channel = self.channels.get(name)
+    def ensure_client(
+        self, name: ReplicaId, shard: Optional[_DocShard] = None
+    ) -> _ClientChannel:
+        if shard is None:
+            shard = self.shards[self.doc_id]
+        channel = shard.channels.get(name)
         if channel is None:
-            channel = _ClientChannel(name)
+            channel = _ClientChannel(name, shard)
             # A late joiner never receives live frames for serials that
             # predate its registration — those arrive via the WAL resync,
             # which stamps seq = serial.  Position the channel sender
             # where the log ends so the next live broadcast continues
             # the same numbering (seq == serial on every s->c channel).
             channel.sender.restore(
-                {"next_seq": self.wal.last_serial + 1, "acked": 0}
+                {"next_seq": shard.wal.last_serial + 1, "acked": 0}
             )
-            self.channels[name] = channel
-            self.server.clients.append(name)
-            self.wal.clients.append(name)
+            shard.channels[name] = channel
+            shard.server.clients.append(name)
+            shard.wal.clients.append(name)
         return channel
 
-    def _retain_floor(self) -> int:
+    def _retain_floor(self, shard: _DocShard) -> int:
         """Lowest consumption cursor across the roster (WAL retain floor).
 
         A replicated primary additionally clamps to the quorum commit
@@ -329,11 +510,11 @@ class NetServer:
         exactly what the next view change re-proposes.
         """
         floor = (
-            min(c.delivered for c in self.channels.values())
-            if self.channels
+            min(c.delivered for c in shard.channels.values())
+            if shard.channels
             else 0
         )
-        if self.replicated:
+        if self.replicated and shard.doc == self.doc_id:
             floor = min(floor, self.committed)
         return floor
 
@@ -349,33 +530,58 @@ class NetServer:
         if self.replicated:
             ack = min(
                 ack,
-                committed_origin_ack(self.wal, self.committed, channel.client),
+                committed_origin_ack(
+                    channel.shard.wal, self.committed, channel.client
+                ),
             )
         return ack
 
     def _update_connection_gauges(self) -> None:
         obs = self._obs
         if obs.enabled:
-            obs.net_connected_clients.set(self._live_connections())
-            obs.net_parked_frames.set(
-                sum(len(c.parked) for c in self.channels.values())
-            )
-            obs.net_unacked_frames.set(
-                sum(c.sender.outstanding for c in self.channels.values())
-            )
-            obs.net_outbound_queue.set(self._queued_frames())
+            parked = 0
+            unacked = 0
+            for doc, shard in self.shards.items():
+                obs.net_connected_clients.labels(doc).set(
+                    sum(
+                        1
+                        for c in shard.channels.values()
+                        if c.writer is not None
+                    )
+                )
+                obs.net_outbound_queue.labels(doc).set(
+                    sum(
+                        c.outbound.depth
+                        for c in shard.channels.values()
+                        if c.outbound is not None
+                    )
+                )
+                parked += sum(len(c.parked) for c in shard.channels.values())
+                unacked += sum(
+                    c.sender.outstanding for c in shard.channels.values()
+                )
+            obs.net_parked_frames.set(parked)
+            obs.net_unacked_frames.set(unacked)
 
     # ------------------------------------------------------------------
     # Overload armor: per-peer outbound queues, eviction, admission
     # ------------------------------------------------------------------
+    def _all_channels(self) -> List[_ClientChannel]:
+        return [
+            c
+            for shard in self.shards.values()
+            for c in shard.channels.values()
+        ]
+
     def _live_connections(self) -> int:
-        return sum(1 for c in self.channels.values() if c.writer is not None)
+        """Live sessions across every shard (the admission bound)."""
+        return sum(1 for c in self._all_channels() if c.writer is not None)
 
     def _queued_frames(self) -> int:
-        """Total outbound backlog across every per-peer queue."""
+        """Total outbound backlog across every per-peer queue, all shards."""
         return sum(
             c.outbound.depth
-            for c in self.channels.values()
+            for c in self._all_channels()
             if c.outbound is not None
         )
 
@@ -398,6 +604,7 @@ class NetServer:
             capacity=self.outbound_queue,
             write_timeout=self.write_timeout,
             label=channel.client,
+            doc=channel.shard.doc,
         )
 
         def on_failure(reason: str) -> None:
@@ -529,6 +736,9 @@ class NetServer:
             self._log(f"invalid client name {name!r}")
             writer.close()
             return
+        # A doc-less hello (every pre-fleet client) lands on the default
+        # document; fleet clients name their document explicitly.
+        doc = str(hello.get("doc") or self.doc_id)
         if self.replicated and (
             not self.is_primary or int(hello.get("epoch", 0)) > self.epoch
         ):
@@ -536,10 +746,25 @@ class NetServer:
             # points the client at the primary of its view and hangs up.
             await self._send_redirect(writer, name)
             return
+        if self.replicated and doc != self.doc_id:
+            # The quorum replicates exactly one document; other docs
+            # belong to the fleet tier's standalone workers.
+            self._log(
+                f"{name}: rejecting hello for {doc!r} — a replicated "
+                f"group serves only {self.doc_id!r}"
+            )
+            writer.close()
+            return
+        try:
+            shard = self._open_shard(doc)
+        except ProtocolError as exc:
+            self._log(f"{name}: cannot open document {doc!r}: {exc}")
+            writer.close()
+            return
         # Admission control: shed excess load *before* registering the
         # client.  A reconnect superseding the same client's live socket
         # is never shed — it replaces a connection, it does not add one.
-        existing = self.channels.get(name)
+        existing = shard.channels.get(name)
         supersedes = existing is not None and existing.writer is not None
         if not supersedes and self._live_connections() >= self.max_connections:
             await self._shed(
@@ -555,13 +780,13 @@ class NetServer:
                 f"outbound backlog above {self.max_queued_frames} frames",
             )
             return
-        channel = self.ensure_client(name)
+        channel = self.ensure_client(name, shard)
         delivered = int(hello.get("delivered", 0))
-        delivered = max(0, min(delivered, self.wal.last_serial))
+        delivered = max(0, min(delivered, shard.wal.last_serial))
         channel.delivered = max(channel.delivered, delivered)
         channel.connects += 1
         sender = self._attach(channel, writer)
-        missed = self.wal.broadcasts_for(self.server, delivered)
+        missed = shard.wal.broadcasts_for(shard.server, delivered)
         if self.replicated:
             # Never re-ship an uncommitted broadcast: a client must not
             # consume an operation a view change could still lose.  The
@@ -571,8 +796,9 @@ class NetServer:
             encode_envelope(
                 "welcome",
                 server=SERVER_ID,
+                doc=doc,
                 ack=self._gated_ack(channel),
-                serial=self.wal.last_serial,
+                serial=shard.wal.last_serial,
                 resync=len(missed),
                 initial=self.initial_text,
                 view=self.view,
@@ -583,6 +809,7 @@ class NetServer:
         self._obs.trace(
             "net.connect",
             client=name,
+            doc=doc,
             connect=channel.connects,
             cursor=delivered,
             resync=len(missed),
@@ -596,6 +823,7 @@ class NetServer:
             self._obs.net_resync_frames.inc(len(missed))
         for broadcast in missed:
             self.resync_frames_sent += 1
+            shard.resync_frames_sent += 1
             delivered_ok = await sender.send_wait(
                 encode_envelope(
                     "data",
@@ -615,10 +843,11 @@ class NetServer:
             while True:
                 try:
                     if self.idle_timeout is None:
-                        frame = await read_frame(reader)
+                        frame = await read_frame(reader, doc=doc)
                     else:
                         frame = await asyncio.wait_for(
-                            read_frame(reader), timeout=self.idle_timeout
+                            read_frame(reader, doc=doc),
+                            timeout=self.idle_timeout,
                         )
                 except asyncio.TimeoutError:
                     # No frame (the heartbeat included) for a whole idle
@@ -684,6 +913,7 @@ class NetServer:
             self._log(f"{channel.client}: ignoring frame type {kind!r}")
             return
         self.frames_received += 1
+        channel.shard.frames_received += 1
         ack = min(int(frame.get("ack", 0)), channel.sender.next_seq - 1)
         channel.sender.ack(ack)
         channel.delivered = max(channel.delivered, ack)
@@ -700,6 +930,7 @@ class NetServer:
                 channel.parked[seq] = payload  # gap: park until it fills
             else:
                 self.duplicates_suppressed += 1
+                channel.shard.duplicates_suppressed += 1
         else:
             channel.parked[seq] = payload
             first = channel.receiver.expected - released
@@ -726,15 +957,26 @@ class NetServer:
         # Everything up to (and including) the per-channel sequence
         # allocation is synchronous: two connection tasks can never
         # interleave here, which is what keeps the s->c sequence number
-        # equal to the serial on every channel.
-        outgoing = self.server.receive(origin.client, payload)
-        serial = self.server.oracle.last_serial
-        self.wal.append(serial, origin.client, payload.operation, epoch=self.epoch)
-        if self.wal.should_compact():
-            self.wal.compact(self.server, retain_after=self._retain_floor())
+        # equal to the serial on every channel — per shard, since each
+        # shard carries its own independent serial counter.
+        shard = origin.shard
+        outgoing = shard.server.receive(origin.client, payload)
+        serial = shard.server.oracle.last_serial
+        shard.wal.append(
+            serial, origin.client, payload.operation, epoch=self.epoch
+        )
+        # Disk before any broadcast or acknowledgement: a SIGKILLed
+        # fleet worker can never have acked an operation its WAL file
+        # does not hold.
+        shard.append_disk()
+        if shard.wal.should_compact():
+            shard.wal.compact(
+                shard.server, retain_after=self._retain_floor(shard)
+            )
+            shard.rewrite_disk()
         frames = []
         for recipient, broadcast in outgoing:
-            channel = self.channels[recipient]
+            channel = shard.channels[recipient]
             seq = channel.sender.send()
             if seq != serial:
                 raise ProtocolError(
@@ -763,7 +1005,7 @@ class NetServer:
         # stalled recipient overflows *its* queue and is evicted; it can
         # never head-of-line-block this loop or any healthy peer.
         for recipient, envelope in frames:
-            self._send_to(self.channels[recipient], envelope)
+            self._send_to(shard.channels[recipient], envelope)
 
     # ------------------------------------------------------------------
     # Replication: primary write path
@@ -1288,7 +1530,7 @@ class NetServer:
         self.server = self.wal.recover()
         self.channels = {}
         for name in list(self.wal.clients):
-            channel = _ClientChannel(name)
+            channel = _ClientChannel(name, self.shards[self.doc_id])
             channel.sender.restore(
                 {"next_seq": self.wal.last_serial + 1, "acked": 0}
             )
@@ -1305,6 +1547,9 @@ class NetServer:
         self, frame: Dict[str, Any], writer: asyncio.StreamWriter
     ) -> None:
         command = frame.get("cmd")
+        # An admin frame may name a document; without one it addresses
+        # the default — which keeps every pre-fleet consumer working.
+        doc = str(frame.get("doc") or self.doc_id)
         replication = {
             "replicated": self.replicated,
             "replica": self.replica_id,
@@ -1314,26 +1559,42 @@ class NetServer:
             "committed": self.committed,
             "view_changes": self.view_changes,
         }
-        if command == "signature":
+        identity = {
+            "doc_id": self.doc_id,
+            "role": "primary" if self.is_primary else "backup",
+            "uptime_seconds": round(time.monotonic() - self.started_at, 6),
+            "docs_hosted": len(self.shards),
+        }
+        shard = self.shards.get(doc)
+        if command in ("signature", "stats") and shard is None:
+            reply = encode_envelope(
+                "admin_reply",
+                error=f"document {doc!r} is not hosted here",
+                docs=sorted(self.shards),
+                **identity,
+            )
+        elif command == "signature":
             # A backup's CssServer is stale by design (only its WAL is
             # fed); rebuild one from the log so signatures are comparable
             # across roles.
             server = (
-                self.server
+                shard.server
                 if not self.replicated or self.is_primary
-                else self.wal.recover()
+                else shard.wal.recover()
             )
             reply = encode_envelope(
                 "admin_reply",
+                doc=doc,
                 signature=document_signature(server.document),
-                serial=self.wal.last_serial,
+                serial=shard.wal.last_serial,
                 document=server.document.as_string(),
                 **replication,
             )
         elif command == "stats":
             reply = encode_envelope(
                 "admin_reply",
-                serial=self.wal.last_serial,
+                doc=doc,
+                serial=shard.wal.last_serial,
                 replication=replication,
                 clients={
                     name: {
@@ -1341,7 +1602,7 @@ class NetServer:
                         "connects": c.connects,
                         "connected": c.writer is not None,
                     }
-                    for name, c in sorted(self.channels.items())
+                    for name, c in sorted(shard.channels.items())
                 },
                 frames_received=self.frames_received,
                 resync_frames_sent=self.resync_frames_sent,
@@ -1356,10 +1617,29 @@ class NetServer:
                     "oversize_rejected": self.oversize_rejected,
                 },
                 wal={
-                    "appends": self.wal.appends,
-                    "compactions": self.wal.compactions,
-                    "records_truncated": self.wal.records_truncated,
+                    "appends": shard.wal.appends,
+                    "compactions": shard.wal.compactions,
+                    "records_truncated": shard.wal.records_truncated,
                 },
+                docs={
+                    name: {
+                        "serial": s.wal.last_serial,
+                        "clients": len(s.channels),
+                        "connected": sum(
+                            1
+                            for c in s.channels.values()
+                            if c.writer is not None
+                        ),
+                        "frames_received": s.frames_received,
+                        "resync_frames_sent": s.resync_frames_sent,
+                        "duplicates_suppressed": s.duplicates_suppressed,
+                        "uptime_seconds": round(
+                            time.monotonic() - s.opened_at, 6
+                        ),
+                    }
+                    for name, s in sorted(self.shards.items())
+                },
+                **identity,
             )
         elif command == "metrics":
             obs = self._obs
@@ -1402,6 +1682,8 @@ async def _serve(
     write_timeout: Optional[float],
     idle_timeout: Optional[float],
     retry_after: float,
+    doc_id: str,
+    wal_dir: Optional[str],
 ) -> int:
     server = NetServer(
         host=host,
@@ -1418,6 +1700,8 @@ async def _serve(
         write_timeout=write_timeout,
         idle_timeout=idle_timeout,
         retry_after=retry_after,
+        doc_id=doc_id,
+        wal_dir=wal_dir,
     )
     await server.start()
     if announce:
@@ -1430,6 +1714,7 @@ async def _serve(
                     "host": server.host,
                     "port": server.port,
                     "replica": server.replica_id,
+                    "docs": sorted(server.shards),
                 }
             ),
             flush=True,
@@ -1454,6 +1739,8 @@ def run_server(
     write_timeout: Optional[float] = WRITE_TIMEOUT,
     idle_timeout: Optional[float] = 60.0,
     retry_after: float = 1.0,
+    doc_id: str = DEFAULT_DOC,
+    wal_dir: Optional[str] = None,
 ) -> int:
     """Blocking entry point for ``repro serve``."""
     try:
@@ -1474,6 +1761,8 @@ def run_server(
                 write_timeout,
                 idle_timeout,
                 retry_after,
+                doc_id,
+                wal_dir,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive only

@@ -79,8 +79,14 @@ class FrameTooLarge(WireError):
         self.length = length
 
 
-async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
+async def read_frame(
+    reader: asyncio.StreamReader, doc: str = ""
+) -> Optional[Dict[str, Any]]:
     """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    ``doc`` labels the frame counter with the document this stream
+    serves (``""`` for streams with no document context: handshakes,
+    admin, replication).
 
     Raises :class:`FrameTooLarge` on an oversized length prefix (the
     body is *not* consumed — callers may :func:`drain_payload` it and
@@ -100,7 +106,7 @@ async def read_frame(reader: asyncio.StreamReader) -> Optional[Dict[str, Any]]:
         raise WireError("connection closed mid-frame")
     obs = get_obs()
     if obs.enabled:
-        obs.net_frames_in.inc()
+        obs.net_frames_in.labels(doc).inc()
         obs.net_bytes_in.inc(_HEADER.size + length)
     return decode_envelope(body)
 
@@ -138,6 +144,7 @@ async def write_frame(
     writer: asyncio.StreamWriter,
     envelope: Dict[str, Any],
     timeout: Optional[float] = None,
+    doc: str = "",
 ) -> None:
     """Serialise and send one envelope, waiting for the buffer to drain.
 
@@ -146,7 +153,8 @@ async def write_frame(
     a wedged (zero-window) peer surfaces as an error instead of an
     eternal await.  ``None`` waits forever (the pre-deadline behaviour,
     still appropriate for client-side writes where the event loop has
-    nothing better to do).
+    nothing better to do).  ``doc`` labels the frame counter with the
+    document this stream serves (``""`` = no document context).
     """
     body = json.dumps(envelope, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_FRAME:
@@ -156,7 +164,7 @@ async def write_frame(
         )
     obs = get_obs()
     if obs.enabled:
-        obs.net_frames_out.inc()
+        obs.net_frames_out.labels(doc).inc()
         obs.net_bytes_out.inc(_HEADER.size + len(body))
     writer.write(_HEADER.pack(len(body)) + body)
     if timeout is None:
@@ -205,6 +213,7 @@ class FrameSender:
         write_timeout: Optional[float] = WRITE_TIMEOUT,
         on_failure: Optional[Callable[[str], None]] = None,
         label: str = "",
+        doc: str = "",
     ) -> None:
         if capacity < 1:
             raise WireError(f"outbound queue capacity {capacity} must be >= 1")
@@ -212,6 +221,8 @@ class FrameSender:
         self.capacity = capacity
         self.write_timeout = write_timeout
         self.label = label
+        #: document the peer's session serves; labels the frame counters
+        self.doc = doc
         self.failure: Optional[str] = None
         self.closed = False
         self.frames_sent = 0
@@ -272,7 +283,10 @@ class FrameSender:
                     await self._wakeup.wait()
                 envelope = self._queue.popleft()
                 await write_frame(
-                    self.writer, envelope, timeout=self.write_timeout
+                    self.writer,
+                    envelope,
+                    timeout=self.write_timeout,
+                    doc=self.doc,
                 )
                 self.frames_sent += 1
                 if len(self._queue) < self.capacity:

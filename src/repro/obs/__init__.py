@@ -30,6 +30,7 @@ from repro.obs.handle import (
     CANONICAL_COUNTERS,
     CANONICAL_GAUGES,
     CANONICAL_HISTOGRAMS,
+    DOC_LABELLED,
     FAST_SECONDS_BUCKETS,
     NOOP_INSTRUMENT,
     NoopObs,
@@ -44,6 +45,7 @@ from repro.obs.registry import (
     ObservabilityError,
     merge_snapshots,
     render_snapshot,
+    snapshot_total,
     snapshot_value,
 )
 from repro.obs.trace import DEFAULT_CAPACITY, TraceRing
@@ -65,12 +67,14 @@ __all__ = [
     "CANONICAL_COUNTERS",
     "CANONICAL_GAUGES",
     "CANONICAL_HISTOGRAMS",
+    "DOC_LABELLED",
     "get_obs",
     "enable",
     "disable",
     "is_enabled",
     "merge_snapshots",
     "render_snapshot",
+    "snapshot_total",
     "snapshot_value",
 ]
 

@@ -166,6 +166,26 @@ CANONICAL_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
         "repro_net_oversize_rejected_total",
         "Oversized frames rejected mid-session with an error envelope",
     ),
+    (
+        "fleet_redirects",
+        "repro_fleet_redirects_total",
+        "Client hellos answered by the fleet router with a redirect",
+    ),
+    (
+        "fleet_registrations",
+        "repro_fleet_registrations_total",
+        "Worker registrations accepted by the fleet router",
+    ),
+    (
+        "fleet_expirations",
+        "repro_fleet_expirations_total",
+        "Worker leases expired by the fleet router's failure detector",
+    ),
+    (
+        "fleet_replacements",
+        "repro_fleet_replacements_total",
+        "Documents re-placed onto a surviving worker after a lease expiry",
+    ),
 )
 
 CANONICAL_GAUGES: Tuple[Tuple[str, str, str], ...] = (
@@ -208,6 +228,11 @@ CANONICAL_GAUGES: Tuple[Tuple[str, str, str], ...] = (
         "net_outbound_queue",
         "repro_net_outbound_queue_depth",
         "Outbound frames parked in per-peer bounded send queues",
+    ),
+    (
+        "fleet_live_workers",
+        "repro_fleet_live_workers",
+        "Workers holding a current lease with the fleet router",
     ),
 )
 
@@ -252,6 +277,21 @@ CANONICAL_HISTOGRAMS: Tuple[Tuple[str, str, str, Tuple[float, ...]], ...] = (
 )
 
 
+#: Canonical instruments that carry a ``doc`` label: the wire-layer
+#: series a multi-document worker splits per document.  Call sites MUST
+#: address these through ``.labels(doc)`` — a labelled parent's own
+#: ``inc()``/``set()`` never reaches the exposition.  The label value is
+#: ``""`` for traffic with no document context (admin, replication).
+DOC_LABELLED = frozenset(
+    {
+        "net_frames_in",
+        "net_frames_out",
+        "net_connected_clients",
+        "net_outbound_queue",
+    }
+)
+
+
 class Obs:
     """The live observability handle: registry + canonical set + traces."""
 
@@ -261,9 +301,19 @@ class Obs:
         self.registry = MetricsRegistry()
         self.trace_ring = TraceRing(trace_capacity)
         for attr, name, help_text in CANONICAL_COUNTERS:
-            setattr(self, attr, self.registry.counter(name, help_text))
+            labelnames = ("doc",) if attr in DOC_LABELLED else ()
+            setattr(
+                self,
+                attr,
+                self.registry.counter(name, help_text, labelnames=labelnames),
+            )
         for attr, name, help_text in CANONICAL_GAUGES:
-            setattr(self, attr, self.registry.gauge(name, help_text))
+            labelnames = ("doc",) if attr in DOC_LABELLED else ()
+            setattr(
+                self,
+                attr,
+                self.registry.gauge(name, help_text, labelnames=labelnames),
+            )
         for attr, name, help_text, buckets in CANONICAL_HISTOGRAMS:
             setattr(
                 self,

@@ -491,3 +491,20 @@ def snapshot_value(
                     return float(sample["count"])
                 return float(sample["value"])
     return None
+
+
+def snapshot_total(snapshot: Dict[str, Any], name: str) -> Optional[float]:
+    """Sum every sample of one metric across all its label values.
+
+    The label-blind companion to :func:`snapshot_value`: a labelled
+    series (``repro_net_frames_received_total{doc="..."}``) has no
+    unlabelled sample, so a report that wants "frames, total" sums the
+    children.  Histograms contribute their observation counts.  Returns
+    ``None`` when the metric is absent from the snapshot entirely.
+    """
+    for metric in snapshot.get("metrics", []):
+        if metric["name"] != name:
+            continue
+        key = "count" if metric["type"] == "histogram" else "value"
+        return float(sum(s[key] for s in metric["samples"]))
+    return None
