@@ -108,6 +108,14 @@ def test_chaos_overhead_artifact(benchmark):
             }
             for row in rows
         ],
+        seed=6,
+        config={
+            "clients": 3,
+            "operations": 30,
+            "drop_rates": DROP_RATES,
+            "duplicate": 0.1,
+            "delay": 0.2,
+        },
     )
     # Protocol-level delivery is identical at every drop rate: the session
     # layer absorbs the loss entirely.

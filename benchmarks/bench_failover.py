@@ -100,7 +100,17 @@ def test_failover_artifact(benchmark):
         f"{result['failover_sim_seconds_max']:>8.3f} "
         f"{result['sweep_ops_per_sec']:>9.1f}"
     )
-    path = write_json("failover", result)
+    path = write_json(
+        "failover",
+        result,
+        seed=SEED,
+        config={
+            "plans": PLANS,
+            "replicas": REPLICAS,
+            "primary_kills_per_plan": PRIMARY_KILLS,
+            "operations_per_plan": OPERATIONS,
+        },
+    )
     print(f"artifact: {path}")
     if os.environ.get("PERF_FLOOR_ENFORCE") == "1":
         with open(FLOOR_PATH) as handle:

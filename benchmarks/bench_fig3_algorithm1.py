@@ -66,6 +66,8 @@ def test_fig3_artifact(benchmark):
             "ot_count": space.ot_count,
             "straggler_integration": curve,
         },
+        seed=None,  # the straggler construction is deterministic
+        config={"path_lengths": [16, 64, 256, 1024]},
     )
 
 

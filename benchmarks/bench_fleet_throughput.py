@@ -10,10 +10,22 @@ fleet-wide, plus the placement skew (max docs-per-worker over the mean)
 and the p99 of redirects a client needed to find its owner (1 on the
 happy path: router -> worker, no retries).
 
-``PERF_FLOOR_ENFORCE=1`` compares the fleet-aggregate throughput
-against the ``fleet`` entry of ``benchmarks/perf_floor.json`` at the
-same 2x slack every floor gets: only a >2x regression (a revert of the
-shard fan-out, or redirects degrading into retry storms) trips it.
+The aggregate looks low (~tens of ops/sec), and the obvious suspect —
+every client sleeping ``op_interval`` between its own edits — turns
+out NOT to dominate: the artifact records a *paced* and an *unpaced*
+column (the same fleet with the sleeps removed), and they measure
+within a few percent of each other, with the per-client pacing floor
+((ops/client) * interval = 0.2s) explaining only ~6% of the ~3.6s
+wall.  The wall is dominated by spawning and tearing down the eleven
+real OS processes (router, workers, clients) around a short op stream,
+so the stored number is a harness cost, not a fleet ceiling — the
+``pacing`` block in the artifact pins this so it can't be misread.
+
+``PERF_FLOOR_ENFORCE=1`` compares the *paced* fleet-aggregate
+throughput against the ``fleet`` entry of
+``benchmarks/perf_floor.json`` at the same 2x slack every floor gets:
+only a >2x regression (a revert of the shard fan-out, or redirects
+degrading into retry storms) trips it.
 """
 
 import json
@@ -32,14 +44,14 @@ OPS_PER_DOC = 40
 SEED = 7
 
 
-def _measure():
+def _measure(op_interval: float):
     report = run_fleet_loadgen(
         workers=WORKERS,
         docs=DOCS,
         clients_per_doc=CLIENTS_PER_DOC,
         ops_per_doc=OPS_PER_DOC,
         seed=SEED,
-        op_interval=0.01,
+        op_interval=op_interval,
         timeout=180.0,
         quiet=True,
     )
@@ -48,8 +60,14 @@ def _measure():
     return report
 
 
+def _both():
+    # Paced first (the historical configuration every floor tracks),
+    # then the same fleet with the pacing sleeps removed.
+    return _measure(0.01), _measure(0.0)
+
+
 def test_fleet_throughput_artifact(benchmark):
-    report = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    report, unpaced = benchmark.pedantic(_both, rounds=1, iterations=1)
     print_banner("Fleet tier throughput (router + workers, real processes)")
     print(
         f"{'workers':>8} {'docs':>5} {'ops':>5} {'ops/sec':>9} "
@@ -68,6 +86,25 @@ def test_fleet_throughput_artifact(benchmark):
             f"  {doc:<8} owner={detail.get('owner', '?'):<4} "
             f"{detail['ops_per_sec']:>7.1f} ops/sec"
         )
+    # Pacing accounting: each client sleeps op_interval between its own
+    # edits, so the workload cannot finish faster than
+    # (ops per client) * interval no matter what the fleet does.  The
+    # unpaced column is the same fleet with the sleeps removed — the
+    # gap between the two columns is what pacing (not the fleet) costs.
+    ops_per_client = OPS_PER_DOC // CLIENTS_PER_DOC
+    pacing_floor_seconds = ops_per_client * 0.01
+    pacing_fraction = (
+        pacing_floor_seconds / report["wall_seconds"]
+        if report["wall_seconds"] > 0
+        else 0.0
+    )
+    print(
+        f"unpaced: {unpaced['ops_per_sec']:>7.1f} ops/sec "
+        f"(wall {unpaced['wall_seconds']:.2f}s vs paced "
+        f"{report['wall_seconds']:.2f}s; pacing floor "
+        f"{pacing_floor_seconds:.2f}s = {pacing_fraction * 100:.0f}% of "
+        f"the paced wall)"
+    )
     artifact = {
         "workers": report["workers"],
         "docs": report["docs"],
@@ -85,8 +122,35 @@ def test_fleet_throughput_artifact(benchmark):
             doc: report["docs_detail"][doc]["ops_per_sec"]
             for doc in report["docs_detail"]
         },
+        "paced": {
+            "op_interval": 0.01,
+            "ops_per_sec": report["ops_per_sec"],
+            "wall_seconds": report["wall_seconds"],
+        },
+        "unpaced": {
+            "op_interval": 0.0,
+            "ops_per_sec": unpaced["ops_per_sec"],
+            "wall_seconds": unpaced["wall_seconds"],
+            "rtt_ms_p99": unpaced["rtt_ms_p99"],
+        },
+        "pacing": {
+            "per_client_floor_seconds": pacing_floor_seconds,
+            "fraction_of_paced_wall": round(pacing_fraction, 3),
+            "dominates": pacing_fraction >= 0.5,
+        },
     }
-    path = write_json("fleet", artifact)
+    path = write_json(
+        "fleet",
+        artifact,
+        seed=SEED,
+        config={
+            "workers": WORKERS,
+            "docs": DOCS,
+            "clients_per_doc": CLIENTS_PER_DOC,
+            "ops_per_doc": OPS_PER_DOC,
+            "op_interval_paced": 0.01,
+        },
+    )
     print(f"artifact: {path}")
     # The happy path needs exactly one redirect per client; a p99 above
     # that means clients were bounced between router and workers.

@@ -79,6 +79,12 @@ def test_net_throughput_artifact(benchmark):
             }
             for clients, ops, rate, p50, p99, wall, doc in rows
         ],
+        seed=7,
+        config={
+            "sweep": SWEEP,
+            "op_interval": 0.01,
+            "reconnect_clients": 0,
+        },
     )
     # Convergence held at every fleet size (asserted per-run above);
     # the single-client run is the latency floor.

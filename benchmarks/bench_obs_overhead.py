@@ -115,7 +115,17 @@ def test_obs_disabled_overhead_guard(benchmark):
         f"({row['worst_case_fraction'] * 100:.3f}% of the run, "
         f"x{SAFETY_FACTOR:.0f} safety)"
     )
-    write_json("obs_overhead", row)
+    write_json(
+        "obs_overhead",
+        row,
+        seed=11,
+        config={
+            "clients": 3,
+            "operations": 40,
+            "budget_fraction": BUDGET,
+            "safety_factor": SAFETY_FACTOR,
+        },
+    )
     # The run must actually have exercised the instruments...
     assert row["instrument_events"] > 100
     # ...and the disabled fast path must stay inside the 5% budget even

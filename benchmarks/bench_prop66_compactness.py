@@ -43,6 +43,8 @@ def test_prop66_artifact(benchmark):
             "replicas_identical": not failures,
             "convergence_ok": report.convergence.ok,
         },
+        seed=4,
+        config={"clients": 3, "operations": 30},
     )
     assert not failures and report.convergence.ok
 

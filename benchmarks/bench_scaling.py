@@ -109,6 +109,12 @@ def test_scaling_grid_artifact(benchmark):
                 "speedup_vs_reference": round(speedup, 2),
             },
         },
+        seed=GRID_SEED,
+        config={
+            "clients": GRID_CLIENTS,
+            "operations": list(GRID_OPERATIONS),
+            "protocols": ["css", "css-ref"],
+        },
     )
 
     if os.environ.get("PERF_FLOOR_ENFORCE") == "1":

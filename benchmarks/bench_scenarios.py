@@ -1,0 +1,112 @@
+"""E23 — the scenario engine: compiled programs through both bindings.
+
+Runs library scenarios under the simulated event loop (deterministic,
+wall-clock fast) and one over the real TCP runtime, and persists their
+convergence verdicts plus latency percentiles as the
+``BENCH_scenarios.json`` artifact.  The sim column measures how fast
+the engine executes a compiled program (compile + event loop + spec
+checks excluded — pure schedule execution), which is what the
+``scenarios`` entry of ``perf_floor.json`` guards; the wire column's
+percentiles are real round-trip times through sockets and the WAL.
+
+``PERF_FLOOR_ENFORCE=1`` compares the sim ops/sec of the floor's
+scenario against ``floor_ops_per_sec`` at the usual 2x slack.
+"""
+
+import json
+import os
+
+from repro.scenarios import get_scenario, run_sim_scenario, run_wire_scenario
+
+from benchmarks.conftest import print_banner, write_json
+
+FLOOR_PATH = os.path.join(os.path.dirname(__file__), "perf_floor.json")
+
+SIM_SCENARIOS = ("typing-storm", "paste-bomb", "offline-churn")
+WIRE_SCENARIO = "flash-crowd"
+SEED = 7
+TIME_SCALE = 0.15
+
+
+def _sim_row(name: str):
+    outcome = run_sim_scenario(get_scenario(name), SEED)
+    run = outcome.run
+    assert run.converged, f"{name} diverged under sim"
+    return {
+        "scenario": name,
+        "mode": "sim",
+        "ops": run.total_ops,
+        "wall_seconds": round(run.wall_seconds, 4),
+        "ops_per_sec": round(run.total_ops / run.wall_seconds, 1)
+        if run.wall_seconds > 0
+        else 0.0,
+        "latency_kind": run.latency_kind,
+        "latency_ms": run.latency_ms,
+    }
+
+
+def _wire_row(name: str):
+    run = run_wire_scenario(
+        get_scenario(name), SEED, time_scale=TIME_SCALE, timeout=60.0
+    )
+    assert run.converged, f"{name} diverged over the wire"
+    return {
+        "scenario": name,
+        "mode": "wire",
+        "time_scale": TIME_SCALE,
+        "ops": run.total_ops,
+        "wall_seconds": round(run.wall_seconds, 4),
+        "ops_per_sec": round(run.total_ops / run.wall_seconds, 1)
+        if run.wall_seconds > 0
+        else 0.0,
+        "latency_kind": run.latency_kind,
+        "latency_ms": run.latency_ms,
+        "reconnects": run.extra["reconnects"],
+    }
+
+
+def _measure():
+    rows = [_sim_row(name) for name in SIM_SCENARIOS]
+    rows.append(_wire_row(WIRE_SCENARIO))
+    return rows
+
+
+def test_scenarios_artifact(benchmark):
+    rows = benchmark.pedantic(_measure, rounds=1, iterations=1)
+    print_banner("Scenario engine: library scenarios under both bindings")
+    print(
+        f"{'scenario':<16} {'mode':<5} {'ops':>5} {'ops/sec':>9} "
+        f"{'p50':>8} {'p90':>8} {'p99':>8}"
+    )
+    for row in rows:
+        latency = row["latency_ms"]
+        print(
+            f"{row['scenario']:<16} {row['mode']:<5} {row['ops']:>5} "
+            f"{row['ops_per_sec']:>9.1f} {latency['p50']:>6.1f}ms "
+            f"{latency['p90']:>6.1f}ms {latency['p99']:>6.1f}ms"
+        )
+    path = write_json(
+        "scenarios",
+        rows,
+        seed=SEED,
+        config={
+            "sim_scenarios": list(SIM_SCENARIOS),
+            "wire_scenario": WIRE_SCENARIO,
+            "time_scale": TIME_SCALE,
+        },
+    )
+    print(f"artifact: {path}")
+    if os.environ.get("PERF_FLOOR_ENFORCE") == "1":
+        with open(FLOOR_PATH) as handle:
+            floor = json.load(handle)["scenarios"]
+        guarded = next(
+            row
+            for row in rows
+            if row["mode"] == "sim" and row["scenario"] == floor["scenario"]
+        )
+        minimum = floor["floor_ops_per_sec"] / 2
+        assert guarded["ops_per_sec"] >= minimum, (
+            f"scenario sim throughput regressed: "
+            f"{guarded['ops_per_sec']:.1f} ops/sec < {minimum:.1f} "
+            f"(floor {floor['floor_ops_per_sec']:.1f})"
+        )

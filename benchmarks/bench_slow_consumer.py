@@ -120,7 +120,17 @@ def test_slow_consumer_artifact(benchmark):
         f"{result['slowdown']:>9.2f} "
         f"{result['evictions']:>10}"
     )
-    path = write_json("slow_consumer", result)
+    path = write_json(
+        "slow_consumer",
+        result,
+        seed=SEED,
+        config={
+            "operations": OPERATIONS,
+            "value_bytes": VALUE_BYTES,
+            "outbound_queue": OUTBOUND_QUEUE,
+            "write_timeout": WRITE_TIMEOUT,
+        },
+    )
     print(f"artifact: {path}")
     if os.environ.get("PERF_FLOOR_ENFORCE") == "1":
         with open(FLOOR_PATH) as handle:

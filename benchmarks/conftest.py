@@ -39,13 +39,24 @@ def print_banner(title: str) -> None:
     print("=" * 72)
 
 
-def write_json(name: str, payload) -> str:
+def write_json(name: str, payload, *, seed=None, config=None) -> str:
     """Persist one benchmark artifact as ``BENCH_<name>.json``.
 
     The file lands in ``$BENCH_ARTIFACT_DIR`` (created if missing) or
     the current directory, so CI can upload the machine-readable numbers
     next to pytest-benchmark's own output.  Returns the path written.
+
+    Every artifact embeds a ``provenance`` block — the ``seed`` and the
+    knob ``config`` dict that generated it — so a stored number can be
+    regenerated without reverse-engineering the benchmark source.  Dict
+    payloads grow a ``provenance`` key; list payloads are wrapped as
+    ``{"provenance": ..., "rows": [...]}``.
     """
+    provenance = {"seed": seed, "config": dict(config or {})}
+    if isinstance(payload, dict):
+        payload = {**payload, "provenance": provenance}
+    else:
+        payload = {"provenance": provenance, "rows": payload}
     directory = os.environ.get("BENCH_ARTIFACT_DIR", ".")
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"BENCH_{name}.json")

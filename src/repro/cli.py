@@ -490,6 +490,7 @@ def cmd_connect(args) -> int:
             max_reconnect_attempts=args.max_reconnect_attempts,
             doc=args.doc,
             max_connect_attempts=args.max_connect_attempts,
+            duration=args.duration,
         )
     )
     if args.json:
@@ -506,6 +507,129 @@ def cmd_connect(args) -> int:
         print(f"rtt:        p50={percentile(rtts, 0.5):.2f}ms "
               f"p99={percentile(rtts, 0.99):.2f}ms over {len(rtts)} echoes")
     return 0 if report["converged"] else 1
+
+
+def _load_scenario(args):
+    """Resolve a scenario from --file (JSON) or --name (the library)."""
+    import json as json_module
+
+    from repro.scenarios import Scenario, get_scenario
+
+    if getattr(args, "file", None):
+        with open(args.file, encoding="utf-8") as handle:
+            return Scenario.from_obj(json_module.load(handle))
+    if not getattr(args, "name", None):
+        print("error: pass --name (library scenario) or --file", flush=True)
+        raise SystemExit(2)
+    return get_scenario(args.name)
+
+
+def _execute_scenario(scenario, mode: str, args):
+    if mode == "sim":
+        from repro.scenarios import run_sim_scenario
+
+        return run_sim_scenario(
+            scenario, args.seed, protocol=args.protocol
+        ).run
+    from repro.scenarios import run_wire_scenario
+
+    return run_wire_scenario(
+        scenario,
+        args.seed,
+        time_scale=args.time_scale,
+        timeout=args.timeout,
+    )
+
+
+def cmd_scenario_list(args) -> int:
+    import json as json_module
+
+    from repro.scenarios import LIBRARY, compile_scenario
+
+    rows = []
+    for name, scenario in LIBRARY.items():
+        program = compile_scenario(scenario, 0)
+        rows.append(
+            {
+                "name": name,
+                "clients": len(scenario.clients),
+                "phases": [phase.name for phase in scenario.phases],
+                "ops": program.total_ops,
+                "span_seconds": round(program.duration, 2),
+                "chaos": scenario.chaos is not None,
+                "description": scenario.description,
+            }
+        )
+    if args.json:
+        print(json_module.dumps(rows, indent=2, sort_keys=True))
+        return 0
+    print(f"{'name':<18} {'clients':>7} {'ops':>5} {'span':>7}  description")
+    for row in rows:
+        chaos = " [chaos]" if row["chaos"] else ""
+        print(
+            f"{row['name']:<18} {row['clients']:>7} {row['ops']:>5} "
+            f"{row['span_seconds']:>6.1f}s  {row['description']}{chaos}"
+        )
+    return 0
+
+
+def cmd_scenario_run(args) -> int:
+    import json as json_module
+
+    from repro.scenarios import render_timeline
+
+    scenario = _load_scenario(args)
+    modes = ["sim", "wire"] if args.mode == "both" else [args.mode]
+    runs = [_execute_scenario(scenario, mode, args) for mode in modes]
+    if args.out:
+        payload = {"runs": [run.to_obj() for run in runs]}
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json_module.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"run record written: {args.out}")
+    if args.json:
+        print(
+            json_module.dumps(
+                [run.to_obj() for run in runs], sort_keys=True
+            )
+        )
+    else:
+        for run in runs:
+            print(render_timeline(run, width=args.width))
+            print()
+    return 0 if all(run.converged for run in runs) else 1
+
+
+def cmd_scenario_render(args) -> int:
+    import json as json_module
+
+    from repro.scenarios import ScenarioRun, render_html, render_timeline
+
+    if args.run:
+        with open(args.run, encoding="utf-8") as handle:
+            payload = json_module.load(handle)
+        objs = (
+            payload["runs"]
+            if isinstance(payload, dict) and "runs" in payload
+            else [payload]
+        )
+        runs = [ScenarioRun.from_obj(obj) for obj in objs]
+    else:
+        scenario = _load_scenario(args)
+        mode = args.mode if args.mode != "both" else "sim"
+        runs = [_execute_scenario(scenario, mode, args)]
+    for run in runs:
+        print(render_timeline(run, width=args.width))
+        print()
+    if args.html:
+        for index, run in enumerate(runs):
+            path = (
+                args.html if len(runs) == 1 else f"{args.html}.{index}.html"
+            )
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(render_html(run))
+            print(f"html timeline written: {path}")
+    return 0
 
 
 def cmd_loadgen(args) -> int:
@@ -1097,6 +1221,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--ops", type=int, default=0, help="seeded edits to generate"
     )
     connect.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="stop generating after this many seconds of wall clock; "
+        "with --ops 0 the deadline alone bounds the run, with --ops N "
+        "the run stops at whichever limit is hit first",
+    )
+    connect.add_argument(
         "--expect-total",
         type=int,
         default=None,
@@ -1497,6 +1629,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="print one machine-parseable REPRO-CHAOSPROXY line on startup",
     )
     chaosproxy.set_defaults(handler=cmd_chaosproxy)
+
+    scenario = commands.add_parser(
+        "scenario",
+        help="declarative editing workloads: list the library, run one "
+        "under the sim or the wire runtime, render its timeline",
+    )
+    scenario_commands = scenario.add_subparsers(
+        dest="scenario_command", required=True
+    )
+
+    scenario_list = scenario_commands.add_parser(
+        "list", help="show the built-in scenario library"
+    )
+    scenario_list.add_argument(
+        "--json", action="store_true", help="emit the registry as JSON"
+    )
+    scenario_list.set_defaults(handler=cmd_scenario_list)
+
+    def _scenario_exec_args(sub, modes=("sim", "wire", "both")) -> None:
+        sub.add_argument("--name", default=None, help="library scenario name")
+        sub.add_argument(
+            "--file",
+            default=None,
+            help="scenario JSON file (the Scenario.to_obj shape)",
+        )
+        sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument(
+            "--mode",
+            choices=modes,
+            default="sim",
+            help="execution binding (sim: in-process event loop; wire: "
+            "real TCP server + clients)",
+        )
+        sub.add_argument(
+            "--protocol", default="css", help="sim-mode protocol"
+        )
+        sub.add_argument(
+            "--time-scale",
+            type=float,
+            default=1.0,
+            help="wire-mode wall-clock compression: 0.25 runs a "
+            "4-second scenario in about one second",
+        )
+        sub.add_argument("--timeout", type=float, default=60.0)
+        sub.add_argument(
+            "--width", type=int, default=72, help="timeline columns"
+        )
+
+    scenario_run = scenario_commands.add_parser(
+        "run", help="compile and execute one scenario, print its timeline"
+    )
+    _scenario_exec_args(scenario_run)
+    scenario_run.add_argument(
+        "--out",
+        default=None,
+        help="write the run record(s) as JSON for `scenario render --run`",
+    )
+    scenario_run.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the run record(s) as one JSON line instead of timelines",
+    )
+    scenario_run.set_defaults(handler=cmd_scenario_run)
+
+    scenario_render = scenario_commands.add_parser(
+        "render",
+        help="render a recorded run (from `scenario run --out`) or "
+        "run-and-render in one step",
+    )
+    scenario_render.add_argument(
+        "--run",
+        default=None,
+        help="run-record JSON written by `scenario run --out`",
+    )
+    _scenario_exec_args(scenario_render, modes=("sim", "wire"))
+    scenario_render.add_argument(
+        "--html",
+        default=None,
+        help="also write a self-contained HTML timeline to this path",
+    )
+    scenario_render.set_defaults(handler=cmd_scenario_render)
 
     return parser
 

@@ -42,7 +42,7 @@ import string
 import subprocess
 import sys
 import time
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.model.schedule import OpSpec
 from repro.net.client import NetClient
@@ -156,6 +156,7 @@ async def run_worker(
     connect_timeout: float = 20.0,
     doc: str = "",
     max_connect_attempts: int = 8,
+    duration: Optional[float] = None,
 ) -> Dict[str, Any]:
     """Drive one client: ``ops`` seeded edits, then wait for convergence.
 
@@ -169,6 +170,13 @@ async def run_worker(
     ``roster`` (a ``host:port,...`` string) enables failover: on
     connection loss the client walks the replica roster and follows
     redirects until it finds the current primary.
+
+    ``duration`` adds a deadline-based stop: the edit loop ends once
+    that many seconds have elapsed, whatever the op count says — the
+    open-loop mode scenario phases (and standalone soak runs) need.
+    With ``duration`` set, ``ops`` becomes an optional cap (``0`` =
+    unlimited); the report's ``ops`` field is always the count actually
+    generated.
     """
     rng = random.Random(seed)
     client = NetClient(
@@ -182,9 +190,15 @@ async def run_worker(
         doc=doc,
     )
     started = time.perf_counter()
+    deadline = None if duration is None else started + duration
     connect_retries = await _connect_with_retry(client, connect_timeout)
     resync_on_reconnect = 0
-    for index in range(ops):
+    index = 0
+    while True:
+        if deadline is not None and time.perf_counter() >= deadline:
+            break
+        if index >= ops and (deadline is None or ops > 0):
+            break
         length = len(client.css.document)
         inserting = length == 0 or rng.random() < insert_ratio
         if inserting:
@@ -201,12 +215,13 @@ async def run_worker(
             )
             resync_on_reconnect += client.resync_frames - before
         await asyncio.sleep(op_interval)
+        index += 1
     converged = await client.wait_converged(expect_total, timeout=timeout)
-    duration = time.perf_counter() - started
+    duration_wall = time.perf_counter() - started
     report = {
         "client": client_id,
         "doc": doc,
-        "ops": ops,
+        "ops": index,
         "converged": converged,
         "signature": client.signature(),
         "document_length": len(client.css.document),
@@ -219,8 +234,99 @@ async def run_worker(
         "view": client.view,
         "epoch": client.epoch,
         "redirects": client.redirects,
-        "duration": duration,
+        "duration": duration_wall,
         "rtt_ms": [round(r * 1000.0, 4) for r in client.rtts],
+        "metrics": get_obs().snapshot(),
+    }
+    await client.close()
+    return report
+
+
+async def run_scenario_worker(
+    host: str,
+    port: int,
+    client_id: str,
+    events: "Sequence[Any]",
+    expect_total: int,
+    *,
+    initial_length: int = 0,
+    started_at: Optional[float] = None,
+    time_scale: float = 1.0,
+    timeout: float = 60.0,
+    connect_timeout: float = 20.0,
+    reconnect_seed: int = 0,
+    doc: str = "",
+) -> Dict[str, Any]:
+    """Drive one client through a compiled scenario program.
+
+    ``events`` is one client's slice of a
+    :class:`repro.scenarios.compile.ScenarioProgram` — timed ``join`` /
+    ``op`` / ``offline`` / ``online`` events.  Each fires at
+    ``started_at + event.at * time_scale`` on the wall clock (pass one
+    shared ``started_at`` so all workers share a timeline); ``op``
+    intents are resolved against the live local document exactly as the
+    sim binding resolves them, ``offline`` severs the TCP connection
+    abruptly (edits keep buffering locally), and ``online``/``join``
+    (re)connect — resyncing missed broadcasts from the server's WAL and
+    retransmitting the client's own unacknowledged frames.
+
+    Returns the same report shape as :func:`run_worker`, plus a
+    ``lane`` list of executed events (in scenario time) for the
+    timeline renderer.
+    """
+    # Imported lazily: repro.scenarios imports this module's sibling
+    # wire binding, so a top-level import would be circular.
+    from repro.scenarios.compile import resolve_intent
+
+    client = NetClient(client_id, host, port, reconnect_seed=reconnect_seed, doc=doc)
+    cursor = initial_length
+    lane: List[Dict[str, Any]] = []
+    connect_retries = 0
+    resync_on_reconnect = 0
+    generated = 0
+    started = time.perf_counter()
+    t0 = started_at if started_at is not None else time.monotonic()
+    for event in events:
+        delay = (t0 + event.at * time_scale) - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        if event.kind in ("join", "online"):
+            before = client.resync_frames
+            connect_retries += await _connect_with_retry(
+                client, connect_timeout
+            )
+            if event.kind == "online":
+                resync_on_reconnect += client.resync_frames - before
+        elif event.kind == "offline":
+            await client.drop()
+        elif event.kind == "op":
+            spec, cursor = resolve_intent(
+                event.intent, cursor, len(client.css.document)
+            )
+            await client.generate(spec)
+            generated += 1
+        else:
+            raise ValueError(f"unknown scenario event kind {event.kind!r}")
+        lane.append(
+            {"at": event.at, "kind": event.kind, "phase": event.phase}
+        )
+    converged = await client.wait_converged(expect_total, timeout=timeout)
+    report = {
+        "client": client_id,
+        "doc": doc,
+        "ops": generated,
+        "converged": converged,
+        "signature": client.signature(),
+        "document_length": len(client.css.document),
+        "delivered": client.delivered,
+        "connects": client.connects,
+        "reconnects": max(0, client.connects - 1),
+        "resync_frames": client.resync_frames,
+        "resync_on_reconnect": resync_on_reconnect,
+        "connect_retries": connect_retries,
+        "duration": time.perf_counter() - started,
+        "rtt_ms": [round(r * 1000.0, 4) for r in client.rtts],
+        "lane": lane,
         "metrics": get_obs().snapshot(),
     }
     await client.close()

@@ -1,5 +1,34 @@
-"""Worked scenarios from the paper, one per figure."""
+"""Scenarios: the paper's worked figures plus the workload engine.
 
+Two kinds of scenario live here.  :mod:`repro.scenarios.figures` holds
+the paper's worked examples, one per figure.  The rest of the package
+is the scenario *engine*: a declarative DSL of interactive-editing
+shapes (:mod:`~repro.scenarios.dsl`), a deterministic compiler to timed
+per-client op programs (:mod:`~repro.scenarios.compile`), dual
+execution bindings against the simulated event loop
+(:mod:`~repro.scenarios.simbind`) and the real TCP runtime
+(:mod:`~repro.scenarios.wirebind`), and a timeline renderer
+(:mod:`~repro.scenarios.timeline`) — surfaced as the
+``repro scenario list|run|render`` CLI verbs.
+"""
+
+from repro.scenarios.compile import (
+    ClientEvent,
+    EditIntent,
+    ScenarioProgram,
+    compile_scenario,
+    resolve_intent,
+)
+from repro.scenarios.dsl import (
+    FlashCrowd,
+    LateJoiner,
+    MassDelete,
+    MassPaste,
+    OfflineChurn,
+    Phase,
+    Scenario,
+    TypingBurst,
+)
 from repro.scenarios.figures import (
     FigureScenario,
     figure1,
@@ -9,6 +38,11 @@ from repro.scenarios.figures import (
     figure8,
     run_scenario,
 )
+from repro.scenarios.library import LIBRARY, get_scenario, scenario_names
+from repro.scenarios.report import LaneEvent, ScenarioRun
+from repro.scenarios.simbind import SimScenarioOutcome, run_sim_scenario
+from repro.scenarios.timeline import render_html, render_timeline
+from repro.scenarios.wirebind import run_wire_scenario
 
 __all__ = [
     "FigureScenario",
@@ -18,4 +52,27 @@ __all__ = [
     "figure7",
     "figure8",
     "run_scenario",
+    "Scenario",
+    "Phase",
+    "TypingBurst",
+    "MassPaste",
+    "MassDelete",
+    "OfflineChurn",
+    "LateJoiner",
+    "FlashCrowd",
+    "EditIntent",
+    "ClientEvent",
+    "ScenarioProgram",
+    "compile_scenario",
+    "resolve_intent",
+    "LIBRARY",
+    "get_scenario",
+    "scenario_names",
+    "LaneEvent",
+    "ScenarioRun",
+    "SimScenarioOutcome",
+    "run_sim_scenario",
+    "run_wire_scenario",
+    "render_timeline",
+    "render_html",
 ]

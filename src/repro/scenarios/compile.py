@@ -1,0 +1,382 @@
+"""Deterministic lowering of a scenario + seed to a timed op program.
+
+The compiler walks a :class:`~repro.scenarios.dsl.Scenario` phase by
+phase and client by client (both in declaration order), drawing every
+random quantity — inter-keystroke gaps, characters, cursor jumps —
+from one RNG seeded with ``f"{scenario.name}:{seed}"``.  The result is
+a :class:`ScenarioProgram`: per client, a time-sorted tuple of
+:class:`ClientEvent`\\ s (``join`` / ``op`` / ``offline`` / ``online``).
+Same scenario + same seed ⇒ byte-identical program (the property
+``tests/scenarios/test_compile.py`` pins with a JSON comparison).
+
+Op events carry an :class:`EditIntent`, not a finished
+:class:`~repro.model.schedule.OpSpec`: positions must be valid against
+the client's *live* document, whose length at fire time depends on the
+execution binding (simulated or wire) and on concurrent remote edits.
+An intent extends the cursor-locality machinery of
+:mod:`repro.sim.workload` — it records *how* to pick the position
+(relative to the sticky cursor, a seeded document fraction, start or
+end) and :func:`resolve_intent` materialises it against the live length
+at generation time, exactly as ``WorkloadGenerator`` draws positions at
+generation time.  Both bindings share :func:`resolve_intent`, so a
+scenario means the same editing behaviour under either runtime.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.model.schedule import OpSpec
+from repro.scenarios.dsl import (
+    FlashCrowd,
+    LateJoiner,
+    MassDelete,
+    MassPaste,
+    OfflineChurn,
+    Scenario,
+    TypingBurst,
+)
+
+ALPHABET = string.ascii_lowercase
+
+#: quiet gap between a churning client's last offline keystroke (or the
+#: end of its pre-offline burst) and the link-state change itself.
+_LINK_GAP = 0.05
+
+
+@dataclass(frozen=True)
+class EditIntent:
+    """One keystroke's worth of editing intent, position still symbolic.
+
+    ``mode`` picks the position rule at resolve time: ``cursor`` (the
+    sticky cursor plus ``step``), ``fraction`` (``draw`` scaled to the
+    live document), ``start``, or ``end``.  ``value`` is the inserted
+    character — kept for deletes too, as the deterministic fallback when
+    a delete lands on an empty document.
+    """
+
+    kind: str  # "ins" | "del"
+    value: str
+    mode: str  # "cursor" | "fraction" | "start" | "end"
+    draw: float = 0.0
+    step: int = 0
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "value": self.value,
+            "mode": self.mode,
+            "draw": self.draw,
+            "step": self.step,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Mapping[str, Any]) -> "EditIntent":
+        return cls(
+            kind=obj["kind"],
+            value=obj["value"],
+            mode=obj["mode"],
+            draw=obj.get("draw", 0.0),
+            step=obj.get("step", 0),
+        )
+
+
+@dataclass(frozen=True)
+class ClientEvent:
+    """One timed event in a client's compiled program."""
+
+    at: float
+    kind: str  # "join" | "op" | "offline" | "online"
+    phase: str
+    intent: Optional[EditIntent] = None
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "at": self.at,
+            "kind": self.kind,
+            "phase": self.phase,
+            "intent": self.intent.to_obj() if self.intent else None,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Mapping[str, Any]) -> "ClientEvent":
+        intent = obj.get("intent")
+        return cls(
+            at=obj["at"],
+            kind=obj["kind"],
+            phase=obj["phase"],
+            intent=EditIntent.from_obj(intent) if intent else None,
+        )
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """Where one phase sits on the compiled timeline."""
+
+    name: str
+    start: float
+    end: float
+
+
+@dataclass(frozen=True)
+class ScenarioProgram:
+    """The compiled artifact: timed per-client events plus phase spans."""
+
+    scenario: str
+    seed: int
+    clients: Tuple[str, ...]
+    initial_text: str
+    events: Tuple[Tuple[str, Tuple[ClientEvent, ...]], ...]
+    spans: Tuple[PhaseSpan, ...]
+
+    def events_for(self, client: str) -> Tuple[ClientEvent, ...]:
+        for name, events in self.events:
+            if name == client:
+                return events
+        raise KeyError(client)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(
+            1
+            for _, events in self.events
+            for event in events
+            if event.kind == "op"
+        )
+
+    @property
+    def duration(self) -> float:
+        return self.spans[-1].end if self.spans else 0.0
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "clients": list(self.clients),
+            "initial_text": self.initial_text,
+            "events": {
+                client: [event.to_obj() for event in events]
+                for client, events in self.events
+            },
+            "spans": [
+                {"name": span.name, "start": span.start, "end": span.end}
+                for span in self.spans
+            ],
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Mapping[str, Any]) -> "ScenarioProgram":
+        clients = tuple(obj["clients"])
+        return cls(
+            scenario=obj["scenario"],
+            seed=obj["seed"],
+            clients=clients,
+            initial_text=obj.get("initial_text", ""),
+            events=tuple(
+                (
+                    client,
+                    tuple(
+                        ClientEvent.from_obj(e) for e in obj["events"][client]
+                    ),
+                )
+                for client in clients
+            ),
+            spans=tuple(
+                PhaseSpan(s["name"], s["start"], s["end"])
+                for s in obj["spans"]
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Intent drawing
+# ----------------------------------------------------------------------
+def _typing_intent(
+    rng: random.Random, backspace_ratio: float, jump_ratio: float
+) -> EditIntent:
+    """One keystroke of the editing-session model, as an intent.
+
+    Mirrors :meth:`repro.sim.workload.WorkloadGenerator._typing_spec`:
+    mostly typing at the cursor, sometimes a backspace over the previous
+    character, sometimes a cursor jump (a seeded document fraction)
+    followed by typing there.
+    """
+    roll = rng.random()
+    value = rng.choice(ALPHABET)
+    if roll < backspace_ratio:
+        return EditIntent("del", value, "cursor", step=-1)
+    if roll < backspace_ratio + jump_ratio:
+        return EditIntent("ins", value, "fraction", draw=rng.random())
+    return EditIntent("ins", value, "cursor")
+
+
+_POSITION_MODES = {
+    "cursor": "cursor",
+    "start": "start",
+    "end": "end",
+    "random": "fraction",
+}
+
+
+def resolve_intent(
+    intent: EditIntent, cursor: int, length: int
+) -> Tuple[OpSpec, int]:
+    """Materialise an intent against the live document length.
+
+    Returns the concrete :class:`OpSpec` and the client's new cursor.
+    Positions are clamped into validity (concurrent remote edits may
+    have shrunk the document since the intent was compiled); a delete
+    aimed at an empty document degrades to inserting the intent's
+    fallback character, so every op event yields exactly one operation
+    and a program's op count is invariant across bindings.
+    """
+    inserting = intent.kind == "ins"
+    limit = length if inserting else length - 1
+    if not inserting and limit < 0:
+        return OpSpec("ins", 0, intent.value), 1
+    if intent.mode == "cursor":
+        position = cursor + intent.step
+    elif intent.mode == "fraction":
+        position = int(round(intent.draw * limit)) if limit > 0 else 0
+    elif intent.mode == "start":
+        position = 0
+    elif intent.mode == "end":
+        position = limit
+    else:  # pragma: no cover - validated at construction
+        raise ValueError(f"unknown intent mode {intent.mode!r}")
+    position = max(0, min(limit, position))
+    if inserting:
+        return OpSpec("ins", position, intent.value), position + 1
+    return OpSpec("del", position), position
+
+
+# ----------------------------------------------------------------------
+# Behaviour lowering
+# ----------------------------------------------------------------------
+def _typed_ops(
+    out: List[ClientEvent],
+    rng: random.Random,
+    begin: float,
+    count: int,
+    rate: float,
+    phase: str,
+    backspace_ratio: float = 0.08,
+    jump_ratio: float = 0.12,
+) -> float:
+    tick = begin
+    for _ in range(count):
+        tick += rng.expovariate(rate)
+        out.append(
+            ClientEvent(
+                tick,
+                "op",
+                phase,
+                _typing_intent(rng, backspace_ratio, jump_ratio),
+            )
+        )
+    return tick
+
+
+def _lower(
+    behaviour: Any,
+    rng: random.Random,
+    begin: float,
+    out: List[ClientEvent],
+    phase: str,
+) -> float:
+    """Append ``behaviour``'s events from ``begin``; return the end time."""
+    if isinstance(behaviour, TypingBurst):
+        return _typed_ops(
+            out,
+            rng,
+            begin,
+            behaviour.ops,
+            behaviour.rate,
+            phase,
+            behaviour.backspace_ratio,
+            behaviour.jump_ratio,
+        )
+    if isinstance(behaviour, (MassPaste, MassDelete)):
+        kind = "ins" if isinstance(behaviour, MassPaste) else "del"
+        mode = _POSITION_MODES[behaviour.position]
+        tick = begin
+        step = 1.0 / behaviour.rate
+        for index in range(behaviour.length):
+            tick += step
+            if index == 0:
+                # The burst anchors once; the rest walks from the cursor.
+                intent = EditIntent(
+                    kind, rng.choice(ALPHABET), mode, draw=rng.random()
+                )
+            else:
+                intent = EditIntent(kind, rng.choice(ALPHABET), "cursor")
+            out.append(ClientEvent(tick, "op", phase, intent))
+        return tick
+    if isinstance(behaviour, OfflineChurn):
+        tick = _typed_ops(
+            out, rng, begin, behaviour.ops_before, behaviour.rate, phase
+        )
+        off_at = tick + _LINK_GAP
+        out.append(ClientEvent(off_at, "offline", phase))
+        tick = _typed_ops(
+            out, rng, off_at, behaviour.ops_offline, behaviour.rate, phase
+        )
+        on_at = max(off_at + behaviour.offline_for, tick + _LINK_GAP)
+        out.append(ClientEvent(on_at, "online", phase))
+        return _typed_ops(
+            out, rng, on_at, behaviour.ops_after, behaviour.rate, phase
+        )
+    if isinstance(behaviour, (LateJoiner, FlashCrowd)):
+        return _typed_ops(
+            out, rng, begin, behaviour.ops, behaviour.rate, phase
+        )
+    raise ValueError(f"cannot lower behaviour {behaviour!r}")
+
+
+def compile_scenario(scenario: Scenario, seed: int) -> ScenarioProgram:
+    """Lower ``scenario`` under ``seed`` into a :class:`ScenarioProgram`.
+
+    Pure function of its arguments: phases and clients are walked in
+    declaration order and every draw comes from one RNG seeded with
+    ``f"{scenario.name}:{seed}"``, so recompilation reproduces the
+    program byte-for-byte.
+    """
+    rng = random.Random(f"{scenario.name}:{seed}")
+    events: Dict[str, List[ClientEvent]] = {c: [] for c in scenario.clients}
+    joined: set = set()
+    spans: List[PhaseSpan] = []
+    t = 0.0
+    for phase in scenario.phases:
+        start = t
+        end = start
+        behaviours = phase.behaviours
+        crowd_index = 0
+        for client in scenario.clients:
+            behaviour = behaviours.get(client)
+            if behaviour is None:
+                continue
+            begin = start + getattr(behaviour, "start_after", 0.0)
+            if isinstance(behaviour, FlashCrowd):
+                begin = start + crowd_index * behaviour.stagger
+                crowd_index += 1
+            elif isinstance(behaviour, LateJoiner):
+                begin = start + behaviour.join_at
+            if client not in joined:
+                events[client].append(ClientEvent(begin, "join", phase.name))
+                joined.add(client)
+            end = max(end, _lower(behaviour, rng, begin, events[client], phase.name))
+        t = end + phase.settle
+        spans.append(PhaseSpan(phase.name, start, t))
+    return ScenarioProgram(
+        scenario=scenario.name,
+        seed=seed,
+        clients=scenario.clients,
+        initial_text=scenario.initial_text,
+        events=tuple(
+            (client, tuple(events[client])) for client in scenario.clients
+        ),
+        spans=tuple(spans),
+    )

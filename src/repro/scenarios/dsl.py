@@ -1,0 +1,370 @@
+"""The scenario DSL: declarative interactive-editing workloads.
+
+Every load driven so far — :mod:`repro.sim.workload`, ``repro loadgen``,
+``repro fleet loadgen`` — is a uniform seeded edit stream.  The paper's
+setting is *interactive editing*, whose pathological shapes are not
+uniform at all: typing bursts with cursor locality, a mass paste or
+mass delete landing in one instant, a user editing offline and
+reconnecting with a backlog, a late joiner resyncing a large document,
+a flash crowd arriving on one hot document.  This module gives those
+shapes names.
+
+A :class:`Scenario` is pure data: a roster of clients, a sequence of
+:class:`Phase`\\ s, and per-phase *behaviours* assigned to clients.
+Behaviours are small frozen dataclasses (:class:`TypingBurst`,
+:class:`MassPaste`, :class:`MassDelete`, :class:`OfflineChurn`,
+:class:`LateJoiner`, :class:`FlashCrowd`); none of them contains an
+operation — the deterministic lowering to a timed per-client op program
+happens in :mod:`repro.scenarios.compile`, parameterised by a seed.
+
+Fault hooks reuse the plans of :mod:`repro.sim.faults`: ``latency``
+bounds feed the simulated network's :class:`~repro.sim.network.UniformLatency`,
+and ``chaos`` carries a :class:`~repro.sim.faults.NetChaosPlan` that the
+wire binding interposes as a real TCP chaos proxy.
+
+Like :class:`~repro.sim.faults.NetChaosPlan`, every type here round-trips
+through plain JSON objects (``to_obj``/``from_obj``) so scenarios can be
+stored in files and shipped across processes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.sim.faults import NetChaosPlan
+
+#: behaviour kind -> dataclass, filled by :func:`_behaviour`.
+BEHAVIOUR_TYPES: Dict[str, type] = {}
+
+
+def _behaviour(cls: type) -> type:
+    """Register a behaviour dataclass under its ``kind`` for JSON dispatch."""
+    BEHAVIOUR_TYPES[cls.kind] = cls
+    return cls
+
+
+def _positive(name: str, value: float) -> None:
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def _non_negative(name: str, value: float) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Behaviours
+# ----------------------------------------------------------------------
+@_behaviour
+@dataclass(frozen=True)
+class TypingBurst:
+    """Interactive typing at a sticky cursor (the paper's baseline user).
+
+    ``ops`` keystrokes with exponential inter-arrival times at ``rate``
+    per second; each keystroke follows the editing-session model of
+    :meth:`repro.sim.workload.WorkloadGenerator._typing_spec` — mostly
+    typing at the cursor, occasionally a backspace or a cursor jump.
+    """
+
+    kind = "typing_burst"
+    ops: int = 20
+    rate: float = 8.0
+    backspace_ratio: float = 0.08
+    jump_ratio: float = 0.12
+    start_after: float = 0.0  # seconds into the phase the burst begins
+
+    def __post_init__(self) -> None:
+        _positive("ops", self.ops)
+        _positive("rate", self.rate)
+        _non_negative("start_after", self.start_after)
+        if not 0 <= self.backspace_ratio <= 1 or not 0 <= self.jump_ratio <= 1:
+            raise ValueError("backspace/jump ratios must be in [0, 1]")
+        if self.backspace_ratio + self.jump_ratio > 1:
+            raise ValueError("backspace_ratio + jump_ratio must be <= 1")
+
+
+@_behaviour
+@dataclass(frozen=True)
+class MassPaste:
+    """One paste burst: ``length`` characters landing almost at once.
+
+    ``position`` anchors the paste — ``cursor`` (wherever the client's
+    cursor is), ``start``, ``end``, or ``random`` (a seeded draw) — and
+    subsequent characters insert left-to-right from the anchor.
+    """
+
+    kind = "mass_paste"
+    length: int = 48
+    rate: float = 120.0  # characters per second inside the burst
+    position: str = "cursor"  # cursor | start | end | random
+    start_after: float = 0.0
+
+    def __post_init__(self) -> None:
+        _positive("length", self.length)
+        _positive("rate", self.rate)
+        _non_negative("start_after", self.start_after)
+        if self.position not in ("cursor", "start", "end", "random"):
+            raise ValueError(f"unknown paste position {self.position!r}")
+
+
+@_behaviour
+@dataclass(frozen=True)
+class MassDelete:
+    """One delete burst: ``length`` characters removed almost at once."""
+
+    kind = "mass_delete"
+    length: int = 32
+    rate: float = 120.0
+    position: str = "cursor"  # cursor | start | end | random
+    start_after: float = 0.0
+
+    def __post_init__(self) -> None:
+        _positive("length", self.length)
+        _positive("rate", self.rate)
+        _non_negative("start_after", self.start_after)
+        if self.position not in ("cursor", "start", "end", "random"):
+            raise ValueError(f"unknown delete position {self.position!r}")
+
+
+@_behaviour
+@dataclass(frozen=True)
+class OfflineChurn:
+    """Edit, go offline, keep editing, reconnect with a backlog.
+
+    The client types ``ops_before`` keystrokes, drops its link, types
+    ``ops_offline`` more while disconnected (buffered locally), comes
+    back after ``offline_for`` seconds, and types ``ops_after`` to
+    confirm the resynced session still works.  Under the wire runtime
+    this exercises the hello/welcome WAL resync and the retransmission
+    of the client's own unacknowledged frames.
+    """
+
+    kind = "offline_churn"
+    ops_before: int = 6
+    ops_offline: int = 8
+    ops_after: int = 6
+    offline_for: float = 1.5
+    rate: float = 8.0
+
+    def __post_init__(self) -> None:
+        _positive("ops_before", self.ops_before)
+        _positive("ops_offline", self.ops_offline)
+        _non_negative("ops_after", self.ops_after)
+        _positive("offline_for", self.offline_for)
+        _positive("rate", self.rate)
+
+
+@_behaviour
+@dataclass(frozen=True)
+class LateJoiner:
+    """Join ``join_at`` seconds into the phase, then type ``ops`` keystrokes.
+
+    Against a large ``initial_text`` (or after busy earlier phases) this
+    is the catch-up case: the wire client's first hello resyncs the whole
+    missed history from the server's write-ahead log.
+    """
+
+    kind = "late_joiner"
+    join_at: float = 1.5
+    ops: int = 12
+    rate: float = 8.0
+
+    def __post_init__(self) -> None:
+        _positive("join_at", self.join_at)
+        _positive("ops", self.ops)
+        _positive("rate", self.rate)
+
+
+@_behaviour
+@dataclass(frozen=True)
+class FlashCrowd:
+    """A crowd arrives nearly at once on one hot document and types.
+
+    Clients assigned this behaviour in the same phase join ``stagger``
+    seconds apart (in roster order) and each types ``ops`` keystrokes.
+    """
+
+    kind = "flash_crowd"
+    ops: int = 12
+    rate: float = 12.0
+    stagger: float = 0.08
+
+    def __post_init__(self) -> None:
+        _positive("ops", self.ops)
+        _positive("rate", self.rate)
+        _non_negative("stagger", self.stagger)
+
+
+Behaviour = Union[
+    TypingBurst, MassPaste, MassDelete, OfflineChurn, LateJoiner, FlashCrowd
+]
+
+
+def behaviour_to_obj(behaviour: Behaviour) -> Dict[str, Any]:
+    return {"kind": behaviour.kind, **asdict(behaviour)}
+
+
+def behaviour_from_obj(obj: Mapping[str, Any]) -> Behaviour:
+    data = dict(obj)
+    kind = data.pop("kind", None)
+    cls = BEHAVIOUR_TYPES.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown behaviour kind {kind!r}")
+    allowed = {f.name for f in fields(cls)}
+    unknown = set(data) - allowed
+    if unknown:
+        raise ValueError(f"unknown {kind} fields {sorted(unknown)}")
+    return cls(**data)
+
+
+# ----------------------------------------------------------------------
+# Phases and scenarios
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Phase:
+    """One named stretch of a scenario: behaviours assigned to clients.
+
+    ``assignments`` maps client name to behaviour (a mapping is
+    normalised to a sorted tuple of pairs so phases stay hashable).  A
+    phase ends when its slowest behaviour finishes, plus ``settle``
+    quiet seconds for in-flight broadcasts to land before the next
+    phase begins.
+    """
+
+    name: str
+    assignments: Any
+    settle: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("phase needs a name")
+        _non_negative("settle", self.settle)
+        raw = self.assignments
+        if isinstance(raw, Mapping):
+            raw = tuple(sorted(raw.items()))
+        else:
+            raw = tuple((client, behaviour) for client, behaviour in raw)
+        if not raw:
+            raise ValueError(f"phase {self.name!r} assigns no behaviours")
+        seen = set()
+        for client, behaviour in raw:
+            if client in seen:
+                raise ValueError(
+                    f"phase {self.name!r} assigns {client!r} twice"
+                )
+            seen.add(client)
+            if type(behaviour) not in BEHAVIOUR_TYPES.values():
+                raise ValueError(
+                    f"phase {self.name!r}: {behaviour!r} is not a behaviour"
+                )
+        object.__setattr__(self, "assignments", raw)
+
+    @property
+    def behaviours(self) -> Dict[str, Behaviour]:
+        return dict(self.assignments)
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "settle": self.settle,
+            "behaviours": {
+                client: behaviour_to_obj(behaviour)
+                for client, behaviour in self.assignments
+            },
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Mapping[str, Any]) -> "Phase":
+        return cls(
+            name=obj["name"],
+            settle=obj.get("settle", 0.4),
+            assignments={
+                client: behaviour_from_obj(b)
+                for client, b in obj["behaviours"].items()
+            },
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A complete declarative workload: clients, phases, environment.
+
+    ``latency`` bounds the simulated network's propagation delay (the
+    sim binding draws uniformly from the range, seeded); ``chaos``
+    optionally interposes a seeded TCP chaos proxy under the wire
+    binding — the same :class:`~repro.sim.faults.NetChaosPlan` the
+    chaos-net suite uses.
+    """
+
+    name: str
+    clients: Tuple[str, ...]
+    phases: Tuple[Phase, ...]
+    initial_text: str = ""
+    description: str = ""
+    latency: Tuple[float, float] = (0.02, 0.08)
+    chaos: Optional[NetChaosPlan] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("scenario needs a name")
+        object.__setattr__(self, "clients", tuple(self.clients))
+        object.__setattr__(self, "phases", tuple(self.phases))
+        object.__setattr__(
+            self, "latency", (float(self.latency[0]), float(self.latency[1]))
+        )
+        if not self.clients:
+            raise ValueError(f"scenario {self.name!r} has no clients")
+        if len(set(self.clients)) != len(self.clients):
+            raise ValueError(f"scenario {self.name!r} repeats a client name")
+        if not self.phases:
+            raise ValueError(f"scenario {self.name!r} has no phases")
+        low, high = self.latency
+        if low <= 0 or high < low:
+            raise ValueError(f"invalid latency range {self.latency!r}")
+        roster = set(self.clients)
+        seen_active: set = set()
+        for phase in self.phases:
+            for client, behaviour in phase.assignments:
+                if client not in roster:
+                    raise ValueError(
+                        f"phase {phase.name!r} assigns unknown client "
+                        f"{client!r}"
+                    )
+                if isinstance(behaviour, LateJoiner) and client in seen_active:
+                    raise ValueError(
+                        f"phase {phase.name!r}: {client!r} cannot late-join "
+                        "after already being active"
+                    )
+                seen_active.add(client)
+        idle = roster - seen_active
+        if idle:
+            raise ValueError(
+                f"scenario {self.name!r}: clients {sorted(idle)} are never "
+                "assigned a behaviour"
+            )
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "clients": list(self.clients),
+            "initial_text": self.initial_text,
+            "latency": list(self.latency),
+            "chaos": self.chaos.to_obj() if self.chaos is not None else None,
+            "phases": [phase.to_obj() for phase in self.phases],
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Mapping[str, Any]) -> "Scenario":
+        chaos = obj.get("chaos")
+        return cls(
+            name=obj["name"],
+            description=obj.get("description", ""),
+            clients=tuple(obj["clients"]),
+            initial_text=obj.get("initial_text", ""),
+            latency=tuple(obj.get("latency", (0.02, 0.08))),
+            chaos=NetChaosPlan.from_obj(chaos) if chaos else None,
+            phases=tuple(Phase.from_obj(p) for p in obj["phases"]),
+        )

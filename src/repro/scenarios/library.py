@@ -1,0 +1,222 @@
+"""The built-in scenario library: named shapes of interactive editing.
+
+Each entry is one pathological shape from the Jupiter paper's setting,
+small enough that a wire run finishes in seconds yet busy enough to
+exercise the machinery it names.  ``repro scenario list`` prints this
+registry; tests and benchmarks parametrise over it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.faults import NetChaosPlan
+from repro.scenarios.dsl import (
+    FlashCrowd,
+    LateJoiner,
+    MassDelete,
+    MassPaste,
+    OfflineChurn,
+    Phase,
+    Scenario,
+    TypingBurst,
+)
+
+
+def _typing_storm() -> Scenario:
+    return Scenario(
+        name="typing-storm",
+        description=(
+            "four users typing concurrently with cursor locality — the "
+            "paper's baseline interactive load"
+        ),
+        clients=("c1", "c2", "c3", "c4"),
+        initial_text="the quick brown fox",
+        phases=(
+            Phase(
+                "warmup",
+                {
+                    "c1": TypingBurst(ops=10, rate=10.0),
+                    "c2": TypingBurst(ops=10, rate=10.0),
+                },
+            ),
+            Phase(
+                "storm",
+                {
+                    "c1": TypingBurst(ops=14, rate=14.0),
+                    "c2": TypingBurst(ops=14, rate=14.0),
+                    "c3": TypingBurst(ops=14, rate=14.0),
+                    "c4": TypingBurst(ops=14, rate=14.0),
+                },
+            ),
+        ),
+    )
+
+
+def _paste_bomb() -> Scenario:
+    return Scenario(
+        name="paste-bomb",
+        description=(
+            "a mass paste then a mass delete landing while two users keep "
+            "typing — the burst shape that grows OT state spaces"
+        ),
+        clients=("c1", "c2", "c3"),
+        initial_text="shared scratchpad",
+        phases=(
+            Phase(
+                "paste",
+                {
+                    "c1": MassPaste(length=60, rate=150.0, position="end"),
+                    "c2": TypingBurst(ops=12, rate=12.0),
+                    "c3": TypingBurst(ops=12, rate=12.0),
+                },
+            ),
+            Phase(
+                "chop",
+                {
+                    "c1": MassDelete(length=40, rate=150.0, position="random"),
+                    "c2": TypingBurst(ops=10, rate=12.0),
+                },
+            ),
+        ),
+    )
+
+
+def _offline_churn() -> Scenario:
+    return Scenario(
+        name="offline-churn",
+        description=(
+            "one user edits through a mid-run disconnect while two stay "
+            "online — reconnect resync plus retransmission under load"
+        ),
+        clients=("c1", "c2", "c3"),
+        phases=(
+            Phase(
+                "churn",
+                {
+                    "c1": OfflineChurn(
+                        ops_before=6,
+                        ops_offline=8,
+                        ops_after=6,
+                        offline_for=1.2,
+                        rate=10.0,
+                    ),
+                    "c2": TypingBurst(ops=16, rate=8.0),
+                    "c3": TypingBurst(ops=16, rate=8.0),
+                },
+                settle=0.6,
+            ),
+        ),
+    )
+
+
+def _late_joiner() -> Scenario:
+    return Scenario(
+        name="late-joiner",
+        description=(
+            "a client joins mid-run against an already-large document and "
+            "catches up from the server's history"
+        ),
+        clients=("c1", "c2", "c3"),
+        initial_text="a" * 160,
+        phases=(
+            Phase(
+                "busy",
+                {
+                    "c1": TypingBurst(ops=16, rate=12.0),
+                    "c2": TypingBurst(ops=16, rate=12.0),
+                },
+            ),
+            Phase(
+                "join",
+                {
+                    "c1": TypingBurst(ops=8, rate=10.0),
+                    "c3": LateJoiner(join_at=0.8, ops=10, rate=10.0),
+                },
+                settle=0.6,
+            ),
+        ),
+    )
+
+
+def _flash_crowd() -> Scenario:
+    return Scenario(
+        name="flash-crowd",
+        description=(
+            "six clients arrive nearly at once on one hot document and all "
+            "start typing — the admission/overload shape"
+        ),
+        clients=("c1", "c2", "c3", "c4", "c5", "c6"),
+        phases=(
+            Phase(
+                "crowd",
+                {
+                    name: FlashCrowd(ops=10, rate=12.0, stagger=0.12)
+                    for name in ("c1", "c2", "c3", "c4", "c5", "c6")
+                },
+                settle=0.6,
+            ),
+        ),
+    )
+
+
+def _churn_under_chaos() -> Scenario:
+    return Scenario(
+        name="churn-under-chaos",
+        description=(
+            "offline churn plus typing while a seeded chaos proxy delays "
+            "and jitters every byte (wire mode; sim mode runs the same "
+            "program over its lossless channels)"
+        ),
+        clients=("c1", "c2", "c3"),
+        initial_text="chaos notes",
+        chaos=NetChaosPlan(seed=5, latency=0.01, jitter=0.015),
+        phases=(
+            Phase(
+                "churn",
+                {
+                    "c1": OfflineChurn(
+                        ops_before=5,
+                        ops_offline=6,
+                        ops_after=5,
+                        offline_for=1.0,
+                        rate=10.0,
+                    ),
+                    "c2": TypingBurst(ops=14, rate=10.0),
+                    "c3": MassPaste(length=30, rate=100.0, position="start",
+                                    start_after=0.4),
+                },
+                settle=0.8,
+            ),
+        ),
+    )
+
+
+_FACTORIES = (
+    _typing_storm,
+    _paste_bomb,
+    _offline_churn,
+    _late_joiner,
+    _flash_crowd,
+    _churn_under_chaos,
+)
+
+#: name -> scenario, in library order.
+LIBRARY: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (factory() for factory in _FACTORIES)
+}
+
+
+def scenario_names() -> List[str]:
+    return list(LIBRARY)
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return LIBRARY[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise KeyError(
+            f"unknown scenario {name!r}; library has: {known}"
+        ) from None

@@ -1,0 +1,238 @@
+"""Scenario execution on the simulated event loop.
+
+This mirrors the reliable path of
+:class:`~repro.sim.runner.SimulationRunner` — heap of timed events,
+FIFO channels via :class:`~repro.sim.network.FifoChannelTimer`, every
+protocol step recorded into a replayable
+:class:`~repro.model.schedule.Schedule` — but drives a compiled
+:class:`~repro.scenarios.compile.ScenarioProgram` instead of a uniform
+random workload, and adds *link state*: a client that is offline keeps
+generating (the user types into a disconnected editor) while its
+outbound messages and the server's broadcasts to it are held, then
+flushed in FIFO order when it reconnects.  A client is offline until
+its ``join`` event, which is how late joiners and flash-crowd arrivals
+are modelled without the wire runtime's session machinery.
+
+The recorded schedule contains each protocol step exactly once, in
+delivered order, so it replays on a fresh cluster — the scenario twin
+of the chaos harness's Theorem 7.1 check.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import itertools
+import time as _time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.ids import SERVER_ID
+from repro.errors import SimulationError
+from repro.jupiter.cluster import Cluster, make_cluster
+from repro.model.execution import Execution
+from repro.model.schedule import (
+    ClientReceive,
+    Generate,
+    Read,
+    Schedule,
+    ServerReceive,
+)
+from repro.scenarios.compile import (
+    ScenarioProgram,
+    compile_scenario,
+    resolve_intent,
+)
+from repro.scenarios.dsl import Scenario
+from repro.scenarios.report import LaneEvent, ScenarioRun, latency_summary
+from repro.sim.network import FifoChannelTimer, LatencyModel, UniformLatency
+
+
+def _signature(machine: Any) -> str:
+    """Identity-carrying digest of a replica's document.
+
+    CSS replicas hold a :class:`~repro.document.ListDocument`, hashed by
+    :func:`repro.net.codec.document_signature` (value *and* element
+    identity).  Protocols with other document types fall back to a
+    digest of the text — still enough for the convergence check.
+    """
+    try:
+        from repro.net.codec import document_signature
+
+        return document_signature(machine.document)
+    except (AttributeError, TypeError):
+        text = machine.document.as_string()
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class SimScenarioOutcome:
+    """A sim-bound run plus the replay-grade artifacts it recorded."""
+
+    run: ScenarioRun
+    program: ScenarioProgram
+    cluster: Cluster
+    execution: Execution
+    schedule: Schedule
+
+
+def run_sim_scenario(
+    scenario: Scenario,
+    seed: int,
+    protocol: str = "css",
+    latency: Optional[LatencyModel] = None,
+) -> SimScenarioOutcome:
+    """Compile ``scenario`` under ``seed`` and run it in simulated time."""
+    program = compile_scenario(scenario, seed)
+    model = latency or UniformLatency(*scenario.latency, seed=seed)
+    clients = list(program.clients)
+    cluster = make_cluster(
+        protocol, clients, initial_text=scenario.initial_text
+    )
+    timer = FifoChannelTimer()
+    steps: List[Any] = []
+    counter = itertools.count()
+    heap: List[Tuple[float, int, Tuple]] = []
+
+    for client, events in program.events:
+        for event in events:
+            heapq.heappush(heap, (event.at, next(counter), ("ev", client, event)))
+
+    online: Dict[str, bool] = {c: False for c in clients}
+    held_to_server: Dict[str, int] = {c: 0 for c in clients}
+    held_to_client: Dict[str, int] = {c: 0 for c in clients}
+    cursors: Dict[str, int] = {
+        c: len(scenario.initial_text) for c in clients
+    }
+    lanes: Dict[str, List[LaneEvent]] = {c: [] for c in clients}
+    server_ops: List[float] = []
+    generated_at: Dict[Any, float] = {}
+    applied_at: Dict[Tuple[Any, str], float] = {}
+    delivered = 0
+    started_wall = _time.perf_counter()
+
+    def push(at: float, item: Tuple) -> None:
+        heapq.heappush(heap, (at, next(counter), item))
+
+    now = 0.0
+    while heap:
+        now, _, action = heapq.heappop(heap)
+        kind = action[0]
+        if kind == "ev":
+            client, event = action[1], action[2]
+            if event.kind == "op":
+                length = len(cluster.clients[client].document)
+                spec, cursors[client] = resolve_intent(
+                    event.intent, cursors[client], length
+                )
+                cluster.generate(client, spec)
+                generated_at[cluster.behaviors[client][-1].opid] = now
+                steps.append(Generate(client, spec))
+                lanes[client].append(LaneEvent(now, "op", event.phase))
+                if online[client]:
+                    arrival = timer.delivery_time(model, client, SERVER_ID, now)
+                    push(arrival, ("srv", client))
+                else:
+                    held_to_server[client] += 1
+            elif event.kind in ("join", "online"):
+                online[client] = True
+                lanes[client].append(LaneEvent(now, event.kind, event.phase))
+                # Flush both directions in FIFO order: the timer's
+                # per-channel last-delivery state keeps arrivals ordered.
+                for _ in range(held_to_server[client]):
+                    arrival = timer.delivery_time(model, client, SERVER_ID, now)
+                    push(arrival, ("srv", client))
+                held_to_server[client] = 0
+                for _ in range(held_to_client[client]):
+                    arrival = timer.delivery_time(model, SERVER_ID, client, now)
+                    push(arrival, ("cli", client))
+                held_to_client[client] = 0
+            elif event.kind == "offline":
+                online[client] = False
+                lanes[client].append(LaneEvent(now, "offline", event.phase))
+            else:  # pragma: no cover - compiler emits no other kinds
+                raise SimulationError(f"unknown scenario event {event!r}")
+        elif kind == "srv":
+            client = action[1]
+            before = {
+                name: cluster.pending_to_client(name) for name in clients
+            }
+            cluster.server_receive(client)
+            steps.append(ServerReceive(client))
+            server_ops.append(now)
+            for name in clients:
+                newly_queued = cluster.pending_to_client(name) - before[name]
+                for _ in range(newly_queued):
+                    if online[name]:
+                        arrival = timer.delivery_time(
+                            model, SERVER_ID, name, now
+                        )
+                        push(arrival, ("cli", name))
+                    else:
+                        held_to_client[name] += 1
+        elif kind == "cli":
+            client = action[1]
+            cluster.client_receive(client)
+            steps.append(ClientReceive(client))
+            delivered += 1
+            last = cluster.behaviors[client][-1]
+            if last.action == "apply" and last.opid is not None:
+                applied_at[(last.opid, client)] = now
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown simulation action {action!r}")
+
+    if any(held_to_server.values()) or any(held_to_client.values()):
+        raise SimulationError(
+            "scenario ended with messages held for an offline client; "
+            "every offline window must close with an online event"
+        )
+    if cluster.in_flight():
+        raise SimulationError(
+            f"{cluster.in_flight()} messages still in flight after the "
+            "scenario event loop drained; FIFO timing is broken"
+        )
+
+    for replica in [*sorted(cluster.clients), SERVER_ID]:
+        cluster.read(replica)
+        steps.append(Read(replica))
+
+    wall = _time.perf_counter() - started_wall
+    documents = cluster.documents()
+    signatures = {name: _signature(cluster.clients[name]) for name in clients}
+    signatures[SERVER_ID] = _signature(cluster.server)
+    converged = (
+        len(set(documents.values())) == 1
+        and len(set(signatures.values())) == 1
+    )
+    propagation_ms = [
+        (when - generated_at[opid]) * 1000.0
+        for (opid, _replica), when in applied_at.items()
+        if opid in generated_at
+    ]
+    run = ScenarioRun(
+        scenario=scenario.name,
+        seed=seed,
+        mode="sim",
+        converged=converged,
+        signatures=signatures,
+        total_ops=program.total_ops,
+        duration=now,
+        wall_seconds=wall,
+        latency_ms=latency_summary(propagation_ms),
+        latency_kind="propagation",
+        lanes=lanes,
+        server_ops=server_ops,
+        spans=[(s.name, s.start, s.end) for s in program.spans],
+        extra={
+            "protocol": protocol,
+            "messages_delivered": delivered,
+            "document_length": len(documents[SERVER_ID]),
+        },
+    )
+    return SimScenarioOutcome(
+        run=run,
+        program=program,
+        cluster=cluster,
+        execution=cluster.recorder.finish(),
+        schedule=Schedule(steps),
+    )

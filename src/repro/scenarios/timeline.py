@@ -1,0 +1,215 @@
+"""Timeline rendering: one lane per client, aligned on scenario time.
+
+The ASCII renderer (in the style of cellpainter's timing matrix) maps
+the run's scenario clock onto a fixed-width column grid.  Each client
+lane shows op density (``.`` one edit in the column, ``:`` two, ``#``
+three or more — ``*`` when the edits happened offline), link events
+(``>`` join, ``x`` drop, ``+`` reconnect) and offline windows
+(``-``).  A server lane shows serialisation density, a phase ruler
+shows where each phase sits, and the header carries the verdict and
+latency percentiles.
+
+:func:`render_html` emits the same lanes as one self-contained HTML
+page (inline CSS, no external assets) for when a run is easier to read
+zoomed and scrolled than monospaced.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from typing import Dict, List
+
+from repro.scenarios.report import LaneEvent, ScenarioRun
+
+_DENSITY = {1: ".", 2: ":"}
+_DENSITY_OFFLINE = {1: "*", 2: "*"}
+
+
+def _column(at: float, span: float, width: int) -> int:
+    if span <= 0:
+        return 0
+    return max(0, min(width - 1, int(at / span * width)))
+
+
+def _density_row(
+    times: List[float], span: float, width: int, offline_cols=None
+) -> List[str]:
+    row = [" "] * width
+    counts: Dict[int, int] = {}
+    for at in times:
+        col = _column(at, span, width)
+        counts[col] = counts.get(col, 0) + 1
+    for col, count in counts.items():
+        table = (
+            _DENSITY_OFFLINE
+            if offline_cols is not None and col in offline_cols
+            else _DENSITY
+        )
+        row[col] = table.get(count, "*" if offline_cols and col in offline_cols else "#")
+    return row
+
+
+def _lane_row(
+    events: List[LaneEvent], span: float, width: int
+) -> tuple:
+    """Render one client lane; returns (chars, op count, offline seconds)."""
+    row = [" "] * width
+    offline_cols: set = set()
+    offline_seconds = 0.0
+    # Pass 1: offline windows (so op density can overwrite the dashes).
+    offline_from = None
+    for event in events:
+        if event.kind == "offline":
+            offline_from = event.at
+        elif event.kind == "online" and offline_from is not None:
+            offline_seconds += event.at - offline_from
+            lo = _column(offline_from, span, width)
+            hi = _column(event.at, span, width)
+            for col in range(lo, hi + 1):
+                row[col] = "-"
+                offline_cols.add(col)
+            offline_from = None
+    # Pass 2: op density.
+    ops = [e.at for e in events if e.kind == "op"]
+    for col, char in enumerate(_density_row(ops, span, width, offline_cols)):
+        if char != " ":
+            row[col] = char
+    # Pass 3: link markers win over everything.
+    for event in events:
+        if event.kind == "join":
+            row[_column(event.at, span, width)] = ">"
+        elif event.kind == "offline":
+            row[_column(event.at, span, width)] = "x"
+        elif event.kind == "online":
+            row[_column(event.at, span, width)] = "+"
+    return row, len(ops), offline_seconds
+
+
+def _phase_ruler(run: ScenarioRun, span: float, width: int) -> str:
+    row = [" "] * width
+    for name, start, end in run.spans:
+        lo = _column(start, span, width)
+        hi = _column(end, span, width)
+        row[lo] = "|"
+        label = name[: max(0, hi - lo - 1)]
+        for offset, char in enumerate(label):
+            if lo + 1 + offset < width:
+                row[lo + 1 + offset] = char
+    return "".join(row)
+
+
+def render_timeline(run: ScenarioRun, width: int = 72) -> str:
+    """The aligned-ASCII timeline of one :class:`ScenarioRun`."""
+    if width < 20:
+        raise ValueError("timeline width must be at least 20 columns")
+    span = max(run.duration, 1e-9)
+    verdict = "converged" if run.converged else "DIVERGED"
+    latency = run.latency_ms
+    lines = [
+        f"scenario {run.scenario}  mode {run.mode}  seed {run.seed}  "
+        f"{verdict}",
+        f"{run.total_ops} ops over {run.duration:.2f}s (scenario time), "
+        f"wall {run.wall_seconds:.2f}s; {run.latency_kind} latency "
+        f"p50={latency.get('p50', 0):.1f}ms "
+        f"p90={latency.get('p90', 0):.1f}ms "
+        f"p99={latency.get('p99', 0):.1f}ms",
+    ]
+    name_width = max(
+        [len(str(c)) for c in run.lanes] + [len("server"), len("phase")]
+    )
+    lines.append(f"{'phase':>{name_width}} {_phase_ruler(run, span, width)}")
+    for client in run.lanes:
+        row, ops, offline_seconds = _lane_row(run.lanes[client], span, width)
+        annotation = f" {ops} ops"
+        if offline_seconds > 0:
+            annotation += f", offline {offline_seconds:.2f}s"
+        lines.append(f"{client:>{name_width}} {''.join(row)}{annotation}")
+    server_row = _density_row(run.server_ops, span, width)
+    lines.append(
+        f"{'server':>{name_width}} {''.join(server_row)} "
+        f"{len(run.server_ops)} serialized"
+    )
+    lines.append(
+        f"{'':>{name_width}} legend: > join  x drop  + reconnect  "
+        f"- offline  .:# edit density  * offline edits"
+    )
+    return "\n".join(lines)
+
+
+def render_html(run: ScenarioRun) -> str:
+    """The same lanes as one self-contained HTML page."""
+    span = max(run.duration, 1e-9)
+
+    def pct(at: float) -> float:
+        return max(0.0, min(100.0, at / span * 100.0))
+
+    lane_markup: List[str] = []
+    for name, start, end in run.spans:
+        left, right = pct(start), pct(end)
+        lane_markup.append(
+            f'<div class="phase" style="left:{left:.2f}%;'
+            f'width:{max(right - left, 0.5):.2f}%">'
+            f"{_html.escape(name)}</div>"
+        )
+    phase_row = f'<div class="lane phases">{"".join(lane_markup)}</div>'
+
+    rows = [phase_row]
+    lanes = dict(run.lanes)
+    lanes["server"] = [LaneEvent(at, "op") for at in run.server_ops]
+    for client, events in lanes.items():
+        marks: List[str] = []
+        offline_from = None
+        for event in events:
+            if event.kind == "offline":
+                offline_from = event.at
+            elif event.kind == "online" and offline_from is not None:
+                left, right = pct(offline_from), pct(event.at)
+                marks.append(
+                    f'<div class="offline" style="left:{left:.2f}%;'
+                    f'width:{max(right - left, 0.3):.2f}%"></div>'
+                )
+                offline_from = None
+        for event in events:
+            css = {"op": "op", "join": "join", "offline": "drop",
+                   "online": "rejoin"}.get(event.kind, "op")
+            marks.append(
+                f'<div class="{css}" style="left:{pct(event.at):.2f}%" '
+                f'title="{event.kind} @ {event.at:.3f}s"></div>'
+            )
+        rows.append(
+            f'<div class="row"><span class="name">{_html.escape(str(client))}'
+            f'</span><div class="lane">{"".join(marks)}</div></div>'
+        )
+
+    verdict = "converged" if run.converged else "DIVERGED"
+    latency = run.latency_ms
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8">
+<title>scenario {_html.escape(run.scenario)} ({run.mode})</title>
+<style>
+body {{ font-family: ui-monospace, monospace; margin: 2em; background: #fafafa; }}
+h1 {{ font-size: 1.1em; }}
+.meta {{ color: #555; margin-bottom: 1em; }}
+.row {{ display: flex; align-items: center; margin: 4px 0; }}
+.name {{ width: 6em; text-align: right; padding-right: 0.8em; color: #333; }}
+.lane {{ position: relative; flex: 1; height: 18px; background: #eef;
+         border: 1px solid #ccd; }}
+.lane.phases {{ margin-left: 6.8em; background: none; border: none; height: 16px; }}
+.phase {{ position: absolute; top: 0; height: 14px; font-size: 11px;
+          border-left: 1px solid #999; padding-left: 3px; color: #666;
+          overflow: hidden; white-space: nowrap; }}
+.op {{ position: absolute; top: 4px; width: 2px; height: 10px; background: #36c; }}
+.join {{ position: absolute; top: 0; width: 3px; height: 18px; background: #2a2; }}
+.drop {{ position: absolute; top: 0; width: 3px; height: 18px; background: #c33; }}
+.rejoin {{ position: absolute; top: 0; width: 3px; height: 18px; background: #f90; }}
+.offline {{ position: absolute; top: 0; height: 18px; background: #fdd; }}
+</style></head><body>
+<h1>scenario {_html.escape(run.scenario)} &middot; mode {run.mode} &middot;
+seed {run.seed} &middot; {verdict}</h1>
+<div class="meta">{run.total_ops} ops over {run.duration:.2f}s scenario time
+(wall {run.wall_seconds:.2f}s) &middot; {_html.escape(run.latency_kind)}
+latency p50={latency.get("p50", 0):.1f}ms p90={latency.get("p90", 0):.1f}ms
+p99={latency.get("p99", 0):.1f}ms</div>
+{"".join(rows)}
+</body></html>
+"""

@@ -14,6 +14,7 @@ from repro.net.loadgen import (
     _free_ports,
     percentile,
     run_loadgen,
+    run_worker,
     split_ops,
 )
 from repro.net.server import NetServer
@@ -124,3 +125,43 @@ class TestMultiProcessSmoke:
         assert report["reconnects"] >= 1
         assert report["resync_on_reconnect"] > 0
         assert report["server_stats"]["wal"]["appends"] == 24
+
+
+class TestDurationStop:
+    def _run(self, **worker_kwargs):
+        async def scenario():
+            server = NetServer("127.0.0.1", 0, quiet=True)
+            await server.start()
+            try:
+                return await run_worker(
+                    host="127.0.0.1",
+                    port=server.port,
+                    client_id="c1",
+                    seed=3,
+                    op_interval=0.01,
+                    timeout=20.0,
+                    **worker_kwargs,
+                )
+            finally:
+                await server.stop()
+
+        return asyncio.run(scenario())
+
+    def test_deadline_bounds_an_unlimited_run(self):
+        report = self._run(ops=0, expect_total=0, duration=0.3)
+        assert report["converged"]
+        # ops=0 + duration means "generate until the deadline": the
+        # worker must have produced a bounded, non-empty stream.
+        assert 0 < report["ops"] <= 200
+        assert report["duration"] >= 0.3
+
+    def test_ops_cap_still_wins_when_it_is_hit_first(self):
+        report = self._run(ops=5, expect_total=5, duration=30.0)
+        assert report["converged"]
+        assert report["ops"] == 5
+        assert report["duration"] < 10.0
+
+    def test_no_duration_keeps_the_legacy_contract(self):
+        report = self._run(ops=4, expect_total=4)
+        assert report["converged"]
+        assert report["ops"] == 4

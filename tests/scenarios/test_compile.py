@@ -1,0 +1,133 @@
+"""The scenario compiler: determinism, event shape, intent resolution."""
+
+import json
+
+import pytest
+
+from repro.model.schedule import OpSpec
+from repro.scenarios import (
+    EditIntent,
+    ScenarioProgram,
+    compile_scenario,
+    get_scenario,
+    resolve_intent,
+    scenario_names,
+)
+
+
+def _program_bytes(name: str, seed: int) -> str:
+    program = compile_scenario(get_scenario(name), seed)
+    return json.dumps(program.to_obj(), sort_keys=True)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_same_seed_compiles_byte_identically(self, name):
+        assert _program_bytes(name, 42) == _program_bytes(name, 42)
+
+    def test_different_seeds_differ(self):
+        assert _program_bytes("typing-storm", 1) != _program_bytes(
+            "typing-storm", 2
+        )
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_program_round_trips_through_json(self, name):
+        program = compile_scenario(get_scenario(name), 9)
+        twin = ScenarioProgram.from_obj(program.to_obj())
+        assert json.dumps(twin.to_obj(), sort_keys=True) == json.dumps(
+            program.to_obj(), sort_keys=True
+        )
+
+
+class TestEventShape:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_client_joins_before_its_first_op(self, name):
+        program = compile_scenario(get_scenario(name), 3)
+        for client in program.clients:
+            events = program.events_for(client)
+            kinds = [event.kind for event in events]
+            assert "op" in kinds
+            assert kinds.index("join") < kinds.index("op")
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_events_are_time_ordered_per_client(self, name):
+        program = compile_scenario(get_scenario(name), 3)
+        for client in program.clients:
+            times = [event.at for event in program.events_for(client)]
+            assert times == sorted(times)
+
+    def test_offline_windows_pair_up(self):
+        program = compile_scenario(get_scenario("offline-churn"), 3)
+        kinds = [
+            event.kind
+            for event in program.events_for("c1")
+            if event.kind in ("offline", "online")
+        ]
+        assert kinds == ["offline", "online"]
+        offline = next(
+            e for e in program.events_for("c1") if e.kind == "offline"
+        )
+        online = next(
+            e for e in program.events_for("c1") if e.kind == "online"
+        )
+        assert online.at > offline.at
+
+    def test_total_ops_counts_op_events(self):
+        program = compile_scenario(get_scenario("flash-crowd"), 3)
+        counted = sum(
+            1
+            for client in program.clients
+            for event in program.events_for(client)
+            if event.kind == "op"
+        )
+        assert program.total_ops == counted == 60
+
+    def test_late_joiner_joins_after_phase_start(self):
+        program = compile_scenario(get_scenario("late-joiner"), 3)
+        join_span = next(s for s in program.spans if s.name == "join")
+        c3_join = next(
+            e for e in program.events_for("c3") if e.kind == "join"
+        )
+        assert c3_join.at >= join_span.start + 0.8
+
+
+class TestResolveIntent:
+    def test_cursor_insert_advances_cursor(self):
+        op, cursor = resolve_intent(
+            EditIntent("ins", "x", "cursor"), cursor=3, length=10
+        )
+        assert op == OpSpec("ins", 3, "x")
+        assert cursor == 4
+
+    def test_positions_clamp_to_document(self):
+        op, _ = resolve_intent(
+            EditIntent("ins", "x", "cursor", step=5), cursor=98, length=10
+        )
+        assert op.position == 10
+        op, _ = resolve_intent(
+            EditIntent("del", "", "cursor", step=-1), cursor=0, length=10
+        )
+        assert op.position == 0
+
+    def test_fraction_mode_scales_with_length(self):
+        op, _ = resolve_intent(
+            EditIntent("ins", "x", "fraction", draw=0.5), cursor=0, length=10
+        )
+        assert op.position == 5
+
+    def test_delete_on_empty_document_degrades_to_insert(self):
+        op, cursor = resolve_intent(
+            EditIntent("del", "q", "cursor"), cursor=0, length=0
+        )
+        assert op.kind == "ins"
+        assert cursor == 1
+
+    def test_end_mode_targets_last_slot(self):
+        op, _ = resolve_intent(
+            EditIntent("ins", "x", "end"), cursor=0, length=7
+        )
+        assert op.position == 7
+        op, _ = resolve_intent(
+            EditIntent("del", "", "end"), cursor=0, length=7
+        )
+        assert op.position == 6

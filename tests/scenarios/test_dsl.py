@@ -1,0 +1,133 @@
+"""The scenario DSL: validation rules and JSON round-trips."""
+
+import pytest
+
+from repro.scenarios import (
+    LIBRARY,
+    FlashCrowd,
+    LateJoiner,
+    Phase,
+    Scenario,
+    TypingBurst,
+    get_scenario,
+    scenario_names,
+)
+from repro.scenarios.dsl import behaviour_from_obj, behaviour_to_obj
+
+
+def _two_client_scenario(**overrides):
+    fields = dict(
+        name="pair",
+        clients=("a", "b"),
+        phases=(
+            Phase(
+                "only",
+                {"a": TypingBurst(ops=4), "b": TypingBurst(ops=4)},
+            ),
+        ),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestLibrary:
+    def test_has_at_least_six_scenarios(self):
+        assert len(scenario_names()) >= 6
+
+    def test_get_scenario_rejects_unknown_names(self):
+        with pytest.raises(KeyError, match="typing-storm"):
+            get_scenario("no-such-shape")
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_entry_round_trips_through_json(self, name):
+        scenario = get_scenario(name)
+        assert Scenario.from_obj(scenario.to_obj()) == scenario
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_every_entry_has_a_description(self, name):
+        assert get_scenario(name).description
+
+
+class TestBehaviourCodec:
+    @pytest.mark.parametrize(
+        "behaviour",
+        [
+            TypingBurst(ops=3, backspace_ratio=0.2),
+            FlashCrowd(ops=5, stagger=0.3),
+            LateJoiner(join_at=2.0, ops=7),
+        ],
+    )
+    def test_round_trip(self, behaviour):
+        assert behaviour_from_obj(behaviour_to_obj(behaviour)) == behaviour
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown behaviour"):
+            behaviour_from_obj({"kind": "keyboard_smash"})
+
+    def test_unknown_field_rejected(self):
+        obj = behaviour_to_obj(TypingBurst())
+        obj["volume"] = 11
+        with pytest.raises(ValueError, match="fields"):
+            behaviour_from_obj(obj)
+
+
+class TestValidation:
+    def test_duplicate_clients_rejected(self):
+        with pytest.raises(ValueError, match="repeats"):
+            _two_client_scenario(clients=("a", "a"))
+
+    def test_phase_referencing_unknown_client_rejected(self):
+        with pytest.raises(ValueError, match="unknown client"):
+            _two_client_scenario(
+                phases=(Phase("only", {"zz": TypingBurst()}),)
+            )
+
+    def test_unassigned_client_rejected(self):
+        with pytest.raises(ValueError, match="never assigned"):
+            _two_client_scenario(
+                phases=(Phase("only", {"a": TypingBurst()}),)
+            )
+
+    def test_empty_phase_list_rejected(self):
+        with pytest.raises(ValueError, match="phase"):
+            _two_client_scenario(phases=())
+
+    def test_inverted_latency_band_rejected(self):
+        with pytest.raises(ValueError, match="latency"):
+            _two_client_scenario(latency=(0.5, 0.1))
+
+    def test_late_joiner_must_be_first_assignment(self):
+        with pytest.raises(ValueError, match="late-join"):
+            _two_client_scenario(
+                phases=(
+                    Phase(
+                        "one",
+                        {"a": TypingBurst(), "b": TypingBurst()},
+                    ),
+                    Phase(
+                        "two",
+                        {"a": TypingBurst(), "b": LateJoiner()},
+                    ),
+                )
+            )
+
+    def test_late_joiner_as_first_assignment_allowed(self):
+        scenario = _two_client_scenario(
+            phases=(
+                Phase("one", {"a": TypingBurst()}),
+                Phase("two", {"a": TypingBurst(), "b": LateJoiner()}),
+            )
+        )
+        assert Scenario.from_obj(scenario.to_obj()) == scenario
+
+    def test_negative_behaviour_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            TypingBurst(ops=0)
+        with pytest.raises(ValueError):
+            TypingBurst(rate=-1.0)
+        with pytest.raises(ValueError):
+            FlashCrowd(stagger=-0.1)
+
+    def test_phase_assignments_must_be_behaviours(self):
+        with pytest.raises(ValueError, match="not a behaviour"):
+            Phase("bad", {"a": "typing"})

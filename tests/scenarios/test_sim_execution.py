@@ -1,0 +1,81 @@
+"""Every library scenario under the simulated event loop."""
+
+import pytest
+
+from repro.common.ids import SERVER_ID
+from repro.scenarios import (
+    compile_scenario,
+    get_scenario,
+    run_sim_scenario,
+    scenario_names,
+)
+from repro.sim.runner import replay
+from repro.sim.trace import check_all_specs
+
+SEED = 5
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    return {
+        name: run_sim_scenario(get_scenario(name), SEED)
+        for name in scenario_names()
+    }
+
+
+@pytest.mark.parametrize("name", scenario_names())
+class TestEveryScenario:
+    def test_converges(self, outcomes, name):
+        run = outcomes[name].run
+        assert run.converged
+        assert len(set(run.signatures.values())) == 1
+        assert SERVER_ID in run.signatures
+
+    def test_all_compiled_ops_executed(self, outcomes, name):
+        program = compile_scenario(get_scenario(name), SEED)
+        assert outcomes[name].run.total_ops == program.total_ops
+
+    def test_latency_percentiles_present(self, outcomes, name):
+        latency = outcomes[name].run.latency_ms
+        assert latency["samples"] > 0
+        assert latency["p50"] <= latency["p90"] <= latency["p99"]
+
+    def test_recorded_schedule_replays_to_same_documents(
+        self, outcomes, name
+    ):
+        scenario = get_scenario(name)
+        outcome = outcomes[name]
+        twin = replay(
+            "css",
+            outcome.schedule,
+            list(scenario.clients),
+            initial_text=scenario.initial_text,
+        )
+        assert twin.documents() == outcome.cluster.documents()
+
+    def test_specs_hold_on_the_recorded_execution(self, outcomes, name):
+        scenario = get_scenario(name)
+        report = check_all_specs(
+            outcomes[name].execution, initial_text=scenario.initial_text
+        )
+        assert report.convergence.ok
+        assert report.weak_list.ok
+
+
+class TestLaneBookkeeping:
+    def test_offline_churn_records_the_window(self, outcomes):
+        lanes = outcomes["offline-churn"].run.lanes
+        kinds = [event.kind for event in lanes["c1"]]
+        assert "offline" in kinds and "online" in kinds
+        assert kinds.index("offline") < kinds.index("online")
+
+    def test_late_joiner_joins_late(self, outcomes):
+        lanes = outcomes["late-joiner"].run.lanes
+        join_at = next(e.at for e in lanes["c3"] if e.kind == "join")
+        first_join = min(
+            e.at
+            for events in lanes.values()
+            for e in events
+            if e.kind == "join"
+        )
+        assert join_at > first_join

@@ -1,0 +1,87 @@
+"""The timeline renderers: aligned ASCII and self-contained HTML."""
+
+import pytest
+
+from repro.scenarios import (
+    ScenarioRun,
+    get_scenario,
+    render_html,
+    render_timeline,
+    run_sim_scenario,
+)
+
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def churn_run():
+    return run_sim_scenario(get_scenario("offline-churn"), SEED).run
+
+
+class TestAscii:
+    def test_header_carries_the_verdict_and_percentiles(self, churn_run):
+        text = render_timeline(churn_run)
+        assert "offline-churn" in text
+        assert "converged" in text
+        assert "p50=" in text and "p99=" in text
+
+    def test_one_lane_per_client_plus_server(self, churn_run):
+        text = render_timeline(churn_run)
+        for client in ("c1", "c2", "c3", "server"):
+            assert any(
+                line.strip().startswith(client)
+                for line in text.splitlines()
+            )
+
+    def test_offline_window_is_drawn(self, churn_run):
+        text = render_timeline(churn_run)
+        c1_line = next(
+            line
+            for line in text.splitlines()
+            if line.strip().startswith("c1")
+        )
+        assert "x" in c1_line and "+" in c1_line and "-" in c1_line
+        assert "offline" in c1_line
+
+    def test_phase_ruler_names_the_phases(self, churn_run):
+        text = render_timeline(churn_run)
+        phase_line = next(
+            line
+            for line in text.splitlines()
+            if line.strip().startswith("phase")
+        )
+        assert "churn" in phase_line
+
+    def test_width_is_respected(self, churn_run):
+        narrow = render_timeline(churn_run, width=40)
+        wide = render_timeline(churn_run, width=100)
+        assert max(len(l) for l in narrow.splitlines()) < max(
+            len(l) for l in wide.splitlines()
+        )
+
+    def test_tiny_width_rejected(self, churn_run):
+        with pytest.raises(ValueError, match="width"):
+            render_timeline(churn_run, width=10)
+
+
+class TestHtml:
+    def test_self_contained_page(self, churn_run):
+        page = render_html(churn_run)
+        assert page.startswith("<!doctype html>")
+        assert "<style>" in page
+        assert "http://" not in page and "https://" not in page
+
+    def test_lanes_and_markers_present(self, churn_run):
+        page = render_html(churn_run)
+        for client in ("c1", "c2", "c3", "server"):
+            assert f">{client}<" in page.replace("</span>", "<")
+        assert 'class="drop"' in page
+        assert 'class="rejoin"' in page
+        assert 'class="offline"' in page
+
+
+class TestRoundTrip:
+    def test_serialised_run_renders_identically(self, churn_run):
+        twin = ScenarioRun.from_obj(churn_run.to_obj())
+        assert render_timeline(twin) == render_timeline(churn_run)
+        assert render_html(twin) == render_html(churn_run)

@@ -1,0 +1,81 @@
+"""Record/replay round-trips over scenario-compiled schedules.
+
+The sim binding records every run as a plain :class:`Schedule`; these
+tests pin that the recording is deterministic (same scenario + seed ⇒
+byte-identical trace), that it survives the JSON save/load round-trip,
+and that replaying it reproduces the run — the
+:mod:`repro.sim.trace` spec checkers see the same execution either way.
+"""
+
+import json
+
+import pytest
+
+from repro.model.schedule_io import (
+    load_schedule,
+    save_schedule,
+    schedule_from_obj,
+    schedule_to_obj,
+)
+from repro.scenarios import get_scenario, run_sim_scenario, scenario_names
+from repro.sim.runner import replay
+from repro.sim.trace import check_all_specs
+
+SEED = 13
+
+
+def _trace_bytes(name: str) -> str:
+    outcome = run_sim_scenario(get_scenario(name), SEED)
+    return json.dumps(schedule_to_obj(outcome.schedule), sort_keys=True)
+
+
+class TestDeterministicRecording:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_same_scenario_and_seed_record_identical_traces(self, name):
+        assert _trace_bytes(name) == _trace_bytes(name)
+
+    def test_different_seeds_record_different_traces(self):
+        first = run_sim_scenario(get_scenario("typing-storm"), 1)
+        second = run_sim_scenario(get_scenario("typing-storm"), 2)
+        assert json.dumps(
+            schedule_to_obj(first.schedule), sort_keys=True
+        ) != json.dumps(schedule_to_obj(second.schedule), sort_keys=True)
+
+
+class TestRoundTrip:
+    def test_save_load_replay_matches_the_original_run(self, tmp_path):
+        scenario = get_scenario("offline-churn")
+        outcome = run_sim_scenario(scenario, SEED)
+        path = str(tmp_path / "trace.json")
+        save_schedule(
+            outcome.schedule, path, metadata={"scenario": scenario.name}
+        )
+        loaded = load_schedule(path)
+        twin = replay(
+            "css",
+            loaded,
+            list(scenario.clients),
+            initial_text=scenario.initial_text,
+        )
+        assert twin.documents() == outcome.cluster.documents()
+
+    def test_obj_round_trip_is_lossless(self):
+        outcome = run_sim_scenario(get_scenario("paste-bomb"), SEED)
+        obj = schedule_to_obj(outcome.schedule)
+        twin = schedule_from_obj(obj)
+        assert schedule_to_obj(twin) == obj
+
+    def test_replayed_execution_passes_the_specs(self):
+        scenario = get_scenario("late-joiner")
+        outcome = run_sim_scenario(scenario, SEED)
+        twin = replay(
+            "css",
+            outcome.schedule,
+            list(scenario.clients),
+            initial_text=scenario.initial_text,
+        )
+        report = check_all_specs(
+            twin.recorder.finish(), initial_text=scenario.initial_text
+        )
+        assert report.convergence.ok
+        assert report.weak_list.ok

@@ -1,0 +1,60 @@
+"""Library scenarios over the real TCP runtime (in-process sockets).
+
+Each test runs one compiled program against a real
+:class:`~repro.net.server.NetServer` with one
+:class:`~repro.net.client.NetClient` per roster entry, at a compressed
+``time_scale`` so a multi-second scenario finishes in well under a
+second of wall clock.
+"""
+
+import pytest
+
+from repro.common.ids import SERVER_ID
+from repro.scenarios import get_scenario, run_wire_scenario, scenario_names
+
+SEED = 5
+TIME_SCALE = 0.15
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_every_scenario_converges_over_the_wire(name):
+    run = run_wire_scenario(
+        get_scenario(name), SEED, time_scale=TIME_SCALE, timeout=30.0
+    )
+    assert run.converged
+    assert len(set(run.signatures.values())) == 1
+    assert SERVER_ID in run.signatures
+    assert run.total_ops > 0
+    assert run.extra["serial"] == run.total_ops
+
+
+def test_offline_churn_reconnects_and_resyncs():
+    run = run_wire_scenario(
+        get_scenario("offline-churn"), SEED, time_scale=TIME_SCALE,
+        timeout=30.0,
+    )
+    assert run.converged
+    assert run.extra["reconnects"] >= 1
+    assert run.extra["resync_on_reconnect"] > 0
+    kinds = [event.kind for event in run.lanes["c1"]]
+    assert "offline" in kinds and "online" in kinds
+
+
+def test_chaos_plan_rides_under_the_scenario():
+    run = run_wire_scenario(
+        get_scenario("churn-under-chaos"), SEED, time_scale=TIME_SCALE,
+        timeout=30.0,
+    )
+    assert run.converged
+    assert run.extra["chaos"] is not None
+    assert run.extra["chaos"]["seed"] == 5
+
+
+def test_rtt_percentiles_are_measured():
+    run = run_wire_scenario(
+        get_scenario("typing-storm"), SEED, time_scale=TIME_SCALE,
+        timeout=30.0,
+    )
+    latency = run.latency_ms
+    assert latency["samples"] > 0
+    assert latency["p50"] <= latency["p90"] <= latency["p99"]
