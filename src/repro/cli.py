@@ -449,6 +449,9 @@ def cmd_serve(args) -> int:
         port=args.port,
         initial_text=args.initial,
         snapshot_every=args.snapshot_every,
+        batch=not args.no_batch,
+        gc=not args.no_gc,
+        gc_grace=args.gc_grace,
         announce=args.announce,
         quiet=args.quiet,
         roster=roster,
@@ -491,6 +494,8 @@ def cmd_connect(args) -> int:
             doc=args.doc,
             max_connect_attempts=args.max_connect_attempts,
             duration=args.duration,
+            codec=args.codec,
+            batch=not args.no_batch,
         )
     )
     if args.json:
@@ -664,6 +669,7 @@ def cmd_loadgen(args) -> int:
         failover_delay=args.failover_delay,
         kill_after=args.kill_after,
         chaos=chaos,
+        codec=args.codec,
     )
     server_desc = (
         f"{report['replicas']} replica processes"
@@ -1106,7 +1112,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--port", type=int, default=4400, help="0 picks an ephemeral port"
     )
     serve.add_argument("--initial", default="", help="initial document")
-    serve.add_argument("--snapshot-every", type=int, default=256)
+    serve.add_argument("--snapshot-every", type=int, default=64)
+    serve.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="disable outbound frame coalescing (one TCP write per frame)",
+    )
+    serve.add_argument(
+        "--no-gc",
+        action="store_true",
+        help="disable acked-prefix garbage collection; server history "
+        "and state-space memory grow without bound",
+    )
+    serve.add_argument(
+        "--gc-grace",
+        type=float,
+        default=15.0,
+        help="seconds a disconnected session keeps pinning server "
+        "history; a client away longer resyncs via state transfer "
+        "on return",
+    )
     serve.add_argument(
         "--doc",
         default=None,
@@ -1218,6 +1243,20 @@ def build_parser() -> argparse.ArgumentParser:
         "dead worker until its lease expires",
     )
     connect.add_argument(
+        "--codec",
+        choices=("bin", "json", "v1"),
+        default="bin",
+        help="wire dialect to offer: bin negotiates the binary codec "
+        "(JSON fallback), json keeps v2 envelopes over JSON, v1 sends "
+        "the legacy hello (no compact contexts or batching; refused "
+        "once the server has GC'd history the session would need)",
+    )
+    connect.add_argument(
+        "--no-batch",
+        action="store_true",
+        help="do not request outbound frame coalescing from the server",
+    )
+    connect.add_argument(
         "--ops", type=int, default=0, help="seeded edits to generate"
     )
     connect.add_argument(
@@ -1308,7 +1347,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="workers that drop/reconnect mid-run "
         "(default: 1 when clients > 1)",
     )
-    loadgen.add_argument("--snapshot-every", type=int, default=256)
+    loadgen.add_argument("--snapshot-every", type=int, default=64)
+    loadgen.add_argument(
+        "--codec",
+        choices=("bin", "json", "v1"),
+        default="bin",
+        help="wire dialect every worker offers (see `connect --codec`)",
+    )
     loadgen.add_argument("--initial", default="", help="initial document")
     loadgen.add_argument(
         "--replicas",
@@ -1472,7 +1517,7 @@ def build_parser() -> argparse.ArgumentParser:
         "new owner)",
     )
     fleet_worker.add_argument("--initial", default="", help="initial document")
-    fleet_worker.add_argument("--snapshot-every", type=int, default=256)
+    fleet_worker.add_argument("--snapshot-every", type=int, default=64)
     fleet_worker.add_argument(
         "--heartbeat-seed",
         type=int,

@@ -148,6 +148,24 @@ class CssClient(BaseClient):
             self._collect_garbage()
         return ReceiveResult(executed=executed, returned=self.read())
 
+    def rebase_to_serial(self, floor_serial: int) -> int:
+        """Active-window GC: prune *and rebase* below a serial floor.
+
+        ``floor_serial`` must satisfy the net runtime's safe-floor rule
+        (every operation this client may still receive or hold pending
+        has a context containing all of serials 1..floor); the server
+        only advertises floors with that property.  Returns the number
+        of pruned states.
+        """
+        base = self.oracle.base
+        if floor_serial <= base:
+            return 0
+        floor = self.oracle.opids_between(base, floor_serial)
+        pruned = self.space.rebase_below(floor)
+        self.oracle.trim_below(floor_serial)
+        self.pruned_states += pruned
+        return pruned
+
     def _collect_garbage(self) -> None:
         """Prune states below the meet of everyone's known progress.
 
@@ -217,6 +235,29 @@ class CssServer(BaseServer):
             obs.ops_serialised.inc()
             obs.serialise_duration.observe(time.perf_counter() - started)
         return [(client, broadcast) for client in self.clients]
+
+    @property
+    def base(self) -> int:
+        """Serial floor of the active window (0 = untrimmed)."""
+        return self.oracle.base
+
+    def rebase_to_serial(self, floor_serial: int) -> int:
+        """Active-window GC: prune *and rebase* below a serial floor.
+
+        Safe when every operation still in flight towards this server
+        (and every retained serialised operation past the floor) has a
+        context containing serials 1..floor — the net runtime's
+        pin-clamped fixpoint computes exactly such a floor.  Returns the
+        number of pruned states.
+        """
+        base = self.oracle.base
+        if floor_serial <= base:
+            return 0
+        floor = self.oracle.opids_between(base, floor_serial)
+        pruned = self.space.rebase_below(floor)
+        self.oracle.trim_below(floor_serial)
+        self.pruned_states += pruned
+        return pruned
 
     def _collect_garbage(self) -> None:
         if any(client not in self._known for client in self.clients):

@@ -27,6 +27,7 @@ from typing import Dict, List, Optional, Protocol, Set
 from repro.common.ids import OpId, StateKey, format_opid_set
 from repro.document.list_document import ListDocument
 from repro.errors import StateSpaceError
+from repro.jupiter.keys import KeyInterner
 from repro.jupiter.state_space import BaseStateSpace, StateNode, Transition
 from repro.obs import get_obs
 from repro.ot.operations import Operation
@@ -204,6 +205,45 @@ class NaryStateSpace(BaseStateSpace):
             obs.space_pruned.inc(len(doomed))
             obs.space_nodes.set(len(self._nodes))
         return len(doomed)
+
+    def rebase_below(self, floor: StateKey) -> int:
+        """Prune below ``floor`` *and* subtract it from every key.
+
+        :meth:`prune_below` bounds the node **count**, but every
+        surviving key still contains the whole garbage-collected prefix,
+        so per-operation key unions stay O(history).  Rebasing rewrites
+        each survivor's key to ``key - floor`` — the relabelling is a
+        bijection on the surviving nodes (all of them contain ``floor``),
+        so the graph structure, sibling order, and documents are
+        untouched and every key is O(active window) afterwards.
+
+        Callers must feed the space operations whose contexts are
+        expressed relative to the same floor from then on (the net
+        runtime's serial-encoded contexts do exactly that); the stale
+        absolute contexts inside already-stored transitions are never
+        used for attachment again, only their operation bodies are.
+        """
+        floor = frozenset(floor)
+        pruned = self.prune_below(floor)
+        if not floor:
+            return pruned
+        fresh = KeyInterner()
+        remap = {
+            key: fresh.intern(key - floor) for key in self._nodes
+        }
+        nodes: Dict[StateKey, StateNode] = {}
+        for key, node in self._nodes.items():
+            new_key = remap[key]
+            node.key = new_key
+            node.children = [
+                Transition(new_key, remap[t.target], t.operation)
+                for t in node.children
+            ]
+            nodes[new_key] = node
+        self._nodes = nodes
+        self._interner = fresh
+        self.final_key = remap[self.final_key]
+        return pruned
 
     def _ancestors(
         self,

@@ -42,6 +42,7 @@ from repro.errors import ProtocolError
 from repro.jupiter.css import CssClient, CssServer
 from repro.jupiter.messages import ClientOperation, ServerOperation
 from repro.jupiter.nary import NaryStateSpace
+from repro.jupiter.ordering import ServerOrderOracle
 from repro.jupiter.state_space import StateNode, Transition
 from repro.obs import get_obs
 from repro.ot.operations import OpKind, Operation
@@ -68,8 +69,10 @@ def element_from_obj(obj: Dict[str, Any]) -> Element:
     return Element(obj["value"], opid_from_obj(obj["opid"]))
 
 
-def operation_to_obj(operation: Operation) -> Dict[str, Any]:
-    return {
+def operation_to_obj(
+    operation: Operation, *, with_context: bool = True
+) -> Dict[str, Any]:
+    obj = {
         "kind": operation.kind.value,
         "opid": opid_to_obj(operation.opid),
         "element": (
@@ -78,8 +81,10 @@ def operation_to_obj(operation: Operation) -> Dict[str, Any]:
             else None
         ),
         "position": operation.position,
-        "context": sorted(opid_to_obj(o) for o in operation.context),
     }
+    if with_context:
+        obj["context"] = sorted(opid_to_obj(o) for o in operation.context)
+    return obj
 
 
 def operation_from_obj(obj: Dict[str, Any]) -> Operation:
@@ -102,6 +107,85 @@ def _state_key_to_obj(key) -> List[List[Any]]:
 
 def _state_key_from_obj(obj) -> frozenset:
     return frozenset(opid_from_obj(o) for o in obj)
+
+
+# ----------------------------------------------------------------------
+# Serial-encoded operation contexts (the active-window wire/WAL form)
+# ----------------------------------------------------------------------
+# A context is the set of operations its generator had processed: the
+# first ``d`` serials of the total order plus a handful of the
+# generator's own then-pending operations ("extras", serialised later).
+# Encoding it as ``[d, [extra opids]]`` is O(extras) instead of
+# O(history) *and* rebase-invariant: any decoder resolves the dense
+# prefix ``(its own base, d]`` against its serial log, so the same bytes
+# decode correctly before and after active-window GC.
+def compact_context(operation: Operation, oracle) -> List[Any]:
+    """Encode ``operation.context`` as ``[d, [extra opid objs]]``.
+
+    Every context member must already be serialised (true whenever the
+    server appends: FIFO channels serialise a client's earlier pending
+    operations before the operation that references them).  ``d`` is the
+    maximal dense serial prefix the context covers — at least the
+    generator's own split, so every invariant proved for the generator's
+    ``d`` holds for this one too.
+    """
+    base = oracle.base
+    serials = sorted(oracle.serial_of(o) for o in operation.context)
+    d = base
+    extra_serials: List[int] = []
+    for serial in serials:
+        if serial == d + 1 and not extra_serials:
+            d = serial
+        else:
+            extra_serials.append(serial)
+    return [
+        d,
+        sorted(opid_to_obj(oracle.opid_of(s)) for s in extra_serials),
+    ]
+
+
+def context_from_compact(ctx_obj: List[Any], oracle) -> frozenset:
+    """Decode a serial-encoded context relative to ``oracle``'s base."""
+    d = int(ctx_obj[0])
+    base = oracle.base
+    if d < base:
+        raise ProtocolError(
+            f"compact context floor {d} is below the decoder's GC base "
+            f"{base}; the record should have been unreachable"
+        )
+    ids = oracle.opids_between(base, d) if d > base else frozenset()
+    extras = ctx_obj[1]
+    if extras:
+        ids = ids.union(opid_from_obj(o) for o in extras)
+    return ids
+
+
+def record_operation(record: Dict[str, Any], oracle=None) -> Operation:
+    """Decode a WAL record's operation, resolving a compact context.
+
+    Records written by the net runtime store their context
+    serial-encoded (``record["ctx"]``) and need an oracle that has
+    witnessed the serials below the record's; plain records carry the
+    absolute context inline and decode without one.
+    """
+    obj = record["operation"]
+    if "ctx" not in record:
+        return operation_from_obj(obj)
+    if oracle is None:
+        raise ProtocolError(
+            "compact WAL record needs an order oracle to decode"
+        )
+    return Operation(
+        kind=OpKind(obj["kind"]),
+        opid=opid_from_obj(obj["opid"]),
+        element=(
+            element_from_obj(obj["element"])
+            if obj["element"] is not None
+            else None
+        ),
+        position=obj["position"],
+        context=context_from_compact(record["ctx"], oracle),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -259,21 +343,29 @@ def restore_checkpoint(obj: Dict[str, Any]) -> CssClient:
 
 
 def snapshot_server(server: CssServer) -> Dict[str, Any]:
-    """Serialise a CSS server (space + full serialisation order).
+    """Serialise a CSS server (space + active-window serialisation order).
 
     ``serials`` is sorted by serial number (see :func:`snapshot_client`),
-    so the same server always snapshots to byte-identical JSON.
+    so the same server always snapshots to byte-identical JSON.  A server
+    whose state was rebased by active-window GC snapshots only the
+    serials past its ``base`` — everything below it left the state-space
+    and the keys are already relative to it — so checkpoints stay
+    O(active window).
     """
-    return {
+    base = server.oracle.base
+    snapshot = {
         "version": FORMAT_VERSION,
         "replica": server.replica_id,
         "clients": list(server.clients),
         "space": space_to_obj(server.space),
         "serials": [
             [opid_to_obj(opid), serial]
-            for opid, serial in server.oracle.serial_items()
+            for opid, serial in server.oracle.serial_items(after=base)
         ],
     }
+    if base:
+        snapshot["base"] = base
+    return snapshot
 
 
 def restore_server(obj: Dict[str, Any]) -> CssServer:
@@ -282,11 +374,17 @@ def restore_server(obj: Dict[str, Any]) -> CssServer:
             f"unsupported snapshot version {obj.get('version')!r}"
         )
     server = CssServer(str(obj["replica"]), [str(c) for c in obj["clients"]])
+    base = int(obj.get("base", 0))
+    if base:
+        # The snapshot was cut after active-window GC: re-seat the oracle
+        # at the rebase floor so replayed serials resume densely there.
+        oracle = ServerOrderOracle(start=base)
+        server.oracle = oracle
     for opid_obj, serial in sorted(obj["serials"], key=lambda item: item[1]):
         assigned = server.oracle.assign(opid_from_obj(opid_obj))
         if assigned != int(serial):
             raise ProtocolError(
-                "snapshot serial numbers are not a dense 1..n sequence"
+                "snapshot serial numbers are not a dense base+1..n sequence"
             )
     server.space = space_from_obj(obj["space"], server.oracle)
     return server
@@ -296,7 +394,11 @@ def restore_server(obj: Dict[str, Any]) -> CssServer:
 # Server durability: write-ahead log + snapshot compaction + recovery
 # ----------------------------------------------------------------------
 def wal_record_to_obj(
-    serial: int, origin: ReplicaId, operation: Operation, epoch: int = 0
+    serial: int,
+    origin: ReplicaId,
+    operation: Operation,
+    epoch: int = 0,
+    ctx: Optional[List[Any]] = None,
 ) -> Dict[str, Any]:
     """One WAL entry: a serialised operation in server-serial order.
 
@@ -304,13 +406,21 @@ def wal_record_to_obj(
     proposed (0 for an unreplicated log).  View changes re-propose the
     uncommitted suffix under a higher epoch, so ``(epoch, serial)`` pairs
     totally order log prefixes across primaries.
+
+    ``ctx`` is the serial-encoded context (see :func:`compact_context`);
+    when given, the record omits the O(history) absolute context and
+    stores the O(extras) encoding instead — decode it back with
+    :func:`record_operation`.
     """
-    return {
+    record = {
         "serial": int(serial),
         "origin": origin,
         "epoch": int(epoch),
-        "operation": operation_to_obj(operation),
+        "operation": operation_to_obj(operation, with_context=ctx is None),
     }
+    if ctx is not None:
+        record["ctx"] = [int(ctx[0]), list(ctx[1])]
+    return record
 
 
 def _validate_wal_record(record: Any) -> Dict[str, Any]:
@@ -320,8 +430,36 @@ def _validate_wal_record(record: Any) -> Dict[str, Any]:
     for field in ("serial", "origin", "operation"):
         if field not in record:
             raise ProtocolError(f"WAL record missing field {field!r}")
-    operation_from_obj(record["operation"])  # raises on garbage payloads
+    ctx = record.get("ctx")
+    if ctx is not None:
+        if (
+            not isinstance(ctx, list)
+            or len(ctx) != 2
+            or not isinstance(ctx[0], int)
+            or not isinstance(ctx[1], list)
+        ):
+            raise ProtocolError(
+                f"WAL record has malformed compact context {ctx!r}"
+            )
+        # Validate everything but the (serial-encoded) context.
+        operation_from_obj({**record["operation"], "context": ctx[1]})
+    else:
+        operation_from_obj(record["operation"])  # raises on garbage payloads
     return record
+
+
+def _validate_wal_delta(delta: Any) -> Dict[str, Any]:
+    """Raise :class:`ProtocolError` unless ``delta`` is a delta-snapshot."""
+    if not isinstance(delta, dict):
+        raise ProtocolError(f"WAL delta is not an object: {delta!r}")
+    for field in ("upto", "floor", "final", "added", "removed", "touched",
+                  "serials"):
+        if field not in delta:
+            raise ProtocolError(f"WAL delta missing field {field!r}")
+    for node_obj in delta["added"]:
+        if "key" not in node_obj or "children" not in node_obj:
+            raise ProtocolError("WAL delta added-node missing key/children")
+    return delta
 
 
 class ServerWriteAheadLog:
@@ -345,6 +483,14 @@ class ServerWriteAheadLog:
     paper leans on resumes precisely where the log left off, with no
     serial skipped or reused.
 
+    Compaction is **incremental**: after the first full checkpoint,
+    subsequent compactions emit *delta snapshots* — the state-space nodes
+    added, removed, or re-ordered since the previous compaction, plus the
+    serials assigned since — and every ``checkpoint_every`` deltas (or
+    whenever active-window GC moved the rebase floor) a fresh full
+    checkpoint restarts the chain.  Recovery merges checkpoint + deltas
+    back into one snapshot and replays the record suffix as before.
+
     The whole structure is JSON-able (:meth:`to_obj` / :meth:`from_obj`);
     in a deployment each :meth:`append` would be an fsync'd disk write.
     """
@@ -355,24 +501,41 @@ class ServerWriteAheadLog:
         clients: Sequence[ReplicaId],
         snapshot_every: int = 8,
         initial_text: str = "",
+        checkpoint_every: int = 16,
     ) -> None:
         if snapshot_every < 1:
             raise ProtocolError("snapshot_every must be >= 1")
+        if checkpoint_every < 1:
+            raise ProtocolError("checkpoint_every must be >= 1")
         self.replica_id = replica_id
         self.clients = list(clients)
         self.snapshot_every = snapshot_every
+        self.checkpoint_every = checkpoint_every
         self.initial_text = initial_text
-        #: latest compaction snapshot (``None`` until the first compaction)
+        #: latest full checkpoint (``None`` until the first compaction)
         self.snapshot: Optional[Dict[str, Any]] = None
+        #: delta snapshots taken since ``snapshot``, oldest first
+        self.deltas: List[Dict[str, Any]] = []
         #: records after the truncation point, ascending contiguous serials
         self.records: List[Dict[str, Any]] = []
         self.appends = 0
         self.compactions = 0
         self.records_truncated = 0
+        #: what the last :meth:`compact` emitted: ``"full"`` or ``"delta"``
+        #: (``None`` before any compaction) — the disk layer appends the
+        #: delta as one line instead of rewriting the file when "delta"
+        self.last_compaction_mode: Optional[str] = None
+        self.last_delta: Optional[Dict[str, Any]] = None
         #: epoch of the highest record witnessed (0 before any append)
         self.last_epoch = 0
         self._next_serial = 1
         self._since_snapshot = 0
+        # Diff base for the next delta: node-key -> child-transition count
+        # as of the previous compaction.  ``None`` (fresh or restored log)
+        # forces the next compaction to be a full checkpoint.
+        self._shadow: Optional[Dict[Any, int]] = None
+        self._shadow_upto = 0
+        self._shadow_base = 0
         self._obs = get_obs()
 
     # -- write path ----------------------------------------------------
@@ -387,8 +550,28 @@ class ServerWriteAheadLog:
         origin: ReplicaId,
         operation: Operation,
         epoch: int = 0,
+        ctx: Optional[List[Any]] = None,
     ) -> None:
-        """Log one serialised operation (call *before* broadcasting it)."""
+        """Log one serialised operation (call *before* broadcasting it).
+
+        ``ctx`` stores the context serial-encoded (the net runtime's
+        O(active-window) form, see :func:`compact_context`) instead of
+        the absolute opid set.
+        """
+        self.append_record(
+            wal_record_to_obj(serial, origin, operation, epoch, ctx=ctx)
+        )
+
+    def append_record(self, record: Dict[str, Any]) -> None:
+        """Append an already-encoded record verbatim.
+
+        Replication backups use this: a compact-context record can only
+        be *decoded* with an order oracle that witnessed the serials
+        below it, which a backup does not run — but it never needs to
+        decode, only to store the bytes the primary certified.
+        """
+        serial = int(record["serial"])
+        epoch = int(record.get("epoch", 0))
         if serial != self._next_serial:
             raise ProtocolError(
                 f"WAL append out of order: got serial {serial}, "
@@ -398,10 +581,8 @@ class ServerWriteAheadLog:
             raise ProtocolError(
                 f"WAL append with stale epoch {epoch} < {self.last_epoch}"
             )
-        self.records.append(
-            wal_record_to_obj(serial, origin, operation, epoch)
-        )
-        self.last_epoch = int(epoch)
+        self.records.append(record)
+        self.last_epoch = epoch
         self._next_serial += 1
         self.appends += 1
         self._since_snapshot += 1
@@ -433,6 +614,11 @@ class ServerWriteAheadLog:
     def should_compact(self) -> bool:
         return self._since_snapshot >= self.snapshot_every
 
+    @staticmethod
+    def _node_key(key_obj: Sequence[Any]) -> Any:
+        """Canonical hashable form of a serialised state key."""
+        return tuple((str(o[0]), int(o[1])) for o in key_obj)
+
     def compact(
         self, server: CssServer, retain_after: Optional[int] = None
     ) -> int:
@@ -443,13 +629,90 @@ class ServerWriteAheadLog:
         consumer (a client session cursor or a client-crash checkpoint)
         may still need their broadcast re-shipped.  Returns the number of
         records truncated.
+
+        The first compaction (and every ``checkpoint_every``-th one, and
+        any taken after active-window GC moved the rebase floor) emits a
+        **full checkpoint**; the rest emit a **delta** against the
+        previous compaction — nodes added and removed since, nodes whose
+        ordered child-transition list grew (transition lists are
+        insert-only, so a changed length is exactly a changed list), and
+        the serials assigned since.  ``last_compaction_mode`` tells the
+        disk layer which of the two it got.
         """
         obs = self._obs
         started = time.perf_counter() if obs.enabled else 0.0
-        self.snapshot = snapshot_server(server)
+        base = server.oracle.base
+        # What the snapshot/delta covers is the *server's* state, which
+        # in replicated mode can trail the log (proposed-but-uncommitted
+        # records are on the log, not in the served state yet).
+        covered = server.oracle.last_serial
         floor = self.last_serial
         if retain_after is not None:
             floor = min(floor, int(retain_after))
+        # Complete while the record suffix still covers everything since
+        # the last compaction — stored so trimmed snapshots keep the
+        # per-origin consumption counts recovery re-seeds sessions with.
+        counts = self.origin_counts()
+        delta_mode = (
+            self.snapshot is not None
+            and self._shadow is not None
+            and base == self._shadow_base
+            and len(self.deltas) < self.checkpoint_every
+        )
+        if delta_mode:
+            space_obj = space_to_obj(server.space)
+            shadow = self._shadow
+            current = {
+                self._node_key(n["key"]): n for n in space_obj["nodes"]
+            }
+            delta = {
+                "upto": covered,
+                "floor": floor,
+                "base": base,
+                "final": space_obj["final"],
+                "ot_count": space_obj["ot_count"],
+                "added": [
+                    current[k] for k in sorted(current) if k not in shadow
+                ],
+                "removed": [
+                    [list(pair) for pair in k]
+                    for k in sorted(shadow)
+                    if k not in current
+                ],
+                "touched": [
+                    {"key": n["key"], "children": n["children"]}
+                    for k, n in sorted(current.items())
+                    if k in shadow and len(n["children"]) != shadow[k]
+                ],
+                "serials": [
+                    [opid_to_obj(opid), serial]
+                    for opid, serial in server.oracle.serial_items(
+                        after=self._shadow_upto
+                    )
+                ],
+                "origin_counts": {
+                    str(k): int(v) for k, v in sorted(counts.items())
+                },
+                "clients": list(server.clients),
+            }
+            self.deltas.append(delta)
+            self.last_delta = delta
+            self.last_compaction_mode = "delta"
+        else:
+            self.snapshot = snapshot_server(server)
+            self.snapshot["origin_counts"] = {
+                str(k): int(v) for k, v in sorted(counts.items())
+            }
+            self.deltas = []
+            self.last_delta = None
+            self.last_compaction_mode = "full"
+            space_obj = self.snapshot["space"]
+        self._shadow = {
+            self._node_key(n["key"]): len(n["children"])
+            for n in space_obj["nodes"]
+        }
+        self._shadow_upto = covered
+        self._shadow_base = base
         kept = [r for r in self.records if r["serial"] > floor]
         truncated = len(self.records) - len(kept)
         self.records = kept
@@ -465,8 +728,47 @@ class ServerWriteAheadLog:
                 serial=self.last_serial,
                 truncated=truncated,
                 retained=len(kept),
+                mode=self.last_compaction_mode,
             )
         return truncated
+
+    def _merged_snapshot(self) -> Optional[Dict[str, Any]]:
+        """The full checkpoint with every delta folded in (obj level)."""
+        if self.snapshot is None:
+            return None
+        if not self.deltas:
+            return self.snapshot
+        space = self.snapshot["space"]
+        nodes = {self._node_key(n["key"]): n for n in space["nodes"]}
+        serials = [list(item) for item in self.snapshot["serials"]]
+        for delta in self.deltas:
+            for key_obj in delta["removed"]:
+                nodes.pop(self._node_key(key_obj), None)
+            for patch in delta["touched"]:
+                key = self._node_key(patch["key"])
+                node = dict(nodes[key])
+                node["children"] = patch["children"]
+                nodes[key] = node
+            for node_obj in delta["added"]:
+                nodes[self._node_key(node_obj["key"])] = node_obj
+            serials.extend(list(item) for item in delta["serials"])
+        last = self.deltas[-1]
+        merged = {
+            "version": FORMAT_VERSION,
+            "replica": self.snapshot["replica"],
+            "clients": list(last.get("clients", self.snapshot["clients"])),
+            "space": {
+                "version": FORMAT_VERSION,
+                "final": last["final"],
+                "ot_count": int(last.get("ot_count", 0)),
+                "nodes": [nodes[key] for key in sorted(nodes)],
+            },
+            "serials": serials,
+        }
+        merged_base = int(last.get("base", self.snapshot.get("base", 0)))
+        if merged_base:
+            merged["base"] = merged_base
+        return merged
 
     # -- recovery ------------------------------------------------------
     def recover(self) -> CssServer:
@@ -479,8 +781,9 @@ class ServerWriteAheadLog:
         """
         obs = self._obs
         started = time.perf_counter() if obs.enabled else 0.0
-        if self.snapshot is not None:
-            server = restore_server(self.snapshot)
+        snapshot = self._merged_snapshot()
+        if snapshot is not None:
+            server = restore_server(snapshot)
         else:
             initial = (
                 ListDocument.from_string(self.initial_text)
@@ -492,7 +795,7 @@ class ServerWriteAheadLog:
             serial = int(record["serial"])
             if serial <= server.oracle.last_serial:
                 continue  # snapshot already covers this retained record
-            operation = operation_from_obj(record["operation"])
+            operation = record_operation(record, server.oracle)
             server.receive(record["origin"], ClientOperation(operation))
             assigned = server.oracle.serial_of(operation.opid)
             if assigned != serial:
@@ -548,7 +851,7 @@ class ServerWriteAheadLog:
             )
         return [
             ServerOperation(
-                operation=operation_from_obj(available[serial]["operation"]),
+                operation=record_operation(available[serial], server.oracle),
                 origin=available[serial]["origin"],
                 serial=serial,
                 prefix=server.oracle.serialized_before(serial),
@@ -563,19 +866,37 @@ class ServerWriteAheadLog:
         session receivers held before the crash: origin ``c`` had
         ``origin_counts()[c]`` frames consumed from its channel, so the
         recovered receiver resumes expecting frame ``count + 1``.
+
+        Computed as a *max-of-sequence-numbers* merge: each origin's
+        sequence numbers are dense from 1, so its count equals the
+        highest sequence witnessed anywhere — stored counts from earlier
+        compactions (which may cover serials a GC-trimmed snapshot no
+        longer lists), snapshot and delta serial logs, and the record
+        suffix.  Overlap between sources is harmless under max.
         """
         counts: Dict[ReplicaId, int] = {}
-        seen: set = set()
+
+        def bump(origin: ReplicaId, seq: int) -> None:
+            if seq > counts.get(origin, 0):
+                counts[origin] = seq
+
         if self.snapshot is not None:
+            for origin, count in self.snapshot.get(
+                "origin_counts", {}
+            ).items():
+                bump(str(origin), int(count))
             for opid_obj, _serial in self.snapshot["serials"]:
                 opid = opid_from_obj(opid_obj)
-                seen.add(opid)
-                counts[opid.replica] = counts.get(opid.replica, 0) + 1
+                bump(opid.replica, opid.seq)
+        for delta in self.deltas:
+            for origin, count in delta.get("origin_counts", {}).items():
+                bump(str(origin), int(count))
+            for opid_obj, _serial in delta["serials"]:
+                opid = opid_from_obj(opid_obj)
+                bump(opid.replica, opid.seq)
         for record in self.records:
             opid = opid_from_obj(record["operation"]["opid"])
-            if opid in seen:
-                continue  # retained record the snapshot also covers
-            counts[record["origin"]] = counts.get(record["origin"], 0) + 1
+            bump(opid.replica, opid.seq)
         return counts
 
     # -- codec ---------------------------------------------------------
@@ -585,8 +906,10 @@ class ServerWriteAheadLog:
             "replica": self.replica_id,
             "clients": list(self.clients),
             "snapshot_every": self.snapshot_every,
+            "checkpoint_every": self.checkpoint_every,
             "initial_text": self.initial_text,
             "snapshot": self.snapshot,
+            "deltas": [dict(d) for d in self.deltas],
             "records": [dict(r) for r in self.records],
             "next_serial": self._next_serial,
         }
@@ -602,12 +925,16 @@ class ServerWriteAheadLog:
             [str(c) for c in obj["clients"]],
             snapshot_every=int(obj["snapshot_every"]),
             initial_text=str(obj.get("initial_text", "")),
+            checkpoint_every=int(obj.get("checkpoint_every", 16)),
         )
         wal.snapshot = obj["snapshot"]
+        wal.deltas = [dict(d) for d in obj.get("deltas", [])]
         wal.records = [dict(r) for r in obj["records"]]
         wal._next_serial = int(obj["next_serial"])
         if wal.records:
             wal.last_epoch = int(wal.records[-1].get("epoch", 0))
+        # The diff shadow is not serialised: a restored log takes a full
+        # checkpoint at its next compaction and resumes deltas from there.
         return wal
 
 
@@ -619,7 +946,10 @@ def save_wal(wal: ServerWriteAheadLog, path: str) -> None:
 
     The record-per-line layout mirrors how an appending log hits disk: a
     crash mid-append leaves at most one truncated final line, which
-    :func:`load_wal` detects and drops (the torn tail).
+    :func:`load_wal` detects and drops (the torn tail).  Delta snapshots
+    accumulated in memory ride in the header here (this is the full
+    rewrite a *full* checkpoint triggers); between rewrites the disk
+    layer appends each new delta as its own ``{"delta": ...}`` line.
     """
     header = wal.to_obj()
     records = header.pop("records")
@@ -632,14 +962,15 @@ def save_wal(wal: ServerWriteAheadLog, path: str) -> None:
 def load_wal(path: str) -> ServerWriteAheadLog:
     """Load a WAL saved by :func:`save_wal`, tolerating a torn tail.
 
-    A crash mid-append can leave the *final* record line truncated or
-    garbled.  That record was never acknowledged to anyone (the append
-    had not completed, so the op was neither broadcast nor quorum
-    certified), so it is safe to drop: recovery logs a warning, bumps the
-    ``wal_torn_tail_dropped`` counter, and resumes from the previous
-    record.  Corruption anywhere *before* the final record is not a torn
-    tail — it means lost acknowledged history — and raises
-    :class:`ProtocolError`.
+    A crash mid-append can leave the *final* line truncated or garbled.
+    A torn record was never acknowledged to anyone (the append had not
+    completed, so the op was neither broadcast nor quorum certified) and
+    a torn delta line loses no history at all (the records it would have
+    truncated are still on the earlier lines), so either is safe to
+    drop: recovery logs a warning, bumps the ``wal_torn_tail_dropped``
+    counter, and resumes from the previous line.  Corruption anywhere
+    *before* the final line is not a torn tail — it means lost
+    acknowledged history — and raises :class:`ProtocolError`.
     """
     with open(path, "r", encoding="utf-8") as handle:
         lines = [line for line in handle.read().split("\n") if line.strip()]
@@ -650,11 +981,23 @@ def load_wal(path: str) -> ServerWriteAheadLog:
     except ValueError as error:
         raise ProtocolError(f"WAL header in {path} is corrupt: {error}")
     records: List[Dict[str, Any]] = []
+    deltas: List[Dict[str, Any]] = [
+        dict(d) for d in (header.get("deltas") or [])
+    ]
     torn: Optional[str] = None
     for index, line in enumerate(lines[1:], start=1):
         final = index == len(lines) - 1
         try:
-            records.append(_validate_wal_record(json.loads(line)))
+            obj = json.loads(line)
+            if isinstance(obj, dict) and "delta" in obj:
+                delta = _validate_wal_delta(obj["delta"])
+                deltas.append(delta)
+                floor = int(delta["floor"])
+                records = [
+                    r for r in records if int(r["serial"]) > floor
+                ]
+            else:
+                records.append(_validate_wal_record(obj))
         except (ValueError, ProtocolError) as error:
             if not final:
                 raise ProtocolError(
@@ -670,6 +1013,7 @@ def load_wal(path: str) -> ServerWriteAheadLog:
         )
         get_obs().wal_torn_tail_dropped.inc()
     header["records"] = records
+    header["deltas"] = deltas
     header["next_serial"] = (
         int(records[-1]["serial"]) + 1
         if records
@@ -679,9 +1023,13 @@ def load_wal(path: str) -> ServerWriteAheadLog:
 
 
 def _post_snapshot_serial(header: Dict[str, Any]) -> int:
-    """First serial after the header's snapshot (1 if no snapshot)."""
+    """First serial after the header's compaction state (1 if none)."""
+    deltas = header.get("deltas") or []
+    if deltas:
+        return int(deltas[-1]["upto"]) + 1
     snapshot = header.get("snapshot")
     if not snapshot:
         return 1
     serials = [int(serial) for _opid, serial in snapshot["serials"]]
-    return max(serials, default=0) + 1
+    base = int(snapshot.get("base", 0))
+    return max(serials, default=base) + 1

@@ -235,12 +235,10 @@ class ReplicatedWal:
         serial = int(record["serial"])
         if serial <= log.last_serial:
             return True  # duplicate ship (e.g. re-proposal overlap): ack it
-        log.append(
-            serial,
-            record["origin"],
-            _record_operation(record),
-            epoch=int(record["epoch"]),
-        )
+        # Verbatim record append: a backup stores the bytes the primary
+        # certified.  It must not decode them — compact-context records
+        # need the primary's order oracle, which only recovery rebuilds.
+        log.append_record(dict(record))
         self._obs.repl_appends.inc()
         return True
 
@@ -432,9 +430,3 @@ class ReplicatedWal:
         if retain_after is not None:
             floor = min(floor, int(retain_after))
         return self.primary_log.compact(server, retain_after=floor)
-
-
-def _record_operation(record: Dict[str, Any]):
-    from repro.jupiter.persistence import operation_from_obj
-
-    return operation_from_obj(record["operation"])

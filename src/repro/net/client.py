@@ -53,7 +53,8 @@ from repro.common.ids import SERVER_ID, ReplicaId
 from repro.document.list_document import ListDocument
 from repro.errors import ProtocolError
 from repro.jupiter.css import CssClient
-from repro.jupiter.messages import ServerOperation
+from repro.jupiter.messages import ClientOperation, ServerOperation
+from repro.jupiter.persistence import opid_from_obj, space_from_obj
 from repro.jupiter.session import (
     RetransmitPolicy,
     SessionReceiver,
@@ -61,9 +62,12 @@ from repro.jupiter.session import (
 )
 from repro.model.schedule import OpSpec
 from repro.net.codec import (
+    CODEC_JSON,
+    SUPPORTED_CODECS,
+    compact_client_op_obj,
     document_signature,
     encode_envelope,
-    message_from_obj,
+    message_from_wire,
     message_to_obj,
     roster_from_obj,
 )
@@ -99,6 +103,8 @@ class NetClient:
         max_reconnect_attempts: Optional[int] = None,
         heartbeat_interval: Optional[float] = HEARTBEAT_INTERVAL,
         doc: str = "",
+        codecs: Optional[List[str]] = None,
+        batch: bool = True,
     ) -> None:
         self.client_id = client_id
         self.host = host
@@ -107,13 +113,36 @@ class NetClient:
         #: default (the pre-fleet behaviour).  A fleet router reads the
         #: field from the hello to pick the owning worker.
         self.doc = doc
+        #: codec preference list offered in the hello.  A non-empty
+        #: offer makes this a v2 session (compact contexts, GC pins,
+        #: floor rebasing) whichever codec the server picks; an empty
+        #: tuple reproduces a v1 client exactly.
+        self.codecs: Tuple[str, ...] = (
+            tuple(codecs) if codecs is not None else tuple(SUPPORTED_CODECS)
+        )
+        #: ask the server to coalesce its broadcast bursts for us
+        self.batch = batch
+        #: the codec the current connection negotiated
+        self.codec = CODEC_JSON
         self.css = CssClient(client_id)
         self.sender = SessionSender((client_id, SERVER_ID))
         self.receiver = SessionReceiver((SERVER_ID, client_id))
-        #: unacknowledged outgoing frames, seq -> message envelope obj
-        self.unacked: Dict[int, Dict[str, Any]] = {}
-        #: out-of-order broadcasts parked until the session releases them
-        self.parked: Dict[int, ServerOperation] = {}
+        #: unacknowledged outgoing messages, seq -> ClientOperation.
+        #: Stored as protocol messages, not encoded bodies: the wire
+        #: encoding depends on the *current* connection's dialect and on
+        #: the oracle's base at transmission time, so each (re)transmit
+        #: encodes afresh.
+        self.unacked: Dict[int, ClientOperation] = {}
+        #: per-seq generation floor (``delivered`` when the op was
+        #: generated): the lowest serial the op's context can reference.
+        #: The GC pin reported to the server is the minimum over these.
+        self._gen_floor: Dict[int, int] = {}
+        #: out-of-order broadcast *bodies* parked until the session
+        #: releases them — decoded only at release, because a compact
+        #: context resolves against the oracle's base at decode time
+        self.parked: Dict[int, Dict[str, Any]] = {}
+        #: reconnects answered by whole-state transfer (GC passed us)
+        self.state_transfers = 0
         self.backoff = RetransmitPolicy(seed=reconnect_seed)
         self.max_connect_attempts = max_connect_attempts
         self.max_reconnect_attempts = max_reconnect_attempts
@@ -221,17 +250,20 @@ class NetClient:
                 await asyncio.sleep(self.backoff.timeout(attempt))
                 continue
             try:
-                await write_frame(
-                    writer,
-                    encode_envelope(
-                        "hello",
-                        client=self.client_id,
-                        delivered=self.delivered,
-                        epoch=self.epoch,
-                        doc=self.doc,
-                    ),
+                hello = encode_envelope(
+                    "hello",
+                    client=self.client_id,
+                    delivered=self.delivered,
+                    epoch=self.epoch,
                     doc=self.doc,
                 )
+                if self.codecs:
+                    # Offering codecs is what marks the session v2; a
+                    # bare hello reproduces the v1 wire exactly.
+                    hello["codecs"] = list(self.codecs)
+                    hello["features"] = {"batch": self.batch}
+                    hello["pin"] = self._pin()
+                await write_frame(writer, hello, doc=self.doc)
                 first = await read_frame(reader, doc=self.doc)
             except (ConnectionError, OSError):
                 writer.close()
@@ -302,6 +334,14 @@ class NetClient:
                 continue
             welcome = first
             break
+        # A batching server may coalesce the welcome with the first
+        # resync frames into one multi envelope; unwrap it and hold the
+        # trailing members until the session state is set up below.
+        trailing: List[Dict[str, Any]] = []
+        if welcome is not None and welcome.get("type") == "multi":
+            members = list(welcome.get("frames") or ())
+            welcome = members[0] if members else None
+            trailing = members[1:]
         self._reader, self._writer = reader, writer
         self.connects += 1
         if self.connects > 1:
@@ -315,22 +355,36 @@ class NetClient:
             )
         self.view = max(self.view, int(welcome.get("view", 0)))
         self.epoch = max(self.epoch, int(welcome.get("epoch", 0)))
+        self.codec = str(welcome.get("codec") or CODEC_JSON)
         roster_obj = welcome.get("roster")
         if roster_obj:
             self.roster = roster_from_obj(roster_obj)
+        state = welcome.get("state")
         initial = welcome.get("initial") or ""
-        if initial and self.connects == 1 and self.sender.next_seq == 1:
+        if (
+            initial
+            and self.connects == 1
+            and self.sender.next_seq == 1
+            and state is None
+        ):
             # First contact with a seeded document: adopt the server's
             # initial text before any history applies.  The canonical
             # ``from_string`` identities make both sides byte-identical.
             self.css = CssClient(
                 self.client_id, ListDocument.from_string(initial)
             )
+        if state is not None:
+            # GC truncated the records our cursor needs: adopt the
+            # server's snapshot wholesale instead of replaying them.
+            self._adopt_state(state)
         resync = int(welcome.get("resync", 0))
         self.resync_frames += resync
         if resync:
             self._obs.net_resync_frames.inc(resync)
         self._absorb_ack(int(welcome.get("ack", 0)))
+        floor = welcome.get("floor")
+        if floor is not None and self.codecs:
+            self._maybe_rebase(min(int(floor), self.delivered))
         # Retransmit the unacknowledged suffix in sequence order; the
         # server's session receiver suppresses anything it already has.
         if self.unacked:
@@ -338,15 +392,12 @@ class NetClient:
         for seq in sorted(self.unacked):
             await write_frame(
                 writer,
-                encode_envelope(
-                    "data",
-                    seq=seq,
-                    ack=self.delivered,
-                    epoch=self.epoch,
-                    body=self.unacked[seq],
-                ),
+                self._data_envelope(seq, self._encode_op(self.unacked[seq])),
                 doc=self.doc,
+                codec=self.codec,
             )
+        for member in trailing:
+            self._handle_frame(member)
         self._reader_task = asyncio.ensure_future(self._read_loop(reader))
         if self._heartbeat_task is not None:
             self._heartbeat_task.cancel()
@@ -411,12 +462,98 @@ class NetClient:
         self.sender.ack(ack)
         for seq in [s for s in self.unacked if s <= ack]:
             del self.unacked[seq]
+            self._gen_floor.pop(seq, None)
         obs = self._obs
         if obs.enabled:
             obs.net_unacked_frames.set(len(self.unacked))
 
+    def _pin(self) -> int:
+        """The GC pin: the floor the server must hold for this client.
+
+        The minimum generation floor over the unacknowledged ops (each
+        recorded as ``delivered`` at generate time — the lowest serial
+        that op's context can reference), clamped to the consumption
+        cursor so a resync always works from records.  With nothing
+        outstanding the cursor itself is the pin.
+        """
+        if self._gen_floor:
+            return min(min(self._gen_floor.values()), self.delivered)
+        return self.delivered
+
+    def _encode_op(self, message: ClientOperation) -> Dict[str, Any]:
+        """Encode one outgoing op in the current connection's dialect."""
+        if self.codecs:
+            return compact_client_op_obj(message, self.css.oracle)
+        return message_to_obj(message)
+
+    def _data_envelope(self, seq: int, body: Dict[str, Any]) -> Dict[str, Any]:
+        envelope = encode_envelope(
+            "data", seq=seq, ack=self.delivered, epoch=self.epoch, body=body
+        )
+        if self.codecs:
+            envelope["pin"] = self._pin()
+        return envelope
+
+    def _maybe_rebase(self, floor: int) -> None:
+        """Trim the local mirror to the server's GC floor.
+
+        The server never advertises a floor above this client's pin, so
+        every unacknowledged op's context stays expressible (members at
+        or below the floor are implied by it) and every future broadcast
+        decodes.  Clamping to ``delivered`` keeps a floor that raced
+        ahead of an in-flight resync from trimming serials not yet seen.
+        """
+        if floor > self.css.oracle.base:
+            self.css.rebase_to_serial(floor)
+
+    def _adopt_state(self, state: Dict[str, Any]) -> None:
+        """Adopt a whole-state transfer (the post-grace resync path).
+
+        Replaces the protocol state with the server's snapshot: the
+        rebased space, the serial order past its base, and a session
+        repositioned at ``op_seq`` (how many of our ops the server has
+        serialised — seqs above it were never consumed, so their numbers
+        are safely reused).  Unacknowledged-and-unserialised ops are
+        dropped with the old state; everything the server ever
+        acknowledged is inside the snapshot.
+        """
+        snap = state["snapshot"]
+        op_seq = int(state["op_seq"])
+        delivered = int(state["delivered"])
+        css = CssClient(self.client_id)
+        base = int(snap.get("base", 0))
+        if base:
+            css.oracle.trim_below(base)
+        for opid_obj, serial in sorted(snap["serials"], key=lambda i: i[1]):
+            css.oracle.record(opid_from_obj(opid_obj), int(serial))
+        css.space = space_from_obj(snap["space"], css.oracle)
+        css.restore_session(pending=[], next_seq=op_seq + 1)
+        self.css = css
+        self.unacked.clear()
+        self.parked.clear()
+        self._sent_at.clear()
+        self._gen_floor.clear()
+        self.sender = SessionSender((self.client_id, SERVER_ID))
+        self.sender.restore({"next_seq": op_seq + 1, "acked": op_seq})
+        self.receiver = SessionReceiver((SERVER_ID, self.client_id))
+        self.receiver.fast_forward(delivered)
+        self.state_transfers += 1
+        self._obs.net_state_transfers.labels(self.doc).inc()
+        self._obs.trace(
+            "net.state_transfer",
+            client=self.client_id,
+            delivered=delivered,
+            op_seq=op_seq,
+            base=base,
+        )
+
     def _handle_frame(self, frame: Dict[str, Any]) -> None:
         kind = frame["type"]
+        if kind == "multi":
+            # The server coalesced a burst; members are ordinary frames.
+            for member in frame.get("frames", ()):
+                self._handle_frame(member)
+            return
         frame_epoch = int(frame.get("epoch", self.epoch))
         if frame_epoch > self.epoch:
             self.epoch = frame_epoch
@@ -427,6 +564,9 @@ class NetClient:
             return
         if kind == "ack":
             self._absorb_ack(int(frame.get("ack", 0)))
+            floor = frame.get("floor")
+            if floor is not None and self.codecs:
+                self._maybe_rebase(min(int(floor), self.delivered))
             self._progress.set()
             return
         if kind == "pong":
@@ -458,24 +598,31 @@ class NetClient:
             return
         self._absorb_ack(int(frame.get("ack", 0)))
         seq = int(frame["seq"])
-        payload = message_from_obj(frame["body"])
-        if not isinstance(payload, ServerOperation):
-            raise ProtocolError(
-                f"{self.client_id}: server data frames must carry "
-                f"ServerOperation, got {type(payload).__name__}"
-            )
+        # Park the encoded body; a compact context resolves against the
+        # oracle's base, which moves as floors arrive — so decode only
+        # at release, immediately before applying.
         released = self.receiver.receive(seq)
         if released == 0:
             if seq >= self.receiver.expected:
-                self.parked[seq] = payload
-            return
-        self.parked[seq] = payload
-        first = self.receiver.expected - released
-        for released_seq in range(first, self.receiver.expected):
-            self._apply(self.parked.pop(released_seq))
-        obs = self._obs
-        if obs.enabled:
-            obs.net_parked_frames.set(len(self.parked))
+                self.parked[seq] = frame["body"]
+        else:
+            self.parked[seq] = frame["body"]
+            first = self.receiver.expected - released
+            for released_seq in range(first, self.receiver.expected):
+                body = self.parked.pop(released_seq)
+                payload = message_from_wire(body, self.css.oracle)
+                if not isinstance(payload, ServerOperation):
+                    raise ProtocolError(
+                        f"{self.client_id}: server data frames must carry "
+                        f"ServerOperation, got {type(payload).__name__}"
+                    )
+                self._apply(payload)
+            obs = self._obs
+            if obs.enabled:
+                obs.net_parked_frames.set(len(self.parked))
+        floor = frame.get("floor")
+        if floor is not None and self.codecs:
+            self._maybe_rebase(min(int(floor), self.delivered))
         self._progress.set()
 
     def _apply(self, broadcast: ServerOperation) -> None:
@@ -494,32 +641,30 @@ class NetClient:
         """Apply one user edit locally and ship it to the server."""
         result = self.css.generate(spec)
         seq = self.sender.send()
-        body = message_to_obj(result.outgoing)
-        self.unacked[seq] = body
+        self.unacked[seq] = result.outgoing
+        self._gen_floor[seq] = self.delivered
         self._sent_at[result.operation.opid] = time.perf_counter()
         if self._writer is None:
-            return  # offline: the frame stays buffered for retransmission
+            return  # offline: the message stays buffered for retransmission
         try:
             await write_frame(
                 self._writer,
-                encode_envelope(
-                    "data",
-                    seq=seq,
-                    ack=self.delivered,
-                    epoch=self.epoch,
-                    body=body,
-                ),
+                self._data_envelope(seq, self._encode_op(result.outgoing)),
                 doc=self.doc,
+                codec=self.codec,
             )
         except ConnectionError:
             self._writer = None
 
     async def ping(self) -> None:
         if self._writer is not None:
+            envelope = encode_envelope("ping", t=time.perf_counter())
+            if self.codecs:
+                # The heartbeat carries the pin so an idle client's GC
+                # floor keeps tracking its cursor.
+                envelope["pin"] = self._pin()
             await write_frame(
-                self._writer,
-                encode_envelope("ping", t=time.perf_counter()),
-                doc=self.doc,
+                self._writer, envelope, doc=self.doc, codec=self.codec
             )
 
     # ------------------------------------------------------------------

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import struct
 from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.document.list_document import ListDocument
@@ -42,6 +43,7 @@ from repro.jupiter.messages import (
     ServerOperation,
 )
 from repro.jupiter.persistence import (
+    context_from_compact,
     operation_from_obj,
     operation_to_obj,
     opid_from_obj,
@@ -49,7 +51,25 @@ from repro.jupiter.persistence import (
 )
 
 #: Version of the frame envelope; bumped on any incompatible change.
+#: The binary codec is *not* a version bump: the envelope model (a dict
+#: with ``v``/``type`` and tolerated unknown fields) is unchanged — only
+#: the byte serialisation differs, and it is negotiated per session.
 WIRE_VERSION = 1
+
+#: Frame byte serialisations a peer may offer in its ``hello``
+#: (``codecs`` field, preference order) and a server may pick in its
+#: ``welcome`` (``codec`` field).  JSON is the mandatory fallback: a v1
+#: peer that has never heard of negotiation simply keeps speaking it.
+CODEC_JSON = "json"
+CODEC_BINARY = "bin"
+SUPPORTED_CODECS = (CODEC_BINARY, CODEC_JSON)
+
+#: First byte of every binary-codec frame.  JSON frames start with
+#: ``{`` (0x7B) or whitespace, never 0xB2, so the decoder sniffs the
+#: serialisation per frame — which is what makes the handshake safe:
+#: hello/welcome are always JSON, and the first binary frame after a
+#: ``welcome`` needs no synchronisation point.
+BINARY_MAGIC = 0xB2
 
 #: Document served when a ``hello`` carries no ``doc`` field.  The field
 #: is an *addition* under the unknown-fields rule: an old client's hello
@@ -178,6 +198,120 @@ def message_from_json(text: str) -> Any:
 
 
 # ----------------------------------------------------------------------
+# Serial-encoded message bodies (the v2 active-window wire form)
+# ----------------------------------------------------------------------
+# An operation's context is the set of everything its generator had
+# processed: a dense serial prefix of the total order plus a handful of
+# "extras" (the generator's own operations still awaiting their echo).
+# Negotiated sessions ship it as ``ctx: [d, [extra opids]]`` — O(extras)
+# instead of O(history) — and omit the redundant ``prefix`` set (the
+# serial number determines it).  The encoding is rebase-invariant: the
+# decoder resolves the dense prefix ``(its own GC base, d]`` against its
+# serial log, so the same bytes decode correctly on replicas whose
+# active windows start at different floors.
+def compact_client_op_obj(message: ClientOperation, oracle) -> Dict[str, Any]:
+    """Encode a client operation with a serial-encoded context.
+
+    ``oracle`` is the generator's
+    :class:`~repro.jupiter.ordering.ClientOrderOracle`; context members
+    it cannot name a serial for are the client's own still-pending
+    operations and ride as extras.  Members at or below the client's GC
+    base are omitted — ``d`` is at least the base, so any decoder's
+    dense prefix covers them.
+    """
+    operation = message.operation
+    serials: List[int] = []
+    extras = []
+    for member in operation.context:
+        serial = oracle.serial_of(member)
+        if serial is None:
+            extras.append(member)
+        elif serial > oracle.base:
+            serials.append(serial)
+    d = oracle.base
+    gapped: List[int] = []
+    for serial in sorted(serials):
+        if serial == d + 1 and not gapped:
+            d = serial
+        else:
+            gapped.append(serial)
+    extras.extend(oracle.opid_of(serial) for serial in gapped)
+    return {
+        "v": WIRE_VERSION,
+        "kind": "client_op",
+        "body": {
+            "operation": operation_to_obj(operation, with_context=False),
+            "ctx": [d, sorted(opid_to_obj(o) for o in extras)],
+        },
+    }
+
+
+def compact_server_op_obj(
+    message: ServerOperation, ctx: Sequence[Any]
+) -> Dict[str, Any]:
+    """Encode a broadcast with the serial-encoded context the WAL holds.
+
+    ``ctx`` is the ``[d, [extra opid objs]]`` pair the server computed
+    when it appended the record (:func:`~repro.jupiter.persistence.compact_context`).
+    The ``prefix`` set is omitted entirely: on a negotiated session the
+    recipient knows every serial below ``serial``, so the number *is*
+    the prefix.
+    """
+    return {
+        "v": WIRE_VERSION,
+        "kind": "server_op",
+        "body": {
+            "operation": operation_to_obj(
+                message.operation, with_context=False
+            ),
+            "ctx": [int(ctx[0]), list(ctx[1])],
+            "origin": message.origin,
+            "serial": int(message.serial),
+        },
+    }
+
+
+def message_from_wire(obj: Dict[str, Any], oracle) -> Any:
+    """Decode a message envelope, resolving serial-encoded contexts.
+
+    Absolute-context bodies (the v1 form) fall through to
+    :func:`message_from_obj`.  Compact bodies resolve their dense prefix
+    against ``oracle`` — the *decoder's* order oracle — so this must be
+    called at integration time, after every serial below the context
+    floor has been witnessed (frame release order guarantees exactly
+    that on both ends).
+    """
+    if not isinstance(obj, dict):
+        raise WireError(
+            f"message envelope must be an object, got {type(obj).__name__}"
+        )
+    body = obj.get("body")
+    if not (isinstance(body, dict) and "ctx" in body):
+        return message_from_obj(obj)
+    kind = obj.get("kind")
+    try:
+        bare = dict(body["operation"])
+        bare["context"] = []
+        operation = operation_from_obj(bare).with_context(
+            context_from_compact(body["ctx"], oracle)
+        )
+        if kind == "client_op":
+            return ClientOperation(operation=operation)
+        if kind == "server_op":
+            return ServerOperation(
+                operation=operation,
+                origin=str(body["origin"]),
+                serial=int(body["serial"]),
+                # The prefix set is implied by the serial on a compact
+                # session; the FIFO cross-check it feeds is vacuous here.
+                prefix=frozenset(),
+            )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireError(f"malformed compact {kind} body: {exc!r}") from exc
+    raise WireError(f"unknown compact message kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
 # Replica rosters (the replicated-deployment control plane)
 # ----------------------------------------------------------------------
 def roster_to_obj(roster: Sequence[Tuple[str, int]]) -> List[List[Any]]:
@@ -281,15 +415,22 @@ def encode_envelope(frame_type: str, **fields: Any) -> Dict[str, Any]:
 
 
 def decode_envelope(raw: bytes) -> Dict[str, Any]:
-    """Parse and version-check one frame body.
+    """Parse and version-check one frame body, sniffing the codec.
 
-    Returns the decoded dictionary; callers dispatch on ``frame["type"]``
-    and read only the fields they know (unknown fields are tolerated).
+    A body starting with :data:`BINARY_MAGIC` is a binary-codec frame;
+    anything else is UTF-8 JSON.  Returns the decoded dictionary;
+    callers dispatch on ``frame["type"]`` and read only the fields they
+    know (unknown fields are tolerated by both codecs — the binary
+    serialisation is self-describing, so a decoder carries unfamiliar
+    keys through just like ``json.loads`` does).
     """
-    try:
-        obj = json.loads(raw.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise WireError(f"frame is not valid UTF-8 JSON: {exc}") from exc
+    if raw[:1] == _BINARY_MAGIC_BYTE:
+        obj = _decode_binary_value(raw, 1)
+    else:
+        try:
+            obj = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"frame is not valid UTF-8 JSON: {exc}") from exc
     if not isinstance(obj, dict):
         raise WireError(f"frame must be a JSON object, got {type(obj).__name__}")
     if obj.get("v") != WIRE_VERSION:
@@ -297,6 +438,210 @@ def decode_envelope(raw: bytes) -> Dict[str, Any]:
     if not isinstance(obj.get("type"), str):
         raise WireError("frame has no 'type' field")
     return obj
+
+
+def encode_frame_bytes(
+    envelope: Dict[str, Any], codec: str = CODEC_JSON
+) -> bytes:
+    """Serialise one envelope dictionary under ``codec``."""
+    if codec == CODEC_BINARY:
+        out = bytearray(_BINARY_MAGIC_BYTE)
+        _encode_binary_value(out, envelope)
+        return bytes(out)
+    if codec == CODEC_JSON:
+        return json.dumps(envelope, separators=(",", ":")).encode("utf-8")
+    raise WireError(f"unknown wire codec {codec!r}")
+
+
+def negotiate_codec(offered: Any) -> str:
+    """Server-side codec pick: first supported entry of a hello's
+    ``codecs`` list, JSON when the field is missing/garbled (a v1 peer).
+    """
+    if isinstance(offered, (list, tuple)):
+        for name in offered:
+            if name in SUPPORTED_CODECS:
+                return str(name)
+    return CODEC_JSON
+
+
+# ----------------------------------------------------------------------
+# Binary frame serialisation (negotiated codec "bin")
+# ----------------------------------------------------------------------
+# A self-describing tagged encoding of the same envelope dictionaries the
+# JSON codec carries — nothing schema-specific, so the unknown-fields
+# compatibility rule holds byte-for-byte.  The win over JSON comes from
+# three things: varint integers (serials, seqs, positions), length-
+# prefixed strings (no quoting), and a static intern table that turns
+# every well-known key and type name into a 2-byte reference.  The table
+# is part of the codec definition: entries are APPEND-ONLY (an index,
+# once shipped, means that string forever).
+_BINARY_MAGIC_BYTE = bytes([BINARY_MAGIC])
+
+_TAG_NONE = 0x00
+_TAG_FALSE = 0x01
+_TAG_TRUE = 0x02
+_TAG_INT = 0x03
+_TAG_FLOAT = 0x04
+_TAG_STR = 0x05
+_TAG_LIST = 0x06
+_TAG_DICT = 0x07
+_TAG_REF = 0x08
+
+_INTERNED = (
+    # envelope / session
+    "v", "type", "hello", "welcome", "data", "ack", "ping", "pong", "bye",
+    "admin", "error", "multi", "redirect", "evicted", "retry_after",
+    "client", "doc", "seq", "serial", "origin", "epoch", "message",
+    "frames", "codec", "codecs", "features", "batch", "floor", "pin",
+    "reason", "resync", "delivered", "payloads", "command",
+    # message envelopes
+    "kind", "body", "client_op", "server_op", "resync_request",
+    "resync_response", "operation", "prefix", "position", "context",
+    "element", "value", "opid", "replica", "ins", "del", "ctx", "base",
+    # replication / fleet control plane
+    "view", "primary", "host", "port", "roster", "committed", "record",
+    "log", "lease", "interval", "worker", "docs", "repl_install",
+    "repl_append", "repl_ack", "repl_deny", "repl_seek", "repl_offer",
+    "fleet_register", "fleet_heartbeat", "fleet_ack",
+    # state transfer
+    "space", "serials", "snapshot", "next_seq", "clients", "state",
+)
+_INTERN_INDEX = {text: index for index, text in enumerate(_INTERNED)}
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _encode_binary_value(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_TAG_NONE)
+    elif value is True:
+        out.append(_TAG_TRUE)
+    elif value is False:
+        out.append(_TAG_FALSE)
+    elif isinstance(value, int):
+        out.append(_TAG_INT)
+        zigzag = (value << 1) if value >= 0 else ((-value << 1) - 1)
+        _write_varint(out, zigzag)
+    elif isinstance(value, float):
+        out.append(_TAG_FLOAT)
+        out.extend(struct.pack(">d", value))
+    elif isinstance(value, str):
+        index = _INTERN_INDEX.get(value)
+        if index is not None:
+            out.append(_TAG_REF)
+            _write_varint(out, index)
+        else:
+            encoded = value.encode("utf-8")
+            out.append(_TAG_STR)
+            _write_varint(out, len(encoded))
+            out.extend(encoded)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST)
+        _write_varint(out, len(value))
+        for item in value:
+            _encode_binary_value(out, item)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        _write_varint(out, len(value))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise WireError(
+                    f"binary codec requires string keys, got {key!r}"
+                )
+            _encode_binary_value(out, key)
+            _encode_binary_value(out, item)
+    else:
+        raise WireError(
+            f"binary codec cannot encode {type(value).__name__}"
+        )
+
+
+def _decode_binary_value(raw: bytes, offset: int) -> Any:
+    value, end = _read_binary_value(raw, offset)
+    if end != len(raw):
+        raise WireError(
+            f"binary frame has {len(raw) - end} trailing bytes"
+        )
+    return value
+
+
+def _read_varint(raw: bytes, offset: int) -> Tuple[int, int]:
+    result = 0
+    shift = 0
+    while True:
+        if offset >= len(raw):
+            raise WireError("binary frame truncated inside a varint")
+        byte = raw[offset]
+        offset += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, offset
+        shift += 7
+        if shift > 63:
+            raise WireError("binary varint exceeds 64 bits")
+
+
+def _read_binary_value(raw: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(raw):
+        raise WireError("binary frame truncated at a value tag")
+    tag = raw[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        zigzag, offset = _read_varint(raw, offset)
+        return (zigzag >> 1) if not zigzag & 1 else -((zigzag + 1) >> 1), offset
+    if tag == _TAG_FLOAT:
+        if offset + 8 > len(raw):
+            raise WireError("binary frame truncated inside a float")
+        return struct.unpack_from(">d", raw, offset)[0], offset + 8
+    if tag == _TAG_STR:
+        length, offset = _read_varint(raw, offset)
+        if offset + length > len(raw):
+            raise WireError("binary frame truncated inside a string")
+        try:
+            text = raw[offset : offset + length].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireError(f"binary string is not UTF-8: {exc}") from exc
+        return text, offset + length
+    if tag == _TAG_REF:
+        index, offset = _read_varint(raw, offset)
+        if index >= len(_INTERNED):
+            raise WireError(f"binary intern reference {index} out of range")
+        return _INTERNED[index], offset
+    if tag == _TAG_LIST:
+        count, offset = _read_varint(raw, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _read_binary_value(raw, offset)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        count, offset = _read_varint(raw, offset)
+        result: Dict[str, Any] = {}
+        for _ in range(count):
+            key, offset = _read_binary_value(raw, offset)
+            if not isinstance(key, str):
+                raise WireError(
+                    f"binary dictionary key is not a string: {key!r}"
+                )
+            item, offset = _read_binary_value(raw, offset)
+            result[key] = item
+        return result, offset
+    raise WireError(f"unknown binary value tag 0x{tag:02x}")
 
 
 # ----------------------------------------------------------------------

@@ -44,7 +44,7 @@ class FleetWorker:
         port: int = 0,
         wal_dir: Optional[str] = None,
         initial_text: str = "",
-        snapshot_every: int = 256,
+        snapshot_every: int = 64,
         heartbeat_seed: int = 0,
         max_connections: int = 256,
         idle_timeout: Optional[float] = 60.0,
@@ -238,7 +238,7 @@ def run_fleet_worker(
     port: int = 0,
     wal_dir: Optional[str] = None,
     initial_text: str = "",
-    snapshot_every: int = 256,
+    snapshot_every: int = 64,
     heartbeat_seed: int = 0,
     announce: bool = False,
 ) -> int:

@@ -53,6 +53,17 @@ from repro.sim.faults import NetChaosPlan
 
 _ALPHABET = string.ascii_lowercase
 
+# ``--codec`` values mapped to the codec offer in the client hello:
+# "bin" negotiates the binary framing (JSON fallback), "json" keeps v2
+# envelopes over JSON, "v1" sends the legacy hello with no offer at all
+# (no compact contexts, no batching — refused once the server has GC'd
+# history the session would need).
+_CODEC_OFFERS = {
+    "bin": ("bin", "json"),
+    "json": ("json",),
+    "v1": (),
+}
+
 
 def percentile(samples: List[float], q: float) -> float:
     """The ``q``-quantile (0..1) of ``samples`` by nearest-rank."""
@@ -157,6 +168,8 @@ async def run_worker(
     doc: str = "",
     max_connect_attempts: int = 8,
     duration: Optional[float] = None,
+    codec: str = "bin",
+    batch: bool = True,
 ) -> Dict[str, Any]:
     """Drive one client: ``ops`` seeded edits, then wait for convergence.
 
@@ -179,6 +192,10 @@ async def run_worker(
     generated.
     """
     rng = random.Random(seed)
+    try:
+        offered = _CODEC_OFFERS[codec]
+    except KeyError:
+        raise ValueError(f"unknown codec {codec!r}") from None
     client = NetClient(
         client_id,
         host,
@@ -188,6 +205,8 @@ async def run_worker(
         roster=parse_roster(roster) if roster else None,
         max_reconnect_attempts=max_reconnect_attempts,
         doc=doc,
+        codecs=offered,
+        batch=batch,
     )
     started = time.perf_counter()
     deadline = None if duration is None else started + duration
@@ -516,7 +535,7 @@ def run_loadgen(
     insert_ratio: float = 0.7,
     op_interval: float = 0.02,
     reconnect_clients: Optional[int] = None,
-    snapshot_every: int = 256,
+    snapshot_every: int = 64,
     initial_text: str = "",
     quiet: bool = False,
     replicas: int = 1,
@@ -525,6 +544,7 @@ def run_loadgen(
     kill_after: Optional[float] = None,
     chaos: Optional[NetChaosPlan] = None,
     primary_deadline: Optional[float] = None,
+    codec: str = "bin",
 ) -> Dict[str, Any]:
     """Run the full multi-process deployment and report convergence.
 
@@ -637,6 +657,8 @@ def run_loadgen(
                 str(op_interval),
                 "--timeout",
                 str(timeout),
+                "--codec",
+                codec,
                 "--json",
             ]
             if roster_text:

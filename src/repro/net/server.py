@@ -69,9 +69,11 @@ from repro.jupiter.css import CssServer
 from repro.jupiter.messages import ClientOperation, ServerOperation
 from repro.jupiter.persistence import (
     ServerWriteAheadLog,
+    compact_context,
     load_wal,
-    operation_from_obj,
+    record_operation,
     save_wal,
+    snapshot_server,
 )
 from repro.jupiter.replication import (
     committed_origin_ack,
@@ -83,10 +85,12 @@ from repro.jupiter.session import SessionReceiver, SessionSender
 from repro.net.codec import (
     DEFAULT_DOC,
     WireError,
+    compact_server_op_obj,
     document_signature,
     encode_envelope,
-    message_from_obj,
+    message_from_wire,
     message_to_obj,
+    negotiate_codec,
     roster_to_obj,
 )
 from repro.net.transport import (
@@ -135,6 +139,19 @@ class _ClientChannel:
         self.delivered = 0
         self.connects = 0
         self.evictions = 0
+        #: ``True`` once a hello negotiated the v2 wire options (codec /
+        #: batching / pin reporting); a v1 session leaves it ``False``
+        self.v2 = False
+        #: the client's GC pin: the lowest context floor any of its
+        #: still-unacknowledged operations may carry.  Reported in every
+        #: v2 frame; the shard never rebases past the minimum pin, so an
+        #: in-flight or retransmitted operation can always be attached.
+        self.pin = 0
+        #: monotonic timestamp the channel lost its socket (``None``
+        #: while connected); drives the GC grace window for laggards.
+        #: A channel rebuilt from a recovered WAL starts the clock at
+        #: construction — its client may be long gone.
+        self.disconnected_at: Optional[float] = time.monotonic()
 
 
 class _DocShard:
@@ -167,11 +184,71 @@ class _DocShard:
         self.frames_received = 0
         self.resync_frames_sent = 0
         self.duplicates_suppressed = 0
+        #: serial -> context floor ``d`` of the record at that serial,
+        #: for every *retained* WAL record.  The GC fixpoint lowers a
+        #: candidate floor until every retained record past it decodes
+        #: against the new base (``d >= floor``); entries leave the map
+        #: when compaction truncates their records.
+        self.ctx_floors: Dict[int, int] = {
+            int(record["serial"]): (
+                int(record["ctx"][0]) if "ctx" in record else 0
+            )
+            for record in wal.records
+        }
+        self.gc_runs = 0
+        self.states_pruned = 0
+
+    @property
+    def record_floor(self) -> int:
+        """Serial the retained records resync from.
+
+        Records cover ``record_floor + 1 .. last_serial``; a client
+        whose cursor fell below it cannot be resynced from the log and
+        needs a whole-state transfer (v2) or is turned away (v1).
+        """
+        if self.wal.records:
+            return int(self.wal.records[0]["serial"]) - 1
+        return self.wal.last_serial
+
+    def prune_ctx_floors(self) -> None:
+        """Drop floor entries whose records a compaction truncated."""
+        if self.wal.records:
+            low = int(self.wal.records[0]["serial"])
+            stale = [serial for serial in self.ctx_floors if serial < low]
+        else:
+            stale = list(self.ctx_floors)
+        for serial in stale:
+            del self.ctx_floors[serial]
 
     def rewrite_disk(self) -> None:
         """Write the full WAL (header + records) — open and compaction."""
         if self.wal_path is not None:
             save_wal(self.wal, self.wal_path)
+
+    def write_compaction(self) -> None:
+        """Persist the compaction that just ran, as cheaply as it allows.
+
+        A delta compaction appends one ``{"delta": ...}`` line — the
+        incremental path that keeps steady-state disk writes
+        O(changes-since-last-checkpoint).  A full checkpoint (or an
+        in-memory-only shard) rewrites the file wholesale; ``load_wal``
+        replays header + deltas + records either way.
+        """
+        if self.wal_path is None:
+            return
+        if (
+            self.wal.last_compaction_mode == "delta"
+            and self.wal.last_delta is not None
+            and os.path.exists(self.wal_path)
+        ):
+            with open(self.wal_path, "a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps({"delta": self.wal.last_delta}, sort_keys=True)
+                    + "\n"
+                )
+                handle.flush()
+        else:
+            self.rewrite_disk()
 
     def append_disk(self) -> None:
         """Append the newest record as one line; flushed before any
@@ -218,7 +295,7 @@ class NetServer:
         host: str = "127.0.0.1",
         port: int = 0,
         initial_text: str = "",
-        snapshot_every: int = 256,
+        snapshot_every: int = 64,
         quiet: bool = True,
         roster: Optional[Sequence[Tuple[str, int]]] = None,
         replica_index: int = 0,
@@ -231,12 +308,33 @@ class NetServer:
         retry_after: float = 1.0,
         doc_id: str = DEFAULT_DOC,
         wal_dir: Optional[str] = None,
+        batch: bool = True,
+        gc: bool = True,
+        gc_interval: float = 0.25,
+        gc_grace: float = 15.0,
+        gc_threshold: int = 64,
     ) -> None:
         self.host = host
         self.port = port
         self.quiet = quiet
         self.initial_text = initial_text
         self.snapshot_every = snapshot_every
+        # -- steady-state knobs -----------------------------------------
+        #: coalesce bursts of outbound frames into ``multi`` envelopes
+        #: (per peer, only if that peer's hello asked for batching)
+        self.batch = batch
+        #: enable the active-window GC sweep (acked-prefix pruning)
+        self.gc_enabled = gc
+        #: seconds between GC sweeps
+        self.gc_interval = gc_interval
+        #: how long a disconnected client's pin keeps holding the GC
+        #: floor; past it the client is dropped from the floor and must
+        #: accept a whole-state transfer on return
+        self.gc_grace = gc_grace
+        #: minimum floor advance (serials) before a rebase is worth its
+        #: full-checkpoint cost — hysteresis against GC thrash
+        self.gc_threshold = gc_threshold
+        self._gc_task: Optional[asyncio.Task] = None
         # -- overload armor knobs --------------------------------------
         #: admission bound on concurrent client sessions
         self.max_connections = max_connections
@@ -453,6 +551,8 @@ class NetServer:
         self._log(f"listening on {self.host}:{self.port}{role}")
         if self.replicated and self.is_primary:
             self._start_replication()
+        if self.gc_enabled:
+            self._gc_task = asyncio.ensure_future(self._gc_loop())
 
     async def wait_closed(self) -> None:
         await self._closed.wait()
@@ -460,6 +560,9 @@ class NetServer:
     async def stop(self) -> None:
         self._closed.set()
         self._stop_replication()
+        if self._gc_task is not None:
+            self._gc_task.cancel()
+            self._gc_task = None
         if self._failover_task is not None:
             self._failover_task.cancel()
             self._failover_task = None
@@ -502,21 +605,168 @@ class NetServer:
             shard.wal.clients.append(name)
         return channel
 
-    def _retain_floor(self, shard: _DocShard) -> int:
-        """Lowest consumption cursor across the roster (WAL retain floor).
+    def _channel_floor(self, shard: _DocShard, *, pins: bool) -> int:
+        """Minimum per-channel floor across the roster, grace applied.
 
-        A replicated primary additionally clamps to the quorum commit
-        floor: an uncommitted record must never be truncated — it is
-        exactly what the next view change re-proposes.
+        With ``pins=False`` the per-channel value is its consumption
+        cursor (the WAL retain floor: records above it can resync the
+        client).  With ``pins=True`` it is the channel's reported GC
+        pin — the client's own claim that nothing it will ever send
+        again references a context below it.  The pin already folds in
+        the client's delivered cursor *and* the generation floors of
+        its unacked ops, and it rides every data frame, ping, and
+        hello, so it is complete on its own; the server-side
+        ``delivered`` (which only advances on piggybacked data-frame
+        acks and goes stale the moment a client stops editing) must
+        NOT be min'd in, or an idle roster wedges the rebase floor at
+        its last burst.  A v1 session pins at 0 — it cannot report
+        pins, so it blocks the rebase entirely.
+
+        Disconnected channels hold their floor only for ``gc_grace``
+        seconds; past it they stop counting, and a returning client is
+        resynced by whole-state transfer instead of records.  A
+        replicated group applies no grace (state transfer would ship an
+        uncommitted suffix past the commit gate) and additionally clamps
+        to the quorum commit floor: an uncommitted record must never be
+        truncated — it is exactly what the next view change re-proposes.
         """
-        floor = (
-            min(c.delivered for c in shard.channels.values())
-            if shard.channels
-            else 0
-        )
-        if self.replicated and shard.doc == self.doc_id:
+        now = time.monotonic()
+        replicated = self.replicated and shard.doc == self.doc_id
+        floors: List[int] = []
+        for channel in shard.channels.values():
+            if pins:
+                value = channel.pin if channel.v2 else 0
+            else:
+                value = channel.delivered
+            if replicated or channel.writer is not None:
+                floors.append(value)
+                continue
+            at = channel.disconnected_at
+            if at is None or now - at <= self.gc_grace:
+                floors.append(value)
+            # else: beyond grace — dropped from the floor; the client
+            # gets a whole-state transfer when it comes back
+        floor = min(floors) if floors else shard.wal.last_serial
+        if replicated:
             floor = min(floor, self.committed)
         return floor
+
+    def _retain_floor(self, shard: _DocShard) -> int:
+        """Lowest consumption cursor across the roster (WAL retain floor)."""
+        return self._channel_floor(shard, pins=False)
+
+    def _gc_floor(self, shard: _DocShard) -> int:
+        """The serial the shard may safely rebase to.
+
+        Starts from the pin floor, then runs the decodability fixpoint:
+        every *retained* record (serial above the floor) must carry a
+        context floor ``d`` at or above the new base, or a resyncing
+        client could not resolve its compact context.  Any violating
+        record drags the floor down to its ``d``; the loop re-checks the
+        records the lower floor now retains, and terminates because the
+        floor strictly decreases toward the current base.
+        """
+        floor = self._channel_floor(shard, pins=True)
+        base = shard.server.base
+        if floor <= base:
+            return base
+        while True:
+            low = min(
+                (
+                    d
+                    for serial, d in shard.ctx_floors.items()
+                    if serial > floor
+                ),
+                default=floor,
+            )
+            if low >= floor:
+                return floor
+            floor = low
+            if floor <= base:
+                return base
+
+    def _gc_shard(self, shard: _DocShard) -> None:
+        """One GC pass: rebase + checkpoint if the floor moved enough."""
+        obs = self._obs
+        floor = self._gc_floor(shard)
+        base = shard.server.base
+        if floor - base >= self.gc_threshold:
+            pruned = shard.server.rebase_to_serial(floor)
+            # A rebase invalidates the delta chain (the snapshot's key
+            # floor moved), so this compaction writes a full checkpoint.
+            shard.wal.compact(shard.server, retain_after=floor)
+            shard.write_compaction()
+            shard.prune_ctx_floors()
+            shard.gc_runs += 1
+            shard.states_pruned += pruned
+            obs.trace(
+                "net.gc",
+                doc=shard.doc,
+                floor=floor,
+                pruned=pruned,
+                nodes=shard.server.space.node_count(),
+            )
+            self._log(
+                f"document {shard.doc!r}: GC rebased {base} -> {floor} "
+                f"({pruned} states pruned, "
+                f"{shard.server.space.node_count()} live nodes)"
+            )
+        if obs.enabled:
+            obs.doc_space_nodes.labels(shard.doc).set(
+                shard.server.space.node_count()
+            )
+            obs.serialized_order_len.labels(shard.doc).set(
+                shard.server.oracle.last_serial - shard.server.base
+            )
+            obs.gc_floor.labels(shard.doc).set(shard.server.base)
+            if shard.wal_path is not None and os.path.exists(shard.wal_path):
+                obs.wal_bytes_on_disk.labels(shard.doc).set(
+                    os.path.getsize(shard.wal_path)
+                )
+
+    async def _gc_loop(self) -> None:
+        """The periodic active-window sweep (primary role only)."""
+        try:
+            while not self._closed.is_set():
+                await asyncio.sleep(self.gc_interval)
+                if self.replicated and not self.is_primary:
+                    continue
+                for shard in list(self.shards.values()):
+                    self._gc_shard(shard)
+        except asyncio.CancelledError:
+            pass
+
+    def _broadcast_envelope(
+        self,
+        channel: _ClientChannel,
+        broadcast: ServerOperation,
+        ctx: Optional[List[Any]] = None,
+    ) -> Dict[str, Any]:
+        """One data frame for a broadcast, in the channel's wire dialect.
+
+        A v2 session gets the compact body (context serial-encoded,
+        prefix implied by the serial); v1 gets the absolute form.  Both
+        carry the shard's GC ``floor`` so a v2 client can trim its own
+        mirror of the state space (a v1 client ignores the field — it
+        only ever exists while the floor is 0).
+        """
+        shard = channel.shard
+        if channel.v2:
+            if ctx is None:
+                ctx = compact_context(
+                    broadcast.operation, shard.server.oracle
+                )
+            body = compact_server_op_obj(broadcast, ctx)
+        else:
+            body = message_to_obj(broadcast)
+        return encode_envelope(
+            "data",
+            seq=broadcast.serial,
+            ack=self._gated_ack(channel),
+            epoch=self.epoch,
+            floor=shard.server.base,
+            body=body,
+        )
 
     def _gated_ack(self, channel: _ClientChannel) -> int:
         """The c->s acknowledgement the client may act on.
@@ -611,6 +861,7 @@ class NetServer:
             if channel.writer is writer:
                 channel.writer = None
                 channel.outbound = None
+                channel.disconnected_at = time.monotonic()
                 self._record_eviction(channel, f"write failed: {reason}")
 
         sender.on_failure = on_failure
@@ -640,6 +891,7 @@ class NetServer:
             return
         channel.writer = None
         channel.outbound = None
+        channel.disconnected_at = time.monotonic()
         sender.on_failure = None  # bookkeeping happens here, exactly once
         sender.try_send(
             encode_envelope("evicted", reason=reason, epoch=self.epoch),
@@ -780,32 +1032,98 @@ class NetServer:
                 f"outbound backlog above {self.max_queued_frames} frames",
             )
             return
-        channel = self.ensure_client(name, shard)
+        # -- wire-dialect negotiation ----------------------------------
+        # A hello offering ``codecs`` speaks the v2 dialect (compact
+        # contexts, GC pins, floor rebasing) whatever codec wins; a bare
+        # hello is a v1 session, which only works while the shard has
+        # never rebased — its absolute contexts and the relative ones
+        # coincide exactly at base 0.
+        offered = hello.get("codecs")
+        v2 = bool(offered)
+        codec = negotiate_codec(offered)
         delivered = int(hello.get("delivered", 0))
         delivered = max(0, min(delivered, shard.wal.last_serial))
+        if not v2 and (
+            shard.server.base > 0 or delivered < shard.record_floor
+        ):
+            self._log(
+                f"{name}: rejecting v1 hello — the document has been "
+                f"GC-rebased to {shard.server.base} (records from "
+                f"{shard.record_floor}); only v2 sessions can resolve "
+                "relative contexts or adopt a state transfer"
+            )
+            try:
+                await write_frame(
+                    writer,
+                    encode_envelope(
+                        "error",
+                        reason="document GC passed this session; "
+                        "reconnect with a v2 client",
+                        epoch=self.epoch,
+                    ),
+                    timeout=self.write_timeout,
+                )
+            except (WireError, ConnectionError):
+                pass
+            writer.close()
+            return
+        channel = self.ensure_client(name, shard)
+        channel.v2 = v2
+        channel.pin = max(channel.pin, int(hello.get("pin", 0)))
+        channel.disconnected_at = None
         channel.delivered = max(channel.delivered, delivered)
         channel.connects += 1
         sender = self._attach(channel, writer)
-        missed = shard.wal.broadcasts_for(shard.server, delivered)
-        if self.replicated:
-            # Never re-ship an uncommitted broadcast: a client must not
-            # consume an operation a view change could still lose.  The
-            # suffix arrives via the commit flush once quorum-certified.
-            missed = [b for b in missed if b.serial <= self.committed]
-        await sender.send_wait(
-            encode_envelope(
-                "welcome",
-                server=SERVER_ID,
-                doc=doc,
-                ack=self._gated_ack(channel),
-                serial=shard.wal.last_serial,
-                resync=len(missed),
-                initial=self.initial_text,
-                view=self.view,
-                epoch=self.epoch,
-                roster=roster_to_obj(self.roster) if self.replicated else [],
-            ),
+        sender.codec = codec
+        features = hello.get("features") or {}
+        sender.batch = bool(self.batch and v2 and features.get("batch"))
+        state: Optional[Dict[str, Any]] = None
+        if v2 and (
+            delivered < shard.record_floor
+            or int(hello.get("pin", delivered)) < shard.server.base
+        ):
+            # The records this cursor needs were truncated, or the
+            # client's unacknowledged ops pin below the rebase floor
+            # (either way: it outlived its GC grace): resync by
+            # whole-state transfer.  The client adopts the snapshot,
+            # drops its unacknowledged ops (never serialised — their
+            # seqs are reused), and continues from the log head.
+            state = {
+                "snapshot": snapshot_server(shard.server),
+                "op_seq": shard.wal.origin_counts().get(name, 0),
+                "delivered": shard.wal.last_serial,
+            }
+            delivered = shard.wal.last_serial
+            channel.delivered = delivered
+            channel.pin = delivered
+            missed = []
+            self._obs.net_state_transfers.labels(doc).inc()
+        else:
+            missed = shard.wal.broadcasts_for(shard.server, delivered)
+            if self.replicated:
+                # Never re-ship an uncommitted broadcast: a client must
+                # not consume an operation a view change could still
+                # lose.  The suffix arrives via the commit flush once
+                # quorum-certified.
+                missed = [b for b in missed if b.serial <= self.committed]
+        welcome = encode_envelope(
+            "welcome",
+            server=SERVER_ID,
+            doc=doc,
+            ack=self._gated_ack(channel),
+            serial=shard.wal.last_serial,
+            resync=len(missed),
+            initial=self.initial_text,
+            view=self.view,
+            epoch=self.epoch,
+            roster=roster_to_obj(self.roster) if self.replicated else [],
+            codec=codec,
+            features={"batch": sender.batch},
+            floor=shard.server.base,
         )
+        if state is not None:
+            welcome["state"] = state
+        await sender.send_wait(welcome)
         self._obs.trace(
             "net.connect",
             client=name,
@@ -813,6 +1131,8 @@ class NetServer:
             connect=channel.connects,
             cursor=delivered,
             resync=len(missed),
+            codec=codec,
+            transfer=state is not None,
         )
         self._update_connection_gauges()
         # Resync from durable state: re-ship everything after the cursor.
@@ -825,13 +1145,7 @@ class NetServer:
             self.resync_frames_sent += 1
             shard.resync_frames_sent += 1
             delivered_ok = await sender.send_wait(
-                encode_envelope(
-                    "data",
-                    seq=broadcast.serial,
-                    ack=self._gated_ack(channel),
-                    epoch=self.epoch,
-                    body=message_to_obj(broadcast),
-                )
+                self._broadcast_envelope(channel, broadcast)
             )
             if not delivered_ok:
                 break  # the peer died (or stalled out) mid-resync
@@ -893,6 +1207,7 @@ class NetServer:
         finally:
             if channel.writer is writer:
                 channel.writer = None
+                channel.disconnected_at = time.monotonic()
                 if channel.outbound is sender:
                     channel.outbound = None
                     await sender.aclose()
@@ -906,6 +1221,16 @@ class NetServer:
         self, channel: _ClientChannel, frame: Dict[str, Any]
     ) -> None:
         kind = frame["type"]
+        if kind == "multi":
+            # A batched peer coalesced a burst; the members are ordinary
+            # frames and are handled in order.
+            for member in frame.get("frames", ()):
+                await self._handle_frame(channel, member)
+            return
+        if "pin" in frame:
+            # The GC pin only ever ratchets up: a frame reordered behind
+            # a newer one must not drag the floor back down.
+            channel.pin = max(channel.pin, int(frame["pin"]))
         if kind == "ping":
             self._send_to(channel, encode_envelope("pong", t=frame.get("t")))
             return
@@ -918,21 +1243,20 @@ class NetServer:
         channel.sender.ack(ack)
         channel.delivered = max(channel.delivered, ack)
         seq = int(frame["seq"])
-        payload = message_from_obj(frame["body"])
-        if not isinstance(payload, ClientOperation):
-            raise ProtocolError(
-                f"{channel.client}: client data frames must carry "
-                f"ClientOperation, got {type(payload).__name__}"
-            )
+        # Park the *encoded* body, not a decoded message: a compact
+        # context resolves against the oracle's base at decode time, and
+        # GC may advance the base between arrival and release.  Decoding
+        # happens in _serialise, immediately before integration.
+        body = frame["body"]
         released = channel.receiver.receive(seq)
         if released == 0:
             if seq >= channel.receiver.expected:
-                channel.parked[seq] = payload  # gap: park until it fills
+                channel.parked[seq] = body  # gap: park until it fills
             else:
                 self.duplicates_suppressed += 1
                 channel.shard.duplicates_suppressed += 1
         else:
-            channel.parked[seq] = payload
+            channel.parked[seq] = body
             first = channel.receiver.expected - released
             for released_seq in range(first, channel.receiver.expected):
                 await self._serialise(channel, channel.parked.pop(released_seq))
@@ -941,14 +1265,17 @@ class NetServer:
         self._send_to(
             channel,
             encode_envelope(
-                "ack", ack=self._gated_ack(channel), epoch=self.epoch
+                "ack",
+                ack=self._gated_ack(channel),
+                epoch=self.epoch,
+                floor=channel.shard.server.base,
             ),
         )
 
     async def _serialise(
-        self, origin: _ClientChannel, payload: ClientOperation
+        self, origin: _ClientChannel, body: Dict[str, Any]
     ) -> None:
-        """The write path: serialise, log (write-ahead), then broadcast.
+        """The write path: decode, serialise, log (write-ahead), broadcast.
 
         Replicated: the broadcast frames are *parked* under their serial
         and the backups woken; :meth:`_advance_commit` releases them (and
@@ -960,10 +1287,22 @@ class NetServer:
         # equal to the serial on every channel — per shard, since each
         # shard carries its own independent serial counter.
         shard = origin.shard
+        payload = message_from_wire(body, shard.server.oracle)
+        if not isinstance(payload, ClientOperation):
+            raise ProtocolError(
+                f"{origin.client}: client data frames must carry "
+                f"ClientOperation, got {type(payload).__name__}"
+            )
         outgoing = shard.server.receive(origin.client, payload)
         serial = shard.server.oracle.last_serial
+        # Serial-encode the context once: it goes into the WAL record
+        # (kept O(active window) instead of O(context)) and into every
+        # v2 broadcast body.
+        ctx = compact_context(payload.operation, shard.server.oracle)
+        shard.ctx_floors[serial] = int(ctx[0])
         shard.wal.append(
-            serial, origin.client, payload.operation, epoch=self.epoch
+            serial, origin.client, payload.operation, epoch=self.epoch,
+            ctx=ctx,
         )
         # Disk before any broadcast or acknowledgement: a SIGKILLed
         # fleet worker can never have acked an operation its WAL file
@@ -973,7 +1312,8 @@ class NetServer:
             shard.wal.compact(
                 shard.server, retain_after=self._retain_floor(shard)
             )
-            shard.rewrite_disk()
+            shard.write_compaction()
+            shard.prune_ctx_floors()
         frames = []
         for recipient, broadcast in outgoing:
             channel = shard.channels[recipient]
@@ -984,16 +1324,7 @@ class NetServer:
                     f"{serial}; the channel numbering invariant is broken"
                 )
             frames.append(
-                (
-                    recipient,
-                    encode_envelope(
-                        "data",
-                        seq=seq,
-                        ack=self._gated_ack(channel),
-                        epoch=self.epoch,
-                        body=message_to_obj(broadcast),
-                    ),
-                )
+                (recipient, self._broadcast_envelope(channel, broadcast, ctx))
             )
         if self.replicated:
             self._pending[serial] = (origin.client, frames)
@@ -1163,6 +1494,7 @@ class NetServer:
             if channel.writer is not None:
                 channel.writer.close()
                 channel.writer = None
+                channel.disconnected_at = time.monotonic()
 
     async def _advance_commit(self) -> None:
         """Recompute the quorum floor and flush newly committed serials."""
@@ -1211,7 +1543,7 @@ class NetServer:
                     "was compacted; the commit-floor clamp is broken"
                 )
             broadcast = ServerOperation(
-                operation=operation_from_obj(record["operation"]),
+                operation=record_operation(record, self.server.oracle),
                 origin=record["origin"],
                 serial=serial,
                 prefix=self.server.oracle.serialized_before(serial),
@@ -1220,12 +1552,8 @@ class NetServer:
             frames = [
                 (
                     name,
-                    encode_envelope(
-                        "data",
-                        seq=serial,
-                        ack=self._gated_ack(channel),
-                        epoch=self.epoch,
-                        body=message_to_obj(broadcast),
+                    self._broadcast_envelope(
+                        channel, broadcast, record.get("ctx")
                     ),
                 )
                 for name, channel in self.channels.items()
@@ -1240,7 +1568,10 @@ class NetServer:
             self._send_to(
                 channel,
                 encode_envelope(
-                    "ack", ack=self._gated_ack(channel), epoch=self.epoch
+                    "ack",
+                    ack=self._gated_ack(channel),
+                    epoch=self.epoch,
+                    floor=self.server.base,
                 ),
             )
 
@@ -1339,12 +1670,11 @@ class NetServer:
                 # rebuilds a channel (receiver fast-forwarded past the
                 # origin's logged operations) for every such client.
                 self.wal.clients.append(origin)
-            self.wal.append(
-                serial,
-                origin,
-                operation_from_obj(record["operation"]),
-                epoch=int(record.get("epoch", epoch)),
-            )
+            # Stored verbatim: a compact-context record can only be
+            # decoded against an oracle that witnessed the serials below
+            # it, which a backup does not run — it stores the certified
+            # bytes and decodes on promotion, when recovery rebuilds one.
+            self.wal.append_record(dict(record))
             self._obs.repl_appends.inc()
         self.committed = max(self.committed, int(frame.get("committed", 0)))
         return True
@@ -1528,6 +1858,13 @@ class NetServer:
             if origin != SERVER_ID and origin not in self.wal.clients:
                 self.wal.clients.append(origin)
         self.server = self.wal.recover()
+        shard = self.shards[self.doc_id]
+        shard.ctx_floors = {
+            int(record["serial"]): (
+                int(record["ctx"][0]) if "ctx" in record else 0
+            )
+            for record in self.wal.records
+        }
         self.channels = {}
         for name in list(self.wal.clients):
             channel = _ClientChannel(name, self.shards[self.doc_id])
@@ -1601,8 +1938,17 @@ class NetServer:
                         "delivered": c.delivered,
                         "connects": c.connects,
                         "connected": c.writer is not None,
+                        "v2": c.v2,
+                        "pin": c.pin,
                     }
                     for name, c in sorted(shard.channels.items())
+                },
+                gc={
+                    "base": shard.server.base,
+                    "runs": shard.gc_runs,
+                    "states_pruned": shard.states_pruned,
+                    "record_floor": shard.record_floor,
+                    "space_nodes": shard.server.space.node_count(),
                 },
                 frames_received=self.frames_received,
                 resync_frames_sent=self.resync_frames_sent,
@@ -1684,6 +2030,9 @@ async def _serve(
     retry_after: float,
     doc_id: str,
     wal_dir: Optional[str],
+    batch: bool,
+    gc: bool,
+    gc_grace: float,
 ) -> int:
     server = NetServer(
         host=host,
@@ -1702,6 +2051,9 @@ async def _serve(
         retry_after=retry_after,
         doc_id=doc_id,
         wal_dir=wal_dir,
+        batch=batch,
+        gc=gc,
+        gc_grace=gc_grace,
     )
     await server.start()
     if announce:
@@ -1727,7 +2079,7 @@ def run_server(
     host: str = "127.0.0.1",
     port: int = 0,
     initial_text: str = "",
-    snapshot_every: int = 256,
+    snapshot_every: int = 64,
     announce: bool = False,
     quiet: bool = False,
     roster: Optional[Sequence[Tuple[str, int]]] = None,
@@ -1741,6 +2093,9 @@ def run_server(
     retry_after: float = 1.0,
     doc_id: str = DEFAULT_DOC,
     wal_dir: Optional[str] = None,
+    batch: bool = True,
+    gc: bool = True,
+    gc_grace: float = 15.0,
 ) -> int:
     """Blocking entry point for ``repro serve``."""
     try:
@@ -1763,6 +2118,9 @@ def run_server(
                 retry_after,
                 doc_id,
                 wal_dir,
+                batch,
+                gc,
+                gc_grace,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive only

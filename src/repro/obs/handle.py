@@ -186,6 +186,16 @@ CANONICAL_COUNTERS: Tuple[Tuple[str, str, str], ...] = (
         "repro_fleet_replacements_total",
         "Documents re-placed onto a surviving worker after a lease expiry",
     ),
+    (
+        "net_frames_coalesced",
+        "repro_net_frames_coalesced_total",
+        "Envelopes that rode inside a batched multi frame instead of alone",
+    ),
+    (
+        "net_state_transfers",
+        "repro_net_state_transfers_total",
+        "Reconnects resynced by whole-state transfer after GC passed them",
+    ),
 )
 
 CANONICAL_GAUGES: Tuple[Tuple[str, str, str], ...] = (
@@ -233,6 +243,26 @@ CANONICAL_GAUGES: Tuple[Tuple[str, str, str], ...] = (
         "fleet_live_workers",
         "repro_fleet_live_workers",
         "Workers holding a current lease with the fleet router",
+    ),
+    (
+        "doc_space_nodes",
+        "repro_doc_state_space_nodes",
+        "Live state-space nodes per served document (the active window)",
+    ),
+    (
+        "serialized_order_len",
+        "repro_serialized_order_len",
+        "Serialised-order entries retained past the GC base per document",
+    ),
+    (
+        "wal_bytes_on_disk",
+        "repro_wal_bytes_on_disk",
+        "Size of the per-document write-ahead log file on disk, in bytes",
+    ),
+    (
+        "gc_floor",
+        "repro_gc_floor_serial",
+        "Active-window GC floor: highest serial pruned from live state",
     ),
 )
 
@@ -288,6 +318,12 @@ DOC_LABELLED = frozenset(
         "net_frames_out",
         "net_connected_clients",
         "net_outbound_queue",
+        "net_frames_coalesced",
+        "net_state_transfers",
+        "doc_space_nodes",
+        "serialized_order_len",
+        "wal_bytes_on_disk",
+        "gc_floor",
     }
 )
 

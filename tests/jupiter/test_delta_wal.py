@@ -1,0 +1,348 @@
+"""Incremental WAL compaction and serial-encoded record contexts.
+
+The flat-throughput work replaces "rewrite the whole state-space every
+compaction" with a chain of delta snapshots hanging off a periodic full
+checkpoint, and replaces O(history) absolute contexts in WAL records
+with the ``[d, extras]`` serial encoding.  These tests drive a live CSS
+cluster mirrored into a :class:`ServerWriteAheadLog` and check that
+recovery from checkpoint + deltas + record suffix is byte-equivalent to
+the live server — including after active-window GC rebased the floor,
+and including a torn final delta line on disk.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.common import OpId
+from repro.errors import ProtocolError
+from repro.jupiter.css import CssClient, CssServer
+from repro.jupiter.ordering import ServerOrderOracle
+from repro.jupiter.persistence import (
+    ServerWriteAheadLog,
+    compact_context,
+    context_from_compact,
+    load_wal,
+    opid_to_obj,
+    record_operation,
+    save_wal,
+    wal_record_to_obj,
+)
+from repro.model.schedule import OpSpec
+from repro.ot import insert
+
+
+@pytest.fixture(autouse=True)
+def _observability_left_disabled():
+    yield
+    obs.disable()
+
+
+class Rig:
+    """Two CSS clients + server, server traffic mirrored into a WAL."""
+
+    def __init__(self, snapshot_every=100, checkpoint_every=16,
+                 compact_ctx=False):
+        self.names = ["c1", "c2"]
+        self.server = CssServer("server", self.names)
+        self.clients = {name: CssClient(name) for name in self.names}
+        self.wal = ServerWriteAheadLog(
+            "server",
+            self.names,
+            snapshot_every=snapshot_every,
+            checkpoint_every=checkpoint_every,
+        )
+        self.compact_ctx = compact_ctx
+        self.steps = 0
+
+    def _ship(self, origin, outgoing):
+        operation = outgoing.operation
+        broadcasts = self.server.receive(origin, outgoing)
+        ctx = (
+            compact_context(operation, self.server.oracle)
+            if self.compact_ctx
+            else None
+        )
+        self.wal.append(
+            self.server.oracle.last_serial, origin, operation, ctx=ctx
+        )
+        for target, broadcast in broadcasts:
+            self.clients[target].receive(broadcast)
+
+    def step(self, count=1):
+        for _ in range(count):
+            origin = self.names[self.steps % 2]
+            value = chr(ord("a") + self.steps % 26)
+            result = self.clients[origin].generate(
+                OpSpec(kind="ins", position=0, value=value)
+            )
+            self._ship(origin, result.outgoing)
+            self.steps += 1
+
+    def step_concurrent(self):
+        """c1 generates two ops; c2's op is serialised between them.
+
+        The second c1 operation's context then has a serial gap — its
+        compact encoding needs an "extras" entry, not just ``d``.
+        """
+        first = self.clients["c1"].generate(
+            OpSpec(kind="ins", position=0, value="x")
+        )
+        second = self.clients["c1"].generate(
+            OpSpec(kind="ins", position=0, value="y")
+        )
+        wedge = self.clients["c2"].generate(
+            OpSpec(kind="ins", position=0, value="z")
+        )
+        self._ship("c2", wedge.outgoing)
+        self._ship("c1", first.outgoing)
+        self._ship("c1", second.outgoing)
+        self.steps += 3
+
+    def rebase(self, serial):
+        self.server.rebase_to_serial(serial)
+        for client in self.clients.values():
+            client.rebase_to_serial(serial)
+
+    def assert_recovers(self):
+        recovered = self.wal.recover()
+        assert recovered.space.signature() == self.server.space.signature()
+        assert recovered.document.as_string() == (
+            self.server.document.as_string()
+        )
+        assert recovered.oracle.last_serial == self.wal.last_serial
+        return recovered
+
+
+class TestCompactContext:
+    def build_oracle(self, count=5):
+        oracle = ServerOrderOracle()
+        opids = [OpId(f"c{i % 2 + 1}", i // 2 + 1) for i in range(count)]
+        for opid in opids:
+            oracle.assign(opid)
+        return oracle, opids
+
+    def test_dense_context_has_no_extras(self):
+        oracle, opids = self.build_oracle()
+        op = insert(OpId("c9", 1), "v", 0, context=set(opids[:3]))
+        assert compact_context(op, oracle) == [3, []]
+
+    def test_gap_becomes_extras(self):
+        oracle, opids = self.build_oracle()
+        op = insert(
+            OpId("c9", 1), "v", 0, context={*opids[:3], opids[4]}
+        )
+        encoded = compact_context(op, oracle)
+        assert encoded == [3, [opid_to_obj(opids[4])]]
+        assert context_from_compact(encoded, oracle) == frozenset(
+            {*opids[:3], opids[4]}
+        )
+
+    def test_decode_is_rebase_invariant(self):
+        oracle, opids = self.build_oracle()
+        op = insert(OpId("c9", 1), "v", 0, context={*opids[:4]})
+        encoded = compact_context(op, oracle)
+        full = context_from_compact(encoded, oracle)
+        oracle.trim_below(2)
+        trimmed = context_from_compact(encoded, oracle)
+        assert trimmed == full - frozenset(opids[:2])
+
+    def test_floor_below_decoder_base_rejected(self):
+        oracle, _ = self.build_oracle()
+        oracle.trim_below(3)
+        with pytest.raises(ProtocolError):
+            context_from_compact([2, []], oracle)
+
+    def test_record_round_trip(self):
+        oracle, opids = self.build_oracle()
+        op = insert(OpId("c9", 1), "v", 0, context={*opids[:3], opids[4]})
+        record = wal_record_to_obj(
+            6, "c9", op, ctx=compact_context(op, oracle)
+        )
+        assert "context" not in record["operation"]
+        oracle.assign(op.opid)
+        assert record_operation(record, oracle) == op
+
+    def test_compact_record_needs_an_oracle(self):
+        oracle, opids = self.build_oracle()
+        op = insert(OpId("c9", 1), "v", 0, context=set(opids[:2]))
+        record = wal_record_to_obj(
+            6, "c9", op, ctx=compact_context(op, oracle)
+        )
+        with pytest.raises(ProtocolError):
+            record_operation(record)
+
+
+class TestDeltaCompaction:
+    def test_second_compaction_is_a_delta(self):
+        rig = Rig()
+        rig.step(4)
+        rig.wal.compact(rig.server)
+        assert rig.wal.last_compaction_mode == "full"
+        rig.step(3)
+        rig.wal.compact(rig.server)
+        assert rig.wal.last_compaction_mode == "delta"
+        assert len(rig.wal.deltas) == 1
+        assert rig.wal.last_delta["upto"] == 7
+        rig.assert_recovers()
+
+    def test_delta_chain_with_retained_records_recovers(self):
+        rig = Rig(compact_ctx=True)
+        for _ in range(4):
+            rig.step(3)
+            rig.wal.compact(rig.server, retain_after=rig.wal.last_serial - 2)
+        assert rig.wal.last_compaction_mode == "delta"
+        assert len(rig.wal.records) == 2
+        recovered = rig.assert_recovers()
+        assert recovered.space.signature() == rig.server.space.signature()
+
+    def test_checkpoint_every_bounds_the_chain(self):
+        rig = Rig(checkpoint_every=2)
+        modes = []
+        for _ in range(5):
+            rig.step(2)
+            rig.wal.compact(rig.server)
+            modes.append(rig.wal.last_compaction_mode)
+        assert modes == ["full", "delta", "delta", "full", "delta"]
+        rig.assert_recovers()
+
+    def test_rebase_forces_a_full_checkpoint(self):
+        rig = Rig(compact_ctx=True)
+        rig.step(4)
+        rig.wal.compact(rig.server)
+        rig.step(2)
+        rig.wal.compact(rig.server)
+        assert rig.wal.last_compaction_mode == "delta"
+        rig.step(2)
+        rig.rebase(6)
+        rig.step(2)
+        rig.wal.compact(rig.server)
+        assert rig.wal.last_compaction_mode == "full"
+        assert rig.wal.snapshot["base"] == 6
+        recovered = rig.assert_recovers()
+        assert recovered.oracle.base == 6
+
+    def test_concurrent_extras_survive_recovery(self):
+        # Replay (not just restore) compact-context records with extras:
+        # the burst lands *after* the last compaction, so recovery must
+        # decode the serial gap through the restored oracle.
+        rig = Rig(compact_ctx=True)
+        rig.step(3)
+        rig.wal.compact(rig.server)
+        rig.step_concurrent()
+        rig.assert_recovers()
+        rig.step(2)
+        rig.wal.compact(rig.server)
+        assert rig.wal.last_compaction_mode == "delta"
+        rig.step_concurrent()
+        rig.assert_recovers()
+
+    def test_obj_round_trip_restarts_the_chain_full(self):
+        rig = Rig()
+        rig.step(4)
+        rig.wal.compact(rig.server)
+        rig.step(2)
+        rig.wal.compact(rig.server)
+        clone = ServerWriteAheadLog.from_obj(rig.wal.to_obj())
+        assert clone.deltas == rig.wal.deltas
+        recovered = clone.recover()
+        assert recovered.space.signature() == rig.server.space.signature()
+        rig_server = rig.server
+        clone.compact(rig_server)
+        assert clone.last_compaction_mode == "full"
+        assert clone.deltas == []
+
+    def test_origin_counts_survive_trim_and_deltas(self):
+        rig = Rig(compact_ctx=True)
+        rig.step(6)
+        rig.rebase(5)
+        rig.wal.compact(rig.server)
+        rig.step(4)
+        rig.wal.compact(rig.server)
+        assert rig.wal.last_compaction_mode == "delta"
+        counts = rig.wal.origin_counts()
+        assert counts == {"c1": 5, "c2": 5}
+
+
+class TestDeltaDisk:
+    def saved(self, tmp_path, rig):
+        path = tmp_path / "server.wal"
+        save_wal(rig.wal, str(path))
+        return path
+
+    def test_header_deltas_round_trip(self, tmp_path):
+        rig = Rig()
+        rig.step(4)
+        rig.wal.compact(rig.server)
+        rig.step(3)
+        rig.wal.compact(rig.server)
+        rig.step(2)
+        path = self.saved(tmp_path, rig)
+        loaded = load_wal(str(path))
+        assert loaded.deltas == rig.wal.deltas
+        assert loaded.last_serial == rig.wal.last_serial
+        recovered = loaded.recover()
+        assert recovered.space.signature() == rig.server.space.signature()
+
+    def test_appended_delta_line_truncates_records(self, tmp_path):
+        rig = Rig(compact_ctx=True)
+        rig.step(4)
+        rig.wal.compact(rig.server)
+        path = self.saved(tmp_path, rig)
+        # The disk layer appends records as lines, then a delta line,
+        # then more records — a full rewrite only on full checkpoints.
+        with open(path, "a", encoding="utf-8") as handle:
+            rig.step(3)
+            for record in rig.wal.records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            rig.wal.compact(rig.server)
+            assert rig.wal.last_compaction_mode == "delta"
+            handle.write(
+                json.dumps({"delta": rig.wal.last_delta}, sort_keys=True)
+                + "\n"
+            )
+        loaded = load_wal(str(path))
+        assert loaded.records == []
+        assert loaded.last_serial == 7
+        recovered = loaded.recover()
+        assert recovered.space.signature() == rig.server.space.signature()
+
+    def test_torn_delta_tail_is_lossless(self, tmp_path):
+        rig = Rig(compact_ctx=True)
+        rig.step(4)
+        rig.wal.compact(rig.server)
+        path = self.saved(tmp_path, rig)
+        with open(path, "a", encoding="utf-8") as handle:
+            rig.step(3)
+            for record in rig.wal.records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            rig.wal.compact(rig.server)
+            line = json.dumps({"delta": rig.wal.last_delta}, sort_keys=True)
+            handle.write(line[: len(line) // 2])  # crash mid-write
+        handle = obs.enable(reset=True)
+        with pytest.warns(RuntimeWarning, match="torn"):
+            loaded = load_wal(str(path))
+        assert handle.wal_torn_tail_dropped.value == 1
+        # The delta is gone but every record it covered is still there.
+        assert loaded.deltas == []
+        assert loaded.last_serial == 7
+        recovered = loaded.recover()
+        assert recovered.space.signature() == rig.server.space.signature()
+
+    def test_torn_delta_in_the_middle_refuses_to_load(self, tmp_path):
+        rig = Rig()
+        rig.step(4)
+        rig.wal.compact(rig.server)
+        path = self.saved(tmp_path, rig)
+        with open(path, "a", encoding="utf-8") as handle:
+            rig.step(2)
+            record_lines = [
+                json.dumps(r, sort_keys=True) for r in rig.wal.records
+            ]
+            rig.wal.compact(rig.server)
+            line = json.dumps({"delta": rig.wal.last_delta}, sort_keys=True)
+            handle.write(line[: len(line) // 2] + "\n")
+            handle.write(record_lines[0] + "\n")
+        with pytest.raises(ProtocolError, match="mid-log"):
+            load_wal(str(path))

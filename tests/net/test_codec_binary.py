@@ -1,0 +1,283 @@
+"""Tests for the binary wire codec, negotiation, and frame batching.
+
+The binary codec is a drop-in alternative *serialisation* of the same
+v1 envelope objects — not a wire-version bump.  Every test here asserts
+the round trip through ``encode_frame_bytes``/``decode_envelope``
+reproduces the envelope dict exactly, so the two codecs are
+interchangeable frame by frame.
+"""
+
+import asyncio
+import json
+import struct
+
+import pytest
+
+from repro.common import OpId
+from repro.jupiter.messages import ClientOperation, ServerOperation
+from repro.net.codec import (
+    BINARY_MAGIC,
+    CODEC_BINARY,
+    CODEC_JSON,
+    SUPPORTED_CODECS,
+    WIRE_VERSION,
+    WireError,
+    decode_envelope,
+    encode_envelope,
+    encode_frame_bytes,
+    message_to_obj,
+    negotiate_codec,
+)
+from repro.net.transport import BATCH_MAX, FrameSender
+from repro.ot import insert
+
+
+def _round_trip(envelope, codec=CODEC_BINARY):
+    return decode_envelope(encode_frame_bytes(envelope, codec))
+
+
+def _server_op_message(serial=1):
+    op = insert(OpId("c2", serial), "y", 0, context={OpId("c1", 1)})
+    return message_to_obj(
+        ServerOperation(
+            operation=op,
+            origin="c2",
+            serial=serial,
+            prefix=frozenset({OpId("c1", 1)}),
+        )
+    )
+
+
+# Representative envelopes of every frame type that crosses the wire.
+_ENVELOPES = {
+    "hello": encode_envelope(
+        "hello", client="c1", doc="default", delivered=0,
+        codecs=["bin", "json"], features={"batch": True},
+    ),
+    "welcome": encode_envelope(
+        "welcome", client="c1", doc="default", codec="bin",
+        snapshot={"text": "abc", "serial": 3},
+    ),
+    "data": encode_envelope("data", seq=4, ack=2, message=_server_op_message()),
+    "client_op": encode_envelope(
+        "data", seq=1, ack=0,
+        message=message_to_obj(
+            ClientOperation(
+                operation=insert(OpId("c1", 1), "x", 0, context=set())
+            )
+        ),
+    ),
+    "ack": encode_envelope("ack", ack=17),
+    "ping": encode_envelope("ping"),
+    "pong": encode_envelope("pong"),
+    "bye": encode_envelope("bye", reason="client shutdown"),
+    "error": encode_envelope("error", message="bad frame"),
+    "evicted": encode_envelope("evicted", reason="slow consumer"),
+    "admin": encode_envelope("admin", command="metrics"),
+    "multi": encode_envelope(
+        "multi",
+        frames=[encode_envelope("ack", ack=1), encode_envelope("ping")],
+    ),
+    "repl_append": encode_envelope(
+        "repl_append", epoch=2,
+        record={"serial": 9, "origin": "c1", "epoch": 2,
+                "operation": {"kind": "ins"}},
+    ),
+    "repl_ack": encode_envelope("repl_ack", epoch=2, serial=9, replica="b1"),
+    "fleet_register": encode_envelope(
+        "fleet_register", worker="w1", host="127.0.0.1", port=9001,
+        docs=["default"],
+    ),
+    "fleet_heartbeat": encode_envelope("fleet_heartbeat", worker="w1"),
+    "redirect": encode_envelope(
+        "redirect", doc="default", host="10.0.0.2", port=9002,
+    ),
+}
+
+
+class TestBinaryRoundTrip:
+    @pytest.mark.parametrize("name", sorted(_ENVELOPES))
+    def test_every_envelope_type(self, name):
+        assert _round_trip(_ENVELOPES[name]) == _ENVELOPES[name]
+
+    @pytest.mark.parametrize("name", sorted(_ENVELOPES))
+    def test_json_codec_unchanged(self, name):
+        raw = encode_frame_bytes(_ENVELOPES[name], CODEC_JSON)
+        assert json.loads(raw) == _ENVELOPES[name]
+        assert decode_envelope(raw) == _ENVELOPES[name]
+
+    def test_scalar_zoo(self):
+        envelope = encode_envelope(
+            "data",
+            ints=[0, 1, -1, 63, 64, -64, -65, 2**31, -(2**31), 2**53],
+            floats=[0.0, -2.5, 1e300],
+            misc=[None, True, False, "", "unicode: é✓", {"nested": [{}]}],
+        )
+        assert _round_trip(envelope) == envelope
+
+    def test_binary_is_self_identifying(self):
+        raw = encode_frame_bytes(_ENVELOPES["data"], CODEC_BINARY)
+        assert raw[0] == BINARY_MAGIC
+        # JSON objects start with '{' — the magic byte can never collide.
+        assert json.dumps({}).encode()[0] != BINARY_MAGIC
+
+    def test_binary_data_frame_is_much_smaller_than_json(self):
+        envelope = _ENVELOPES["data"]
+        binary = encode_frame_bytes(envelope, CODEC_BINARY)
+        text = encode_frame_bytes(envelope, CODEC_JSON)
+        assert len(binary) <= 0.6 * len(text)
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(WireError):
+            encode_frame_bytes(_ENVELOPES["ping"], "gzip")
+
+
+class TestUnknownFieldTolerance:
+    """Forward compatibility: both codecs carry fields they don't know."""
+
+    @pytest.mark.parametrize("codec", [CODEC_BINARY, CODEC_JSON])
+    def test_extra_envelope_field_survives(self, codec):
+        envelope = dict(_ENVELOPES["ack"])
+        envelope["future_field"] = {"deep": [1, "two", None]}
+        assert _round_trip(envelope, codec) == envelope
+
+    @pytest.mark.parametrize("codec", [CODEC_BINARY, CODEC_JSON])
+    def test_extra_body_field_survives(self, codec):
+        envelope = encode_envelope("data", seq=1, message=_server_op_message())
+        envelope["message"]["body"]["shard_hint"] = 7
+        assert _round_trip(envelope, codec) == envelope
+
+
+class TestBinaryDecodeErrors:
+    def test_truncated_varint(self):
+        with pytest.raises(WireError):
+            decode_envelope(bytes([BINARY_MAGIC, 0x03, 0x80]))
+
+    def test_truncated_string(self):
+        # STR tag, declared length 10, only 2 bytes follow.
+        with pytest.raises(WireError):
+            decode_envelope(bytes([BINARY_MAGIC, 0x05, 10]) + b"ab")
+
+    def test_truncated_empty_frame(self):
+        with pytest.raises(WireError):
+            decode_envelope(bytes([BINARY_MAGIC]))
+
+    def test_unknown_tag(self):
+        with pytest.raises(WireError):
+            decode_envelope(bytes([BINARY_MAGIC, 0x7F]))
+
+    def test_trailing_garbage(self):
+        raw = encode_frame_bytes(_ENVELOPES["ping"], CODEC_BINARY)
+        with pytest.raises(WireError):
+            decode_envelope(raw + b"\x00")
+
+    def test_top_level_must_be_a_dict(self):
+        with pytest.raises(WireError):
+            decode_envelope(bytes([BINARY_MAGIC, 0x02]))  # bare `true`
+
+    def test_non_string_dict_key_rejected_on_encode(self):
+        with pytest.raises(WireError):
+            encode_frame_bytes({"v": 1, "type": "data", "m": {1: "x"}},
+                               CODEC_BINARY)
+
+
+class TestNegotiation:
+    def test_prefers_clients_first_supported(self):
+        assert negotiate_codec(["bin", "json"]) == CODEC_BINARY
+        assert negotiate_codec(["json", "bin"]) == CODEC_JSON
+
+    def test_v1_client_offers_nothing(self):
+        assert negotiate_codec(None) == CODEC_JSON
+        assert negotiate_codec([]) == CODEC_JSON
+
+    def test_unknown_offers_fall_back_to_json(self):
+        assert negotiate_codec(["zstd", "cbor"]) == CODEC_JSON
+
+    def test_unknown_offer_skipped_not_fatal(self):
+        assert negotiate_codec(["zstd", "bin"]) == CODEC_BINARY
+
+    def test_supported_codecs_lists_binary_first(self):
+        assert SUPPORTED_CODECS[0] == CODEC_BINARY
+        assert CODEC_JSON in SUPPORTED_CODECS
+
+
+class _FakeWriter:
+    """Collects written bytes; enough of StreamWriter for FrameSender."""
+
+    def __init__(self):
+        self.chunks = []
+
+    def write(self, data):
+        self.chunks.append(data)
+
+    async def drain(self):
+        pass
+
+    def close(self):
+        pass
+
+    @property
+    def data(self):
+        return b"".join(self.chunks)
+
+
+def _frames_from(data: bytes):
+    frames = []
+    offset = 0
+    while offset < len(data):
+        (length,) = struct.unpack(">I", data[offset:offset + 4])
+        frames.append(decode_envelope(data[offset + 4:offset + 4 + length]))
+        offset += 4 + length
+    return frames
+
+
+class TestSenderBatching:
+    def _drain(self, *, batch, codec=CODEC_JSON, count=5):
+        async def scenario():
+            writer = _FakeWriter()
+            sender = FrameSender(writer, label="t", doc="d")
+            sender.batch = batch
+            sender.codec = codec
+            for index in range(count):
+                assert sender.try_send(encode_envelope("ack", ack=index))
+            await sender.aclose()
+            return sender, writer.data
+
+        return asyncio.run(scenario())
+
+    def test_burst_coalesces_into_one_multi_frame(self):
+        sender, data = self._drain(batch=True)
+        frames = _frames_from(data)
+        assert len(frames) == 1
+        assert frames[0]["type"] == "multi"
+        assert [f["ack"] for f in frames[0]["frames"]] == [0, 1, 2, 3, 4]
+        assert sender.frames_coalesced == 5
+
+    def test_unbatched_sender_writes_one_frame_each(self):
+        sender, data = self._drain(batch=False)
+        frames = _frames_from(data)
+        assert [f["ack"] for f in frames] == [0, 1, 2, 3, 4]
+        assert all(f["type"] == "ack" for f in frames)
+        assert sender.frames_coalesced == 0
+
+    def test_single_envelope_never_wrapped(self):
+        sender, data = self._drain(batch=True, count=1)
+        frames = _frames_from(data)
+        assert len(frames) == 1 and frames[0]["type"] == "ack"
+        assert sender.frames_coalesced == 0
+
+    def test_batch_respects_cap(self):
+        sender, data = self._drain(batch=True, count=BATCH_MAX + 3)
+        frames = _frames_from(data)
+        assert frames[0]["type"] == "multi"
+        assert len(frames[0]["frames"]) == BATCH_MAX
+
+    def test_batched_binary_frames_decode(self):
+        sender, data = self._drain(batch=True, codec=CODEC_BINARY)
+        assert data[4] == BINARY_MAGIC
+        frames = _frames_from(data)
+        assert [f["ack"] for f in frames[0]["frames"]] == [0, 1, 2, 3, 4]
+
+    def test_multi_envelope_carries_wire_version(self):
+        _, data = self._drain(batch=True)
+        assert _frames_from(data)[0]["v"] == WIRE_VERSION
